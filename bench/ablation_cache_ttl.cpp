@@ -1,0 +1,64 @@
+/// Ablation: how much of the GRIS result is the cache? Sweeps the
+/// provider cache TTL from 0 (every query re-executes the providers,
+/// the paper's "nocache") through the 30 s default up to effectively
+/// infinite, at a fixed user population. Quantifies the paper's central
+/// recommendation that "caching can significantly improve performance of
+/// the information server".
+
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "gridmon/core/adapters.hpp"
+#include "gridmon/core/scenarios.hpp"
+
+using namespace gridmon;
+using namespace gridmon::bench;
+using namespace gridmon::core;
+
+int main(int argc, char** argv) {
+  BenchOptions opt = parse_options(argc, argv);
+  const int kUsers = opt.quick ? 50 : 200;
+  const double ttls[] = {0.0, 1.0, 5.0, 30.0, 300.0, 1e18};
+
+  std::vector<Series> figures;
+  Series s{"MDS GRIS (200 users)", {}};
+  std::cout << "cache TTL sweep, " << kUsers << " users\n";
+  metrics::Table table("Ablation: GRIS provider cache TTL (" +
+                       std::to_string(kUsers) + " users)");
+  table.set_columns({"ttl_sec", "throughput", "response_sec", "load1",
+                     "cpu_pct", "provider_runs"});
+
+  for (double ttl : ttls) {
+    Testbed tb;
+    bool cache = ttl > 0;
+    GrisScenario scenario(tb, 10, cache);
+    // Override the per-provider TTL by rebuilding the GRIS with specs.
+    if (cache) {
+      auto providers = default_providers(10);
+      for (auto& p : providers) p.cache_ttl = ttl;
+      mds::GrisConfig config;
+      scenario.gris = std::make_unique<mds::Gris>(
+          tb.network(), tb.host("lucky7"), tb.nic("lucky7"),
+          "lucky7.mcs.anl.gov", providers, config);
+    }
+    UserWorkload w(tb, query_gris(*scenario.gris));
+    w.spawn_users(kUsers, tb.uc_names());
+    tb.sampler().start();
+    SweepPoint p = measure(tb, w, "lucky7", ttl, opt.measure());
+    progress("ttl", static_cast<int>(ttl > 1e9 ? -1 : ttl), p);
+    table.add_row({ttl > 1e9 ? "inf" : metrics::Table::num(ttl, 0),
+                   metrics::Table::num(p.throughput),
+                   metrics::Table::num(p.response),
+                   metrics::Table::num(p.load1, 3),
+                   metrics::Table::num(p.cpu, 1),
+                   std::to_string(scenario.gris->provider_runs())});
+    p.x = ttl > 1e9 ? 1e6 : ttl;
+    s.points.push_back(p);
+  }
+  figures.push_back(std::move(s));
+
+  std::cout << "\n";
+  table.print_text(std::cout);
+  emit_csv(opt, "ablation_cache_ttl", figures);
+  return 0;
+}

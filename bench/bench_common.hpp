@@ -1,0 +1,87 @@
+#pragma once
+
+/// \file bench_common.hpp
+/// Shared scaffolding for the figure-reproduction binaries: sweep-point
+/// lists, --quick mode (shorter spans for CI), and CSV emission.
+
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "gridmon/core/experiment.hpp"
+#include "gridmon/metrics/report.hpp"
+
+namespace gridmon::bench {
+
+struct BenchOptions {
+  bool quick = false;
+  std::string csv_path;  // empty: no CSV
+
+  core::MeasureConfig measure() const {
+    core::MeasureConfig mc;
+    if (quick) {
+      mc.warmup = 30;
+      mc.duration = 120;
+    }
+    return mc;
+  }
+
+  /// Thin the sweep in quick mode: keep first, last and every `stride`th.
+  std::vector<int> sweep(std::vector<int> full, std::size_t stride = 2) const {
+    if (!quick) return full;
+    std::vector<int> out;
+    for (std::size_t i = 0; i < full.size(); ++i) {
+      if (i == 0 || i + 1 == full.size() || i % stride == 0) {
+        out.push_back(full[i]);
+      }
+    }
+    return out;
+  }
+};
+
+inline BenchOptions parse_options(int argc, char** argv) {
+  BenchOptions opt;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--quick") {
+      opt.quick = true;
+    } else if (arg == "--csv" && i + 1 < argc) {
+      opt.csv_path = argv[++i];
+    } else if (arg == "--help") {
+      std::cout << "usage: " << argv[0] << " [--quick] [--csv FILE]\n";
+      std::exit(0);
+    }
+  }
+  // Environment hook so `ctest`/scripts can shorten every bench at once.
+  if (std::getenv("GRIDMON_BENCH_QUICK") != nullptr) opt.quick = true;
+  return opt;
+}
+
+inline void emit_csv(const BenchOptions& opt, const std::string& bench_name,
+                     const std::vector<core::Series>& series) {
+  if (opt.csv_path.empty()) return;
+  std::ofstream out(opt.csv_path);
+  out << "bench,series,x,throughput,response,load1,cpu,refused_per_sec\n";
+  for (const auto& s : series) {
+    for (const auto& p : s.points) {
+      out << bench_name << ',' << s.name << ',' << p.x << ','
+          << p.throughput << ',' << p.response << ',' << p.load1 << ','
+          << p.cpu << ',' << p.refused << '\n';
+    }
+  }
+  std::cout << "wrote " << opt.csv_path << "\n";
+}
+
+/// Progress line so long sweeps show life on the terminal.
+inline void progress(const std::string& series, int x,
+                     const core::SweepPoint& p) {
+  std::cout << "  [" << series << "] x=" << x
+            << " tput=" << metrics::Table::num(p.throughput)
+            << " resp=" << metrics::Table::num(p.response)
+            << " load1=" << metrics::Table::num(p.load1, 3)
+            << " cpu=" << metrics::Table::num(p.cpu, 1)
+            << " refused/s=" << metrics::Table::num(p.refused) << "\n";
+}
+
+}  // namespace gridmon::bench

@@ -1,0 +1,135 @@
+/// Experiment Set 1 (paper §3.3, Figures 5-8): information-server
+/// scalability with the number of concurrent users.
+///
+/// Series: MDS GRIS (cache), MDS GRIS (nocache), Hawkeye Agent,
+/// R-GMA ProducerServlet (users on the lucky nodes, one ConsumerServlet
+/// per node) and R-GMA ProducerServlet (users at UC through one shared
+/// ConsumerServlet, <= 100 users).
+
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "gridmon/core/adapters.hpp"
+#include "gridmon/core/scenarios.hpp"
+
+using namespace gridmon;
+using namespace gridmon::bench;
+using namespace gridmon::core;
+
+namespace {
+
+SweepPoint run_point(const BenchOptions& opt, const std::string& series,
+                     int users, const std::string& server_host,
+                     bool lucky_clients,
+                     const std::function<std::unique_ptr<Scenario>(Testbed&)>&
+                         make_scenario,
+                     const std::function<QueryFn(Scenario&)>& make_query) {
+  Testbed tb;
+  auto scenario = make_scenario(tb);
+  WorkloadConfig wc;
+  if (lucky_clients) wc.max_users_per_host = 100;
+  UserWorkload workload(tb, make_query(*scenario), wc);
+  workload.spawn_users(users,
+                       lucky_clients ? tb.lucky_names() : tb.uc_names());
+  tb.sampler().start();
+  SweepPoint p = measure(tb, workload, server_host, users, opt.measure());
+  progress(series, users, p);
+  return p;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  BenchOptions opt = parse_options(argc, argv);
+  auto users = opt.sweep({1, 10, 50, 100, 200, 300, 400, 500, 600}, 3);
+
+  std::vector<Series> figures;
+
+  {
+    Series s{"MDS GRIS (cache)", {}};
+    std::cout << s.name << "\n";
+    for (int n : users) {
+      s.points.push_back(run_point(
+          opt, s.name, n, "lucky7", false,
+          [](Testbed& tb) -> std::unique_ptr<Scenario> {
+            return std::make_unique<GrisScenario>(tb, 10, true);
+          },
+          [](Scenario& sc) {
+            return query_gris(*static_cast<GrisScenario&>(sc).gris);
+          }));
+    }
+    figures.push_back(std::move(s));
+  }
+
+  {
+    Series s{"MDS GRIS (nocache)", {}};
+    std::cout << s.name << "\n";
+    for (int n : users) {
+      s.points.push_back(run_point(
+          opt, s.name, n, "lucky7", false,
+          [](Testbed& tb) -> std::unique_ptr<Scenario> {
+            return std::make_unique<GrisScenario>(tb, 10, false);
+          },
+          [](Scenario& sc) {
+            return query_gris(*static_cast<GrisScenario&>(sc).gris);
+          }));
+    }
+    figures.push_back(std::move(s));
+  }
+
+  {
+    Series s{"Hawkeye Agent", {}};
+    std::cout << s.name << "\n";
+    for (int n : users) {
+      s.points.push_back(run_point(
+          opt, s.name, n, "lucky4", false,
+          [](Testbed& tb) -> std::unique_ptr<Scenario> {
+            return std::make_unique<AgentScenario>(tb);
+          },
+          [](Scenario& sc) {
+            return query_agent(*static_cast<AgentScenario&>(sc).agent);
+          }));
+    }
+    figures.push_back(std::move(s));
+  }
+
+  {
+    Series s{"R-GMA ProducerServlet (lucky)", {}};
+    std::cout << s.name << "\n";
+    for (int n : users) {
+      s.points.push_back(run_point(
+          opt, s.name, n, "lucky3", true,
+          [](Testbed& tb) -> std::unique_ptr<Scenario> {
+            return std::make_unique<RgmaScenario>(
+                tb, 10, RgmaScenario::Consumers::PerLuckyNode);
+          },
+          [](Scenario& sc) {
+            return static_cast<RgmaScenario&>(sc).mediated_query();
+          }));
+    }
+    figures.push_back(std::move(s));
+  }
+
+  {
+    Series s{"R-GMA ProducerServlet (UC)", {}};
+    std::cout << s.name << "\n";
+    for (int n : users) {
+      if (n > 100) break;  // paper: at most ~100 consumers per servlet at UC
+      s.points.push_back(run_point(
+          opt, s.name, n, "lucky3", false,
+          [](Testbed& tb) -> std::unique_ptr<Scenario> {
+            return std::make_unique<RgmaScenario>(
+                tb, 10, RgmaScenario::Consumers::SingleAtUc);
+          },
+          [](Scenario& sc) {
+            return static_cast<RgmaScenario&>(sc).mediated_query();
+          }));
+    }
+    figures.push_back(std::move(s));
+  }
+
+  std::cout << "\n";
+  print_figures(std::cout, 5, "Information Server", "No. of Users", figures);
+  emit_csv(opt, "exp1_info_server_users", figures);
+  return 0;
+}

@@ -1,0 +1,99 @@
+/// Experiment Set 2 (paper §3.4, Figures 9-12): directory-server
+/// scalability with the number of concurrent users.
+///
+/// Series: MDS GIIS (cachettl pinned, GRIS on lucky3-7), Hawkeye Manager
+/// (6 Agents), R-GMA Registry queried from lucky nodes, R-GMA Registry
+/// queried from UC (<= 100 users).
+
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "gridmon/core/adapters.hpp"
+#include "gridmon/core/scenarios.hpp"
+
+using namespace gridmon;
+using namespace gridmon::bench;
+using namespace gridmon::core;
+
+int main(int argc, char** argv) {
+  BenchOptions opt = parse_options(argc, argv);
+  auto users = opt.sweep({1, 10, 50, 100, 200, 300, 400, 500, 600}, 3);
+
+  std::vector<Series> figures;
+
+  {
+    Series s{"MDS GIIS", {}};
+    std::cout << s.name << "\n";
+    for (int n : users) {
+      Testbed tb;
+      GiisScenario scenario(tb, 5, 10);
+      scenario.prefill();
+      UserWorkload w(tb, query_giis(*scenario.giis, mds::QueryScope::Part));
+      w.spawn_users(n, tb.uc_names());
+      tb.sampler().start();
+      SweepPoint p = measure(tb, w, "lucky0", n, opt.measure());
+      progress(s.name, n, p);
+      s.points.push_back(p);
+    }
+    figures.push_back(std::move(s));
+  }
+
+  {
+    Series s{"Hawkeye Manager", {}};
+    std::cout << s.name << "\n";
+    for (int n : users) {
+      Testbed tb;
+      ManagerScenario scenario(tb);
+      tb.sim().run(40.0);  // let the agents' first ads land
+      UserWorkload w(tb, query_manager_status(*scenario.manager));
+      w.spawn_users(n, tb.uc_names());
+      tb.sampler().start();
+      SweepPoint p = measure(tb, w, "lucky3", n, opt.measure());
+      progress(s.name, n, p);
+      s.points.push_back(p);
+    }
+    figures.push_back(std::move(s));
+  }
+
+  {
+    Series s{"R-GMA Registry (lucky)", {}};
+    std::cout << s.name << "\n";
+    for (int n : users) {
+      Testbed tb;
+      RegistryScenario scenario(tb);
+      tb.sim().run(10.0);  // registrations land
+      WorkloadConfig wc;
+      wc.max_users_per_host = 100;
+      UserWorkload w(tb, query_registry(*scenario.registry, "cpuload"), wc);
+      w.spawn_users(n, tb.lucky_names());
+      tb.sampler().start();
+      SweepPoint p = measure(tb, w, "lucky1", n, opt.measure());
+      progress(s.name, n, p);
+      s.points.push_back(p);
+    }
+    figures.push_back(std::move(s));
+  }
+
+  {
+    Series s{"R-GMA Registry (UC)", {}};
+    std::cout << s.name << "\n";
+    for (int n : users) {
+      if (n > 100) break;
+      Testbed tb;
+      RegistryScenario scenario(tb);
+      tb.sim().run(10.0);
+      UserWorkload w(tb, query_registry(*scenario.registry, "cpuload"));
+      w.spawn_users(n, tb.uc_names());
+      tb.sampler().start();
+      SweepPoint p = measure(tb, w, "lucky1", n, opt.measure());
+      progress(s.name, n, p);
+      s.points.push_back(p);
+    }
+    figures.push_back(std::move(s));
+  }
+
+  std::cout << "\n";
+  print_figures(std::cout, 9, "Directory Server", "No. of Users", figures);
+  emit_csv(opt, "exp2_directory_users", figures);
+  return 0;
+}

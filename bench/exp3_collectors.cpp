@@ -1,0 +1,81 @@
+/// Experiment Set 3 (paper §3.5, Figures 13-16): information-server
+/// scalability with the number of information collectors, 10 concurrent
+/// users throughout.
+///
+/// Series: MDS GRIS (cache), MDS GRIS (nocache), Hawkeye (full-data dump
+/// of a 6-agent pool whose members run N modules each — the paper's users
+/// "queried the Manager" in this set), R-GMA ProducerServlet queried
+/// directly with N producers.
+
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "gridmon/core/adapters.hpp"
+#include "gridmon/core/scenarios.hpp"
+
+using namespace gridmon;
+using namespace gridmon::bench;
+using namespace gridmon::core;
+
+int main(int argc, char** argv) {
+  BenchOptions opt = parse_options(argc, argv);
+  auto collectors = opt.sweep({10, 30, 50, 70, 90}, 2);
+  const int kUsers = 10;
+
+  std::vector<Series> figures;
+
+  for (bool cache : {true, false}) {
+    Series s{cache ? "MDS GRIS (cache)" : "MDS GRIS (nocache)", {}};
+    std::cout << s.name << "\n";
+    for (int n : collectors) {
+      Testbed tb;
+      GrisScenario scenario(tb, n, cache);
+      UserWorkload w(tb, query_gris(*scenario.gris));
+      w.spawn_users(kUsers, tb.uc_names());
+      tb.sampler().start();
+      SweepPoint p = measure(tb, w, "lucky7", n, opt.measure());
+      progress(s.name, n, p);
+      s.points.push_back(p);
+    }
+    figures.push_back(std::move(s));
+  }
+
+  {
+    Series s{"Hawkeye Agent", {}};
+    std::cout << s.name << " (pool dump via Manager, per the paper's setup)\n";
+    for (int n : collectors) {
+      Testbed tb;
+      ManagerScenario scenario(tb, n);
+      tb.sim().run(40.0);
+      UserWorkload w(tb, query_manager_dump(*scenario.manager));
+      w.spawn_users(kUsers, tb.uc_names());
+      tb.sampler().start();
+      SweepPoint p = measure(tb, w, "lucky3", n, opt.measure());
+      progress(s.name, n, p);
+      s.points.push_back(p);
+    }
+    figures.push_back(std::move(s));
+  }
+
+  {
+    Series s{"R-GMA ProducerServlet", {}};
+    std::cout << s.name << "\n";
+    for (int n : collectors) {
+      Testbed tb;
+      RgmaScenario scenario(tb, n, RgmaScenario::Consumers::None);
+      UserWorkload w(tb, scenario.direct_query());
+      w.spawn_users(kUsers, tb.uc_names());
+      tb.sampler().start();
+      SweepPoint p = measure(tb, w, "lucky3", n, opt.measure());
+      progress(s.name, n, p);
+      s.points.push_back(p);
+    }
+    figures.push_back(std::move(s));
+  }
+
+  std::cout << "\n";
+  print_figures(std::cout, 13, "Information Server",
+                "No. of Information Collectors", figures);
+  emit_csv(opt, "exp3_collectors", figures);
+  return 0;
+}

@@ -1,0 +1,88 @@
+/// Experiment Set 4 (paper §3.6, Figures 17-20): aggregate-information-
+/// server scalability with the number of information servers, 10
+/// concurrent users.
+///
+/// Series: MDS GIIS queried for all data of every registered GRIS (paper
+/// limit: 200 GRIS), MDS GIIS queried for a portion (limit 500), and the
+/// Hawkeye Manager with hawkeye_advertise-simulated machines (up to 1000)
+/// answering a worst-case constraint met by no machine.
+
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "gridmon/core/adapters.hpp"
+#include "gridmon/core/scenarios.hpp"
+
+using namespace gridmon;
+using namespace gridmon::bench;
+using namespace gridmon::core;
+
+int main(int argc, char** argv) {
+  BenchOptions opt = parse_options(argc, argv);
+  auto all_sweep = opt.sweep({10, 50, 100, 200}, 2);
+  auto part_sweep = opt.sweep({10, 50, 100, 200, 350, 500}, 2);
+  auto machine_sweep = opt.sweep({10, 100, 200, 400, 600, 800, 1000}, 3);
+  const int kUsers = 10;
+
+  std::vector<Series> figures;
+
+  {
+    Series s{"MDS GIIS (query all)", {}};
+    std::cout << s.name << "\n";
+    for (int g : all_sweep) {
+      Testbed tb;
+      GiisAggregationScenario scenario(tb, g);
+      scenario.prefill();
+      UserWorkload w(tb, query_giis(*scenario.giis, mds::QueryScope::All));
+      w.spawn_users(kUsers, tb.uc_names());
+      tb.sampler().start();
+      SweepPoint p = measure(tb, w, "lucky0", g, opt.measure());
+      progress(s.name, g, p);
+      s.points.push_back(p);
+    }
+    figures.push_back(std::move(s));
+  }
+
+  {
+    Series s{"MDS GIIS (query part)", {}};
+    std::cout << s.name << "\n";
+    for (int g : part_sweep) {
+      Testbed tb;
+      GiisAggregationScenario scenario(tb, g);
+      scenario.prefill();
+      UserWorkload w(tb, query_giis(*scenario.giis, mds::QueryScope::Part));
+      w.spawn_users(kUsers, tb.uc_names());
+      tb.sampler().start();
+      SweepPoint p = measure(tb, w, "lucky0", g, opt.measure());
+      progress(s.name, g, p);
+      s.points.push_back(p);
+    }
+    figures.push_back(std::move(s));
+  }
+
+  {
+    Series s{"Hawkeye Manager", {}};
+    std::cout << s.name << "\n";
+    for (int m : machine_sweep) {
+      Testbed tb;
+      ManagerAggregationScenario scenario(tb, m);
+      scenario.prefill();
+      // Worst case: a constraint no Startd ad satisfies forces a scan of
+      // every resident ClassAd.
+      UserWorkload w(tb, query_manager_constraint(*scenario.manager,
+                                                  "CpuLoad > 100000"));
+      w.spawn_users(kUsers, tb.uc_names());
+      tb.sampler().start();
+      SweepPoint p = measure(tb, w, "lucky3", m, opt.measure());
+      progress(s.name, m, p);
+      s.points.push_back(p);
+    }
+    figures.push_back(std::move(s));
+  }
+
+  std::cout << "\n";
+  print_figures(std::cout, 17, "Aggregate Information Server",
+                "No. of Information Servers", figures);
+  emit_csv(opt, "exp4_aggregate", figures);
+  return 0;
+}

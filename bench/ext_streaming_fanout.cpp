@@ -1,0 +1,111 @@
+/// Extension: the push model at scale. R-GMA's "main use is the
+/// notification of events — a user can subscribe to a flow of data with
+/// specific properties directly from a data source" (paper §2.2), yet
+/// none of the paper's experiments measure streaming delivery. Here one
+/// ProducerServlet publishes a 1 Hz tuple stream and N consumers
+/// subscribe; we sweep N and report producer-side load plus delivery
+/// latency (publish -> consumer callback).
+
+#include <iostream>
+#include <memory>
+
+#include "bench_common.hpp"
+#include "gridmon/core/scenarios.hpp"
+#include "gridmon/sim/stats.hpp"
+
+using namespace gridmon;
+using namespace gridmon::bench;
+using namespace gridmon::core;
+
+namespace {
+
+struct FanoutScenario : Scenario {
+  ~FanoutScenario() override { testbed_.sim().shutdown(); }
+
+  FanoutScenario(Testbed& tb, int subscribers) : Scenario(tb) {
+    servlet = std::make_unique<rgma::ProducerServlet>(
+        tb.network(), tb.host("lucky3"), tb.nic("lucky3"), "ps");
+    producer = &servlet->add_producer("stream", "loadstream");
+    for (int i = 0; i < subscribers; ++i) {
+      const std::string& host =
+          tb.uc_names()[static_cast<std::size_t>(i) % tb.uc_names().size()];
+      servlet->subscribe(tb.nic(host), "loadstream", "",
+                         [this](const rdbms::Row& row) {
+                           double sent_at = row[3].as_number();
+                           latency.add(testbed_.sim().now() - sent_at);
+                         });
+    }
+    tb.sim().spawn(publish_loop(*this));
+  }
+
+  static sim::Task<void> publish_loop(FanoutScenario& self) {
+    auto& sim = self.testbed_.sim();
+    for (;;) {
+      rdbms::Row row{rdbms::Value::text("lucky3"),
+                     rdbms::Value::text("load1"), rdbms::Value::real(0.5),
+                     rdbms::Value::real(sim.now())};
+      co_await self.servlet->publish(*self.producer, std::move(row));
+      ++self.published;
+      co_await sim.delay(1.0);
+    }
+  }
+
+  std::unique_ptr<rgma::ProducerServlet> servlet;
+  rgma::Producer* producer = nullptr;
+  sim::Samples latency;
+  std::uint64_t published = 0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  BenchOptions opt = parse_options(argc, argv);
+  auto sweep = opt.sweep({10, 50, 100, 250, 500, 900}, 2);
+
+  metrics::Table table("Extension: streaming fan-out (1 Hz publisher)");
+  table.set_columns({"subscribers", "tuples_delivered", "mean_latency_ms",
+                     "p99_latency_ms", "producer_cpu_pct",
+                     "producer_load1"});
+  std::vector<Series> figures;
+  Series s{"R-GMA push delivery", {}};
+
+  for (int n : sweep) {
+    Testbed tb;
+    FanoutScenario scenario(tb, n);
+    tb.sampler().start();
+    MeasureConfig mc = opt.measure();
+    tb.sim().run(mc.warmup);
+    double t0 = tb.sim().now();
+    std::size_t delivered_before = scenario.latency.count();
+    tb.sim().run(t0 + mc.duration);
+    double t1 = tb.sim().now();
+
+    SweepPoint p;
+    p.x = n;
+    p.throughput =
+        static_cast<double>(scenario.latency.count() - delivered_before) /
+        (t1 - t0);
+    p.response = scenario.latency.mean();
+    p.load1 = tb.sampler().series("lucky3.load1").mean_over(t0, t1);
+    p.cpu = tb.sampler().series("lucky3.cpu_pct").mean_over(t0, t1);
+    table.add_row({std::to_string(n),
+                   metrics::Table::num(p.throughput * (t1 - t0), 0),
+                   metrics::Table::num(scenario.latency.mean() * 1000),
+                   metrics::Table::num(scenario.latency.percentile(0.99) *
+                                       1000),
+                   metrics::Table::num(p.cpu, 1),
+                   metrics::Table::num(p.load1, 3)});
+    progress(s.name, n, p);
+    s.points.push_back(p);
+  }
+  figures.push_back(std::move(s));
+
+  std::cout << "\n";
+  table.print_text(std::cout);
+  emit_csv(opt, "ext_streaming_fanout", figures);
+  std::cout << "\nPush delivery scales far past the pull model's limits:\n"
+               "each tuple costs the producer one small send per\n"
+               "subscriber, not one mediated SQL query per interested\n"
+               "user per polling interval.\n";
+  return 0;
+}

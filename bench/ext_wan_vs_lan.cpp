@@ -1,0 +1,71 @@
+/// Extension (the paper's §4 future work): "the testbeds in our study
+/// were built in a LAN environment; the experiments should be repeated to
+/// study performance in a WAN environment." Reruns the Experiment 2
+/// directory-server sweep with the same user population placed either on
+/// the server LAN (lucky nodes) or across the WAN (UC nodes), for MDS
+/// GIIS and Hawkeye Manager.
+
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "gridmon/core/adapters.hpp"
+#include "gridmon/core/scenarios.hpp"
+
+using namespace gridmon;
+using namespace gridmon::bench;
+using namespace gridmon::core;
+
+int main(int argc, char** argv) {
+  BenchOptions opt = parse_options(argc, argv);
+  auto users = opt.sweep({10, 100, 300, 600}, 2);
+
+  std::vector<Series> figures;
+
+  for (bool wan : {false, true}) {
+    Series s{std::string("MDS GIIS (") + (wan ? "WAN" : "LAN") + " clients)",
+             {}};
+    std::cout << s.name << "\n";
+    for (int n : users) {
+      Testbed tb;
+      GiisScenario scenario(tb, 5, 10);
+      scenario.prefill();
+      WorkloadConfig wc;
+      wc.max_users_per_host = 100;
+      UserWorkload w(tb, query_giis(*scenario.giis, mds::QueryScope::Part),
+                     wc);
+      w.spawn_users(n, wan ? tb.uc_names() : tb.lucky_names());
+      tb.sampler().start();
+      SweepPoint p = measure(tb, w, "lucky0", n, opt.measure());
+      progress(s.name, n, p);
+      s.points.push_back(p);
+    }
+    figures.push_back(std::move(s));
+  }
+
+  for (bool wan : {false, true}) {
+    Series s{std::string("Hawkeye Manager (") + (wan ? "WAN" : "LAN") +
+                 " clients)",
+             {}};
+    std::cout << s.name << "\n";
+    for (int n : users) {
+      Testbed tb;
+      ManagerScenario scenario(tb);
+      tb.sim().run(40.0);
+      WorkloadConfig wc;
+      wc.max_users_per_host = 100;
+      UserWorkload w(tb, query_manager_status(*scenario.manager), wc);
+      w.spawn_users(n, wan ? tb.uc_names() : tb.lucky_names());
+      tb.sampler().start();
+      SweepPoint p = measure(tb, w, "lucky3", n, opt.measure());
+      progress(s.name, n, p);
+      s.points.push_back(p);
+    }
+    figures.push_back(std::move(s));
+  }
+
+  std::cout << "\n";
+  print_figures(std::cout, 21, "Directory Server (WAN vs LAN clients)",
+                "No. of Users", figures);
+  emit_csv(opt, "ext_wan_vs_lan", figures);
+  return 0;
+}

@@ -1,0 +1,206 @@
+/// Micro-benchmarks (google-benchmark) for the substrate engines: ClassAd
+/// parse/eval/matchmaking, LDAP filter evaluation and DIT search, SQL
+/// parse/execute, and the discrete-event kernel's event throughput.
+
+#include <benchmark/benchmark.h>
+
+#include "gridmon/classad/classad.hpp"
+#include "gridmon/classad/matchmaker.hpp"
+#include "gridmon/classad/parser.hpp"
+#include "gridmon/ldap/dit.hpp"
+#include "gridmon/rdbms/database.hpp"
+#include "gridmon/sim/ps_server.hpp"
+#include "gridmon/sim/simulation.hpp"
+#include "gridmon/sim/task.hpp"
+
+namespace {
+
+using namespace gridmon;
+
+// ---- ClassAd ----
+
+void BM_ClassAdParseExpression(benchmark::State& state) {
+  for (auto _ : state) {
+    auto e = classad::parse_expression(
+        "TARGET.Memory >= MY.MinMemory && TARGET.OpSys == \"LINUX\" && "
+        "(CpuLoad < 0.5 || KeyboardIdle > 15 * 60)");
+    benchmark::DoNotOptimize(e);
+  }
+}
+BENCHMARK(BM_ClassAdParseExpression);
+
+void BM_ClassAdEvaluate(benchmark::State& state) {
+  classad::ClassAd machine;
+  machine.insert("Memory", static_cast<std::int64_t>(512));
+  machine.insert("OpSys", "LINUX");
+  machine.insert("CpuLoad", 0.25);
+  machine.insert("KeyboardIdle", static_cast<std::int64_t>(3600));
+  auto e = classad::parse_expression(
+      "Memory >= 256 && OpSys == \"LINUX\" && "
+      "(CpuLoad < 0.5 || KeyboardIdle > 15 * 60)");
+  for (auto _ : state) {
+    auto v = machine.evaluate_expr(*e);
+    benchmark::DoNotOptimize(v);
+  }
+}
+BENCHMARK(BM_ClassAdEvaluate);
+
+void BM_ClassAdMatchmakingScan(benchmark::State& state) {
+  std::vector<classad::ClassAd> ads;
+  for (int i = 0; i < state.range(0); ++i) {
+    classad::ClassAd ad;
+    ad.insert("Name", "machine" + std::to_string(i));
+    ad.insert("CpuLoad", 0.01 * i);
+    ad.insert("Memory", static_cast<std::int64_t>(128 + i));
+    ads.push_back(std::move(ad));
+  }
+  std::vector<const classad::ClassAd*> ptrs;
+  for (auto& ad : ads) ptrs.push_back(&ad);
+  auto constraint = classad::parse_expression("CpuLoad > 100000");
+  for (auto _ : state) {
+    auto hits = classad::scan(ptrs, *constraint);
+    benchmark::DoNotOptimize(hits);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ClassAdMatchmakingScan)->Arg(100)->Arg(1000);
+
+// ---- LDAP ----
+
+ldap::Dit build_dit(int hosts, int devices_per_host) {
+  ldap::Dit dit;
+  ldap::Entry root(ldap::Dn::parse("o=grid"));
+  root.add("objectclass", "organization");
+  dit.add(std::move(root));
+  for (int h = 0; h < hosts; ++h) {
+    std::string host_dn =
+        "Mds-Host-hn=host" + std::to_string(h) + ", o=grid";
+    ldap::Entry he(ldap::Dn::parse(host_dn));
+    he.add("objectclass", "MdsHost");
+    dit.add(std::move(he));
+    for (int d = 0; d < devices_per_host; ++d) {
+      ldap::Entry de(ldap::Dn::parse("Mds-Device-name=dev" +
+                                     std::to_string(d) + ", " + host_dn));
+      de.add("objectclass", "MdsDevice");
+      de.add("Mds-Device-name", "dev" + std::to_string(d));
+      dit.add(std::move(de));
+    }
+  }
+  return dit;
+}
+
+void BM_LdapFilterParse(benchmark::State& state) {
+  for (auto _ : state) {
+    auto f = ldap::Filter::parse(
+        "(&(objectclass=MdsDevice)(|(Mds-Device-name=dev1*)"
+        "(!(Mds-Device-name=dev2))))");
+    benchmark::DoNotOptimize(f);
+  }
+}
+BENCHMARK(BM_LdapFilterParse);
+
+void BM_LdapSubtreeSearch(benchmark::State& state) {
+  auto dit = build_dit(static_cast<int>(state.range(0)), 10);
+  auto filter = ldap::Filter::parse("(Mds-Device-name=dev3)");
+  auto base = ldap::Dn::parse("o=grid");
+  for (auto _ : state) {
+    auto r = dit.search(base, ldap::Scope::Subtree, *filter);
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0) * 10);
+}
+BENCHMARK(BM_LdapSubtreeSearch)->Arg(10)->Arg(100);
+
+// ---- SQL ----
+
+void BM_SqlParse(benchmark::State& state) {
+  for (auto _ : state) {
+    auto stmt = rdbms::sql_parse(
+        "SELECT host, value FROM cpuload WHERE site = 'anl' AND value > 0.5 "
+        "ORDER BY value DESC LIMIT 10");
+    benchmark::DoNotOptimize(stmt);
+  }
+}
+BENCHMARK(BM_SqlParse);
+
+void BM_SqlSelectScan(benchmark::State& state) {
+  rdbms::Database db;
+  db.execute("CREATE TABLE cpuload (host TEXT, site TEXT, value REAL)");
+  for (int i = 0; i < state.range(0); ++i) {
+    db.execute("INSERT INTO cpuload VALUES ('host" + std::to_string(i) +
+               "', 'anl', " + std::to_string(0.001 * i) + ")");
+  }
+  for (auto _ : state) {
+    auto r = db.execute("SELECT host FROM cpuload WHERE value > 0.25");
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SqlSelectScan)->Arg(100)->Arg(1000);
+
+void BM_SqlIndexedLookup(benchmark::State& state) {
+  rdbms::Database db;
+  db.execute("CREATE TABLE t (k TEXT, v REAL)");
+  for (int i = 0; i < 1000; ++i) {
+    db.execute("INSERT INTO t VALUES ('key" + std::to_string(i) + "', " +
+               std::to_string(i) + ")");
+  }
+  db.execute("CREATE INDEX ON t (k)");
+  auto& table = db.table("t");
+  auto key = rdbms::Value::text("key500");
+  for (auto _ : state) {
+    auto hits = table.find_equal("k", key);
+    benchmark::DoNotOptimize(hits);
+  }
+}
+BENCHMARK(BM_SqlIndexedLookup);
+
+// ---- DES kernel ----
+
+void BM_SimEventThroughput(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulation sim;
+    int count = 0;
+    for (int i = 0; i < 10000; ++i) {
+      sim.schedule(i * 1e-4, [&count] { ++count; });
+    }
+    sim.run();
+    benchmark::DoNotOptimize(count);
+  }
+  state.SetItemsProcessed(state.iterations() * 10000);
+}
+BENCHMARK(BM_SimEventThroughput);
+
+sim::Task<void> ping(sim::Simulation& sim, int hops) {
+  for (int i = 0; i < hops; ++i) co_await sim.delay(0.001);
+}
+
+void BM_SimCoroutineSwitch(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulation sim;
+    for (int i = 0; i < 100; ++i) sim.spawn(ping(sim, 100));
+    sim.run();
+  }
+  state.SetItemsProcessed(state.iterations() * 100 * 100);
+}
+BENCHMARK(BM_SimCoroutineSwitch);
+
+void BM_SimPsServerChurn(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulation sim;
+    sim::PsServer cpu(sim, 2.0, 2);
+    auto job = [](sim::PsServer& ps, double work) -> sim::Task<void> {
+      co_await ps.consume(work);
+    };
+    for (int i = 0; i < 500; ++i) {
+      sim.spawn(job(cpu, 0.01 + 0.0001 * i));
+    }
+    sim.run();
+  }
+  state.SetItemsProcessed(state.iterations() * 500);
+}
+BENCHMARK(BM_SimPsServerChurn);
+
+}  // namespace
+
+BENCHMARK_MAIN();

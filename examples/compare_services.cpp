@@ -1,0 +1,97 @@
+/// Side-by-side comparison through the Table-1 component mapping: stand
+/// up the *same functional role* (information server) in all three
+/// systems, drive each with an identical 100-user workload, and print a
+/// comparison table — a miniature of the paper's whole methodology.
+///
+///   $ ./examples/compare_services
+
+#include <iostream>
+
+#include "gridmon/core/adapters.hpp"
+#include "gridmon/core/experiment.hpp"
+#include "gridmon/core/mapping.hpp"
+#include "gridmon/core/scenarios.hpp"
+#include "gridmon/metrics/report.hpp"
+
+using namespace gridmon;
+using core::MeasureConfig;
+using core::SweepPoint;
+using core::Testbed;
+using core::UserWorkload;
+
+namespace {
+
+struct Result {
+  std::string system;
+  std::string component;
+  SweepPoint point;
+};
+
+MeasureConfig quick() {
+  MeasureConfig mc;
+  mc.warmup = 60;
+  mc.duration = 300;
+  return mc;
+}
+
+}  // namespace
+
+int main() {
+  const int kUsers = 100;
+  std::vector<Result> results;
+
+  {
+    Testbed tb;
+    core::GrisScenario scenario(tb, 10, true);
+    UserWorkload w(tb, core::query_gris(*scenario.gris));
+    w.spawn_users(kUsers, tb.uc_names());
+    tb.sampler().start();
+    results.push_back(
+        {"MDS", "GRIS (cache)", measure(tb, w, "lucky7", kUsers, quick())});
+  }
+  {
+    Testbed tb;
+    core::AgentScenario scenario(tb);
+    UserWorkload w(tb, core::query_agent(*scenario.agent));
+    w.spawn_users(kUsers, tb.uc_names());
+    tb.sampler().start();
+    results.push_back(
+        {"Hawkeye", "Agent", measure(tb, w, "lucky4", kUsers, quick())});
+  }
+  {
+    Testbed tb;
+    core::RgmaScenario scenario(tb, 10,
+                                core::RgmaScenario::Consumers::SingleAtUc);
+    UserWorkload w(tb, scenario.mediated_query());
+    w.spawn_users(kUsers, tb.uc_names());
+    tb.sampler().start();
+    results.push_back({"R-GMA", "ProducerServlet",
+                       measure(tb, w, "lucky3", kUsers, quick())});
+  }
+
+  std::cout << "The role under test, per the paper's Table 1:\n";
+  for (const auto& e : core::component_mapping()) {
+    if (e.role == core::Role::InformationServer) {
+      std::cout << "  " << e.role_name << " = MDS " << e.mds << " / R-GMA "
+                << e.rgma << " / Hawkeye " << e.hawkeye << "\n\n";
+    }
+  }
+
+  metrics::Table table("Information servers under 100 concurrent users");
+  table.set_columns({"system", "component", "throughput (q/s)",
+                     "response (s)", "load1", "cpu %"});
+  for (const auto& r : results) {
+    table.add_row({r.system, r.component,
+                   metrics::Table::num(r.point.throughput),
+                   metrics::Table::num(r.point.response),
+                   metrics::Table::num(r.point.load1, 3),
+                   metrics::Table::num(r.point.cpu, 1)});
+  }
+  table.print_text(std::cout);
+
+  std::cout << "\nNote the paper's headline findings in miniature: the\n"
+               "cached LDAP server scales smoothly; the Condor agent is\n"
+               "capped by its single-threaded fresh collection; the Java\n"
+               "servlet chain saturates earliest.\n";
+  return 0;
+}

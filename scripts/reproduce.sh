@@ -1,0 +1,42 @@
+#!/usr/bin/env bash
+# End-to-end reproduction: build, test, run every example, regenerate
+# every table and figure. Pass --quick to shorten the measurement spans
+# (CI-friendly, same shapes).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+QUICK_FLAG=""
+if [[ "${1:-}" == "--quick" ]]; then
+  export GRIDMON_BENCH_QUICK=1
+  QUICK_FLAG="--quick"
+fi
+
+echo "== configure + build =="
+cmake -B build -G Ninja
+cmake --build build
+
+echo "== tests =="
+ctest --test-dir build --output-on-failure
+
+echo "== examples =="
+for e in build/examples/*; do
+  echo "--- $(basename "$e")"
+  "$e"
+done
+
+echo "== benches (tables and figures) =="
+mkdir -p results
+for b in build/bench/*; do
+  name="$(basename "$b")"
+  echo "--- $name"
+  if [[ "$name" == "micro_substrates" ]]; then
+    "$b"
+  else
+    "$b" $QUICK_FLAG --csv "results/$name.csv"
+  fi
+done
+
+echo "== declarative runner demo =="
+./build/tools/gridmon_run tools/example_scenario.ini
+
+echo "done. CSVs in results/, compare against EXPERIMENTS.md"

@@ -1,0 +1,154 @@
+#include "gridmon/classad/classad.hpp"
+
+#include <stdexcept>
+
+#include "gridmon/classad/parser.hpp"
+
+namespace gridmon::classad {
+
+ClassAd& ClassAd::operator=(const ClassAd& other) {
+  if (this == &other) return *this;
+  attrs_.clear();
+  order_.clear();
+  for (const auto& name : other.order_) {
+    attrs_.emplace(name, other.attrs_.at(name)->clone());
+    order_.push_back(name);
+  }
+  return *this;
+}
+
+ClassAd ClassAd::parse(std::string_view text) {
+  ClassAd ad;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    std::size_t eol = text.find('\n', pos);
+    std::string_view line = text.substr(
+        pos, eol == std::string_view::npos ? std::string_view::npos
+                                           : eol - pos);
+    pos = (eol == std::string_view::npos) ? text.size() + 1 : eol + 1;
+
+    // Trim.
+    std::size_t b = line.find_first_not_of(" \t\r");
+    if (b == std::string_view::npos) continue;
+    std::size_t e = line.find_last_not_of(" \t\r");
+    line = line.substr(b, e - b + 1);
+    if (line.empty() || line.front() == '#') continue;
+
+    // Split on the first '=' that is not part of ==, =?=, =!=, <=, >=, !=.
+    std::size_t eq = std::string_view::npos;
+    for (std::size_t i = 0; i < line.size(); ++i) {
+      if (line[i] != '=') continue;
+      if (i + 1 < line.size() &&
+          (line[i + 1] == '=' || line[i + 1] == '?' || line[i + 1] == '!')) {
+        ++i;  // skip the operator
+        continue;
+      }
+      if (i > 0 && (line[i - 1] == '=' || line[i - 1] == '<' ||
+                    line[i - 1] == '>' || line[i - 1] == '!')) {
+        continue;
+      }
+      eq = i;
+      break;
+    }
+    if (eq == std::string_view::npos) {
+      throw ParseError("classad line missing '=': " + std::string(line));
+    }
+    std::string name(line.substr(0, eq));
+    std::size_t ne = name.find_last_not_of(" \t");
+    if (ne == std::string::npos) {
+      throw ParseError("classad line missing attribute name");
+    }
+    name.resize(ne + 1);
+    ad.insert_text(name, line.substr(eq + 1));
+  }
+  return ad;
+}
+
+void ClassAd::insert(const std::string& name, ExprPtr expr) {
+  auto [it, inserted] = attrs_.insert_or_assign(name, std::move(expr));
+  if (inserted) order_.push_back(name);
+}
+
+void ClassAd::insert_text(const std::string& name,
+                          std::string_view expr_text) {
+  insert(name, parse_expression(expr_text));
+}
+
+void ClassAd::insert(const std::string& name, std::int64_t v) {
+  insert(name, std::make_unique<LiteralExpr>(Value::integer(v)));
+}
+void ClassAd::insert(const std::string& name, double v) {
+  insert(name, std::make_unique<LiteralExpr>(Value::real(v)));
+}
+void ClassAd::insert(const std::string& name, bool v) {
+  insert(name, std::make_unique<LiteralExpr>(Value::boolean(v)));
+}
+void ClassAd::insert(const std::string& name, const std::string& v) {
+  insert(name, std::make_unique<LiteralExpr>(Value::string(v)));
+}
+void ClassAd::insert(const std::string& name, const char* v) {
+  insert(name, std::make_unique<LiteralExpr>(Value::string(v)));
+}
+
+bool ClassAd::erase(const std::string& name) {
+  auto it = attrs_.find(name);
+  if (it == attrs_.end()) return false;
+  for (auto oit = order_.begin(); oit != order_.end(); ++oit) {
+    if (istrcmp(*oit, name) == 0) {
+      order_.erase(oit);
+      break;
+    }
+  }
+  attrs_.erase(it);
+  return true;
+}
+
+bool ClassAd::contains(const std::string& name) const {
+  return attrs_.find(name) != attrs_.end();
+}
+
+const Expr* ClassAd::lookup(const std::string& name) const {
+  auto it = attrs_.find(name);
+  return it == attrs_.end() ? nullptr : it->second.get();
+}
+
+Value ClassAd::evaluate(const std::string& name, const ClassAd* target,
+                        double current_time) const {
+  const Expr* e = lookup(name);
+  if (e == nullptr) return Value::undefined();
+  return evaluate_expr(*e, target, current_time);
+}
+
+Value ClassAd::evaluate_expr(const Expr& e, const ClassAd* target,
+                             double current_time) const {
+  EvalContext ctx;
+  ctx.my = this;
+  ctx.target = target;
+  ctx.current_time = current_time;
+  return e.evaluate(ctx);
+}
+
+void ClassAd::update(const ClassAd& other) {
+  for (const auto& name : other.order_) {
+    insert(name, other.attrs_.at(name)->clone());
+  }
+}
+
+std::vector<std::string> ClassAd::names() const { return order_; }
+
+std::string ClassAd::to_string() const {
+  std::string out;
+  for (const auto& name : order_) {
+    out += name;
+    out += " = ";
+    out += attrs_.at(name)->to_string();
+    out += '\n';
+  }
+  return out;
+}
+
+double ClassAd::wire_bytes() const {
+  return static_cast<double>(to_string().size());
+}
+
+}  // namespace gridmon::classad

@@ -1,0 +1,74 @@
+#pragma once
+
+/// \file lexer.hpp
+/// Tokenizer for the old-ClassAd expression language used by Condor 6.x /
+/// Hawkeye 0.1.x: identifiers, numeric and string literals, the usual C
+/// operator set plus the meta-comparison operators =?= and =!=.
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace gridmon::classad {
+
+enum class TokenKind {
+  End,
+  Identifier,
+  IntegerLiteral,
+  RealLiteral,
+  StringLiteral,
+  // punctuation / operators
+  LParen,
+  RParen,
+  LBracket,
+  RBracket,
+  Comma,
+  Semicolon,
+  Dot,
+  Assign,       // =
+  Plus,
+  Minus,
+  Star,
+  Slash,
+  Percent,
+  Less,
+  LessEq,
+  Greater,
+  GreaterEq,
+  Equal,        // ==
+  NotEqual,     // !=
+  MetaEqual,    // =?=
+  MetaNotEqual, // =!=
+  And,          // &&
+  Or,           // ||
+  Not,          // !
+  Question,
+  Colon,
+};
+
+struct Token {
+  TokenKind kind;
+  std::string text;       // identifier or string payload
+  std::int64_t int_value = 0;
+  double real_value = 0;
+  std::size_t offset = 0;  // position in input, for diagnostics
+};
+
+class LexError : public std::runtime_error {
+ public:
+  LexError(const std::string& msg, std::size_t offset)
+      : std::runtime_error(msg + " at offset " + std::to_string(offset)),
+        offset_(offset) {}
+  std::size_t offset() const noexcept { return offset_; }
+
+ private:
+  std::size_t offset_;
+};
+
+/// Tokenize a complete expression. Newlines are plain whitespace here;
+/// old-style ad blocks are split into per-attribute lines before lexing.
+std::vector<Token> lex(std::string_view input);
+
+}  // namespace gridmon::classad

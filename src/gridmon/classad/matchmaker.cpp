@@ -1,0 +1,69 @@
+#include "gridmon/classad/matchmaker.hpp"
+
+namespace gridmon::classad {
+namespace {
+
+bool is_true(const Value& v) {
+  Value l = to_logical(v);
+  return l.is_boolean() && l.as_boolean();
+}
+
+}  // namespace
+
+bool satisfies(const ClassAd& candidate, const Expr& constraint,
+               double current_time) {
+  return is_true(candidate.evaluate_expr(constraint, nullptr, current_time));
+}
+
+bool symmetric_match(const ClassAd& a, const ClassAd& b,
+                     double current_time) {
+  if (!a.contains("Requirements") || !b.contains("Requirements")) {
+    return false;
+  }
+  return is_true(a.evaluate("Requirements", &b, current_time)) &&
+         is_true(b.evaluate("Requirements", &a, current_time));
+}
+
+bool one_way_match(const ClassAd& trigger, const ClassAd& candidate,
+                   double current_time) {
+  if (!trigger.contains("Requirements")) return false;
+  return is_true(trigger.evaluate("Requirements", &candidate, current_time));
+}
+
+double rank_of(const ClassAd& ranker, const ClassAd& candidate,
+               double current_time) {
+  Value v = ranker.evaluate("Rank", &candidate, current_time);
+  if (v.is_number()) return v.as_number();
+  if (v.is_boolean()) return v.as_boolean() ? 1.0 : 0.0;
+  return 0.0;
+}
+
+std::vector<std::size_t> scan(const std::vector<const ClassAd*>& ads,
+                              const Expr& constraint, double current_time) {
+  std::vector<std::size_t> hits;
+  for (std::size_t i = 0; i < ads.size(); ++i) {
+    if (ads[i] != nullptr && satisfies(*ads[i], constraint, current_time)) {
+      hits.push_back(i);
+    }
+  }
+  return hits;
+}
+
+int best_match(const ClassAd& request,
+               const std::vector<const ClassAd*>& candidates,
+               double current_time) {
+  int best = -1;
+  double best_rank = 0;
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    const ClassAd* c = candidates[i];
+    if (c == nullptr || !symmetric_match(request, *c, current_time)) continue;
+    double r = rank_of(request, *c, current_time);
+    if (best < 0 || r > best_rank) {
+      best = static_cast<int>(i);
+      best_rank = r;
+    }
+  }
+  return best;
+}
+
+}  // namespace gridmon::classad

@@ -1,0 +1,49 @@
+#pragma once
+
+/// \file matchmaker.hpp
+/// ClassAd matchmaking, as used by the Condor negotiator and the Hawkeye
+/// Manager: two-way Requirements matching, Rank evaluation, and one-way
+/// constraint scans over a set of ads.
+
+#include <string>
+#include <vector>
+
+#include "gridmon/classad/classad.hpp"
+
+namespace gridmon::classad {
+
+/// One-way test: does `candidate` satisfy `constraint`? The constraint
+/// expression is evaluated with MY = candidate (so bare attribute names
+/// refer to the candidate's attributes, e.g. "CpuLoad > 50").
+/// UNDEFINED/ERROR count as no-match.
+bool satisfies(const ClassAd& candidate, const Expr& constraint,
+               double current_time = 0);
+
+/// Two-way match: A.Requirements is true evaluated against B, and
+/// B.Requirements is true evaluated against A. A missing Requirements
+/// attribute on either side fails the match (classic matchmaker rule).
+bool symmetric_match(const ClassAd& a, const ClassAd& b,
+                     double current_time = 0);
+
+/// One-way match of `trigger` against `candidate`: trigger.Requirements
+/// evaluated with MY = trigger, TARGET = candidate. This is the Hawkeye
+/// Trigger-vs-Startd direction.
+bool one_way_match(const ClassAd& trigger, const ClassAd& candidate,
+                   double current_time = 0);
+
+/// Evaluate `ranker`.Rank against a candidate; non-numeric ranks count as 0.
+double rank_of(const ClassAd& ranker, const ClassAd& candidate,
+               double current_time = 0);
+
+/// Scan: return indices of all ads satisfying the constraint. This is the
+/// full-table walk the Hawkeye Manager performs for constraint queries.
+std::vector<std::size_t> scan(const std::vector<const ClassAd*>& ads,
+                              const Expr& constraint, double current_time = 0);
+
+/// Among candidates matching `request` two-way, pick the best by
+/// request.Rank (ties broken by lowest index). Returns -1 if none match.
+int best_match(const ClassAd& request,
+               const std::vector<const ClassAd*>& candidates,
+               double current_time = 0);
+
+}  // namespace gridmon::classad

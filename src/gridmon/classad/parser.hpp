@@ -1,0 +1,36 @@
+#pragma once
+
+/// \file parser.hpp
+/// Recursive-descent parser for old-ClassAd expressions.
+///
+/// Grammar (lowest to highest precedence):
+///   expr        := or_expr [ '?' expr ':' expr ]
+///   or_expr     := and_expr { '||' and_expr }
+///   and_expr    := cmp_expr { '&&' cmp_expr }
+///   cmp_expr    := add_expr { ('<'|'<='|'>'|'>='|'=='|'!='|'=?='|'=!=') add_expr }
+///   add_expr    := mul_expr { ('+'|'-') mul_expr }
+///   mul_expr    := unary { ('*'|'/'|'%') unary }
+///   unary       := ('-'|'!'|'+') unary | primary
+///   primary     := literal | ref | call | '(' expr ')'
+///   ref         := [ ('MY'|'TARGET') '.' ] identifier
+///
+/// The reserved words TRUE/FALSE/UNDEFINED/ERROR (any case) are literals.
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#include "gridmon/classad/expr.hpp"
+#include "gridmon/classad/lexer.hpp"
+
+namespace gridmon::classad {
+
+class ParseError : public std::runtime_error {
+ public:
+  explicit ParseError(const std::string& msg) : std::runtime_error(msg) {}
+};
+
+/// Parse a complete expression; throws ParseError / LexError on bad input.
+ExprPtr parse_expression(std::string_view input);
+
+}  // namespace gridmon::classad

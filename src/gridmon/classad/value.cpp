@@ -1,0 +1,46 @@
+#include "gridmon/classad/value.hpp"
+
+#include <cmath>
+#include <sstream>
+
+namespace gridmon::classad {
+
+std::string Value::to_string() const {
+  switch (type_) {
+    case ValueType::Undefined:
+      return "UNDEFINED";
+    case ValueType::Error:
+      return "ERROR";
+    case ValueType::Boolean:
+      return as_boolean() ? "TRUE" : "FALSE";
+    case ValueType::Integer:
+      return std::to_string(as_integer());
+    case ValueType::Real: {
+      std::ostringstream os;
+      double d = as_real();
+      if (d == std::floor(d) && std::abs(d) < 1e15) {
+        os << d << ".0";
+      } else {
+        os << d;
+      }
+      return os.str();
+    }
+    case ValueType::String: {
+      std::string out = "\"";
+      for (char c : as_string()) {
+        if (c == '"' || c == '\\') out.push_back('\\');
+        out.push_back(c);
+      }
+      out.push_back('"');
+      return out;
+    }
+  }
+  return "ERROR";
+}
+
+bool operator==(const Value& a, const Value& b) {
+  if (a.type_ != b.type_) return false;
+  return a.data_ == b.data_;
+}
+
+}  // namespace gridmon::classad

@@ -1,0 +1,112 @@
+#include "gridmon/core/experiment.hpp"
+
+#include <cmath>
+#include <map>
+#include <ostream>
+
+namespace gridmon::core {
+
+SweepPoint measure(Testbed& testbed, UserWorkload& workload,
+                   const std::string& server_host, double x,
+                   MeasureConfig config) {
+  testbed.sim().run(testbed.sim().now() + config.warmup);
+  double t0 = testbed.sim().now();
+  double refused_before = static_cast<double>(workload.refused_attempts());
+  testbed.sim().run(t0 + config.duration);
+  double t1 = testbed.sim().now();
+
+  SweepPoint p;
+  p.x = x;
+  p.throughput = workload.throughput(t0, t1);
+  p.response = workload.mean_response(t0, t1);
+  p.load1 = testbed.sampler().series(server_host + ".load1").mean_over(t0, t1);
+  p.cpu = testbed.sampler().series(server_host + ".cpu_pct").mean_over(t0, t1);
+  p.refused =
+      (static_cast<double>(workload.refused_attempts()) - refused_before) /
+      config.duration;
+  return p;
+}
+
+SweepPoint replicate(const std::vector<std::uint64_t>& seeds,
+                     const std::function<SweepPoint(std::uint64_t)>& run_one,
+                     double* throughput_stddev_out) {
+  SweepPoint mean;
+  std::vector<double> throughputs;
+  for (auto seed : seeds) {
+    SweepPoint p = run_one(seed);
+    mean.x = p.x;
+    mean.throughput += p.throughput;
+    mean.response += p.response;
+    mean.load1 += p.load1;
+    mean.cpu += p.cpu;
+    mean.refused += p.refused;
+    throughputs.push_back(p.throughput);
+  }
+  double n = static_cast<double>(seeds.size());
+  if (n > 0) {
+    mean.throughput /= n;
+    mean.response /= n;
+    mean.load1 /= n;
+    mean.cpu /= n;
+    mean.refused /= n;
+  }
+  if (throughput_stddev_out != nullptr) {
+    double ss = 0;
+    for (double t : throughputs) {
+      ss += (t - mean.throughput) * (t - mean.throughput);
+    }
+    *throughput_stddev_out = n > 1 ? std::sqrt(ss / n) : 0;
+  }
+  return mean;
+}
+
+void print_figures(std::ostream& os, int first_figure,
+                   const std::string& subject, const std::string& x_label,
+                   const std::vector<Series>& series) {
+  struct Metric {
+    const char* title;
+    double SweepPoint::* field;
+    int precision;
+  };
+  const Metric metrics[] = {
+      {"Throughput (queries/sec)", &SweepPoint::throughput, 2},
+      {"Response Time (sec)", &SweepPoint::response, 2},
+      {"Load1", &SweepPoint::load1, 3},
+      {"CPU Load (%)", &SweepPoint::cpu, 1},
+  };
+
+  // Collect the union of x values, sorted.
+  std::map<double, bool> xs;
+  for (const auto& s : series) {
+    for (const auto& p : s.points) xs[p.x] = true;
+  }
+
+  int figure_index = 0;
+  for (const auto& m : metrics) {
+    metrics::Table table("Figure " +
+                         std::to_string(first_figure + figure_index) + ": " +
+                         subject + " " + m.title + " vs. " + x_label);
+    std::vector<std::string> cols{x_label};
+    for (const auto& s : series) cols.push_back(s.name);
+    table.set_columns(cols);
+    for (const auto& [x, unused] : xs) {
+      std::vector<std::string> row{metrics::Table::num(x, 0)};
+      for (const auto& s : series) {
+        double v = -1;
+        for (const auto& p : s.points) {
+          if (p.x == x) {
+            v = m.field == &SweepPoint::load1 ? p.load1 : p.*(m.field);
+            break;
+          }
+        }
+        row.push_back(metrics::Table::num(v, m.precision));
+      }
+      table.add_row(row);
+    }
+    table.print_text(os);
+    os << '\n';
+    ++figure_index;
+  }
+}
+
+}  // namespace gridmon::core

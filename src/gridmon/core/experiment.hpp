@@ -1,0 +1,63 @@
+#pragma once
+
+/// \file experiment.hpp
+/// Measurement protocol shared by every experiment: warm up, measure for
+/// a fixed span (10 minutes in the paper), and report the four metrics of
+/// §3.2 — throughput, response time, CPU load and load1 — for the machine
+/// hosting the service under test.
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "gridmon/core/testbed.hpp"
+#include "gridmon/core/workload.hpp"
+#include "gridmon/metrics/report.hpp"
+
+namespace gridmon::core {
+
+struct MeasureConfig {
+  double warmup = 120.0;
+  double duration = 600.0;  // the paper's 10-minute span
+};
+
+/// One sweep point of a figure.
+struct SweepPoint {
+  double x = 0;           // users / collectors / information servers
+  double throughput = 0;  // queries per second
+  double response = 0;    // seconds
+  double load1 = 0;       // one-minute load average
+  double cpu = 0;         // percent
+  double refused = 0;     // refused connection attempts per second
+};
+
+/// Run the clock through warmup+duration and collect a SweepPoint for
+/// `workload` with host metrics from `server_host`.
+SweepPoint measure(Testbed& testbed, UserWorkload& workload,
+                   const std::string& server_host, double x,
+                   MeasureConfig config = {});
+
+/// Replicate a whole sweep-point experiment across `seeds` independent
+/// random streams and average the metrics (population stddev of the
+/// throughput is reported through `throughput_stddev_out` when given).
+/// `run_one` builds and measures a fresh deployment for one seed.
+SweepPoint replicate(const std::vector<std::uint64_t>& seeds,
+                     const std::function<SweepPoint(std::uint64_t)>& run_one,
+                     double* throughput_stddev_out = nullptr);
+
+/// A figure = one metric across sweep points for several series.
+struct Series {
+  std::string name;
+  std::vector<SweepPoint> points;
+};
+
+/// Print the paper-style figure tables (one table per metric:
+/// throughput, response time, load1, CPU) for a set of series sharing the
+/// same x values. `first_figure` is the paper's figure number of the
+/// throughput plot (e.g. 5 prints Figures 5-8).
+void print_figures(std::ostream& os, int first_figure,
+                   const std::string& subject, const std::string& x_label,
+                   const std::vector<Series>& series);
+
+}  // namespace gridmon::core

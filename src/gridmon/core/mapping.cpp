@@ -1,0 +1,26 @@
+#include "gridmon/core/mapping.hpp"
+
+namespace gridmon::core {
+
+const std::vector<MappingEntry>& component_mapping() {
+  static const std::vector<MappingEntry> kTable = {
+      {Role::InformationCollector, "Information Collector",
+       "Information Provider", "Producer", "Module"},
+      {Role::InformationServer, "Information Server", "GRIS",
+       "ProducerServlet", "Agent"},
+      {Role::AggregateInformationServer, "Aggregate Information Server",
+       "GIIS", "None", "Manager"},
+      {Role::DirectoryServer, "Directory Server", "GIIS", "Registry",
+       "Manager"},
+  };
+  return kTable;
+}
+
+std::string role_name(Role role) {
+  for (const auto& e : component_mapping()) {
+    if (e.role == role) return e.role_name;
+  }
+  return "Unknown";
+}
+
+}  // namespace gridmon::core

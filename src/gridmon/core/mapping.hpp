@@ -1,0 +1,33 @@
+#pragma once
+
+/// \file mapping.hpp
+/// The paper's Table 1: the functional-component mapping that makes the
+/// three systems comparable. Exposed as data so benches and docs print it
+/// from one source of truth.
+
+#include <string>
+#include <vector>
+
+namespace gridmon::core {
+
+enum class Role {
+  InformationCollector,
+  InformationServer,
+  AggregateInformationServer,
+  DirectoryServer,
+};
+
+struct MappingEntry {
+  Role role;
+  std::string role_name;
+  std::string mds;
+  std::string rgma;
+  std::string hawkeye;
+};
+
+/// Table 1 of the paper, row for row.
+const std::vector<MappingEntry>& component_mapping();
+
+std::string role_name(Role role);
+
+}  // namespace gridmon::core

@@ -1,0 +1,78 @@
+#include "gridmon/core/open_workload.hpp"
+
+#include <algorithm>
+
+namespace gridmon::core {
+
+OpenWorkload::OpenWorkload(Testbed& testbed, QueryFn query,
+                           OpenWorkloadConfig config)
+    : testbed_(testbed), query_(std::move(query)), config_(config) {}
+
+void OpenWorkload::start(const std::vector<std::string>& client_hosts) {
+  testbed_.sim().spawn(arrival_loop(*this, client_hosts));
+}
+
+sim::Task<void> OpenWorkload::arrival_loop(OpenWorkload& self,
+                                           std::vector<std::string> hosts) {
+  auto& sim = self.testbed_.sim();
+  sim::Rng rng = self.testbed_.rng().fork();
+  std::size_t next_host = 0;
+  for (;;) {
+    co_await sim.delay(rng.exponential(1.0 / self.config_.arrival_rate));
+    const std::string& host = hosts[next_host++ % hosts.size()];
+    ++self.arrivals_;
+    sim.spawn(one_query(self, self.testbed_.nic(host), rng.fork()));
+  }
+}
+
+sim::Task<void> OpenWorkload::one_query(OpenWorkload& self,
+                                        net::Interface& nic, sim::Rng rng) {
+  auto& sim = self.testbed_.sim();
+  ++self.outstanding_;
+  double started = sim.now();
+  QueryAttempt attempt;
+  int retry = 0;
+  for (;;) {
+    attempt = co_await self.query_(nic);
+    if (attempt.admitted) break;
+    if (retry >= self.config_.max_retries) {
+      ++self.failures_;
+      --self.outstanding_;
+      co_return;
+    }
+    const auto& schedule = self.config_.retry_schedule;
+    double delay =
+        schedule.empty()
+            ? 1.0
+            : schedule[std::min<std::size_t>(static_cast<std::size_t>(retry),
+                                             schedule.size() - 1)];
+    co_await sim.delay(delay * rng.uniform(0.98, 1.02));
+    ++retry;
+  }
+  self.completions_.push_back(
+      Completion{sim.now(), sim.now() - started, attempt.response_bytes});
+  --self.outstanding_;
+}
+
+double OpenWorkload::throughput(double t0, double t1) const {
+  if (t1 <= t0) return 0;
+  std::size_t n = 0;
+  for (const auto& c : completions_) {
+    if (c.t >= t0 && c.t <= t1) ++n;
+  }
+  return static_cast<double>(n) / (t1 - t0);
+}
+
+double OpenWorkload::mean_response(double t0, double t1) const {
+  double sum = 0;
+  std::size_t n = 0;
+  for (const auto& c : completions_) {
+    if (c.t >= t0 && c.t <= t1) {
+      sum += c.response_time;
+      ++n;
+    }
+  }
+  return n ? sum / static_cast<double>(n) : 0;
+}
+
+}  // namespace gridmon::core

@@ -1,0 +1,68 @@
+#pragma once
+
+/// \file open_workload.hpp
+/// Open-loop workload: queries arrive as a Poisson process at a fixed
+/// rate, regardless of how fast earlier queries complete — the "additional
+/// patterns of user access" the paper's §4 leaves for future work.
+///
+/// The closed-loop UserWorkload self-throttles (a slow server slows its
+/// own offered load); an open-loop arrival stream does not, so overload
+/// behaves very differently: queue lengths and response times diverge
+/// instead of plateauing. ext_access_patterns contrasts the two.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "gridmon/core/testbed.hpp"
+#include "gridmon/core/workload.hpp"
+
+namespace gridmon::core {
+
+struct OpenWorkloadConfig {
+  /// Mean arrivals per second across the whole client population.
+  double arrival_rate = 1.0;
+  /// Give up counting a query after this many refused-connection retries
+  /// (open-loop clients are typically one-shot scripts).
+  int max_retries = 3;
+  std::vector<double> retry_schedule{3, 6, 12};
+};
+
+class OpenWorkload {
+ public:
+  OpenWorkload(Testbed& testbed, QueryFn query, OpenWorkloadConfig config);
+  OpenWorkload(const OpenWorkload&) = delete;
+  OpenWorkload& operator=(const OpenWorkload&) = delete;
+  ~OpenWorkload() { testbed_.sim().shutdown(); }
+
+  /// Begin generating arrivals, launched from the given client hosts in
+  /// round-robin order.
+  void start(const std::vector<std::string>& client_hosts);
+
+  const std::vector<Completion>& completions() const noexcept {
+    return completions_;
+  }
+  std::uint64_t arrivals() const noexcept { return arrivals_; }
+  std::uint64_t failures() const noexcept { return failures_; }
+  /// Queries in flight right now (grows without bound past saturation).
+  int outstanding() const noexcept { return outstanding_; }
+
+  double throughput(double t0, double t1) const;
+  double mean_response(double t0, double t1) const;
+
+ private:
+  static sim::Task<void> arrival_loop(OpenWorkload& self,
+                                      std::vector<std::string> hosts);
+  static sim::Task<void> one_query(OpenWorkload& self, net::Interface& nic,
+                                   sim::Rng rng);
+
+  Testbed& testbed_;
+  QueryFn query_;
+  OpenWorkloadConfig config_;
+  std::vector<Completion> completions_;
+  std::uint64_t arrivals_ = 0;
+  std::uint64_t failures_ = 0;
+  int outstanding_ = 0;
+};
+
+}  // namespace gridmon::core

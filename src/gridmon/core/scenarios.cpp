@@ -1,0 +1,224 @@
+#include "gridmon/core/scenarios.hpp"
+
+namespace gridmon::core {
+namespace {
+
+/// Fill a producer with `rows` latest-value tuples so SELECTs have data
+/// to chew on from the first query.
+void prefill_producer(rgma::Producer& producer, const std::string& host,
+                      int rows = 30) {
+  for (int i = 0; i < rows; ++i) {
+    producer.publish({rdbms::Value::text(host),
+                      rdbms::Value::text("cpu_load"),
+                      rdbms::Value::real(0.1 * i),
+                      rdbms::Value::real(static_cast<double>(i))});
+  }
+}
+
+}  // namespace
+
+std::vector<mds::ProviderSpec> default_providers(int count) {
+  std::vector<mds::ProviderSpec> specs;
+  specs.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    mds::ProviderSpec spec;
+    spec.name = "ip" + std::to_string(i);
+    spec.entries = 4;
+    spec.bytes_per_entry = 2000;
+    // The paper's cache experiments keep provider data "always in cache";
+    // the nocache configurations ignore the TTL anyway.
+    spec.cache_ttl = 1e18;
+    specs.push_back(spec);
+  }
+  return specs;
+}
+
+GrisScenario::GrisScenario(Testbed& tb, int providers, bool cache,
+                           const std::string& host)
+    : Scenario(tb) {
+  mds::GrisConfig config;
+  config.cache_enabled = cache;
+  gris = std::make_unique<mds::Gris>(tb.network(), tb.host(host), tb.nic(host),
+                                     host + ".mcs.anl.gov",
+                                     default_providers(providers), config);
+}
+
+AgentScenario::AgentScenario(Testbed& tb, int modules,
+                             const std::string& agent_host,
+                             const std::string& manager_host)
+    : Scenario(tb) {
+  manager = std::make_unique<hawkeye::Manager>(
+      tb.network(), tb.host(manager_host), tb.nic(manager_host));
+  agent = std::make_unique<hawkeye::Agent>(
+      tb.network(), tb.host(agent_host), tb.nic(agent_host),
+      agent_host + ".mcs.anl.gov", hawkeye::scaled_modules(modules));
+  agent->start_advertising(*manager);
+}
+
+RgmaScenario::RgmaScenario(Testbed& tb, int producers, Consumers consumers)
+    : Scenario(tb) {
+  registry = std::make_unique<rgma::Registry>(tb.network(), tb.host("lucky1"),
+                                              tb.nic("lucky1"));
+  registry->start_sweeper();
+  producer_servlet = std::make_unique<rgma::ProducerServlet>(
+      tb.network(), tb.host("lucky3"), tb.nic("lucky3"), "ps-lucky3");
+  for (int i = 0; i < producers; ++i) {
+    auto& p = producer_servlet->add_producer("producer" + std::to_string(i),
+                                             "cpuload");
+    prefill_producer(p, "lucky3");
+  }
+  producer_servlet->start_registration(*registry);
+
+  auto add_cs = [&](const std::string& host) {
+    auto cs = std::make_unique<rgma::ConsumerServlet>(
+        tb.network(), tb.host(host), tb.nic(host), "cs-" + host, *registry);
+    cs->add_producer_servlet(*producer_servlet);
+    consumer_servlets.emplace(host, std::move(cs));
+  };
+  switch (consumers) {
+    case Consumers::PerLuckyNode:
+      for (const auto& name : tb.lucky_names()) add_cs(name);
+      break;
+    case Consumers::SingleAtUc:
+      add_cs("uc01");
+      break;
+    case Consumers::None:
+      break;
+  }
+}
+
+QueryFn RgmaScenario::mediated_query(const std::string& table) {
+  // Route a user to the ConsumerServlet on its own host, or to the single
+  // shared servlet when only one exists (the UC setup).
+  return [this, table](net::Interface& client) -> sim::Task<QueryAttempt> {
+    auto it = consumer_servlets.find(client.host());
+    if (it == consumer_servlets.end()) it = consumer_servlets.begin();
+    auto r = co_await it->second->query(client, table);
+    co_return QueryAttempt{r.admitted, r.response_bytes};
+  };
+}
+
+QueryFn RgmaScenario::direct_query(const std::string& table) {
+  return [this, table](net::Interface& client) -> sim::Task<QueryAttempt> {
+    auto r = co_await producer_servlet->client_query(client, table);
+    co_return QueryAttempt{r.admitted, r.response_bytes};
+  };
+}
+
+GiisScenario::GiisScenario(Testbed& tb, int gris_count, int providers_per_gris,
+                           double cachettl)
+    : Scenario(tb) {
+  mds::GiisConfig config;
+  config.cachettl = cachettl;
+  giis = std::make_unique<mds::Giis>(tb.network(), tb.host("lucky0"),
+                                     tb.nic("lucky0"), "giis-lucky0", config);
+  const std::vector<std::string> gris_hosts{"lucky3", "lucky4", "lucky5",
+                                            "lucky6", "lucky7"};
+  for (int i = 0; i < gris_count; ++i) {
+    const std::string& host =
+        gris_hosts[static_cast<std::size_t>(i) % gris_hosts.size()];
+    gris.push_back(std::make_unique<mds::Gris>(
+        tb.network(), tb.host(host), tb.nic(host),
+        host + "-gris" + std::to_string(i),
+        default_providers(providers_per_gris)));
+    giis->add_registrant(*gris.back());
+  }
+}
+
+void GiisScenario::prefill() {
+  // One throwaway query triggers the initial cache pull from every GRIS.
+  auto warm = [](GiisScenario& self) -> sim::Task<void> {
+    (void)co_await self.giis->query(self.testbed_.nic("uc01"),
+                                    mds::QueryScope::Part);
+  };
+  testbed_.sim().spawn(warm(*this));
+  testbed_.sim().run(testbed_.sim().now() + 60);
+}
+
+ManagerScenario::ManagerScenario(Testbed& tb, int modules_per_agent)
+    : Scenario(tb) {
+  manager = std::make_unique<hawkeye::Manager>(tb.network(), tb.host("lucky3"),
+                                               tb.nic("lucky3"));
+  for (const auto& name : tb.lucky_names()) {
+    if (name == "lucky3") continue;
+    agents.push_back(std::make_unique<hawkeye::Agent>(
+        tb.network(), tb.host(name), tb.nic(name), name + ".mcs.anl.gov",
+        hawkeye::scaled_modules(modules_per_agent)));
+    agents.back()->start_advertising(*manager);
+  }
+}
+
+RegistryScenario::RegistryScenario(Testbed& tb, int servlet_count,
+                                   int producers_each)
+    : Scenario(tb) {
+  registry = std::make_unique<rgma::Registry>(tb.network(), tb.host("lucky1"),
+                                              tb.nic("lucky1"));
+  registry->start_sweeper();
+  const std::vector<std::string> hosts{"lucky3", "lucky4", "lucky5", "lucky6",
+                                       "lucky7"};
+  for (int i = 0; i < servlet_count; ++i) {
+    const std::string& host = hosts[static_cast<std::size_t>(i) % hosts.size()];
+    auto servlet = std::make_unique<rgma::ProducerServlet>(
+        tb.network(), tb.host(host), tb.nic(host),
+        "ps-" + host + "-" + std::to_string(i));
+    for (int p = 0; p < producers_each; ++p) {
+      auto& producer = servlet->add_producer(
+          "producer-" + std::to_string(i) + "-" + std::to_string(p),
+          "cpuload");
+      prefill_producer(producer, host);
+    }
+    servlet->start_registration(*registry);
+    servlets.push_back(std::move(servlet));
+  }
+}
+
+GiisAggregationScenario::GiisAggregationScenario(Testbed& tb, int gris_count,
+                                                 int providers_per_gris)
+    : Scenario(tb) {
+  mds::GiisConfig config;
+  config.cachettl = 1e18;
+  giis = std::make_unique<mds::Giis>(tb.network(), tb.host("lucky0"),
+                                     tb.nic("lucky0"), "giis-lucky0", config);
+  const std::vector<std::string> hosts{"lucky1", "lucky3", "lucky4",
+                                       "lucky5", "lucky6", "lucky7"};
+  for (int i = 0; i < gris_count; ++i) {
+    const std::string& host = hosts[static_cast<std::size_t>(i) % hosts.size()];
+    gris.push_back(std::make_unique<mds::Gris>(
+        tb.network(), tb.host(host), tb.nic(host),
+        host + "-gris" + std::to_string(i),
+        default_providers(providers_per_gris)));
+    giis->add_registrant(*gris.back());
+  }
+}
+
+void GiisAggregationScenario::prefill() {
+  auto warm = [](GiisAggregationScenario& self) -> sim::Task<void> {
+    (void)co_await self.giis->query(self.testbed_.nic("uc01"),
+                                    mds::QueryScope::Part);
+  };
+  testbed_.sim().spawn(warm(*this));
+  testbed_.sim().run(testbed_.sim().now() + 120);
+}
+
+ManagerAggregationScenario::ManagerAggregationScenario(Testbed& tb,
+                                                       int machines,
+                                                       int modules_per_machine)
+    : Scenario(tb) {
+  manager = std::make_unique<hawkeye::Manager>(tb.network(), tb.host("lucky3"),
+                                               tb.nic("lucky3"));
+  const std::vector<std::string> hosts{"lucky0", "lucky1", "lucky4",
+                                       "lucky5", "lucky6", "lucky7"};
+  for (int i = 0; i < machines; ++i) {
+    const std::string& host = hosts[static_cast<std::size_t>(i) % hosts.size()];
+    advertisers.push_back(std::make_unique<hawkeye::Advertiser>(
+        tb.network(), tb.host(host), tb.nic(host),
+        "sim-machine-" + std::to_string(i), modules_per_machine));
+    advertisers.back()->start(*manager);
+  }
+}
+
+void ManagerAggregationScenario::prefill() {
+  testbed_.sim().run(testbed_.sim().now() + 60);
+}
+
+}  // namespace gridmon::core

@@ -1,0 +1,156 @@
+#pragma once
+
+/// \file scenarios.hpp
+/// Deployment builders reproducing the service placements of the paper's
+/// four experiment sets (§3.3-§3.6). Shared by the bench binaries and the
+/// integration tests so every consumer measures the same configuration.
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "gridmon/core/adapters.hpp"
+#include "gridmon/core/testbed.hpp"
+#include "gridmon/core/workload.hpp"
+#include "gridmon/hawkeye/agent.hpp"
+#include "gridmon/hawkeye/manager.hpp"
+#include "gridmon/mds/giis.hpp"
+#include "gridmon/mds/gris.hpp"
+#include "gridmon/rgma/consumer_servlet.hpp"
+#include "gridmon/rgma/producer_servlet.hpp"
+#include "gridmon/rgma/registry.hpp"
+
+namespace gridmon::core {
+
+/// Base for scenarios: guarantees every coroutine referencing scenario
+/// components is destroyed (via Simulation::shutdown) before those
+/// components are.
+class Scenario {
+ public:
+  explicit Scenario(Testbed& tb) : testbed_(tb) {}
+  Scenario(const Scenario&) = delete;
+  Scenario& operator=(const Scenario&) = delete;
+  virtual ~Scenario() { testbed_.sim().shutdown(); }
+
+  Testbed& testbed() noexcept { return testbed_; }
+
+ protected:
+  Testbed& testbed_;
+};
+
+/// The default ten MDS information providers ("ip0".."ip9"), 4 entries of
+/// ~2 KB each.
+std::vector<mds::ProviderSpec> default_providers(int count = 10);
+
+// ---- Experiment 1 / 3: information servers ----
+
+/// A GRIS with `providers` information providers on `host` (paper:
+/// lucky7). `cache` false reproduces the "nocache" configuration.
+struct GrisScenario : Scenario {
+  ~GrisScenario() override { testbed_.sim().shutdown(); }
+
+  GrisScenario(Testbed& tb, int providers, bool cache,
+               const std::string& host = "lucky7");
+  std::unique_ptr<mds::Gris> gris;
+};
+
+/// A Hawkeye Agent on lucky4 reporting to a Manager on lucky3 (paper's
+/// Experiment 1 layout); `modules` scales Experiment 3.
+struct AgentScenario : Scenario {
+  ~AgentScenario() override { testbed_.sim().shutdown(); }
+
+  AgentScenario(Testbed& tb, int modules = 11,
+                const std::string& agent_host = "lucky4",
+                const std::string& manager_host = "lucky3");
+  std::unique_ptr<hawkeye::Manager> manager;
+  std::unique_ptr<hawkeye::Agent> agent;
+};
+
+/// R-GMA: Registry on lucky1, one ProducerServlet with `producers`
+/// Producers on lucky3, plus ConsumerServlets either on every lucky node
+/// (paper's "lucky" user placement) or a single shared one at UC.
+struct RgmaScenario : Scenario {
+  ~RgmaScenario() override { testbed_.sim().shutdown(); }
+
+  enum class Consumers { PerLuckyNode, SingleAtUc, None };
+  RgmaScenario(Testbed& tb, int producers, Consumers consumers);
+
+  std::unique_ptr<rgma::Registry> registry;
+  std::unique_ptr<rgma::ProducerServlet> producer_servlet;
+  std::map<std::string, std::unique_ptr<rgma::ConsumerServlet>>
+      consumer_servlets;  // keyed by hosting machine
+
+  /// QueryFn routing each user through the ConsumerServlet on (or
+  /// assigned to) its own client host.
+  QueryFn mediated_query(const std::string& table = "cpuload");
+  /// QueryFn going straight at the ProducerServlet (Experiment 3).
+  QueryFn direct_query(const std::string& table = "cpuload");
+};
+
+// ---- Experiment 2: directory servers ----
+
+/// MDS: GIIS on lucky0 aggregating a GRIS (10 providers each) on every
+/// of lucky3..lucky7, data pinned in cache (huge cachettl).
+struct GiisScenario : Scenario {
+  ~GiisScenario() override { testbed_.sim().shutdown(); }
+
+  GiisScenario(Testbed& tb, int gris_count = 5, int providers_per_gris = 10,
+               double cachettl = 1e18);
+  std::unique_ptr<mds::Giis> giis;
+  std::vector<std::unique_ptr<mds::Gris>> gris;
+
+  /// Run the initial cache fill so measurements start warm.
+  void prefill();
+};
+
+/// Hawkeye: Manager on lucky3 with Agents (11 modules each) advertising
+/// from the six other lucky nodes.
+struct ManagerScenario : Scenario {
+  ~ManagerScenario() override { testbed_.sim().shutdown(); }
+
+  explicit ManagerScenario(Testbed& tb, int modules_per_agent = 11);
+  std::unique_ptr<hawkeye::Manager> manager;
+  std::vector<std::unique_ptr<hawkeye::Agent>> agents;
+};
+
+/// R-GMA: Registry on lucky1, a ProducerServlet with 10 producers on each
+/// of the five other lucky nodes (the paper's Experiment 2 layout).
+struct RegistryScenario : Scenario {
+  ~RegistryScenario() override { testbed_.sim().shutdown(); }
+
+  explicit RegistryScenario(Testbed& tb, int servlets = 5,
+                            int producers_each = 10);
+  std::unique_ptr<rgma::Registry> registry;
+  std::vector<std::unique_ptr<rgma::ProducerServlet>> servlets;
+};
+
+// ---- Experiment 4: aggregate information servers ----
+
+/// MDS: GIIS on lucky0 with `gris_count` GRIS instances spread over the
+/// six other lucky nodes (the paper simulated up to 500 this way).
+struct GiisAggregationScenario : Scenario {
+  ~GiisAggregationScenario() override { testbed_.sim().shutdown(); }
+
+  GiisAggregationScenario(Testbed& tb, int gris_count,
+                          int providers_per_gris = 10);
+  std::unique_ptr<mds::Giis> giis;
+  std::vector<std::unique_ptr<mds::Gris>> gris;
+  void prefill();
+};
+
+/// Hawkeye: Manager on lucky3 with `machines` hawkeye_advertise senders
+/// (30-second interval) spread over the other lucky nodes.
+struct ManagerAggregationScenario : Scenario {
+  ~ManagerAggregationScenario() override { testbed_.sim().shutdown(); }
+
+  ManagerAggregationScenario(Testbed& tb, int machines,
+                             int modules_per_machine = 11);
+  std::unique_ptr<hawkeye::Manager> manager;
+  std::vector<std::unique_ptr<hawkeye::Advertiser>> advertisers;
+
+  /// Let every advertiser send at least one ad.
+  void prefill();
+};
+
+}  // namespace gridmon::core

@@ -1,0 +1,89 @@
+#include "gridmon/core/workload.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace gridmon::core {
+
+UserWorkload::UserWorkload(Testbed& testbed, QueryFn query,
+                           WorkloadConfig config)
+    : testbed_(testbed), query_(std::move(query)), config_(config) {}
+
+void UserWorkload::spawn_users(int n,
+                               const std::vector<std::string>& client_hosts) {
+  if (client_hosts.empty()) {
+    throw std::invalid_argument("no client hosts");
+  }
+  int capacity =
+      config_.max_users_per_host * static_cast<int>(client_hosts.size());
+  if (n > capacity) {
+    throw std::invalid_argument(
+        "requested " + std::to_string(n) + " users but only " +
+        std::to_string(capacity) + " fit on " +
+        std::to_string(client_hosts.size()) + " client hosts");
+  }
+  // Even round-robin placement (paper: "evenly divide the number of
+  // simulated users by the number of machines to balance the load").
+  for (int i = 0; i < n; ++i) {
+    const std::string& host_name = client_hosts[static_cast<std::size_t>(i) %
+                                                client_hosts.size()];
+    testbed_.sim().spawn(user_loop(*this, testbed_.host(host_name),
+                                   testbed_.nic(host_name),
+                                   testbed_.rng().fork()));
+    ++users_;
+  }
+}
+
+sim::Task<void> UserWorkload::user_loop(UserWorkload& self, host::Host& host,
+                                        net::Interface& nic, sim::Rng rng) {
+  auto& sim = host.simulation();
+  // Desynchronize start-up so users do not fire in lockstep.
+  co_await sim.delay(rng.uniform(0, self.config_.think_time));
+  for (;;) {
+    double started = sim.now();
+    std::size_t retry = 0;
+    QueryAttempt attempt;
+    for (;;) {
+      attempt = co_await self.query_(nic);
+      if (attempt.admitted) break;
+      ++self.refused_;
+      // Dropped SYN: wait out the kernel retransmission timer.
+      const auto& schedule = self.config_.retry_schedule;
+      double delay = schedule.empty()
+                         ? 1.0
+                         : schedule[std::min(retry, schedule.size() - 1)];
+      double j = self.config_.retry_jitter;
+      co_await sim.delay(delay * rng.uniform(1.0 - j, 1.0 + j));
+      ++retry;
+    }
+    self.completions_.push_back(
+        Completion{sim.now(), sim.now() - started, attempt.response_bytes});
+    if (self.config_.client_cpu_per_query > 0) {
+      co_await host.cpu().consume(self.config_.client_cpu_per_query);
+    }
+    co_await sim.delay(self.config_.think_time);
+  }
+}
+
+double UserWorkload::throughput(double t0, double t1) const {
+  if (t1 <= t0) return 0;
+  std::size_t n = 0;
+  for (const auto& c : completions_) {
+    if (c.t >= t0 && c.t <= t1) ++n;
+  }
+  return static_cast<double>(n) / (t1 - t0);
+}
+
+double UserWorkload::mean_response(double t0, double t1) const {
+  double sum = 0;
+  std::size_t n = 0;
+  for (const auto& c : completions_) {
+    if (c.t >= t0 && c.t <= t1) {
+      sum += c.response_time;
+      ++n;
+    }
+  }
+  return n ? sum / static_cast<double>(n) : 0;
+}
+
+}  // namespace gridmon::core

@@ -1,0 +1,90 @@
+#pragma once
+
+/// \file workload.hpp
+/// The paper's user simulator (§3.1): N user processes spread over the
+/// client machines (at most 50 per machine), each issuing blocking
+/// queries with a one-second wait between response and next query.
+/// Refused connections are retried with exponential backoff; the response
+/// time of a query counts from first attempt to final success, exactly as
+/// a looping shell script would measure it.
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "gridmon/core/testbed.hpp"
+#include "gridmon/net/network.hpp"
+#include "gridmon/sim/rng.hpp"
+#include "gridmon/sim/task.hpp"
+
+namespace gridmon::core {
+
+/// One query attempt as seen by the client.
+struct QueryAttempt {
+  bool admitted = false;
+  double response_bytes = 0;
+};
+
+/// A client-side query function: performs one complete attempt against a
+/// service from the given client NIC. Adapters for each service live in
+/// adapters.hpp.
+using QueryFn = std::function<sim::Task<QueryAttempt>(net::Interface&)>;
+
+struct WorkloadConfig {
+  double think_time = 1.0;          // the paper's 1-second wait
+  int max_users_per_host = 50;      // the paper's per-machine cap
+  /// Retry delays after a refused connection. A 2002 Linux client whose
+  /// SYN was dropped by a full listen queue silently retransmits on the
+  /// kernel's schedule (~3, 6, 12, 24, 48 s ...); the last entry repeats.
+  std::vector<double> retry_schedule{3, 6, 12, 24, 48, 75};
+  /// Retransmission timing is nearly deterministic, which synchronizes
+  /// overloaded clients into arrival bursts — the cause of the load
+  /// *decrease* past the saturation threshold seen in the paper.
+  double retry_jitter = 0.02;
+  /// Client-script bookkeeping CPU per query (fork, parsing output).
+  double client_cpu_per_query = 0.01;
+};
+
+struct Completion {
+  double t;              // completion time
+  double response_time;  // first attempt -> success
+  double bytes;
+};
+
+class UserWorkload {
+ public:
+  UserWorkload(Testbed& testbed, QueryFn query, WorkloadConfig config = {});
+  UserWorkload(const UserWorkload&) = delete;
+  UserWorkload& operator=(const UserWorkload&) = delete;
+  /// User coroutines reference this object; destroy them first.
+  ~UserWorkload() { testbed_.sim().shutdown(); }
+
+  /// Launch `n` users spread evenly over `client_hosts` (paper's load
+  /// balancing). Throws if that would exceed max_users_per_host.
+  void spawn_users(int n, const std::vector<std::string>& client_hosts);
+
+  const std::vector<Completion>& completions() const noexcept {
+    return completions_;
+  }
+  std::uint64_t refused_attempts() const noexcept { return refused_; }
+  int users() const noexcept { return users_; }
+
+  /// Completed queries per second over [t0, t1].
+  double throughput(double t0, double t1) const;
+  /// Mean response time of queries completing in [t0, t1].
+  double mean_response(double t0, double t1) const;
+
+ private:
+  static sim::Task<void> user_loop(UserWorkload& self, host::Host& host,
+                                   net::Interface& nic, sim::Rng rng);
+
+  Testbed& testbed_;
+  QueryFn query_;
+  WorkloadConfig config_;
+  std::vector<Completion> completions_;
+  std::uint64_t refused_ = 0;
+  int users_ = 0;
+};
+
+}  // namespace gridmon::core

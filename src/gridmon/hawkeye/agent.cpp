@@ -1,0 +1,161 @@
+#include "gridmon/hawkeye/agent.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+
+namespace gridmon::hawkeye {
+
+Agent::Agent(net::Network& net, host::Host& host, net::Interface& nic,
+             std::string machine_name, std::vector<ModuleSpec> modules,
+             AgentConfig config)
+    : net_(net),
+      host_(host),
+      nic_(nic),
+      machine_(std::move(machine_name)),
+      modules_(std::move(modules)),
+      config_(config),
+      thread_(host.simulation(), config.threads),
+      port_(config.backlog) {
+  if (static_cast<int>(modules_.size()) > config_.max_modules) {
+    // The paper: "adding another Module caused the Startd to crash."
+    throw AgentError("startd crash: " + std::to_string(modules_.size()) +
+                     " modules exceeds the " +
+                     std::to_string(config_.max_modules) + "-module limit");
+  }
+}
+
+double Agent::current_load() const {
+  if (forced_load_ >= 0) return forced_load_;
+  return host_.load1().value() * 100.0;
+}
+
+sim::Task<classad::ClassAd> Agent::collect() {
+  ++sequence_;
+  ++collections_;
+  std::vector<classad::ClassAd> parts;
+  parts.reserve(modules_.size());
+  for (const auto& mod : modules_) {
+    co_await host_.cpu().consume(mod.collect_cpu_ref);
+    parts.push_back(run_module(mod, sequence_, current_load()));
+  }
+  co_await host_.cpu().consume(config_.integrate_cpu);
+  co_return build_startd_ad(machine_, parts);
+}
+
+sim::Task<HawkeyeReply> Agent::query(net::Interface& client) {
+  auto& sim = host_.simulation();
+  co_await sim.delay(config_.client_tool_latency);
+  co_await net_.connect(client, nic_);
+  if (!port_.try_admit()) co_return HawkeyeReply{};
+  net::AdmissionSlot slot(&port_);
+  co_await net_.transfer(client, nic_, config_.request_bytes);
+
+  HawkeyeReply reply;
+  {
+    auto lease = co_await thread_.acquire();
+    co_await host_.cpu().consume(config_.query_base_cpu);
+    classad::ClassAd ad = co_await collect();  // no resident DB: always fresh
+    reply.machines = 1;
+    reply.response_bytes = std::max(ad.wire_bytes(), config_.min_ad_bytes);
+    reply.admitted = true;
+  }
+  // The startd hands the reply buffer to the kernel and moves on; unlike
+  // the Manager's large result sets, a single ad fits the socket buffer.
+  co_await net_.transfer(nic_, client, reply.response_bytes);
+  co_return reply;
+}
+
+sim::Task<HawkeyeReply> Agent::query_module(net::Interface& client,
+                                            std::string module_name) {
+  auto& sim = host_.simulation();
+  co_await sim.delay(config_.client_tool_latency);
+  co_await net_.connect(client, nic_);
+  if (!port_.try_admit()) co_return HawkeyeReply{};
+  net::AdmissionSlot slot(&port_);
+  co_await net_.transfer(client, nic_, config_.request_bytes);
+
+  HawkeyeReply reply;
+  {
+    auto lease = co_await thread_.acquire();
+    co_await host_.cpu().consume(config_.query_base_cpu);
+    for (const auto& mod : modules_) {
+      if (mod.name != module_name) continue;
+      co_await host_.cpu().consume(mod.collect_cpu_ref);
+      ++sequence_;
+      ++collections_;
+      classad::ClassAd fragment = run_module(mod, sequence_, current_load());
+      reply.machines = 1;
+      reply.response_bytes = std::max(fragment.wire_bytes(), 512.0);
+      break;
+    }
+    if (reply.machines == 0) reply.response_bytes = 128;  // unknown module
+    reply.admitted = true;
+  }
+  co_await net_.transfer(nic_, client, reply.response_bytes);
+  co_return reply;
+}
+
+void Agent::start_advertising(Manager& manager) {
+  if (advertising_) return;
+  advertising_ = true;
+  host_.simulation().spawn(advertise_loop(manager));
+}
+
+sim::Task<void> Agent::advertise_loop(Manager& manager) {
+  auto& sim = host_.simulation();
+  while (advertising_) {
+    classad::ClassAd ad;
+    {
+      auto lease = co_await thread_.acquire();
+      ad = co_await collect();
+    }
+    double bytes = std::max(ad.wire_bytes(), config_.min_ad_bytes);
+    co_await manager.advertise(nic_, std::move(ad), bytes);
+    co_await sim.delay(config_.advertise_interval);
+  }
+}
+
+Advertiser::Advertiser(net::Network& net, host::Host& host,
+                       net::Interface& nic, std::string machine_name,
+                       int modules, double interval, double jitter)
+    : net_(net),
+      host_(host),
+      nic_(nic),
+      machine_(std::move(machine_name)),
+      modules_(modules),
+      interval_(interval),
+      jitter_(jitter) {}
+
+void Advertiser::start(Manager& manager) {
+  if (running_) return;
+  running_ = true;
+  host_.simulation().spawn(loop(manager));
+}
+
+sim::Task<void> Advertiser::loop(Manager& manager) {
+  auto& sim = host_.simulation();
+  // Deterministic phase offset so a thousand advertisers do not fire in
+  // the same event tick.
+  double phase = static_cast<double>(std::hash<std::string>{}(machine_) %
+                                     100000) /
+                 100000.0 * interval_ * std::max(jitter_, 1.0);
+  co_await sim.delay(phase);
+
+  auto specs = scaled_modules(modules_);
+  while (running_) {
+    ++sequence_;
+    std::vector<classad::ClassAd> parts;
+    parts.reserve(specs.size());
+    for (const auto& mod : specs) parts.push_back(run_module(mod, sequence_));
+    classad::ClassAd ad = build_startd_ad(machine_, parts);
+    // hawkeye_advertise is a lightweight sender: tiny CPU, no daemon.
+    co_await host_.cpu().consume(0.002);
+    double bytes = std::max(ad.wire_bytes(), 5000.0);
+    co_await manager.advertise(nic_, std::move(ad), bytes);
+    ++ads_sent_;
+    co_await sim.delay(interval_);
+  }
+}
+
+}  // namespace gridmon::hawkeye

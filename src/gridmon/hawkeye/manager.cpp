@@ -1,0 +1,198 @@
+#include "gridmon/hawkeye/manager.hpp"
+
+#include "gridmon/classad/parser.hpp"
+
+namespace gridmon::hawkeye {
+
+Manager::Manager(net::Network& net, host::Host& host, net::Interface& nic,
+                 ManagerConfig config)
+    : net_(net),
+      host_(host),
+      nic_(nic),
+      config_(config),
+      thread_(host.simulation(), config.threads),
+      port_(config.backlog) {}
+
+const classad::ClassAd* Manager::find_machine(const std::string& name) const {
+  auto it = ads_.find(name);
+  return it == ads_.end() ? nullptr : &it->second;
+}
+
+double Manager::total_attrs() const {
+  double n = 0;
+  for (const auto& [name, ad] : ads_) n += static_cast<double>(ad.size());
+  return n;
+}
+
+sim::Task<bool> Manager::advertise(net::Interface& from, classad::ClassAd ad,
+                                   double wire_bytes) {
+  if (wire_bytes < 0) wire_bytes = ad.wire_bytes();
+  co_await net_.transfer(from, nic_, wire_bytes);
+  if (!port_.try_admit()) {
+    ++ads_dropped_;  // UDP-style: overloaded manager loses ads
+    co_return false;
+  }
+  net::AdmissionSlot slot(&port_);
+  auto lease = co_await thread_.acquire();
+  co_await host_.cpu().consume(config_.ad_process_cpu);
+  ++ads_received_;
+
+  double now = host_.simulation().now();
+  std::string machine = "unknown";
+  {
+    auto v = ad.evaluate("Name");
+    if (v.is_string()) machine = v.as_string();
+  }
+  for (const auto& trig : triggers_) {
+    if (classad::one_way_match(trig.ad, ad, now)) {
+      ++trigger_firings_;
+      if (trig.action) trig.action(trig.name, machine);
+    }
+  }
+  ads_[machine] = std::move(ad);
+  co_return true;
+}
+
+sim::Task<HawkeyeReply> Manager::query_status(net::Interface& client) {
+  auto& sim = host_.simulation();
+  co_await sim.delay(config_.client_tool_latency);
+  co_await net_.connect(client, nic_);
+  if (!port_.try_admit()) co_return HawkeyeReply{};
+  net::AdmissionSlot slot(&port_);
+  co_await net_.transfer(client, nic_, config_.request_bytes);
+
+  HawkeyeReply reply;
+  {
+    auto lease = co_await thread_.acquire();
+    co_await host_.cpu().consume(config_.query_base_cpu);
+    // Summary line per machine straight out of the indexed store: a fixed
+    // handful of attributes each.
+    double attrs = 10.0 * static_cast<double>(ads_.size());
+    co_await host_.cpu().consume(config_.status_cpu_per_attr * attrs);
+    reply.machines = ads_.size();
+    reply.response_bytes =
+        config_.status_bytes_per_machine * static_cast<double>(ads_.size());
+    reply.admitted = true;
+    // Single-threaded daemon: the blocking response send happens inside
+    // the service thread.
+    co_await net_.transfer(nic_, client, reply.response_bytes);
+  }
+  co_return reply;
+}
+
+sim::Task<HawkeyeReply> Manager::query_dump(net::Interface& client) {
+  auto& sim = host_.simulation();
+  co_await sim.delay(config_.client_tool_latency);
+  co_await net_.connect(client, nic_);
+  if (!port_.try_admit()) co_return HawkeyeReply{};
+  net::AdmissionSlot slot(&port_);
+  co_await net_.transfer(client, nic_, config_.request_bytes);
+
+  HawkeyeReply reply;
+  {
+    auto lease = co_await thread_.acquire();
+    co_await host_.cpu().consume(config_.query_base_cpu);
+    co_await host_.cpu().consume(config_.dump_cpu_per_attr * total_attrs());
+    double bytes = 0;
+    for (const auto& [name, ad] : ads_) bytes += ad.wire_bytes();
+    reply.machines = ads_.size();
+    reply.response_bytes = bytes;
+    reply.admitted = true;
+    co_await net_.transfer(nic_, client, reply.response_bytes);
+  }
+  co_return reply;
+}
+
+sim::Task<HawkeyeReply> Manager::query_constraint(
+    net::Interface& client, std::string constraint) {
+  auto& sim = host_.simulation();
+  co_await sim.delay(config_.client_tool_latency);
+  co_await net_.connect(client, nic_);
+  if (!port_.try_admit()) co_return HawkeyeReply{};
+  net::AdmissionSlot slot(&port_);
+  co_await net_.transfer(client, nic_, config_.request_bytes +
+                                           constraint.size());
+
+  HawkeyeReply reply;
+  {
+    auto lease = co_await thread_.acquire();
+    co_await host_.cpu().consume(config_.query_base_cpu);
+    auto expr = classad::parse_expression(constraint);
+    co_await host_.cpu().consume(config_.match_cpu_per_ad *
+                                 static_cast<double>(ads_.size()));
+    double bytes = 128;  // envelope
+    std::size_t matches = 0;
+    for (const auto& [name, ad] : ads_) {
+      if (classad::satisfies(ad, *expr, sim.now())) {
+        ++matches;
+        bytes += ad.wire_bytes();
+      }
+    }
+    reply.machines = matches;
+    reply.response_bytes = bytes;
+    reply.admitted = true;
+    co_await net_.transfer(nic_, client, reply.response_bytes);
+  }
+  co_return reply;
+}
+
+sim::Task<HawkeyeReply> Manager::lookup_agent(net::Interface& client,
+                                              std::string machine,
+                                              std::string* address_out) {
+  auto& sim = host_.simulation();
+  co_await sim.delay(config_.client_tool_latency);
+  co_await net_.connect(client, nic_);
+  if (!port_.try_admit()) co_return HawkeyeReply{};
+  net::AdmissionSlot slot(&port_);
+  co_await net_.transfer(client, nic_, config_.request_bytes);
+
+  HawkeyeReply reply;
+  {
+    auto lease = co_await thread_.acquire();
+    co_await host_.cpu().consume(config_.query_base_cpu);
+    const classad::ClassAd* ad = find_machine(machine);  // indexed lookup
+    if (ad != nullptr) {
+      reply.machines = 1;
+      if (address_out != nullptr) *address_out = machine;
+    }
+    reply.response_bytes = 256;
+    reply.admitted = true;
+    co_await net_.transfer(nic_, client, reply.response_bytes);
+  }
+  co_return reply;
+}
+
+void Manager::add_trigger(const std::string& name, classad::ClassAd trigger,
+                          TriggerAction action) {
+  triggers_.push_back(Trigger{name, std::move(trigger), std::move(action)});
+}
+
+void Manager::add_email_trigger(const std::string& name,
+                                const std::string& requirements,
+                                net::Interface& admin, TriggerAction action) {
+  classad::ClassAd trigger;
+  trigger.insert("MyType", "Trigger");
+  trigger.insert("Job", "mail admin");
+  trigger.insert_text("Requirements", requirements);
+  net::Interface* admin_ptr = &admin;
+  TriggerAction after = std::move(action);
+  add_trigger(name, std::move(trigger),
+              [this, admin_ptr, after](const std::string& trigger_name,
+                                       const std::string& machine) {
+                host_.simulation().spawn(
+                    send_email(admin_ptr, trigger_name, machine, after));
+              });
+}
+
+sim::Task<void> Manager::send_email(net::Interface* admin,
+                                    std::string trigger_name,
+                                    std::string machine,
+                                    TriggerAction after) {
+  // Compose + hand to the MTA, then push the message to the admin host.
+  co_await host_.cpu().consume(0.005);
+  co_await net_.transfer(nic_, *admin, 2048);
+  ++emails_sent_;
+  if (after) after(trigger_name, machine);
+}
+
+}  // namespace gridmon::hawkeye

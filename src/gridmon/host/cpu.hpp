@@ -1,0 +1,50 @@
+#pragma once
+
+/// \file cpu.hpp
+/// Multi-core processor-sharing CPU. Work is expressed in *reference*
+/// CPU-seconds (seconds on a 1000 MHz core); a faster or slower host scales
+/// the wall time accordingly, which lets cost constants be written once and
+/// reused across the heterogeneous testbed (1133 MHz Lucky nodes, 1208 and
+/// 756 MHz UC client nodes).
+
+#include "gridmon/sim/ps_server.hpp"
+#include "gridmon/sim/simulation.hpp"
+
+namespace gridmon::host {
+
+class Cpu {
+ public:
+  Cpu(sim::Simulation& sim, int cores, double mhz)
+      : cores_(cores),
+        speed_(mhz / 1000.0),
+        ps_(sim, static_cast<double>(cores), cores) {}
+
+  int cores() const noexcept { return cores_; }
+  double speed_factor() const noexcept { return speed_; }
+
+  /// Awaitable: execute `ref_seconds` of reference CPU work under
+  /// processor sharing with everything else on this CPU.
+  sim::PsServer::ConsumeAwaiter consume(double ref_seconds) {
+    return ps_.consume(ref_seconds / speed_);
+  }
+
+  /// Number of runnable processes right now (feeds load1).
+  int runnable() const noexcept { return ps_.active_jobs(); }
+
+  /// Cumulative busy core-seconds (local units) for utilization sampling.
+  double busy_core_seconds() const { return ps_.served_total(); }
+
+  /// Utilization (0..100) over an interval given a served-work delta.
+  double utilization_percent(double served_delta, double dt) const {
+    if (dt <= 0) return 0;
+    double u = 100.0 * served_delta / (static_cast<double>(cores_) * dt);
+    return u < 0 ? 0 : (u > 100 ? 100 : u);
+  }
+
+ private:
+  int cores_;
+  double speed_;
+  sim::PsServer ps_;
+};
+
+}  // namespace gridmon::host

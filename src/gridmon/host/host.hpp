@@ -1,0 +1,92 @@
+#pragma once
+
+/// \file host.hpp
+/// A simulated machine: named CPU plus Ganglia-style gauges (cpu_user +
+/// cpu_system percentage and the one-minute load average the paper calls
+/// "load" and "load1").
+
+#include <memory>
+#include <string>
+
+#include "gridmon/host/cpu.hpp"
+#include "gridmon/metrics/load_average.hpp"
+#include "gridmon/metrics/sampler.hpp"
+#include "gridmon/sim/simulation.hpp"
+#include "gridmon/sim/task.hpp"
+
+namespace gridmon::host {
+
+struct HostSpec {
+  std::string name;
+  std::string site;
+  int cores = 2;
+  double mhz = 1133;  // Lucky testbed default: dual PIII 1133
+};
+
+class Host {
+ public:
+  Host(sim::Simulation& sim, HostSpec spec)
+      : sim_(sim), spec_(std::move(spec)),
+        cpu_(sim, spec_.cores, spec_.mhz) {}
+  Host(const Host&) = delete;
+  Host& operator=(const Host&) = delete;
+
+  const std::string& name() const noexcept { return spec_.name; }
+  const std::string& site() const noexcept { return spec_.site; }
+  Cpu& cpu() noexcept { return cpu_; }
+  const Cpu& cpu() const noexcept { return cpu_; }
+  sim::Simulation& simulation() noexcept { return sim_; }
+
+  /// Spawn-a-process cost model: fork/exec overhead plus the program's own
+  /// CPU work, all under processor sharing. Used for MDS shell-script
+  /// information providers.
+  sim::Task<void> fork_exec(double program_ref_seconds) {
+    co_await cpu_.consume(kForkExecOverheadRefSeconds + program_ref_seconds);
+  }
+
+  /// Register this host's Ganglia gauges with a sampler. Gauge names are
+  /// "<host>.load1" and "<host>.cpu_pct".
+  void attach(metrics::Sampler& sampler) {
+    auto* self = this;
+    auto& sim = sim_;
+    auto load_state = std::make_shared<double>(sim.now());
+    sampler.add_gauge(
+        name() + ".load1", [self, &sim, load_state]() mutable {
+          double now = sim.now();
+          double dt = now - *load_state;
+          *load_state = now;
+          self->load1_.sample(dt > 0 ? dt : 5.0,
+                              static_cast<double>(self->cpu_.runnable()));
+          return self->load1_.value();
+        });
+    struct CpuState {
+      double last_served;
+      double last_t;
+    };
+    auto cpu_state = std::make_shared<CpuState>(
+        CpuState{cpu_.busy_core_seconds(), sim.now()});
+    sampler.add_gauge(name() + ".cpu_pct", [self, &sim, cpu_state]() {
+      double served = self->cpu_.busy_core_seconds();
+      double now = sim.now();
+      double pct = self->cpu_.utilization_percent(
+          served - cpu_state->last_served, now - cpu_state->last_t);
+      cpu_state->last_served = served;
+      cpu_state->last_t = now;
+      return pct;
+    });
+  }
+
+  const metrics::LoadAverage& load1() const noexcept { return load1_; }
+
+  /// fork+exec of a shell-script provider on year-2002 Linux: process
+  /// creation, dynamic linking, interpreter startup.
+  static constexpr double kForkExecOverheadRefSeconds = 0.020;
+
+ private:
+  sim::Simulation& sim_;
+  HostSpec spec_;
+  Cpu cpu_;
+  metrics::LoadAverage load1_;
+};
+
+}  // namespace gridmon::host

@@ -1,0 +1,126 @@
+#include "gridmon/ldap/dit.hpp"
+
+#include <stdexcept>
+
+namespace gridmon::ldap {
+
+void Dit::add(Entry entry) {
+  const Dn& dn = entry.dn();
+  if (dn.empty()) throw DnError("cannot add entry with empty DN");
+  std::string key = dn.normalized();
+  Dn parent = dn.parent();
+  if (!parent.empty()) {
+    auto pit = nodes_.find(parent.normalized());
+    if (pit == nodes_.end()) {
+      throw DnError("parent entry does not exist: " + parent.to_string());
+    }
+    pit->second.children.insert(key);
+  }
+  auto it = nodes_.find(key);
+  if (it != nodes_.end()) {
+    it->second.entry = std::move(entry);  // replace, keep children
+  } else {
+    Node node;
+    node.entry = std::move(entry);
+    nodes_.emplace(std::move(key), std::move(node));
+  }
+}
+
+std::size_t Dit::remove_subtree(const Dn& dn) {
+  std::string key = dn.normalized();
+  auto it = nodes_.find(key);
+  if (it == nodes_.end()) return 0;
+  std::size_t removed = 0;
+  // Depth-first removal of children (copy the set: we mutate nodes_).
+  auto children = it->second.children;
+  for (const auto& child : children) {
+    auto cit = nodes_.find(child);
+    if (cit != nodes_.end()) {
+      removed += remove_subtree(cit->second.entry.dn());
+    }
+  }
+  Dn parent = dn.parent();
+  if (!parent.empty()) {
+    auto pit = nodes_.find(parent.normalized());
+    if (pit != nodes_.end()) pit->second.children.erase(key);
+  }
+  nodes_.erase(key);
+  return removed + 1;
+}
+
+bool Dit::contains(const Dn& dn) const {
+  return nodes_.find(dn.normalized()) != nodes_.end();
+}
+
+const Entry* Dit::find(const Dn& dn) const {
+  auto it = nodes_.find(dn.normalized());
+  return it == nodes_.end() ? nullptr : &it->second.entry;
+}
+
+SearchResult Dit::search(const Dn& base, Scope scope, const Filter& filter,
+                         const std::vector<std::string>& attrs,
+                         std::size_t size_limit) const {
+  SearchResult result;
+  auto consider = [&](const Entry& e) -> bool {
+    ++result.entries_examined;
+    if (!filter.matches(e)) return true;
+    if (size_limit != 0 && result.entries.size() >= size_limit) {
+      result.size_limit_exceeded = true;
+      return false;  // stop the walk
+    }
+    result.entries.push_back(e.project(attrs));
+    return true;
+  };
+
+  auto base_it = nodes_.find(base.normalized());
+  if (base_it == nodes_.end() && !base.empty()) return result;
+
+  switch (scope) {
+    case Scope::Base:
+      if (base_it != nodes_.end()) consider(base_it->second.entry);
+      break;
+    case Scope::One: {
+      if (base_it == nodes_.end()) break;
+      for (const auto& child : base_it->second.children) {
+        auto cit = nodes_.find(child);
+        if (cit != nodes_.end() && !consider(cit->second.entry)) break;
+      }
+      break;
+    }
+    case Scope::Subtree: {
+      if (base.empty()) {
+        // Whole-tree search from the (virtual) root.
+        for (const auto& [key, node] : nodes_) {
+          if (!consider(node.entry)) break;
+        }
+        break;
+      }
+      // Iterative DFS from the base.
+      std::vector<const Node*> stack{&base_it->second};
+      bool stopped = false;
+      while (!stack.empty() && !stopped) {
+        const Node* node = stack.back();
+        stack.pop_back();
+        if (!consider(node->entry)) {
+          stopped = true;
+          break;
+        }
+        for (const auto& child : node->children) {
+          auto cit = nodes_.find(child);
+          if (cit != nodes_.end()) stack.push_back(&cit->second);
+        }
+      }
+      break;
+    }
+  }
+  return result;
+}
+
+std::vector<std::string> Dit::dns() const {
+  std::vector<std::string> out;
+  out.reserve(nodes_.size());
+  for (const auto& [key, node] : nodes_) out.push_back(key);
+  return out;
+}
+
+}  // namespace gridmon::ldap

@@ -1,0 +1,67 @@
+#pragma once
+
+/// \file dit.hpp
+/// Directory Information Tree: the hierarchical entry store behind a GRIS
+/// or GIIS. Supports add/replace/remove and base/one-level/subtree search
+/// with filter, attribute selection and a size limit (slapd semantics).
+
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "gridmon/ldap/entry.hpp"
+#include "gridmon/ldap/filter.hpp"
+
+namespace gridmon::ldap {
+
+enum class Scope { Base, One, Subtree };
+
+struct SearchResult {
+  std::vector<Entry> entries;
+  bool size_limit_exceeded = false;
+  /// Entries visited during evaluation (drives simulated search cost).
+  std::size_t entries_examined = 0;
+
+  double wire_bytes() const {
+    double b = 64;  // result envelope
+    for (const auto& e : entries) b += e.wire_bytes();
+    return b;
+  }
+};
+
+class Dit {
+ public:
+  /// Add an entry; its parent must already exist unless the entry is a
+  /// suffix (top-level) entry. Replaces an existing entry at the same DN.
+  void add(Entry entry);
+
+  /// Remove an entry and its whole subtree. Returns entries removed.
+  std::size_t remove_subtree(const Dn& dn);
+
+  bool contains(const Dn& dn) const;
+  const Entry* find(const Dn& dn) const;
+  std::size_t size() const noexcept { return nodes_.size(); }
+
+  /// LDAP search. `attrs` empty means all attributes; size_limit 0 means
+  /// unlimited.
+  SearchResult search(const Dn& base, Scope scope, const Filter& filter,
+                      const std::vector<std::string>& attrs = {},
+                      std::size_t size_limit = 0) const;
+
+  /// All DNs in the tree (normalized), sorted — handy for tests/dumps.
+  std::vector<std::string> dns() const;
+
+  void clear() { nodes_.clear(); }
+
+ private:
+  struct Node {
+    Entry entry;
+    std::set<std::string> children;  // normalized child DNs
+  };
+
+  std::map<std::string, Node> nodes_;
+};
+
+}  // namespace gridmon::ldap

@@ -1,0 +1,69 @@
+#pragma once
+
+/// \file dn.hpp
+/// LDAP distinguished names: parsing, normalization and tree relations.
+/// A DN is a sequence of RDNs from most-specific to suffix, e.g.
+/// "Mds-Device-name=memory, Mds-Host-hn=lucky7.mcs.anl.gov, o=grid".
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace gridmon::ldap {
+
+struct Rdn {
+  std::string attr;   // normalized lowercase
+  std::string value;  // original case preserved
+
+  friend bool operator==(const Rdn& a, const Rdn& b);
+};
+
+class DnError : public std::runtime_error {
+ public:
+  explicit DnError(const std::string& msg) : std::runtime_error(msg) {}
+};
+
+class Dn {
+ public:
+  Dn() = default;
+
+  /// Parse "attr=value, attr=value, ...". Throws DnError on empty RDNs or
+  /// missing '='. Whitespace around separators is insignificant.
+  static Dn parse(std::string_view text);
+
+  bool empty() const noexcept { return rdns_.empty(); }
+  std::size_t depth() const noexcept { return rdns_.size(); }
+  const std::vector<Rdn>& rdns() const noexcept { return rdns_; }
+  const Rdn& front() const { return rdns_.front(); }
+
+  /// The DN with the leading (most specific) RDN removed.
+  Dn parent() const;
+
+  /// Re-root this DN: replace the trailing `from` suffix with `to`.
+  /// "dev=x, host=h, o=grid".rebased("o=grid", "vo=a, o=grid") ==
+  /// "dev=x, host=h, vo=a, o=grid". Throws DnError if `from` is not a
+  /// suffix of this DN.
+  Dn rebased(const Dn& from, const Dn& to) const;
+
+  /// True if `this` sits directly under `ancestor`.
+  bool is_child_of(const Dn& ancestor) const;
+  /// True if `ancestor` is a (possibly distant) suffix of this DN; a DN is
+  /// a descendant of itself for LDAP subtree-scope purposes? No — strict.
+  bool is_descendant_of(const Dn& ancestor) const;
+
+  /// Canonical form for map keys: lowercased, single separator, no spaces.
+  std::string normalized() const;
+  /// Display form preserving value case.
+  std::string to_string() const;
+
+  friend bool operator==(const Dn& a, const Dn& b);
+  friend bool operator<(const Dn& a, const Dn& b) {
+    return a.normalized() < b.normalized();
+  }
+
+ private:
+  std::vector<Rdn> rdns_;
+};
+
+}  // namespace gridmon::ldap

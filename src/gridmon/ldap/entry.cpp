@@ -1,0 +1,91 @@
+#include "gridmon/ldap/entry.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+namespace gridmon::ldap {
+namespace {
+
+bool iequal(const std::string& a, const std::string& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(a[i])) !=
+        std::tolower(static_cast<unsigned char>(b[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string Entry::norm(const std::string& s) {
+  std::string out = s;
+  std::transform(out.begin(), out.end(), out.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return out;
+}
+
+void Entry::add(const std::string& attr, std::string value) {
+  attrs_[norm(attr)].push_back(std::move(value));
+}
+
+void Entry::set(const std::string& attr, std::string value) {
+  auto& vals = attrs_[norm(attr)];
+  vals.clear();
+  vals.push_back(std::move(value));
+}
+
+bool Entry::has_attribute(const std::string& attr) const {
+  return attrs_.find(norm(attr)) != attrs_.end();
+}
+
+const std::vector<std::string>& Entry::values(const std::string& attr) const {
+  static const std::vector<std::string> kEmpty;
+  auto it = attrs_.find(norm(attr));
+  return it == attrs_.end() ? kEmpty : it->second;
+}
+
+const std::string& Entry::value(const std::string& attr) const {
+  static const std::string kEmpty;
+  const auto& v = values(attr);
+  return v.empty() ? kEmpty : v.front();
+}
+
+bool Entry::matches_value(const std::string& attr,
+                          const std::string& v) const {
+  for (const auto& candidate : values(attr)) {
+    if (iequal(candidate, v)) return true;
+  }
+  return false;
+}
+
+std::vector<std::string> Entry::attribute_names() const {
+  std::vector<std::string> names;
+  names.reserve(attrs_.size());
+  for (const auto& [name, values] : attrs_) names.push_back(name);
+  return names;
+}
+
+Entry Entry::project(const std::vector<std::string>& attrs) const {
+  if (attrs.empty()) return *this;
+  Entry out(dn_);
+  for (const auto& want : attrs) {
+    auto it = attrs_.find(norm(want));
+    if (it != attrs_.end()) out.attrs_[it->first] = it->second;
+  }
+  return out;
+}
+
+double Entry::wire_bytes() const {
+  double bytes = static_cast<double>(dn_.to_string().size()) + 8;
+  for (const auto& [name, values] : attrs_) {
+    for (const auto& v : values) {
+      bytes += static_cast<double>(name.size() + v.size() + 3);
+    }
+  }
+  return bytes;
+}
+
+}  // namespace gridmon::ldap

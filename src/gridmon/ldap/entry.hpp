@@ -1,0 +1,57 @@
+#pragma once
+
+/// \file entry.hpp
+/// An LDAP entry: a DN plus multi-valued attributes with case-insensitive
+/// attribute names and case-insensitive value matching (the directory
+/// string syntax MDS uses everywhere).
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "gridmon/ldap/dn.hpp"
+
+namespace gridmon::ldap {
+
+class Entry {
+ public:
+  Entry() = default;
+  explicit Entry(Dn dn) : dn_(std::move(dn)) {}
+
+  const Dn& dn() const noexcept { return dn_; }
+  void set_dn(Dn dn) { dn_ = std::move(dn); }
+
+  /// Append a value to an attribute (attributes are multi-valued).
+  void add(const std::string& attr, std::string value);
+  /// Replace all values of an attribute.
+  void set(const std::string& attr, std::string value);
+
+  bool has_attribute(const std::string& attr) const;
+  /// All values of an attribute ([] if absent).
+  const std::vector<std::string>& values(const std::string& attr) const;
+  /// First value, or "" if absent.
+  const std::string& value(const std::string& attr) const;
+
+  /// True if any value of `attr` equals `v` case-insensitively.
+  bool matches_value(const std::string& attr, const std::string& v) const;
+
+  /// Attribute names (normalized lowercase), insertion-independent order.
+  std::vector<std::string> attribute_names() const;
+
+  std::size_t attribute_count() const noexcept { return attrs_.size(); }
+
+  /// Copy of this entry keeping only the named attributes (empty selection
+  /// keeps everything) — LDAP attribute selection on search.
+  Entry project(const std::vector<std::string>& attrs) const;
+
+  /// Approximate serialized size (drives the network model).
+  double wire_bytes() const;
+
+ private:
+  static std::string norm(const std::string& s);
+
+  Dn dn_;
+  std::map<std::string, std::vector<std::string>> attrs_;  // key lowercased
+};
+
+}  // namespace gridmon::ldap

@@ -1,0 +1,292 @@
+#include "gridmon/ldap/filter.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+#include <optional>
+
+namespace gridmon::ldap {
+namespace {
+
+std::string to_lower(std::string_view s) {
+  std::string out(s);
+  std::transform(out.begin(), out.end(), out.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return out;
+}
+
+std::optional<double> as_number(const std::string& s) {
+  if (s.empty()) return std::nullopt;
+  char* end = nullptr;
+  double v = std::strtod(s.c_str(), &end);
+  if (end != s.c_str() + s.size()) return std::nullopt;
+  return v;
+}
+
+/// Case-insensitive three-way comparison; numeric when both parse.
+int compare_values(const std::string& a, const std::string& b) {
+  auto na = as_number(a), nb = as_number(b);
+  if (na && nb) {
+    if (*na < *nb) return -1;
+    if (*na > *nb) return 1;
+    return 0;
+  }
+  std::string la = to_lower(a), lb = to_lower(b);
+  if (la < lb) return -1;
+  if (la > lb) return 1;
+  return 0;
+}
+
+class FilterParser {
+ public:
+  explicit FilterParser(std::string_view text) : text_(text) {}
+
+  FilterPtr parse() {
+    skip_ws();
+    FilterPtr f = filter();
+    skip_ws();
+    if (pos_ != text_.size()) {
+      throw FilterError("trailing characters after filter");
+    }
+    return f;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  char peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
+
+  void expect(char c) {
+    if (peek() != c) {
+      throw FilterError(std::string("expected '") + c + "' at position " +
+                        std::to_string(pos_));
+    }
+    ++pos_;
+  }
+
+  FilterPtr filter() {
+    expect('(');
+    FilterPtr f;
+    switch (peek()) {
+      case '&':
+        ++pos_;
+        f = std::make_unique<AndFilter>(filter_list());
+        break;
+      case '|':
+        ++pos_;
+        f = std::make_unique<OrFilter>(filter_list());
+        break;
+      case '!':
+        ++pos_;
+        f = std::make_unique<NotFilter>(filter());
+        break;
+      default:
+        f = item();
+    }
+    expect(')');
+    return f;
+  }
+
+  std::vector<FilterPtr> filter_list() {
+    std::vector<FilterPtr> children;
+    while (peek() == '(') children.push_back(filter());
+    if (children.empty()) {
+      throw FilterError("empty filter list for &/| at position " +
+                        std::to_string(pos_));
+    }
+    return children;
+  }
+
+  FilterPtr item() {
+    std::size_t start = pos_;
+    while (pos_ < text_.size() && text_[pos_] != '=' && text_[pos_] != '>' &&
+           text_[pos_] != '<' && text_[pos_] != '~' && text_[pos_] != ')') {
+      ++pos_;
+    }
+    if (pos_ == start) throw FilterError("missing attribute name");
+    std::string attr = to_lower(text_.substr(start, pos_ - start));
+
+    CompareOp op = CompareOp::Equal;
+    switch (peek()) {
+      case '>':
+        ++pos_;
+        expect('=');
+        op = CompareOp::GreaterEq;
+        break;
+      case '<':
+        ++pos_;
+        expect('=');
+        op = CompareOp::LessEq;
+        break;
+      case '~':
+        ++pos_;
+        expect('=');
+        op = CompareOp::Approx;
+        break;
+      case '=':
+        ++pos_;
+        break;
+      default:
+        throw FilterError("missing comparison operator");
+    }
+
+    // Scan the value up to the closing ')'.
+    std::size_t vstart = pos_;
+    while (pos_ < text_.size() && text_[pos_] != ')') ++pos_;
+    std::string value(text_.substr(vstart, pos_ - vstart));
+
+    if (op == CompareOp::Equal && value.find('*') != std::string::npos) {
+      if (value == "*") return std::make_unique<PresenceFilter>(attr);
+      // Split on '*' into initial / any... / final.
+      std::vector<std::string> parts;
+      std::size_t p = 0;
+      for (;;) {
+        std::size_t star = value.find('*', p);
+        if (star == std::string::npos) {
+          parts.push_back(value.substr(p));
+          break;
+        }
+        parts.push_back(value.substr(p, star - p));
+        p = star + 1;
+      }
+      std::string initial = parts.front();
+      std::string final_part = parts.back();
+      std::vector<std::string> any(parts.begin() + 1, parts.end() - 1);
+      // Drop empty "any" components ("a**b" behaves as "a*b").
+      std::erase_if(any, [](const std::string& s) { return s.empty(); });
+      return std::make_unique<SubstringFilter>(attr, std::move(initial),
+                                               std::move(any),
+                                               std::move(final_part));
+    }
+    if (value.empty()) throw FilterError("missing value for " + attr);
+    return std::make_unique<CompareFilter>(attr, op, std::move(value));
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+FilterPtr Filter::parse(std::string_view text) {
+  return FilterParser(text).parse();
+}
+
+FilterPtr Filter::match_all() { return parse("(objectclass=*)"); }
+
+bool AndFilter::matches(const Entry& e) const {
+  for (const auto& c : children_) {
+    if (!c->matches(e)) return false;
+  }
+  return true;
+}
+
+std::string AndFilter::to_string() const {
+  std::string out = "(&";
+  for (const auto& c : children_) out += c->to_string();
+  return out + ")";
+}
+
+bool OrFilter::matches(const Entry& e) const {
+  for (const auto& c : children_) {
+    if (c->matches(e)) return true;
+  }
+  return false;
+}
+
+std::string OrFilter::to_string() const {
+  std::string out = "(|";
+  for (const auto& c : children_) out += c->to_string();
+  return out + ")";
+}
+
+bool NotFilter::matches(const Entry& e) const { return !child_->matches(e); }
+
+std::string NotFilter::to_string() const {
+  return "(!" + child_->to_string() + ")";
+}
+
+bool PresenceFilter::matches(const Entry& e) const {
+  if (attr_ == "objectclass") return true;  // every entry has a class
+  return e.has_attribute(attr_);
+}
+
+std::string PresenceFilter::to_string() const {
+  return "(" + attr_ + "=*)";
+}
+
+bool CompareFilter::matches(const Entry& e) const {
+  for (const auto& v : e.values(attr_)) {
+    int cmp = compare_values(v, value_);
+    switch (op_) {
+      case CompareOp::Equal:
+      case CompareOp::Approx:
+        if (cmp == 0) return true;
+        break;
+      case CompareOp::GreaterEq:
+        if (cmp >= 0) return true;
+        break;
+      case CompareOp::LessEq:
+        if (cmp <= 0) return true;
+        break;
+    }
+  }
+  return false;
+}
+
+std::string CompareFilter::to_string() const {
+  const char* op = op_ == CompareOp::GreaterEq ? ">="
+                   : op_ == CompareOp::LessEq  ? "<="
+                   : op_ == CompareOp::Approx  ? "~="
+                                               : "=";
+  return "(" + attr_ + op + value_ + ")";
+}
+
+bool SubstringFilter::matches(const Entry& e) const {
+  for (const auto& raw : e.values(attr_)) {
+    std::string v = to_lower(raw);
+    std::size_t pos = 0;
+    if (!initial_.empty()) {
+      std::string want = to_lower(initial_);
+      if (v.compare(0, want.size(), want) != 0) continue;
+      pos = want.size();
+    }
+    bool ok = true;
+    for (const auto& part : any_) {
+      std::string want = to_lower(part);
+      std::size_t found = v.find(want, pos);
+      if (found == std::string::npos) {
+        ok = false;
+        break;
+      }
+      pos = found + want.size();
+    }
+    if (!ok) continue;
+    if (!final_.empty()) {
+      std::string want = to_lower(final_);
+      if (v.size() < pos + want.size()) continue;
+      if (v.compare(v.size() - want.size(), want.size(), want) != 0) continue;
+      // The final segment must not overlap the part already consumed.
+      if (v.size() - want.size() < pos) continue;
+    }
+    return true;
+  }
+  return false;
+}
+
+std::string SubstringFilter::to_string() const {
+  std::string out = "(" + attr_ + "=" + initial_ + "*";
+  for (const auto& a : any_) {
+    out += a;
+    out += '*';
+  }
+  return out + final_ + ")";
+}
+
+}  // namespace gridmon::ldap

@@ -1,0 +1,95 @@
+#include "gridmon/ldap/ldif.hpp"
+
+namespace gridmon::ldap {
+
+std::string to_ldif(const Entry& entry) {
+  std::string out = "dn: " + entry.dn().to_string() + "\n";
+  for (const auto& name : entry.attribute_names()) {
+    for (const auto& v : entry.values(name)) {
+      out += name;
+      out += ": ";
+      out += v;
+      out += '\n';
+    }
+  }
+  return out;
+}
+
+std::string to_ldif(const std::vector<Entry>& entries) {
+  std::string out;
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    if (i) out += '\n';
+    out += to_ldif(entries[i]);
+  }
+  return out;
+}
+
+std::vector<Entry> from_ldif(std::string_view text) {
+  std::vector<Entry> out;
+  Entry current;
+  bool in_record = false;
+  std::string pending_attr;  // attribute awaiting continuation lines
+  std::string pending_value;
+
+  auto flush_pending = [&] {
+    if (!pending_attr.empty()) {
+      if (pending_attr == "dn") {
+        current.set_dn(Dn::parse(pending_value));
+      } else {
+        current.add(pending_attr, pending_value);
+      }
+      pending_attr.clear();
+      pending_value.clear();
+    }
+  };
+  auto flush_record = [&] {
+    flush_pending();
+    if (in_record) {
+      if (current.dn().empty()) {
+        throw LdifError("LDIF record without dn:");
+      }
+      out.push_back(std::move(current));
+      current = Entry();
+      in_record = false;
+    }
+  };
+
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    std::size_t eol = text.find('\n', pos);
+    std::string_view line =
+        text.substr(pos, eol == std::string_view::npos
+                             ? std::string_view::npos
+                             : eol - pos);
+    pos = (eol == std::string_view::npos) ? text.size() + 1 : eol + 1;
+
+    if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+    if (line.empty()) {
+      flush_record();
+      continue;
+    }
+    if (line.front() == '#') continue;
+    if (line.front() == ' ') {
+      // Continuation of the previous value.
+      if (pending_attr.empty()) {
+        throw LdifError("continuation line with no preceding attribute");
+      }
+      pending_value += std::string(line.substr(1));
+      continue;
+    }
+    flush_pending();
+    std::size_t colon = line.find(':');
+    if (colon == std::string_view::npos || colon == 0) {
+      throw LdifError("malformed LDIF line: " + std::string(line));
+    }
+    pending_attr = std::string(line.substr(0, colon));
+    std::string_view value = line.substr(colon + 1);
+    if (!value.empty() && value.front() == ' ') value.remove_prefix(1);
+    pending_value = std::string(value);
+    in_record = true;
+  }
+  flush_record();
+  return out;
+}
+
+}  // namespace gridmon::ldap

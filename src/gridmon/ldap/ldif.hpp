@@ -1,0 +1,33 @@
+#pragma once
+
+/// \file ldif.hpp
+/// LDIF rendering of entries and a size estimator for the wire model.
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "gridmon/ldap/entry.hpp"
+
+namespace gridmon::ldap {
+
+/// Render one entry as an LDIF record ("dn: ..." then "attr: value").
+std::string to_ldif(const Entry& entry);
+
+/// Render a result set: blank-line separated records.
+std::string to_ldif(const std::vector<Entry>& entries);
+
+/// Parse LDIF records (the output format of to_ldif / ldapsearch):
+/// blank-line separated records, each starting with "dn:", followed by
+/// "attr: value" lines. Lines beginning with '#' are comments;
+/// continuation lines (leading space) extend the previous value.
+/// Throws LdifError on malformed input.
+std::vector<Entry> from_ldif(std::string_view text);
+
+class LdifError : public std::runtime_error {
+ public:
+  explicit LdifError(const std::string& msg) : std::runtime_error(msg) {}
+};
+
+}  // namespace gridmon::ldap

@@ -1,0 +1,165 @@
+#include "gridmon/mds/gris.hpp"
+
+namespace gridmon::mds {
+
+Gris::Gris(net::Network& net, host::Host& host, net::Interface& nic,
+           std::string name, std::vector<ProviderSpec> providers,
+           GrisConfig config)
+    : net_(net),
+      host_(host),
+      nic_(nic),
+      name_(std::move(name)),
+      host_dn_(ldap::Dn::parse("Mds-Host-hn=" + name_ + ", o=grid")),
+      config_(config),
+      pool_(host.simulation(), config.pool_size),
+      port_(config.backlog) {
+  // Root + host entry so provider entries always have a parent.
+  ldap::Entry root(ldap::Dn::parse("o=grid"));
+  root.add("objectclass", "organization");
+  dit_.add(std::move(root));
+  ldap::Entry host_entry(host_dn_);
+  host_entry.add("objectclass", "MdsHost");
+  host_entry.add("Mds-Host-hn", name_);
+  dit_.add(std::move(host_entry));
+
+  providers_.reserve(providers.size());
+  for (auto& spec : providers) {
+    providers_.push_back(ProviderState{std::move(spec), -1, 0});
+  }
+}
+
+ldap::Entry Gris::suffix_entry() const {
+  ldap::Entry e(host_dn_);
+  e.add("objectclass", "MdsHost");
+  e.add("Mds-Host-hn", name_);
+  return e;
+}
+
+std::size_t Gris::entry_count() const {
+  std::size_t n = 0;
+  for (const auto& p : providers_) {
+    n += static_cast<std::size_t>(p.spec.entries);
+  }
+  return n;
+}
+
+ldap::FilterPtr Gris::scope_filter(QueryScope scope) const {
+  if (scope == QueryScope::Part && !providers_.empty()) {
+    return ldap::Filter::parse("(Mds-provider-name=" +
+                               providers_.front().spec.name + ")");
+  }
+  return ldap::Filter::parse("(objectclass=MdsDevice)");
+}
+
+sim::Task<bool> Gris::refresh(QueryScope scope) {
+  auto& sim = host_.simulation();
+  bool all_fresh = true;
+  std::size_t limit =
+      (scope == QueryScope::Part && !providers_.empty()) ? 1
+                                                         : providers_.size();
+  for (std::size_t i = 0; i < limit; ++i) {
+    ProviderState& p = providers_[i];
+    bool fresh = config_.cache_enabled && sim.now() < p.fresh_until;
+    if (fresh) continue;
+    all_fresh = false;
+    // Fork and run the provider script on this host's CPU.
+    co_await host_.fork_exec(p.spec.exec_cpu_ref);
+    ++provider_runs_;
+    ++p.sequence;
+    for (auto& entry : run_provider(p.spec, host_dn_, p.sequence)) {
+      dit_.add(std::move(entry));
+    }
+    p.fresh_until = sim.now() + p.spec.cache_ttl;
+  }
+  co_return all_fresh;
+}
+
+sim::Task<MdsReply> Gris::serve(QueryScope scope) {
+  auto filter = scope_filter(scope);
+  co_return co_await serve_filter(scope, *filter, {}, 0);
+}
+
+sim::Task<MdsReply> Gris::serve_filter(QueryScope refresh_scope,
+                                       const ldap::Filter& filter,
+                                       std::vector<std::string> attrs,
+                                       std::size_t size_limit) {
+  auto& sim = host_.simulation();
+  MdsReply reply;
+  auto lease = co_await pool_.acquire();
+  co_await host_.cpu().consume(config_.query_base_cpu);
+
+  bool hit = co_await refresh(refresh_scope);
+  reply.cache_hit = hit;
+  if (hit && config_.cache_enabled && config_.cache_serve_latency > 0) {
+    // Backend freshness re-validation (polling waits, not CPU).
+    lease.release();
+    co_await sim.delay(config_.cache_serve_latency);
+    lease = co_await pool_.acquire();
+  }
+
+  auto result = dit_.search(ldap::Dn::parse("o=grid"), ldap::Scope::Subtree,
+                            filter, attrs, size_limit);
+  co_await host_.cpu().consume(
+      config_.examine_cpu_per_entry *
+          static_cast<double>(result.entries_examined) +
+      config_.serialize_cpu_per_entry *
+          static_cast<double>(result.entries.size()));
+  reply.entries = result.entries.size();
+  reply.response_bytes = result.wire_bytes();
+  reply.payload = std::move(result.entries);
+  co_return reply;
+}
+
+sim::Task<MdsReply> Gris::search(net::Interface& client,
+                                 SearchRequest request) {
+  auto& sim = host_.simulation();
+  co_await sim.delay(config_.client_tool_latency);
+  co_await net_.connect(client, nic_);
+  if (!port_.try_admit()) {
+    co_return MdsReply{};
+  }
+  net::AdmissionSlot slot(&port_);
+  co_await net_.transfer(client, nic_,
+                         config_.request_bytes + request.filter.size());
+
+  auto filter = ldap::Filter::parse(request.filter);
+  MdsReply reply = co_await serve_filter(QueryScope::All, *filter,
+                                         std::move(request.attributes),
+                                         request.size_limit);
+  reply.admitted = true;
+  co_await net_.transfer(nic_, client, reply.response_bytes);
+  co_return reply;
+}
+
+sim::Task<MdsReply> Gris::query(net::Interface& client, QueryScope scope) {
+  auto& sim = host_.simulation();
+  // Client tool startup + GSI authentication.
+  co_await sim.delay(config_.client_tool_latency);
+  co_await net_.connect(client, nic_);
+  if (!port_.try_admit()) {
+    co_return MdsReply{};  // connection refused
+  }
+  net::AdmissionSlot slot(&port_);
+  co_await net_.transfer(client, nic_, config_.request_bytes);
+
+  MdsReply reply = co_await serve(scope);
+  reply.admitted = true;
+
+  co_await net_.transfer(nic_, client, reply.response_bytes);
+  co_return reply;
+}
+
+sim::Task<MdsReply> Gris::fetch(net::Interface& requester) {
+  co_await net_.connect(requester, nic_);
+  if (!port_.try_admit()) {
+    co_return MdsReply{};
+  }
+  net::AdmissionSlot slot(&port_);
+  co_await net_.transfer(requester, nic_, config_.request_bytes);
+  MdsReply reply = co_await serve(QueryScope::All);
+  reply.admitted = true;
+  co_await net_.transfer(nic_, requester, reply.response_bytes);
+  co_return reply;
+}
+
+}  // namespace gridmon::mds

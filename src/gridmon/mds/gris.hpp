@@ -1,0 +1,159 @@
+#pragma once
+
+/// \file gris.hpp
+/// Grid Resource Information Service: the per-resource slapd front-end of
+/// MDS 2.1. Serves LDAP searches over the entries produced by its
+/// information providers; provider output is cached per provider TTL, and
+/// on a cache miss the provider script is forked and executed.
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "gridmon/host/host.hpp"
+#include "gridmon/ldap/dit.hpp"
+#include "gridmon/mds/node.hpp"
+#include "gridmon/mds/provider.hpp"
+#include "gridmon/net/network.hpp"
+#include "gridmon/net/server_port.hpp"
+#include "gridmon/sim/resource.hpp"
+#include "gridmon/sim/task.hpp"
+
+namespace gridmon::mds {
+
+/// What a query asks for: everything the server holds, or a single
+/// provider's slice of it (the paper's Experiment 4 "query part" case).
+enum class QueryScope { All, Part };
+
+/// A full LDAP search request, for clients that need more than the two
+/// canned experiment scopes: an RFC-1960 filter, optional attribute
+/// selection, and an optional size limit (slapd semantics).
+struct SearchRequest {
+  std::string filter = "(objectclass=*)";
+  std::vector<std::string> attributes;  // empty: all
+  std::size_t size_limit = 0;           // 0: unlimited
+};
+
+/// Result of one client query attempt.
+struct MdsReply {
+  bool admitted = false;        // false: connection refused, retry later
+  std::size_t entries = 0;      // entries returned
+  double response_bytes = 0;
+  bool cache_hit = true;
+  /// The entries themselves (consumed by a GIIS merging a fetch; plain
+  /// clients can ignore it).
+  std::vector<ldap::Entry> payload;
+};
+
+struct GrisConfig {
+  /// slapd worker threads that make progress concurrently.
+  int pool_size = 4;
+  /// Listen/accept backlog before connections are refused.
+  int backlog = 512;
+  /// Fixed client-side latency per query: grid-info-search startup plus
+  /// the GSI authentication round trips (dominates light-load response).
+  double client_tool_latency = 1.2;
+  /// Extra backend latency when serving provider data from cache: the MDS
+  /// 2.1 GRIS backend re-validates provider freshness with polling waits.
+  double cache_serve_latency = 2.0;
+  /// Server CPU per query: connection handling, GSI session crypto, and
+  /// filter parsing (reference seconds).
+  double query_base_cpu = 0.004;
+  /// CPU per entry examined by the filter during the search walk.
+  double examine_cpu_per_entry = 0.00005;
+  /// CPU per entry serialized into the LDIF response.
+  double serialize_cpu_per_entry = 0.00012;
+  /// Request size on the wire.
+  double request_bytes = 512;
+  /// If false, provider data is never cached: every query re-executes all
+  /// relevant information providers (the paper's "nocache" GRIS).
+  bool cache_enabled = true;
+  /// Soft-state re-registration period toward a GIIS.
+  double registration_interval = 30.0;
+};
+
+class Gris final : public MdsNode {
+ public:
+  /// `name` doubles as the registered host name in DNs; several Gris
+  /// instances may share one physical Host (the paper's Experiment 4).
+  Gris(net::Network& net, host::Host& host, net::Interface& nic,
+       std::string name, std::vector<ProviderSpec> providers,
+       GrisConfig config = {});
+
+  const std::string& name() const noexcept { return name_; }
+  host::Host& host() noexcept { return host_; }
+  net::Interface& nic() noexcept { return nic_; }
+  const GrisConfig& config() const noexcept { return config_; }
+  const ldap::Dit& dit() const noexcept { return dit_; }
+  std::size_t provider_count() const noexcept { return providers_.size(); }
+
+  /// Total entries currently served (all providers fresh).
+  std::size_t entry_count() const;
+
+  /// One full client query: connect, admission, request, server
+  /// processing (provider refresh on miss, DIT search), response.
+  sim::Task<MdsReply> query(net::Interface& client,
+                            QueryScope scope = QueryScope::All);
+
+  /// General LDAP search with a caller-supplied filter, attribute
+  /// selection and size limit. Same service pipeline as query().
+  sim::Task<MdsReply> search(net::Interface& client, SearchRequest request);
+
+  // ---- MdsNode ----
+  const std::string& node_name() const override { return name_; }
+  const ldap::Dn& suffix() const override { return host_dn_; }
+  ldap::Entry suffix_entry() const override;
+  net::Interface& registration_nic() override { return nic_; }
+  double registration_interval() const override {
+    return config_.registration_interval;
+  }
+  /// Server-to-server fetch used by a GIIS cache refresh: like a query
+  /// from `requester` but without the client-tool latency.
+  sim::Task<MdsReply> fetch(net::Interface& requester) override;
+
+  /// Number of provider executions so far (tests / diagnostics).
+  std::uint64_t provider_runs() const noexcept { return provider_runs_; }
+
+  net::ServerPort& port() noexcept { return port_; }
+
+ private:
+  struct ProviderState {
+    ProviderSpec spec;
+    double fresh_until = -1;  // simulated time the cached data expires
+    std::uint64_t sequence = 0;
+  };
+
+  /// Ensure provider data needed by `scope` is in the DIT, forking the
+  /// provider scripts for anything stale. Returns true if everything was
+  /// already fresh (a cache hit).
+  sim::Task<bool> refresh(QueryScope scope);
+
+  /// The search itself plus CPU charges; returns the reply (admitted set
+  /// by caller).
+  sim::Task<MdsReply> serve(QueryScope scope);
+
+  /// Shared backend: refresh per `refresh_scope`, then run an arbitrary
+  /// filtered search with attribute selection and size limit.
+  sim::Task<MdsReply> serve_filter(QueryScope refresh_scope,
+                                   const ldap::Filter& filter,
+                                   std::vector<std::string> attrs,
+                                   std::size_t size_limit);
+
+  ldap::FilterPtr scope_filter(QueryScope scope) const;
+
+  net::Network& net_;
+  host::Host& host_;
+  net::Interface& nic_;
+  std::string name_;
+  ldap::Dn host_dn_;
+  GrisConfig config_;
+  std::vector<ProviderState> providers_;
+  ldap::Dit dit_;
+  sim::Resource pool_;
+  net::ServerPort port_;
+  std::uint64_t provider_runs_ = 0;
+};
+
+}  // namespace gridmon::mds

@@ -1,0 +1,42 @@
+#pragma once
+
+/// \file node.hpp
+/// The registration interface of the MDS hierarchy. "Each service
+/// registers with others using a soft-state protocol... any GRIS or GIIS
+/// can register with another, making this approach modular and
+/// extensible" (paper §2.1 / Figure 1). Both Gris and Giis implement
+/// MdsNode, so a GIIS can aggregate either — enabling the multi-layer
+/// deployments the paper's §3.6 conclusion calls for.
+
+#include <string>
+
+#include "gridmon/ldap/dn.hpp"
+#include "gridmon/ldap/entry.hpp"
+#include "gridmon/net/network.hpp"
+#include "gridmon/sim/task.hpp"
+
+namespace gridmon::mds {
+
+struct MdsReply;
+
+class MdsNode {
+ public:
+  virtual ~MdsNode() = default;
+
+  /// Unique name in the registration namespace.
+  virtual const std::string& node_name() const = 0;
+  /// The subtree this node's data lives under in an aggregator's DIT.
+  virtual const ldap::Dn& suffix() const = 0;
+  /// The entry that roots that subtree (MdsHost for a GRIS, MdsVo for a
+  /// GIIS).
+  virtual ldap::Entry suffix_entry() const = 0;
+  /// Network attachment point registrations are sent from.
+  virtual net::Interface& registration_nic() = 0;
+  /// Soft-state re-registration period.
+  virtual double registration_interval() const = 0;
+  /// Server-to-server data pull (no client-tool latency). Payload entries
+  /// either already live under suffix() or are rebased there on merge.
+  virtual sim::Task<MdsReply> fetch(net::Interface& requester) = 0;
+};
+
+}  // namespace gridmon::mds

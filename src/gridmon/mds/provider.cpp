@@ -1,0 +1,29 @@
+#include "gridmon/mds/provider.hpp"
+
+namespace gridmon::mds {
+
+std::vector<ldap::Entry> run_provider(const ProviderSpec& spec,
+                                      const ldap::Dn& host_dn,
+                                      std::uint64_t sequence) {
+  std::vector<ldap::Entry> out;
+  out.reserve(static_cast<std::size_t>(spec.entries));
+  for (int i = 0; i < spec.entries; ++i) {
+    ldap::Entry e(ldap::Dn::parse("Mds-Device-name=" + spec.name + "-" +
+                                  std::to_string(i) + ", " +
+                                  host_dn.to_string()));
+    e.add("objectclass", "MdsDevice");
+    e.add("objectclass", "Mds" + spec.name);
+    e.add("Mds-Device-name", spec.name + "-" + std::to_string(i));
+    e.add("Mds-provider-name", spec.name);
+    e.add("Mds-validfrom-sequence", std::to_string(sequence));
+    // Pad to the configured entry size so the wire model sees realistic
+    // LDIF volumes.
+    int pad = spec.bytes_per_entry -
+              static_cast<int>(e.wire_bytes());
+    if (pad > 0) e.add("Mds-data", std::string(static_cast<size_t>(pad), 'd'));
+    out.push_back(std::move(e));
+  }
+  return out;
+}
+
+}  // namespace gridmon::mds

@@ -1,0 +1,37 @@
+#pragma once
+
+/// \file provider.hpp
+/// MDS Information Providers: the shell-script sensors a GRIS forks to
+/// obtain fresh data. Each provider contributes a handful of LDAP entries
+/// under the host's DN; executing one costs fork/exec plus script CPU.
+
+#include <string>
+#include <vector>
+
+#include "gridmon/ldap/entry.hpp"
+
+namespace gridmon::mds {
+
+struct ProviderSpec {
+  std::string name = "memory";
+  /// Entries the provider emits per run.
+  int entries = 4;
+  /// Approximate payload bytes per entry (LDIF attribute text).
+  int bytes_per_entry = 600;
+  /// Reference CPU-seconds consumed by one execution of the script
+  /// (on top of fork/exec overhead). MDS 2.1 providers were shell/perl
+  /// pipelines over /proc; ~80 ms on a 1 GHz machine.
+  double exec_cpu_ref = 0.08;
+  /// Data validity: how long a GRIS may serve this provider's output from
+  /// cache (the per-provider TTL in grid-info-resource-ldif.conf).
+  double cache_ttl = 30.0;
+};
+
+/// Deterministically synthesize the LDAP entries one provider run yields
+/// for `host_dn` (e.g. "Mds-Host-hn=lucky7.mcs.anl.gov, Mds-Vo-name=local,
+/// o=grid"). `sequence` distinguishes runs so tests can observe freshness.
+std::vector<ldap::Entry> run_provider(const ProviderSpec& spec,
+                                      const ldap::Dn& host_dn,
+                                      std::uint64_t sequence);
+
+}  // namespace gridmon::mds

@@ -1,0 +1,32 @@
+#pragma once
+
+/// \file load_average.hpp
+/// Linux-style exponentially-damped run-queue average ("load1", the
+/// Ganglia `load_one` metric used throughout the paper).
+
+#include <cmath>
+
+namespace gridmon::metrics {
+
+/// Feed the instantaneous number of runnable processes at a fixed sampling
+/// cadence; `value()` is the one-minute load average exactly as the Linux
+/// kernel computes it (exp-decay with a 60 s time constant).
+class LoadAverage {
+ public:
+  explicit LoadAverage(double time_constant_seconds = 60.0)
+      : tau_(time_constant_seconds) {}
+
+  void sample(double dt_seconds, double runnable) {
+    double decay = std::exp(-dt_seconds / tau_);
+    value_ = value_ * decay + runnable * (1.0 - decay);
+  }
+
+  double value() const noexcept { return value_; }
+  void reset() noexcept { value_ = 0; }
+
+ private:
+  double tau_;
+  double value_ = 0;
+};
+
+}  // namespace gridmon::metrics

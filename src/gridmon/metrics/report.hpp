@@ -1,0 +1,88 @@
+#pragma once
+
+/// \file report.hpp
+/// Tabular result formatting: aligned text tables for the terminal and CSV
+/// for downstream plotting. Every bench binary prints its figures through
+/// this so the output matches the paper's series layout.
+
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace gridmon::metrics {
+
+class Table {
+ public:
+  explicit Table(std::string title) : title_(std::move(title)) {}
+
+  void set_columns(std::vector<std::string> names) {
+    columns_ = std::move(names);
+  }
+
+  void add_row(std::vector<std::string> cells) {
+    rows_.push_back(std::move(cells));
+  }
+
+  /// Convenience: format doubles with fixed precision; "-" for NaN-ish
+  /// sentinel (negative values used as "not measured").
+  static std::string num(double v, int precision = 2) {
+    if (v < 0) return "-";
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(precision) << v;
+    return os.str();
+  }
+
+  const std::string& title() const noexcept { return title_; }
+  const std::vector<std::string>& columns() const noexcept { return columns_; }
+  const std::vector<std::vector<std::string>>& rows() const noexcept {
+    return rows_;
+  }
+
+  void print_text(std::ostream& os) const {
+    std::vector<std::size_t> widths(columns_.size(), 0);
+    for (std::size_t c = 0; c < columns_.size(); ++c) {
+      widths[c] = columns_[c].size();
+    }
+    for (const auto& row : rows_) {
+      for (std::size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+        widths[c] = std::max(widths[c], row[c].size());
+      }
+    }
+    os << "== " << title_ << " ==\n";
+    auto print_row = [&](const std::vector<std::string>& cells) {
+      for (std::size_t c = 0; c < cells.size(); ++c) {
+        os << std::left << std::setw(static_cast<int>(widths[c]) + 2)
+           << cells[c];
+      }
+      os << '\n';
+    };
+    print_row(columns_);
+    std::size_t total = 2 * columns_.size();
+    for (auto w : widths) total += w;
+    os << std::string(total, '-') << '\n';
+    for (const auto& row : rows_) print_row(row);
+  }
+
+  void print_csv(std::ostream& os) const {
+    os << "# " << title_ << '\n';
+    for (std::size_t c = 0; c < columns_.size(); ++c) {
+      os << (c ? "," : "") << columns_[c];
+    }
+    os << '\n';
+    for (const auto& row : rows_) {
+      for (std::size_t c = 0; c < row.size(); ++c) {
+        os << (c ? "," : "") << row[c];
+      }
+      os << '\n';
+    }
+  }
+
+ private:
+  std::string title_;
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace gridmon::metrics

@@ -1,0 +1,73 @@
+#pragma once
+
+/// \file time_series.hpp
+/// Timestamped metric series with windowed aggregation — the in-memory
+/// equivalent of what the paper collected through Ganglia.
+
+#include <algorithm>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace gridmon::metrics {
+
+struct Point {
+  double t;
+  double value;
+};
+
+class TimeSeries {
+ public:
+  TimeSeries() = default;
+  explicit TimeSeries(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const noexcept { return name_; }
+
+  void record(double t, double value) { points_.push_back({t, value}); }
+
+  std::size_t size() const noexcept { return points_.size(); }
+  bool empty() const noexcept { return points_.empty(); }
+  const std::vector<Point>& points() const noexcept { return points_; }
+
+  double last() const { return points_.empty() ? 0.0 : points_.back().value; }
+
+  /// Mean of samples with t in [t0, t1] (the paper's 10-minute averages).
+  double mean_over(double t0, double t1) const {
+    double sum = 0;
+    std::size_t n = 0;
+    for (const auto& p : points_) {
+      if (p.t >= t0 && p.t <= t1) {
+        sum += p.value;
+        ++n;
+      }
+    }
+    return n ? sum / static_cast<double>(n) : 0.0;
+  }
+
+  double max_over(double t0, double t1) const {
+    double best = 0;
+    bool any = false;
+    for (const auto& p : points_) {
+      if (p.t >= t0 && p.t <= t1) {
+        best = any ? std::max(best, p.value) : p.value;
+        any = true;
+      }
+    }
+    return any ? best : 0.0;
+  }
+
+  double mean() const {
+    if (points_.empty()) return 0;
+    double sum = 0;
+    for (const auto& p : points_) sum += p.value;
+    return sum / static_cast<double>(points_.size());
+  }
+
+  void clear() { points_.clear(); }
+
+ private:
+  std::string name_;
+  std::vector<Point> points_;
+};
+
+}  // namespace gridmon::metrics

@@ -1,0 +1,83 @@
+#pragma once
+
+/// \file server_port.hpp
+/// Listen-queue admission control. A server accepts at most `backlog`
+/// in-flight requests (accepted + queued); beyond that, new connections
+/// are refused (RST / accept-queue overflow) and clients must back off and
+/// retry.
+///
+/// This models the effect the paper repeatedly observes: past a
+/// concurrency threshold "the network on the server side can no longer
+/// handle the traffic from the queries, which limits the number of
+/// concurrent queries presented to the information server" — throughput
+/// flattens and *host load drops*, because most clients sit in
+/// exponential backoff instead of being served.
+
+#include <cstdint>
+#include <utility>
+
+namespace gridmon::net {
+
+class ServerPort {
+ public:
+  explicit ServerPort(int backlog) : backlog_(backlog) {}
+  ServerPort(const ServerPort&) = delete;
+  ServerPort& operator=(const ServerPort&) = delete;
+
+  /// Try to admit a new request. Returns false (a refused connection)
+  /// when the backlog is full.
+  bool try_admit() {
+    if (in_flight_ >= backlog_) {
+      ++refused_;
+      return false;
+    }
+    ++in_flight_;
+    ++admitted_;
+    return true;
+  }
+
+  /// Release the admission slot (request fully processed or failed).
+  void release() { --in_flight_; }
+
+  int in_flight() const noexcept { return in_flight_; }
+  int backlog() const noexcept { return backlog_; }
+  std::uint64_t total_admitted() const noexcept { return admitted_; }
+  std::uint64_t total_refused() const noexcept { return refused_; }
+
+ private:
+  int backlog_;
+  int in_flight_ = 0;
+  std::uint64_t admitted_ = 0;
+  std::uint64_t refused_ = 0;
+};
+
+/// RAII admission slot.
+class AdmissionSlot {
+ public:
+  AdmissionSlot() noexcept = default;
+  explicit AdmissionSlot(ServerPort* port) noexcept : port_(port) {}
+  AdmissionSlot(AdmissionSlot&& o) noexcept
+      : port_(std::exchange(o.port_, nullptr)) {}
+  AdmissionSlot& operator=(AdmissionSlot&& o) noexcept {
+    if (this != &o) {
+      release();
+      port_ = std::exchange(o.port_, nullptr);
+    }
+    return *this;
+  }
+  AdmissionSlot(const AdmissionSlot&) = delete;
+  AdmissionSlot& operator=(const AdmissionSlot&) = delete;
+  ~AdmissionSlot() { release(); }
+
+  void release() noexcept {
+    if (port_ != nullptr) {
+      port_->release();
+      port_ = nullptr;
+    }
+  }
+
+ private:
+  ServerPort* port_ = nullptr;
+};
+
+}  // namespace gridmon::net

@@ -1,0 +1,329 @@
+#include "gridmon/rdbms/database.hpp"
+
+#include <algorithm>
+
+#include "gridmon/rdbms/sql_lexer.hpp"  // SqlError
+
+namespace gridmon::rdbms {
+
+QueryResult Database::execute(std::string_view sql) {
+  return execute(sql_parse(sql));
+}
+
+QueryResult Database::execute(const Statement& stmt) {
+  return std::visit([this](const auto& s) { return run(s); }, stmt);
+}
+
+bool Database::has_table(const std::string& name) const {
+  return tables_.find(sql_lower(name)) != tables_.end();
+}
+
+Table& Database::table(const std::string& name) {
+  auto it = tables_.find(sql_lower(name));
+  if (it == tables_.end()) throw SqlError("no such table: " + name);
+  return it->second;
+}
+
+const Table& Database::table(const std::string& name) const {
+  auto it = tables_.find(sql_lower(name));
+  if (it == tables_.end()) throw SqlError("no such table: " + name);
+  return it->second;
+}
+
+std::vector<std::string> Database::table_names() const {
+  std::vector<std::string> out;
+  out.reserve(tables_.size());
+  for (const auto& [name, t] : tables_) out.push_back(name);
+  return out;
+}
+
+QueryResult Database::run(const CreateTableStmt& s) {
+  std::string key = sql_lower(s.table);
+  if (tables_.find(key) != tables_.end()) {
+    throw SqlError("table already exists: " + s.table);
+  }
+  tables_.emplace(key, Table(s.table, Schema(s.columns)));
+  return {};
+}
+
+QueryResult Database::run(const DropTableStmt& s) {
+  std::string key = sql_lower(s.table);
+  auto it = tables_.find(key);
+  if (it == tables_.end()) {
+    if (s.if_exists) return {};
+    throw SqlError("no such table: " + s.table);
+  }
+  tables_.erase(it);
+  return {};
+}
+
+QueryResult Database::run(const CreateIndexStmt& s) {
+  table(s.table).create_index(s.column);
+  return {};
+}
+
+QueryResult Database::run(const InsertStmt& s) {
+  Table& t = table(s.table);
+  const Schema& schema = t.schema();
+  QueryResult result;
+  RowContext empty_ctx{&schema, nullptr};
+
+  for (const auto& exprs : s.rows) {
+    Row row(schema.column_count(), Value::null());
+    if (s.columns.empty()) {
+      if (exprs.size() != schema.column_count()) {
+        throw SqlError("INSERT arity mismatch for table " + s.table);
+      }
+      for (std::size_t i = 0; i < exprs.size(); ++i) {
+        row[i] = exprs[i]->eval(empty_ctx);
+      }
+    } else {
+      if (exprs.size() != s.columns.size()) {
+        throw SqlError("INSERT column/value count mismatch");
+      }
+      for (std::size_t i = 0; i < exprs.size(); ++i) {
+        auto idx = schema.index_of(s.columns[i]);
+        if (!idx) throw SqlError("unknown column: " + s.columns[i]);
+        row[*idx] = exprs[i]->eval(empty_ctx);
+      }
+    }
+    t.insert(std::move(row));
+    ++result.affected;
+  }
+  return result;
+}
+
+namespace {
+
+/// Online state for one aggregate over one group.
+struct AggState {
+  std::size_t count = 0;
+  double sum = 0;
+  Value min = Value::null();
+  Value max = Value::null();
+
+  void add(const Value& v) {
+    if (v.is_null()) return;  // SQL aggregates skip NULLs
+    ++count;
+    if (v.is_number()) sum += v.as_number();
+    auto cmin = Value::compare(v, min);
+    if (min.is_null() || (cmin && *cmin < 0)) min = v;
+    auto cmax = Value::compare(v, max);
+    if (max.is_null() || (cmax && *cmax > 0)) max = v;
+  }
+
+  Value finish(SelectItem::Kind kind, std::size_t group_rows) const {
+    switch (kind) {
+      case SelectItem::Kind::CountStar:
+        return Value::integer(static_cast<std::int64_t>(group_rows));
+      case SelectItem::Kind::Count:
+        return Value::integer(static_cast<std::int64_t>(count));
+      case SelectItem::Kind::Sum:
+        return count ? Value::real(sum) : Value::null();
+      case SelectItem::Kind::Avg:
+        return count ? Value::real(sum / static_cast<double>(count))
+                     : Value::null();
+      case SelectItem::Kind::Min:
+        return min;
+      case SelectItem::Kind::Max:
+        return max;
+      case SelectItem::Kind::Column:
+        return Value::null();
+    }
+    return Value::null();
+  }
+};
+
+}  // namespace
+
+QueryResult Database::run(const SelectStmt& s) {
+  const Table& t = table(s.table);
+  const Schema& schema = t.schema();
+  QueryResult result;
+
+  bool has_aggregate = false;
+  for (const auto& item : s.items) {
+    if (item.is_aggregate()) has_aggregate = true;
+  }
+
+  std::vector<std::size_t> matched;
+  t.scan([&](std::size_t id, const Row& row) {
+    ++result.rows_examined;
+    if (s.where) {
+      RowContext ctx{&schema, &row};
+      auto keep = SqlExpr::truth(s.where->eval(ctx));
+      if (!keep || !*keep) return true;
+    }
+    matched.push_back(id);
+    return true;
+  });
+
+  if (has_aggregate || s.group_by) {
+    // ---- aggregation path ----
+    for (const auto& item : s.items) {
+      if (!item.is_aggregate()) {
+        if (!s.group_by ||
+            sql_lower(item.column) != sql_lower(*s.group_by)) {
+          throw SqlError("bare column " + item.column +
+                         " mixed with aggregates must be the GROUP BY key");
+        }
+      }
+      result.columns.push_back(item.display_name());
+    }
+    std::optional<std::size_t> group_idx;
+    if (s.group_by) {
+      group_idx = schema.index_of(*s.group_by);
+      if (!group_idx) throw SqlError("unknown column: " + *s.group_by);
+    }
+    // Resolve aggregated columns once.
+    std::vector<std::optional<std::size_t>> agg_cols;
+    for (const auto& item : s.items) {
+      if (item.is_aggregate() && item.kind != SelectItem::Kind::CountStar) {
+        auto idx = schema.index_of(item.column);
+        if (!idx) throw SqlError("unknown column: " + item.column);
+        agg_cols.push_back(idx);
+      } else {
+        agg_cols.push_back(std::nullopt);
+      }
+    }
+    struct Group {
+      Value key;
+      std::size_t rows = 0;
+      std::vector<AggState> states;
+    };
+    std::map<std::string, Group> groups;  // keyed by rendered group value
+    for (auto id : matched) {
+      const Row& row = t.row(id);
+      std::string key = group_idx ? row[*group_idx].to_string() : "";
+      auto [it, inserted] = groups.emplace(key, Group{});
+      Group& g = it->second;
+      if (inserted) {
+        g.key = group_idx ? row[*group_idx] : Value::null();
+        g.states.resize(s.items.size());
+      }
+      ++g.rows;
+      for (std::size_t i = 0; i < s.items.size(); ++i) {
+        if (agg_cols[i]) g.states[i].add(row[*agg_cols[i]]);
+      }
+    }
+    if (groups.empty() && !s.group_by) {
+      groups.emplace("", Group{Value::null(), 0,
+                               std::vector<AggState>(s.items.size())});
+    }
+    for (const auto& [key, g] : groups) {
+      Row out;
+      for (std::size_t i = 0; i < s.items.size(); ++i) {
+        const auto& item = s.items[i];
+        if (!item.is_aggregate()) {
+          out.push_back(g.key);
+        } else {
+          out.push_back(g.states[i].finish(item.kind, g.rows));
+        }
+      }
+      result.rows.push_back(std::move(out));
+    }
+    std::size_t limit = s.limit.value_or(result.rows.size());
+    if (result.rows.size() > limit) result.rows.resize(limit);
+    return result;
+  }
+
+  // ---- plain projection path ----
+  std::vector<std::size_t> proj;
+  if (s.items.empty()) {
+    for (std::size_t i = 0; i < schema.column_count(); ++i) {
+      proj.push_back(i);
+      result.columns.push_back(schema.column(i).name);
+    }
+  } else {
+    for (const auto& item : s.items) {
+      auto idx = schema.index_of(item.column);
+      if (!idx) throw SqlError("unknown column: " + item.column);
+      proj.push_back(*idx);
+      result.columns.push_back(schema.column(*idx).name);
+    }
+  }
+
+  if (s.order_by) {
+    auto idx = schema.index_of(s.order_by->column);
+    if (!idx) throw SqlError("unknown column: " + s.order_by->column);
+    bool desc = s.order_by->descending;
+    std::stable_sort(matched.begin(), matched.end(),
+                     [&](std::size_t a, std::size_t b) {
+                       auto cmp = Value::compare(t.row(a)[*idx],
+                                                 t.row(b)[*idx]);
+                       int c = cmp ? *cmp : 0;
+                       return desc ? c > 0 : c < 0;
+                     });
+  }
+
+  std::size_t limit = s.limit.value_or(matched.size());
+  for (std::size_t k = 0; k < matched.size() && k < limit; ++k) {
+    const Row& row = t.row(matched[k]);
+    Row out;
+    out.reserve(proj.size());
+    for (auto i : proj) out.push_back(row[i]);
+    result.rows.push_back(std::move(out));
+  }
+  return result;
+}
+
+QueryResult Database::run(const UpdateStmt& s) {
+  Table& t = table(s.table);
+  const Schema& schema = t.schema();
+  QueryResult result;
+
+  std::vector<std::pair<std::size_t, SqlExpr*>> sets;
+  for (const auto& [col, expr] : s.assignments) {
+    auto idx = schema.index_of(col);
+    if (!idx) throw SqlError("unknown column: " + col);
+    sets.emplace_back(*idx, expr.get());
+  }
+
+  std::vector<std::size_t> targets;
+  t.scan([&](std::size_t id, const Row& row) {
+    ++result.rows_examined;
+    if (s.where) {
+      RowContext ctx{&schema, &row};
+      auto keep = SqlExpr::truth(s.where->eval(ctx));
+      if (!keep || !*keep) return true;
+    }
+    targets.push_back(id);
+    return true;
+  });
+
+  for (auto id : targets) {
+    Row row = t.row(id);
+    RowContext ctx{&schema, &row};
+    Row updated = row;
+    for (auto& [idx, expr] : sets) updated[idx] = expr->eval(ctx);
+    t.update_row(id, std::move(updated));
+    ++result.affected;
+  }
+  return result;
+}
+
+QueryResult Database::run(const DeleteStmt& s) {
+  Table& t = table(s.table);
+  const Schema& schema = t.schema();
+  QueryResult result;
+
+  std::vector<std::size_t> targets;
+  t.scan([&](std::size_t id, const Row& row) {
+    ++result.rows_examined;
+    if (s.where) {
+      RowContext ctx{&schema, &row};
+      auto keep = SqlExpr::truth(s.where->eval(ctx));
+      if (!keep || !*keep) return true;
+    }
+    targets.push_back(id);
+    return true;
+  });
+
+  for (auto id : targets) {
+    t.erase_row(id);
+    ++result.affected;
+  }
+  return result;
+}
+
+}  // namespace gridmon::rdbms

@@ -1,0 +1,60 @@
+#pragma once
+
+/// \file database.hpp
+/// The database engine: named tables plus a statement executor. Execution
+/// reports rows examined/returned so callers (the R-GMA servlets, the
+/// Hawkeye Manager) can charge realistic simulated CPU time per query.
+
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "gridmon/rdbms/sql_ast.hpp"
+#include "gridmon/rdbms/sql_parser.hpp"
+#include "gridmon/rdbms/table.hpp"
+
+namespace gridmon::rdbms {
+
+struct QueryResult {
+  std::vector<std::string> columns;
+  std::vector<Row> rows;
+  std::size_t affected = 0;       // for INSERT/UPDATE/DELETE
+  std::size_t rows_examined = 0;  // cost accounting
+
+  /// Approximate wire size of the result set.
+  double wire_bytes() const {
+    double b = 64;
+    for (const auto& row : rows) {
+      for (const auto& v : row) b += v.to_string().size() + 2;
+    }
+    return b;
+  }
+};
+
+class Database {
+ public:
+  /// Parse and execute one statement.
+  QueryResult execute(std::string_view sql);
+  /// Execute a pre-parsed statement.
+  QueryResult execute(const Statement& stmt);
+
+  bool has_table(const std::string& name) const;
+  Table& table(const std::string& name);
+  const Table& table(const std::string& name) const;
+  std::vector<std::string> table_names() const;
+  std::size_t table_count() const noexcept { return tables_.size(); }
+
+ private:
+  QueryResult run(const CreateTableStmt& s);
+  QueryResult run(const DropTableStmt& s);
+  QueryResult run(const CreateIndexStmt& s);
+  QueryResult run(const InsertStmt& s);
+  QueryResult run(const SelectStmt& s);
+  QueryResult run(const UpdateStmt& s);
+  QueryResult run(const DeleteStmt& s);
+
+  std::map<std::string, Table> tables_;  // key: lowercase name
+};
+
+}  // namespace gridmon::rdbms

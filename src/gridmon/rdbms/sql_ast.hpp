@@ -1,0 +1,240 @@
+#pragma once
+
+/// \file sql_ast.hpp
+/// Statement and expression AST for the SQL subset, with SQL three-valued
+/// NULL logic in expression evaluation.
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "gridmon/rdbms/schema.hpp"
+#include "gridmon/rdbms/sql_lexer.hpp"  // SqlError
+#include "gridmon/rdbms/table.hpp"
+#include "gridmon/rdbms/value.hpp"
+
+namespace gridmon::rdbms {
+
+class SqlExpr;
+using SqlExprPtr = std::unique_ptr<SqlExpr>;
+
+/// Row context for expression evaluation.
+struct RowContext {
+  const Schema* schema;
+  const Row* row;
+};
+
+class SqlExpr {
+ public:
+  virtual ~SqlExpr() = default;
+  /// Evaluate to a Value; boolean results are integer 1/0, unknown is NULL.
+  virtual Value eval(const RowContext& ctx) const = 0;
+  virtual std::string to_string() const = 0;
+
+  /// SQL truth of a value: NULL -> unknown (nullopt), numbers C-style.
+  static std::optional<bool> truth(const Value& v);
+};
+
+class SqlLiteral final : public SqlExpr {
+ public:
+  explicit SqlLiteral(Value v) : value_(std::move(v)) {}
+  Value eval(const RowContext&) const override { return value_; }
+  std::string to_string() const override { return value_.to_string(); }
+  const Value& value() const noexcept { return value_; }
+
+ private:
+  Value value_;
+};
+
+class SqlColumnRef final : public SqlExpr {
+ public:
+  explicit SqlColumnRef(std::string name) : name_(std::move(name)) {}
+  Value eval(const RowContext& ctx) const override;
+  std::string to_string() const override { return name_; }
+  const std::string& name() const noexcept { return name_; }
+
+ private:
+  std::string name_;
+};
+
+enum class SqlBinOp {
+  Add,
+  Subtract,
+  Multiply,
+  Divide,
+  Eq,
+  NotEq,
+  Less,
+  LessEq,
+  Greater,
+  GreaterEq,
+  And,
+  Or,
+};
+
+class SqlBinary final : public SqlExpr {
+ public:
+  SqlBinary(SqlBinOp op, SqlExprPtr l, SqlExprPtr r)
+      : op_(op), lhs_(std::move(l)), rhs_(std::move(r)) {}
+  Value eval(const RowContext& ctx) const override;
+  std::string to_string() const override;
+
+ private:
+  SqlBinOp op_;
+  SqlExprPtr lhs_;
+  SqlExprPtr rhs_;
+};
+
+class SqlNot final : public SqlExpr {
+ public:
+  explicit SqlNot(SqlExprPtr e) : inner_(std::move(e)) {}
+  Value eval(const RowContext& ctx) const override;
+  std::string to_string() const override {
+    return "NOT (" + inner_->to_string() + ")";
+  }
+
+ private:
+  SqlExprPtr inner_;
+};
+
+class SqlNegate final : public SqlExpr {
+ public:
+  explicit SqlNegate(SqlExprPtr e) : inner_(std::move(e)) {}
+  Value eval(const RowContext& ctx) const override;
+  std::string to_string() const override {
+    return "-(" + inner_->to_string() + ")";
+  }
+
+ private:
+  SqlExprPtr inner_;
+};
+
+/// expr LIKE 'pattern' — % any run, _ one char, case-insensitive.
+class SqlLike final : public SqlExpr {
+ public:
+  SqlLike(SqlExprPtr subject, std::string pattern, bool negated)
+      : subject_(std::move(subject)),
+        pattern_(std::move(pattern)),
+        negated_(negated) {}
+  Value eval(const RowContext& ctx) const override;
+  std::string to_string() const override;
+  static bool like_match(const std::string& text, const std::string& pattern);
+
+ private:
+  SqlExprPtr subject_;
+  std::string pattern_;
+  bool negated_;
+};
+
+class SqlIn final : public SqlExpr {
+ public:
+  SqlIn(SqlExprPtr subject, std::vector<SqlExprPtr> items, bool negated)
+      : subject_(std::move(subject)),
+        items_(std::move(items)),
+        negated_(negated) {}
+  Value eval(const RowContext& ctx) const override;
+  std::string to_string() const override;
+
+ private:
+  SqlExprPtr subject_;
+  std::vector<SqlExprPtr> items_;
+  bool negated_;
+};
+
+class SqlIsNull final : public SqlExpr {
+ public:
+  SqlIsNull(SqlExprPtr subject, bool negated)
+      : subject_(std::move(subject)), negated_(negated) {}
+  Value eval(const RowContext& ctx) const override;
+  std::string to_string() const override {
+    return subject_->to_string() + (negated_ ? " IS NOT NULL" : " IS NULL");
+  }
+
+ private:
+  SqlExprPtr subject_;
+  bool negated_;
+};
+
+// ---- statements ----
+
+struct CreateTableStmt {
+  std::string table;
+  std::vector<ColumnDef> columns;
+};
+
+struct DropTableStmt {
+  std::string table;
+  bool if_exists = false;
+};
+
+struct CreateIndexStmt {
+  std::string table;
+  std::string column;
+};
+
+struct InsertStmt {
+  std::string table;
+  std::vector<std::string> columns;  // empty: positional
+  std::vector<std::vector<SqlExprPtr>> rows;
+};
+
+struct OrderBy {
+  std::string column;
+  bool descending = false;
+};
+
+/// One item of a SELECT list: a plain column or an aggregate over one.
+struct SelectItem {
+  enum class Kind { Column, CountStar, Count, Sum, Avg, Min, Max };
+  Kind kind = Kind::Column;
+  std::string column;  // unused for CountStar
+
+  std::string display_name() const {
+    switch (kind) {
+      case Kind::Column:
+        return column;
+      case Kind::CountStar:
+        return "COUNT(*)";
+      case Kind::Count:
+        return "COUNT(" + column + ")";
+      case Kind::Sum:
+        return "SUM(" + column + ")";
+      case Kind::Avg:
+        return "AVG(" + column + ")";
+      case Kind::Min:
+        return "MIN(" + column + ")";
+      case Kind::Max:
+        return "MAX(" + column + ")";
+    }
+    return column;
+  }
+  bool is_aggregate() const { return kind != Kind::Column; }
+};
+
+struct SelectStmt {
+  std::vector<SelectItem> items;  // empty: SELECT *
+  std::string table;
+  SqlExprPtr where;  // may be null
+  std::optional<std::string> group_by;
+  std::optional<OrderBy> order_by;
+  std::optional<std::size_t> limit;
+};
+
+struct UpdateStmt {
+  std::string table;
+  std::vector<std::pair<std::string, SqlExprPtr>> assignments;
+  SqlExprPtr where;
+};
+
+struct DeleteStmt {
+  std::string table;
+  SqlExprPtr where;
+};
+
+using Statement = std::variant<CreateTableStmt, DropTableStmt,
+                               CreateIndexStmt, InsertStmt, SelectStmt,
+                               UpdateStmt, DeleteStmt>;
+
+}  // namespace gridmon::rdbms

@@ -1,0 +1,58 @@
+#pragma once
+
+/// \file sql_lexer.hpp
+/// Tokenizer for the SQL subset R-GMA mediates (SELECT/INSERT/UPDATE/
+/// DELETE/CREATE/DROP). Keywords are case-insensitive; strings are
+/// single-quoted with '' as the escape.
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace gridmon::rdbms {
+
+enum class SqlTokenKind {
+  End,
+  Identifier,   // possibly a keyword; parser decides
+  Integer,
+  Real,
+  String,
+  LParen,
+  RParen,
+  Comma,
+  Star,
+  Semicolon,
+  Eq,        // =
+  NotEq,     // != or <>
+  Less,
+  LessEq,
+  Greater,
+  GreaterEq,
+  Plus,
+  Minus,
+  Slash,
+  Percent,
+  Dot,
+};
+
+struct SqlToken {
+  SqlTokenKind kind;
+  std::string text;
+  std::int64_t int_value = 0;
+  double real_value = 0;
+  std::size_t offset = 0;
+
+  /// Case-insensitive keyword test for Identifier tokens.
+  bool is_keyword(const char* kw) const;
+};
+
+class SqlError : public std::runtime_error {
+ public:
+  explicit SqlError(const std::string& msg) : std::runtime_error(msg) {}
+};
+
+std::vector<SqlToken> sql_lex(std::string_view input);
+
+}  // namespace gridmon::rdbms

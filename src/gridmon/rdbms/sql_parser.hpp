@@ -1,0 +1,30 @@
+#pragma once
+
+/// \file sql_parser.hpp
+/// Parser for the SQL subset:
+///
+///   CREATE TABLE t (col TYPE, ...)        TYPE: INT|INTEGER|REAL|FLOAT|
+///                                               DOUBLE|TEXT|VARCHAR[(n)]
+///   CREATE INDEX ON t (col)
+///   DROP TABLE [IF EXISTS] t
+///   INSERT INTO t [(cols)] VALUES (...), (...)
+///   SELECT *|cols FROM t [WHERE expr] [ORDER BY col [ASC|DESC]] [LIMIT n]
+///   UPDATE t SET col = expr, ... [WHERE expr]
+///   DELETE FROM t [WHERE expr]
+///
+/// WHERE grammar: OR < AND < NOT < comparison/LIKE/IN/IS < additive <
+/// multiplicative < unary < primary.
+
+#include <string_view>
+
+#include "gridmon/rdbms/sql_ast.hpp"
+
+namespace gridmon::rdbms {
+
+/// Parse a single statement (trailing ';' allowed). Throws SqlError.
+Statement sql_parse(std::string_view input);
+
+/// Parse just an expression (for producer predicates etc.).
+SqlExprPtr sql_parse_expression(std::string_view input);
+
+}  // namespace gridmon::rdbms

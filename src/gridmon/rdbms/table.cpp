@@ -1,0 +1,134 @@
+#include "gridmon/rdbms/table.hpp"
+
+namespace gridmon::rdbms {
+
+void Table::check_row(const Row& row) const {
+  if (row.size() != schema_.column_count()) {
+    throw TableError("row arity " + std::to_string(row.size()) +
+                     " != schema arity " +
+                     std::to_string(schema_.column_count()) + " for table " +
+                     name_);
+  }
+  for (std::size_t i = 0; i < row.size(); ++i) {
+    const Value& v = row[i];
+    if (v.is_null()) continue;
+    switch (schema_.column(i).type) {
+      case ColumnType::Integer:
+        if (!v.is_integer()) {
+          throw TableError("type mismatch in column " +
+                           schema_.column(i).name);
+        }
+        break;
+      case ColumnType::Real:
+        if (!v.is_number()) {
+          throw TableError("type mismatch in column " +
+                           schema_.column(i).name);
+        }
+        break;
+      case ColumnType::Text:
+        if (!v.is_text()) {
+          throw TableError("type mismatch in column " +
+                           schema_.column(i).name);
+        }
+        break;
+    }
+  }
+}
+
+void Table::insert(Row row) {
+  check_row(row);
+  // Widen integers stored into REAL columns so comparisons are uniform.
+  for (std::size_t i = 0; i < row.size(); ++i) {
+    if (schema_.column(i).type == ColumnType::Real && row[i].is_integer()) {
+      row[i] = Value::real(static_cast<double>(row[i].as_integer()));
+    }
+  }
+  rows_.push_back(std::move(row));
+  tombstone_.push_back(false);
+  ++live_rows_;
+  index_insert(rows_.size() - 1);
+}
+
+void Table::create_index(const std::string& column) {
+  auto idx = schema_.index_of(column);
+  if (!idx) throw TableError("no such column to index: " + column);
+  indexed_column_ = *idx;
+  index_.clear();
+  for (std::size_t i = 0; i < rows_.size(); ++i) {
+    if (!tombstone_[i]) index_insert(i);
+  }
+}
+
+bool Table::has_index_on(const std::string& column) const {
+  auto idx = schema_.index_of(column);
+  return idx && indexed_column_ && *idx == *indexed_column_;
+}
+
+std::vector<std::size_t> Table::find_equal(const std::string& column,
+                                           const Value& v) const {
+  std::vector<std::size_t> out;
+  auto idx = schema_.index_of(column);
+  if (!idx) throw TableError("no such column: " + column);
+  if (indexed_column_ && *indexed_column_ == *idx) {
+    auto [lo, hi] = index_.equal_range(index_key(v));
+    for (auto it = lo; it != hi; ++it) {
+      if (!tombstone_[it->second]) out.push_back(it->second);
+    }
+    // Hash key is the rendered literal; values rendering identically are
+    // genuinely equal for our value domain.
+    return out;
+  }
+  scan([&](std::size_t id, const Row& row) {
+    auto cmp = Value::compare(row[*idx], v);
+    if (cmp && *cmp == 0) out.push_back(id);
+    return true;
+  });
+  return out;
+}
+
+void Table::update_row(std::size_t id, Row row) {
+  check_row(row);
+  if (tombstone_.at(id)) throw TableError("update of deleted row");
+  index_erase(id);
+  rows_[id] = std::move(row);
+  index_insert(id);
+}
+
+void Table::erase_row(std::size_t id) {
+  if (tombstone_.at(id)) return;
+  index_erase(id);
+  tombstone_[id] = true;
+  --live_rows_;
+}
+
+void Table::vacuum() {
+  std::vector<Row> kept;
+  kept.reserve(live_rows_);
+  for (std::size_t i = 0; i < rows_.size(); ++i) {
+    if (!tombstone_[i]) kept.push_back(std::move(rows_[i]));
+  }
+  rows_ = std::move(kept);
+  tombstone_.assign(rows_.size(), false);
+  if (indexed_column_) {
+    index_.clear();
+    for (std::size_t i = 0; i < rows_.size(); ++i) index_insert(i);
+  }
+}
+
+void Table::index_insert(std::size_t id) {
+  if (!indexed_column_) return;
+  index_.emplace(index_key(rows_[id][*indexed_column_]), id);
+}
+
+void Table::index_erase(std::size_t id) {
+  if (!indexed_column_) return;
+  auto [lo, hi] = index_.equal_range(index_key(rows_[id][*indexed_column_]));
+  for (auto it = lo; it != hi; ++it) {
+    if (it->second == id) {
+      index_.erase(it);
+      return;
+    }
+  }
+}
+
+}  // namespace gridmon::rdbms

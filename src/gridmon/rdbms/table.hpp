@@ -1,0 +1,89 @@
+#pragma once
+
+/// \file table.hpp
+/// Heap-of-rows table with an optional single-column hash index used for
+/// equality lookups (the "indexed resident database" the paper credits for
+/// the Hawkeye Manager's efficiency, and the MySQL-style backend of the
+/// R-GMA Registry).
+
+#include <cstddef>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "gridmon/rdbms/schema.hpp"
+#include "gridmon/rdbms/value.hpp"
+
+namespace gridmon::rdbms {
+
+using Row = std::vector<Value>;
+
+class TableError : public std::runtime_error {
+ public:
+  explicit TableError(const std::string& msg) : std::runtime_error(msg) {}
+};
+
+class Table {
+ public:
+  Table() = default;
+  Table(std::string name, Schema schema)
+      : name_(std::move(name)), schema_(std::move(schema)) {}
+
+  const std::string& name() const noexcept { return name_; }
+  const Schema& schema() const noexcept { return schema_; }
+  std::size_t row_count() const noexcept { return live_rows_; }
+
+  /// Append a row (arity and basic type compatibility are checked; an
+  /// integer value silently widens into a REAL column).
+  void insert(Row row);
+
+  /// Build (or rebuild) a hash index on the named column.
+  void create_index(const std::string& column);
+  bool has_index_on(const std::string& column) const;
+
+  /// Visit every live row: fn(row_id, row). Return false to stop.
+  template <typename Fn>
+  void scan(Fn&& fn) const {
+    for (std::size_t i = 0; i < rows_.size(); ++i) {
+      if (!tombstone_[i]) {
+        if (!fn(i, rows_[i])) return;
+      }
+    }
+  }
+
+  /// Equality probe via the index if one covers `column`; falls back to a
+  /// full scan. Returns live row ids.
+  std::vector<std::size_t> find_equal(const std::string& column,
+                                      const Value& v) const;
+
+  const Row& row(std::size_t id) const { return rows_.at(id); }
+  bool is_live(std::size_t id) const { return !tombstone_.at(id); }
+
+  /// Overwrite a live row in place (keeps indexes in sync).
+  void update_row(std::size_t id, Row row);
+
+  /// Tombstone a row.
+  void erase_row(std::size_t id);
+
+  /// Drop tombstoned rows and rebuild indexes.
+  void vacuum();
+
+ private:
+  static std::string index_key(const Value& v) { return v.to_string(); }
+  void check_row(const Row& row) const;
+  void index_insert(std::size_t id);
+  void index_erase(std::size_t id);
+
+  std::string name_;
+  Schema schema_;
+  std::vector<Row> rows_;
+  std::vector<bool> tombstone_;
+  std::size_t live_rows_ = 0;
+
+  std::optional<std::size_t> indexed_column_;
+  std::unordered_multimap<std::string, std::size_t> index_;
+};
+
+}  // namespace gridmon::rdbms

@@ -1,0 +1,37 @@
+#include "gridmon/rdbms/value.hpp"
+
+#include <sstream>
+
+namespace gridmon::rdbms {
+
+std::optional<int> Value::compare(const Value& a, const Value& b) {
+  if (a.is_null() || b.is_null()) return std::nullopt;
+  if (a.is_number() && b.is_number()) {
+    double x = a.as_number(), y = b.as_number();
+    return x < y ? -1 : (x > y ? 1 : 0);
+  }
+  if (a.is_text() && b.is_text()) {
+    int c = a.as_text().compare(b.as_text());
+    return c < 0 ? -1 : (c > 0 ? 1 : 0);
+  }
+  return std::nullopt;  // incomparable types
+}
+
+std::string Value::to_string() const {
+  if (is_null()) return "NULL";
+  if (is_integer()) return std::to_string(as_integer());
+  if (is_real()) {
+    std::ostringstream os;
+    os << as_real();
+    return os.str();
+  }
+  std::string out = "'";
+  for (char c : as_text()) {
+    if (c == '\'') out += "''";
+    else out.push_back(c);
+  }
+  out += '\'';
+  return out;
+}
+
+}  // namespace gridmon::rdbms

@@ -1,0 +1,64 @@
+#pragma once
+
+/// \file value.hpp
+/// SQL values: NULL, 64-bit integers, doubles and strings, with SQL
+/// comparison semantics (numeric cross-type comparison; NULL compares as
+/// "unknown", surfaced via std::optional).
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <variant>
+
+namespace gridmon::rdbms {
+
+class Value {
+ public:
+  Value() = default;  // NULL
+
+  static Value null() { return Value(); }
+  static Value integer(std::int64_t v) { return Value(Payload(v)); }
+  static Value real(double v) { return Value(Payload(v)); }
+  static Value text(std::string v) { return Value(Payload(std::move(v))); }
+
+  bool is_null() const noexcept {
+    return std::holds_alternative<std::monostate>(data_);
+  }
+  bool is_integer() const noexcept {
+    return std::holds_alternative<std::int64_t>(data_);
+  }
+  bool is_real() const noexcept {
+    return std::holds_alternative<double>(data_);
+  }
+  bool is_text() const noexcept {
+    return std::holds_alternative<std::string>(data_);
+  }
+  bool is_number() const noexcept { return is_integer() || is_real(); }
+
+  std::int64_t as_integer() const { return std::get<std::int64_t>(data_); }
+  double as_real() const { return std::get<double>(data_); }
+  const std::string& as_text() const { return std::get<std::string>(data_); }
+  double as_number() const {
+    return is_integer() ? static_cast<double>(as_integer()) : as_real();
+  }
+
+  /// SQL three-way comparison. nullopt when either side is NULL or the
+  /// types are incomparable (number vs string).
+  static std::optional<int> compare(const Value& a, const Value& b);
+
+  /// Literal rendering ("NULL", 42, 3.5, 'quoted').
+  std::string to_string() const;
+
+  /// Exact (structural) equality, for tests. NULL == NULL here.
+  friend bool operator==(const Value& a, const Value& b) {
+    return a.data_ == b.data_;
+  }
+
+ private:
+  using Payload = std::variant<std::monostate, std::int64_t, double,
+                               std::string>;
+  explicit Value(Payload p) : data_(std::move(p)) {}
+  Payload data_;
+};
+
+}  // namespace gridmon::rdbms

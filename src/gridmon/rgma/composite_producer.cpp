@@ -1,0 +1,37 @@
+#include "gridmon/rgma/composite_producer.hpp"
+
+namespace gridmon::rgma {
+
+CompositeProducer::CompositeProducer(net::Network& net, host::Host& host,
+                                     net::Interface& nic, std::string name,
+                                     std::string table,
+                                     CompositeProducerConfig config)
+    : net_(net),
+      host_(host),
+      nic_(nic),
+      name_(std::move(name)),
+      table_(std::move(table)),
+      config_(config),
+      servlet_(std::make_unique<ProducerServlet>(net, host, nic,
+                                                 name_ + "-servlet",
+                                                 config.servlet)) {
+  merged_ = &servlet_->add_producer(name_ + "-merged", table_, "",
+                                    config_.merge_history);
+}
+
+void CompositeProducer::attach_source(ProducerServlet& source) {
+  ++sources_;
+  // The consumer half: the source pushes matching tuples to our NIC; each
+  // arrival is ingested into the merged store.
+  source.subscribe(nic_, table_, "", [this](const rdbms::Row& row) {
+    host_.simulation().spawn(ingest(row));
+  });
+}
+
+sim::Task<void> CompositeProducer::ingest(rdbms::Row row) {
+  co_await host_.cpu().consume(config_.ingest_cpu);
+  ++ingested_;
+  co_await servlet_->publish(*merged_, std::move(row));
+}
+
+}  // namespace gridmon::rgma

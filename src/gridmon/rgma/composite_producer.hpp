@@ -1,0 +1,83 @@
+#pragma once
+
+/// \file composite_producer.hpp
+/// The aggregate information server R-GMA lacked. The paper (§2.4,
+/// §3.6): "this component could easily be built for R-GMA by using a
+/// composite Consumer/Producer that registered with the data streams of
+/// a number of Producers, and served the data in an aggregated form."
+///
+/// That is exactly this class: its consumer half subscribes to the data
+/// streams of source ProducerServlets; every received tuple is
+/// re-published through its producer half (one merged Producer behind a
+/// standard ProducerServlet), which answers queries like any other
+/// information server — filling the "None" cell of Table 1.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "gridmon/host/host.hpp"
+#include "gridmon/net/network.hpp"
+#include "gridmon/rgma/producer_servlet.hpp"
+#include "gridmon/rgma/registry.hpp"
+#include "gridmon/sim/task.hpp"
+
+namespace gridmon::rgma {
+
+struct CompositeProducerConfig {
+  /// Bounded history of the merged stream (latest-N rows overall).
+  std::size_t merge_history = 5000;
+  /// CPU to ingest one pushed tuple (consumer half, re-publish).
+  double ingest_cpu = 0.0006;
+  /// Serving-side servlet configuration.
+  ProducerServletConfig servlet;
+};
+
+class CompositeProducer {
+ public:
+  CompositeProducer(net::Network& net, host::Host& host, net::Interface& nic,
+                    std::string name, std::string table,
+                    CompositeProducerConfig config = {});
+
+  const std::string& name() const noexcept { return name_; }
+  const std::string& table() const noexcept { return table_; }
+
+  /// The serving half: clients query it like any ProducerServlet.
+  ProducerServlet& servlet() noexcept { return *servlet_; }
+
+  /// Subscribe to a source servlet's stream of `table()`; its future
+  /// tuples flow into the merged store.
+  void attach_source(ProducerServlet& source);
+
+  /// Register the merged producer with the Registry (so ConsumerServlets
+  /// can discover the aggregate) and keep its lease fresh.
+  void start_registration(Registry& registry) {
+    servlet_->start_registration(registry);
+  }
+
+  /// Client query against the merged store.
+  sim::Task<RgmaReply> client_query(net::Interface& client,
+                                    std::string where = "") {
+    return servlet_->client_query(client, table_, std::move(where));
+  }
+
+  std::size_t sources() const noexcept { return sources_; }
+  std::uint64_t tuples_ingested() const noexcept { return ingested_; }
+  std::size_t merged_rows() const { return merged_->data().row_count(); }
+
+ private:
+  sim::Task<void> ingest(rdbms::Row row);
+
+  net::Network& net_;
+  host::Host& host_;
+  net::Interface& nic_;
+  std::string name_;
+  std::string table_;
+  CompositeProducerConfig config_;
+  std::unique_ptr<ProducerServlet> servlet_;
+  Producer* merged_;
+  std::size_t sources_ = 0;
+  std::uint64_t ingested_ = 0;
+};
+
+}  // namespace gridmon::rgma

@@ -1,0 +1,83 @@
+#include "gridmon/rgma/consumer_servlet.hpp"
+
+#include <set>
+
+namespace gridmon::rgma {
+
+ConsumerServlet::ConsumerServlet(net::Network& net, host::Host& host,
+                                 net::Interface& nic, std::string name,
+                                 Registry& registry,
+                                 ConsumerServletConfig config)
+    : net_(net),
+      host_(host),
+      nic_(nic),
+      name_(std::move(name)),
+      registry_(registry),
+      config_(config),
+      pool_(host.simulation(), config.pool_size),
+      port_(config.backlog) {}
+
+void ConsumerServlet::add_producer_servlet(ProducerServlet& servlet) {
+  servlets_[servlet.name()] = &servlet;
+}
+
+sim::Task<RgmaReply> ConsumerServlet::query(net::Interface& client,
+                                            std::string table,
+                                            std::string where) {
+  auto& sim = host_.simulation();
+  co_await sim.delay(config_.client_latency);
+  co_await net_.connect(client, nic_);
+  if (!port_.try_admit()) co_return RgmaReply{};
+  net::AdmissionSlot slot(&port_);
+  co_await net_.transfer(client, nic_, config_.request_bytes);
+
+  RgmaReply reply;
+  {
+    auto lease = co_await pool_.acquire();
+    co_await host_.cpu().consume(config_.query_base_cpu);
+    co_await sim.delay(config_.servlet_latency);
+
+    // Mediation step 1: which producers hold this table?
+    auto producers = co_await registry_.lookup(nic_, table);
+
+    // Step 2: query each hosting servlet once.
+    std::set<std::string> seen;
+    for (const auto& info : producers) {
+      if (!seen.insert(info.servlet).second) continue;
+      auto it = servlets_.find(info.servlet);
+      if (it == servlets_.end()) continue;
+      RgmaReply part = co_await it->second->select(nic_, table, where);
+      if (!part.admitted) continue;
+      reply.rows += part.rows;
+      reply.response_bytes += part.response_bytes;
+    }
+    co_await host_.cpu().consume(config_.merge_row_cpu *
+                                 static_cast<double>(reply.rows));
+    reply.response_bytes += 128;
+    reply.admitted = true;
+  }
+  co_await net_.transfer(nic_, client, reply.response_bytes);
+  co_return reply;
+}
+
+sim::Task<bool> ConsumerServlet::subscribe(
+    net::Interface& consumer, std::string table,
+    std::string predicate, ProducerServlet::RowCallback on_row) {
+  co_await net_.transfer(consumer, nic_, config_.request_bytes);
+  auto lease = co_await pool_.acquire();
+  co_await host_.cpu().consume(config_.query_base_cpu);
+  auto producers = co_await registry_.lookup(nic_, table);
+  bool any = false;
+  std::set<std::string> seen;
+  for (const auto& info : producers) {
+    if (!seen.insert(info.servlet).second) continue;
+    auto it = servlets_.find(info.servlet);
+    if (it == servlets_.end()) continue;
+    // The producer pushes straight to the consumer's interface.
+    it->second->subscribe(consumer, table, predicate, on_row);
+    any = true;
+  }
+  co_return any;
+}
+
+}  // namespace gridmon::rgma

@@ -1,0 +1,147 @@
+#include "gridmon/rgma/producer_servlet.hpp"
+
+#include "gridmon/rdbms/sql_parser.hpp"
+
+namespace gridmon::rgma {
+
+ProducerServlet::ProducerServlet(net::Network& net, host::Host& host,
+                                 net::Interface& nic, std::string name,
+                                 ProducerServletConfig config)
+    : net_(net),
+      host_(host),
+      nic_(nic),
+      name_(std::move(name)),
+      config_(config),
+      pool_(host.simulation(), config.pool_size),
+      port_(config.backlog) {}
+
+Producer& ProducerServlet::add_producer(const std::string& producer_name,
+                                        std::string table,
+                                        const std::string& predicate,
+                                        std::size_t max_rows) {
+  rdbms::Schema schema({{"host", rdbms::ColumnType::Text},
+                        {"metric", rdbms::ColumnType::Text},
+                        {"value", rdbms::ColumnType::Real},
+                        {"ts", rdbms::ColumnType::Real}});
+  producers_.push_back(std::make_unique<Producer>(
+      producer_name, table, std::move(schema), predicate, max_rows));
+  return *producers_.back();
+}
+
+Producer* ProducerServlet::find_producer(const std::string& name) {
+  for (auto& p : producers_) {
+    if (p->name() == name) return p.get();
+  }
+  return nullptr;
+}
+
+sim::Task<void> ProducerServlet::publish(Producer& producer, rdbms::Row row) {
+  // Storing a tuple costs a sliver of servlet CPU.
+  co_await host_.cpu().consume(0.001);
+  for (auto& sub : subscriptions_) {
+    if (sub.table != producer.table()) continue;
+    if (sub.predicate) {
+      rdbms::RowContext ctx{&producer.data().schema(), &row};
+      auto keep = rdbms::SqlExpr::truth(sub.predicate->eval(ctx));
+      if (!keep || !*keep) continue;
+    }
+    host_.simulation().spawn(push_row(sub.consumer, sub.on_row, row));
+  }
+  producer.publish(std::move(row));
+}
+
+sim::Task<void> ProducerServlet::push_row(net::Interface* consumer,
+                                          RowCallback on_row,
+                                          rdbms::Row row) {
+  co_await host_.cpu().consume(config_.stream_send_cpu);
+  co_await net_.transfer(nic_, *consumer, config_.row_bytes);
+  ++tuples_pushed_;
+  if (on_row) on_row(row);
+}
+
+void ProducerServlet::subscribe(net::Interface& consumer,
+                                std::string table,
+                                const std::string& predicate,
+                                RowCallback on_row) {
+  Subscription sub;
+  sub.consumer = &consumer;
+  sub.table = table;
+  if (!predicate.empty()) {
+    sub.predicate = rdbms::sql_parse_expression(predicate);
+  }
+  sub.on_row = std::move(on_row);
+  subscriptions_.push_back(std::move(sub));
+}
+
+sim::Task<RgmaReply> ProducerServlet::select(net::Interface& from,
+                                             std::string table,
+                                             std::string where) {
+  co_await net_.transfer(from, nic_, config_.request_bytes);
+  if (!port_.try_admit()) co_return RgmaReply{};
+  net::AdmissionSlot slot(&port_);
+
+  RgmaReply reply;
+  {
+    auto lease = co_await pool_.acquire();
+    co_await host_.cpu().consume(config_.query_base_cpu);
+    co_await host_.simulation().delay(config_.servlet_latency);
+
+    rdbms::SqlExprPtr predicate;
+    if (!where.empty()) predicate = rdbms::sql_parse_expression(where);
+
+    std::size_t examined = 0;
+    std::size_t producers_hit = 0;
+    for (auto& producer : producers_) {
+      if (producer->table() != table) continue;
+      ++producers_hit;
+      producer->data().scan([&](std::size_t, const rdbms::Row& row) {
+        ++examined;
+        bool keep = true;
+        if (predicate) {
+          rdbms::RowContext ctx{&producer->data().schema(), &row};
+          auto t = rdbms::SqlExpr::truth(predicate->eval(ctx));
+          keep = t.has_value() && *t;
+        }
+        if (keep) ++reply.rows;
+        return true;
+      });
+    }
+    co_await host_.cpu().consume(
+        config_.per_producer_cpu * static_cast<double>(producers_hit) +
+        config_.row_cpu * static_cast<double>(examined));
+    reply.response_bytes =
+        128 + config_.row_bytes * static_cast<double>(reply.rows);
+    reply.admitted = true;
+  }
+  co_await net_.transfer(nic_, from, reply.response_bytes);
+  co_return reply;
+}
+
+sim::Task<RgmaReply> ProducerServlet::client_query(net::Interface& client,
+                                                   std::string table,
+                                                   std::string where) {
+  co_await host_.simulation().delay(config_.client_latency);
+  co_await net_.connect(client, nic_);
+  co_return co_await select(client, table, where);
+}
+
+void ProducerServlet::start_registration(Registry& registry) {
+  if (registering_) return;
+  registering_ = true;
+  host_.simulation().spawn(registration_loop(registry));
+}
+
+sim::Task<void> ProducerServlet::registration_loop(Registry& registry) {
+  auto& sim = host_.simulation();
+  for (;;) {
+    for (auto& producer : producers_) {
+      ProducerInfo info{producer->name(), producer->table(), name_,
+                        producer->predicate()};
+      co_await registry.register_producer(nic_, info);
+    }
+    co_await sim.delay(config_.reregister_interval);
+    if (!registering_) co_return;
+  }
+}
+
+}  // namespace gridmon::rgma

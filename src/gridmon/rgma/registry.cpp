@@ -1,0 +1,129 @@
+#include "gridmon/rgma/registry.hpp"
+
+namespace gridmon::rgma {
+namespace {
+
+std::string quote(const std::string& s) {
+  return rdbms::Value::text(s).to_string();
+}
+
+}  // namespace
+
+Registry::Registry(net::Network& net, host::Host& host, net::Interface& nic,
+                   RegistryConfig config)
+    : net_(net),
+      host_(host),
+      nic_(nic),
+      config_(config),
+      pool_(host.simulation(), config.pool_size),
+      port_(config.backlog) {
+  db_.execute(
+      "CREATE TABLE producers (producer TEXT, tablename TEXT, servlet TEXT, "
+      "predicate TEXT, expires REAL)");
+  db_.execute("CREATE INDEX ON producers (tablename)");
+}
+
+sim::Task<bool> Registry::register_producer(net::Interface& from,
+                                            ProducerInfo info) {
+  co_await net_.transfer(from, nic_, config_.request_bytes);
+  if (!port_.try_admit()) co_return false;
+  net::AdmissionSlot slot(&port_);
+  auto lease = co_await pool_.acquire();
+  co_await host_.cpu().consume(config_.register_cpu);
+
+  double expires = host_.simulation().now() + config_.lease_seconds;
+  auto existing = db_.execute("SELECT producer FROM producers WHERE producer = " +
+                              quote(info.producer));
+  co_await host_.cpu().consume(config_.row_cpu *
+                               static_cast<double>(existing.rows_examined));
+  if (!existing.rows.empty()) {
+    db_.execute("DELETE FROM producers WHERE producer = " +
+                quote(info.producer));
+  }
+  db_.execute("INSERT INTO producers VALUES (" + quote(info.producer) + ", " +
+              quote(info.table) + ", " + quote(info.servlet) + ", " +
+              quote(info.predicate) + ", " + std::to_string(expires) + ")");
+  ++registrations_;
+  co_await net_.transfer(nic_, from, 128);  // ack
+  co_return true;
+}
+
+sim::Task<rdbms::QueryResult> Registry::run_lookup(std::string table) {
+  double now = host_.simulation().now();
+  auto result = db_.execute(
+      "SELECT producer, tablename, servlet, predicate FROM producers WHERE "
+      "tablename = " +
+      quote(table) + " AND expires >= " + std::to_string(now));
+  co_await host_.cpu().consume(config_.row_cpu *
+                               static_cast<double>(result.rows_examined));
+  co_return result;
+}
+
+sim::Task<std::vector<ProducerInfo>> Registry::lookup(
+    net::Interface& from, std::string table) {
+  std::vector<ProducerInfo> out;
+  co_await net_.transfer(from, nic_, config_.request_bytes);
+  if (!port_.try_admit()) co_return out;
+  net::AdmissionSlot slot(&port_);
+  {
+    auto lease = co_await pool_.acquire();
+    co_await host_.cpu().consume(config_.query_base_cpu);
+    co_await host_.simulation().delay(config_.servlet_latency);
+    auto result = co_await run_lookup(table);
+    for (const auto& row : result.rows) {
+      out.push_back(ProducerInfo{row[0].as_text(), row[1].as_text(),
+                                 row[2].as_text(), row[3].as_text()});
+    }
+  }
+  co_await net_.transfer(
+      nic_, from, 128 + config_.row_bytes * static_cast<double>(out.size()));
+  co_return out;
+}
+
+sim::Task<RgmaReply> Registry::client_query(net::Interface& client,
+                                            std::string table) {
+  auto& sim = host_.simulation();
+  co_await sim.delay(config_.client_latency);
+  co_await net_.connect(client, nic_);
+  if (!port_.try_admit()) co_return RgmaReply{};
+  net::AdmissionSlot slot(&port_);
+  co_await net_.transfer(client, nic_, config_.request_bytes);
+
+  RgmaReply reply;
+  {
+    auto lease = co_await pool_.acquire();
+    co_await host_.cpu().consume(config_.query_base_cpu);
+    co_await host_.simulation().delay(config_.servlet_latency);
+    auto result = co_await run_lookup(table);
+    reply.rows = result.rows.size();
+    reply.response_bytes =
+        128 + config_.row_bytes * static_cast<double>(result.rows.size());
+    reply.admitted = true;
+  }
+  co_await net_.transfer(nic_, client, reply.response_bytes);
+  co_return reply;
+}
+
+void Registry::start_sweeper() {
+  host_.simulation().spawn(sweeper_loop());
+}
+
+sim::Task<void> Registry::sweeper_loop() {
+  auto& sim = host_.simulation();
+  for (;;) {
+    co_await sim.delay(config_.sweep_interval);
+    auto lease = co_await pool_.acquire();
+    co_await host_.cpu().consume(config_.register_cpu);
+    auto result = db_.execute("DELETE FROM producers WHERE expires < " +
+                              std::to_string(sim.now()));
+    co_await host_.cpu().consume(config_.row_cpu *
+                                 static_cast<double>(result.rows_examined));
+    db_.table("producers").vacuum();
+  }
+}
+
+std::size_t Registry::registered_count() {
+  return db_.table("producers").row_count();
+}
+
+}  // namespace gridmon::rgma

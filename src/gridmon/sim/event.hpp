@@ -1,0 +1,119 @@
+#pragma once
+
+/// \file event.hpp
+/// One-shot / resettable notification primitive for coroutine processes.
+
+#include <coroutine>
+#include <utility>
+#include <vector>
+
+#include "gridmon/sim/simulation.hpp"
+
+namespace gridmon::sim {
+
+/// A level-triggered event. Awaiting a triggered event completes
+/// immediately; otherwise the awaiter parks until `trigger()` is called.
+/// `reset()` re-arms the event.
+class Event {
+ public:
+  explicit Event(Simulation& sim) : sim_(sim) {}
+  Event(const Event&) = delete;
+  Event& operator=(const Event&) = delete;
+
+  bool triggered() const noexcept { return triggered_; }
+
+  /// Fire the event: release all current waiters (scheduled at the current
+  /// time, preserving FIFO order) and latch the triggered state.
+  void trigger() {
+    triggered_ = true;
+    auto waiters = std::exchange(waiters_, {});
+    for (auto h : waiters) sim_.schedule_resume(0, h);
+  }
+
+  void reset() noexcept { triggered_ = false; }
+
+  struct Awaiter {
+    Event& ev;
+    bool await_ready() const noexcept { return ev.triggered_; }
+    void await_suspend(std::coroutine_handle<> h) {
+      ev.waiters_.push_back(h);
+    }
+    void await_resume() const noexcept {}
+  };
+  Awaiter operator co_await() noexcept { return Awaiter{*this}; }
+
+ private:
+  Simulation& sim_;
+  bool triggered_ = false;
+  std::vector<std::coroutine_handle<>> waiters_;
+};
+
+/// Counts outstanding sub-tasks; `wait()` completes when the count reaches
+/// zero. The usual pattern for fan-out/fan-in:
+///
+///   WaitGroup wg(sim);
+///   for (auto& sub : subqueries) sim.spawn(wg.track(run(sub)));
+///   co_await wg.wait();
+class WaitGroup {
+ public:
+  explicit WaitGroup(Simulation& sim) : sim_(sim), ev_(sim) {}
+
+  void add(int n = 1) {
+    count_ += n;
+    if (count_ > 0) ev_.reset();
+  }
+
+  void done() {
+    if (--count_ == 0) ev_.trigger();
+  }
+
+  /// Wrap a task so its completion (normal or exceptional) decrements the
+  /// group. Adds 1 to the count immediately.
+  Task<void> track(Task<void> inner) {
+    add(1);
+    return run_tracked(std::move(inner), *this);
+  }
+
+  /// Awaitable completing when the count reaches zero. A group that never
+  /// had tasks added is already complete.
+  Event::Awaiter wait() noexcept {
+    if (count_ == 0) ev_.trigger();
+    return Event::Awaiter{ev_};
+  }
+
+  /// Wait at most `timeout` seconds; returns true if the group drained.
+  /// Late tasks keep running — the caller simply stops waiting for them.
+  /// (Implemented by polling at `poll_interval`, which avoids cancellable
+  /// waits; fine for the coarse timeouts services use.)
+  Task<bool> wait_for(double timeout, double poll_interval = 0.5) {
+    double deadline = sim_.now() + timeout;
+    while (count_ > 0) {
+      if (sim_.now() >= deadline) co_return false;
+      double remaining = deadline - sim_.now();
+      co_await sim_.delay(remaining < poll_interval ? remaining
+                                                    : poll_interval);
+    }
+    co_return true;
+  }
+
+  int pending() const noexcept { return count_; }
+
+ private:
+  static Task<void> run_tracked(Task<void> inner, WaitGroup& wg) {
+    // Parameters live in the coroutine frame, so `inner` stays alive for
+    // the duration of the child task. done() fires only on completion
+    // (normal or exceptional) — NOT when the frame is destroyed at
+    // shutdown, because the WaitGroup may already be gone by then.
+    try {
+      co_await inner;
+    } catch (...) {
+    }
+    wg.done();
+  }
+
+  Simulation& sim_;
+  int count_ = 0;
+  Event ev_;
+};
+
+}  // namespace gridmon::sim

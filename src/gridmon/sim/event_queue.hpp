@@ -1,0 +1,69 @@
+#pragma once
+
+/// \file event_queue.hpp
+/// Deterministic pending-event set for the discrete-event simulator.
+///
+/// Events at equal timestamps fire in insertion order (a monotonically
+/// increasing sequence number breaks ties), which keeps every run with the
+/// same seed bit-identical.
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace gridmon::sim {
+
+/// Simulated time in seconds.
+using SimTime = double;
+
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Schedule `cb` to fire at absolute time `at`.
+  void push(SimTime at, Callback cb) {
+    heap_.push(Entry{at, next_seq_++, std::move(cb)});
+  }
+
+  bool empty() const noexcept { return heap_.empty(); }
+  std::size_t size() const noexcept { return heap_.size(); }
+
+  /// Timestamp of the earliest pending event. Precondition: !empty().
+  SimTime next_time() const { return heap_.top().at; }
+
+  /// Remove and return the earliest pending event's callback.
+  /// Precondition: !empty().
+  Callback pop(SimTime& at_out) {
+    // std::priority_queue::top() is const; the callback must be moved out,
+    // so we const_cast the owned entry. This is safe: the entry is removed
+    // immediately afterwards and never observed again.
+    Entry& top = const_cast<Entry&>(heap_.top());
+    at_out = top.at;
+    Callback cb = std::move(top.cb);
+    heap_.pop();
+    return cb;
+  }
+
+  void clear() {
+    while (!heap_.empty()) heap_.pop();
+  }
+
+ private:
+  struct Entry {
+    SimTime at;
+    std::uint64_t seq;
+    Callback cb;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const noexcept {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace gridmon::sim

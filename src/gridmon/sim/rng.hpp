@@ -1,0 +1,108 @@
+#pragma once
+
+/// \file rng.hpp
+/// Deterministic random number generation for simulations. A thin,
+/// explicitly-seeded wrapper over xoshiro256** with the distributions the
+/// workload models need. Never uses global state (Core Guidelines I.2).
+
+#include <cassert>
+#include <cmath>
+#include <cstdint>
+
+namespace gridmon::sim {
+
+class Rng {
+ public:
+  /// Seeds are expanded with splitmix64 so nearby seeds give unrelated
+  /// streams.
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull) {
+    std::uint64_t x = seed;
+    for (auto& word : state_) word = splitmix64(x);
+  }
+
+  /// Derive an independent child stream (per user, per host, ...).
+  Rng fork() { return Rng(next_u64()); }
+
+  std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, 1).
+  double uniform() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+  /// Uniform integer in [0, n).
+  std::uint64_t below(std::uint64_t n) {
+    assert(n > 0);
+    // Modulo bias is < 2^-40 for any n that fits practical workloads.
+    return next_u64() % n;
+  }
+
+  /// Exponential with the given mean (mean = 1/rate).
+  double exponential(double mean) {
+    double u;
+    do {
+      u = uniform();
+    } while (u <= 0);
+    return -mean * std::log(u);
+  }
+
+  /// Normal via Box-Muller (mean, stddev).
+  double normal(double mean, double stddev) {
+    if (have_spare_) {
+      have_spare_ = false;
+      return mean + stddev * spare_;
+    }
+    double u1;
+    do {
+      u1 = uniform();
+    } while (u1 <= 0);
+    double u2 = uniform();
+    double mag = std::sqrt(-2.0 * std::log(u1));
+    spare_ = mag * std::sin(6.283185307179586 * u2);
+    have_spare_ = true;
+    return mean + stddev * mag * std::cos(6.283185307179586 * u2);
+  }
+
+  /// Pareto with scale xm > 0 and shape alpha > 0 (heavy-tailed sizes).
+  double pareto(double xm, double alpha) {
+    double u;
+    do {
+      u = uniform();
+    } while (u <= 0);
+    return xm / std::pow(u, 1.0 / alpha);
+  }
+
+  /// True with probability p.
+  bool chance(double p) { return uniform() < p; }
+
+ private:
+  static std::uint64_t splitmix64(std::uint64_t& x) {
+    x += 0x9E3779B97F4A7C15ull;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+  }
+  static std::uint64_t rotl(std::uint64_t v, int k) {
+    return (v << k) | (v >> (64 - k));
+  }
+
+  std::uint64_t state_[4];
+  double spare_ = 0;
+  bool have_spare_ = false;
+};
+
+}  // namespace gridmon::sim

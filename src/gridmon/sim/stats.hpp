@@ -1,0 +1,115 @@
+#pragma once
+
+/// \file stats.hpp
+/// Online summary statistics and percentile estimation for measured
+/// quantities (response times, throughputs, loads).
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <limits>
+#include <vector>
+
+namespace gridmon::sim {
+
+/// Welford accumulator: count / mean / variance / min / max in O(1) memory.
+class Accumulator {
+ public:
+  void add(double x) {
+    ++count_;
+    double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+
+  std::size_t count() const noexcept { return count_; }
+  double mean() const noexcept { return count_ ? mean_ : 0.0; }
+  double variance() const noexcept {
+    return count_ > 1 ? m2_ / static_cast<double>(count_ - 1) : 0.0;
+  }
+  double stddev() const noexcept { return std::sqrt(variance()); }
+  double min() const noexcept {
+    return count_ ? min_ : 0.0;
+  }
+  double max() const noexcept {
+    return count_ ? max_ : 0.0;
+  }
+  double sum() const noexcept { return mean_ * static_cast<double>(count_); }
+
+  void merge(const Accumulator& o) {
+    if (o.count_ == 0) return;
+    if (count_ == 0) {
+      *this = o;
+      return;
+    }
+    double total = static_cast<double>(count_ + o.count_);
+    double delta = o.mean_ - mean_;
+    m2_ += o.m2_ + delta * delta * static_cast<double>(count_) *
+                       static_cast<double>(o.count_) / total;
+    mean_ += delta * static_cast<double>(o.count_) / total;
+    count_ += o.count_;
+    min_ = std::min(min_, o.min_);
+    max_ = std::max(max_, o.max_);
+  }
+
+  void reset() { *this = Accumulator{}; }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0;
+  double m2_ = 0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Sample reservoir with exact percentiles. Stores every sample; suitable
+/// for the sample counts this study produces (<= a few million doubles).
+class Samples {
+ public:
+  void add(double x) {
+    values_.push_back(x);
+    sorted_ = false;
+    acc_.add(x);
+  }
+
+  std::size_t count() const noexcept { return values_.size(); }
+  double mean() const noexcept { return acc_.mean(); }
+  double stddev() const noexcept { return acc_.stddev(); }
+  double min() const noexcept { return acc_.min(); }
+  double max() const noexcept { return acc_.max(); }
+
+  /// Exact percentile via nearest-rank; q in [0, 1].
+  double percentile(double q) const {
+    if (values_.empty()) return 0;
+    ensure_sorted();
+    double rank = q * static_cast<double>(values_.size() - 1);
+    auto lo = static_cast<std::size_t>(rank);
+    auto hi = std::min(lo + 1, values_.size() - 1);
+    double frac = rank - static_cast<double>(lo);
+    return values_[lo] * (1 - frac) + values_[hi] * frac;
+  }
+
+  double median() const { return percentile(0.5); }
+
+  void reset() {
+    values_.clear();
+    sorted_ = false;
+    acc_.reset();
+  }
+
+ private:
+  void ensure_sorted() const {
+    if (!sorted_) {
+      std::sort(values_.begin(), values_.end());
+      sorted_ = true;
+    }
+  }
+
+  mutable std::vector<double> values_;
+  mutable bool sorted_ = false;
+  Accumulator acc_;
+};
+
+}  // namespace gridmon::sim

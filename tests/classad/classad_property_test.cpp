@@ -1,0 +1,158 @@
+/// Parameterized/property suites for the ClassAd engine: algebraic laws
+/// of the four-valued logic, parse/print round-trips over a corpus, and
+/// matchmaking symmetry.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "gridmon/classad/classad.hpp"
+#include "gridmon/classad/matchmaker.hpp"
+#include "gridmon/classad/parser.hpp"
+
+namespace gridmon::classad {
+namespace {
+
+Value eval_text(const std::string& text) {
+  auto e = parse_expression(text);
+  EvalContext ctx;
+  return e->evaluate(ctx);
+}
+
+// ---- logic laws over all value literals ----
+
+const char* kLogicLiterals[] = {"TRUE", "FALSE", "UNDEFINED", "ERROR",
+                                "1", "0"};
+
+class LogicLaws
+    : public ::testing::TestWithParam<std::tuple<const char*, const char*>> {
+};
+
+TEST_P(LogicLaws, AndOrAreCommutative) {
+  auto [a, b] = GetParam();
+  std::string ab = std::string(a) + " && " + b;
+  std::string ba = std::string(b) + " && " + a;
+  EXPECT_EQ(eval_text(ab).to_string(), eval_text(ba).to_string()) << ab;
+  ab = std::string(a) + " || " + b;
+  ba = std::string(b) + " || " + a;
+  EXPECT_EQ(eval_text(ab).to_string(), eval_text(ba).to_string()) << ab;
+}
+
+TEST_P(LogicLaws, DeMorgan) {
+  auto [a, b] = GetParam();
+  std::string lhs = "!(" + std::string(a) + " && " + b + ")";
+  std::string rhs = "(!" + std::string(a) + ") || (!" + b + ")";
+  EXPECT_EQ(eval_text(lhs).to_string(), eval_text(rhs).to_string()) << lhs;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Pairs, LogicLaws,
+    ::testing::Combine(::testing::ValuesIn(kLogicLiterals),
+                       ::testing::ValuesIn(kLogicLiterals)));
+
+// ---- meta-equality totality: =?= never yields UNDEFINED/ERROR ----
+
+const char* kAllLiterals[] = {"TRUE",     "FALSE", "UNDEFINED", "ERROR",
+                              "3",        "3.5",   "\"str\"",   "-1",
+                              "0.0",      "\"\"",  "42"};
+
+class MetaEqualsTotal
+    : public ::testing::TestWithParam<std::tuple<const char*, const char*>> {
+};
+
+TEST_P(MetaEqualsTotal, AlwaysBoolean) {
+  auto [a, b] = GetParam();
+  Value v = eval_text(std::string(a) + " =?= " + b);
+  EXPECT_TRUE(v.is_boolean()) << a << " =?= " << b;
+  Value n = eval_text(std::string(a) + " =!= " + b);
+  EXPECT_TRUE(n.is_boolean());
+  EXPECT_NE(v.as_boolean(), n.as_boolean());
+}
+
+TEST_P(MetaEqualsTotal, ReflexiveOnIdenticalLiterals) {
+  auto [a, b] = GetParam();
+  (void)b;
+  Value v = eval_text(std::string(a) + " =?= " + a);
+  EXPECT_TRUE(v.as_boolean()) << a;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Pairs, MetaEqualsTotal,
+    ::testing::Combine(::testing::ValuesIn(kAllLiterals),
+                       ::testing::ValuesIn(kAllLiterals)));
+
+// ---- parse/print round-trip over an expression corpus ----
+
+class RoundTrip : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(RoundTrip, PrintThenParseIsStable) {
+  auto e1 = parse_expression(GetParam());
+  std::string p1 = e1->to_string();
+  auto e2 = parse_expression(p1);
+  EXPECT_EQ(p1, e2->to_string());
+}
+
+TEST_P(RoundTrip, CloneEvaluatesIdentically) {
+  ClassAd ad;
+  ad.insert("Memory", static_cast<std::int64_t>(512));
+  ad.insert("CpuLoad", 0.3);
+  ad.insert("OpSys", "LINUX");
+  auto e = parse_expression(GetParam());
+  auto c = e->clone();
+  EXPECT_EQ(ad.evaluate_expr(*e).to_string(),
+            ad.evaluate_expr(*c).to_string());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Corpus, RoundTrip,
+    ::testing::Values(
+        "1 + 2 * 3 - 4 / 2 % 3",
+        "Memory >= 256 && OpSys == \"LINUX\"",
+        "TARGET.CpuLoad > MY.Threshold",
+        "(a < b) ? strcat(\"lo\", \"w\") : toUpper(\"high\")",
+        "isUndefined(x) || isError(y / 0)",
+        "-(-(3)) + +4",
+        "min(max(1, 2), floor(3.7))",
+        "x =?= UNDEFINED && y =!= ERROR",
+        "substr(\"abcdef\", 1 + 1, size(\"ab\"))",
+        "((((1))))",
+        "true && false || true && !false"));
+
+// ---- matchmaking properties ----
+
+TEST(MatchmakingProperty, SymmetricMatchIsSymmetric) {
+  ClassAd job, machine;
+  job.insert("MyType", "Job");
+  job.insert("MinMemory", static_cast<std::int64_t>(128));
+  job.insert_text("Requirements", "TARGET.Memory >= MY.MinMemory");
+  machine.insert("MyType", "Machine");
+  machine.insert("Memory", static_cast<std::int64_t>(256));
+  machine.insert_text("Requirements", "TARGET.MyType == \"Job\"");
+  EXPECT_EQ(symmetric_match(job, machine), symmetric_match(machine, job));
+  EXPECT_TRUE(symmetric_match(job, machine));
+}
+
+TEST(MatchmakingProperty, ScanEqualsIndividualSatisfies) {
+  std::vector<ClassAd> ads;
+  for (int i = 0; i < 25; ++i) {
+    ClassAd ad;
+    ad.insert("CpuLoad", 4.0 * i);
+    ads.push_back(std::move(ad));
+  }
+  std::vector<const ClassAd*> ptrs;
+  for (auto& ad : ads) ptrs.push_back(&ad);
+  auto constraint = parse_expression("CpuLoad > 50");
+  auto hits = scan(ptrs, *constraint);
+  std::size_t expected = 0;
+  for (std::size_t i = 0; i < ads.size(); ++i) {
+    if (satisfies(ads[i], *constraint)) {
+      ASSERT_LT(expected, hits.size());
+      EXPECT_EQ(hits[expected], i);
+      ++expected;
+    }
+  }
+  EXPECT_EQ(hits.size(), expected);
+}
+
+}  // namespace
+}  // namespace gridmon::classad

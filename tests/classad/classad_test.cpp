@@ -1,0 +1,126 @@
+#include "gridmon/classad/classad.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gridmon/classad/parser.hpp"
+
+namespace gridmon::classad {
+namespace {
+
+TEST(ClassAdTest, ParseOldSyntax) {
+  auto ad = ClassAd::parse(
+      "MyType = \"Machine\"\n"
+      "OpSys = \"LINUX\"\n"
+      "Memory = 512\n"
+      "CpuLoad = 0.25\n"
+      "# a comment line\n"
+      "\n"
+      "Requirements = CpuLoad < 0.5\n");
+  EXPECT_EQ(ad.size(), 5u);
+  EXPECT_EQ(ad.evaluate("OpSys").as_string(), "LINUX");
+  EXPECT_EQ(ad.evaluate("Memory").as_integer(), 512);
+  EXPECT_TRUE(ad.evaluate("Requirements").as_boolean());
+}
+
+TEST(ClassAdTest, ParseHandlesComparisonOperatorsOnRhs) {
+  auto ad = ClassAd::parse("R = a == 3\nS = b <= 2\nT = c =?= UNDEFINED\n");
+  EXPECT_TRUE(ad.contains("R"));
+  EXPECT_TRUE(ad.contains("S"));
+  EXPECT_TRUE(ad.evaluate("T").as_boolean());  // c is undefined
+}
+
+TEST(ClassAdTest, MissingAttributeIsUndefined) {
+  ClassAd ad;
+  EXPECT_TRUE(ad.evaluate("nope").is_undefined());
+  EXPECT_EQ(ad.lookup("nope"), nullptr);
+}
+
+TEST(ClassAdTest, InsertShorthands) {
+  ClassAd ad;
+  ad.insert("i", static_cast<std::int64_t>(4));
+  ad.insert("d", 2.5);
+  ad.insert("b", true);
+  ad.insert("s", "str");
+  EXPECT_EQ(ad.evaluate("i").as_integer(), 4);
+  EXPECT_DOUBLE_EQ(ad.evaluate("d").as_real(), 2.5);
+  EXPECT_TRUE(ad.evaluate("b").as_boolean());
+  EXPECT_EQ(ad.evaluate("s").as_string(), "str");
+}
+
+TEST(ClassAdTest, CaseInsensitiveNames) {
+  ClassAd ad;
+  ad.insert("OpSys", "LINUX");
+  EXPECT_TRUE(ad.contains("opsys"));
+  EXPECT_TRUE(ad.contains("OPSYS"));
+  ad.insert("opsys", "SOLARIS");  // replaces, does not duplicate
+  EXPECT_EQ(ad.size(), 1u);
+  EXPECT_EQ(ad.evaluate("OpSys").as_string(), "SOLARIS");
+}
+
+TEST(ClassAdTest, EraseRemovesAttribute) {
+  ClassAd ad;
+  ad.insert("a", static_cast<std::int64_t>(1));
+  ad.insert("b", static_cast<std::int64_t>(2));
+  EXPECT_TRUE(ad.erase("A"));
+  EXPECT_FALSE(ad.erase("A"));
+  EXPECT_EQ(ad.size(), 1u);
+  EXPECT_EQ(ad.names(), std::vector<std::string>{"b"});
+}
+
+TEST(ClassAdTest, UpdateMergesAndOverwrites) {
+  ClassAd base, overlay;
+  base.insert("a", static_cast<std::int64_t>(1));
+  base.insert("b", static_cast<std::int64_t>(2));
+  overlay.insert("b", static_cast<std::int64_t>(20));
+  overlay.insert("c", static_cast<std::int64_t>(30));
+  base.update(overlay);
+  EXPECT_EQ(base.size(), 3u);
+  EXPECT_EQ(base.evaluate("b").as_integer(), 20);
+  EXPECT_EQ(base.evaluate("c").as_integer(), 30);
+}
+
+TEST(ClassAdTest, CopyIsDeep) {
+  ClassAd a;
+  a.insert_text("x", "y + 1");
+  a.insert("y", static_cast<std::int64_t>(1));
+  ClassAd b = a;
+  b.insert("y", static_cast<std::int64_t>(100));
+  EXPECT_EQ(a.evaluate("x").as_integer(), 2);
+  EXPECT_EQ(b.evaluate("x").as_integer(), 101);
+}
+
+TEST(ClassAdTest, ToStringParsesBack) {
+  auto ad = ClassAd::parse(
+      "Name = \"lucky4\"\n"
+      "Requirements = TARGET.CpuLoad > 50 && OpSys == \"LINUX\"\n"
+      "Rank = Memory\n");
+  auto round = ClassAd::parse(ad.to_string());
+  EXPECT_EQ(ad.to_string(), round.to_string());
+}
+
+TEST(ClassAdTest, WireBytesGrowsWithContent) {
+  ClassAd small, big;
+  small.insert("a", static_cast<std::int64_t>(1));
+  big = small;
+  for (int i = 0; i < 50; ++i) {
+    big.insert("attr_" + std::to_string(i), std::string(32, 'x'));
+  }
+  EXPECT_GT(big.wire_bytes(), small.wire_bytes() + 50 * 32);
+}
+
+TEST(ClassAdTest, ParseRejectsGarbage) {
+  EXPECT_THROW(ClassAd::parse("this line has no equals\n"), ParseError);
+  EXPECT_THROW(ClassAd::parse("= 3\n"), ParseError);
+}
+
+TEST(ClassAdTest, InsertionOrderPreservedInNames) {
+  ClassAd ad;
+  ad.insert("zeta", static_cast<std::int64_t>(1));
+  ad.insert("alpha", static_cast<std::int64_t>(2));
+  ad.insert("mid", static_cast<std::int64_t>(3));
+  EXPECT_EQ(ad.names(),
+            (std::vector<std::string>{"zeta", "alpha", "mid"}));
+}
+
+}  // namespace
+}  // namespace gridmon::classad

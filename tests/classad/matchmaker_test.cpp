@@ -1,0 +1,129 @@
+#include "gridmon/classad/matchmaker.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gridmon/classad/parser.hpp"
+
+namespace gridmon::classad {
+namespace {
+
+ClassAd machine_ad(const std::string& name, double cpu_load, int memory,
+                   const std::string& opsys = "LINUX") {
+  ClassAd ad;
+  ad.insert("MyType", "Machine");
+  ad.insert("Name", name);
+  ad.insert("CpuLoad", cpu_load);
+  ad.insert("Memory", static_cast<std::int64_t>(memory));
+  ad.insert("OpSys", opsys);
+  ad.insert_text("Requirements", "true");
+  return ad;
+}
+
+TEST(MatchmakerTest, SatisfiesConstraint) {
+  auto ad = machine_ad("lucky1", 60.0, 512);
+  auto hot = parse_expression("CpuLoad > 50");
+  auto cold = parse_expression("CpuLoad > 90");
+  EXPECT_TRUE(satisfies(ad, *hot));
+  EXPECT_FALSE(satisfies(ad, *cold));
+}
+
+TEST(MatchmakerTest, UndefinedConstraintDoesNotMatch) {
+  auto ad = machine_ad("lucky1", 60.0, 512);
+  auto missing = parse_expression("NoSuchAttr > 50");
+  EXPECT_FALSE(satisfies(ad, *missing));
+}
+
+TEST(MatchmakerTest, SymmetricMatchBothDirections) {
+  ClassAd job;
+  job.insert("MyType", "Job");
+  job.insert("MinMemory", static_cast<std::int64_t>(256));
+  job.insert_text("Requirements",
+                  "TARGET.Memory >= MY.MinMemory && TARGET.OpSys == \"LINUX\"");
+  ClassAd machine = machine_ad("lucky2", 10.0, 512);
+  machine.insert_text("Requirements", "TARGET.MyType == \"Job\"");
+  EXPECT_TRUE(symmetric_match(job, machine));
+
+  ClassAd small_machine = machine_ad("lucky3", 10.0, 128);
+  small_machine.insert_text("Requirements", "TARGET.MyType == \"Job\"");
+  EXPECT_FALSE(symmetric_match(job, small_machine));
+}
+
+TEST(MatchmakerTest, MissingRequirementsFailsMatch) {
+  ClassAd a, b;
+  a.insert_text("Requirements", "true");
+  EXPECT_FALSE(symmetric_match(a, b));
+  EXPECT_FALSE(symmetric_match(b, a));
+}
+
+TEST(MatchmakerTest, OneWayTriggerMatch) {
+  // The paper's example: kill Netscape when CPU load exceeds 50.
+  ClassAd trigger;
+  trigger.insert("MyType", "Trigger");
+  trigger.insert("Job", "kill_netscape");
+  trigger.insert_text("Requirements", "TARGET.CpuLoad > 50");
+
+  auto busy = machine_ad("lucky4", 62.0, 512);
+  auto idle = machine_ad("lucky5", 3.0, 512);
+  EXPECT_TRUE(one_way_match(trigger, busy));
+  EXPECT_FALSE(one_way_match(trigger, idle));
+}
+
+TEST(MatchmakerTest, RankPicksBestCandidate) {
+  ClassAd request;
+  request.insert_text("Requirements", "TARGET.Memory >= 128");
+  request.insert_text("Rank", "TARGET.Memory");
+
+  auto m1 = machine_ad("a", 0, 256);
+  auto m2 = machine_ad("b", 0, 1024);
+  auto m3 = machine_ad("c", 0, 512);
+  m1.insert_text("Requirements", "true");
+  m2.insert_text("Requirements", "true");
+  m3.insert_text("Requirements", "true");
+
+  std::vector<const ClassAd*> cands{&m1, &m2, &m3};
+  EXPECT_EQ(best_match(request, cands), 1);
+}
+
+TEST(MatchmakerTest, BestMatchNoCandidates) {
+  ClassAd request;
+  request.insert_text("Requirements", "TARGET.Memory >= 4096");
+  auto m1 = machine_ad("a", 0, 256);
+  std::vector<const ClassAd*> cands{&m1};
+  EXPECT_EQ(best_match(request, cands), -1);
+  EXPECT_EQ(best_match(request, {}), -1);
+}
+
+TEST(MatchmakerTest, ScanReturnsMatchingIndices) {
+  auto m1 = machine_ad("a", 80.0, 256);
+  auto m2 = machine_ad("b", 10.0, 256);
+  auto m3 = machine_ad("c", 95.0, 256);
+  std::vector<const ClassAd*> ads{&m1, &m2, &m3};
+  auto constraint = parse_expression("CpuLoad > 50");
+  auto hits = scan(ads, *constraint);
+  EXPECT_EQ(hits, (std::vector<std::size_t>{0, 2}));
+}
+
+TEST(MatchmakerTest, WorstCaseScanMatchesNothing) {
+  // Exactly the paper's Experiment 4 setup for Hawkeye: a constraint met
+  // by no machine forces a full scan.
+  std::vector<ClassAd> ads;
+  for (int i = 0; i < 100; ++i) {
+    ads.push_back(machine_ad("m" + std::to_string(i), 10.0, 512));
+  }
+  std::vector<const ClassAd*> ptrs;
+  for (auto& ad : ads) ptrs.push_back(&ad);
+  auto constraint = parse_expression("CpuLoad > 1000");
+  EXPECT_TRUE(scan(ptrs, *constraint).empty());
+}
+
+TEST(MatchmakerTest, RankNonNumericIsZero) {
+  ClassAd ranker;
+  ranker.insert_text("Rank", "\"not a number\"");
+  ClassAd cand;
+  EXPECT_DOUBLE_EQ(rank_of(ranker, cand), 0.0);
+  ClassAd no_rank;
+  EXPECT_DOUBLE_EQ(rank_of(no_rank, cand), 0.0);
+}
+
+}  // namespace
+}  // namespace gridmon::classad

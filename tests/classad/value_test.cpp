@@ -1,0 +1,57 @@
+#include "gridmon/classad/value.hpp"
+
+#include <gtest/gtest.h>
+
+namespace gridmon::classad {
+namespace {
+
+TEST(ValueTest, DefaultIsUndefined) {
+  Value v;
+  EXPECT_TRUE(v.is_undefined());
+  EXPECT_TRUE(v.is_exceptional());
+  EXPECT_FALSE(v.is_number());
+}
+
+TEST(ValueTest, FactoryTypes) {
+  EXPECT_TRUE(Value::error().is_error());
+  EXPECT_TRUE(Value::boolean(true).is_boolean());
+  EXPECT_TRUE(Value::integer(3).is_integer());
+  EXPECT_TRUE(Value::real(3.5).is_real());
+  EXPECT_TRUE(Value::string("x").is_string());
+  EXPECT_TRUE(Value::integer(3).is_number());
+  EXPECT_TRUE(Value::real(3.5).is_number());
+}
+
+TEST(ValueTest, Accessors) {
+  EXPECT_EQ(Value::integer(-7).as_integer(), -7);
+  EXPECT_DOUBLE_EQ(Value::real(2.25).as_real(), 2.25);
+  EXPECT_EQ(Value::string("abc").as_string(), "abc");
+  EXPECT_TRUE(Value::boolean(true).as_boolean());
+  EXPECT_DOUBLE_EQ(Value::integer(4).as_number(), 4.0);
+  EXPECT_DOUBLE_EQ(Value::real(4.5).as_number(), 4.5);
+}
+
+TEST(ValueTest, ToStringLiteralForms) {
+  EXPECT_EQ(Value::undefined().to_string(), "UNDEFINED");
+  EXPECT_EQ(Value::error().to_string(), "ERROR");
+  EXPECT_EQ(Value::boolean(true).to_string(), "TRUE");
+  EXPECT_EQ(Value::boolean(false).to_string(), "FALSE");
+  EXPECT_EQ(Value::integer(42).to_string(), "42");
+  EXPECT_EQ(Value::real(2.0).to_string(), "2.0");
+  EXPECT_EQ(Value::string("hi").to_string(), "\"hi\"");
+}
+
+TEST(ValueTest, StringEscaping) {
+  EXPECT_EQ(Value::string("a\"b").to_string(), "\"a\\\"b\"");
+  EXPECT_EQ(Value::string("a\\b").to_string(), "\"a\\\\b\"");
+}
+
+TEST(ValueTest, StructuralEquality) {
+  EXPECT_EQ(Value::integer(3), Value::integer(3));
+  EXPECT_FALSE(Value::integer(3) == Value::real(3.0));
+  EXPECT_EQ(Value::undefined(), Value::undefined());
+  EXPECT_FALSE(Value::string("A") == Value::string("a"));  // case-sensitive
+}
+
+}  // namespace
+}  // namespace gridmon::classad

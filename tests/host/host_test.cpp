@@ -1,0 +1,97 @@
+#include "gridmon/host/host.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "gridmon/metrics/sampler.hpp"
+#include "gridmon/sim/simulation.hpp"
+#include "gridmon/sim/task.hpp"
+
+namespace gridmon::host {
+namespace {
+
+sim::Task<void> burn(Host& h, double ref_seconds, double* done_at) {
+  co_await h.cpu().consume(ref_seconds);
+  *done_at = h.simulation().now();
+}
+
+TEST(CpuTest, SpeedScalesWallTime) {
+  sim::Simulation sim;
+  Host fast(sim, {.name = "fast", .site = "lan", .cores = 1, .mhz = 2000});
+  Host slow(sim, {.name = "slow", .site = "lan", .cores = 1, .mhz = 500});
+  double fast_done = -1, slow_done = -1;
+  sim.spawn(burn(fast, 1.0, &fast_done));
+  sim.spawn(burn(slow, 1.0, &slow_done));
+  sim.run();
+  EXPECT_NEAR(fast_done, 0.5, 1e-9);  // 2 GHz: half the reference time
+  EXPECT_NEAR(slow_done, 2.0, 1e-9);  // 500 MHz: double
+}
+
+TEST(CpuTest, TwoCoresRunTwoJobsUnimpeded) {
+  sim::Simulation sim;
+  Host h(sim, {.name = "lucky7", .site = "anl", .cores = 2, .mhz = 1000});
+  double a = -1, b = -1;
+  sim.spawn(burn(h, 1.0, &a));
+  sim.spawn(burn(h, 1.0, &b));
+  sim.run();
+  EXPECT_NEAR(a, 1.0, 1e-9);
+  EXPECT_NEAR(b, 1.0, 1e-9);
+}
+
+TEST(CpuTest, OverloadShares) {
+  sim::Simulation sim;
+  Host h(sim, {.name = "x", .site = "lan", .cores = 1, .mhz = 1000});
+  double a = -1, b = -1;
+  sim.spawn(burn(h, 1.0, &a));
+  sim.spawn(burn(h, 1.0, &b));
+  sim.run();
+  EXPECT_NEAR(a, 2.0, 1e-9);
+  EXPECT_NEAR(b, 2.0, 1e-9);
+}
+
+TEST(HostTest, ForkExecChargesOverhead) {
+  sim::Simulation sim;
+  Host h(sim, {.name = "x", .site = "lan", .cores = 1, .mhz = 1000});
+  double done = -1;
+  auto proc = [](Host& host, double* out) -> sim::Task<void> {
+    co_await host.fork_exec(0.5);
+    *out = host.simulation().now();
+  };
+  sim.spawn(proc(h, &done));
+  sim.run();
+  EXPECT_NEAR(done, 0.5 + Host::kForkExecOverheadRefSeconds, 1e-9);
+}
+
+TEST(HostTest, GaugesReportBusyCpu) {
+  sim::Simulation sim;
+  Host h(sim, {.name = "n", .site = "lan", .cores = 2, .mhz = 1000});
+  metrics::Sampler sampler(sim, 5.0);
+  h.attach(sampler);
+  sampler.start();
+  // Keep one core busy for the whole run: back-to-back 1s jobs.
+  auto loop = [](Host& host) -> sim::Task<void> {
+    for (int i = 0; i < 60; ++i) co_await host.cpu().consume(1.0);
+  };
+  sim.spawn(loop(h));
+  sim.run(60.0);
+  // One of two cores busy -> ~50% cpu.
+  EXPECT_NEAR(sampler.series("n.cpu_pct").mean_over(5, 60), 50.0, 1.0);
+  // One runnable process -> load1 approaches 1 after a minute.
+  EXPECT_GT(sampler.series("n.load1").last(), 0.5);
+  EXPECT_LE(sampler.series("n.load1").last(), 1.001);
+}
+
+TEST(HostTest, IdleHostReportsZero) {
+  sim::Simulation sim;
+  Host h(sim, {.name = "idle", .site = "lan", .cores = 2, .mhz = 1000});
+  metrics::Sampler sampler(sim, 5.0);
+  h.attach(sampler);
+  sampler.start();
+  sim.run(30.0);
+  EXPECT_DOUBLE_EQ(sampler.series("idle.cpu_pct").mean_over(0, 30), 0.0);
+  EXPECT_DOUBLE_EQ(sampler.series("idle.load1").last(), 0.0);
+}
+
+}  // namespace
+}  // namespace gridmon::host

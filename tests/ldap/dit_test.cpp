@@ -1,0 +1,170 @@
+#include "gridmon/ldap/dit.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gridmon/ldap/ldif.hpp"
+
+namespace gridmon::ldap {
+namespace {
+
+Entry make_entry(const std::string& dn_text, const std::string& oc) {
+  Entry e(Dn::parse(dn_text));
+  e.add("objectclass", oc);
+  return e;
+}
+
+/// Small MDS-style tree: o=grid -> hosts -> devices.
+Dit sample_tree() {
+  Dit dit;
+  dit.add(make_entry("o=grid", "organization"));
+  for (int h = 0; h < 3; ++h) {
+    std::string host = "Mds-Host-hn=lucky" + std::to_string(h) + ", o=grid";
+    auto he = make_entry(host, "MdsHost");
+    he.add("Mds-Cpu-Total-count", std::to_string(2 + h));
+    dit.add(he);
+    for (const char* dev : {"memory", "cpu", "filesystem"}) {
+      auto de = make_entry(
+          std::string("Mds-Device-name=") + dev + ", " + host, "MdsDevice");
+      de.add("Mds-Device-name", dev);
+      dit.add(de);
+    }
+  }
+  return dit;
+}
+
+TEST(DitTest, AddAndFind) {
+  auto dit = sample_tree();
+  EXPECT_EQ(dit.size(), 1u + 3u + 9u);
+  EXPECT_TRUE(dit.contains(Dn::parse("o=grid")));
+  EXPECT_TRUE(dit.contains(Dn::parse("MDS-HOST-HN=LUCKY1, O=GRID")));
+  const Entry* e = dit.find(Dn::parse("mds-host-hn=lucky2, o=grid"));
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->value("Mds-Cpu-Total-count"), "4");
+}
+
+TEST(DitTest, AddWithoutParentThrows) {
+  Dit dit;
+  EXPECT_THROW(dit.add(make_entry("cn=orphan, o=missing", "x")), DnError);
+}
+
+TEST(DitTest, ReplaceKeepsChildren) {
+  auto dit = sample_tree();
+  auto replacement = make_entry("Mds-Host-hn=lucky0, o=grid", "MdsHost");
+  replacement.add("Mds-Cpu-Total-count", "16");
+  dit.add(replacement);
+  EXPECT_EQ(dit.find(Dn::parse("mds-host-hn=lucky0,o=grid"))
+                ->value("mds-cpu-total-count"),
+            "16");
+  // Children survive the replace.
+  auto r = dit.search(Dn::parse("Mds-Host-hn=lucky0, o=grid"), Scope::One,
+                      *Filter::match_all());
+  EXPECT_EQ(r.entries.size(), 3u);
+}
+
+TEST(DitTest, BaseScopeSearch) {
+  auto dit = sample_tree();
+  auto r = dit.search(Dn::parse("Mds-Host-hn=lucky1, o=grid"), Scope::Base,
+                      *Filter::match_all());
+  ASSERT_EQ(r.entries.size(), 1u);
+  EXPECT_EQ(r.entries[0].dn().normalized(), "mds-host-hn=lucky1,o=grid");
+}
+
+TEST(DitTest, OneLevelSearch) {
+  auto dit = sample_tree();
+  auto r = dit.search(Dn::parse("o=grid"), Scope::One, *Filter::match_all());
+  EXPECT_EQ(r.entries.size(), 3u);  // only the hosts, not devices
+}
+
+TEST(DitTest, SubtreeSearchWithFilter) {
+  auto dit = sample_tree();
+  auto filter = Filter::parse("(objectclass=MdsDevice)");
+  auto r = dit.search(Dn::parse("o=grid"), Scope::Subtree, *filter);
+  EXPECT_EQ(r.entries.size(), 9u);
+  auto mem = Filter::parse("(Mds-Device-name=memory)");
+  auto rm = dit.search(Dn::parse("o=grid"), Scope::Subtree, *mem);
+  EXPECT_EQ(rm.entries.size(), 3u);
+}
+
+TEST(DitTest, SubtreeFromMidTree) {
+  auto dit = sample_tree();
+  auto r = dit.search(Dn::parse("Mds-Host-hn=lucky1, o=grid"), Scope::Subtree,
+                      *Filter::match_all());
+  EXPECT_EQ(r.entries.size(), 4u);  // host + 3 devices
+}
+
+TEST(DitTest, SearchNonexistentBaseIsEmpty) {
+  auto dit = sample_tree();
+  auto r = dit.search(Dn::parse("o=nothing"), Scope::Subtree,
+                      *Filter::match_all());
+  EXPECT_TRUE(r.entries.empty());
+}
+
+TEST(DitTest, SizeLimitTruncates) {
+  auto dit = sample_tree();
+  auto r = dit.search(Dn::parse("o=grid"), Scope::Subtree,
+                      *Filter::match_all(), {}, 5);
+  EXPECT_EQ(r.entries.size(), 5u);
+  EXPECT_TRUE(r.size_limit_exceeded);
+}
+
+TEST(DitTest, EntriesExaminedCountsWork) {
+  auto dit = sample_tree();
+  auto r = dit.search(Dn::parse("o=grid"), Scope::Subtree,
+                      *Filter::parse("(objectclass=nothing)"));
+  EXPECT_TRUE(r.entries.empty());
+  EXPECT_EQ(r.entries_examined, 13u);
+}
+
+TEST(DitTest, AttributeSelection) {
+  auto dit = sample_tree();
+  auto r = dit.search(Dn::parse("o=grid"), Scope::One, *Filter::match_all(),
+                      {"Mds-Cpu-Total-count"});
+  ASSERT_FALSE(r.entries.empty());
+  for (const auto& e : r.entries) {
+    EXPECT_TRUE(e.has_attribute("Mds-Cpu-Total-count"));
+    EXPECT_FALSE(e.has_attribute("objectclass"));
+  }
+}
+
+TEST(DitTest, RemoveSubtree) {
+  auto dit = sample_tree();
+  std::size_t removed =
+      dit.remove_subtree(Dn::parse("Mds-Host-hn=lucky1, o=grid"));
+  EXPECT_EQ(removed, 4u);
+  EXPECT_EQ(dit.size(), 13u - 4u);
+  EXPECT_FALSE(dit.contains(Dn::parse("mds-host-hn=lucky1,o=grid")));
+  // Parent's child list updated: one-level search no longer sees it.
+  auto r = dit.search(Dn::parse("o=grid"), Scope::One, *Filter::match_all());
+  EXPECT_EQ(r.entries.size(), 2u);
+}
+
+TEST(DitTest, RemoveMissingIsZero) {
+  auto dit = sample_tree();
+  EXPECT_EQ(dit.remove_subtree(Dn::parse("cn=ghost, o=grid")), 0u);
+}
+
+TEST(DitTest, WireBytesPositive) {
+  auto dit = sample_tree();
+  auto r = dit.search(Dn::parse("o=grid"), Scope::Subtree,
+                      *Filter::match_all());
+  EXPECT_GT(r.wire_bytes(), 13 * 8.0);
+}
+
+TEST(LdifTest, RenderEntry) {
+  Entry e(Dn::parse("Mds-Host-hn=lucky7, o=grid"));
+  e.add("objectclass", "MdsHost");
+  e.add("Mds-Os-name", "Linux");
+  std::string ldif = to_ldif(e);
+  EXPECT_NE(ldif.find("dn: mds-host-hn=lucky7, o=grid"), std::string::npos);
+  EXPECT_NE(ldif.find("mds-os-name: Linux"), std::string::npos);
+}
+
+TEST(LdifTest, RenderMultipleSeparatedByBlankLine) {
+  Entry a(Dn::parse("cn=a"));
+  Entry b(Dn::parse("cn=b"));
+  std::string ldif = to_ldif(std::vector<Entry>{a, b});
+  EXPECT_NE(ldif.find("dn: cn=a\n\ndn: cn=b\n"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace gridmon::ldap

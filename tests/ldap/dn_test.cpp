@@ -1,0 +1,67 @@
+#include "gridmon/ldap/dn.hpp"
+
+#include <gtest/gtest.h>
+
+namespace gridmon::ldap {
+namespace {
+
+TEST(DnTest, ParseBasic) {
+  auto dn = Dn::parse("Mds-Host-hn=lucky7.mcs.anl.gov, o=grid");
+  EXPECT_EQ(dn.depth(), 2u);
+  EXPECT_EQ(dn.front().attr, "mds-host-hn");
+  EXPECT_EQ(dn.front().value, "lucky7.mcs.anl.gov");
+}
+
+TEST(DnTest, WhitespaceInsignificant) {
+  auto a = Dn::parse("cn=x,ou=y,o=grid");
+  auto b = Dn::parse("  cn = x ,  ou = y , o = grid ");
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.normalized(), b.normalized());
+}
+
+TEST(DnTest, CaseInsensitiveEquality) {
+  EXPECT_EQ(Dn::parse("CN=Foo, O=Grid"), Dn::parse("cn=foo, o=grid"));
+}
+
+TEST(DnTest, NormalizedForm) {
+  EXPECT_EQ(Dn::parse("CN = Foo , O = Grid").normalized(), "cn=foo,o=grid");
+}
+
+TEST(DnTest, ToStringPreservesValueCase) {
+  EXPECT_EQ(Dn::parse("CN=Foo,O=Grid").to_string(), "cn=Foo, o=Grid");
+}
+
+TEST(DnTest, ParentChain) {
+  auto dn = Dn::parse("a=1, b=2, c=3");
+  EXPECT_EQ(dn.parent(), Dn::parse("b=2, c=3"));
+  EXPECT_EQ(dn.parent().parent(), Dn::parse("c=3"));
+  EXPECT_TRUE(dn.parent().parent().parent().empty());
+}
+
+TEST(DnTest, ChildAndDescendantRelations) {
+  auto root = Dn::parse("o=grid");
+  auto host = Dn::parse("Mds-Host-hn=lucky1, o=grid");
+  auto dev = Dn::parse("Mds-Device-name=memory, Mds-Host-hn=lucky1, o=grid");
+  EXPECT_TRUE(host.is_child_of(root));
+  EXPECT_FALSE(dev.is_child_of(root));
+  EXPECT_TRUE(dev.is_child_of(host));
+  EXPECT_TRUE(dev.is_descendant_of(root));
+  EXPECT_FALSE(root.is_descendant_of(dev));
+  EXPECT_FALSE(host.is_descendant_of(host));  // strict
+}
+
+TEST(DnTest, ParseErrors) {
+  EXPECT_THROW(Dn::parse("noequals"), DnError);
+  EXPECT_THROW(Dn::parse("cn=a,,o=grid"), DnError);
+  EXPECT_THROW(Dn::parse("=value"), DnError);
+  EXPECT_THROW(Dn::parse("cn=, o=grid"), DnError);
+}
+
+TEST(DnTest, EmptyDnParses) {
+  auto dn = Dn::parse("");
+  EXPECT_TRUE(dn.empty());
+  EXPECT_EQ(dn.depth(), 0u);
+}
+
+}  // namespace
+}  // namespace gridmon::ldap

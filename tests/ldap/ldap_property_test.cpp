@@ -1,0 +1,147 @@
+/// Parameterized/property suites for the LDAP engine: filter algebra,
+/// scope containment, and DN normalization laws.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+
+#include "gridmon/ldap/dit.hpp"
+
+namespace gridmon::ldap {
+namespace {
+
+Dit grid_tree() {
+  Dit dit;
+  Entry root(Dn::parse("o=grid"));
+  root.add("objectclass", "organization");
+  dit.add(std::move(root));
+  for (int h = 0; h < 4; ++h) {
+    std::string host = "Mds-Host-hn=lucky" + std::to_string(h) + ", o=grid";
+    Entry he(Dn::parse(host));
+    he.add("objectclass", "MdsHost");
+    he.add("Mds-Cpu-Total-count", std::to_string(1 << h));
+    he.add("Mds-Os-name", h % 2 ? "Linux" : "Solaris");
+    dit.add(std::move(he));
+    for (int d = 0; d < 5; ++d) {
+      Entry de(Dn::parse("Mds-Device-name=dev" + std::to_string(d) + ", " +
+                         host));
+      de.add("objectclass", "MdsDevice");
+      de.add("Mds-Device-name", "dev" + std::to_string(d));
+      de.add("size", std::to_string(d * 100));
+      dit.add(std::move(de));
+    }
+  }
+  return dit;
+}
+
+// ---- filter algebra over a corpus ----
+
+const char* kFilters[] = {
+    "(objectclass=*)",
+    "(objectclass=MdsHost)",
+    "(Mds-Os-name=linux)",
+    "(Mds-Cpu-Total-count>=4)",
+    "(size<=200)",
+    "(Mds-Device-name=dev*)",
+    "(Mds-Device-name=*2)",
+    "(&(objectclass=MdsDevice)(size>=300))",
+    "(|(Mds-Os-name=solaris)(size=400))",
+};
+
+class FilterAlgebra : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(FilterAlgebra, NotNotIsIdentity) {
+  auto dit = grid_tree();
+  auto f = Filter::parse(GetParam());
+  auto nn = Filter::parse("(!(!" + std::string(GetParam()) + "))");
+  auto base = Dn::parse("o=grid");
+  auto a = dit.search(base, Scope::Subtree, *f);
+  auto b = dit.search(base, Scope::Subtree, *nn);
+  EXPECT_EQ(a.entries.size(), b.entries.size());
+}
+
+TEST_P(FilterAlgebra, FilterAndNotFilterPartitionTheTree) {
+  auto dit = grid_tree();
+  auto f = Filter::parse(GetParam());
+  auto nf = Filter::parse("(!" + std::string(GetParam()) + ")");
+  auto base = Dn::parse("o=grid");
+  auto all = dit.search(base, Scope::Subtree, *Filter::match_all());
+  auto yes = dit.search(base, Scope::Subtree, *f);
+  auto no = dit.search(base, Scope::Subtree, *nf);
+  EXPECT_EQ(yes.entries.size() + no.entries.size(), all.entries.size());
+}
+
+TEST_P(FilterAlgebra, AndWithSelfIsIdempotent) {
+  auto dit = grid_tree();
+  std::string s = GetParam();
+  auto f = Filter::parse(s);
+  auto ff = Filter::parse("(&" + s + s + ")");
+  auto base = Dn::parse("o=grid");
+  EXPECT_EQ(dit.search(base, Scope::Subtree, *f).entries.size(),
+            dit.search(base, Scope::Subtree, *ff).entries.size());
+}
+
+TEST_P(FilterAlgebra, RoundTripKeepsSemantics) {
+  auto dit = grid_tree();
+  auto f = Filter::parse(GetParam());
+  auto g = Filter::parse(f->to_string());
+  auto base = Dn::parse("o=grid");
+  EXPECT_EQ(dit.search(base, Scope::Subtree, *f).entries.size(),
+            dit.search(base, Scope::Subtree, *g).entries.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Corpus, FilterAlgebra,
+                         ::testing::ValuesIn(kFilters));
+
+// ---- scope containment: Base <= One+Base <= Subtree ----
+
+TEST(ScopeProperty, ScopesNest) {
+  auto dit = grid_tree();
+  auto all = Filter::match_all();
+  for (const char* base_text :
+       {"o=grid", "Mds-Host-hn=lucky1, o=grid",
+        "Mds-Device-name=dev0, Mds-Host-hn=lucky0, o=grid"}) {
+    auto base = Dn::parse(base_text);
+    auto b = dit.search(base, Scope::Base, *all).entries.size();
+    auto o = dit.search(base, Scope::One, *all).entries.size();
+    auto s = dit.search(base, Scope::Subtree, *all).entries.size();
+    EXPECT_LE(b, 1u);
+    EXPECT_GE(s, b + o) << base_text;  // subtree covers base and children
+  }
+}
+
+// ---- DN normalization laws ----
+
+class DnNormalization : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(DnNormalization, NormalizeIsIdempotent) {
+  auto dn = Dn::parse(GetParam());
+  auto again = Dn::parse(dn.normalized());
+  EXPECT_EQ(dn, again);
+  EXPECT_EQ(dn.normalized(), again.normalized());
+}
+
+TEST_P(DnNormalization, ToStringParsesBackEqual) {
+  auto dn = Dn::parse(GetParam());
+  EXPECT_EQ(dn, Dn::parse(dn.to_string()));
+}
+
+TEST_P(DnNormalization, ParentIsStrictPrefix) {
+  auto dn = Dn::parse(GetParam());
+  if (dn.depth() > 1) {
+    EXPECT_TRUE(dn.is_child_of(dn.parent()));
+    EXPECT_TRUE(dn.is_descendant_of(dn.parent()));
+    EXPECT_EQ(dn.parent().depth(), dn.depth() - 1);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Corpus, DnNormalization,
+    ::testing::Values("o=grid", "CN=Foo, O=Grid",
+                      "mds-device-name=CPU, mds-host-hn=Lucky7, o=Grid",
+                      "a=1, b=2, c=3, d=4, e=5",
+                      "cn = spaced out , o = grid"));
+
+}  // namespace
+}  // namespace gridmon::ldap

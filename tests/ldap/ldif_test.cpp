@@ -1,0 +1,74 @@
+#include "gridmon/ldap/ldif.hpp"
+
+#include <gtest/gtest.h>
+
+namespace gridmon::ldap {
+namespace {
+
+TEST(LdifParseTest, SingleRecord) {
+  auto entries = from_ldif(
+      "dn: Mds-Host-hn=lucky7, o=grid\n"
+      "objectclass: MdsHost\n"
+      "Mds-Os-name: Linux\n");
+  ASSERT_EQ(entries.size(), 1u);
+  EXPECT_EQ(entries[0].dn(), Dn::parse("Mds-Host-hn=lucky7, o=grid"));
+  EXPECT_EQ(entries[0].value("Mds-Os-name"), "Linux");
+}
+
+TEST(LdifParseTest, MultipleRecordsAndComments) {
+  auto entries = from_ldif(
+      "# grid dump\n"
+      "dn: cn=a\n"
+      "x: 1\n"
+      "\n"
+      "dn: cn=b\n"
+      "x: 2\n"
+      "x: 3\n"
+      "\n");
+  ASSERT_EQ(entries.size(), 2u);
+  EXPECT_EQ(entries[1].values("x").size(), 2u);
+}
+
+TEST(LdifParseTest, ContinuationLines) {
+  auto entries = from_ldif(
+      "dn: cn=long\n"
+      "description: first part\n"
+      "  and second part\n");
+  ASSERT_EQ(entries.size(), 1u);
+  EXPECT_EQ(entries[0].value("description"), "first part and second part");
+}
+
+TEST(LdifParseTest, CrLfTolerated) {
+  auto entries = from_ldif("dn: cn=a\r\nx: 1\r\n");
+  ASSERT_EQ(entries.size(), 1u);
+  EXPECT_EQ(entries[0].value("x"), "1");
+}
+
+TEST(LdifParseTest, RoundTripThroughToLdif) {
+  Entry a(Dn::parse("Mds-Device-name=mem, Mds-Host-hn=lucky1, o=grid"));
+  a.add("objectclass", "MdsDevice");
+  a.add("Mds-Device-name", "mem");
+  Entry b(Dn::parse("cn=other"));
+  b.add("v", "x");
+  b.add("v", "y");
+  auto parsed = from_ldif(to_ldif(std::vector<Entry>{a, b}));
+  ASSERT_EQ(parsed.size(), 2u);
+  EXPECT_EQ(parsed[0].dn(), a.dn());
+  EXPECT_EQ(parsed[0].values("objectclass").size(), 1u);
+  EXPECT_EQ(parsed[1].values("v"), b.values("v"));
+}
+
+TEST(LdifParseTest, Errors) {
+  EXPECT_THROW(from_ldif("x: no dn first\n"), LdifError);
+  EXPECT_THROW(from_ldif("dn: cn=a\nmalformed line\n"), LdifError);
+  EXPECT_THROW(from_ldif("  continuation first\n"), LdifError);
+  EXPECT_THROW(from_ldif(": empty attr\n"), LdifError);
+}
+
+TEST(LdifParseTest, EmptyInputIsEmpty) {
+  EXPECT_TRUE(from_ldif("").empty());
+  EXPECT_TRUE(from_ldif("\n\n# only comments\n\n").empty());
+}
+
+}  // namespace
+}  // namespace gridmon::ldap

@@ -1,0 +1,154 @@
+/// Tests for the multi-level GIIS hierarchy (paper Figure 1: "any GRIS
+/// or GIIS can register with another") and the DN rebase machinery
+/// underneath it.
+
+#include <gtest/gtest.h>
+
+#include "gridmon/core/testbed.hpp"
+#include "gridmon/mds/giis.hpp"
+#include "gridmon/mds/gris.hpp"
+
+namespace gridmon::mds {
+namespace {
+
+using core::Testbed;
+
+TEST(DnRebaseTest, MovesSubtree) {
+  auto dn = ldap::Dn::parse("dev=x, host=h, o=grid");
+  auto out = dn.rebased(ldap::Dn::parse("o=grid"),
+                        ldap::Dn::parse("vo=a, o=grid"));
+  EXPECT_EQ(out, ldap::Dn::parse("dev=x, host=h, vo=a, o=grid"));
+}
+
+TEST(DnRebaseTest, WholeDnRebasesToTarget) {
+  auto dn = ldap::Dn::parse("o=grid");
+  auto out = dn.rebased(ldap::Dn::parse("o=grid"),
+                        ldap::Dn::parse("vo=a, o=grid"));
+  EXPECT_EQ(out, ldap::Dn::parse("vo=a, o=grid"));
+}
+
+TEST(DnRebaseTest, NonSuffixThrows) {
+  auto dn = ldap::Dn::parse("dev=x, o=grid");
+  EXPECT_THROW(dn.rebased(ldap::Dn::parse("o=other"),
+                          ldap::Dn::parse("o=grid")),
+               ldap::DnError);
+}
+
+std::vector<ProviderSpec> providers(int n) {
+  std::vector<ProviderSpec> specs;
+  for (int i = 0; i < n; ++i) {
+    ProviderSpec s;
+    s.name = "ip" + std::to_string(i);
+    s.entries = 4;
+    s.bytes_per_entry = 800;
+    s.cache_ttl = 1e18;
+    specs.push_back(s);
+  }
+  return specs;
+}
+
+sim::Task<void> run_query(Giis& giis, net::Interface& client, MdsReply* out,
+                          QueryScope scope = QueryScope::All) {
+  *out = co_await giis.query(client, scope);
+}
+
+struct TwoLevel {
+  Testbed tb;
+  Giis root{tb.network(), tb.host("lucky0"), tb.nic("lucky0"), "root"};
+  Giis mid_a{tb.network(), tb.host("lucky1"), tb.nic("lucky1"), "site-a"};
+  Giis mid_b{tb.network(), tb.host("lucky3"), tb.nic("lucky3"), "site-b"};
+  Gris g1{tb.network(), tb.host("lucky4"), tb.nic("lucky4"), "g1",
+          providers(3)};
+  Gris g2{tb.network(), tb.host("lucky5"), tb.nic("lucky5"), "g2",
+          providers(3)};
+  Gris g3{tb.network(), tb.host("lucky6"), tb.nic("lucky6"), "g3",
+          providers(3)};
+
+  TwoLevel() {
+    mid_a.add_registrant(g1);
+    mid_a.add_registrant(g2);
+    mid_b.add_registrant(g3);
+    root.add_registrant(mid_a);
+    root.add_registrant(mid_b);
+  }
+  ~TwoLevel() { tb.sim().shutdown(); }
+};
+
+TEST(GiisHierarchyTest, RootSeesAllLeafData) {
+  TwoLevel h;
+  MdsReply reply;
+  h.tb.sim().spawn(run_query(h.root, h.tb.nic("uc01"), &reply));
+  h.tb.sim().run(h.tb.sim().now() + 120);
+  EXPECT_TRUE(reply.admitted);
+  // 3 GRIS x 3 providers x 4 entries of device data through two levels.
+  EXPECT_EQ(reply.entries, 36u);
+}
+
+TEST(GiisHierarchyTest, DataLandsUnderVoSubtrees) {
+  TwoLevel h;
+  MdsReply reply;
+  h.tb.sim().spawn(run_query(h.root, h.tb.nic("uc01"), &reply));
+  h.tb.sim().run(h.tb.sim().now() + 120);
+  // Root's tree: root + 2 VO entries + per-VO (hosts + devices).
+  // site-a: vo + 2 hosts + 24 devices; site-b: vo + 1 host + 12 devices.
+  EXPECT_EQ(h.root.entry_count(), 1u + (1 + 2 + 24) + (1 + 1 + 12));
+}
+
+TEST(GiisHierarchyTest, PartQueryCrossesLevels) {
+  TwoLevel h;
+  MdsReply reply;
+  h.tb.sim().spawn(run_query(h.root, h.tb.nic("uc01"), &reply,
+                             QueryScope::Part));
+  h.tb.sim().run(h.tb.sim().now() + 120);
+  // Provider "ip0" of each of the three GRIS: 3 x 4 entries.
+  EXPECT_EQ(reply.entries, 12u);
+}
+
+TEST(GiisHierarchyTest, MidLevelDeathAgesOutAtRoot) {
+  Testbed tb;
+  GiisConfig config;
+  config.registration_ttl = 60;
+  config.cachettl = 20;  // root re-pulls so the sweep can take effect
+  Giis root(tb.network(), tb.host("lucky0"), tb.nic("lucky0"), "root",
+            config);
+  Giis mid(tb.network(), tb.host("lucky1"), tb.nic("lucky1"), "mid");
+  Gris leaf(tb.network(), tb.host("lucky4"), tb.nic("lucky4"), "leaf",
+            providers(2));
+  mid.add_registrant(leaf);
+  root.add_registrant(mid);
+
+  MdsReply before, after;
+  tb.sim().spawn(run_query(root, tb.nic("uc01"), &before));
+  tb.sim().run(tb.sim().now() + 60);
+  EXPECT_EQ(before.entries, 8u);
+
+  root.kill_registrant("mid");
+  tb.sim().run(tb.sim().now() + 300);
+  tb.sim().spawn(run_query(root, tb.nic("uc01"), &after));
+  tb.sim().run(tb.sim().now() + 60);
+  EXPECT_TRUE(after.admitted);
+  EXPECT_EQ(after.entries, 0u);  // whole VO subtree swept
+  tb.sim().shutdown();
+}
+
+TEST(GiisHierarchyTest, ThreeLevelsDeep) {
+  Testbed tb;
+  Giis top(tb.network(), tb.host("lucky0"), tb.nic("lucky0"), "top");
+  Giis mid(tb.network(), tb.host("lucky1"), tb.nic("lucky1"), "mid");
+  Giis low(tb.network(), tb.host("lucky3"), tb.nic("lucky3"), "low");
+  Gris leaf(tb.network(), tb.host("lucky4"), tb.nic("lucky4"), "leaf",
+            providers(2));
+  low.add_registrant(leaf);
+  mid.add_registrant(low);
+  top.add_registrant(mid);
+
+  MdsReply reply;
+  tb.sim().spawn(run_query(top, tb.nic("uc01"), &reply));
+  tb.sim().run(tb.sim().now() + 180);
+  EXPECT_TRUE(reply.admitted);
+  EXPECT_EQ(reply.entries, 8u);  // 2 providers x 4 entries, three hops up
+  tb.sim().shutdown();
+}
+
+}  // namespace
+}  // namespace gridmon::mds

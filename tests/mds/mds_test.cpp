@@ -1,0 +1,252 @@
+#include <gtest/gtest.h>
+
+#include "gridmon/core/testbed.hpp"
+#include "gridmon/mds/giis.hpp"
+#include "gridmon/mds/gris.hpp"
+
+namespace gridmon::mds {
+namespace {
+
+using core::Testbed;
+
+sim::Task<void> run_query(Gris& gris, net::Interface& client, MdsReply* out,
+                          QueryScope scope = QueryScope::All) {
+  *out = co_await gris.query(client, scope);
+}
+
+sim::Task<void> run_query(Giis& giis, net::Interface& client, MdsReply* out,
+                          QueryScope scope = QueryScope::All) {
+  *out = co_await giis.query(client, scope);
+}
+
+std::vector<ProviderSpec> providers(int n) {
+  std::vector<ProviderSpec> specs;
+  for (int i = 0; i < n; ++i) {
+    ProviderSpec s;
+    s.name = "ip" + std::to_string(i);
+    s.entries = 4;
+    s.bytes_per_entry = 1000;
+    specs.push_back(s);
+  }
+  return specs;
+}
+
+TEST(ProviderTest, EmitsRequestedEntries) {
+  ProviderSpec spec;
+  spec.name = "memory";
+  spec.entries = 3;
+  spec.bytes_per_entry = 500;
+  auto entries =
+      run_provider(spec, ldap::Dn::parse("Mds-Host-hn=lucky7, o=grid"), 1);
+  ASSERT_EQ(entries.size(), 3u);
+  for (const auto& e : entries) {
+    EXPECT_TRUE(e.dn().is_descendant_of(ldap::Dn::parse("o=grid")));
+    EXPECT_EQ(e.value("Mds-provider-name"), "memory");
+    EXPECT_GE(e.wire_bytes(), 500);
+  }
+}
+
+TEST(GrisTest, QueryReturnsAllProviderEntries) {
+  Testbed tb;
+  Gris gris(tb.network(), tb.host("lucky7"), tb.nic("lucky7"), "lucky7",
+            providers(10));
+  MdsReply reply;
+  tb.sim().spawn(run_query(gris, tb.nic("uc01"), &reply));
+  tb.sim().run();
+  EXPECT_TRUE(reply.admitted);
+  EXPECT_EQ(reply.entries, 40u);
+  EXPECT_GT(reply.response_bytes, 40 * 900.0);
+}
+
+TEST(GrisTest, PartScopeReturnsOneProvider) {
+  Testbed tb;
+  Gris gris(tb.network(), tb.host("lucky7"), tb.nic("lucky7"), "lucky7",
+            providers(10));
+  MdsReply reply;
+  tb.sim().spawn(run_query(gris, tb.nic("uc01"), &reply, QueryScope::Part));
+  tb.sim().run();
+  EXPECT_EQ(reply.entries, 4u);
+}
+
+TEST(GrisTest, CacheAvoidsProviderReexecution) {
+  Testbed tb;
+  Gris gris(tb.network(), tb.host("lucky7"), tb.nic("lucky7"), "lucky7",
+            providers(10));
+  MdsReply r1, r2;
+  tb.sim().spawn(run_query(gris, tb.nic("uc01"), &r1));
+  tb.sim().run();
+  EXPECT_EQ(gris.provider_runs(), 10u);  // first query fills the cache
+  EXPECT_FALSE(r1.cache_hit);
+  tb.sim().spawn(run_query(gris, tb.nic("uc01"), &r2));
+  tb.sim().run();
+  EXPECT_EQ(gris.provider_runs(), 10u);  // served from cache
+  EXPECT_TRUE(r2.cache_hit);
+}
+
+TEST(GrisTest, CacheExpiresAfterTtl) {
+  Testbed tb;
+  auto specs = providers(2);
+  for (auto& s : specs) s.cache_ttl = 30.0;
+  Gris gris(tb.network(), tb.host("lucky7"), tb.nic("lucky7"), "lucky7",
+            specs);
+  MdsReply reply;
+  tb.sim().spawn(run_query(gris, tb.nic("uc01"), &reply));
+  tb.sim().run();
+  EXPECT_EQ(gris.provider_runs(), 2u);
+  // Sit past the TTL, then query again.
+  tb.sim().schedule(40.0, [] {});
+  tb.sim().run();
+  tb.sim().spawn(run_query(gris, tb.nic("uc01"), &reply));
+  tb.sim().run();
+  EXPECT_EQ(gris.provider_runs(), 4u);
+}
+
+TEST(GrisTest, NocacheReexecutesEveryQuery) {
+  Testbed tb;
+  GrisConfig config;
+  config.cache_enabled = false;
+  Gris gris(tb.network(), tb.host("lucky7"), tb.nic("lucky7"), "lucky7",
+            providers(5), config);
+  MdsReply reply;
+  for (int i = 0; i < 3; ++i) {
+    tb.sim().spawn(run_query(gris, tb.nic("uc01"), &reply));
+    tb.sim().run();
+  }
+  EXPECT_EQ(gris.provider_runs(), 15u);
+  EXPECT_FALSE(reply.cache_hit);
+}
+
+TEST(GrisTest, NocacheQueriesAreMuchSlower) {
+  Testbed tb;
+  Gris cached(tb.network(), tb.host("lucky7"), tb.nic("lucky7"), "cached",
+              providers(10));
+  GrisConfig nocache_cfg;
+  nocache_cfg.cache_enabled = false;
+  Gris nocache(tb.network(), tb.host("lucky6"), tb.nic("lucky6"), "nocache",
+               providers(10), nocache_cfg);
+
+  // Warm the cached GRIS.
+  MdsReply r;
+  tb.sim().spawn(run_query(cached, tb.nic("uc01"), &r));
+  tb.sim().run();
+
+  auto timed = [](Gris& g, net::Interface& c, double* out) -> sim::Task<void> {
+    double t0 = g.host().simulation().now();
+    (void)co_await g.query(c);
+    *out = g.host().simulation().now() - t0;
+  };
+  double cached_time = 0, nocache_time = 0;
+  tb.sim().spawn(timed(cached, tb.nic("uc01"), &cached_time));
+  tb.sim().run();
+  tb.sim().spawn(timed(nocache, tb.nic("uc02"), &nocache_time));
+  tb.sim().run();
+  // Cache hit pays the validation latency; nocache pays 10 fork/execs.
+  EXPECT_GT(nocache_time, 0.5);
+  EXPECT_GT(cached_time, 1.0);  // client tool + validation
+  EXPECT_LT(cached_time, nocache_time + 3.0);
+}
+
+TEST(GrisTest, BacklogRefusesWhenFull) {
+  Testbed tb;
+  GrisConfig config;
+  config.backlog = 2;
+  config.cache_serve_latency = 50.0;  // park requests to fill the backlog
+  Gris gris(tb.network(), tb.host("lucky7"), tb.nic("lucky7"), "lucky7",
+            providers(1), config);
+  // Warm cache first.
+  MdsReply warm;
+  tb.sim().spawn(run_query(gris, tb.nic("uc01"), &warm));
+  tb.sim().run();
+
+  std::vector<MdsReply> replies(5);
+  for (int i = 0; i < 5; ++i) {
+    tb.sim().spawn(run_query(gris, tb.nic("uc01"), &replies[i]));
+  }
+  tb.sim().run(20.0);
+  int refused = 0;
+  for (const auto& r : replies) {
+    if (!r.admitted && r.entries == 0) ++refused;
+  }
+  EXPECT_GE(refused, 3);
+  EXPECT_GE(gris.port().total_refused(), 3u);
+}
+
+TEST(GiisTest, AggregatesRegisteredGris) {
+  Testbed tb;
+  Giis giis(tb.network(), tb.host("lucky0"), tb.nic("lucky0"), "giis");
+  std::vector<std::unique_ptr<Gris>> gris;
+  for (const std::string host : {"lucky3", "lucky4", "lucky5"}) {
+    gris.push_back(std::make_unique<Gris>(tb.network(), tb.host(host),
+                                          tb.nic(host), host, providers(10)));
+    giis.add_registrant(*gris.back());
+  }
+  MdsReply reply;
+  tb.sim().spawn(run_query(giis, tb.nic("uc01"), &reply));
+  tb.sim().run(300.0);
+  EXPECT_TRUE(reply.admitted);
+  EXPECT_EQ(reply.entries, 3u * 40u);  // all devices of all three GRIS
+  EXPECT_EQ(giis.live_registrant_count(), 3u);
+  tb.sim().shutdown();
+}
+
+TEST(GiisTest, PartQueryReturnsOneProviderPerGris) {
+  Testbed tb;
+  Giis giis(tb.network(), tb.host("lucky0"), tb.nic("lucky0"), "giis");
+  Gris g3(tb.network(), tb.host("lucky3"), tb.nic("lucky3"), "lucky3",
+          providers(10));
+  Gris g4(tb.network(), tb.host("lucky4"), tb.nic("lucky4"), "lucky4",
+          providers(10));
+  giis.add_registrant(g3);
+  giis.add_registrant(g4);
+  MdsReply reply;
+  tb.sim().spawn(run_query(giis, tb.nic("uc01"), &reply, QueryScope::Part));
+  tb.sim().run(300.0);
+  EXPECT_EQ(reply.entries, 2u * 4u);  // "ip0" slice of each GRIS
+  tb.sim().shutdown();
+}
+
+TEST(GiisTest, DeadGrisAgesOutOfDirectory) {
+  Testbed tb;
+  GiisConfig config;
+  config.registration_ttl = 60.0;
+  config.cachettl = 1.0;  // force re-pull so the sweep runs
+  Giis giis(tb.network(), tb.host("lucky0"), tb.nic("lucky0"), "giis",
+            config);
+  Gris g3(tb.network(), tb.host("lucky3"), tb.nic("lucky3"), "lucky3",
+          providers(5));
+  giis.add_registrant(g3);
+
+  MdsReply reply;
+  tb.sim().spawn(run_query(giis, tb.nic("uc01"), &reply));
+  tb.sim().run(tb.sim().now() + 30);
+  EXPECT_EQ(reply.entries, 20u);
+
+  // Kill the GRIS's re-registration and let soft state expire.
+  giis.kill_registrant("lucky3");
+  tb.sim().run(tb.sim().now() + 200);
+  EXPECT_EQ(giis.live_registrant_count(), 0u);
+
+  tb.sim().spawn(run_query(giis, tb.nic("uc01"), &reply));
+  tb.sim().run(tb.sim().now() + 30);
+  EXPECT_EQ(reply.entries, 0u);  // data swept with the registration
+  tb.sim().shutdown();
+}
+
+TEST(GiisTest, ReregistrationRefreshesSoftState) {
+  Testbed tb;
+  GiisConfig config;
+  config.registration_ttl = 90.0;
+  Giis giis(tb.network(), tb.host("lucky0"), tb.nic("lucky0"), "giis",
+            config);
+  Gris g3(tb.network(), tb.host("lucky3"), tb.nic("lucky3"), "lucky3",
+          providers(2));
+  giis.add_registrant(g3);
+  // Far beyond the TTL: periodic re-registration keeps it alive.
+  tb.sim().run(tb.sim().now() + 600);
+  EXPECT_EQ(giis.live_registrant_count(), 1u);
+  EXPECT_GT(giis.registrations_processed(), 10u);
+  tb.sim().shutdown();
+}
+
+}  // namespace
+}  // namespace gridmon::mds

@@ -1,0 +1,107 @@
+/// The general LDAP search API on GRIS and GIIS: caller-supplied
+/// filters, attribute selection and size limits over the live service
+/// pipeline.
+
+#include <gtest/gtest.h>
+
+#include "gridmon/core/scenarios.hpp"
+#include "gridmon/core/testbed.hpp"
+#include "gridmon/mds/giis.hpp"
+#include "gridmon/mds/gris.hpp"
+
+namespace gridmon::mds {
+namespace {
+
+using core::Testbed;
+
+sim::Task<void> run_search(Gris& g, net::Interface& c, SearchRequest req,
+                           MdsReply* out) {
+  *out = co_await g.search(c, std::move(req));
+}
+
+sim::Task<void> run_search(Giis& g, net::Interface& c, SearchRequest req,
+                           MdsReply* out) {
+  *out = co_await g.search(c, std::move(req));
+}
+
+TEST(SearchApiTest, FilterSelectsProviderSubset) {
+  Testbed tb;
+  core::GrisScenario scenario(tb, 10, true);
+  MdsReply reply;
+  SearchRequest req;
+  req.filter = "(|(Mds-provider-name=ip1)(Mds-provider-name=ip2))";
+  tb.sim().spawn(run_search(*scenario.gris, tb.nic("uc01"), req, &reply));
+  tb.sim().run(60.0);
+  EXPECT_TRUE(reply.admitted);
+  EXPECT_EQ(reply.entries, 8u);  // two providers x 4 entries
+}
+
+TEST(SearchApiTest, AttributeSelectionShrinksResponse) {
+  Testbed tb;
+  core::GrisScenario scenario(tb, 10, true);
+  MdsReply all, slim;
+  SearchRequest full;
+  SearchRequest narrow;
+  narrow.attributes = {"Mds-provider-name"};
+  tb.sim().spawn(run_search(*scenario.gris, tb.nic("uc01"), full, &all));
+  tb.sim().run(60.0);
+  tb.sim().spawn(run_search(*scenario.gris, tb.nic("uc01"), narrow, &slim));
+  tb.sim().run(120.0);
+  EXPECT_EQ(all.entries, slim.entries);
+  EXPECT_LT(slim.response_bytes, all.response_bytes / 4);
+  ASSERT_FALSE(slim.payload.empty());
+  // Device entries keep the selected attribute; nothing keeps the bulky
+  // padding attribute.
+  std::size_t with_selected = 0;
+  for (const auto& e : slim.payload) {
+    if (e.has_attribute("Mds-provider-name")) ++with_selected;
+    EXPECT_FALSE(e.has_attribute("Mds-data"));
+  }
+  EXPECT_GE(with_selected, 40u);  // the 10 providers x 4 device entries
+}
+
+TEST(SearchApiTest, SizeLimitTruncates) {
+  Testbed tb;
+  core::GrisScenario scenario(tb, 10, true);
+  MdsReply reply;
+  SearchRequest req;
+  req.size_limit = 7;
+  tb.sim().spawn(run_search(*scenario.gris, tb.nic("uc01"), req, &reply));
+  tb.sim().run(60.0);
+  EXPECT_EQ(reply.entries, 7u);
+}
+
+TEST(SearchApiTest, GiisSearchSpansRegistrants) {
+  Testbed tb;
+  core::GiisScenario scenario(tb, 3, 10);
+  scenario.prefill();
+  MdsReply reply;
+  SearchRequest req;
+  req.filter = "(objectclass=MdsHost)";
+  tb.sim().spawn(run_search(*scenario.giis, tb.nic("uc01"), req, &reply));
+  tb.sim().run(tb.sim().now() + 60);
+  EXPECT_TRUE(reply.admitted);
+  EXPECT_EQ(reply.entries, 3u);  // one host entry per registered GRIS
+}
+
+TEST(SearchApiTest, BadFilterRejectedBeforeService) {
+  Testbed tb;
+  core::GrisScenario scenario(tb, 2, true);
+  SearchRequest req;
+  req.filter = "((broken";
+  auto attempt = [](Gris& g, net::Interface& c, SearchRequest r,
+                    bool* threw) -> sim::Task<void> {
+    try {
+      (void)co_await g.search(c, std::move(r));
+    } catch (const ldap::FilterError&) {
+      *threw = true;
+    }
+  };
+  bool threw = false;
+  tb.sim().spawn(attempt(*scenario.gris, tb.nic("uc01"), req, &threw));
+  tb.sim().run(60.0);
+  EXPECT_TRUE(threw);
+}
+
+}  // namespace
+}  // namespace gridmon::mds

@@ -1,0 +1,104 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "gridmon/metrics/load_average.hpp"
+#include "gridmon/metrics/report.hpp"
+#include "gridmon/metrics/sampler.hpp"
+#include "gridmon/metrics/time_series.hpp"
+#include "gridmon/sim/simulation.hpp"
+
+namespace gridmon::metrics {
+namespace {
+
+TEST(TimeSeriesTest, RecordAndWindowMean) {
+  TimeSeries ts("x");
+  for (int i = 0; i <= 10; ++i) ts.record(i, 2.0 * i);
+  EXPECT_DOUBLE_EQ(ts.mean_over(0, 10), 10.0);
+  EXPECT_DOUBLE_EQ(ts.mean_over(5, 10), 15.0);
+  EXPECT_DOUBLE_EQ(ts.mean_over(100, 200), 0.0);
+  EXPECT_DOUBLE_EQ(ts.max_over(0, 10), 20.0);
+  EXPECT_DOUBLE_EQ(ts.last(), 20.0);
+}
+
+TEST(TimeSeriesTest, EmptySeriesDefaults) {
+  TimeSeries ts;
+  EXPECT_TRUE(ts.empty());
+  EXPECT_DOUBLE_EQ(ts.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(ts.last(), 0.0);
+}
+
+TEST(LoadAverageTest, ConvergesToConstantInput) {
+  LoadAverage la;
+  for (int i = 0; i < 600; ++i) la.sample(5.0, 3.0);
+  EXPECT_NEAR(la.value(), 3.0, 1e-6);
+}
+
+TEST(LoadAverageTest, DecaysTowardZero) {
+  LoadAverage la;
+  la.sample(5.0, 12.0);
+  double peak = la.value();
+  for (int i = 0; i < 24; ++i) la.sample(5.0, 0.0);  // 2 minutes idle
+  EXPECT_LT(la.value(), peak * 0.2);
+}
+
+TEST(LoadAverageTest, OneMinuteTimeConstant) {
+  LoadAverage la;
+  la.sample(60.0, 1.0);
+  // After one time constant of constant load 1, value = 1 - 1/e.
+  EXPECT_NEAR(la.value(), 1.0 - std::exp(-1.0), 1e-9);
+}
+
+TEST(SamplerTest, PollsGaugesAtInterval) {
+  sim::Simulation sim;
+  Sampler sampler(sim, 5.0);
+  double value = 0;
+  sampler.add_gauge("g", [&] { return value; });
+  sampler.start();
+  sim.schedule(7.0, [&] { value = 10.0; });
+  sim.run(20.0);
+  const auto& ts = sampler.series("g");
+  // Samples at t = 5, 10, 15, 20.
+  ASSERT_EQ(ts.size(), 4u);
+  EXPECT_DOUBLE_EQ(ts.points()[0].value, 0.0);
+  EXPECT_DOUBLE_EQ(ts.points()[1].value, 10.0);
+  EXPECT_DOUBLE_EQ(ts.points()[0].t, 5.0);
+}
+
+TEST(SamplerTest, UnknownSeriesIsEmpty) {
+  sim::Simulation sim;
+  Sampler sampler(sim);
+  EXPECT_TRUE(sampler.series("nope").empty());
+  EXPECT_FALSE(sampler.has_series("nope"));
+}
+
+TEST(TableTest, TextLayoutAligned) {
+  Table t("Figure 5");
+  t.set_columns({"users", "throughput"});
+  t.add_row({"10", "99.5"});
+  t.add_row({"600", "3.2"});
+  std::ostringstream os;
+  t.print_text(os);
+  std::string out = os.str();
+  EXPECT_NE(out.find("Figure 5"), std::string::npos);
+  EXPECT_NE(out.find("users"), std::string::npos);
+  EXPECT_NE(out.find("99.5"), std::string::npos);
+}
+
+TEST(TableTest, CsvRoundTrip) {
+  Table t("fig");
+  t.set_columns({"a", "b"});
+  t.add_row({"1", "2"});
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "# fig\na,b\n1,2\n");
+}
+
+TEST(TableTest, NumFormatsNegativeAsDash) {
+  EXPECT_EQ(Table::num(-1), "-");
+  EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+}
+
+}  // namespace
+}  // namespace gridmon::metrics

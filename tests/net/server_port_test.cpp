@@ -1,0 +1,57 @@
+#include "gridmon/net/server_port.hpp"
+
+#include <gtest/gtest.h>
+
+namespace gridmon::net {
+namespace {
+
+TEST(ServerPortTest, AdmitsUpToBacklog) {
+  ServerPort port(3);
+  EXPECT_TRUE(port.try_admit());
+  EXPECT_TRUE(port.try_admit());
+  EXPECT_TRUE(port.try_admit());
+  EXPECT_FALSE(port.try_admit());
+  EXPECT_EQ(port.in_flight(), 3);
+  EXPECT_EQ(port.total_admitted(), 3u);
+  EXPECT_EQ(port.total_refused(), 1u);
+}
+
+TEST(ServerPortTest, ReleaseReopensSlot) {
+  ServerPort port(1);
+  EXPECT_TRUE(port.try_admit());
+  EXPECT_FALSE(port.try_admit());
+  port.release();
+  EXPECT_TRUE(port.try_admit());
+  EXPECT_EQ(port.total_refused(), 1u);
+}
+
+TEST(ServerPortTest, SlotReleasesOnScopeExit) {
+  ServerPort port(1);
+  {
+    ASSERT_TRUE(port.try_admit());
+    AdmissionSlot slot(&port);
+    EXPECT_EQ(port.in_flight(), 1);
+  }
+  EXPECT_EQ(port.in_flight(), 0);
+}
+
+TEST(ServerPortTest, MovedSlotReleasesOnce) {
+  ServerPort port(2);
+  ASSERT_TRUE(port.try_admit());
+  AdmissionSlot a(&port);
+  AdmissionSlot b = std::move(a);
+  a.release();  // no-op: ownership moved
+  EXPECT_EQ(port.in_flight(), 1);
+  b.release();
+  EXPECT_EQ(port.in_flight(), 0);
+  b.release();  // idempotent
+  EXPECT_EQ(port.in_flight(), 0);
+}
+
+TEST(ServerPortTest, DefaultSlotHoldsNothing) {
+  AdmissionSlot slot;
+  slot.release();  // harmless
+}
+
+}  // namespace
+}  // namespace gridmon::net

@@ -1,0 +1,122 @@
+#include <gtest/gtest.h>
+
+#include "gridmon/rdbms/database.hpp"
+
+namespace gridmon::rdbms {
+namespace {
+
+Database metrics_db() {
+  Database db;
+  db.execute("CREATE TABLE m (host TEXT, value REAL)");
+  db.execute(
+      "INSERT INTO m VALUES "
+      "('a', 1.0), ('a', 3.0), ('a', NULL), "
+      "('b', 10.0), ('b', 20.0), "
+      "('c', 5.0)");
+  return db;
+}
+
+TEST(SqlAggregateTest, CountStarAndCountColumn) {
+  auto db = metrics_db();
+  auto r = db.execute("SELECT COUNT(*) FROM m");
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_EQ(r.rows[0][0], Value::integer(6));
+  // COUNT(col) skips NULLs.
+  r = db.execute("SELECT COUNT(value) FROM m");
+  EXPECT_EQ(r.rows[0][0], Value::integer(5));
+  EXPECT_EQ(r.columns[0], "COUNT(value)");
+}
+
+TEST(SqlAggregateTest, SumAvgMinMax) {
+  auto db = metrics_db();
+  auto r = db.execute(
+      "SELECT SUM(value), AVG(value), MIN(value), MAX(value) FROM m");
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_DOUBLE_EQ(r.rows[0][0].as_number(), 39.0);
+  EXPECT_DOUBLE_EQ(r.rows[0][1].as_number(), 39.0 / 5);
+  EXPECT_DOUBLE_EQ(r.rows[0][2].as_number(), 1.0);
+  EXPECT_DOUBLE_EQ(r.rows[0][3].as_number(), 20.0);
+}
+
+TEST(SqlAggregateTest, AggregateWithWhere) {
+  auto db = metrics_db();
+  auto r = db.execute("SELECT MAX(value) FROM m WHERE host = 'a'");
+  EXPECT_DOUBLE_EQ(r.rows[0][0].as_number(), 3.0);
+}
+
+TEST(SqlAggregateTest, GroupBy) {
+  auto db = metrics_db();
+  auto r = db.execute(
+      "SELECT host, COUNT(*), AVG(value) FROM m GROUP BY host");
+  ASSERT_EQ(r.rows.size(), 3u);  // a, b, c (map-ordered)
+  EXPECT_EQ(r.rows[0][0], Value::text("a"));
+  EXPECT_EQ(r.rows[0][1], Value::integer(3));
+  EXPECT_DOUBLE_EQ(r.rows[0][2].as_number(), 2.0);  // NULL skipped
+  EXPECT_EQ(r.rows[1][0], Value::text("b"));
+  EXPECT_DOUBLE_EQ(r.rows[1][2].as_number(), 15.0);
+}
+
+TEST(SqlAggregateTest, GroupByWithWhere) {
+  auto db = metrics_db();
+  auto r = db.execute(
+      "SELECT host, SUM(value) FROM m WHERE value >= 3 GROUP BY host");
+  ASSERT_EQ(r.rows.size(), 3u);
+  EXPECT_DOUBLE_EQ(r.rows[0][1].as_number(), 3.0);   // a
+  EXPECT_DOUBLE_EQ(r.rows[1][1].as_number(), 30.0);  // b
+  EXPECT_DOUBLE_EQ(r.rows[2][1].as_number(), 5.0);   // c
+}
+
+TEST(SqlAggregateTest, EmptyTableAggregates) {
+  Database db;
+  db.execute("CREATE TABLE t (v REAL)");
+  auto r = db.execute("SELECT COUNT(*), SUM(v), MIN(v) FROM t");
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_EQ(r.rows[0][0], Value::integer(0));
+  EXPECT_TRUE(r.rows[0][1].is_null());
+  EXPECT_TRUE(r.rows[0][2].is_null());
+  // With GROUP BY and no rows: no groups at all.
+  r = db.execute("SELECT v, COUNT(*) FROM t GROUP BY v");
+  EXPECT_TRUE(r.rows.empty());
+}
+
+TEST(SqlAggregateTest, MinMaxOnText) {
+  Database db;
+  db.execute("CREATE TABLE t (s TEXT)");
+  db.execute("INSERT INTO t VALUES ('banana'), ('apple'), ('cherry')");
+  auto r = db.execute("SELECT MIN(s), MAX(s) FROM t");
+  EXPECT_EQ(r.rows[0][0], Value::text("apple"));
+  EXPECT_EQ(r.rows[0][1], Value::text("cherry"));
+}
+
+TEST(SqlAggregateTest, BareColumnWithAggregateRejectedUnlessGrouped) {
+  auto db = metrics_db();
+  EXPECT_THROW(db.execute("SELECT host, COUNT(*) FROM m"), SqlError);
+  EXPECT_THROW(db.execute("SELECT value, COUNT(*) FROM m GROUP BY host"),
+               SqlError);
+  // The group key itself is fine.
+  EXPECT_NO_THROW(db.execute("SELECT host, COUNT(*) FROM m GROUP BY host"));
+}
+
+TEST(SqlAggregateTest, UnknownAggregateColumnThrows) {
+  auto db = metrics_db();
+  EXPECT_THROW(db.execute("SELECT SUM(nope) FROM m"), SqlError);
+  EXPECT_THROW(db.execute("SELECT COUNT(*) FROM m GROUP BY nope"), SqlError);
+}
+
+TEST(SqlAggregateTest, CountAsIdentifierStillUsableAsColumn) {
+  // COUNT without parentheses is an ordinary identifier.
+  Database db;
+  db.execute("CREATE TABLE t (count INT)");
+  db.execute("INSERT INTO t VALUES (7)");
+  auto r = db.execute("SELECT count FROM t");
+  EXPECT_EQ(r.rows[0][0], Value::integer(7));
+}
+
+TEST(SqlAggregateTest, LimitAppliesToGroups) {
+  auto db = metrics_db();
+  auto r = db.execute("SELECT host, COUNT(*) FROM m GROUP BY host LIMIT 2");
+  EXPECT_EQ(r.rows.size(), 2u);
+}
+
+}  // namespace
+}  // namespace gridmon::rdbms

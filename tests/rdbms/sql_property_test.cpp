@@ -1,0 +1,176 @@
+/// Parameterized/property suites for the SQL engine: LIKE algebra,
+/// predicate/scan agreement, index-vs-scan equivalence, and NULL logic
+/// laws.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+
+#include "gridmon/rdbms/database.hpp"
+
+namespace gridmon::rdbms {
+namespace {
+
+// ---- LIKE corpus ----
+
+using LikeCase = std::tuple<const char*, const char*, bool>;
+
+class LikeMatcher : public ::testing::TestWithParam<LikeCase> {};
+
+TEST_P(LikeMatcher, MatchesExpected) {
+  auto [text, pattern, expected] = GetParam();
+  EXPECT_EQ(SqlLike::like_match(text, pattern), expected)
+      << "'" << text << "' LIKE '" << pattern << "'";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Corpus, LikeMatcher,
+    ::testing::Values(
+        LikeCase{"lucky7.mcs.anl.gov", "lucky%", true},
+        LikeCase{"lucky7.mcs.anl.gov", "%anl%", true},
+        LikeCase{"lucky7.mcs.anl.gov", "%gov", true},
+        LikeCase{"lucky7.mcs.anl.gov", "lucky_.mcs.anl.gov", true},
+        LikeCase{"lucky17.mcs.anl.gov", "lucky_.mcs.anl.gov", false},
+        LikeCase{"abc", "%", true},
+        LikeCase{"", "%", true},
+        LikeCase{"", "_", false},
+        LikeCase{"a", "_", true},
+        LikeCase{"abc", "a_c", true},
+        LikeCase{"ac", "a_c", false},
+        LikeCase{"aXbXcXd", "a%c%d", true},
+        LikeCase{"abc", "ABC", true},  // case-insensitive
+        LikeCase{"abc", "%%%%", true},
+        LikeCase{"abcd", "a%b%c%d%", true},
+        LikeCase{"mississippi", "%iss%ipp%", true},
+        LikeCase{"mississippi", "%ipp%iss%", false}));
+
+// ---- index-vs-scan equivalence under mutation ----
+
+class IndexEquivalence : public ::testing::TestWithParam<int> {};
+
+TEST_P(IndexEquivalence, FindEqualMatchesScanAfterChurn) {
+  int seed = GetParam();
+  Table indexed("t", Schema({{"k", ColumnType::Text},
+                             {"v", ColumnType::Integer}}));
+  Table plain("t", Schema({{"k", ColumnType::Text},
+                           {"v", ColumnType::Integer}}));
+  indexed.create_index("k");
+  std::uint64_t state = static_cast<std::uint64_t>(seed) * 2654435761u + 1;
+  auto next = [&state] {
+    state = state * 6364136223846793005ull + 1442695040888963407ull;
+    return state >> 33;
+  };
+  // Random insert/update/delete churn applied identically to both tables.
+  for (int op = 0; op < 400; ++op) {
+    auto roll = next() % 10;
+    if (roll < 6 || indexed.row_count() == 0) {
+      Row row{Value::text("key" + std::to_string(next() % 20)),
+              Value::integer(static_cast<std::int64_t>(next() % 100))};
+      indexed.insert(row);
+      plain.insert(row);
+    } else {
+      // Pick the nth live row (same in both by construction).
+      std::size_t target = next() % indexed.row_count();
+      std::size_t seen = 0;
+      std::size_t victim = 0;
+      indexed.scan([&](std::size_t id, const Row&) {
+        if (seen++ == target) {
+          victim = id;
+          return false;
+        }
+        return true;
+      });
+      if (roll < 8) {
+        Row row{Value::text("key" + std::to_string(next() % 20)),
+                Value::integer(static_cast<std::int64_t>(next() % 100))};
+        indexed.update_row(victim, row);
+        plain.update_row(victim, row);
+      } else {
+        indexed.erase_row(victim);
+        plain.erase_row(victim);
+      }
+    }
+  }
+  for (int k = 0; k < 20; ++k) {
+    Value key = Value::text("key" + std::to_string(k));
+    auto a = indexed.find_equal("k", key);
+    auto b = plain.find_equal("k", key);
+    EXPECT_EQ(a.size(), b.size()) << "key" << k;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IndexEquivalence,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+// ---- NULL (Kleene) logic laws in WHERE ----
+
+TEST(SqlNullLogic, WhereNullNeverMatchesButIsNullDoes) {
+  Database db;
+  db.execute("CREATE TABLE t (a INT)");
+  db.execute("INSERT INTO t VALUES (1), (NULL), (2)");
+  // For every comparison op, NULL rows never qualify.
+  for (const char* cond :
+       {"a = 1", "a <> 1", "a < 10", "a >= 0", "a > 0 OR a < 100"}) {
+    auto r = db.execute(std::string("SELECT * FROM t WHERE ") + cond);
+    for (const auto& row : r.rows) EXPECT_FALSE(row[0].is_null()) << cond;
+  }
+  // Complement rule: WHERE c plus WHERE NOT c plus WHERE c IS NULL-ish
+  // partitions the table.
+  auto pos = db.execute("SELECT * FROM t WHERE a > 1").rows.size();
+  auto neg = db.execute("SELECT * FROM t WHERE NOT (a > 1)").rows.size();
+  auto nul = db.execute("SELECT * FROM t WHERE a IS NULL").rows.size();
+  EXPECT_EQ(pos + neg + nul, 3u);
+}
+
+// ---- ORDER BY is a permutation and is sorted ----
+
+TEST(SqlOrderProperty, OrderBySortsAndPreservesRows) {
+  Database db;
+  db.execute("CREATE TABLE t (v REAL)");
+  std::uint64_t s = 42;
+  double sum = 0;
+  for (int i = 0; i < 64; ++i) {
+    s = s * 6364136223846793005ull + 1;
+    double v = static_cast<double>(s % 1000) / 10.0;
+    sum += v;
+    db.execute("INSERT INTO t VALUES (" + std::to_string(v) + ")");
+  }
+  auto r = db.execute("SELECT v FROM t ORDER BY v ASC");
+  ASSERT_EQ(r.rows.size(), 64u);
+  double got = 0;
+  for (std::size_t i = 0; i < r.rows.size(); ++i) {
+    got += r.rows[i][0].as_number();
+    if (i > 0) {
+      EXPECT_LE(r.rows[i - 1][0].as_number(), r.rows[i][0].as_number());
+    }
+  }
+  EXPECT_NEAR(got, sum, 1e-9);
+}
+
+// ---- LIMIT is a prefix of the unlimited result ----
+
+class LimitPrefix : public ::testing::TestWithParam<int> {};
+
+TEST_P(LimitPrefix, LimitedIsPrefixOfUnlimited) {
+  int limit = GetParam();
+  Database db;
+  db.execute("CREATE TABLE t (v INT)");
+  for (int i = 0; i < 30; ++i) {
+    db.execute("INSERT INTO t VALUES (" + std::to_string(i * 7 % 30) + ")");
+  }
+  auto all = db.execute("SELECT v FROM t ORDER BY v DESC");
+  auto some = db.execute("SELECT v FROM t ORDER BY v DESC LIMIT " +
+                         std::to_string(limit));
+  ASSERT_EQ(some.rows.size(),
+            std::min<std::size_t>(static_cast<std::size_t>(limit), 30u));
+  for (std::size_t i = 0; i < some.rows.size(); ++i) {
+    EXPECT_EQ(some.rows[i][0], all.rows[i][0]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Limits, LimitPrefix,
+                         ::testing::Values(0, 1, 5, 29, 30, 100));
+
+}  // namespace
+}  // namespace gridmon::rdbms

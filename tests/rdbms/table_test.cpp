@@ -1,0 +1,123 @@
+#include "gridmon/rdbms/table.hpp"
+
+#include <gtest/gtest.h>
+
+namespace gridmon::rdbms {
+namespace {
+
+Table make_hosts() {
+  Table t("hosts", Schema({{"name", ColumnType::Text},
+                           {"cpus", ColumnType::Integer},
+                           {"load", ColumnType::Real}}));
+  t.insert({Value::text("lucky0"), Value::integer(2), Value::real(0.5)});
+  t.insert({Value::text("lucky1"), Value::integer(2), Value::real(1.5)});
+  t.insert({Value::text("lucky3"), Value::integer(4), Value::real(0.1)});
+  return t;
+}
+
+TEST(ValueTest, CompareSemantics) {
+  EXPECT_EQ(Value::compare(Value::integer(1), Value::integer(2)), -1);
+  EXPECT_EQ(Value::compare(Value::integer(2), Value::real(2.0)), 0);
+  EXPECT_EQ(Value::compare(Value::text("b"), Value::text("a")), 1);
+  EXPECT_EQ(Value::compare(Value::null(), Value::integer(1)), std::nullopt);
+  EXPECT_EQ(Value::compare(Value::text("1"), Value::integer(1)),
+            std::nullopt);
+}
+
+TEST(ValueTest, ToStringQuoting) {
+  EXPECT_EQ(Value::text("o'brien").to_string(), "'o''brien'");
+  EXPECT_EQ(Value::null().to_string(), "NULL");
+  EXPECT_EQ(Value::integer(-3).to_string(), "-3");
+}
+
+TEST(TableTest, InsertAndScan) {
+  auto t = make_hosts();
+  EXPECT_EQ(t.row_count(), 3u);
+  int seen = 0;
+  t.scan([&](std::size_t, const Row&) {
+    ++seen;
+    return true;
+  });
+  EXPECT_EQ(seen, 3);
+}
+
+TEST(TableTest, ArityChecked) {
+  auto t = make_hosts();
+  EXPECT_THROW(t.insert({Value::text("x")}), TableError);
+}
+
+TEST(TableTest, TypeChecked) {
+  auto t = make_hosts();
+  EXPECT_THROW(
+      t.insert({Value::integer(5), Value::integer(2), Value::real(1)}),
+      TableError);
+  // NULL allowed anywhere.
+  t.insert({Value::null(), Value::null(), Value::null()});
+  EXPECT_EQ(t.row_count(), 4u);
+}
+
+TEST(TableTest, IntWidensIntoRealColumn) {
+  auto t = make_hosts();
+  t.insert({Value::text("w"), Value::integer(1), Value::integer(3)});
+  auto rows = t.find_equal("name", Value::text("w"));
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_TRUE(t.row(rows[0])[2].is_real());
+}
+
+TEST(TableTest, FindEqualWithoutIndexScans) {
+  auto t = make_hosts();
+  auto hits = t.find_equal("cpus", Value::integer(2));
+  EXPECT_EQ(hits.size(), 2u);
+}
+
+TEST(TableTest, IndexLookupMatchesScan) {
+  auto t = make_hosts();
+  t.create_index("name");
+  EXPECT_TRUE(t.has_index_on("name"));
+  EXPECT_FALSE(t.has_index_on("cpus"));
+  auto hits = t.find_equal("name", Value::text("lucky1"));
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(t.row(hits[0])[0], Value::text("lucky1"));
+}
+
+TEST(TableTest, IndexStaysInSyncThroughMutation) {
+  auto t = make_hosts();
+  t.create_index("name");
+  auto ids = t.find_equal("name", Value::text("lucky0"));
+  ASSERT_EQ(ids.size(), 1u);
+  t.update_row(ids[0],
+               {Value::text("renamed"), Value::integer(2), Value::real(0.5)});
+  EXPECT_TRUE(t.find_equal("name", Value::text("lucky0")).empty());
+  EXPECT_EQ(t.find_equal("name", Value::text("renamed")).size(), 1u);
+
+  t.erase_row(ids[0]);
+  EXPECT_TRUE(t.find_equal("name", Value::text("renamed")).empty());
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(TableTest, VacuumCompacts) {
+  auto t = make_hosts();
+  t.create_index("name");
+  auto ids = t.find_equal("name", Value::text("lucky1"));
+  t.erase_row(ids[0]);
+  t.vacuum();
+  EXPECT_EQ(t.row_count(), 2u);
+  EXPECT_EQ(t.find_equal("name", Value::text("lucky3")).size(), 1u);
+  int live = 0;
+  t.scan([&](std::size_t, const Row&) {
+    ++live;
+    return true;
+  });
+  EXPECT_EQ(live, 2);
+}
+
+TEST(TableTest, UpdateDeletedRowThrows) {
+  auto t = make_hosts();
+  t.erase_row(0);
+  EXPECT_THROW(t.update_row(0, {Value::text("x"), Value::integer(1),
+                                Value::real(0)}),
+               TableError);
+}
+
+}  // namespace
+}  // namespace gridmon::rdbms

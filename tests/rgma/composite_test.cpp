@@ -1,0 +1,136 @@
+/// Tests for the composite Consumer/Producer — the R-GMA aggregate
+/// information server the paper describes as buildable but missing.
+
+#include <gtest/gtest.h>
+
+#include "gridmon/core/testbed.hpp"
+#include "gridmon/rgma/composite_producer.hpp"
+#include "gridmon/rgma/consumer_servlet.hpp"
+
+namespace gridmon::rgma {
+namespace {
+
+using core::Testbed;
+
+struct Fixture {
+  Testbed tb;
+  Registry registry{tb.network(), tb.host("lucky1"), tb.nic("lucky1")};
+  ProducerServlet source_a{tb.network(), tb.host("lucky4"), tb.nic("lucky4"),
+                           "src-a"};
+  ProducerServlet source_b{tb.network(), tb.host("lucky5"), tb.nic("lucky5"),
+                           "src-b"};
+  CompositeProducer composite{tb.network(), tb.host("lucky3"),
+                              tb.nic("lucky3"), "agg", "cpuload"};
+  Producer* pa = nullptr;
+  Producer* pb = nullptr;
+
+  Fixture() {
+    pa = &source_a.add_producer("pa", "cpuload");
+    pb = &source_b.add_producer("pb", "cpuload");
+    composite.attach_source(source_a);
+    composite.attach_source(source_b);
+  }
+  ~Fixture() { tb.sim().shutdown(); }
+
+  sim::Task<void> publish_from(ProducerServlet& src, Producer& p,
+                               std::string host, int n) {
+    for (int i = 0; i < n; ++i) {
+      rdbms::Row row{rdbms::Value::text(host), rdbms::Value::text("load"),
+                     rdbms::Value::real(i * 0.1),
+                     rdbms::Value::real(static_cast<double>(i))};
+      co_await src.publish(p, std::move(row));
+      co_await tb.sim().delay(1.0);
+    }
+  }
+};
+
+sim::Task<void> query_composite(CompositeProducer& c, net::Interface& client,
+                                RgmaReply* out, std::string where = "") {
+  *out = co_await c.client_query(client, where);
+}
+
+TEST(CompositeProducerTest, StreamsFromAllSourcesMerge) {
+  Fixture f;
+  f.tb.sim().spawn(f.publish_from(f.source_a, *f.pa, "lucky4", 6));
+  f.tb.sim().spawn(f.publish_from(f.source_b, *f.pb, "lucky5", 4));
+  f.tb.sim().run(f.tb.sim().now() + 30);
+  EXPECT_EQ(f.composite.tuples_ingested(), 10u);
+  EXPECT_EQ(f.composite.merged_rows(), 10u);
+  EXPECT_EQ(f.composite.sources(), 2u);
+}
+
+TEST(CompositeProducerTest, ServesAggregatedData) {
+  Fixture f;
+  f.tb.sim().spawn(f.publish_from(f.source_a, *f.pa, "lucky4", 5));
+  f.tb.sim().spawn(f.publish_from(f.source_b, *f.pb, "lucky5", 5));
+  f.tb.sim().run(f.tb.sim().now() + 30);
+
+  RgmaReply reply;
+  f.tb.sim().spawn(query_composite(f.composite, f.tb.nic("uc01"), &reply));
+  f.tb.sim().run(f.tb.sim().now() + 20);
+  EXPECT_TRUE(reply.admitted);
+  EXPECT_EQ(reply.rows, 10u);  // both sources' tuples from one server
+}
+
+TEST(CompositeProducerTest, PredicateFiltersMergedStore) {
+  Fixture f;
+  f.tb.sim().spawn(f.publish_from(f.source_a, *f.pa, "lucky4", 10));
+  f.tb.sim().run(f.tb.sim().now() + 30);
+  RgmaReply reply;
+  f.tb.sim().spawn(query_composite(f.composite, f.tb.nic("uc01"), &reply,
+                                   "host = 'lucky4' AND value >= 0.5"));
+  f.tb.sim().run(f.tb.sim().now() + 20);
+  EXPECT_EQ(reply.rows, 5u);
+}
+
+TEST(CompositeProducerTest, DiscoverableThroughRegistry) {
+  Fixture f;
+  f.composite.start_registration(f.registry);
+  f.tb.sim().run(f.tb.sim().now() + 10);
+  // The aggregate registered like any producer; a ConsumerServlet can
+  // mediate to it.
+  ConsumerServlet cs(f.tb.network(), f.tb.host("lucky6"), f.tb.nic("lucky6"),
+                     "cs", f.registry);
+  cs.add_producer_servlet(f.composite.servlet());
+  f.tb.sim().spawn(f.publish_from(f.source_a, *f.pa, "lucky4", 3));
+  f.tb.sim().run(f.tb.sim().now() + 20);
+
+  RgmaReply reply;
+  auto q = [](ConsumerServlet& c, net::Interface& client,
+              RgmaReply* out) -> sim::Task<void> {
+    *out = co_await c.query(client, "cpuload");
+  };
+  f.tb.sim().spawn(q(cs, f.tb.nic("uc01"), &reply));
+  f.tb.sim().run(f.tb.sim().now() + 30);
+  EXPECT_TRUE(reply.admitted);
+  EXPECT_EQ(reply.rows, 3u);
+}
+
+TEST(CompositeProducerTest, BoundedMergeHistory) {
+  Testbed tb;
+  CompositeProducerConfig config;
+  config.merge_history = 8;
+  CompositeProducer composite(tb.network(), tb.host("lucky3"),
+                              tb.nic("lucky3"), "agg", "cpuload", config);
+  ProducerServlet src(tb.network(), tb.host("lucky4"), tb.nic("lucky4"),
+                      "src");
+  auto& p = src.add_producer("p", "cpuload");
+  composite.attach_source(src);
+  auto publish = [](Testbed& t, ProducerServlet& s, Producer& prod,
+                    int n) -> sim::Task<void> {
+    for (int i = 0; i < n; ++i) {
+      rdbms::Row row{rdbms::Value::text("h"), rdbms::Value::text("m"),
+                     rdbms::Value::real(i), rdbms::Value::real(i)};
+      co_await s.publish(prod, std::move(row));
+      co_await t.sim().delay(0.5);
+    }
+  };
+  tb.sim().spawn(publish(tb, src, p, 20));
+  tb.sim().run(30.0);
+  EXPECT_EQ(composite.tuples_ingested(), 20u);
+  EXPECT_EQ(composite.merged_rows(), 8u);  // latest-N semantics
+  tb.sim().shutdown();
+}
+
+}  // namespace
+}  // namespace gridmon::rgma

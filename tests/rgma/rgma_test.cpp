@@ -1,0 +1,238 @@
+#include <gtest/gtest.h>
+
+#include "gridmon/core/testbed.hpp"
+#include "gridmon/rgma/consumer_servlet.hpp"
+#include "gridmon/rgma/producer_servlet.hpp"
+#include "gridmon/rgma/registry.hpp"
+
+namespace gridmon::rgma {
+namespace {
+
+using core::Testbed;
+
+struct Deployment {
+  Testbed tb;
+  Registry registry{tb.network(), tb.host("lucky1"), tb.nic("lucky1")};
+  ProducerServlet ps{tb.network(), tb.host("lucky3"), tb.nic("lucky3"),
+                     "ps-lucky3"};
+  ConsumerServlet cs{tb.network(), tb.host("lucky5"), tb.nic("lucky5"),
+                     "cs-lucky5", registry};
+
+  Deployment() {
+    cs.add_producer_servlet(ps);
+  }
+  ~Deployment() { tb.sim().shutdown(); }
+
+  Producer& add_filled_producer(const std::string& name, int rows = 10) {
+    auto& p = ps.add_producer(name, "cpuload");
+    for (int i = 0; i < rows; ++i) {
+      p.publish({rdbms::Value::text("lucky3"), rdbms::Value::text("cpu"),
+                 rdbms::Value::real(i * 0.1),
+                 rdbms::Value::real(static_cast<double>(i))});
+    }
+    return p;
+  }
+};
+
+sim::Task<void> do_register(Registry& r, net::Interface& from,
+                            ProducerInfo info, bool* ok) {
+  *ok = co_await r.register_producer(from, info);
+}
+
+sim::Task<void> do_lookup(Registry& r, net::Interface& from,
+                          std::string table, std::vector<ProducerInfo>* out) {
+  *out = co_await r.lookup(from, table);
+}
+
+sim::Task<void> do_query(ConsumerServlet& cs, net::Interface& client,
+                         std::string table, RgmaReply* out) {
+  *out = co_await cs.query(client, table);
+}
+
+TEST(RegistryTest, RegisterAndLookup) {
+  Deployment d;
+  bool ok = false;
+  d.tb.sim().spawn(do_register(
+      d.registry, d.tb.nic("lucky3"),
+      ProducerInfo{"p1", "cpuload", "ps-lucky3", "host='lucky3'"}, &ok));
+  d.tb.sim().run();
+  EXPECT_TRUE(ok);
+  EXPECT_EQ(d.registry.registered_count(), 1u);
+
+  std::vector<ProducerInfo> found;
+  d.tb.sim().spawn(do_lookup(d.registry, d.tb.nic("lucky5"), "cpuload",
+                             &found));
+  d.tb.sim().run();
+  ASSERT_EQ(found.size(), 1u);
+  EXPECT_EQ(found[0].producer, "p1");
+  EXPECT_EQ(found[0].servlet, "ps-lucky3");
+  EXPECT_EQ(found[0].predicate, "host='lucky3'");
+}
+
+TEST(RegistryTest, LookupWrongTableEmpty) {
+  Deployment d;
+  bool ok = false;
+  d.tb.sim().spawn(do_register(d.registry, d.tb.nic("lucky3"),
+                               ProducerInfo{"p1", "cpuload", "s", ""}, &ok));
+  d.tb.sim().run();
+  std::vector<ProducerInfo> found;
+  d.tb.sim().spawn(do_lookup(d.registry, d.tb.nic("lucky5"), "memused",
+                             &found));
+  d.tb.sim().run();
+  EXPECT_TRUE(found.empty());
+}
+
+TEST(RegistryTest, ReregistrationReplacesNotDuplicates) {
+  Deployment d;
+  bool ok = false;
+  for (int i = 0; i < 3; ++i) {
+    d.tb.sim().spawn(do_register(d.registry, d.tb.nic("lucky3"),
+                                 ProducerInfo{"p1", "cpuload", "s", ""}, &ok));
+    d.tb.sim().run();
+  }
+  EXPECT_EQ(d.registry.registered_count(), 1u);
+}
+
+TEST(RegistryTest, LeaseExpiresWithoutReregistration) {
+  Deployment d;
+  bool ok = false;
+  d.tb.sim().spawn(do_register(d.registry, d.tb.nic("lucky3"),
+                               ProducerInfo{"p1", "cpuload", "s", ""}, &ok));
+  d.tb.sim().run();
+  d.registry.start_sweeper();
+  // Default lease 120 s: after 200 s the sweeper has removed it.
+  d.tb.sim().run(d.tb.sim().now() + 200);
+  EXPECT_EQ(d.registry.registered_count(), 0u);
+  std::vector<ProducerInfo> found;
+  d.tb.sim().spawn(do_lookup(d.registry, d.tb.nic("lucky5"), "cpuload",
+                             &found));
+  d.tb.sim().run(d.tb.sim().now() + 10);
+  EXPECT_TRUE(found.empty());
+}
+
+TEST(RegistryTest, ServletRegistrationLoopKeepsLeaseAlive) {
+  Deployment d;
+  d.add_filled_producer("p1");
+  d.ps.start_registration(d.registry);
+  d.registry.start_sweeper();
+  d.tb.sim().run(d.tb.sim().now() + 400);
+  EXPECT_EQ(d.registry.registered_count(), 1u);
+  EXPECT_GT(d.registry.registrations(), 4u);
+}
+
+TEST(ProducerTest, BoundedHistory) {
+  Producer p("p", "cpuload",
+             rdbms::Schema({{"host", rdbms::ColumnType::Text},
+                            {"metric", rdbms::ColumnType::Text},
+                            {"value", rdbms::ColumnType::Real},
+                            {"ts", rdbms::ColumnType::Real}}),
+             "", 5);
+  for (int i = 0; i < 12; ++i) {
+    p.publish({rdbms::Value::text("h"), rdbms::Value::text("m"),
+               rdbms::Value::real(i), rdbms::Value::real(i)});
+  }
+  EXPECT_EQ(p.data().row_count(), 5u);
+  // Oldest rows were dropped: remaining values are 7..11.
+  double min_seen = 1e9;
+  p.data().scan([&](std::size_t, const rdbms::Row& row) {
+    min_seen = std::min(min_seen, row[2].as_number());
+    return true;
+  });
+  EXPECT_DOUBLE_EQ(min_seen, 7.0);
+}
+
+TEST(MediatedQueryTest, EndToEndPull) {
+  Deployment d;
+  d.add_filled_producer("p1", 10);
+  d.add_filled_producer("p2", 10);
+  d.ps.start_registration(d.registry);
+  d.tb.sim().run(d.tb.sim().now() + 5);  // registrations land
+
+  RgmaReply reply;
+  d.tb.sim().spawn(do_query(d.cs, d.tb.nic("uc01"), "cpuload", &reply));
+  d.tb.sim().run(d.tb.sim().now() + 30);
+  EXPECT_TRUE(reply.admitted);
+  EXPECT_EQ(reply.rows, 20u);
+  EXPECT_GT(reply.response_bytes, 20 * 100.0);
+}
+
+TEST(MediatedQueryTest, UnknownTableYieldsZeroRows) {
+  Deployment d;
+  d.add_filled_producer("p1");
+  d.ps.start_registration(d.registry);
+  d.tb.sim().run(d.tb.sim().now() + 5);
+  RgmaReply reply;
+  d.tb.sim().spawn(do_query(d.cs, d.tb.nic("uc01"), "nothing", &reply));
+  d.tb.sim().run(d.tb.sim().now() + 30);
+  EXPECT_TRUE(reply.admitted);
+  EXPECT_EQ(reply.rows, 0u);
+}
+
+TEST(DirectQueryTest, SelectWithPredicate) {
+  Deployment d;
+  d.add_filled_producer("p1", 10);
+  auto run = [](ProducerServlet& ps, net::Interface& c,
+                RgmaReply* out) -> sim::Task<void> {
+    *out = co_await ps.client_query(c, "cpuload", "value >= 0.5");
+  };
+  RgmaReply reply;
+  d.tb.sim().spawn(run(d.ps, d.tb.nic("uc01"), &reply));
+  d.tb.sim().run();
+  EXPECT_TRUE(reply.admitted);
+  EXPECT_EQ(reply.rows, 5u);  // values 0.5..0.9
+}
+
+TEST(StreamingTest, PushDeliversMatchingTuples) {
+  Deployment d;
+  auto& producer = d.add_filled_producer("p1", 0);
+  d.ps.start_registration(d.registry);
+  d.tb.sim().run(d.tb.sim().now() + 5);
+
+  std::vector<double> received;
+  auto subscribe = [](Deployment& dep,
+                      std::vector<double>* out) -> sim::Task<void> {
+    co_await dep.cs.subscribe(
+        dep.tb.nic("uc01"), "cpuload", "value > 0.5",
+        [out](const rdbms::Row& row) { out->push_back(row[2].as_number()); });
+  };
+  d.tb.sim().spawn(subscribe(d, &received));
+  d.tb.sim().run(d.tb.sim().now() + 10);
+
+  auto publish = [](Deployment& dep, Producer& p) -> sim::Task<void> {
+    for (int i = 0; i < 10; ++i) {
+      rdbms::Row row{rdbms::Value::text("lucky3"), rdbms::Value::text("cpu"),
+                     rdbms::Value::real(i * 0.2),
+                     rdbms::Value::real(static_cast<double>(i))};
+      co_await dep.ps.publish(p, std::move(row));
+      co_await dep.tb.sim().delay(1.0);
+    }
+  };
+  d.tb.sim().spawn(publish(d, producer));
+  d.tb.sim().run(d.tb.sim().now() + 30);
+
+  // Values 0.0,0.2,...,1.8: those > 0.5 are 0.6..1.8 -> 7 tuples.
+  EXPECT_EQ(received.size(), 7u);
+  for (double v : received) EXPECT_GT(v, 0.5);
+  EXPECT_EQ(d.ps.tuples_pushed(), 7u);
+}
+
+TEST(BackpressureTest, RefusalsWhenBacklogFull) {
+  Deployment d;
+  RegistryConfig config;
+  config.backlog = 1;
+  config.query_base_cpu = 10.0;  // very slow
+  Registry slow(d.tb.network(), d.tb.host("lucky6"), d.tb.nic("lucky6"),
+                config);
+  auto q = [](Registry& r, net::Interface& c, RgmaReply* out) -> sim::Task<void> {
+    *out = co_await r.client_query(c, "cpuload");
+  };
+  std::vector<RgmaReply> replies(5);
+  for (int i = 0; i < 5; ++i) {
+    d.tb.sim().spawn(q(slow, d.tb.nic("uc01"), &replies[i]));
+  }
+  d.tb.sim().run(d.tb.sim().now() + 5);
+  EXPECT_GT(slow.port().total_refused(), 0u);
+}
+
+}  // namespace
+}  // namespace gridmon::rgma

@@ -1,0 +1,75 @@
+#include "gridmon/sim/channel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "gridmon/sim/simulation.hpp"
+#include "gridmon/sim/task.hpp"
+
+namespace gridmon::sim {
+namespace {
+
+TEST(ChannelTest, PopAfterPushIsImmediate) {
+  Simulation sim;
+  Channel<int> ch(sim);
+  ch.push(7);
+  int out = -1;
+  auto consumer = [](Channel<int>& c, int* o) -> Task<void> {
+    *o = co_await c.pop();
+  };
+  sim.spawn(consumer(ch, &out));
+  sim.run();
+  EXPECT_EQ(out, 7);
+}
+
+TEST(ChannelTest, PopBlocksUntilPush) {
+  Simulation sim;
+  Channel<std::string> ch(sim);
+  std::string out;
+  double popped_at = -1;
+  auto consumer = [](Simulation& s, Channel<std::string>& c, std::string* o,
+                     double* at) -> Task<void> {
+    *o = co_await c.pop();
+    *at = s.now();
+  };
+  sim.spawn(consumer(sim, ch, &out, &popped_at));
+  sim.schedule(3.0, [&] { ch.push("startd-ad"); });
+  sim.run();
+  EXPECT_EQ(out, "startd-ad");
+  EXPECT_DOUBLE_EQ(popped_at, 3.0);
+}
+
+TEST(ChannelTest, FifoOrderPreserved) {
+  Simulation sim;
+  Channel<int> ch(sim);
+  std::vector<int> out;
+  auto consumer = [](Channel<int>& c, std::vector<int>* o) -> Task<void> {
+    for (int i = 0; i < 5; ++i) o->push_back(co_await c.pop());
+  };
+  sim.spawn(consumer(ch, &out));
+  for (int i = 0; i < 5; ++i) {
+    sim.schedule(static_cast<double>(i), [&ch, i] { ch.push(i); });
+  }
+  sim.run();
+  EXPECT_EQ(out, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(ChannelTest, MultipleConsumersEachGetOneItem) {
+  Simulation sim;
+  Channel<int> ch(sim);
+  std::vector<int> out;
+  auto consumer = [](Channel<int>& c, std::vector<int>* o) -> Task<void> {
+    o->push_back(co_await c.pop());
+  };
+  for (int i = 0; i < 3; ++i) sim.spawn(consumer(ch, &out));
+  sim.schedule(1.0, [&] { ch.push(1); });
+  sim.schedule(2.0, [&] { ch.push(2); });
+  sim.schedule(3.0, [&] { ch.push(3); });
+  sim.run();
+  EXPECT_EQ(out, (std::vector<int>{1, 2, 3}));
+}
+
+}  // namespace
+}  // namespace gridmon::sim

@@ -1,0 +1,103 @@
+#include "gridmon/sim/event.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "gridmon/sim/simulation.hpp"
+#include "gridmon/sim/task.hpp"
+
+namespace gridmon::sim {
+namespace {
+
+Task<void> waiter(Simulation& sim, Event& ev, std::vector<double>* woke) {
+  co_await ev;
+  woke->push_back(sim.now());
+}
+
+TEST(EventTest, TriggerWakesAllWaiters) {
+  Simulation sim;
+  Event ev(sim);
+  std::vector<double> woke;
+  for (int i = 0; i < 3; ++i) sim.spawn(waiter(sim, ev, &woke));
+  sim.schedule(5.0, [&] { ev.trigger(); });
+  sim.run();
+  ASSERT_EQ(woke.size(), 3u);
+  for (double t : woke) EXPECT_DOUBLE_EQ(t, 5.0);
+}
+
+TEST(EventTest, AwaitAfterTriggerIsImmediate) {
+  Simulation sim;
+  Event ev(sim);
+  ev.trigger();
+  std::vector<double> woke;
+  sim.spawn(waiter(sim, ev, &woke));
+  sim.run();
+  ASSERT_EQ(woke.size(), 1u);
+  EXPECT_DOUBLE_EQ(woke[0], 0.0);
+}
+
+TEST(EventTest, ResetReArms) {
+  Simulation sim;
+  Event ev(sim);
+  ev.trigger();
+  ev.reset();
+  std::vector<double> woke;
+  sim.spawn(waiter(sim, ev, &woke));
+  sim.schedule(2.0, [&] { ev.trigger(); });
+  sim.run();
+  ASSERT_EQ(woke.size(), 1u);
+  EXPECT_DOUBLE_EQ(woke[0], 2.0);
+}
+
+Task<void> sleep_for(Simulation& sim, double seconds) {
+  co_await sim.delay(seconds);
+}
+
+TEST(WaitGroupTest, WaitsForAllTracked) {
+  Simulation sim;
+  WaitGroup wg(sim);
+  double finished_at = -1;
+  auto waiter_task = [](Simulation& s, WaitGroup& g, double* out) -> Task<void> {
+    co_await g.wait();
+    *out = s.now();
+  };
+  sim.spawn(wg.track(sleep_for(sim, 1.0)));
+  sim.spawn(wg.track(sleep_for(sim, 4.0)));
+  sim.spawn(wg.track(sleep_for(sim, 2.0)));
+  sim.spawn(waiter_task(sim, wg, &finished_at));
+  sim.run();
+  EXPECT_DOUBLE_EQ(finished_at, 4.0);
+  EXPECT_EQ(wg.pending(), 0);
+}
+
+TEST(WaitGroupTest, EmptyGroupCompletesImmediately) {
+  Simulation sim;
+  WaitGroup wg(sim);
+  double finished_at = -1;
+  auto waiter_task = [](Simulation& s, WaitGroup& g, double* out) -> Task<void> {
+    co_await g.wait();
+    *out = s.now();
+  };
+  sim.spawn(waiter_task(sim, wg, &finished_at));
+  sim.run();
+  EXPECT_DOUBLE_EQ(finished_at, 0.0);
+}
+
+TEST(WaitGroupTest, FanOutFanInParallelLatency) {
+  Simulation sim;
+  WaitGroup wg(sim);
+  double finished_at = -1;
+  // 50 parallel one-second tasks complete in 1 simulated second, not 50.
+  for (int i = 0; i < 50; ++i) sim.spawn(wg.track(sleep_for(sim, 1.0)));
+  auto waiter_task = [](Simulation& s, WaitGroup& g, double* out) -> Task<void> {
+    co_await g.wait();
+    *out = s.now();
+  };
+  sim.spawn(waiter_task(sim, wg, &finished_at));
+  sim.run();
+  EXPECT_DOUBLE_EQ(finished_at, 1.0);
+}
+
+}  // namespace
+}  // namespace gridmon::sim

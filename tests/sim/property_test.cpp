@@ -1,0 +1,162 @@
+/// Property-style tests of the DES kernel: invariants that must hold for
+/// any parameter combination, swept with parameterized gtest.
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+#include <vector>
+
+#include "gridmon/sim/ps_server.hpp"
+#include "gridmon/sim/resource.hpp"
+#include "gridmon/sim/rng.hpp"
+#include "gridmon/sim/simulation.hpp"
+#include "gridmon/sim/task.hpp"
+
+namespace gridmon::sim {
+namespace {
+
+// ---- PsServer: work conservation and fairness ----
+
+using PsParams = std::tuple<double /*rate*/, int /*parallel*/,
+                            int /*jobs*/, unsigned /*seed*/>;
+
+class PsServerProperty : public ::testing::TestWithParam<PsParams> {};
+
+Task<void> random_job(Simulation& sim, PsServer& ps, double start,
+                      double work, std::vector<double>* finishes) {
+  co_await sim.delay(start);
+  co_await ps.consume(work);
+  finishes->push_back(sim.now());
+}
+
+TEST_P(PsServerProperty, ConservesWorkAndFinishesEveryJob) {
+  auto [rate, parallel, jobs, seed] = GetParam();
+  Simulation sim;
+  PsServer ps(sim, rate, parallel);
+  Rng rng(seed);
+  std::vector<double> finishes;
+  double total_work = 0;
+  for (int i = 0; i < jobs; ++i) {
+    double start = rng.uniform(0, 10);
+    double work = rng.uniform(0.01, 2.0);
+    total_work += work;
+    sim.spawn(random_job(sim, ps, start, work, &finishes));
+  }
+  sim.run();
+  // Every job finishes.
+  EXPECT_EQ(finishes.size(), static_cast<std::size_t>(jobs));
+  // Work conservation: served == offered (within fp tolerance).
+  EXPECT_NEAR(ps.served_total(), total_work, 1e-6 * jobs);
+  // Makespan lower bounds: no job ends before its work could possibly be
+  // done, and the server cannot beat its total capacity.
+  double single_rate = rate / parallel;
+  double last = 0;
+  for (double f : finishes) last = std::max(last, f);
+  EXPECT_GE(last + 1e-9, total_work / rate);
+  EXPECT_GE(last + 1e-9, 0.01 / single_rate);
+  // Server is empty at the end.
+  EXPECT_EQ(ps.active_jobs(), 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, PsServerProperty,
+    ::testing::Values(PsParams{1.0, 1, 1, 1}, PsParams{1.0, 1, 17, 2},
+                      PsParams{2.0, 2, 40, 3}, PsParams{4.0, 4, 100, 4},
+                      PsParams{12.5e6, 1, 60, 5}, PsParams{0.5, 1, 25, 6},
+                      PsParams{8.0, 2, 200, 7}));
+
+// Equal jobs arriving together must finish together (fairness).
+TEST(PsServerPropertyExtra, IdenticalJobsFinishTogether) {
+  for (int n : {2, 5, 20, 100}) {
+    Simulation sim;
+    PsServer ps(sim, 1.0, 1);
+    std::vector<double> finishes;
+    for (int i = 0; i < n; ++i) {
+      sim.spawn(random_job(sim, ps, 0, 1.0, &finishes));
+    }
+    sim.run();
+    ASSERT_EQ(finishes.size(), static_cast<std::size_t>(n));
+    for (double f : finishes) EXPECT_NEAR(f, finishes.front(), 1e-6);
+    // n jobs of 1 unit at rate 1: all end at t=n.
+    EXPECT_NEAR(finishes.front(), static_cast<double>(n), 1e-6);
+  }
+}
+
+// Long-horizon numeric robustness: tiny residues at large timestamps must
+// not stall the clock (regression for the frozen-time bug).
+TEST(PsServerPropertyExtra, NoStallAtLargeTimes) {
+  Simulation sim;
+  PsServer link(sim, 12.5e6, 1);
+  Rng rng(99);
+  auto churn = [](Simulation& s, PsServer& l, Rng r) -> Task<void> {
+    for (int i = 0; i < 3000; ++i) {
+      co_await l.consume(r.uniform(100, 5e5));
+      co_await s.delay(r.uniform(0.0, 0.4));
+    }
+  };
+  for (int i = 0; i < 8; ++i) sim.spawn(churn(sim, link, rng.fork()));
+  std::size_t events = sim.run(3000.0);
+  EXPECT_GT(events, 1000u);
+  EXPECT_GE(sim.now(), 2999.0);
+}
+
+// ---- Resource: FIFO order and capacity invariants ----
+
+class ResourceProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(ResourceProperty, NeverExceedsCapacityAndServesFifo) {
+  int capacity = GetParam();
+  Simulation sim;
+  Resource res(sim, capacity);
+  Rng rng(7);
+  std::vector<int> order;
+  int max_in_use = 0;
+  auto worker = [](Simulation& s, Resource& r, int id, double hold,
+                   std::vector<int>* ord, int* peak) -> Task<void> {
+    auto lease = co_await r.acquire();
+    ord->push_back(id);
+    *peak = std::max(*peak, r.in_use());
+    co_await s.delay(hold);
+  };
+  const int n = 60;
+  for (int i = 0; i < n; ++i) {
+    sim.spawn(worker(sim, res, i, rng.uniform(0.1, 1.0), &order,
+                     &max_in_use));
+  }
+  sim.run();
+  ASSERT_EQ(order.size(), static_cast<std::size_t>(n));
+  // All spawned at t=0 in index order: FIFO discipline grants in order.
+  for (int i = 0; i < n; ++i) EXPECT_EQ(order[i], i);
+  EXPECT_LE(max_in_use, capacity);
+  EXPECT_EQ(res.in_use(), 0);
+  EXPECT_EQ(res.queue_length(), 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Capacities, ResourceProperty,
+                         ::testing::Values(1, 2, 3, 8, 32));
+
+// ---- Determinism: identical seeds give identical traces ----
+
+TEST(DeterminismProperty, SameSeedSameTrace) {
+  auto trace = [](std::uint64_t seed) {
+    Simulation sim;
+    PsServer cpu(sim, 2.0, 2);
+    Rng rng(seed);
+    std::vector<double> finishes;
+    for (int i = 0; i < 50; ++i) {
+      sim.spawn(random_job(sim, cpu, rng.uniform(0, 5),
+                           rng.uniform(0.01, 1.0), &finishes));
+    }
+    sim.run();
+    return finishes;
+  };
+  auto a = trace(1234);
+  auto b = trace(1234);
+  auto c = trace(5678);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
+  EXPECT_NE(a, c);
+}
+
+}  // namespace
+}  // namespace gridmon::sim

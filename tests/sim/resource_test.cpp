@@ -1,0 +1,126 @@
+#include "gridmon/sim/resource.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "gridmon/sim/simulation.hpp"
+#include "gridmon/sim/task.hpp"
+
+namespace gridmon::sim {
+namespace {
+
+Task<void> hold(Simulation& sim, Resource& r, double seconds,
+                std::vector<double>* acquired_at) {
+  auto lease = co_await r.acquire();
+  acquired_at->push_back(sim.now());
+  co_await sim.delay(seconds);
+}
+
+TEST(ResourceTest, ImmediateAcquireWhenFree) {
+  Simulation sim;
+  Resource r(sim, 2);
+  std::vector<double> at;
+  sim.spawn(hold(sim, r, 1.0, &at));
+  sim.spawn(hold(sim, r, 1.0, &at));
+  sim.run();
+  ASSERT_EQ(at.size(), 2u);
+  EXPECT_DOUBLE_EQ(at[0], 0.0);
+  EXPECT_DOUBLE_EQ(at[1], 0.0);
+}
+
+TEST(ResourceTest, QueuesBeyondCapacityFifo) {
+  Simulation sim;
+  Resource r(sim, 1);
+  std::vector<double> at;
+  for (int i = 0; i < 4; ++i) sim.spawn(hold(sim, r, 1.0, &at));
+  sim.run();
+  ASSERT_EQ(at.size(), 4u);
+  for (int i = 0; i < 4; ++i) EXPECT_DOUBLE_EQ(at[i], static_cast<double>(i));
+}
+
+TEST(ResourceTest, OccupancyAndQueueLength) {
+  Simulation sim;
+  Resource r(sim, 2);
+  std::vector<double> at;
+  for (int i = 0; i < 5; ++i) sim.spawn(hold(sim, r, 10.0, &at));
+  sim.run(1.0);
+  EXPECT_EQ(r.in_use(), 2);
+  EXPECT_EQ(r.queue_length(), 3);
+  sim.run(25.0);
+  EXPECT_EQ(r.in_use(), 1);  // 5th job holds until t=30
+  EXPECT_EQ(r.queue_length(), 0);
+}
+
+TEST(ResourceTest, LeaseReleaseOnScopeExitEvenWithoutDelay) {
+  Simulation sim;
+  Resource r(sim, 1);
+  int completed = 0;
+  auto quick = [](Resource& res, int* done) -> Task<void> {
+    auto lease = co_await res.acquire();
+    ++*done;
+  };
+  for (int i = 0; i < 100; ++i) sim.spawn(quick(r, &completed));
+  sim.run();
+  EXPECT_EQ(completed, 100);
+  EXPECT_EQ(r.in_use(), 0);
+}
+
+TEST(ResourceTest, ExplicitReleaseAllowsReacquire) {
+  Simulation sim;
+  Resource r(sim, 1);
+  bool second_ran = false;
+  auto first = [](Simulation& s, Resource& res) -> Task<void> {
+    auto lease = co_await res.acquire();
+    co_await s.delay(1.0);
+    lease.release();
+    co_await s.delay(10.0);  // holds nothing while sleeping
+  };
+  auto second = [](Simulation& s, Resource& res, bool* ran) -> Task<void> {
+    co_await s.delay(0.5);
+    auto lease = co_await res.acquire();
+    *ran = true;
+    EXPECT_DOUBLE_EQ(s.now(), 1.0);
+  };
+  sim.spawn(first(sim, r));
+  sim.spawn(second(sim, r, &second_ran));
+  sim.run();
+  EXPECT_TRUE(second_ran);
+}
+
+TEST(ResourceTest, BusyIntegralTracksSlotSeconds) {
+  Simulation sim;
+  Resource r(sim, 2);
+  std::vector<double> at;
+  sim.spawn(hold(sim, r, 3.0, &at));
+  sim.spawn(hold(sim, r, 5.0, &at));
+  sim.run();
+  EXPECT_NEAR(r.busy_integral(), 8.0, 1e-9);
+}
+
+TEST(ResourceTest, AcquisitionCount) {
+  Simulation sim;
+  Resource r(sim, 3);
+  std::vector<double> at;
+  for (int i = 0; i < 7; ++i) sim.spawn(hold(sim, r, 0.1, &at));
+  sim.run();
+  EXPECT_EQ(r.total_acquisitions(), 7u);
+}
+
+TEST(ResourceTest, MovedLeaseDoesNotDoubleRelease) {
+  Simulation sim;
+  Resource r(sim, 1);
+  auto proc = [](Simulation& s, Resource& res) -> Task<void> {
+    auto lease = co_await res.acquire();
+    ResourceLease other = std::move(lease);
+    EXPECT_FALSE(lease.owns());  // NOLINT(bugprone-use-after-move)
+    EXPECT_TRUE(other.owns());
+    co_await s.delay(1.0);
+  };
+  sim.spawn(proc(sim, r));
+  sim.run();
+  EXPECT_EQ(r.in_use(), 0);
+}
+
+}  // namespace
+}  // namespace gridmon::sim

@@ -1,0 +1,60 @@
+/// Regression tests for the frozen-clock failure class: events that
+/// reschedule at (effectively) the same timestamp forever.
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "gridmon/sim/ps_server.hpp"
+#include "gridmon/sim/simulation.hpp"
+#include "gridmon/sim/task.hpp"
+
+namespace gridmon::sim {
+namespace {
+
+TEST(StallGuardTest, SameTimestampCycleThrowsInsteadOfHanging) {
+  Simulation sim;
+  // A pathological self-rescheduling zero-delay event.
+  std::function<void()> respawn = [&] { sim.schedule(0, respawn); };
+  sim.schedule(0, respawn);
+  EXPECT_THROW(sim.run(1.0), std::logic_error);
+}
+
+TEST(StallGuardTest, LegitimateZeroDelayBurstsPass) {
+  Simulation sim;
+  // A large but finite same-timestamp burst must NOT trip the guard.
+  int count = 0;
+  for (int i = 0; i < 200000; ++i) {
+    sim.schedule(0, [&count] { ++count; });
+  }
+  EXPECT_NO_THROW(sim.run());
+  EXPECT_EQ(count, 200000);
+}
+
+TEST(StallGuardTest, TinyResidualServiceCompletesAtLargeTimes) {
+  // The original bug: a PsServer job residue needing dt below the
+  // floating-point resolution of the clock at t ~ 512 s. The kMinServiceDt
+  // completion threshold must retire such jobs instead of spinning.
+  Simulation sim;
+  PsServer link(sim, 12.5e6, 1);
+  // Jump the clock far out where ulp(t) is large.
+  sim.schedule(1e7, [] {});
+  sim.run();
+  ASSERT_GE(sim.now(), 1e7);
+
+  int done = 0;
+  auto job = [](PsServer& l, double bytes, int* d) -> Task<void> {
+    co_await l.consume(bytes);
+    ++*d;
+  };
+  // Byte counts chosen to leave awkward residues under sharing.
+  for (int i = 1; i <= 64; ++i) {
+    sim.spawn(job(link, 333.337 * i + 0.0001, &done));
+  }
+  std::size_t events = sim.run(sim.now() + 100);
+  EXPECT_EQ(done, 64);
+  EXPECT_LT(events, 100000u);  // finite, no pathological event storm
+}
+
+}  // namespace
+}  // namespace gridmon::sim

@@ -1,0 +1,97 @@
+#include "gridmon/sim/stats.hpp"
+
+#include <gtest/gtest.h>
+
+namespace gridmon::sim {
+namespace {
+
+TEST(AccumulatorTest, EmptyIsZero) {
+  Accumulator a;
+  EXPECT_EQ(a.count(), 0u);
+  EXPECT_DOUBLE_EQ(a.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(a.stddev(), 0.0);
+}
+
+TEST(AccumulatorTest, BasicMoments) {
+  Accumulator a;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) a.add(x);
+  EXPECT_EQ(a.count(), 8u);
+  EXPECT_DOUBLE_EQ(a.mean(), 5.0);
+  EXPECT_NEAR(a.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(a.min(), 2.0);
+  EXPECT_DOUBLE_EQ(a.max(), 9.0);
+  EXPECT_DOUBLE_EQ(a.sum(), 40.0);
+}
+
+TEST(AccumulatorTest, MergeEqualsCombinedStream) {
+  Accumulator left, right, whole;
+  for (int i = 0; i < 50; ++i) {
+    double x = 0.37 * i - 3;
+    left.add(x);
+    whole.add(x);
+  }
+  for (int i = 50; i < 120; ++i) {
+    double x = 1.1 * i + 2;
+    right.add(x);
+    whole.add(x);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), whole.count());
+  EXPECT_NEAR(left.mean(), whole.mean(), 1e-9);
+  EXPECT_NEAR(left.variance(), whole.variance(), 1e-9);
+}
+
+TEST(AccumulatorTest, MergeWithEmpty) {
+  Accumulator a, empty;
+  a.add(1.0);
+  a.add(3.0);
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+  empty.merge(a);
+  EXPECT_EQ(empty.count(), 2u);
+  EXPECT_DOUBLE_EQ(empty.mean(), 2.0);
+}
+
+TEST(AccumulatorTest, ResetClears) {
+  Accumulator a;
+  a.add(5.0);
+  a.reset();
+  EXPECT_EQ(a.count(), 0u);
+  EXPECT_DOUBLE_EQ(a.mean(), 0.0);
+}
+
+TEST(SamplesTest, PercentilesExactOnKnownData) {
+  Samples s;
+  for (int i = 1; i <= 100; ++i) s.add(static_cast<double>(i));
+  EXPECT_NEAR(s.percentile(0.0), 1.0, 1e-12);
+  EXPECT_NEAR(s.percentile(1.0), 100.0, 1e-12);
+  EXPECT_NEAR(s.median(), 50.5, 1e-12);
+  EXPECT_NEAR(s.percentile(0.95), 95.05, 1e-9);
+}
+
+TEST(SamplesTest, AddAfterPercentileStillCorrect) {
+  Samples s;
+  s.add(10.0);
+  s.add(20.0);
+  EXPECT_DOUBLE_EQ(s.median(), 15.0);
+  s.add(0.0);
+  EXPECT_DOUBLE_EQ(s.median(), 10.0);
+}
+
+TEST(SamplesTest, EmptyPercentileIsZero) {
+  Samples s;
+  EXPECT_DOUBLE_EQ(s.percentile(0.5), 0.0);
+}
+
+TEST(SamplesTest, MirrorsAccumulatorMoments) {
+  Samples s;
+  for (double x : {1.0, 2.0, 3.0, 4.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.5);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 4.0);
+  EXPECT_EQ(s.count(), 4u);
+}
+
+}  // namespace
+}  // namespace gridmon::sim

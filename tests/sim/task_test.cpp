@@ -1,0 +1,126 @@
+#include "gridmon/sim/task.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+#include "gridmon/sim/simulation.hpp"
+
+namespace gridmon::sim {
+namespace {
+
+Task<int> forty_two() { co_return 42; }
+
+Task<int> add(int a, int b) { co_return a + b; }
+
+Task<int> nested_sum(long long depth) {
+  if (depth == 0) co_return 0;
+  int below = co_await nested_sum(depth - 1);
+  co_return below + static_cast<int>(depth);
+}
+
+Task<std::string> concat(std::string a, std::string b) {
+  co_return a + b;
+}
+
+Task<void> thrower() {
+  throw std::runtime_error("boom");
+  co_return;  // unreachable; makes this a coroutine
+}
+
+Task<int> catches() {
+  try {
+    co_await thrower();
+  } catch (const std::runtime_error&) {
+    co_return 1;
+  }
+  co_return 0;
+}
+
+Task<void> store_result(Task<int> inner, int* out) {
+  *out = co_await inner;
+}
+
+TEST(TaskTest, LazyStart) {
+  bool ran = false;
+  auto make = [&]() -> Task<void> {
+    ran = true;
+    co_return;
+  };
+  Simulation sim;
+  auto t = make();
+  EXPECT_FALSE(ran);  // lazily started
+  sim.spawn(std::move(t));
+  EXPECT_FALSE(ran);
+  sim.run();
+  EXPECT_TRUE(ran);
+}
+
+TEST(TaskTest, ReturnsValueThroughAwait) {
+  Simulation sim;
+  int out = -1;
+  sim.spawn(store_result(forty_two(), &out));
+  sim.run();
+  EXPECT_EQ(out, 42);
+}
+
+TEST(TaskTest, ArgumentsCopiedIntoFrame) {
+  Simulation sim;
+  int out = -1;
+  sim.spawn(store_result(add(19, 23), &out));
+  sim.run();
+  EXPECT_EQ(out, 42);
+}
+
+TEST(TaskTest, DeepRecursionViaSymmetricTransfer) {
+  Simulation sim;
+  int out = -1;
+  // A 50k-deep chain would overflow the machine stack without symmetric
+  // transfer in the awaiter. The guaranteed tail calls only happen in
+  // optimized builds (sanitizers and -O0 inhibit them in GCC), so scale
+  // the depth down there — the semantic check still runs everywhere.
+#if defined(__OPTIMIZE__) && !defined(__SANITIZE_ADDRESS__)
+  constexpr long long kDepth = 50000;
+#else
+  constexpr long long kDepth = 1000;
+#endif
+  sim.spawn(store_result(nested_sum(kDepth), &out));
+  sim.run();
+  EXPECT_EQ(out, static_cast<int>(kDepth * (kDepth + 1) / 2));
+}
+
+TEST(TaskTest, StringResult) {
+  Simulation sim;
+  std::string out;
+  auto runner = [](Task<std::string> t, std::string* o) -> Task<void> {
+    *o = co_await t;
+  };
+  sim.spawn(runner(concat("grid", "mon"), &out));
+  sim.run();
+  EXPECT_EQ(out, "gridmon");
+}
+
+TEST(TaskTest, ExceptionPropagatesToAwaiter) {
+  Simulation sim;
+  int out = -1;
+  sim.spawn(store_result(catches(), &out));
+  sim.run();
+  EXPECT_EQ(out, 1);
+}
+
+TEST(TaskTest, MoveTransfersOwnership) {
+  auto t = forty_two();
+  EXPECT_TRUE(t.valid());
+  Task<int> u = std::move(t);
+  EXPECT_FALSE(t.valid());  // NOLINT(bugprone-use-after-move)
+  EXPECT_TRUE(u.valid());
+}
+
+TEST(TaskTest, DestroyUnstartedTaskIsSafe) {
+  auto t = forty_two();
+  // Falls out of scope without ever being awaited.
+}
+
+}  // namespace
+}  // namespace gridmon::sim

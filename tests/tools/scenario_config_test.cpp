@@ -1,0 +1,93 @@
+#include "scenario_config.hpp"
+
+#include <gtest/gtest.h>
+
+namespace gridmon::tools {
+namespace {
+
+TEST(IniParseTest, SectionsKeysValues) {
+  auto ini = parse_ini(
+      "# comment\n"
+      "[Experiment]\n"
+      "Service = gris   ; inline comment\n"
+      "users=1, 2,3\n"
+      "\n"
+      "[other]\n"
+      "k = v\n");
+  ASSERT_TRUE(ini.contains("experiment"));
+  EXPECT_EQ(ini["experiment"]["service"], "gris");
+  EXPECT_EQ(ini["experiment"]["users"], "1, 2,3");
+  EXPECT_EQ(ini["other"]["k"], "v");
+}
+
+TEST(IniParseTest, Errors) {
+  EXPECT_THROW(parse_ini("key = before section\n"), ConfigError);
+  EXPECT_THROW(parse_ini("[unterminated\n"), ConfigError);
+  EXPECT_THROW(parse_ini("[s]\nno equals here\n"), ConfigError);
+  EXPECT_THROW(parse_ini("[s]\n= empty key\n"), ConfigError);
+}
+
+TEST(ScenarioConfigTest, FullExample) {
+  auto config = parse_scenario_config(
+      "[experiment]\n"
+      "service = gris-nocache\n"
+      "users = 10, 50, 100\n"
+      "collectors = 40\n"
+      "clients = lucky\n"
+      "warmup = 30\n"
+      "duration = 120\n"
+      "seed = 7\n");
+  EXPECT_EQ(config.service, ServiceKind::GrisNocache);
+  EXPECT_EQ(config.users, (std::vector<int>{10, 50, 100}));
+  EXPECT_EQ(config.collectors, 40);
+  EXPECT_TRUE(config.lucky_clients);
+  EXPECT_DOUBLE_EQ(config.warmup, 30);
+  EXPECT_DOUBLE_EQ(config.duration, 120);
+  EXPECT_EQ(config.seed, 7u);
+  EXPECT_EQ(config.server_host(), "lucky7");
+  EXPECT_EQ(config.service_name(), "MDS GRIS (nocache)");
+}
+
+TEST(ScenarioConfigTest, DefaultsApply) {
+  auto config = parse_scenario_config("[experiment]\nservice = manager\n");
+  EXPECT_EQ(config.service, ServiceKind::Manager);
+  EXPECT_EQ(config.users, std::vector<int>{10});
+  EXPECT_EQ(config.collectors, 10);
+  EXPECT_FALSE(config.lucky_clients);
+  EXPECT_DOUBLE_EQ(config.duration, 600);
+  EXPECT_EQ(config.server_host(), "lucky3");
+}
+
+TEST(ScenarioConfigTest, EveryServiceParses) {
+  const std::pair<const char*, std::string> cases[] = {
+      {"gris", "lucky7"},          {"gris-nocache", "lucky7"},
+      {"giis", "lucky0"},          {"agent", "lucky4"},
+      {"manager", "lucky3"},       {"registry", "lucky1"},
+      {"rgma-mediated", "lucky3"}, {"rgma-direct", "lucky3"},
+  };
+  for (const auto& [name, host] : cases) {
+    auto config = parse_scenario_config(
+        std::string("[experiment]\nservice = ") + name + "\n");
+    EXPECT_EQ(config.server_host(), host) << name;
+  }
+}
+
+TEST(ScenarioConfigTest, Rejections) {
+  EXPECT_THROW(parse_scenario_config("[other]\nk = v\n"), ConfigError);
+  EXPECT_THROW(
+      parse_scenario_config("[experiment]\nservice = frobnicator\n"),
+      ConfigError);
+  EXPECT_THROW(parse_scenario_config("[experiment]\nsrevice = gris\n"),
+               ConfigError);  // typo caught
+  EXPECT_THROW(parse_scenario_config("[experiment]\nusers = ten\n"),
+               ConfigError);
+  EXPECT_THROW(parse_scenario_config("[experiment]\nusers = -5\n"),
+               ConfigError);
+  EXPECT_THROW(parse_scenario_config("[experiment]\nclients = mars\n"),
+               ConfigError);
+  EXPECT_THROW(
+      parse_scenario_config("[experiment]\n[extra]\nk = v\n"), ConfigError);
+}
+
+}  // namespace
+}  // namespace gridmon::tools

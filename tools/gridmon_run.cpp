@@ -1,0 +1,156 @@
+/// gridmon_run — declarative experiment runner.
+///
+///   $ gridmon_run my_experiment.ini [--csv out.csv]
+///
+/// Reads an INI scenario description (see scenario_config.hpp), builds
+/// the corresponding deployment on the paper's testbed, sweeps the user
+/// counts, and prints the four study metrics per sweep point.
+
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <sstream>
+
+#include "gridmon/core/adapters.hpp"
+#include "gridmon/core/experiment.hpp"
+#include "gridmon/core/scenarios.hpp"
+#include "scenario_config.hpp"
+
+using namespace gridmon;
+using namespace gridmon::tools;
+using namespace gridmon::core;
+
+namespace {
+
+/// Build the requested deployment and return its QueryFn.
+struct Deployment {
+  std::unique_ptr<Scenario> scenario;
+  QueryFn query;
+};
+
+Deployment build(Testbed& tb, const ScenarioConfig& config) {
+  switch (config.service) {
+    case ServiceKind::Gris:
+    case ServiceKind::GrisNocache: {
+      bool cache = config.service == ServiceKind::Gris;
+      auto s = std::make_unique<GrisScenario>(tb, config.collectors, cache);
+      QueryFn q = query_gris(*s->gris);
+      return {std::move(s), std::move(q)};
+    }
+    case ServiceKind::Giis: {
+      auto s = std::make_unique<GiisScenario>(tb, 5, config.collectors);
+      s->prefill();
+      QueryFn q = query_giis(*s->giis, mds::QueryScope::Part);
+      return {std::move(s), std::move(q)};
+    }
+    case ServiceKind::Agent: {
+      auto s = std::make_unique<AgentScenario>(tb, config.collectors);
+      QueryFn q = query_agent(*s->agent);
+      return {std::move(s), std::move(q)};
+    }
+    case ServiceKind::Manager: {
+      auto s = std::make_unique<ManagerScenario>(tb, config.collectors);
+      tb.sim().run(40.0);
+      QueryFn q = query_manager_status(*s->manager);
+      return {std::move(s), std::move(q)};
+    }
+    case ServiceKind::Registry: {
+      auto s = std::make_unique<RegistryScenario>(tb);
+      tb.sim().run(10.0);
+      QueryFn q = query_registry(*s->registry, "cpuload");
+      return {std::move(s), std::move(q)};
+    }
+    case ServiceKind::RgmaMediated: {
+      auto s = std::make_unique<RgmaScenario>(
+          tb, config.collectors,
+          config.lucky_clients ? RgmaScenario::Consumers::PerLuckyNode
+                               : RgmaScenario::Consumers::SingleAtUc);
+      QueryFn q = s->mediated_query();
+      return {std::move(s), std::move(q)};
+    }
+    case ServiceKind::RgmaDirect: {
+      auto s = std::make_unique<RgmaScenario>(tb, config.collectors,
+                                              RgmaScenario::Consumers::None);
+      QueryFn q = s->direct_query();
+      return {std::move(s), std::move(q)};
+    }
+  }
+  throw ConfigError("unhandled service kind");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::cerr << "usage: " << argv[0] << " SCENARIO.ini [--csv FILE]\n";
+    return 2;
+  }
+  std::ifstream in(argv[1]);
+  if (!in) {
+    std::cerr << "cannot open " << argv[1] << "\n";
+    return 2;
+  }
+  std::string csv_path;
+  for (int i = 2; i + 1 < argc + 1; ++i) {
+    if (std::string(argv[i]) == "--csv" && i + 1 < argc) {
+      csv_path = argv[i + 1];
+    }
+  }
+
+  ScenarioConfig config;
+  try {
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    config = parse_scenario_config(buffer.str());
+  } catch (const ConfigError& e) {
+    std::cerr << "config error: " << e.what() << "\n";
+    return 2;
+  }
+
+  std::cout << "service: " << config.service_name()
+            << ", collectors: " << config.collectors
+            << ", clients: " << (config.lucky_clients ? "lucky" : "uc")
+            << ", window: " << config.warmup << "+" << config.duration
+            << "s\n\n";
+
+  metrics::Table table(config.service_name());
+  table.set_columns({"users", "throughput (q/s)", "response (s)", "load1",
+                     "cpu %", "refused/s"});
+  std::ofstream csv;
+  if (!csv_path.empty()) {
+    csv.open(csv_path);
+    csv << "service,users,throughput,response,load1,cpu,refused_per_s\n";
+  }
+
+  for (int n : config.users) {
+    TestbedConfig tc;
+    tc.seed = config.seed;
+    Testbed tb(tc);
+    Deployment deployment = build(tb, config);
+    WorkloadConfig wc;
+    if (config.lucky_clients) wc.max_users_per_host = 100;
+    UserWorkload workload(tb, deployment.query, wc);
+    workload.spawn_users(n, config.lucky_clients ? tb.lucky_names()
+                                                 : tb.uc_names());
+    tb.sampler().start();
+    MeasureConfig mc;
+    mc.warmup = config.warmup;
+    mc.duration = config.duration;
+    SweepPoint p = measure(tb, workload, config.server_host(), n, mc);
+    table.add_row({std::to_string(n), metrics::Table::num(p.throughput),
+                   metrics::Table::num(p.response),
+                   metrics::Table::num(p.load1, 3),
+                   metrics::Table::num(p.cpu, 1),
+                   metrics::Table::num(p.refused)});
+    if (csv.is_open()) {
+      csv << config.service_name() << ',' << n << ',' << p.throughput << ','
+          << p.response << ',' << p.load1 << ',' << p.cpu << ',' << p.refused
+          << '\n';
+    }
+    std::cout << "  done: " << n << " users\n";
+  }
+
+  std::cout << "\n";
+  table.print_text(std::cout);
+  return 0;
+}

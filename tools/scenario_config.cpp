@@ -1,0 +1,209 @@
+#include "scenario_config.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <sstream>
+
+namespace gridmon::tools {
+namespace {
+
+std::string trim(const std::string& s) {
+  std::size_t b = s.find_first_not_of(" \t\r");
+  if (b == std::string::npos) return "";
+  std::size_t e = s.find_last_not_of(" \t\r");
+  return s.substr(b, e - b + 1);
+}
+
+std::string lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return s;
+}
+
+std::vector<int> parse_int_list(const std::string& value, int line_no) {
+  std::vector<int> out;
+  std::stringstream ss(value);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    item = trim(item);
+    if (item.empty()) continue;
+    try {
+      std::size_t used = 0;
+      int v = std::stoi(item, &used);
+      if (used != item.size() || v <= 0) throw std::invalid_argument(item);
+      out.push_back(v);
+    } catch (const std::exception&) {
+      throw ConfigError("line " + std::to_string(line_no) +
+                        ": bad integer '" + item + "'");
+    }
+  }
+  if (out.empty()) {
+    throw ConfigError("line " + std::to_string(line_no) + ": empty list");
+  }
+  return out;
+}
+
+double parse_double(const std::string& value, int line_no) {
+  try {
+    std::size_t used = 0;
+    double v = std::stod(value, &used);
+    if (used != value.size() || v < 0) throw std::invalid_argument(value);
+    return v;
+  } catch (const std::exception&) {
+    throw ConfigError("line " + std::to_string(line_no) + ": bad number '" +
+                      value + "'");
+  }
+}
+
+ServiceKind parse_service(const std::string& value, int line_no) {
+  static const std::map<std::string, ServiceKind> kNames = {
+      {"gris", ServiceKind::Gris},
+      {"gris-nocache", ServiceKind::GrisNocache},
+      {"giis", ServiceKind::Giis},
+      {"agent", ServiceKind::Agent},
+      {"manager", ServiceKind::Manager},
+      {"registry", ServiceKind::Registry},
+      {"rgma-mediated", ServiceKind::RgmaMediated},
+      {"rgma-direct", ServiceKind::RgmaDirect},
+  };
+  auto it = kNames.find(lower(value));
+  if (it == kNames.end()) {
+    throw ConfigError("line " + std::to_string(line_no) +
+                      ": unknown service '" + value + "'");
+  }
+  return it->second;
+}
+
+}  // namespace
+
+std::string ScenarioConfig::server_host() const {
+  switch (service) {
+    case ServiceKind::Gris:
+    case ServiceKind::GrisNocache:
+      return "lucky7";
+    case ServiceKind::Giis:
+      return "lucky0";
+    case ServiceKind::Agent:
+      return "lucky4";
+    case ServiceKind::Manager:
+    case ServiceKind::RgmaMediated:
+    case ServiceKind::RgmaDirect:
+      return "lucky3";
+    case ServiceKind::Registry:
+      return "lucky1";
+  }
+  return "lucky0";
+}
+
+std::string ScenarioConfig::service_name() const {
+  switch (service) {
+    case ServiceKind::Gris:
+      return "MDS GRIS (cache)";
+    case ServiceKind::GrisNocache:
+      return "MDS GRIS (nocache)";
+    case ServiceKind::Giis:
+      return "MDS GIIS";
+    case ServiceKind::Agent:
+      return "Hawkeye Agent";
+    case ServiceKind::Manager:
+      return "Hawkeye Manager";
+    case ServiceKind::Registry:
+      return "R-GMA Registry";
+    case ServiceKind::RgmaMediated:
+      return "R-GMA ProducerServlet (mediated)";
+    case ServiceKind::RgmaDirect:
+      return "R-GMA ProducerServlet (direct)";
+  }
+  return "?";
+}
+
+std::map<std::string, std::map<std::string, std::string>> parse_ini(
+    const std::string& text) {
+  std::map<std::string, std::map<std::string, std::string>> out;
+  std::string section;
+  std::stringstream ss(text);
+  std::string raw;
+  int line_no = 0;
+  while (std::getline(ss, raw)) {
+    ++line_no;
+    // Strip inline comments (';' or '#').
+    std::size_t cut = raw.find_first_of(";#");
+    std::string line = trim(cut == std::string::npos ? raw
+                                                     : raw.substr(0, cut));
+    if (line.empty()) continue;
+    if (line.front() == '[') {
+      if (line.back() != ']' || line.size() < 3) {
+        throw ConfigError("line " + std::to_string(line_no) +
+                          ": malformed section header");
+      }
+      section = lower(trim(line.substr(1, line.size() - 2)));
+      out[section];
+      continue;
+    }
+    std::size_t eq = line.find('=');
+    if (eq == std::string::npos) {
+      throw ConfigError("line " + std::to_string(line_no) +
+                        ": expected key = value");
+    }
+    std::string key = lower(trim(line.substr(0, eq)));
+    std::string value = trim(line.substr(eq + 1));
+    if (key.empty() || value.empty()) {
+      throw ConfigError("line " + std::to_string(line_no) +
+                        ": empty key or value");
+    }
+    if (section.empty()) {
+      throw ConfigError("line " + std::to_string(line_no) +
+                        ": key before any [section]");
+    }
+    out[section][key] = value;
+  }
+  return out;
+}
+
+ScenarioConfig parse_scenario_config(const std::string& text) {
+  auto ini = parse_ini(text);
+  auto exp_it = ini.find("experiment");
+  if (exp_it == ini.end()) {
+    throw ConfigError("missing [experiment] section");
+  }
+  for (const auto& [section, unused] : ini) {
+    if (section != "experiment") {
+      throw ConfigError("unknown section [" + section + "]");
+    }
+  }
+
+  ScenarioConfig config;
+  for (const auto& [key, value] : exp_it->second) {
+    // Line numbers are lost after the scan; report key names instead.
+    const int n = 0;
+    if (key == "service") {
+      config.service = parse_service(value, n);
+    } else if (key == "users") {
+      config.users = parse_int_list(value, n);
+    } else if (key == "collectors") {
+      config.collectors = parse_int_list(value, n).front();
+    } else if (key == "clients") {
+      std::string v = lower(value);
+      if (v == "uc") {
+        config.lucky_clients = false;
+      } else if (v == "lucky") {
+        config.lucky_clients = true;
+      } else {
+        throw ConfigError("clients must be 'uc' or 'lucky', got '" + value +
+                          "'");
+      }
+    } else if (key == "warmup") {
+      config.warmup = parse_double(value, n);
+    } else if (key == "duration") {
+      config.duration = parse_double(value, n);
+    } else if (key == "seed") {
+      config.seed = static_cast<std::uint64_t>(parse_double(value, n));
+    } else {
+      throw ConfigError("unknown key '" + key + "' in [experiment]");
+    }
+  }
+  return config;
+}
+
+}  // namespace gridmon::tools

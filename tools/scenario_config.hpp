@@ -1,0 +1,68 @@
+#pragma once
+
+/// \file scenario_config.hpp
+/// Declarative experiment descriptions for the gridmon_run CLI: a small
+/// INI-style format mapping onto the core scenario builders, so a sweep
+/// can be defined and rerun without writing C++.
+///
+///   [experiment]
+///   service   = gris            ; gris | gris-nocache | giis | agent |
+///                               ; manager | registry | rgma-mediated |
+///                               ; rgma-direct
+///   users     = 1, 10, 100      ; sweep of concurrent users
+///   collectors = 10             ; providers/modules/producers per server
+///   clients   = uc              ; uc | lucky
+///   warmup    = 120             ; seconds
+///   duration  = 600             ; seconds (the paper's 10 minutes)
+///   seed      = 42
+///
+/// Lines starting with '#' or ';' are comments; inline ';' comments are
+/// stripped. Unknown keys are an error (catches typos).
+
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace gridmon::tools {
+
+class ConfigError : public std::runtime_error {
+ public:
+  explicit ConfigError(const std::string& msg) : std::runtime_error(msg) {}
+};
+
+enum class ServiceKind {
+  Gris,
+  GrisNocache,
+  Giis,
+  Agent,
+  Manager,
+  Registry,
+  RgmaMediated,
+  RgmaDirect,
+};
+
+struct ScenarioConfig {
+  ServiceKind service = ServiceKind::Gris;
+  std::vector<int> users{10};
+  int collectors = 10;
+  bool lucky_clients = false;
+  double warmup = 120;
+  double duration = 600;
+  std::uint64_t seed = 42;
+
+  /// Host whose Ganglia metrics are reported (derived from the service).
+  std::string server_host() const;
+  std::string service_name() const;
+};
+
+/// Parse the INI text. Throws ConfigError with a line number on any
+/// malformed or unknown input.
+ScenarioConfig parse_scenario_config(const std::string& text);
+
+/// Low-level INI scan: section -> key -> value (all trimmed, keys
+/// lowercased). Exposed for tests.
+std::map<std::string, std::map<std::string, std::string>> parse_ini(
+    const std::string& text);
+
+}  // namespace gridmon::tools
