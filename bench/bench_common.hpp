@@ -11,12 +11,14 @@
 
 #include "gridmon/core/experiment.hpp"
 #include "gridmon/metrics/report.hpp"
+#include "gridmon/trace/chrome_export.hpp"
 
 namespace gridmon::bench {
 
 struct BenchOptions {
   bool quick = false;
-  std::string csv_path;  // empty: no CSV
+  std::string csv_path;    // empty: no CSV
+  std::string trace_path;  // empty: tracing off
 
   core::MeasureConfig measure() const {
     core::MeasureConfig mc;
@@ -48,8 +50,15 @@ inline BenchOptions parse_options(int argc, char** argv) {
       opt.quick = true;
     } else if (arg == "--csv" && i + 1 < argc) {
       opt.csv_path = argv[++i];
+    } else if (arg.rfind("--trace=", 0) == 0) {
+      opt.trace_path = arg.substr(8);
+    } else if (arg == "--trace" && i + 1 < argc) {
+      opt.trace_path = argv[++i];
     } else if (arg == "--help") {
-      std::cout << "usage: " << argv[0] << " [--quick] [--csv FILE]\n";
+      std::cout << "usage: " << argv[0]
+                << " [--quick] [--csv FILE] [--trace FILE]\n"
+                << "  --trace FILE  record the first sweep point of each\n"
+                << "                series as Chrome trace_event JSON\n";
       std::exit(0);
     }
   }
@@ -71,6 +80,15 @@ inline void emit_csv(const BenchOptions& opt, const std::string& bench_name,
     }
   }
   std::cout << "wrote " << opt.csv_path << "\n";
+}
+
+/// Write accumulated trace series as one Chrome trace_event file.
+inline void emit_trace(const BenchOptions& opt,
+                       const std::vector<trace::SeriesTrace>& traces) {
+  if (opt.trace_path.empty()) return;
+  std::ofstream out(opt.trace_path, std::ios::binary);
+  trace::write_chrome_trace(out, traces);
+  std::cout << "wrote " << opt.trace_path << "\n";
 }
 
 /// Progress line so long sweeps show life on the terminal.

@@ -23,16 +23,31 @@ SweepPoint run_point(const BenchOptions& opt, const std::string& series,
                      bool lucky_clients,
                      const std::function<std::unique_ptr<Scenario>(Testbed&)>&
                          make_scenario,
-                     const std::function<QueryFn(Scenario&)>& make_query) {
+                     const std::function<TracedQueryFn(Scenario&)>& make_query,
+                     trace::SeriesTrace* trace_out = nullptr) {
   Testbed tb;
   auto scenario = make_scenario(tb);
+  // The collector must outlive the workload's user coroutines (destroyed
+  // by ~UserWorkload's shutdown), hence this declaration order.
+  trace::Collector collector(tb.sim(), tb.config().seed);
   WorkloadConfig wc;
   if (lucky_clients) wc.max_users_per_host = 100;
   UserWorkload workload(tb, make_query(*scenario), wc);
+  if (trace_out != nullptr) {
+    scenario->instrument(collector);
+    instrument_host(tb, collector, server_host);
+    workload.enable_tracing(collector);
+  }
   workload.spawn_users(users,
                        lucky_clients ? tb.lucky_names() : tb.uc_names());
   tb.sampler().start();
-  SweepPoint p = measure(tb, workload, server_host, users, opt.measure());
+  MeasureConfig mc = opt.measure();
+  if (trace_out != nullptr) mc.collector = &collector;
+  SweepPoint p = measure(tb, workload, server_host, users, mc);
+  if (trace_out != nullptr) {
+    trace_out->series = series;
+    trace_out->data = collector.take();
+  }
   progress(series, users, p);
   return p;
 }
@@ -44,6 +59,14 @@ int main(int argc, char** argv) {
   auto users = opt.sweep({1, 10, 50, 100, 200, 300, 400, 500, 600}, 3);
 
   std::vector<Series> figures;
+  // One SeriesTrace per series, recorded on its first sweep point only
+  // (small files, identical causal structure at higher loads).
+  std::vector<trace::SeriesTrace> traces;
+  auto trace_slot = [&](const Series& s) -> trace::SeriesTrace* {
+    if (opt.trace_path.empty() || !s.points.empty()) return nullptr;
+    traces.emplace_back();
+    return &traces.back();
+  };
 
   {
     Series s{"MDS GRIS (cache)", {}};
@@ -56,7 +79,8 @@ int main(int argc, char** argv) {
           },
           [](Scenario& sc) {
             return query_gris(*static_cast<GrisScenario&>(sc).gris);
-          }));
+          },
+          trace_slot(s)));
     }
     figures.push_back(std::move(s));
   }
@@ -72,7 +96,8 @@ int main(int argc, char** argv) {
           },
           [](Scenario& sc) {
             return query_gris(*static_cast<GrisScenario&>(sc).gris);
-          }));
+          },
+          trace_slot(s)));
     }
     figures.push_back(std::move(s));
   }
@@ -88,7 +113,8 @@ int main(int argc, char** argv) {
           },
           [](Scenario& sc) {
             return query_agent(*static_cast<AgentScenario&>(sc).agent);
-          }));
+          },
+          trace_slot(s)));
     }
     figures.push_back(std::move(s));
   }
@@ -105,7 +131,8 @@ int main(int argc, char** argv) {
           },
           [](Scenario& sc) {
             return static_cast<RgmaScenario&>(sc).mediated_query();
-          }));
+          },
+          trace_slot(s)));
     }
     figures.push_back(std::move(s));
   }
@@ -123,7 +150,8 @@ int main(int argc, char** argv) {
           },
           [](Scenario& sc) {
             return static_cast<RgmaScenario&>(sc).mediated_query();
-          }));
+          },
+          trace_slot(s)));
     }
     figures.push_back(std::move(s));
   }
@@ -131,5 +159,6 @@ int main(int argc, char** argv) {
   std::cout << "\n";
   print_figures(std::cout, 5, "Information Server", "No. of Users", figures);
   emit_csv(opt, "exp1_info_server_users", figures);
+  emit_trace(opt, traces);
   return 0;
 }

@@ -1,9 +1,10 @@
 #pragma once
 
 /// \file adapters.hpp
-/// QueryFn factories binding each concrete service to the uniform
+/// TracedQueryFn factories binding each concrete service to the uniform
 /// workload interface — the executable form of the paper's Table 1
-/// component mapping.
+/// component mapping. Each adapter forwards the workload's trace context
+/// into the service call chain (a null Ctx when tracing is off).
 
 #include "gridmon/core/workload.hpp"
 #include "gridmon/hawkeye/agent.hpp"
@@ -11,76 +12,95 @@
 #include "gridmon/mds/giis.hpp"
 #include "gridmon/mds/gris.hpp"
 #include "gridmon/rgma/consumer_servlet.hpp"
+#include "gridmon/rgma/producer_servlet.hpp"
 #include "gridmon/rgma/registry.hpp"
 
 namespace gridmon::core {
 
 /// MDS information server (GRIS) query.
-inline QueryFn query_gris(mds::Gris& gris,
-                          mds::QueryScope scope = mds::QueryScope::All) {
-  return [&gris, scope](net::Interface& client) -> sim::Task<QueryAttempt> {
-    auto r = co_await gris.query(client, scope);
+inline TracedQueryFn query_gris(mds::Gris& gris,
+                                mds::QueryScope scope = mds::QueryScope::All) {
+  return [&gris, scope](net::Interface& client,
+                        trace::Ctx ctx) -> sim::Task<QueryAttempt> {
+    auto r = co_await gris.query(client, scope, ctx);
     co_return QueryAttempt{r.admitted, r.response_bytes};
   };
 }
 
 /// MDS directory / aggregate server (GIIS) query.
-inline QueryFn query_giis(mds::Giis& giis,
-                          mds::QueryScope scope = mds::QueryScope::Part) {
-  return [&giis, scope](net::Interface& client) -> sim::Task<QueryAttempt> {
-    auto r = co_await giis.query(client, scope);
+inline TracedQueryFn query_giis(
+    mds::Giis& giis, mds::QueryScope scope = mds::QueryScope::Part) {
+  return [&giis, scope](net::Interface& client,
+                        trace::Ctx ctx) -> sim::Task<QueryAttempt> {
+    auto r = co_await giis.query(client, scope, ctx);
     co_return QueryAttempt{r.admitted, r.response_bytes};
   };
 }
 
 /// Hawkeye information server (Agent) query: fresh module collection.
-inline QueryFn query_agent(hawkeye::Agent& agent) {
-  return [&agent](net::Interface& client) -> sim::Task<QueryAttempt> {
-    auto r = co_await agent.query(client);
+inline TracedQueryFn query_agent(hawkeye::Agent& agent) {
+  return [&agent](net::Interface& client,
+                  trace::Ctx ctx) -> sim::Task<QueryAttempt> {
+    auto r = co_await agent.query(client, ctx);
     co_return QueryAttempt{r.admitted, r.response_bytes};
   };
 }
 
 /// Hawkeye directory server (Manager) status query.
-inline QueryFn query_manager_status(hawkeye::Manager& manager) {
-  return [&manager](net::Interface& client) -> sim::Task<QueryAttempt> {
-    auto r = co_await manager.query_status(client);
+inline TracedQueryFn query_manager_status(hawkeye::Manager& manager) {
+  return [&manager](net::Interface& client,
+                    trace::Ctx ctx) -> sim::Task<QueryAttempt> {
+    auto r = co_await manager.query_status(client, ctx);
     co_return QueryAttempt{r.admitted, r.response_bytes};
   };
 }
 
 /// Hawkeye full-data dump (Experiment 3's workload against the pool).
-inline QueryFn query_manager_dump(hawkeye::Manager& manager) {
-  return [&manager](net::Interface& client) -> sim::Task<QueryAttempt> {
-    auto r = co_await manager.query_dump(client);
+inline TracedQueryFn query_manager_dump(hawkeye::Manager& manager) {
+  return [&manager](net::Interface& client,
+                    trace::Ctx ctx) -> sim::Task<QueryAttempt> {
+    auto r = co_await manager.query_dump(client, ctx);
     co_return QueryAttempt{r.admitted, r.response_bytes};
   };
 }
 
 /// Hawkeye constraint scan (Experiment 4's worst-case query).
-inline QueryFn query_manager_constraint(hawkeye::Manager& manager,
-                                        std::string constraint) {
-  return [&manager, constraint](net::Interface& client)
-             -> sim::Task<QueryAttempt> {
-    auto r = co_await manager.query_constraint(client, constraint);
+inline TracedQueryFn query_manager_constraint(hawkeye::Manager& manager,
+                                              std::string constraint) {
+  return [&manager, constraint](net::Interface& client,
+                                trace::Ctx ctx) -> sim::Task<QueryAttempt> {
+    auto r = co_await manager.query_constraint(client, constraint, ctx);
     co_return QueryAttempt{r.admitted, r.response_bytes};
   };
 }
 
 /// R-GMA mediated pull query through a ConsumerServlet.
-inline QueryFn query_consumer_servlet(rgma::ConsumerServlet& cs,
-                                      std::string table) {
-  return [&cs, table](net::Interface& client) -> sim::Task<QueryAttempt> {
-    auto r = co_await cs.query(client, table);
+inline TracedQueryFn query_consumer_servlet(rgma::ConsumerServlet& cs,
+                                            std::string table) {
+  return [&cs, table](net::Interface& client,
+                      trace::Ctx ctx) -> sim::Task<QueryAttempt> {
+    auto r = co_await cs.query(client, table, "", ctx);
+    co_return QueryAttempt{r.admitted, r.response_bytes};
+  };
+}
+
+/// R-GMA direct query against one ProducerServlet (the paper's
+/// Experiment 3 "queried the ProducerServlet directly").
+inline TracedQueryFn query_producer_servlet(rgma::ProducerServlet& ps,
+                                            std::string table) {
+  return [&ps, table](net::Interface& client,
+                      trace::Ctx ctx) -> sim::Task<QueryAttempt> {
+    auto r = co_await ps.client_query(client, table, "", ctx);
     co_return QueryAttempt{r.admitted, r.response_bytes};
   };
 }
 
 /// R-GMA Registry (directory server) lookup.
-inline QueryFn query_registry(rgma::Registry& registry, std::string table) {
-  return [&registry, table](net::Interface& client)
-             -> sim::Task<QueryAttempt> {
-    auto r = co_await registry.client_query(client, table);
+inline TracedQueryFn query_registry(rgma::Registry& registry,
+                                    std::string table) {
+  return [&registry, table](net::Interface& client,
+                            trace::Ctx ctx) -> sim::Task<QueryAttempt> {
+    auto r = co_await registry.client_query(client, table, ctx);
     co_return QueryAttempt{r.admitted, r.response_bytes};
   };
 }

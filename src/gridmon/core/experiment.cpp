@@ -12,7 +12,9 @@ SweepPoint measure(Testbed& testbed, UserWorkload& workload,
   testbed.sim().run(testbed.sim().now() + config.warmup);
   double t0 = testbed.sim().now();
   double refused_before = static_cast<double>(workload.refused_attempts());
+  if (config.collector != nullptr) config.collector->set_enabled(true);
   testbed.sim().run(t0 + config.duration);
+  if (config.collector != nullptr) config.collector->set_enabled(false);
   double t1 = testbed.sim().now();
 
   SweepPoint p;

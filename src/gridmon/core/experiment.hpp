@@ -20,6 +20,10 @@ namespace gridmon::core {
 struct MeasureConfig {
   double warmup = 120.0;
   double duration = 600.0;  // the paper's 10-minute span
+  /// When set, span/counter collection is switched on for exactly the
+  /// measured span: enabled once warmup ends, disabled when the duration
+  /// expires. Null (the default) leaves tracing untouched.
+  trace::Collector* collector = nullptr;
 };
 
 /// One sweep point of a figure.

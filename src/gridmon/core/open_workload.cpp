@@ -8,6 +8,14 @@ OpenWorkload::OpenWorkload(Testbed& testbed, QueryFn query,
                            OpenWorkloadConfig config)
     : testbed_(testbed), query_(std::move(query)), config_(config) {}
 
+OpenWorkload::OpenWorkload(Testbed& testbed, TracedQueryFn query,
+                           OpenWorkloadConfig config)
+    : OpenWorkload(testbed,
+                   QueryFn([q = std::move(query)](net::Interface& nic) {
+                     return q(nic, trace::Ctx{});
+                   }),
+                   config) {}
+
 void OpenWorkload::start(const std::vector<std::string>& client_hosts) {
   testbed_.sim().spawn(arrival_loop(*this, client_hosts));
 }

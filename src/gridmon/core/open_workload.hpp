@@ -31,6 +31,10 @@ struct OpenWorkloadConfig {
 class OpenWorkload {
  public:
   OpenWorkload(Testbed& testbed, QueryFn query, OpenWorkloadConfig config);
+  /// Traced adapters plug in directly; open-loop runs stay untraced (the
+  /// null Ctx), tracing belongs to the closed-loop measurement protocol.
+  OpenWorkload(Testbed& testbed, TracedQueryFn query,
+               OpenWorkloadConfig config);
   OpenWorkload(const OpenWorkload&) = delete;
   OpenWorkload& operator=(const OpenWorkload&) = delete;
   ~OpenWorkload() { testbed_.sim().shutdown(); }

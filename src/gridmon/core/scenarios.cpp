@@ -17,6 +17,13 @@ void prefill_producer(rgma::Producer& producer, const std::string& host,
 
 }  // namespace
 
+void instrument_host(Testbed& tb, trace::Collector& col,
+                     const std::string& host) {
+  tb.host(host).cpu().ps().set_probe(&col.track(host + ".cpu"));
+  tb.nic(host).tx().set_probe(&col.track(host + ".nic_tx"));
+  tb.nic(host).rx().set_probe(&col.track(host + ".nic_rx"));
+}
+
 std::vector<mds::ProviderSpec> default_providers(int count) {
   std::vector<mds::ProviderSpec> specs;
   specs.reserve(static_cast<std::size_t>(count));
@@ -87,20 +94,28 @@ RgmaScenario::RgmaScenario(Testbed& tb, int producers, Consumers consumers)
   }
 }
 
-QueryFn RgmaScenario::mediated_query(const std::string& table) {
+void RgmaScenario::instrument(trace::Collector& col) {
+  registry->instrument(col);
+  producer_servlet->instrument(col);
+  for (auto& [host, cs] : consumer_servlets) cs->instrument(col);
+}
+
+TracedQueryFn RgmaScenario::mediated_query(const std::string& table) {
   // Route a user to the ConsumerServlet on its own host, or to the single
   // shared servlet when only one exists (the UC setup).
-  return [this, table](net::Interface& client) -> sim::Task<QueryAttempt> {
+  return [this, table](net::Interface& client,
+                       trace::Ctx ctx) -> sim::Task<QueryAttempt> {
     auto it = consumer_servlets.find(client.host());
     if (it == consumer_servlets.end()) it = consumer_servlets.begin();
-    auto r = co_await it->second->query(client, table);
+    auto r = co_await it->second->query(client, table, "", ctx);
     co_return QueryAttempt{r.admitted, r.response_bytes};
   };
 }
 
-QueryFn RgmaScenario::direct_query(const std::string& table) {
-  return [this, table](net::Interface& client) -> sim::Task<QueryAttempt> {
-    auto r = co_await producer_servlet->client_query(client, table);
+TracedQueryFn RgmaScenario::direct_query(const std::string& table) {
+  return [this, table](net::Interface& client,
+                       trace::Ctx ctx) -> sim::Task<QueryAttempt> {
+    auto r = co_await producer_servlet->client_query(client, table, "", ctx);
     co_return QueryAttempt{r.admitted, r.response_bytes};
   };
 }
@@ -125,6 +140,11 @@ GiisScenario::GiisScenario(Testbed& tb, int gris_count, int providers_per_gris,
   }
 }
 
+void GiisScenario::instrument(trace::Collector& col) {
+  giis->instrument(col);
+  for (auto& g : gris) g->instrument(col);
+}
+
 void GiisScenario::prefill() {
   // One throwaway query triggers the initial cache pull from every GRIS.
   auto warm = [](GiisScenario& self) -> sim::Task<void> {
@@ -146,6 +166,11 @@ ManagerScenario::ManagerScenario(Testbed& tb, int modules_per_agent)
         hawkeye::scaled_modules(modules_per_agent)));
     agents.back()->start_advertising(*manager);
   }
+}
+
+void ManagerScenario::instrument(trace::Collector& col) {
+  manager->instrument(col);
+  for (auto& a : agents) a->instrument(col);
 }
 
 RegistryScenario::RegistryScenario(Testbed& tb, int servlet_count,
@@ -172,6 +197,11 @@ RegistryScenario::RegistryScenario(Testbed& tb, int servlet_count,
   }
 }
 
+void RegistryScenario::instrument(trace::Collector& col) {
+  registry->instrument(col);
+  for (auto& s : servlets) s->instrument(col);
+}
+
 GiisAggregationScenario::GiisAggregationScenario(Testbed& tb, int gris_count,
                                                  int providers_per_gris)
     : Scenario(tb) {
@@ -189,6 +219,11 @@ GiisAggregationScenario::GiisAggregationScenario(Testbed& tb, int gris_count,
         default_providers(providers_per_gris)));
     giis->add_registrant(*gris.back());
   }
+}
+
+void GiisAggregationScenario::instrument(trace::Collector& col) {
+  giis->instrument(col);
+  for (auto& g : gris) g->instrument(col);
 }
 
 void GiisAggregationScenario::prefill() {

@@ -35,9 +35,20 @@ class Scenario {
 
   Testbed& testbed() noexcept { return testbed_; }
 
+  /// Attach the scenario's service-level usage probes (thread pools,
+  /// daemon threads) to counter tracks in `col`. Default: nothing.
+  /// `col` must outlive the scenario's services.
+  virtual void instrument(trace::Collector& col) { (void)col; }
+
  protected:
   Testbed& testbed_;
 };
+
+/// Attach host-level probes for `host` to `col`: the CPU run queue as
+/// track "<host>.cpu" and the NIC's transmit/receive flow counts as
+/// "<host>.nic_tx" / "<host>.nic_rx".
+void instrument_host(Testbed& tb, trace::Collector& col,
+                     const std::string& host);
 
 /// The default ten MDS information providers ("ip0".."ip9"), 4 entries of
 /// ~2 KB each.
@@ -52,6 +63,7 @@ struct GrisScenario : Scenario {
 
   GrisScenario(Testbed& tb, int providers, bool cache,
                const std::string& host = "lucky7");
+  void instrument(trace::Collector& col) override { gris->instrument(col); }
   std::unique_ptr<mds::Gris> gris;
 };
 
@@ -63,6 +75,10 @@ struct AgentScenario : Scenario {
   AgentScenario(Testbed& tb, int modules = 11,
                 const std::string& agent_host = "lucky4",
                 const std::string& manager_host = "lucky3");
+  void instrument(trace::Collector& col) override {
+    manager->instrument(col);
+    agent->instrument(col);
+  }
   std::unique_ptr<hawkeye::Manager> manager;
   std::unique_ptr<hawkeye::Agent> agent;
 };
@@ -75,17 +91,18 @@ struct RgmaScenario : Scenario {
 
   enum class Consumers { PerLuckyNode, SingleAtUc, None };
   RgmaScenario(Testbed& tb, int producers, Consumers consumers);
+  void instrument(trace::Collector& col) override;
 
   std::unique_ptr<rgma::Registry> registry;
   std::unique_ptr<rgma::ProducerServlet> producer_servlet;
   std::map<std::string, std::unique_ptr<rgma::ConsumerServlet>>
       consumer_servlets;  // keyed by hosting machine
 
-  /// QueryFn routing each user through the ConsumerServlet on (or
+  /// Query routing each user through the ConsumerServlet on (or
   /// assigned to) its own client host.
-  QueryFn mediated_query(const std::string& table = "cpuload");
-  /// QueryFn going straight at the ProducerServlet (Experiment 3).
-  QueryFn direct_query(const std::string& table = "cpuload");
+  TracedQueryFn mediated_query(const std::string& table = "cpuload");
+  /// Query going straight at the ProducerServlet (Experiment 3).
+  TracedQueryFn direct_query(const std::string& table = "cpuload");
 };
 
 // ---- Experiment 2: directory servers ----
@@ -97,6 +114,7 @@ struct GiisScenario : Scenario {
 
   GiisScenario(Testbed& tb, int gris_count = 5, int providers_per_gris = 10,
                double cachettl = 1e18);
+  void instrument(trace::Collector& col) override;
   std::unique_ptr<mds::Giis> giis;
   std::vector<std::unique_ptr<mds::Gris>> gris;
 
@@ -110,6 +128,7 @@ struct ManagerScenario : Scenario {
   ~ManagerScenario() override { testbed_.sim().shutdown(); }
 
   explicit ManagerScenario(Testbed& tb, int modules_per_agent = 11);
+  void instrument(trace::Collector& col) override;
   std::unique_ptr<hawkeye::Manager> manager;
   std::vector<std::unique_ptr<hawkeye::Agent>> agents;
 };
@@ -121,6 +140,7 @@ struct RegistryScenario : Scenario {
 
   explicit RegistryScenario(Testbed& tb, int servlets = 5,
                             int producers_each = 10);
+  void instrument(trace::Collector& col) override;
   std::unique_ptr<rgma::Registry> registry;
   std::vector<std::unique_ptr<rgma::ProducerServlet>> servlets;
 };
@@ -134,6 +154,7 @@ struct GiisAggregationScenario : Scenario {
 
   GiisAggregationScenario(Testbed& tb, int gris_count,
                           int providers_per_gris = 10);
+  void instrument(trace::Collector& col) override;
   std::unique_ptr<mds::Giis> giis;
   std::vector<std::unique_ptr<mds::Gris>> gris;
   void prefill();
@@ -146,6 +167,9 @@ struct ManagerAggregationScenario : Scenario {
 
   ManagerAggregationScenario(Testbed& tb, int machines,
                              int modules_per_machine = 11);
+  void instrument(trace::Collector& col) override {
+    manager->instrument(col);
+  }
   std::unique_ptr<hawkeye::Manager> manager;
   std::vector<std::unique_ptr<hawkeye::Advertiser>> advertisers;
 

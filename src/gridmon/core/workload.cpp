@@ -7,6 +7,13 @@ namespace gridmon::core {
 
 UserWorkload::UserWorkload(Testbed& testbed, QueryFn query,
                            WorkloadConfig config)
+    : UserWorkload(testbed,
+                   TracedQueryFn([q = std::move(query)](
+                       net::Interface& nic, trace::Ctx) { return q(nic); }),
+                   config) {}
+
+UserWorkload::UserWorkload(Testbed& testbed, TracedQueryFn query,
+                           WorkloadConfig config)
     : testbed_(testbed), query_(std::move(query)), config_(config) {}
 
 void UserWorkload::spawn_users(int n,
@@ -43,25 +50,37 @@ sim::Task<void> UserWorkload::user_loop(UserWorkload& self, host::Host& host,
     double started = sim.now();
     std::size_t retry = 0;
     QueryAttempt attempt;
-    for (;;) {
-      attempt = co_await self.query_(nic);
-      if (attempt.admitted) break;
-      ++self.refused_;
-      // Dropped SYN: wait out the kernel retransmission timer.
-      const auto& schedule = self.config_.retry_schedule;
-      double delay = schedule.empty()
-                         ? 1.0
-                         : schedule[std::min(retry, schedule.size() - 1)];
-      double j = self.config_.retry_jitter;
-      co_await sim.delay(delay * rng.uniform(1.0 - j, 1.0 + j));
-      ++retry;
+    // One trace per user query (null Ctx while the collector is off or
+    // absent, which keeps the whole iteration allocation-free).
+    trace::Ctx root = self.collector_ != nullptr
+                          ? self.collector_->new_trace()
+                          : trace::Ctx{};
+    {
+      trace::Span query_span(root, trace::SpanKind::Query);
+      for (;;) {
+        attempt = co_await self.query_(nic, query_span.ctx());
+        if (attempt.admitted) break;
+        ++self.refused_;
+        // Dropped SYN: wait out the kernel retransmission timer.
+        const auto& schedule = self.config_.retry_schedule;
+        double delay = schedule.empty()
+                           ? 1.0
+                           : schedule[std::min(retry, schedule.size() - 1)];
+        double j = self.config_.retry_jitter;
+        trace::Span backoff(query_span.ctx(), trace::SpanKind::Backoff);
+        co_await sim.delay(delay * rng.uniform(1.0 - j, 1.0 + j));
+        ++retry;
+      }
+      query_span.set_arg(attempt.response_bytes);
     }
     self.completions_.push_back(
         Completion{sim.now(), sim.now() - started, attempt.response_bytes});
     if (self.config_.client_cpu_per_query > 0) {
       co_await host.cpu().consume(self.config_.client_cpu_per_query);
     }
+    trace::Span think(root, trace::SpanKind::Think);
     co_await sim.delay(self.config_.think_time);
+    think.end();
   }
 }
 

@@ -17,6 +17,7 @@
 #include "gridmon/net/network.hpp"
 #include "gridmon/sim/rng.hpp"
 #include "gridmon/sim/task.hpp"
+#include "gridmon/trace/collector.hpp"
 
 namespace gridmon::core {
 
@@ -30,6 +31,12 @@ struct QueryAttempt {
 /// service from the given client NIC. Adapters for each service live in
 /// adapters.hpp.
 using QueryFn = std::function<sim::Task<QueryAttempt>(net::Interface&)>;
+
+/// Trace-aware variant: also receives the query's trace context (the
+/// null Ctx when tracing is off). The adapters produce these; plain
+/// QueryFn lambdas in tests keep working via a wrapping constructor.
+using TracedQueryFn =
+    std::function<sim::Task<QueryAttempt>(net::Interface&, trace::Ctx)>;
 
 struct WorkloadConfig {
   double think_time = 1.0;          // the paper's 1-second wait
@@ -55,6 +62,8 @@ struct Completion {
 class UserWorkload {
  public:
   UserWorkload(Testbed& testbed, QueryFn query, WorkloadConfig config = {});
+  UserWorkload(Testbed& testbed, TracedQueryFn query,
+               WorkloadConfig config = {});
   UserWorkload(const UserWorkload&) = delete;
   UserWorkload& operator=(const UserWorkload&) = delete;
   /// User coroutines reference this object; destroy them first.
@@ -75,13 +84,22 @@ class UserWorkload {
   /// Mean response time of queries completing in [t0, t1].
   double mean_response(double t0, double t1) const;
 
+  /// Route each user query through `collector`: a root Query span per
+  /// query (opened while the collector is enabled), Backoff spans around
+  /// SYN-retransmission waits, Think spans between queries. The
+  /// collector must outlive this workload's users.
+  void enable_tracing(trace::Collector& collector) {
+    collector_ = &collector;
+  }
+
  private:
   static sim::Task<void> user_loop(UserWorkload& self, host::Host& host,
                                    net::Interface& nic, sim::Rng rng);
 
   Testbed& testbed_;
-  QueryFn query_;
+  TracedQueryFn query_;
   WorkloadConfig config_;
+  trace::Collector* collector_ = nullptr;
   std::vector<Completion> completions_;
   std::uint64_t refused_ = 0;
   int users_ = 0;

@@ -30,7 +30,9 @@ double Agent::current_load() const {
   return host_.load1().value() * 100.0;
 }
 
-sim::Task<classad::ClassAd> Agent::collect() {
+sim::Task<classad::ClassAd> Agent::collect(trace::Ctx ctx) {
+  trace::Span span(ctx, trace::SpanKind::Collect, machine_,
+                   static_cast<double>(modules_.size()));
   ++sequence_;
   ++collections_;
   std::vector<classad::ClassAd> parts;
@@ -43,42 +45,72 @@ sim::Task<classad::ClassAd> Agent::collect() {
   co_return build_startd_ad(machine_, parts);
 }
 
-sim::Task<HawkeyeReply> Agent::query(net::Interface& client) {
+sim::Task<HawkeyeReply> Agent::query(net::Interface& client, trace::Ctx ctx) {
   auto& sim = host_.simulation();
-  co_await sim.delay(config_.client_tool_latency);
-  co_await net_.connect(client, nic_);
-  if (!port_.try_admit()) co_return HawkeyeReply{};
+  {
+    trace::Span tool(ctx, trace::SpanKind::ClientTool);
+    co_await sim.delay(config_.client_tool_latency);
+  }
+  co_await net_.connect(client, nic_, ctx);
+  if (!port_.try_admit()) {
+    if (ctx) ctx.col->instant(ctx, trace::SpanKind::Refused, machine_);
+    co_return HawkeyeReply{};
+  }
   net::AdmissionSlot slot(&port_);
-  co_await net_.transfer(client, nic_, config_.request_bytes);
+  co_await net_.transfer(client, nic_, config_.request_bytes, ctx,
+                         trace::SpanKind::RequestSend);
 
   HawkeyeReply reply;
   {
+    trace::Span wait(ctx, trace::SpanKind::PoolWait, machine_);
     auto lease = co_await thread_.acquire();
-    co_await host_.cpu().consume(config_.query_base_cpu);
-    classad::ClassAd ad = co_await collect();  // no resident DB: always fresh
+    wait.end();
+    {
+      trace::Span cpu(ctx, trace::SpanKind::Cpu, "query_base",
+                      config_.query_base_cpu);
+      co_await host_.cpu().consume(config_.query_base_cpu);
+    }
+    classad::ClassAd ad =
+        co_await collect(ctx);  // no resident DB: always fresh
     reply.machines = 1;
     reply.response_bytes = std::max(ad.wire_bytes(), config_.min_ad_bytes);
     reply.admitted = true;
   }
   // The startd hands the reply buffer to the kernel and moves on; unlike
   // the Manager's large result sets, a single ad fits the socket buffer.
-  co_await net_.transfer(nic_, client, reply.response_bytes);
+  co_await net_.transfer(nic_, client, reply.response_bytes, ctx,
+                         trace::SpanKind::ResponseSend);
   co_return reply;
 }
 
 sim::Task<HawkeyeReply> Agent::query_module(net::Interface& client,
-                                            std::string module_name) {
+                                            std::string module_name,
+                                            trace::Ctx ctx) {
   auto& sim = host_.simulation();
-  co_await sim.delay(config_.client_tool_latency);
-  co_await net_.connect(client, nic_);
-  if (!port_.try_admit()) co_return HawkeyeReply{};
+  {
+    trace::Span tool(ctx, trace::SpanKind::ClientTool);
+    co_await sim.delay(config_.client_tool_latency);
+  }
+  co_await net_.connect(client, nic_, ctx);
+  if (!port_.try_admit()) {
+    if (ctx) ctx.col->instant(ctx, trace::SpanKind::Refused, machine_);
+    co_return HawkeyeReply{};
+  }
   net::AdmissionSlot slot(&port_);
-  co_await net_.transfer(client, nic_, config_.request_bytes);
+  co_await net_.transfer(client, nic_, config_.request_bytes, ctx,
+                         trace::SpanKind::RequestSend);
 
   HawkeyeReply reply;
   {
+    trace::Span wait(ctx, trace::SpanKind::PoolWait, machine_);
     auto lease = co_await thread_.acquire();
-    co_await host_.cpu().consume(config_.query_base_cpu);
+    wait.end();
+    {
+      trace::Span cpu(ctx, trace::SpanKind::Cpu, "query_base",
+                      config_.query_base_cpu);
+      co_await host_.cpu().consume(config_.query_base_cpu);
+    }
+    trace::Span span(ctx, trace::SpanKind::Collect, module_name, 1);
     for (const auto& mod : modules_) {
       if (mod.name != module_name) continue;
       co_await host_.cpu().consume(mod.collect_cpu_ref);
@@ -92,7 +124,8 @@ sim::Task<HawkeyeReply> Agent::query_module(net::Interface& client,
     if (reply.machines == 0) reply.response_bytes = 128;  // unknown module
     reply.admitted = true;
   }
-  co_await net_.transfer(nic_, client, reply.response_bytes);
+  co_await net_.transfer(nic_, client, reply.response_bytes, ctx,
+                         trace::SpanKind::ResponseSend);
   co_return reply;
 }
 

@@ -63,12 +63,18 @@ class Agent {
 
   /// Direct client query: collects fresh data from every module, builds
   /// the Startd ad, sends it back.
-  sim::Task<HawkeyeReply> query(net::Interface& client);
+  sim::Task<HawkeyeReply> query(net::Interface& client, trace::Ctx ctx = {});
 
   /// Direct query "about a particular Module" (paper §2.3): collects
   /// only that module's data. machines=0 if the module is unknown.
   sim::Task<HawkeyeReply> query_module(net::Interface& client,
-                                       std::string module_name);
+                                       std::string module_name,
+                                       trace::Ctx ctx = {});
+
+  /// Attach resource timelines ("<machine>.startd") to a trace collector.
+  void instrument(trace::Collector& col) {
+    thread_.set_probe(&col.track(machine_ + ".startd"));
+  }
 
   /// Begin the periodic Startd-ad push to `manager`.
   void start_advertising(Manager& manager);
@@ -77,7 +83,7 @@ class Agent {
   std::uint64_t collections() const noexcept { return collections_; }
 
  private:
-  sim::Task<classad::ClassAd> collect();
+  sim::Task<classad::ClassAd> collect(trace::Ctx ctx = {});
   sim::Task<void> advertise_loop(Manager& manager);
 
   double current_load() const;

@@ -53,70 +53,111 @@ sim::Task<bool> Manager::advertise(net::Interface& from, classad::ClassAd ad,
   co_return true;
 }
 
-sim::Task<HawkeyeReply> Manager::query_status(net::Interface& client) {
+sim::Task<HawkeyeReply> Manager::query_status(net::Interface& client,
+                                              trace::Ctx ctx) {
   auto& sim = host_.simulation();
-  co_await sim.delay(config_.client_tool_latency);
-  co_await net_.connect(client, nic_);
-  if (!port_.try_admit()) co_return HawkeyeReply{};
+  {
+    trace::Span tool(ctx, trace::SpanKind::ClientTool);
+    co_await sim.delay(config_.client_tool_latency);
+  }
+  co_await net_.connect(client, nic_, ctx);
+  if (!port_.try_admit()) {
+    if (ctx) ctx.col->instant(ctx, trace::SpanKind::Refused, "manager");
+    co_return HawkeyeReply{};
+  }
   net::AdmissionSlot slot(&port_);
-  co_await net_.transfer(client, nic_, config_.request_bytes);
+  co_await net_.transfer(client, nic_, config_.request_bytes, ctx,
+                         trace::SpanKind::RequestSend);
 
   HawkeyeReply reply;
   {
+    trace::Span wait(ctx, trace::SpanKind::PoolWait, "manager");
     auto lease = co_await thread_.acquire();
+    wait.end();
+    trace::Span cpu(ctx, trace::SpanKind::Cpu, "status");
     co_await host_.cpu().consume(config_.query_base_cpu);
     // Summary line per machine straight out of the indexed store: a fixed
     // handful of attributes each.
     double attrs = 10.0 * static_cast<double>(ads_.size());
     co_await host_.cpu().consume(config_.status_cpu_per_attr * attrs);
+    cpu.end();
     reply.machines = ads_.size();
     reply.response_bytes =
         config_.status_bytes_per_machine * static_cast<double>(ads_.size());
     reply.admitted = true;
     // Single-threaded daemon: the blocking response send happens inside
     // the service thread.
-    co_await net_.transfer(nic_, client, reply.response_bytes);
+    co_await net_.transfer(nic_, client, reply.response_bytes, ctx,
+                           trace::SpanKind::ResponseSend);
   }
   co_return reply;
 }
 
-sim::Task<HawkeyeReply> Manager::query_dump(net::Interface& client) {
+sim::Task<HawkeyeReply> Manager::query_dump(net::Interface& client,
+                                            trace::Ctx ctx) {
   auto& sim = host_.simulation();
-  co_await sim.delay(config_.client_tool_latency);
-  co_await net_.connect(client, nic_);
-  if (!port_.try_admit()) co_return HawkeyeReply{};
+  {
+    trace::Span tool(ctx, trace::SpanKind::ClientTool);
+    co_await sim.delay(config_.client_tool_latency);
+  }
+  co_await net_.connect(client, nic_, ctx);
+  if (!port_.try_admit()) {
+    if (ctx) ctx.col->instant(ctx, trace::SpanKind::Refused, "manager");
+    co_return HawkeyeReply{};
+  }
   net::AdmissionSlot slot(&port_);
-  co_await net_.transfer(client, nic_, config_.request_bytes);
+  co_await net_.transfer(client, nic_, config_.request_bytes, ctx,
+                         trace::SpanKind::RequestSend);
 
   HawkeyeReply reply;
   {
+    trace::Span wait(ctx, trace::SpanKind::PoolWait, "manager");
     auto lease = co_await thread_.acquire();
+    wait.end();
+    trace::Span cpu(ctx, trace::SpanKind::Cpu, "dump");
     co_await host_.cpu().consume(config_.query_base_cpu);
     co_await host_.cpu().consume(config_.dump_cpu_per_attr * total_attrs());
+    cpu.end();
     double bytes = 0;
     for (const auto& [name, ad] : ads_) bytes += ad.wire_bytes();
     reply.machines = ads_.size();
     reply.response_bytes = bytes;
     reply.admitted = true;
-    co_await net_.transfer(nic_, client, reply.response_bytes);
+    co_await net_.transfer(nic_, client, reply.response_bytes, ctx,
+                           trace::SpanKind::ResponseSend);
   }
   co_return reply;
 }
 
 sim::Task<HawkeyeReply> Manager::query_constraint(
-    net::Interface& client, std::string constraint) {
+    net::Interface& client, std::string constraint, trace::Ctx ctx) {
   auto& sim = host_.simulation();
-  co_await sim.delay(config_.client_tool_latency);
-  co_await net_.connect(client, nic_);
-  if (!port_.try_admit()) co_return HawkeyeReply{};
+  {
+    trace::Span tool(ctx, trace::SpanKind::ClientTool);
+    co_await sim.delay(config_.client_tool_latency);
+  }
+  co_await net_.connect(client, nic_, ctx);
+  if (!port_.try_admit()) {
+    if (ctx) ctx.col->instant(ctx, trace::SpanKind::Refused, "manager");
+    co_return HawkeyeReply{};
+  }
   net::AdmissionSlot slot(&port_);
-  co_await net_.transfer(client, nic_, config_.request_bytes +
-                                           constraint.size());
+  co_await net_.transfer(client, nic_,
+                         config_.request_bytes + constraint.size(), ctx,
+                         trace::SpanKind::RequestSend);
 
   HawkeyeReply reply;
   {
+    trace::Span wait(ctx, trace::SpanKind::PoolWait, "manager");
     auto lease = co_await thread_.acquire();
-    co_await host_.cpu().consume(config_.query_base_cpu);
+    wait.end();
+    {
+      trace::Span cpu(ctx, trace::SpanKind::Cpu, "query_base",
+                      config_.query_base_cpu);
+      co_await host_.cpu().consume(config_.query_base_cpu);
+    }
+    trace::Span scan(ctx, trace::SpanKind::ClassAdEval, constraint,
+                     static_cast<double>(ads_.size()));
     auto expr = classad::parse_expression(constraint);
     co_await host_.cpu().consume(config_.match_cpu_per_ad *
                                  static_cast<double>(ads_.size()));
@@ -128,28 +169,42 @@ sim::Task<HawkeyeReply> Manager::query_constraint(
         bytes += ad.wire_bytes();
       }
     }
+    scan.end();
     reply.machines = matches;
     reply.response_bytes = bytes;
     reply.admitted = true;
-    co_await net_.transfer(nic_, client, reply.response_bytes);
+    co_await net_.transfer(nic_, client, reply.response_bytes, ctx,
+                           trace::SpanKind::ResponseSend);
   }
   co_return reply;
 }
 
 sim::Task<HawkeyeReply> Manager::lookup_agent(net::Interface& client,
                                               std::string machine,
-                                              std::string* address_out) {
+                                              std::string* address_out,
+                                              trace::Ctx ctx) {
   auto& sim = host_.simulation();
-  co_await sim.delay(config_.client_tool_latency);
-  co_await net_.connect(client, nic_);
-  if (!port_.try_admit()) co_return HawkeyeReply{};
+  {
+    trace::Span tool(ctx, trace::SpanKind::ClientTool);
+    co_await sim.delay(config_.client_tool_latency);
+  }
+  co_await net_.connect(client, nic_, ctx);
+  if (!port_.try_admit()) {
+    if (ctx) ctx.col->instant(ctx, trace::SpanKind::Refused, "manager");
+    co_return HawkeyeReply{};
+  }
   net::AdmissionSlot slot(&port_);
-  co_await net_.transfer(client, nic_, config_.request_bytes);
+  co_await net_.transfer(client, nic_, config_.request_bytes, ctx,
+                         trace::SpanKind::RequestSend);
 
   HawkeyeReply reply;
   {
+    trace::Span wait(ctx, trace::SpanKind::PoolWait, "manager");
     auto lease = co_await thread_.acquire();
+    wait.end();
+    trace::Span cpu(ctx, trace::SpanKind::Cpu, "lookup");
     co_await host_.cpu().consume(config_.query_base_cpu);
+    cpu.end();
     const classad::ClassAd* ad = find_machine(machine);  // indexed lookup
     if (ad != nullptr) {
       reply.machines = 1;
@@ -157,7 +212,8 @@ sim::Task<HawkeyeReply> Manager::lookup_agent(net::Interface& client,
     }
     reply.response_bytes = 256;
     reply.admitted = true;
-    co_await net_.transfer(nic_, client, reply.response_bytes);
+    co_await net_.transfer(nic_, client, reply.response_bytes, ctx,
+                           trace::SpanKind::ResponseSend);
   }
   co_return reply;
 }

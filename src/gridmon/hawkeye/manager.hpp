@@ -74,15 +74,18 @@ class Manager {
 
   /// Directory-style lookup (the paper's Experiment 2): the status
   /// summary of pool members — cheap, served from the indexed store.
-  sim::Task<HawkeyeReply> query_status(net::Interface& client);
+  sim::Task<HawkeyeReply> query_status(net::Interface& client,
+                                       trace::Ctx ctx = {});
 
   /// Full-data dump of every machine's complete Startd ad (Experiment 3).
-  sim::Task<HawkeyeReply> query_dump(net::Interface& client);
+  sim::Task<HawkeyeReply> query_dump(net::Interface& client,
+                                     trace::Ctx ctx = {});
 
   /// Constraint scan over all resident ads (Experiment 4's worst case is
   /// a constraint no machine meets). Returns matching machine count.
   sim::Task<HawkeyeReply> query_constraint(net::Interface& client,
-                                           std::string constraint);
+                                           std::string constraint,
+                                           trace::Ctx ctx = {});
 
   /// The paper's §2.3 two-step protocol: "the client must first consult
   /// the Manager for the Agent's IP-address" before querying a Module
@@ -90,7 +93,13 @@ class Manager {
   /// on success, machines=0 if unknown.
   sim::Task<HawkeyeReply> lookup_agent(net::Interface& client,
                                        std::string machine,
-                                       std::string* address_out);
+                                       std::string* address_out,
+                                       trace::Ctx ctx = {});
+
+  /// Attach resource timelines ("manager.daemon") to a trace collector.
+  void instrument(trace::Collector& col) {
+    thread_.set_probe(&col.track("manager.daemon"));
+  }
 
   /// Register a Trigger ClassAd; `Requirements` is matched (one-way)
   /// against every incoming Startd ad; on match `action` runs (the

@@ -34,6 +34,10 @@ class Cpu {
   /// Cumulative busy core-seconds (local units) for utilization sampling.
   double busy_core_seconds() const { return ps_.served_total(); }
 
+  /// Underlying PS server — exposed so a trace probe can watch the run
+  /// queue (see sim::UsageProbe).
+  sim::PsServer& ps() noexcept { return ps_; }
+
   /// Utilization (0..100) over an interval given a served-work delta.
   double utilization_percent(double served_delta, double dt) const {
     if (dt <= 0) return 0;

@@ -13,6 +13,7 @@
 #include "gridmon/metrics/sampler.hpp"
 #include "gridmon/sim/simulation.hpp"
 #include "gridmon/sim/task.hpp"
+#include "gridmon/trace/collector.hpp"
 
 namespace gridmon::host {
 
@@ -39,8 +40,12 @@ class Host {
 
   /// Spawn-a-process cost model: fork/exec overhead plus the program's own
   /// CPU work, all under processor sharing. Used for MDS shell-script
-  /// information providers.
-  sim::Task<void> fork_exec(double program_ref_seconds) {
+  /// information providers. `detail` labels the trace span with the
+  /// provider name.
+  sim::Task<void> fork_exec(double program_ref_seconds, trace::Ctx ctx = {},
+                            std::string_view detail = {}) {
+    trace::Span span(ctx, trace::SpanKind::ForkExec, detail,
+                     program_ref_seconds);
     co_await cpu_.consume(kForkExecOverheadRefSeconds + program_ref_seconds);
   }
 

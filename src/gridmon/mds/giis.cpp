@@ -106,7 +106,10 @@ void Giis::sweep() {
   }
 }
 
-sim::Task<void> Giis::merge_payload(MdsNode& node, MdsReply reply) {
+sim::Task<void> Giis::merge_payload(MdsNode& node, MdsReply reply,
+                                    trace::Ctx ctx) {
+  trace::Span span(ctx, trace::SpanKind::Merge, node.node_name(),
+                   static_cast<double>(reply.entries));
   auto it = registrants_.find(node.node_name());
   if (it == registrants_.end()) co_return;
   // (Re)build this registrant's slice of the aggregate tree.
@@ -139,16 +142,18 @@ sim::Task<void> Giis::merge_payload(MdsNode& node, MdsReply reply) {
   it->second.fetched = true;
 }
 
-sim::Task<void> Giis::refresh_cache() {
+sim::Task<void> Giis::refresh_cache(trace::Ctx ctx) {
   auto& sim = host_.simulation();
   if (sim.now() < cache_fresh_until_) co_return;
   if (refreshing_) {
     // Another worker is already pulling; wait for it.
+    trace::Span span(ctx, trace::SpanKind::CacheValidate, name_);
     co_await refresh_done_;
     co_return;
   }
   refreshing_ = true;
   refresh_done_.reset();
+  trace::Span span(ctx, trace::SpanKind::CacheRefresh, name_);
 
   sweep();
   // Pull every live registrant in parallel.
@@ -161,13 +166,13 @@ sim::Task<void> Giis::refresh_cache() {
   for (auto& [name, r] : registrants_) {
     if (r.expires_at < sim.now()) continue;
     MdsNode* node = r.node;
-    auto fetch_one = [](Giis& self, MdsNode& n,
+    auto fetch_one = [](Giis& self, MdsNode& n, trace::Ctx c,
                         std::shared_ptr<std::vector<FetchResult>> out)
         -> sim::Task<void> {
-      MdsReply reply = co_await n.fetch(self.nic_);
+      MdsReply reply = co_await n.fetch(self.nic_, c);
       out->push_back(FetchResult{&n, std::move(reply)});
     };
-    sim.spawn(wg.track(fetch_one(*this, *node, results)));
+    sim.spawn(wg.track(fetch_one(*this, *node, span.ctx(), results)));
   }
   bool all_answered = co_await wg.wait_for(config_.fetch_timeout);
   if (!all_answered) {
@@ -179,7 +184,7 @@ sim::Task<void> Giis::refresh_cache() {
 
   for (auto& fr : *results) {
     if (!fr.reply.admitted) continue;
-    co_await merge_payload(*fr.node, std::move(fr.reply));
+    co_await merge_payload(*fr.node, std::move(fr.reply), span.ctx());
   }
 
   cache_fresh_until_ = sim.now() + config_.cachettl;
@@ -194,32 +199,46 @@ ldap::FilterPtr Giis::scope_filter(QueryScope scope) const {
   return ldap::Filter::parse("(objectclass=MdsDevice)");
 }
 
-sim::Task<MdsReply> Giis::query(net::Interface& client, QueryScope scope) {
+sim::Task<MdsReply> Giis::query(net::Interface& client, QueryScope scope,
+                                trace::Ctx ctx) {
   SearchRequest request;
   request.filter = scope_filter(scope)->to_string();
-  co_return co_await search(client, std::move(request));
+  co_return co_await search(client, std::move(request), ctx);
 }
 
 sim::Task<MdsReply> Giis::search(net::Interface& client,
-                                 SearchRequest request) {
+                                 SearchRequest request, trace::Ctx ctx) {
   auto& sim = host_.simulation();
-  co_await sim.delay(config_.client_tool_latency);
-  co_await net_.connect(client, nic_);
+  {
+    trace::Span tool(ctx, trace::SpanKind::ClientTool);
+    co_await sim.delay(config_.client_tool_latency);
+  }
+  co_await net_.connect(client, nic_, ctx);
   if (!port_.try_admit()) {
+    if (ctx) ctx.col->instant(ctx, trace::SpanKind::Refused, name_);
     co_return MdsReply{};
   }
   net::AdmissionSlot slot(&port_);
   co_await net_.transfer(client, nic_,
-                         config_.request_bytes + request.filter.size());
+                         config_.request_bytes + request.filter.size(), ctx,
+                         trace::SpanKind::RequestSend);
 
   MdsReply reply;
   {
+    trace::Span wait(ctx, trace::SpanKind::PoolWait, name_);
     auto lease = co_await pool_.acquire();
-    co_await host_.cpu().consume(config_.query_base_cpu);
-    co_await refresh_cache();
+    wait.end();
+    {
+      trace::Span cpu(ctx, trace::SpanKind::Cpu, "query_base",
+                      config_.query_base_cpu);
+      co_await host_.cpu().consume(config_.query_base_cpu);
+    }
+    co_await refresh_cache(ctx);
+    trace::Span search_span(ctx, trace::SpanKind::LdapSearch);
     auto filter = ldap::Filter::parse(request.filter);
     auto result = dit_.search(grid_root(), ldap::Scope::Subtree, *filter,
                               request.attributes, request.size_limit);
+    search_span.set_arg(static_cast<double>(result.entries_examined));
     co_await host_.cpu().consume(
         config_.examine_cpu_per_entry *
             static_cast<double>(result.entries_examined) +
@@ -231,25 +250,36 @@ sim::Task<MdsReply> Giis::search(net::Interface& client,
     reply.admitted = true;
     reply.payload = std::move(result.entries);
   }
-  co_await net_.transfer(nic_, client, reply.response_bytes);
+  co_await net_.transfer(nic_, client, reply.response_bytes, ctx,
+                         trace::SpanKind::ResponseSend);
   co_return reply;
 }
 
-sim::Task<MdsReply> Giis::fetch(net::Interface& requester) {
-  co_await net_.connect(requester, nic_);
+sim::Task<MdsReply> Giis::fetch(net::Interface& requester, trace::Ctx ctx) {
+  trace::Span span(ctx, trace::SpanKind::Fetch, name_);
+  co_await net_.connect(requester, nic_, span.ctx());
   if (!port_.try_admit()) co_return MdsReply{};
   net::AdmissionSlot slot(&port_);
-  co_await net_.transfer(requester, nic_, config_.request_bytes);
+  co_await net_.transfer(requester, nic_, config_.request_bytes, span.ctx(),
+                         trace::SpanKind::RequestSend);
 
   MdsReply reply;
   {
+    trace::Span wait(span.ctx(), trace::SpanKind::PoolWait, name_);
     auto lease = co_await pool_.acquire();
-    co_await host_.cpu().consume(config_.query_base_cpu);
-    co_await refresh_cache();
+    wait.end();
+    {
+      trace::Span cpu(span.ctx(), trace::SpanKind::Cpu, "query_base",
+                      config_.query_base_cpu);
+      co_await host_.cpu().consume(config_.query_base_cpu);
+    }
+    co_await refresh_cache(span.ctx());
     // Everything except the o=grid root travels upward.
+    trace::Span search_span(span.ctx(), trace::SpanKind::LdapSearch);
     auto filter = ldap::Filter::parse(
         "(|(objectclass=MdsDevice)(objectclass=MdsHost)(objectclass=MdsVo))");
     auto result = dit_.search(grid_root(), ldap::Scope::Subtree, *filter);
+    search_span.set_arg(static_cast<double>(result.entries_examined));
     co_await host_.cpu().consume(
         config_.examine_cpu_per_entry *
             static_cast<double>(result.entries_examined) +
@@ -260,7 +290,8 @@ sim::Task<MdsReply> Giis::fetch(net::Interface& requester) {
     reply.payload = std::move(result.entries);
     reply.admitted = true;
   }
-  co_await net_.transfer(nic_, requester, reply.response_bytes);
+  co_await net_.transfer(nic_, requester, reply.response_bytes, span.ctx(),
+                         trace::SpanKind::ResponseSend);
   co_return reply;
 }
 

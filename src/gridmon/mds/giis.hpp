@@ -79,11 +79,18 @@ class Giis final : public MdsNode {
 
   /// Full client query (tool latency + connect + admission + serve).
   sim::Task<MdsReply> query(net::Interface& client,
-                            QueryScope scope = QueryScope::All);
+                            QueryScope scope = QueryScope::All,
+                            trace::Ctx ctx = {});
 
   /// General LDAP search against the aggregate tree (caller-supplied
   /// filter, attribute selection, size limit).
-  sim::Task<MdsReply> search(net::Interface& client, SearchRequest request);
+  sim::Task<MdsReply> search(net::Interface& client, SearchRequest request,
+                             trace::Ctx ctx = {});
+
+  /// Attach resource timelines ("<name>.pool") to a trace collector.
+  void instrument(trace::Collector& col) {
+    pool_.set_probe(&col.track(name_ + ".pool"));
+  }
 
   // ---- MdsNode (this GIIS registering to a parent GIIS) ----
   const std::string& node_name() const override { return name_; }
@@ -96,7 +103,8 @@ class Giis final : public MdsNode {
   /// Server-to-server pull of this GIIS's whole aggregate (hosts, VOs
   /// and devices). Refreshes this level's own cache first, so pulls
   /// cascade down a multi-level hierarchy.
-  sim::Task<MdsReply> fetch(net::Interface& requester) override;
+  sim::Task<MdsReply> fetch(net::Interface& requester,
+                            trace::Ctx ctx = {}) override;
 
  private:
   struct Registrant {
@@ -110,10 +118,11 @@ class Giis final : public MdsNode {
   sim::Task<void> serve_registration(MdsNode& node);
 
   /// Pull data from every live registrant whose cache slice is stale.
-  sim::Task<void> refresh_cache();
+  sim::Task<void> refresh_cache(trace::Ctx ctx);
 
   /// Merge one fetch result under the node's suffix.
-  sim::Task<void> merge_payload(MdsNode& node, MdsReply reply);
+  sim::Task<void> merge_payload(MdsNode& node, MdsReply reply,
+                                trace::Ctx ctx);
 
   /// Drop registrations (and their subtrees) that have aged out.
   void sweep();

@@ -51,7 +51,7 @@ ldap::FilterPtr Gris::scope_filter(QueryScope scope) const {
   return ldap::Filter::parse("(objectclass=MdsDevice)");
 }
 
-sim::Task<bool> Gris::refresh(QueryScope scope) {
+sim::Task<bool> Gris::refresh(QueryScope scope, trace::Ctx ctx) {
   auto& sim = host_.simulation();
   bool all_fresh = true;
   std::size_t limit =
@@ -63,7 +63,7 @@ sim::Task<bool> Gris::refresh(QueryScope scope) {
     if (fresh) continue;
     all_fresh = false;
     // Fork and run the provider script on this host's CPU.
-    co_await host_.fork_exec(p.spec.exec_cpu_ref);
+    co_await host_.fork_exec(p.spec.exec_cpu_ref, ctx, p.spec.name);
     ++provider_runs_;
     ++p.sequence;
     for (auto& entry : run_provider(p.spec, host_dn_, p.sequence)) {
@@ -74,36 +74,49 @@ sim::Task<bool> Gris::refresh(QueryScope scope) {
   co_return all_fresh;
 }
 
-sim::Task<MdsReply> Gris::serve(QueryScope scope) {
+sim::Task<MdsReply> Gris::serve(QueryScope scope, trace::Ctx ctx) {
   auto filter = scope_filter(scope);
-  co_return co_await serve_filter(scope, *filter, {}, 0);
+  co_return co_await serve_filter(scope, *filter, {}, 0, ctx);
 }
 
 sim::Task<MdsReply> Gris::serve_filter(QueryScope refresh_scope,
                                        const ldap::Filter& filter,
                                        std::vector<std::string> attrs,
-                                       std::size_t size_limit) {
+                                       std::size_t size_limit,
+                                       trace::Ctx ctx) {
   auto& sim = host_.simulation();
   MdsReply reply;
+  trace::Span wait(ctx, trace::SpanKind::PoolWait, name_);
   auto lease = co_await pool_.acquire();
-  co_await host_.cpu().consume(config_.query_base_cpu);
+  wait.end();
+  {
+    trace::Span cpu(ctx, trace::SpanKind::Cpu, "query_base",
+                    config_.query_base_cpu);
+    co_await host_.cpu().consume(config_.query_base_cpu);
+  }
 
-  bool hit = co_await refresh(refresh_scope);
+  bool hit = co_await refresh(refresh_scope, ctx);
   reply.cache_hit = hit;
   if (hit && config_.cache_enabled && config_.cache_serve_latency > 0) {
     // Backend freshness re-validation (polling waits, not CPU).
+    trace::Span validate(ctx, trace::SpanKind::CacheValidate);
     lease.release();
     co_await sim.delay(config_.cache_serve_latency);
+    validate.end();
+    trace::Span rewait(ctx, trace::SpanKind::PoolWait, name_);
     lease = co_await pool_.acquire();
   }
 
+  trace::Span search(ctx, trace::SpanKind::LdapSearch);
   auto result = dit_.search(ldap::Dn::parse("o=grid"), ldap::Scope::Subtree,
                             filter, attrs, size_limit);
+  search.set_arg(static_cast<double>(result.entries_examined));
   co_await host_.cpu().consume(
       config_.examine_cpu_per_entry *
           static_cast<double>(result.entries_examined) +
       config_.serialize_cpu_per_entry *
           static_cast<double>(result.entries.size()));
+  search.end();
   reply.entries = result.entries.size();
   reply.response_bytes = result.wire_bytes();
   reply.payload = std::move(result.entries);
@@ -111,54 +124,70 @@ sim::Task<MdsReply> Gris::serve_filter(QueryScope refresh_scope,
 }
 
 sim::Task<MdsReply> Gris::search(net::Interface& client,
-                                 SearchRequest request) {
+                                 SearchRequest request, trace::Ctx ctx) {
   auto& sim = host_.simulation();
-  co_await sim.delay(config_.client_tool_latency);
-  co_await net_.connect(client, nic_);
+  {
+    trace::Span tool(ctx, trace::SpanKind::ClientTool);
+    co_await sim.delay(config_.client_tool_latency);
+  }
+  co_await net_.connect(client, nic_, ctx);
   if (!port_.try_admit()) {
+    if (ctx) ctx.col->instant(ctx, trace::SpanKind::Refused, name_);
     co_return MdsReply{};
   }
   net::AdmissionSlot slot(&port_);
   co_await net_.transfer(client, nic_,
-                         config_.request_bytes + request.filter.size());
+                         config_.request_bytes + request.filter.size(), ctx,
+                         trace::SpanKind::RequestSend);
 
   auto filter = ldap::Filter::parse(request.filter);
   MdsReply reply = co_await serve_filter(QueryScope::All, *filter,
                                          std::move(request.attributes),
-                                         request.size_limit);
+                                         request.size_limit, ctx);
   reply.admitted = true;
-  co_await net_.transfer(nic_, client, reply.response_bytes);
+  co_await net_.transfer(nic_, client, reply.response_bytes, ctx,
+                         trace::SpanKind::ResponseSend);
   co_return reply;
 }
 
-sim::Task<MdsReply> Gris::query(net::Interface& client, QueryScope scope) {
+sim::Task<MdsReply> Gris::query(net::Interface& client, QueryScope scope,
+                                trace::Ctx ctx) {
   auto& sim = host_.simulation();
   // Client tool startup + GSI authentication.
-  co_await sim.delay(config_.client_tool_latency);
-  co_await net_.connect(client, nic_);
+  {
+    trace::Span tool(ctx, trace::SpanKind::ClientTool);
+    co_await sim.delay(config_.client_tool_latency);
+  }
+  co_await net_.connect(client, nic_, ctx);
   if (!port_.try_admit()) {
+    if (ctx) ctx.col->instant(ctx, trace::SpanKind::Refused, name_);
     co_return MdsReply{};  // connection refused
   }
   net::AdmissionSlot slot(&port_);
-  co_await net_.transfer(client, nic_, config_.request_bytes);
+  co_await net_.transfer(client, nic_, config_.request_bytes, ctx,
+                         trace::SpanKind::RequestSend);
 
-  MdsReply reply = co_await serve(scope);
+  MdsReply reply = co_await serve(scope, ctx);
   reply.admitted = true;
 
-  co_await net_.transfer(nic_, client, reply.response_bytes);
+  co_await net_.transfer(nic_, client, reply.response_bytes, ctx,
+                         trace::SpanKind::ResponseSend);
   co_return reply;
 }
 
-sim::Task<MdsReply> Gris::fetch(net::Interface& requester) {
-  co_await net_.connect(requester, nic_);
+sim::Task<MdsReply> Gris::fetch(net::Interface& requester, trace::Ctx ctx) {
+  trace::Span span(ctx, trace::SpanKind::Fetch, name_);
+  co_await net_.connect(requester, nic_, span.ctx());
   if (!port_.try_admit()) {
     co_return MdsReply{};
   }
   net::AdmissionSlot slot(&port_);
-  co_await net_.transfer(requester, nic_, config_.request_bytes);
-  MdsReply reply = co_await serve(QueryScope::All);
+  co_await net_.transfer(requester, nic_, config_.request_bytes, span.ctx(),
+                         trace::SpanKind::RequestSend);
+  MdsReply reply = co_await serve(QueryScope::All, span.ctx());
   reply.admitted = true;
-  co_await net_.transfer(nic_, requester, reply.response_bytes);
+  co_await net_.transfer(nic_, requester, reply.response_bytes, span.ctx(),
+                         trace::SpanKind::ResponseSend);
   co_return reply;
 }
 

@@ -95,11 +95,18 @@ class Gris final : public MdsNode {
   /// One full client query: connect, admission, request, server
   /// processing (provider refresh on miss, DIT search), response.
   sim::Task<MdsReply> query(net::Interface& client,
-                            QueryScope scope = QueryScope::All);
+                            QueryScope scope = QueryScope::All,
+                            trace::Ctx ctx = {});
 
   /// General LDAP search with a caller-supplied filter, attribute
   /// selection and size limit. Same service pipeline as query().
-  sim::Task<MdsReply> search(net::Interface& client, SearchRequest request);
+  sim::Task<MdsReply> search(net::Interface& client, SearchRequest request,
+                             trace::Ctx ctx = {});
+
+  /// Attach resource timelines ("<name>.pool") to a trace collector.
+  void instrument(trace::Collector& col) {
+    pool_.set_probe(&col.track(name_ + ".pool"));
+  }
 
   // ---- MdsNode ----
   const std::string& node_name() const override { return name_; }
@@ -111,7 +118,8 @@ class Gris final : public MdsNode {
   }
   /// Server-to-server fetch used by a GIIS cache refresh: like a query
   /// from `requester` but without the client-tool latency.
-  sim::Task<MdsReply> fetch(net::Interface& requester) override;
+  sim::Task<MdsReply> fetch(net::Interface& requester,
+                            trace::Ctx ctx = {}) override;
 
   /// Number of provider executions so far (tests / diagnostics).
   std::uint64_t provider_runs() const noexcept { return provider_runs_; }
@@ -128,18 +136,18 @@ class Gris final : public MdsNode {
   /// Ensure provider data needed by `scope` is in the DIT, forking the
   /// provider scripts for anything stale. Returns true if everything was
   /// already fresh (a cache hit).
-  sim::Task<bool> refresh(QueryScope scope);
+  sim::Task<bool> refresh(QueryScope scope, trace::Ctx ctx);
 
   /// The search itself plus CPU charges; returns the reply (admitted set
   /// by caller).
-  sim::Task<MdsReply> serve(QueryScope scope);
+  sim::Task<MdsReply> serve(QueryScope scope, trace::Ctx ctx);
 
   /// Shared backend: refresh per `refresh_scope`, then run an arbitrary
   /// filtered search with attribute selection and size limit.
   sim::Task<MdsReply> serve_filter(QueryScope refresh_scope,
                                    const ldap::Filter& filter,
                                    std::vector<std::string> attrs,
-                                   std::size_t size_limit);
+                                   std::size_t size_limit, trace::Ctx ctx);
 
   ldap::FilterPtr scope_filter(QueryScope scope) const;
 

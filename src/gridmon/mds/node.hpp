@@ -14,6 +14,7 @@
 #include "gridmon/ldap/entry.hpp"
 #include "gridmon/net/network.hpp"
 #include "gridmon/sim/task.hpp"
+#include "gridmon/trace/span.hpp"
 
 namespace gridmon::mds {
 
@@ -36,7 +37,8 @@ class MdsNode {
   virtual double registration_interval() const = 0;
   /// Server-to-server data pull (no client-tool latency). Payload entries
   /// either already live under suffix() or are rebased there on merge.
-  virtual sim::Task<MdsReply> fetch(net::Interface& requester) = 0;
+  virtual sim::Task<MdsReply> fetch(net::Interface& requester,
+                                    trace::Ctx ctx = {}) = 0;
 };
 
 }  // namespace gridmon::mds

@@ -25,6 +25,7 @@
 #include "gridmon/sim/ps_server.hpp"
 #include "gridmon/sim/simulation.hpp"
 #include "gridmon/sim/task.hpp"
+#include "gridmon/trace/collector.hpp"
 
 namespace gridmon::net {
 
@@ -119,9 +120,14 @@ class Network {
   /// and the receiver NIC, then waits propagation latency. Loopback
   /// traffic bypasses the NIC entirely. A transfer across a partitioned
   /// WAN stalls (TCP retransmission) until the link heals.
+  /// The optional trace context opens a span of `kind` covering the whole
+  /// store-and-forward path (tx share, WAN share, rx share, propagation);
+  /// its arg records the payload bytes.
   sim::Task<void> transfer(Interface& from, Interface& to,
-                           double payload_bytes) {
+                           double payload_bytes, trace::Ctx ctx = {},
+                           trace::SpanKind kind = trace::SpanKind::NetTransfer) {
     if (&from == &to) co_return;  // local IPC: negligible at this scale
+    trace::Span span(ctx, kind, {}, payload_bytes);
     double bytes = payload_bytes + kMessageOverheadBytes;
     co_await from.tx().consume(bytes);
     if (from.site() != to.site()) {
@@ -148,7 +154,10 @@ class Network {
   }
 
   /// TCP-style connection establishment: one round trip of small packets.
-  sim::Task<void> connect(Interface& from, Interface& to) {
+  /// Traced as a single Connect span (the SYN legs are not split out).
+  sim::Task<void> connect(Interface& from, Interface& to,
+                          trace::Ctx ctx = {}) {
+    trace::Span span(ctx, trace::SpanKind::Connect);
     co_await transfer(from, to, kSynBytes);
     co_await transfer(to, from, kSynBytes);
   }

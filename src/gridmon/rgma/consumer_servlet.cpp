@@ -23,22 +23,39 @@ void ConsumerServlet::add_producer_servlet(ProducerServlet& servlet) {
 
 sim::Task<RgmaReply> ConsumerServlet::query(net::Interface& client,
                                             std::string table,
-                                            std::string where) {
+                                            std::string where,
+                                            trace::Ctx ctx) {
   auto& sim = host_.simulation();
-  co_await sim.delay(config_.client_latency);
-  co_await net_.connect(client, nic_);
-  if (!port_.try_admit()) co_return RgmaReply{};
+  {
+    trace::Span tool(ctx, trace::SpanKind::ClientTool);
+    co_await sim.delay(config_.client_latency);
+  }
+  co_await net_.connect(client, nic_, ctx);
+  if (!port_.try_admit()) {
+    if (ctx) ctx.col->instant(ctx, trace::SpanKind::Refused, name_);
+    co_return RgmaReply{};
+  }
   net::AdmissionSlot slot(&port_);
-  co_await net_.transfer(client, nic_, config_.request_bytes);
+  co_await net_.transfer(client, nic_, config_.request_bytes, ctx,
+                         trace::SpanKind::RequestSend);
 
   RgmaReply reply;
   {
+    trace::Span wait(ctx, trace::SpanKind::PoolWait, name_);
     auto lease = co_await pool_.acquire();
-    co_await host_.cpu().consume(config_.query_base_cpu);
-    co_await sim.delay(config_.servlet_latency);
+    wait.end();
+    {
+      trace::Span cpu(ctx, trace::SpanKind::Cpu, "query_base",
+                      config_.query_base_cpu);
+      co_await host_.cpu().consume(config_.query_base_cpu);
+    }
+    {
+      trace::Span servlet(ctx, trace::SpanKind::Servlet);
+      co_await sim.delay(config_.servlet_latency);
+    }
 
     // Mediation step 1: which producers hold this table?
-    auto producers = co_await registry_.lookup(nic_, table);
+    auto producers = co_await registry_.lookup(nic_, table, ctx);
 
     // Step 2: query each hosting servlet once.
     std::set<std::string> seen;
@@ -46,17 +63,22 @@ sim::Task<RgmaReply> ConsumerServlet::query(net::Interface& client,
       if (!seen.insert(info.servlet).second) continue;
       auto it = servlets_.find(info.servlet);
       if (it == servlets_.end()) continue;
-      RgmaReply part = co_await it->second->select(nic_, table, where);
+      RgmaReply part = co_await it->second->select(nic_, table, where, ctx);
       if (!part.admitted) continue;
       reply.rows += part.rows;
       reply.response_bytes += part.response_bytes;
     }
-    co_await host_.cpu().consume(config_.merge_row_cpu *
-                                 static_cast<double>(reply.rows));
+    {
+      trace::Span merge(ctx, trace::SpanKind::Merge, name_,
+                        static_cast<double>(reply.rows));
+      co_await host_.cpu().consume(config_.merge_row_cpu *
+                                   static_cast<double>(reply.rows));
+    }
     reply.response_bytes += 128;
     reply.admitted = true;
   }
-  co_await net_.transfer(nic_, client, reply.response_bytes);
+  co_await net_.transfer(nic_, client, reply.response_bytes, ctx,
+                         trace::SpanKind::ResponseSend);
   co_return reply;
 }
 

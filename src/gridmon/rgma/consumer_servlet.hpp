@@ -53,7 +53,12 @@ class ConsumerServlet {
   /// `client`.
   sim::Task<RgmaReply> query(net::Interface& client,
                              std::string table,
-                             std::string where = "");
+                             std::string where = "", trace::Ctx ctx = {});
+
+  /// Attach resource timelines ("<name>.pool") to a trace collector.
+  void instrument(trace::Collector& col) {
+    pool_.set_probe(&col.track(name_ + ".pool"));
+  }
 
   /// Set up a streaming subscription: rows of `table` matching
   /// `predicate` flow producer -> consumer as they are published.

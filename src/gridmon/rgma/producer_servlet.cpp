@@ -75,17 +75,33 @@ void ProducerServlet::subscribe(net::Interface& consumer,
 
 sim::Task<RgmaReply> ProducerServlet::select(net::Interface& from,
                                              std::string table,
-                                             std::string where) {
-  co_await net_.transfer(from, nic_, config_.request_bytes);
-  if (!port_.try_admit()) co_return RgmaReply{};
+                                             std::string where,
+                                             trace::Ctx ctx) {
+  trace::Span op(ctx, trace::SpanKind::ProducerSelect, name_);
+  co_await net_.transfer(from, nic_, config_.request_bytes, op.ctx(),
+                         trace::SpanKind::RequestSend);
+  if (!port_.try_admit()) {
+    if (ctx) ctx.col->instant(ctx, trace::SpanKind::Refused, name_);
+    co_return RgmaReply{};
+  }
   net::AdmissionSlot slot(&port_);
 
   RgmaReply reply;
   {
+    trace::Span wait(op.ctx(), trace::SpanKind::PoolWait, name_);
     auto lease = co_await pool_.acquire();
-    co_await host_.cpu().consume(config_.query_base_cpu);
-    co_await host_.simulation().delay(config_.servlet_latency);
+    wait.end();
+    {
+      trace::Span cpu(op.ctx(), trace::SpanKind::Cpu, "query_base",
+                      config_.query_base_cpu);
+      co_await host_.cpu().consume(config_.query_base_cpu);
+    }
+    {
+      trace::Span servlet(op.ctx(), trace::SpanKind::Servlet);
+      co_await host_.simulation().delay(config_.servlet_latency);
+    }
 
+    trace::Span sql(op.ctx(), trace::SpanKind::SqlExecute, table);
     rdbms::SqlExprPtr predicate;
     if (!where.empty()) predicate = rdbms::sql_parse_expression(where);
 
@@ -106,23 +122,30 @@ sim::Task<RgmaReply> ProducerServlet::select(net::Interface& from,
         return true;
       });
     }
+    sql.set_arg(static_cast<double>(examined));
     co_await host_.cpu().consume(
         config_.per_producer_cpu * static_cast<double>(producers_hit) +
         config_.row_cpu * static_cast<double>(examined));
+    sql.end();
     reply.response_bytes =
         128 + config_.row_bytes * static_cast<double>(reply.rows);
     reply.admitted = true;
   }
-  co_await net_.transfer(nic_, from, reply.response_bytes);
+  co_await net_.transfer(nic_, from, reply.response_bytes, op.ctx(),
+                         trace::SpanKind::ResponseSend);
   co_return reply;
 }
 
 sim::Task<RgmaReply> ProducerServlet::client_query(net::Interface& client,
                                                    std::string table,
-                                                   std::string where) {
-  co_await host_.simulation().delay(config_.client_latency);
-  co_await net_.connect(client, nic_);
-  co_return co_await select(client, table, where);
+                                                   std::string where,
+                                                   trace::Ctx ctx) {
+  {
+    trace::Span tool(ctx, trace::SpanKind::ClientTool);
+    co_await host_.simulation().delay(config_.client_latency);
+  }
+  co_await net_.connect(client, nic_, ctx);
+  co_return co_await select(client, table, where, ctx);
 }
 
 void ProducerServlet::start_registration(Registry& registry) {

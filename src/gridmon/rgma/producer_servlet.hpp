@@ -110,14 +110,20 @@ class ProducerServlet {
 
   /// Answer a mediated SELECT covering every local producer of `table`.
   sim::Task<RgmaReply> select(net::Interface& from, std::string table,
-                              std::string where = "");
+                              std::string where = "", trace::Ctx ctx = {});
 
   /// A user querying this servlet directly (the paper's Experiment 3
   /// "queried the ProducerServlet directly"): adds the Java client API
   /// latency and connection setup around select().
   sim::Task<RgmaReply> client_query(net::Interface& client,
                                     std::string table,
-                                    std::string where = "");
+                                    std::string where = "",
+                                    trace::Ctx ctx = {});
+
+  /// Attach resource timelines ("<name>.pool") to a trace collector.
+  void instrument(trace::Collector& col) {
+    pool_.set_probe(&col.track(name_ + ".pool"));
+  }
 
   /// Register all producers with `registry` and keep their leases fresh.
   void start_registration(Registry& registry);

@@ -48,59 +48,95 @@ sim::Task<bool> Registry::register_producer(net::Interface& from,
   co_return true;
 }
 
-sim::Task<rdbms::QueryResult> Registry::run_lookup(std::string table) {
+sim::Task<rdbms::QueryResult> Registry::run_lookup(std::string table,
+                                                   trace::Ctx ctx) {
+  trace::Span sql(ctx, trace::SpanKind::SqlExecute, "producers");
   double now = host_.simulation().now();
   auto result = db_.execute(
       "SELECT producer, tablename, servlet, predicate FROM producers WHERE "
       "tablename = " +
       quote(table) + " AND expires >= " + std::to_string(now));
+  sql.set_arg(static_cast<double>(result.rows_examined));
   co_await host_.cpu().consume(config_.row_cpu *
                                static_cast<double>(result.rows_examined));
   co_return result;
 }
 
 sim::Task<std::vector<ProducerInfo>> Registry::lookup(
-    net::Interface& from, std::string table) {
+    net::Interface& from, std::string table, trace::Ctx ctx) {
+  trace::Span op(ctx, trace::SpanKind::RegistryLookup, table);
   std::vector<ProducerInfo> out;
-  co_await net_.transfer(from, nic_, config_.request_bytes);
-  if (!port_.try_admit()) co_return out;
+  co_await net_.transfer(from, nic_, config_.request_bytes, op.ctx(),
+                         trace::SpanKind::RequestSend);
+  if (!port_.try_admit()) {
+    if (ctx) ctx.col->instant(ctx, trace::SpanKind::Refused, "registry");
+    co_return out;
+  }
   net::AdmissionSlot slot(&port_);
   {
+    trace::Span wait(op.ctx(), trace::SpanKind::PoolWait, "registry");
     auto lease = co_await pool_.acquire();
-    co_await host_.cpu().consume(config_.query_base_cpu);
-    co_await host_.simulation().delay(config_.servlet_latency);
-    auto result = co_await run_lookup(table);
+    wait.end();
+    {
+      trace::Span cpu(op.ctx(), trace::SpanKind::Cpu, "query_base",
+                      config_.query_base_cpu);
+      co_await host_.cpu().consume(config_.query_base_cpu);
+    }
+    {
+      trace::Span servlet(op.ctx(), trace::SpanKind::Servlet);
+      co_await host_.simulation().delay(config_.servlet_latency);
+    }
+    auto result = co_await run_lookup(table, op.ctx());
     for (const auto& row : result.rows) {
       out.push_back(ProducerInfo{row[0].as_text(), row[1].as_text(),
                                  row[2].as_text(), row[3].as_text()});
     }
   }
   co_await net_.transfer(
-      nic_, from, 128 + config_.row_bytes * static_cast<double>(out.size()));
+      nic_, from, 128 + config_.row_bytes * static_cast<double>(out.size()),
+      op.ctx(), trace::SpanKind::ResponseSend);
   co_return out;
 }
 
 sim::Task<RgmaReply> Registry::client_query(net::Interface& client,
-                                            std::string table) {
+                                            std::string table,
+                                            trace::Ctx ctx) {
   auto& sim = host_.simulation();
-  co_await sim.delay(config_.client_latency);
-  co_await net_.connect(client, nic_);
-  if (!port_.try_admit()) co_return RgmaReply{};
+  {
+    trace::Span tool(ctx, trace::SpanKind::ClientTool);
+    co_await sim.delay(config_.client_latency);
+  }
+  co_await net_.connect(client, nic_, ctx);
+  if (!port_.try_admit()) {
+    if (ctx) ctx.col->instant(ctx, trace::SpanKind::Refused, "registry");
+    co_return RgmaReply{};
+  }
   net::AdmissionSlot slot(&port_);
-  co_await net_.transfer(client, nic_, config_.request_bytes);
+  co_await net_.transfer(client, nic_, config_.request_bytes, ctx,
+                         trace::SpanKind::RequestSend);
 
   RgmaReply reply;
   {
+    trace::Span wait(ctx, trace::SpanKind::PoolWait, "registry");
     auto lease = co_await pool_.acquire();
-    co_await host_.cpu().consume(config_.query_base_cpu);
-    co_await host_.simulation().delay(config_.servlet_latency);
-    auto result = co_await run_lookup(table);
+    wait.end();
+    {
+      trace::Span cpu(ctx, trace::SpanKind::Cpu, "query_base",
+                      config_.query_base_cpu);
+      co_await host_.cpu().consume(config_.query_base_cpu);
+    }
+    {
+      trace::Span servlet(ctx, trace::SpanKind::Servlet);
+      co_await host_.simulation().delay(config_.servlet_latency);
+    }
+    auto result = co_await run_lookup(table, ctx);
     reply.rows = result.rows.size();
     reply.response_bytes =
         128 + config_.row_bytes * static_cast<double>(result.rows.size());
     reply.admitted = true;
   }
-  co_await net_.transfer(nic_, client, reply.response_bytes);
+  co_await net_.transfer(nic_, client, reply.response_bytes, ctx,
+                         trace::SpanKind::ResponseSend);
   co_return reply;
 }
 

@@ -72,12 +72,18 @@ class Registry {
   /// Which producers can answer queries on `table`? Used by
   /// ConsumerServlets during mediation.
   sim::Task<std::vector<ProducerInfo>> lookup(net::Interface& from,
-                                              std::string table);
+                                              std::string table,
+                                              trace::Ctx ctx = {});
 
   /// A user querying the Registry directly (the paper's Experiment 2
   /// directory-server workload).
   sim::Task<RgmaReply> client_query(net::Interface& client,
-                                    std::string table);
+                                    std::string table, trace::Ctx ctx = {});
+
+  /// Attach resource timelines ("registry.pool") to a trace collector.
+  void instrument(trace::Collector& col) {
+    pool_.set_probe(&col.track("registry.pool"));
+  }
 
   /// Begin the periodic expired-lease sweep.
   void start_sweeper();
@@ -87,7 +93,8 @@ class Registry {
 
  private:
   sim::Task<void> sweeper_loop();
-  sim::Task<rdbms::QueryResult> run_lookup(std::string table);
+  sim::Task<rdbms::QueryResult> run_lookup(std::string table,
+                                           trace::Ctx ctx = {});
 
   net::Network& net_;
   host::Host& host_;

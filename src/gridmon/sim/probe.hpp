@@ -1,0 +1,27 @@
+#pragma once
+
+/// \file probe.hpp
+/// Instrumentation hook for the queueing primitives. A probe attached to
+/// a PsServer or Resource is notified on every population change —
+/// sampling "from the inside" instead of polling, so a timeline built
+/// from probe callbacks is exact, not an approximation.
+///
+/// The hook is a raw pointer tested on the hot path; with no probe
+/// attached the cost is one predictable branch. The trace module
+/// implements this interface; sim itself depends on nothing.
+
+#include "gridmon/sim/event_queue.hpp"
+
+namespace gridmon::sim {
+
+struct UsageProbe {
+  /// `active`: jobs in service (PsServer) or slots held (Resource).
+  /// `backlog`: remaining service units (PsServer: pending work or
+  /// bytes in flight) or queued waiters (Resource).
+  virtual void on_usage(SimTime t, double active, double backlog) = 0;
+
+ protected:
+  ~UsageProbe() = default;
+};
+
+}  // namespace gridmon::sim

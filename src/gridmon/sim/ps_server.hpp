@@ -22,6 +22,7 @@
 #include <list>
 #include <vector>
 
+#include "gridmon/sim/probe.hpp"
 #include "gridmon/sim/simulation.hpp"
 
 namespace gridmon::sim {
@@ -51,6 +52,10 @@ class PsServer {
 
   double total_rate() const noexcept { return total_rate_; }
 
+  /// Attach (or detach with nullptr) a population probe: fired on every
+  /// arrival and departure with the job count and remaining backlog.
+  void set_probe(UsageProbe* probe) noexcept { probe_ = probe; }
+
   struct ConsumeAwaiter {
     PsServer& ps;
     double amount;
@@ -59,6 +64,7 @@ class PsServer {
       ps.settle();
       ps.jobs_.push_back(Job{amount, finish_eps(amount), h});
       ps.reschedule();
+      ps.notify_probe();
     }
     void await_resume() const noexcept {}
   };
@@ -140,9 +146,22 @@ class PsServer {
       }
     }
     reschedule();
+    if (!finished.empty()) notify_probe();
     // Resuming may re-enter consume()/settle(); the job list is already
     // consistent at this point.
     for (auto h : finished) h.resume();
+  }
+
+  /// Report population and remaining backlog to the attached probe.
+  /// Precondition: settle() has run at the current time, so `remaining`
+  /// values are current.
+  void notify_probe() {
+    if (probe_ == nullptr) return;
+    double backlog = 0;
+    for (const auto& job : jobs_) {
+      backlog += job.remaining > 0 ? job.remaining : 0;
+    }
+    probe_->on_usage(sim_.now(), static_cast<double>(jobs_.size()), backlog);
   }
 
   Simulation& sim_;
@@ -153,6 +172,7 @@ class PsServer {
   SimTime last_update_ = 0;
   double served_total_ = 0;
   std::uint64_t generation_ = 0;
+  UsageProbe* probe_ = nullptr;
 };
 
 }  // namespace gridmon::sim

@@ -9,6 +9,7 @@
 #include <cstdint>
 #include <deque>
 
+#include "gridmon/sim/probe.hpp"
 #include "gridmon/sim/simulation.hpp"
 
 namespace gridmon::sim {
@@ -63,6 +64,10 @@ class Resource {
   /// Cumulative number of successful acquisitions.
   std::uint64_t total_acquisitions() const noexcept { return acquisitions_; }
 
+  /// Attach (or detach with nullptr) an occupancy probe: fired whenever
+  /// held slots or the waiter queue change.
+  void set_probe(UsageProbe* probe) noexcept { probe_ = probe; }
+
   struct AcquireAwaiter {
     Resource& r;
     bool suspended = false;
@@ -70,12 +75,14 @@ class Resource {
     void await_suspend(std::coroutine_handle<> h) {
       suspended = true;
       r.waiters_.push_back(h);
+      r.notify_probe();
     }
     ResourceLease await_resume() {
       if (!suspended) {
         // Immediate path: claim a free slot ourselves.
         r.note_change();
         ++r.in_use_;
+        r.notify_probe();
       }
       // Suspended path: the releaser handed over its slot, so occupancy is
       // already correct.
@@ -100,11 +107,19 @@ class Resource {
       --in_use_;
       assert(in_use_ >= 0);
     }
+    notify_probe();
   }
 
   void note_change() {
     busy_integral_ += in_use_ * (sim_.now() - last_change_);
     last_change_ = sim_.now();
+  }
+
+  void notify_probe() {
+    if (probe_ != nullptr) {
+      probe_->on_usage(sim_.now(), static_cast<double>(in_use_),
+                       static_cast<double>(waiters_.size()));
+    }
   }
 
   Simulation& sim_;
@@ -114,6 +129,7 @@ class Resource {
   double busy_integral_ = 0;
   SimTime last_change_ = 0;
   std::deque<std::coroutine_handle<>> waiters_;
+  UsageProbe* probe_ = nullptr;
 };
 
 inline void ResourceLease::release() noexcept {

@@ -1,0 +1,148 @@
+#include "gridmon/trace/breakdown.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "gridmon/metrics/report.hpp"
+
+namespace gridmon::trace {
+
+double percentile(std::vector<double> xs, double q) {
+  if (xs.empty()) return 0;
+  std::sort(xs.begin(), xs.end());
+  if (xs.size() == 1) return xs[0];
+  double pos = q * static_cast<double>(xs.size() - 1);
+  auto lo = static_cast<std::size_t>(pos);
+  if (lo + 1 >= xs.size()) return xs.back();
+  double frac = pos - static_cast<double>(lo);
+  return xs[lo] + (xs[lo + 1] - xs[lo]) * frac;
+}
+
+namespace {
+
+struct Interval {
+  double start;
+  double end;
+};
+
+/// Total length of the union of intervals, clipped to [lo, hi].
+double union_length(std::vector<Interval>& xs, double lo, double hi) {
+  if (xs.empty()) return 0;
+  std::sort(xs.begin(), xs.end(),
+            [](const Interval& a, const Interval& b) {
+              return a.start < b.start;
+            });
+  double total = 0;
+  double cur_lo = 0;
+  double cur_hi = -1;
+  for (const Interval& iv : xs) {
+    double s = std::max(iv.start, lo);
+    double e = std::min(iv.end, hi);
+    if (e <= s) continue;
+    if (cur_hi < cur_lo) {
+      cur_lo = s;
+      cur_hi = e;
+    } else if (s <= cur_hi) {
+      cur_hi = std::max(cur_hi, e);
+    } else {
+      total += cur_hi - cur_lo;
+      cur_lo = s;
+      cur_hi = e;
+    }
+  }
+  if (cur_hi >= cur_lo) total += cur_hi - cur_lo;
+  return total;
+}
+
+}  // namespace
+
+SeriesBreakdown compute_breakdown(const SeriesTrace& st) {
+  SeriesBreakdown out;
+  out.series = st.series;
+
+  const auto& spans = st.data.spans;
+
+  // Span seqs are dense per collector run, so index children by parent
+  // seq directly. Reader-built traces preserve seqs, so this holds for
+  // both in-memory and round-tripped data.
+  std::map<std::uint32_t, std::vector<Interval>> children;
+  for (const SpanRecord& s : spans) {
+    if (s.end < s.start) continue;  // still open: not attributable
+    if (s.parent != 0) {
+      children[s.parent].push_back(Interval{s.start, s.end});
+    }
+  }
+
+  struct Accum {
+    std::uint64_t count = 0;
+    double incl_total = 0;
+    double self_total = 0;
+    std::vector<double> durations;
+  };
+  std::map<SpanKind, Accum> by_kind;
+
+  for (const SpanRecord& s : spans) {
+    if (s.end < s.start) continue;
+    double incl = s.end - s.start;
+    double covered = 0;
+    if (auto it = children.find(s.seq); it != children.end()) {
+      covered = union_length(it->second, s.start, s.end);
+    }
+    Accum& a = by_kind[s.kind];
+    ++a.count;
+    a.incl_total += incl;
+    a.durations.push_back(incl);
+    // Think spans also sit at the top level of a trace but are idle time
+    // *between* queries: keep their duration stats, yet exclude them from
+    // self-time attribution so shares stay fractions of query latency.
+    if (s.parent != 0 || s.kind == SpanKind::Query) {
+      a.self_total += std::max(0.0, incl - covered);
+    }
+    if (s.parent == 0 && s.kind == SpanKind::Query) {
+      ++out.traces;
+      out.root_total += incl;
+    }
+  }
+
+  for (auto& [kind, a] : by_kind) {
+    KindStats ks;
+    ks.kind = kind;
+    ks.count = a.count;
+    ks.incl_total = a.incl_total;
+    ks.incl_p50 = percentile(a.durations, 0.50);
+    ks.incl_p95 = percentile(a.durations, 0.95);
+    ks.incl_p99 = percentile(a.durations, 0.99);
+    ks.self_total = a.self_total;
+    ks.share = out.root_total > 0 ? a.self_total / out.root_total : 0;
+    out.kinds.push_back(ks);
+  }
+  std::stable_sort(out.kinds.begin(), out.kinds.end(),
+                   [](const KindStats& a, const KindStats& b) {
+                     return a.self_total > b.self_total;
+                   });
+  return out;
+}
+
+void print_breakdown(std::ostream& os,
+                     const std::vector<SeriesBreakdown>& breakdowns) {
+  for (const SeriesBreakdown& bd : breakdowns) {
+    metrics::Table table("latency breakdown: " + bd.series + "  (" +
+                         std::to_string(bd.traces) + " traces)");
+    table.set_columns({"stage", "count", "p50 ms", "p95 ms", "p99 ms",
+                       "incl s", "self s", "share %"});
+    for (const KindStats& ks : bd.kinds) {
+      table.add_row({kind_name(ks.kind), std::to_string(ks.count),
+                     metrics::Table::num(ks.incl_p50 * 1e3, 3),
+                     metrics::Table::num(ks.incl_p95 * 1e3, 3),
+                     metrics::Table::num(ks.incl_p99 * 1e3, 3),
+                     metrics::Table::num(ks.incl_total, 3),
+                     metrics::Table::num(ks.self_total, 3),
+                     metrics::Table::num(ks.share * 100, 1)});
+    }
+    table.print_text(os);
+    os << '\n';
+  }
+}
+
+}  // namespace gridmon::trace

@@ -1,0 +1,57 @@
+#pragma once
+
+/// \file breakdown.hpp
+/// Per-stage latency attribution computed from collected spans.
+///
+/// Two time notions per span kind:
+///  * inclusive — wall time between open and close; nested child spans
+///    are counted again under their own kinds, so inclusive times do
+///    not sum to the query latency.
+///  * self — inclusive minus the union of child-span intervals; self
+///    times of all kinds DO sum (approximately) to the root span's
+///    inclusive time, which makes `share` a true attribution: "the
+///    GRIS-nocache stack spends 93% of its latency in fork_exec".
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "gridmon/trace/collector.hpp"
+
+namespace gridmon::trace {
+
+/// Aggregate statistics for one span kind within one series.
+struct KindStats {
+  SpanKind kind = SpanKind::Query;
+  std::uint64_t count = 0;
+  double incl_total = 0;  ///< sum of inclusive durations (seconds)
+  double incl_p50 = 0;
+  double incl_p95 = 0;
+  double incl_p99 = 0;
+  double self_total = 0;  ///< sum of self times (seconds)
+  double share = 0;  ///< self_total / sum of root-span inclusive time
+};
+
+/// Breakdown of one series, kinds ordered by descending self_total.
+struct SeriesBreakdown {
+  std::string series;
+  std::uint64_t traces = 0;     ///< number of root (Query) spans
+  double root_total = 0;        ///< summed inclusive time of root spans
+  std::vector<KindStats> kinds;
+};
+
+/// Linear-interpolated percentile of an unsorted sample set (q in
+/// [0,1]). Returns 0 for an empty set.
+double percentile(std::vector<double> xs, double q);
+
+/// Aggregate the spans of one series. Open spans (end < start) are
+/// ignored.
+SeriesBreakdown compute_breakdown(const SeriesTrace& st);
+
+/// Render breakdowns as aligned text tables (one per series) — the
+/// `gridmon_trace` report and the EXPERIMENTS.md attribution source.
+void print_breakdown(std::ostream& os,
+                     const std::vector<SeriesBreakdown>& breakdowns);
+
+}  // namespace gridmon::trace

@@ -1,0 +1,97 @@
+#include "gridmon/trace/chrome_export.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace gridmon::trace {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string format_us(double seconds) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.3f", seconds * 1e6);
+  return buf;
+}
+
+namespace {
+
+std::string format_value(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.6g", v);
+  return buf;
+}
+
+}  // namespace
+
+void write_chrome_trace(std::ostream& os,
+                        const std::vector<SeriesTrace>& series) {
+  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  auto sep = [&] {
+    if (!first) os << ",";
+    first = false;
+    os << "\n";
+  };
+  char buf[256];
+  int pid = 0;
+  for (const auto& st : series) {
+    ++pid;
+    sep();
+    os << "{\"ph\":\"M\",\"pid\":" << pid
+       << ",\"tid\":0,\"name\":\"process_name\",\"args\":{\"name\":\""
+       << json_escape(st.series) << "\"}}";
+    for (const auto& span : st.data.spans) {
+      if (span.end < span.start) continue;  // still open at export: drop
+      sep();
+      // Lane = trace id truncated to keep tids readable; purely cosmetic
+      // (the full id travels in args.t).
+      std::snprintf(buf, sizeof buf,
+                    "{\"ph\":\"X\",\"pid\":%d,\"tid\":%" PRIu64
+                    ",\"ts\":%s,\"dur\":%s,\"cat\":\"span\",\"name\":\"%s\"",
+                    pid, span.trace_id % 100000,
+                    format_us(span.start).c_str(),
+                    format_us(span.end - span.start).c_str(),
+                    kind_name(span.kind));
+      os << buf;
+      os << ",\"args\":{\"t\":\"" << span.trace_id << "\",\"s\":" << span.seq
+         << ",\"p\":" << span.parent;
+      if (span.name_id != 0) {
+        os << ",\"d\":\"" << json_escape(st.data.name(span.name_id)) << "\"";
+      }
+      if (span.arg != 0) os << ",\"v\":" << format_value(span.arg);
+      os << "}}";
+    }
+    for (const auto& c : st.data.counters) {
+      sep();
+      os << "{\"ph\":\"C\",\"pid\":" << pid << ",\"tid\":0,\"ts\":"
+         << format_us(c.t) << ",\"name\":\""
+         << json_escape(st.data.name(c.track))
+         << "\",\"args\":{\"active\":" << format_value(c.active)
+         << ",\"backlog\":" << format_value(c.backlog) << "}}";
+    }
+  }
+  os << "\n]}\n";
+}
+
+}  // namespace gridmon::trace

@@ -1,0 +1,30 @@
+#pragma once
+
+/// \file chrome_export.hpp
+/// Chrome trace_event JSON emission. The output loads directly in
+/// chrome://tracing and https://ui.perfetto.dev: one "process" per
+/// series, one "thread" lane per trace (query), "X" complete events for
+/// spans and "C" counter events for resource timelines.
+///
+/// The writer controls every byte (fixed field order, fixed float
+/// formatting), so two runs with the same seed emit identical files —
+/// the determinism tests diff the bytes, not parsed structures.
+
+#include <ostream>
+#include <vector>
+
+#include "gridmon/trace/collector.hpp"
+
+namespace gridmon::trace {
+
+/// Emit all series into one trace file.
+void write_chrome_trace(std::ostream& os,
+                        const std::vector<SeriesTrace>& series);
+
+/// Escape a string for embedding in a JSON string literal.
+std::string json_escape(const std::string& s);
+
+/// Format a simulated time (seconds) as trace microseconds ("%.3f").
+std::string format_us(double seconds);
+
+}  // namespace gridmon::trace

@@ -1,0 +1,135 @@
+#include "gridmon/trace/collector.hpp"
+
+#include <algorithm>
+
+namespace gridmon::trace {
+
+const char* kind_name(SpanKind kind) noexcept {
+  switch (kind) {
+    case SpanKind::Query: return "query";
+    case SpanKind::Think: return "think";
+    case SpanKind::ClientTool: return "client_tool";
+    case SpanKind::Connect: return "connect";
+    case SpanKind::RequestSend: return "request_send";
+    case SpanKind::Refused: return "refused";
+    case SpanKind::Backoff: return "backoff";
+    case SpanKind::PoolWait: return "pool_wait";
+    case SpanKind::Cpu: return "cpu";
+    case SpanKind::CacheValidate: return "cache_validate";
+    case SpanKind::Servlet: return "servlet";
+    case SpanKind::LdapSearch: return "ldap_search";
+    case SpanKind::SqlExecute: return "sql_execute";
+    case SpanKind::ClassAdEval: return "classad_eval";
+    case SpanKind::Collect: return "collect";
+    case SpanKind::ForkExec: return "fork_exec";
+    case SpanKind::CacheRefresh: return "cache_refresh";
+    case SpanKind::Fetch: return "fetch";
+    case SpanKind::Merge: return "merge";
+    case SpanKind::RegistryLookup: return "registry_lookup";
+    case SpanKind::ProducerSelect: return "producer_select";
+    case SpanKind::ResponseSend: return "response_send";
+    case SpanKind::NetTransfer: return "net_transfer";
+  }
+  return "unknown";
+}
+
+bool kind_from_name(const std::string& name, SpanKind& out) noexcept {
+  static constexpr SpanKind kAll[] = {
+      SpanKind::Query,         SpanKind::Think,        SpanKind::ClientTool,
+      SpanKind::Connect,       SpanKind::RequestSend,  SpanKind::Refused,
+      SpanKind::Backoff,       SpanKind::PoolWait,     SpanKind::Cpu,
+      SpanKind::CacheValidate, SpanKind::Servlet,      SpanKind::LdapSearch,
+      SpanKind::SqlExecute,    SpanKind::ClassAdEval,  SpanKind::Collect,
+      SpanKind::ForkExec,      SpanKind::CacheRefresh, SpanKind::Fetch,
+      SpanKind::Merge,         SpanKind::RegistryLookup,
+      SpanKind::ProducerSelect, SpanKind::ResponseSend,
+      SpanKind::NetTransfer,
+  };
+  for (SpanKind k : kAll) {
+    if (name == kind_name(k)) {
+      out = k;
+      return true;
+    }
+  }
+  return false;
+}
+
+void Collector::set_enabled(bool on) {
+  if (on == enabled_) return;
+  enabled_ = on;
+  if (on) {
+    // Timelines need a defined value at the window start: flush the
+    // remembered state of every track.
+    sim::SimTime now = sim_.now();
+    for (const auto& t : tracks_) {
+      counters_.push_back(
+          CounterSample{t.name_id_, now, t.last_active_, t.last_backlog_});
+    }
+  }
+}
+
+std::uint32_t Collector::open(const Ctx& parent, SpanKind kind,
+                              std::string_view detail, double arg) {
+  if (!enabled_) return 0;
+  SpanRecord rec;
+  rec.trace_id = parent.trace_id;
+  rec.seq = ++next_seq_;
+  rec.parent = parent.parent;
+  rec.kind = kind;
+  rec.name_id = detail.empty() ? 0 : intern(detail);
+  rec.start = sim_.now();
+  rec.arg = arg;
+  spans_.push_back(rec);
+  return rec.seq;
+}
+
+void Collector::close(std::uint32_t seq) {
+  // Seqs are dense (1, 2, ...) and spans_ is append-only, so the record
+  // for seq lives at spans_[seq - 1]. A span opened before take() reset
+  // the store cannot be closed afterwards; the bounds test drops it.
+  if (seq == 0 || seq > spans_.size()) return;
+  spans_[seq - 1].end = sim_.now();
+}
+
+void Collector::set_arg(std::uint32_t seq, double arg) {
+  if (seq == 0 || seq > spans_.size()) return;
+  spans_[seq - 1].arg = arg;
+}
+
+void Collector::instant(const Ctx& parent, SpanKind kind,
+                        std::string_view detail, double arg) {
+  std::uint32_t seq = open(parent, kind, detail, arg);
+  close(seq);
+}
+
+CounterTrack& Collector::track(std::string_view name) {
+  std::uint32_t id = intern(name);
+  for (auto& t : tracks_) {
+    if (t.name_id() == id) return t;
+  }
+  tracks_.emplace_back(*this, id);
+  return tracks_.back();
+}
+
+std::uint32_t Collector::intern(std::string_view s) {
+  auto it = intern_index_.find(s);
+  if (it != intern_index_.end()) return it->second;
+  names_.emplace_back(s);
+  auto id = static_cast<std::uint32_t>(names_.size() - 1);
+  intern_index_.emplace(std::string(s), id);
+  return id;
+}
+
+TraceData Collector::take() {
+  enabled_ = false;  // stale Span handles must not close into fresh seqs
+  TraceData out;
+  out.spans = std::move(spans_);
+  out.counters = std::move(counters_);
+  out.names = names_;  // copy: tracks keep their interned ids valid
+  spans_.clear();
+  counters_.clear();
+  next_seq_ = 0;
+  return out;
+}
+
+}  // namespace gridmon::trace

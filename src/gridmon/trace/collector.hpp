@@ -1,0 +1,204 @@
+#pragma once
+
+/// \file collector.hpp
+/// Causal span collection and resource timelines for one simulation.
+///
+/// Design constraints (see docs/TRACING.md):
+///  * Zero cost when disabled: all hot-path entry points take a `Ctx`
+///    and begin with an inline null test; no allocation, no virtual
+///    call, no branch beyond that test ever runs for untraced code.
+///  * Deterministic: span sequence numbers are allocated in event
+///    order, trace ids derive from the simulation seed via splitmix64,
+///    and all storage is append-only vectors — so the same seed yields
+///    a byte-identical trace file, which the determinism tests exploit
+///    as a whole-simulator regression check.
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "gridmon/sim/probe.hpp"
+#include "gridmon/sim/simulation.hpp"
+#include "gridmon/trace/span.hpp"
+
+namespace gridmon::trace {
+
+/// Everything collected for one simulation run, detached from the
+/// Simulation so it can outlive the Testbed (bench binaries merge the
+/// TraceData of several runs into one trace file).
+struct TraceData {
+  std::vector<SpanRecord> spans;
+  std::vector<CounterSample> counters;
+  /// Interned detail / track names; index 0 is always the empty string.
+  std::vector<std::string> names;
+
+  const std::string& name(std::uint32_t id) const { return names[id]; }
+};
+
+/// One traced run labelled with the series it belongs to (e.g. "MDS
+/// GRIS (nocache)"); the unit the exporters and reports consume.
+struct SeriesTrace {
+  std::string series;
+  TraceData data;
+};
+
+class CounterTrack;
+
+class Collector {
+ public:
+  /// `id_salt` seeds the trace-id stream (pass the workload seed so
+  /// different seeds produce different trace ids).
+  Collector(sim::Simulation& sim, std::uint64_t id_salt)
+      : sim_(sim), id_salt_(id_salt) {
+    names_.push_back("");
+  }
+  Collector(const Collector&) = delete;
+  Collector& operator=(const Collector&) = delete;
+
+  bool enabled() const noexcept { return enabled_; }
+
+  /// Gate collection to a measurement window. Enabling flushes the
+  /// current value of every counter track so timelines have a defined
+  /// value at the window start.
+  void set_enabled(bool on);
+
+  /// Start a new trace (one user query). Returns the Ctx for its root
+  /// span's children — or the null Ctx while collection is disabled, so
+  /// the whole query stays untraced.
+  Ctx new_trace() {
+    if (!enabled_) return Ctx{};
+    std::uint64_t id = mix(id_salt_ + ++trace_count_);
+    return Ctx{this, id, 0};
+  }
+
+  /// Open a span. Returns the span seq, or 0 if collection is off.
+  std::uint32_t open(const Ctx& parent, SpanKind kind,
+                     std::string_view detail = {}, double arg = 0);
+
+  /// Close a span at the current simulated time. seq 0 is a no-op.
+  void close(std::uint32_t seq);
+
+  /// Overwrite a span's argument (e.g. response bytes known at close).
+  void set_arg(std::uint32_t seq, double arg);
+
+  /// Record an instant marker (zero-duration span), e.g. a refused
+  /// connection.
+  void instant(const Ctx& parent, SpanKind kind, std::string_view detail = {},
+               double arg = 0);
+
+  /// Create (or look up) a named resource timeline and return the probe
+  /// to hang on a sim::PsServer or sim::Resource. Track lifetime equals
+  /// the Collector's.
+  CounterTrack& track(std::string_view name);
+
+  const std::vector<SpanRecord>& spans() const noexcept { return spans_; }
+  const std::vector<CounterSample>& counters() const noexcept {
+    return counters_;
+  }
+  const std::string& name(std::uint32_t id) const { return names_[id]; }
+  sim::Simulation& simulation() noexcept { return sim_; }
+
+  /// Move the collected data out (spans still open keep end = -1).
+  TraceData take();
+
+ private:
+  friend class CounterTrack;
+
+  static std::uint64_t mix(std::uint64_t x) {
+    x += 0x9E3779B97F4A7C15ull;
+    x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+    x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+    return x ^ (x >> 31);
+  }
+
+  std::uint32_t intern(std::string_view s);
+
+  sim::Simulation& sim_;
+  std::uint64_t id_salt_;
+  std::uint64_t trace_count_ = 0;
+  bool enabled_ = false;
+  std::uint32_t next_seq_ = 0;
+  std::vector<SpanRecord> spans_;
+  std::vector<CounterSample> counters_;
+  std::vector<std::string> names_;
+  std::map<std::string, std::uint32_t, std::less<>> intern_index_;
+  std::deque<CounterTrack> tracks_;  // deque: stable addresses for probes
+};
+
+/// A resource timeline fed by the sim-layer UsageProbe hooks. Tracks
+/// remember the latest value even while collection is disabled, so the
+/// first sample of a measurement window carries the true initial state.
+class CounterTrack final : public sim::UsageProbe {
+ public:
+  CounterTrack(Collector& col, std::uint32_t name_id)
+      : col_(col), name_id_(name_id) {}
+
+  void on_usage(sim::SimTime t, double active, double backlog) override {
+    last_active_ = active;
+    last_backlog_ = backlog;
+    if (col_.enabled_) {
+      col_.counters_.push_back(CounterSample{name_id_, t, active, backlog});
+    }
+  }
+
+  std::uint32_t name_id() const noexcept { return name_id_; }
+
+ private:
+  friend class Collector;
+  Collector& col_;
+  std::uint32_t name_id_;
+  double last_active_ = 0;
+  double last_backlog_ = 0;
+};
+
+/// RAII span: opens on construction (no-op for the null Ctx), closes on
+/// end() or destruction. `ctx()` is the context child spans should use.
+class Span {
+ public:
+  Span() noexcept = default;
+  Span(const Ctx& parent, SpanKind kind, std::string_view detail = {},
+       double arg = 0)
+      : ctx_(parent) {
+    if (parent.col != nullptr) {
+      seq_ = parent.col->open(parent, kind, detail, arg);
+      if (seq_ != 0) ctx_.parent = seq_;
+    }
+  }
+  Span(Span&& o) noexcept
+      : ctx_(std::exchange(o.ctx_, Ctx{})), seq_(std::exchange(o.seq_, 0)) {}
+  Span& operator=(Span&& o) noexcept {
+    if (this != &o) {
+      end();
+      ctx_ = std::exchange(o.ctx_, Ctx{});
+      seq_ = std::exchange(o.seq_, 0);
+    }
+    return *this;
+  }
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+  ~Span() { end(); }
+
+  /// Context for child spans (this span as parent).
+  const Ctx& ctx() const noexcept { return ctx_; }
+
+  void set_arg(double arg) {
+    if (seq_ != 0) ctx_.col->set_arg(seq_, arg);
+  }
+
+  void end() noexcept {
+    if (seq_ != 0) {
+      ctx_.col->close(seq_);
+      seq_ = 0;
+    }
+  }
+
+ private:
+  Ctx ctx_;
+  std::uint32_t seq_ = 0;
+};
+
+}  // namespace gridmon::trace

@@ -1,0 +1,30 @@
+#pragma once
+
+/// \file reader.hpp
+/// Read a Chrome trace_event JSON file written by chrome_export back
+/// into SeriesTrace structures — the input side of `gridmon_trace`, and
+/// the round-trip check used by the trace tests. The embedded JSON
+/// parser handles the full JSON value grammar (objects, arrays,
+/// strings with escapes, numbers, booleans, null); it simply has no
+/// reason to be fast.
+
+#include <istream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "gridmon/trace/collector.hpp"
+
+namespace gridmon::trace {
+
+class ReadError : public std::runtime_error {
+ public:
+  explicit ReadError(const std::string& m) : std::runtime_error(m) {}
+};
+
+/// Parse a trace file; throws ReadError on malformed input. Events with
+/// unknown `ph` values or span names are skipped, so files annotated by
+/// other tools still load.
+std::vector<SeriesTrace> read_chrome_trace(std::istream& in);
+
+}  // namespace gridmon::trace

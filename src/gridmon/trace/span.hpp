@@ -1,0 +1,92 @@
+#pragma once
+
+/// \file span.hpp
+/// Span taxonomy and raw trace records.
+///
+/// A *trace* is one user query from first attempt to final success; a
+/// *span* is one causal stage inside it (client tool startup, connect,
+/// request transfer, thread-pool wait, CPU slice, substrate operation,
+/// provider fork/exec, response transfer, ...). Records are plain data:
+/// the Collector appends them in event order, which makes trace files a
+/// deterministic function of the simulation seed.
+
+#include <cstdint>
+#include <string>
+
+#include "gridmon/sim/event_queue.hpp"
+
+namespace gridmon::trace {
+
+class Collector;
+
+/// The causal stages a query can spend time in. Stages nest (a
+/// `fork_exec` happens inside a `query`), so per-kind totals overlap;
+/// the breakdown report separates inclusive duration from self time.
+enum class SpanKind : std::uint8_t {
+  Query,         // root: first attempt -> final success, per user query
+  Think,         // client think time between queries
+  ClientTool,    // client tool startup + GSI/servlet handshake latency
+  Connect,       // TCP connection establishment (SYN round trip)
+  RequestSend,   // client -> server request transfer
+  Refused,       // instant marker: connection refused at admission
+  Backoff,       // kernel SYN-retransmission wait after a refusal
+  PoolWait,      // waiting for a slapd/servlet/daemon thread-pool slot
+  Cpu,           // generic CPU service slice
+  CacheValidate, // GRIS backend freshness re-validation (polling waits)
+  Servlet,       // Java servlet container dispatch latency
+  LdapSearch,    // DIT walk + entry serialization (LDAP backend)
+  SqlExecute,    // SQL parse/scan over producer or registry tables
+  ClassAdEval,   // ClassAd constraint scan / matchmaking
+  Collect,       // Hawkeye module collection sweep (no resident DB)
+  ForkExec,      // fork+exec of an information-provider script
+  CacheRefresh,  // GIIS pull of stale registrant slices
+  Fetch,         // one server-to-server fetch during a cache refresh
+  Merge,         // merging fetched entries into the aggregate DIT
+  RegistryLookup,// R-GMA mediation step 1: which producers hold a table
+  ProducerSelect,// R-GMA mediation step 2: select at one ProducerServlet
+  ResponseSend,  // server -> client response transfer
+  NetTransfer,   // any other network transfer (registration, advertise)
+};
+
+/// Stable wire name of a span kind (used in exporters and reports).
+const char* kind_name(SpanKind kind) noexcept;
+
+/// Parse a wire name back into a kind; returns false for unknown names.
+bool kind_from_name(const std::string& name, SpanKind& out) noexcept;
+
+/// One closed (or still-open) span. `seq` is unique per Collector and
+/// doubles as the span id; `parent` is the enclosing span's seq (0 for
+/// trace roots). `end < 0` means the span was still open at export time.
+struct SpanRecord {
+  std::uint64_t trace_id = 0;
+  std::uint32_t seq = 0;
+  std::uint32_t parent = 0;
+  SpanKind kind = SpanKind::Query;
+  std::uint32_t name_id = 0;  // interned detail string; 0 = none
+  sim::SimTime start = 0;
+  sim::SimTime end = -1;
+  double arg = 0;  // kind-specific: bytes moved, ref-seconds, entries
+};
+
+/// One step of a resource timeline: the instrumented resource's
+/// population (`active`) and queued backlog (`backlog`) changed at `t`.
+struct CounterSample {
+  std::uint32_t track = 0;  // interned track name
+  sim::SimTime t = 0;
+  double active = 0;
+  double backlog = 0;
+};
+
+/// Lightweight trace context threaded through the coroutine call chain.
+/// A default-constructed Ctx is the *null* context: every trace
+/// operation on it is an inline pointer test and nothing else, which is
+/// what makes tracing zero-cost when disabled.
+struct Ctx {
+  Collector* col = nullptr;
+  std::uint64_t trace_id = 0;
+  std::uint32_t parent = 0;
+
+  explicit operator bool() const noexcept { return col != nullptr; }
+};
+
+}  // namespace gridmon::trace

@@ -1,0 +1,63 @@
+#include "gridmon/trace/timeline.hpp"
+
+#include <algorithm>
+
+#include "gridmon/trace/chrome_export.hpp"
+
+namespace gridmon::trace {
+
+void write_counters_csv(std::ostream& os,
+                        const std::vector<SeriesTrace>& series) {
+  os << "series,track,t,active,backlog\n";
+  for (const SeriesTrace& st : series) {
+    for (const CounterSample& c : st.data.counters) {
+      os << st.series << ',' << st.data.name(c.track) << ','
+         << format_us(c.t) << ',' << c.active << ',' << c.backlog << '\n';
+    }
+  }
+}
+
+double integrate_active(const TraceData& data, std::string_view track,
+                        double t0, double t1, double cap) {
+  if (t1 <= t0) return 0;
+
+  // Find the track's name id (samples reference it by id).
+  std::uint32_t track_id = 0;
+  for (std::size_t i = 0; i < data.names.size(); ++i) {
+    if (data.names[i] == track) {
+      track_id = static_cast<std::uint32_t>(i);
+      break;
+    }
+  }
+  if (track_id == 0) return 0;
+
+  auto clamp = [&](double v) { return cap > 0 ? std::min(v, cap) : v; };
+
+  // Samples for one track arrive in time order (append-only, event
+  // order), so a single pass suffices.
+  double total = 0;
+  double cur_t = t0;
+  double cur_v = 0;
+  bool have_value = false;
+  for (const CounterSample& c : data.counters) {
+    if (c.track != track_id) continue;
+    if (c.t <= t0) {
+      cur_v = c.active;
+      have_value = true;
+      continue;
+    }
+    if (!have_value) {
+      // No sample at/before t0: backfill with the first observed value.
+      cur_v = c.active;
+      have_value = true;
+    }
+    if (c.t >= t1) break;
+    total += clamp(cur_v) * (c.t - cur_t);
+    cur_t = c.t;
+    cur_v = c.active;
+  }
+  total += clamp(cur_v) * (t1 - cur_t);
+  return total;
+}
+
+}  // namespace gridmon::trace

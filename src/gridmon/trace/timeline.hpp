@@ -1,0 +1,31 @@
+#pragma once
+
+/// \file timeline.hpp
+/// Resource timelines derived from counter samples: CSV export for
+/// plotting and step-function integration used by the trace-vs-sampler
+/// accounting test.
+
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "gridmon/trace/collector.hpp"
+
+namespace gridmon::trace {
+
+/// Dump counter samples as `series,track,t,active,backlog` rows.
+void write_counters_csv(std::ostream& os,
+                        const std::vector<SeriesTrace>& series);
+
+/// Integrate min(active, cap) of the named track over [t0, t1],
+/// treating samples as a right-continuous step function (each sample's
+/// value holds until the next one). Returns value-seconds; divide by
+/// (t1 - t0) * cap for a utilization fraction. `cap <= 0` means no
+/// clamp. Before the first sample the value is taken as the first
+/// sample's (the collector flushes initial values at window start, so
+/// in practice a sample exists at or before t0).
+double integrate_active(const TraceData& data, std::string_view track,
+                        double t0, double t1, double cap = 0);
+
+}  // namespace gridmon::trace

@@ -1,0 +1,72 @@
+/// Determinism of trace files: the exporter controls every byte, the
+/// collector allocates seqs in event order and derives trace ids from the
+/// seed — so re-running a scenario with the same seed must reproduce the
+/// trace file exactly, and a different seed must yield different ids.
+/// This doubles as a whole-simulator determinism regression: any
+/// event-ordering drift shows up as a byte diff here.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "gridmon/core/adapters.hpp"
+#include "gridmon/core/experiment.hpp"
+#include "gridmon/core/scenarios.hpp"
+#include "gridmon/trace/chrome_export.hpp"
+
+namespace gridmon {
+namespace {
+
+/// A small Experiment-1 style run: GRIS (nocache) on lucky7, a handful of
+/// UC users, short warmup+measure window, full instrumentation.
+trace::TraceData run_gris_trace(std::uint64_t seed) {
+  core::TestbedConfig tc;
+  tc.seed = seed;
+  core::Testbed tb(tc);
+  core::GrisScenario scenario(tb, 10, false);
+  trace::Collector collector(tb.sim(), tb.config().seed);
+  core::UserWorkload workload(tb, core::query_gris(*scenario.gris));
+  scenario.instrument(collector);
+  core::instrument_host(tb, collector, "lucky7");
+  workload.enable_tracing(collector);
+  workload.spawn_users(5, tb.uc_names());
+  tb.sampler().start();
+  core::MeasureConfig mc;
+  mc.warmup = 10;
+  mc.duration = 60;
+  mc.collector = &collector;
+  core::measure(tb, workload, "lucky7", 5, mc);
+  return collector.take();
+}
+
+std::string to_json(trace::TraceData data) {
+  std::vector<trace::SeriesTrace> series;
+  series.push_back(trace::SeriesTrace{"exp1", std::move(data)});
+  std::ostringstream os;
+  trace::write_chrome_trace(os, series);
+  return os.str();
+}
+
+TEST(TraceDeterminismTest, SameSeedSameBytes) {
+  trace::TraceData a = run_gris_trace(42);
+  trace::TraceData b = run_gris_trace(42);
+  ASSERT_FALSE(a.spans.empty());
+  EXPECT_EQ(a.spans.size(), b.spans.size());
+  EXPECT_EQ(a.counters.size(), b.counters.size());
+  EXPECT_EQ(to_json(std::move(a)), to_json(std::move(b)));
+}
+
+TEST(TraceDeterminismTest, DifferentSeedDifferentTraceIds) {
+  trace::TraceData a = run_gris_trace(42);
+  trace::TraceData b = run_gris_trace(43);
+  ASSERT_FALSE(a.spans.empty());
+  ASSERT_FALSE(b.spans.empty());
+  // Trace ids derive from the seed (splitmix64 of salt + query index), so
+  // the id streams start at different points.
+  EXPECT_NE(a.spans.front().trace_id, b.spans.front().trace_id);
+  EXPECT_NE(to_json(std::move(a)), to_json(std::move(b)));
+}
+
+}  // namespace
+}  // namespace gridmon

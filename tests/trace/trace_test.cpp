@@ -1,0 +1,228 @@
+/// Unit tests for the trace subsystem: span collection, zero-cost
+/// disabled path, breakdown math, Chrome export / reader round trip and
+/// timeline integration.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <vector>
+
+#include "gridmon/sim/simulation.hpp"
+#include "gridmon/sim/task.hpp"
+#include "gridmon/trace/breakdown.hpp"
+#include "gridmon/trace/chrome_export.hpp"
+#include "gridmon/trace/collector.hpp"
+#include "gridmon/trace/reader.hpp"
+#include "gridmon/trace/timeline.hpp"
+
+namespace gridmon::trace {
+namespace {
+
+sim::Task<void> traced_query(sim::Simulation& sim, Collector& col) {
+  Ctx root = col.new_trace();
+  Span query(root, SpanKind::Query);
+  co_await sim.delay(1.0);
+  {
+    Span cpu(query.ctx(), SpanKind::Cpu, "work", 2.5);
+    co_await sim.delay(2.0);
+  }
+  co_await sim.delay(1.0);
+  query.set_arg(4096);
+}
+
+TEST(TraceCollectorTest, SpanNestingAndTiming) {
+  sim::Simulation sim;
+  Collector col(sim, 7);
+  col.set_enabled(true);
+  sim.spawn(traced_query(sim, col));
+  sim.run();
+
+  const auto& spans = col.spans();
+  ASSERT_EQ(spans.size(), 2u);
+  const SpanRecord& query = spans[0];
+  const SpanRecord& cpu = spans[1];
+  EXPECT_EQ(query.kind, SpanKind::Query);
+  EXPECT_EQ(query.parent, 0u);
+  EXPECT_NE(query.trace_id, 0u);
+  EXPECT_DOUBLE_EQ(query.start, 0.0);
+  EXPECT_DOUBLE_EQ(query.end, 4.0);
+  EXPECT_DOUBLE_EQ(query.arg, 4096);
+
+  EXPECT_EQ(cpu.kind, SpanKind::Cpu);
+  EXPECT_EQ(cpu.parent, query.seq);
+  EXPECT_EQ(cpu.trace_id, query.trace_id);
+  EXPECT_DOUBLE_EQ(cpu.start, 1.0);
+  EXPECT_DOUBLE_EQ(cpu.end, 3.0);
+  EXPECT_DOUBLE_EQ(cpu.arg, 2.5);
+  EXPECT_EQ(col.name(cpu.name_id), "work");
+}
+
+TEST(TraceCollectorTest, DisabledCollectorRecordsNothing) {
+  sim::Simulation sim;
+  Collector col(sim, 7);  // never enabled
+  sim.spawn(traced_query(sim, col));
+  sim.run();
+  EXPECT_TRUE(col.spans().empty());
+  EXPECT_TRUE(col.counters().empty());
+}
+
+TEST(TraceCollectorTest, NullCtxSpansAreNoops) {
+  Ctx null;
+  EXPECT_FALSE(null);
+  Span s(null, SpanKind::Cpu, "x", 1.0);
+  s.set_arg(2.0);
+  s.end();  // must not crash
+  EXPECT_FALSE(s.ctx());
+}
+
+TEST(TraceCollectorTest, TakeDetachesDataAndDisables) {
+  sim::Simulation sim;
+  Collector col(sim, 7);
+  col.set_enabled(true);
+  sim.spawn(traced_query(sim, col));
+  sim.run();
+  TraceData data = col.take();
+  EXPECT_EQ(data.spans.size(), 2u);
+  EXPECT_TRUE(col.spans().empty());
+  EXPECT_FALSE(col.enabled());
+}
+
+TEST(TraceCollectorTest, DifferentSaltsGiveDifferentTraceIds) {
+  sim::Simulation sim;
+  Collector a(sim, 1);
+  Collector b(sim, 2);
+  a.set_enabled(true);
+  b.set_enabled(true);
+  EXPECT_NE(a.new_trace().trace_id, b.new_trace().trace_id);
+}
+
+TEST(TraceSpanTest, KindNamesRoundTrip) {
+  for (int i = 0; i <= static_cast<int>(SpanKind::NetTransfer); ++i) {
+    auto kind = static_cast<SpanKind>(i);
+    SpanKind parsed;
+    ASSERT_TRUE(kind_from_name(kind_name(kind), parsed)) << kind_name(kind);
+    EXPECT_EQ(parsed, kind);
+  }
+  SpanKind unused;
+  EXPECT_FALSE(kind_from_name("no_such_kind", unused));
+}
+
+TEST(TraceBreakdownTest, PercentileInterpolates) {
+  EXPECT_DOUBLE_EQ(percentile({}, 0.5), 0.0);
+  EXPECT_DOUBLE_EQ(percentile({3.0}, 0.99), 3.0);
+  EXPECT_DOUBLE_EQ(percentile({1, 2, 3, 4}, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile({1, 2, 3, 4}, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(percentile({4, 2, 1, 3}, 0.5), 2.5);  // unsorted input
+}
+
+TEST(TraceBreakdownTest, SelfTimeExcludesChildUnion) {
+  SeriesTrace st;
+  st.series = "unit";
+  st.data.names = {""};
+  // Query [0,10] with two overlapping Cpu children [2,5] and [4,7]:
+  // child union is [2,7] so the query's self time is 10 - 5 = 5.
+  st.data.spans.push_back({1, 1, 0, SpanKind::Query, 0, 0.0, 10.0, 0});
+  st.data.spans.push_back({1, 2, 1, SpanKind::Cpu, 0, 2.0, 5.0, 0});
+  st.data.spans.push_back({1, 3, 1, SpanKind::Cpu, 0, 4.0, 7.0, 0});
+  // A Think span at top level must not count as a trace root.
+  st.data.spans.push_back({1, 4, 0, SpanKind::Think, 0, 10.0, 11.0, 0});
+
+  SeriesBreakdown bd = compute_breakdown(st);
+  EXPECT_EQ(bd.traces, 1u);
+  EXPECT_DOUBLE_EQ(bd.root_total, 10.0);
+  ASSERT_EQ(bd.kinds.size(), 3u);
+
+  const KindStats* query = nullptr;
+  const KindStats* cpu = nullptr;
+  for (const auto& ks : bd.kinds) {
+    if (ks.kind == SpanKind::Query) query = &ks;
+    if (ks.kind == SpanKind::Cpu) cpu = &ks;
+  }
+  ASSERT_NE(query, nullptr);
+  ASSERT_NE(cpu, nullptr);
+  EXPECT_DOUBLE_EQ(query->incl_total, 10.0);
+  EXPECT_DOUBLE_EQ(query->self_total, 5.0);
+  EXPECT_DOUBLE_EQ(query->share, 0.5);
+  EXPECT_EQ(cpu->count, 2u);
+  EXPECT_DOUBLE_EQ(cpu->incl_total, 6.0);  // 3 s each, overlap not deduped
+  EXPECT_DOUBLE_EQ(cpu->self_total, 6.0);
+  EXPECT_DOUBLE_EQ(cpu->incl_p50, 3.0);
+}
+
+sim::Task<void> probe_ticks(sim::Simulation& sim, CounterTrack& track) {
+  track.on_usage(sim.now(), 1, 0);
+  co_await sim.delay(5.0);
+  track.on_usage(sim.now(), 2, 1);
+  co_await sim.delay(5.0);
+  track.on_usage(sim.now(), 0, 0);
+}
+
+TEST(TraceExportTest, ChromeRoundTripPreservesRecords) {
+  sim::Simulation sim;
+  Collector col(sim, 7);
+  col.set_enabled(true);
+  sim.spawn(traced_query(sim, col));
+  sim.spawn(probe_ticks(sim, col.track("lucky7.cpu")));
+  sim.run();
+
+  std::vector<SeriesTrace> series;
+  series.push_back(SeriesTrace{"MDS GRIS (cache)", col.take()});
+
+  std::ostringstream os;
+  write_chrome_trace(os, series);
+  std::istringstream is(os.str());
+  std::vector<SeriesTrace> back = read_chrome_trace(is);
+
+  ASSERT_EQ(back.size(), 1u);
+  EXPECT_EQ(back[0].series, "MDS GRIS (cache)");
+  const TraceData& orig = series[0].data;
+  const TraceData& got = back[0].data;
+  ASSERT_EQ(got.spans.size(), orig.spans.size());
+  for (std::size_t i = 0; i < orig.spans.size(); ++i) {
+    SCOPED_TRACE(i);
+    EXPECT_EQ(got.spans[i].trace_id, orig.spans[i].trace_id);
+    EXPECT_EQ(got.spans[i].seq, orig.spans[i].seq);
+    EXPECT_EQ(got.spans[i].parent, orig.spans[i].parent);
+    EXPECT_EQ(got.spans[i].kind, orig.spans[i].kind);
+    EXPECT_NEAR(got.spans[i].start, orig.spans[i].start, 1e-8);
+    EXPECT_NEAR(got.spans[i].end, orig.spans[i].end, 1e-8);
+    EXPECT_NEAR(got.spans[i].arg, orig.spans[i].arg, 1e-9);
+    EXPECT_EQ(got.name(got.spans[i].name_id),
+              orig.name(orig.spans[i].name_id));
+  }
+  // The initial flush at set_enabled plus the three probe ticks.
+  ASSERT_EQ(got.counters.size(), orig.counters.size());
+  for (std::size_t i = 0; i < orig.counters.size(); ++i) {
+    SCOPED_TRACE(i);
+    EXPECT_EQ(got.name(got.counters[i].track),
+              orig.name(orig.counters[i].track));
+    EXPECT_NEAR(got.counters[i].t, orig.counters[i].t, 1e-8);
+    EXPECT_DOUBLE_EQ(got.counters[i].active, orig.counters[i].active);
+    EXPECT_DOUBLE_EQ(got.counters[i].backlog, orig.counters[i].backlog);
+  }
+}
+
+TEST(TraceReaderTest, RejectsMalformedJson) {
+  std::istringstream is("{\"traceEvents\": [ {\"ph\": ");
+  EXPECT_THROW(read_chrome_trace(is), ReadError);
+}
+
+TEST(TraceTimelineTest, IntegrateActiveStepFunction) {
+  TraceData data;
+  data.names = {"", "cpu"};
+  // Step function: 1 on [0,5), 3 on [5,10), 0 after.
+  data.counters.push_back({1, 0.0, 1, 0});
+  data.counters.push_back({1, 5.0, 3, 0});
+  data.counters.push_back({1, 10.0, 0, 0});
+  // Uncapped: 5*1 + 5*3 = 20 value-seconds over [0,10].
+  EXPECT_DOUBLE_EQ(integrate_active(data, "cpu", 0, 10), 20.0);
+  // Capped at 2 cores: 5*1 + 5*2 = 15.
+  EXPECT_DOUBLE_EQ(integrate_active(data, "cpu", 0, 10, 2), 15.0);
+  // Sub-window [4,6]: 1*1 + 1*3 = 4.
+  EXPECT_DOUBLE_EQ(integrate_active(data, "cpu", 4, 6), 4.0);
+  // Unknown track integrates to zero.
+  EXPECT_DOUBLE_EQ(integrate_active(data, "nic", 0, 10), 0.0);
+}
+
+}  // namespace
+}  // namespace gridmon::trace

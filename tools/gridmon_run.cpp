@@ -1,6 +1,6 @@
 /// gridmon_run — declarative experiment runner.
 ///
-///   $ gridmon_run my_experiment.ini [--csv out.csv]
+///   $ gridmon_run my_experiment.ini [--csv out.csv] [--trace out.json]
 ///
 /// Reads an INI scenario description (see scenario_config.hpp), builds
 /// the corresponding deployment on the paper's testbed, sweeps the user
@@ -14,6 +14,7 @@
 #include "gridmon/core/adapters.hpp"
 #include "gridmon/core/experiment.hpp"
 #include "gridmon/core/scenarios.hpp"
+#include "gridmon/trace/chrome_export.hpp"
 #include "scenario_config.hpp"
 
 using namespace gridmon;
@@ -22,10 +23,10 @@ using namespace gridmon::core;
 
 namespace {
 
-/// Build the requested deployment and return its QueryFn.
+/// Build the requested deployment and return its query function.
 struct Deployment {
   std::unique_ptr<Scenario> scenario;
-  QueryFn query;
+  TracedQueryFn query;
 };
 
 Deployment build(Testbed& tb, const ScenarioConfig& config) {
@@ -34,30 +35,30 @@ Deployment build(Testbed& tb, const ScenarioConfig& config) {
     case ServiceKind::GrisNocache: {
       bool cache = config.service == ServiceKind::Gris;
       auto s = std::make_unique<GrisScenario>(tb, config.collectors, cache);
-      QueryFn q = query_gris(*s->gris);
+      TracedQueryFn q = query_gris(*s->gris);
       return {std::move(s), std::move(q)};
     }
     case ServiceKind::Giis: {
       auto s = std::make_unique<GiisScenario>(tb, 5, config.collectors);
       s->prefill();
-      QueryFn q = query_giis(*s->giis, mds::QueryScope::Part);
+      TracedQueryFn q = query_giis(*s->giis, mds::QueryScope::Part);
       return {std::move(s), std::move(q)};
     }
     case ServiceKind::Agent: {
       auto s = std::make_unique<AgentScenario>(tb, config.collectors);
-      QueryFn q = query_agent(*s->agent);
+      TracedQueryFn q = query_agent(*s->agent);
       return {std::move(s), std::move(q)};
     }
     case ServiceKind::Manager: {
       auto s = std::make_unique<ManagerScenario>(tb, config.collectors);
       tb.sim().run(40.0);
-      QueryFn q = query_manager_status(*s->manager);
+      TracedQueryFn q = query_manager_status(*s->manager);
       return {std::move(s), std::move(q)};
     }
     case ServiceKind::Registry: {
       auto s = std::make_unique<RegistryScenario>(tb);
       tb.sim().run(10.0);
-      QueryFn q = query_registry(*s->registry, "cpuload");
+      TracedQueryFn q = query_registry(*s->registry, "cpuload");
       return {std::move(s), std::move(q)};
     }
     case ServiceKind::RgmaMediated: {
@@ -65,13 +66,13 @@ Deployment build(Testbed& tb, const ScenarioConfig& config) {
           tb, config.collectors,
           config.lucky_clients ? RgmaScenario::Consumers::PerLuckyNode
                                : RgmaScenario::Consumers::SingleAtUc);
-      QueryFn q = s->mediated_query();
+      TracedQueryFn q = s->mediated_query();
       return {std::move(s), std::move(q)};
     }
     case ServiceKind::RgmaDirect: {
       auto s = std::make_unique<RgmaScenario>(tb, config.collectors,
                                               RgmaScenario::Consumers::None);
-      QueryFn q = s->direct_query();
+      TracedQueryFn q = s->direct_query();
       return {std::move(s), std::move(q)};
     }
   }
@@ -82,7 +83,8 @@ Deployment build(Testbed& tb, const ScenarioConfig& config) {
 
 int main(int argc, char** argv) {
   if (argc < 2) {
-    std::cerr << "usage: " << argv[0] << " SCENARIO.ini [--csv FILE]\n";
+    std::cerr << "usage: " << argv[0]
+              << " SCENARIO.ini [--csv FILE] [--trace FILE]\n";
     return 2;
   }
   std::ifstream in(argv[1]);
@@ -91,9 +93,15 @@ int main(int argc, char** argv) {
     return 2;
   }
   std::string csv_path;
-  for (int i = 2; i + 1 < argc + 1; ++i) {
-    if (std::string(argv[i]) == "--csv" && i + 1 < argc) {
-      csv_path = argv[i + 1];
+  std::string trace_path;
+  for (int i = 2; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--csv" && i + 1 < argc) {
+      csv_path = argv[++i];
+    } else if (arg.rfind("--trace=", 0) == 0) {
+      trace_path = arg.substr(8);
+    } else if (arg == "--trace" && i + 1 < argc) {
+      trace_path = argv[++i];
     }
   }
 
@@ -122,21 +130,39 @@ int main(int argc, char** argv) {
     csv << "service,users,throughput,response,load1,cpu,refused_per_s\n";
   }
 
+  // Tracing records the first sweep point only: the causal structure is
+  // the same at every load and the file stays small.
+  std::vector<trace::SeriesTrace> traces;
+  bool first_point = true;
   for (int n : config.users) {
     TestbedConfig tc;
     tc.seed = config.seed;
     Testbed tb(tc);
     Deployment deployment = build(tb, config);
+    trace::Collector collector(tb.sim(), tb.config().seed);
     WorkloadConfig wc;
     if (config.lucky_clients) wc.max_users_per_host = 100;
     UserWorkload workload(tb, deployment.query, wc);
+    bool tracing = !trace_path.empty() && first_point;
+    first_point = false;
+    if (tracing) {
+      deployment.scenario->instrument(collector);
+      instrument_host(tb, collector, config.server_host());
+      workload.enable_tracing(collector);
+    }
     workload.spawn_users(n, config.lucky_clients ? tb.lucky_names()
                                                  : tb.uc_names());
     tb.sampler().start();
     MeasureConfig mc;
     mc.warmup = config.warmup;
     mc.duration = config.duration;
+    if (tracing) mc.collector = &collector;
     SweepPoint p = measure(tb, workload, config.server_host(), n, mc);
+    if (tracing) {
+      traces.push_back(trace::SeriesTrace{
+          config.service_name() + " n=" + std::to_string(n),
+          collector.take()});
+    }
     table.add_row({std::to_string(n), metrics::Table::num(p.throughput),
                    metrics::Table::num(p.response),
                    metrics::Table::num(p.load1, 3),
@@ -152,5 +178,10 @@ int main(int argc, char** argv) {
 
   std::cout << "\n";
   table.print_text(std::cout);
+  if (!trace_path.empty()) {
+    std::ofstream out(trace_path, std::ios::binary);
+    trace::write_chrome_trace(out, traces);
+    std::cout << "wrote " << trace_path << "\n";
+  }
   return 0;
 }

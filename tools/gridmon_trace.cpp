@@ -1,0 +1,76 @@
+/// gridmon_trace — offline trace summarizer.
+///
+///   $ gridmon_trace TRACE.json [--timelines FILE.csv]
+///
+/// Reads a Chrome trace_event file produced by the benches (--trace) and
+/// prints, per series, the latency breakdown table: count, p50/p95/p99
+/// inclusive time and self-time share of total query latency for every
+/// span kind. --timelines additionally dumps the counter tracks (CPU run
+/// queue, NIC flows, pool occupancy) as CSV.
+
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "gridmon/trace/breakdown.hpp"
+#include "gridmon/trace/reader.hpp"
+#include "gridmon/trace/timeline.hpp"
+
+using namespace gridmon;
+
+int main(int argc, char** argv) {
+  std::string trace_path;
+  std::string timelines_path;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--timelines" && i + 1 < argc) {
+      timelines_path = argv[++i];
+    } else if (arg == "--help") {
+      std::cout << "usage: " << argv[0]
+                << " TRACE.json [--timelines FILE.csv]\n";
+      return 0;
+    } else if (trace_path.empty()) {
+      trace_path = arg;
+    } else {
+      std::cerr << "unexpected argument: " << arg << "\n";
+      return 2;
+    }
+  }
+  if (trace_path.empty()) {
+    std::cerr << "usage: " << argv[0] << " TRACE.json [--timelines FILE.csv]\n";
+    return 2;
+  }
+
+  std::ifstream in(trace_path, std::ios::binary);
+  if (!in) {
+    std::cerr << "cannot open " << trace_path << "\n";
+    return 2;
+  }
+
+  std::vector<trace::SeriesTrace> series;
+  try {
+    series = trace::read_chrome_trace(in);
+  } catch (const trace::ReadError& e) {
+    std::cerr << trace_path << ": " << e.what() << "\n";
+    return 1;
+  }
+  if (series.empty()) {
+    std::cerr << trace_path << ": no trace series found\n";
+    return 1;
+  }
+
+  std::vector<trace::SeriesBreakdown> breakdowns;
+  breakdowns.reserve(series.size());
+  for (const auto& st : series) {
+    breakdowns.push_back(trace::compute_breakdown(st));
+  }
+  trace::print_breakdown(std::cout, breakdowns);
+
+  if (!timelines_path.empty()) {
+    std::ofstream out(timelines_path, std::ios::binary);
+    trace::write_counters_csv(out, series);
+    std::cout << "wrote " << timelines_path << "\n";
+  }
+  return 0;
+}
