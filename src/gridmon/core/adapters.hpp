@@ -23,7 +23,8 @@ inline TracedQueryFn query_gris(mds::Gris& gris,
   return [&gris, scope](net::Interface& client,
                         trace::Ctx ctx) -> sim::Task<QueryAttempt> {
     auto r = co_await gris.query(client, scope, ctx);
-    co_return QueryAttempt{r.admitted, r.response_bytes};
+    co_return QueryAttempt{r.admitted, r.response_bytes, r.timed_out,
+                           r.failed, r.stale};
   };
 }
 
@@ -33,7 +34,8 @@ inline TracedQueryFn query_giis(
   return [&giis, scope](net::Interface& client,
                         trace::Ctx ctx) -> sim::Task<QueryAttempt> {
     auto r = co_await giis.query(client, scope, ctx);
-    co_return QueryAttempt{r.admitted, r.response_bytes};
+    co_return QueryAttempt{r.admitted, r.response_bytes, r.timed_out,
+                           r.failed, r.stale};
   };
 }
 
@@ -42,7 +44,8 @@ inline TracedQueryFn query_agent(hawkeye::Agent& agent) {
   return [&agent](net::Interface& client,
                   trace::Ctx ctx) -> sim::Task<QueryAttempt> {
     auto r = co_await agent.query(client, ctx);
-    co_return QueryAttempt{r.admitted, r.response_bytes};
+    co_return QueryAttempt{r.admitted, r.response_bytes, r.timed_out,
+                           r.failed, r.stale};
   };
 }
 
@@ -51,7 +54,8 @@ inline TracedQueryFn query_manager_status(hawkeye::Manager& manager) {
   return [&manager](net::Interface& client,
                     trace::Ctx ctx) -> sim::Task<QueryAttempt> {
     auto r = co_await manager.query_status(client, ctx);
-    co_return QueryAttempt{r.admitted, r.response_bytes};
+    co_return QueryAttempt{r.admitted, r.response_bytes, r.timed_out,
+                           r.failed, r.stale};
   };
 }
 
@@ -60,7 +64,8 @@ inline TracedQueryFn query_manager_dump(hawkeye::Manager& manager) {
   return [&manager](net::Interface& client,
                     trace::Ctx ctx) -> sim::Task<QueryAttempt> {
     auto r = co_await manager.query_dump(client, ctx);
-    co_return QueryAttempt{r.admitted, r.response_bytes};
+    co_return QueryAttempt{r.admitted, r.response_bytes, r.timed_out,
+                           r.failed, r.stale};
   };
 }
 
@@ -70,7 +75,8 @@ inline TracedQueryFn query_manager_constraint(hawkeye::Manager& manager,
   return [&manager, constraint](net::Interface& client,
                                 trace::Ctx ctx) -> sim::Task<QueryAttempt> {
     auto r = co_await manager.query_constraint(client, constraint, ctx);
-    co_return QueryAttempt{r.admitted, r.response_bytes};
+    co_return QueryAttempt{r.admitted, r.response_bytes, r.timed_out,
+                           r.failed, r.stale};
   };
 }
 
@@ -80,7 +86,8 @@ inline TracedQueryFn query_consumer_servlet(rgma::ConsumerServlet& cs,
   return [&cs, table](net::Interface& client,
                       trace::Ctx ctx) -> sim::Task<QueryAttempt> {
     auto r = co_await cs.query(client, table, "", ctx);
-    co_return QueryAttempt{r.admitted, r.response_bytes};
+    co_return QueryAttempt{r.admitted, r.response_bytes, r.timed_out,
+                           r.failed, r.stale};
   };
 }
 
@@ -91,7 +98,8 @@ inline TracedQueryFn query_producer_servlet(rgma::ProducerServlet& ps,
   return [&ps, table](net::Interface& client,
                       trace::Ctx ctx) -> sim::Task<QueryAttempt> {
     auto r = co_await ps.client_query(client, table, "", ctx);
-    co_return QueryAttempt{r.admitted, r.response_bytes};
+    co_return QueryAttempt{r.admitted, r.response_bytes, r.timed_out,
+                           r.failed, r.stale};
   };
 }
 
@@ -101,7 +109,8 @@ inline TracedQueryFn query_registry(rgma::Registry& registry,
   return [&registry, table](net::Interface& client,
                             trace::Ctx ctx) -> sim::Task<QueryAttempt> {
     auto r = co_await registry.client_query(client, table, ctx);
-    co_return QueryAttempt{r.admitted, r.response_bytes};
+    co_return QueryAttempt{r.admitted, r.response_bytes, r.timed_out,
+                           r.failed, r.stale};
   };
 }
 

@@ -12,6 +12,8 @@ SweepPoint measure(Testbed& testbed, UserWorkload& workload,
   testbed.sim().run(testbed.sim().now() + config.warmup);
   double t0 = testbed.sim().now();
   double refused_before = static_cast<double>(workload.refused_attempts());
+  double errors_before = static_cast<double>(workload.error_count());
+  double abandoned_before = static_cast<double>(workload.abandoned_queries());
   if (config.collector != nullptr) config.collector->set_enabled(true);
   testbed.sim().run(t0 + config.duration);
   if (config.collector != nullptr) config.collector->set_enabled(false);
@@ -26,6 +28,18 @@ SweepPoint measure(Testbed& testbed, UserWorkload& workload,
   p.refused =
       (static_cast<double>(workload.refused_attempts()) - refused_before) /
       config.duration;
+  double succ = static_cast<double>(workload.completed(t0, t1));
+  double abandoned =
+      static_cast<double>(workload.abandoned_queries()) - abandoned_before;
+  p.availability = succ + abandoned > 0 ? succ / (succ + abandoned) : 1.0;
+  p.error_rate =
+      (static_cast<double>(workload.error_count()) - errors_before) /
+      config.duration;
+  p.stale_frac = workload.stale_fraction(t0, t1);
+  if (config.recovery_mark >= 0) {
+    double first = workload.first_success_after(config.recovery_mark);
+    p.recovery = first >= 0 ? first - config.recovery_mark : -1;
+  }
   return p;
 }
 
@@ -33,6 +47,7 @@ SweepPoint replicate(const std::vector<std::uint64_t>& seeds,
                      const std::function<SweepPoint(std::uint64_t)>& run_one,
                      double* throughput_stddev_out) {
   SweepPoint mean;
+  mean.availability = 0;  // the struct default is 1; accumulate from zero
   std::vector<double> throughputs;
   for (auto seed : seeds) {
     SweepPoint p = run_one(seed);
@@ -42,6 +57,10 @@ SweepPoint replicate(const std::vector<std::uint64_t>& seeds,
     mean.load1 += p.load1;
     mean.cpu += p.cpu;
     mean.refused += p.refused;
+    mean.availability += p.availability;
+    mean.error_rate += p.error_rate;
+    mean.stale_frac += p.stale_frac;
+    mean.recovery += p.recovery;
     throughputs.push_back(p.throughput);
   }
   double n = static_cast<double>(seeds.size());
@@ -51,6 +70,10 @@ SweepPoint replicate(const std::vector<std::uint64_t>& seeds,
     mean.load1 /= n;
     mean.cpu /= n;
     mean.refused /= n;
+    mean.availability /= n;
+    mean.error_rate /= n;
+    mean.stale_frac /= n;
+    mean.recovery /= n;
   }
   if (throughput_stddev_out != nullptr) {
     double ss = 0;

@@ -24,6 +24,10 @@ struct MeasureConfig {
   /// measured span: enabled once warmup ends, disabled when the duration
   /// expires. Null (the default) leaves tracing untouched.
   trace::Collector* collector = nullptr;
+  /// When >= 0 (absolute sim time, typically a fault window's end), the
+  /// SweepPoint's `recovery` reports the delay from this mark to the
+  /// first successful query completion at or after it.
+  double recovery_mark = -1;
 };
 
 /// One sweep point of a figure.
@@ -34,6 +38,10 @@ struct SweepPoint {
   double load1 = 0;       // one-minute load average
   double cpu = 0;         // percent
   double refused = 0;     // refused connection attempts per second
+  double availability = 1;  // completed / (completed + abandoned) queries
+  double error_rate = 0;    // timeouts + failures + abandonments per second
+  double stale_frac = 0;    // fraction of completions flagged stale
+  double recovery = 0;      // time-to-recovery past recovery_mark (-1: never)
 };
 
 /// Run the clock through warmup+duration and collect a SweepPoint for

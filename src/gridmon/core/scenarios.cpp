@@ -100,6 +100,14 @@ void RgmaScenario::instrument(trace::Collector& col) {
   for (auto& [host, cs] : consumer_servlets) cs->instrument(col);
 }
 
+void RgmaScenario::register_faults(fault::Injector& inj) {
+  inj.add_service("server", *producer_servlet);
+  inj.add_service("registry", *registry);
+  for (auto& [host, cs] : consumer_servlets) {
+    inj.add_service("cs-" + host, *cs);
+  }
+}
+
 TracedQueryFn RgmaScenario::mediated_query(const std::string& table) {
   // Route a user to the ConsumerServlet on its own host, or to the single
   // shared servlet when only one exists (the UC setup).
@@ -108,7 +116,8 @@ TracedQueryFn RgmaScenario::mediated_query(const std::string& table) {
     auto it = consumer_servlets.find(client.host());
     if (it == consumer_servlets.end()) it = consumer_servlets.begin();
     auto r = co_await it->second->query(client, table, "", ctx);
-    co_return QueryAttempt{r.admitted, r.response_bytes};
+    co_return QueryAttempt{r.admitted, r.response_bytes, r.timed_out,
+                           r.failed, r.stale};
   };
 }
 
@@ -116,7 +125,8 @@ TracedQueryFn RgmaScenario::direct_query(const std::string& table) {
   return [this, table](net::Interface& client,
                        trace::Ctx ctx) -> sim::Task<QueryAttempt> {
     auto r = co_await producer_servlet->client_query(client, table, "", ctx);
-    co_return QueryAttempt{r.admitted, r.response_bytes};
+    co_return QueryAttempt{r.admitted, r.response_bytes, r.timed_out,
+                           r.failed, r.stale};
   };
 }
 
@@ -145,6 +155,13 @@ void GiisScenario::instrument(trace::Collector& col) {
   for (auto& g : gris) g->instrument(col);
 }
 
+void GiisScenario::register_faults(fault::Injector& inj) {
+  inj.add_service("server", *giis);
+  for (std::size_t i = 0; i < gris.size(); ++i) {
+    inj.add_service("gris" + std::to_string(i), *gris[i]);
+  }
+}
+
 void GiisScenario::prefill() {
   // One throwaway query triggers the initial cache pull from every GRIS.
   auto warm = [](GiisScenario& self) -> sim::Task<void> {
@@ -171,6 +188,14 @@ ManagerScenario::ManagerScenario(Testbed& tb, int modules_per_agent)
 void ManagerScenario::instrument(trace::Collector& col) {
   manager->instrument(col);
   for (auto& a : agents) a->instrument(col);
+}
+
+void ManagerScenario::register_faults(fault::Injector& inj) {
+  inj.add_service("server", *manager);
+  inj.add_service("manager", *manager);
+  for (std::size_t i = 0; i < agents.size(); ++i) {
+    inj.add_service("agent" + std::to_string(i), *agents[i]);
+  }
 }
 
 RegistryScenario::RegistryScenario(Testbed& tb, int servlet_count,
@@ -202,6 +227,14 @@ void RegistryScenario::instrument(trace::Collector& col) {
   for (auto& s : servlets) s->instrument(col);
 }
 
+void RegistryScenario::register_faults(fault::Injector& inj) {
+  inj.add_service("server", *registry);
+  inj.add_service("registry", *registry);
+  for (std::size_t i = 0; i < servlets.size(); ++i) {
+    inj.add_service("ps" + std::to_string(i), *servlets[i]);
+  }
+}
+
 GiisAggregationScenario::GiisAggregationScenario(Testbed& tb, int gris_count,
                                                  int providers_per_gris)
     : Scenario(tb) {
@@ -224,6 +257,13 @@ GiisAggregationScenario::GiisAggregationScenario(Testbed& tb, int gris_count,
 void GiisAggregationScenario::instrument(trace::Collector& col) {
   giis->instrument(col);
   for (auto& g : gris) g->instrument(col);
+}
+
+void GiisAggregationScenario::register_faults(fault::Injector& inj) {
+  inj.add_service("server", *giis);
+  for (std::size_t i = 0; i < gris.size(); ++i) {
+    inj.add_service("gris" + std::to_string(i), *gris[i]);
+  }
 }
 
 void GiisAggregationScenario::prefill() {

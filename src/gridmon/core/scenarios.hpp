@@ -13,6 +13,7 @@
 #include "gridmon/core/adapters.hpp"
 #include "gridmon/core/testbed.hpp"
 #include "gridmon/core/workload.hpp"
+#include "gridmon/fault/injector.hpp"
 #include "gridmon/hawkeye/agent.hpp"
 #include "gridmon/hawkeye/manager.hpp"
 #include "gridmon/mds/giis.hpp"
@@ -40,6 +41,12 @@ class Scenario {
   /// `col` must outlive the scenario's services.
   virtual void instrument(trace::Collector& col) { (void)col; }
 
+  /// Register the scenario's crashable components with `inj`. Every
+  /// scenario names its service under test "server"; secondary components
+  /// get their own stable names ("manager", "registry", "gris0", ...).
+  /// Default: nothing registered.
+  virtual void register_faults(fault::Injector& inj) { (void)inj; }
+
  protected:
   Testbed& testbed_;
 };
@@ -64,6 +71,9 @@ struct GrisScenario : Scenario {
   GrisScenario(Testbed& tb, int providers, bool cache,
                const std::string& host = "lucky7");
   void instrument(trace::Collector& col) override { gris->instrument(col); }
+  void register_faults(fault::Injector& inj) override {
+    inj.add_service("server", *gris);
+  }
   std::unique_ptr<mds::Gris> gris;
 };
 
@@ -79,6 +89,11 @@ struct AgentScenario : Scenario {
     manager->instrument(col);
     agent->instrument(col);
   }
+  void register_faults(fault::Injector& inj) override {
+    inj.add_service("server", *agent);
+    inj.add_service("agent", *agent);
+    inj.add_service("manager", *manager);
+  }
   std::unique_ptr<hawkeye::Manager> manager;
   std::unique_ptr<hawkeye::Agent> agent;
 };
@@ -92,6 +107,7 @@ struct RgmaScenario : Scenario {
   enum class Consumers { PerLuckyNode, SingleAtUc, None };
   RgmaScenario(Testbed& tb, int producers, Consumers consumers);
   void instrument(trace::Collector& col) override;
+  void register_faults(fault::Injector& inj) override;
 
   std::unique_ptr<rgma::Registry> registry;
   std::unique_ptr<rgma::ProducerServlet> producer_servlet;
@@ -115,6 +131,7 @@ struct GiisScenario : Scenario {
   GiisScenario(Testbed& tb, int gris_count = 5, int providers_per_gris = 10,
                double cachettl = 1e18);
   void instrument(trace::Collector& col) override;
+  void register_faults(fault::Injector& inj) override;
   std::unique_ptr<mds::Giis> giis;
   std::vector<std::unique_ptr<mds::Gris>> gris;
 
@@ -129,6 +146,7 @@ struct ManagerScenario : Scenario {
 
   explicit ManagerScenario(Testbed& tb, int modules_per_agent = 11);
   void instrument(trace::Collector& col) override;
+  void register_faults(fault::Injector& inj) override;
   std::unique_ptr<hawkeye::Manager> manager;
   std::vector<std::unique_ptr<hawkeye::Agent>> agents;
 };
@@ -141,6 +159,7 @@ struct RegistryScenario : Scenario {
   explicit RegistryScenario(Testbed& tb, int servlets = 5,
                             int producers_each = 10);
   void instrument(trace::Collector& col) override;
+  void register_faults(fault::Injector& inj) override;
   std::unique_ptr<rgma::Registry> registry;
   std::vector<std::unique_ptr<rgma::ProducerServlet>> servlets;
 };
@@ -155,6 +174,7 @@ struct GiisAggregationScenario : Scenario {
   GiisAggregationScenario(Testbed& tb, int gris_count,
                           int providers_per_gris = 10);
   void instrument(trace::Collector& col) override;
+  void register_faults(fault::Injector& inj) override;
   std::unique_ptr<mds::Giis> giis;
   std::vector<std::unique_ptr<mds::Gris>> gris;
   void prefill();
@@ -169,6 +189,10 @@ struct ManagerAggregationScenario : Scenario {
                              int modules_per_machine = 11);
   void instrument(trace::Collector& col) override {
     manager->instrument(col);
+  }
+  void register_faults(fault::Injector& inj) override {
+    inj.add_service("server", *manager);
+    inj.add_service("manager", *manager);
   }
   std::unique_ptr<hawkeye::Manager> manager;
   std::vector<std::unique_ptr<hawkeye::Advertiser>> advertisers;

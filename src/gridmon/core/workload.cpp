@@ -1,9 +1,33 @@
 #include "gridmon/core/workload.hpp"
 
 #include <algorithm>
+#include <memory>
+#include <optional>
 #include <stdexcept>
 
+#include "gridmon/sim/event.hpp"
+
 namespace gridmon::core {
+namespace {
+
+/// Shared mailbox between a user and one in-flight query attempt. The
+/// user may abandon the attempt at its deadline; the attempt coroutine
+/// keeps running (the server still does the work) and posts its result
+/// into a box nobody reads.
+struct AttemptBox {
+  std::optional<QueryAttempt> result;
+  sim::Event done;
+  explicit AttemptBox(sim::Simulation& s) : done(s) {}
+};
+
+sim::Task<void> run_attempt(const TracedQueryFn& query, net::Interface& nic,
+                            trace::Ctx ctx, std::shared_ptr<AttemptBox> box) {
+  QueryAttempt a = co_await query(nic, ctx);
+  box->result = a;
+  box->done.trigger();
+}
+
+}  // namespace
 
 UserWorkload::UserWorkload(Testbed& testbed, QueryFn query,
                            WorkloadConfig config)
@@ -48,7 +72,12 @@ sim::Task<void> UserWorkload::user_loop(UserWorkload& self, host::Host& host,
   co_await sim.delay(rng.uniform(0, self.config_.think_time));
   for (;;) {
     double started = sim.now();
+    double deadline = self.config_.query_deadline > 0
+                          ? started + self.config_.query_deadline
+                          : -1;
     std::size_t retry = 0;
+    int attempts = 0;
+    bool abandoned = false;
     QueryAttempt attempt;
     // One trace per user query (null Ctx while the collector is off or
     // absent, which keeps the whole iteration allocation-free).
@@ -58,23 +87,68 @@ sim::Task<void> UserWorkload::user_loop(UserWorkload& self, host::Host& host,
     {
       trace::Span query_span(root, trace::SpanKind::Query);
       for (;;) {
-        attempt = co_await self.query_(nic, query_span.ctx());
-        if (attempt.admitted) break;
-        ++self.refused_;
-        // Dropped SYN: wait out the kernel retransmission timer.
+        ++attempts;
+        if (deadline < 0) {
+          attempt = co_await self.query_(nic, query_span.ctx());
+        } else {
+          double remaining = deadline - sim.now();
+          if (remaining <= 0) {
+            abandoned = true;
+            break;
+          }
+          // Race the attempt against the script's remaining patience.
+          auto box = std::make_shared<AttemptBox>(sim);
+          sim.spawn(run_attempt(self.query_, nic, query_span.ctx(), box));
+          bool finished = co_await box->done.wait_for(remaining);
+          if (!finished || !box->result) {
+            // Deadline hit with the attempt still in flight: the client
+            // kills its query tool and walks away; the orphaned attempt
+            // runs on server-side until it fizzles out.
+            abandoned = true;
+            break;
+          }
+          attempt = *box->result;
+        }
+        if (attempt.timed_out) ++self.timeouts_;
+        if (attempt.failed) ++self.failures_;
+        if (attempt.admitted && !attempt.failed && !attempt.timed_out) break;
+        if (!attempt.admitted && !attempt.timed_out) ++self.refused_;
+        if (self.config_.max_attempts > 0 &&
+            attempts >= self.config_.max_attempts) {
+          abandoned = true;
+          break;
+        }
+        // Dropped SYN / failed attempt: wait out the retransmission timer.
         const auto& schedule = self.config_.retry_schedule;
         double delay = schedule.empty()
                            ? 1.0
                            : schedule[std::min(retry, schedule.size() - 1)];
         double j = self.config_.retry_jitter;
+        delay *= rng.uniform(1.0 - j, 1.0 + j);
+        if (deadline >= 0 && sim.now() + delay >= deadline) {
+          // The deadline lands inside this backoff: die right there.
+          trace::Span backoff(query_span.ctx(), trace::SpanKind::Backoff);
+          if (deadline > sim.now()) co_await sim.delay(deadline - sim.now());
+          abandoned = true;
+          break;
+        }
         trace::Span backoff(query_span.ctx(), trace::SpanKind::Backoff);
-        co_await sim.delay(delay * rng.uniform(1.0 - j, 1.0 + j));
+        co_await sim.delay(delay);
         ++retry;
       }
       query_span.set_arg(attempt.response_bytes);
+      if (abandoned && root) {
+        root.col->instant(query_span.ctx(), trace::SpanKind::Timeout,
+                          "query_deadline");
+      }
     }
-    self.completions_.push_back(
-        Completion{sim.now(), sim.now() - started, attempt.response_bytes});
+    if (abandoned) {
+      ++self.abandoned_;
+    } else {
+      self.completions_.push_back(Completion{sim.now(), sim.now() - started,
+                                             attempt.response_bytes,
+                                             attempt.stale});
+    }
     if (self.config_.client_cpu_per_query > 0) {
       co_await host.cpu().consume(self.config_.client_cpu_per_query);
     }
@@ -103,6 +177,34 @@ double UserWorkload::mean_response(double t0, double t1) const {
     }
   }
   return n ? sum / static_cast<double>(n) : 0;
+}
+
+std::size_t UserWorkload::completed(double t0, double t1) const {
+  std::size_t n = 0;
+  for (const auto& c : completions_) {
+    if (c.t >= t0 && c.t <= t1) ++n;
+  }
+  return n;
+}
+
+double UserWorkload::stale_fraction(double t0, double t1) const {
+  std::size_t n = 0;
+  std::size_t stale = 0;
+  for (const auto& c : completions_) {
+    if (c.t >= t0 && c.t <= t1) {
+      ++n;
+      if (c.stale) ++stale;
+    }
+  }
+  return n ? static_cast<double>(stale) / static_cast<double>(n) : 0;
+}
+
+double UserWorkload::first_success_after(double t) const {
+  double best = -1;
+  for (const auto& c : completions_) {
+    if (c.t >= t && (best < 0 || c.t < best)) best = c.t;
+  }
+  return best;
 }
 
 }  // namespace gridmon::core

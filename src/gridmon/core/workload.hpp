@@ -25,6 +25,9 @@ namespace gridmon::core {
 struct QueryAttempt {
   bool admitted = false;
   double response_bytes = 0;
+  bool timed_out = false;  // a connect/transfer deadline expired on the way
+  bool failed = false;     // admitted, but the service could not answer
+  bool stale = false;      // answered from data older than the service's bound
 };
 
 /// A client-side query function: performs one complete attempt against a
@@ -51,12 +54,21 @@ struct WorkloadConfig {
   double retry_jitter = 0.02;
   /// Client-script bookkeeping CPU per query (fork, parsing output).
   double client_cpu_per_query = 0.01;
+  /// End-to-end patience per query (the shell script's `timeout N`
+  /// wrapper): once this much wall clock has passed since the first
+  /// attempt the query is abandoned and counted as an error. 0 disables
+  /// the deadline entirely (the original blocking-client behavior).
+  double query_deadline = 0;
+  /// Give up after this many attempts (first try + retries). 0 = retry
+  /// forever (the original behavior).
+  int max_attempts = 0;
 };
 
 struct Completion {
   double t;              // completion time
   double response_time;  // first attempt -> success
   double bytes;
+  bool stale = false;    // the answer was flagged stale by the service
 };
 
 class UserWorkload {
@@ -77,12 +89,29 @@ class UserWorkload {
     return completions_;
   }
   std::uint64_t refused_attempts() const noexcept { return refused_; }
+  /// Attempts that timed out on a dead path (connect/transfer deadline).
+  std::uint64_t timeout_attempts() const noexcept { return timeouts_; }
+  /// Attempts admitted but answered with an error by the service.
+  std::uint64_t failed_attempts() const noexcept { return failures_; }
+  /// Whole queries given up on (deadline expired or max_attempts hit).
+  std::uint64_t abandoned_queries() const noexcept { return abandoned_; }
+  /// Total errors the user scripts observed.
+  std::uint64_t error_count() const noexcept {
+    return timeouts_ + failures_ + abandoned_;
+  }
   int users() const noexcept { return users_; }
 
   /// Completed queries per second over [t0, t1].
   double throughput(double t0, double t1) const;
   /// Mean response time of queries completing in [t0, t1].
   double mean_response(double t0, double t1) const;
+  /// Number of queries completing in [t0, t1].
+  std::size_t completed(double t0, double t1) const;
+  /// Fraction of completions in [t0, t1] whose answer was stale.
+  double stale_fraction(double t0, double t1) const;
+  /// Completion time of the first successful query at or after `t`, or -1
+  /// if none — the raw material for time-to-recovery.
+  double first_success_after(double t) const;
 
   /// Route each user query through `collector`: a root Query span per
   /// query (opened while the collector is enabled), Backoff spans around
@@ -102,6 +131,9 @@ class UserWorkload {
   trace::Collector* collector_ = nullptr;
   std::vector<Completion> completions_;
   std::uint64_t refused_ = 0;
+  std::uint64_t timeouts_ = 0;
+  std::uint64_t failures_ = 0;
+  std::uint64_t abandoned_ = 0;
   int users_ = 0;
 };
 

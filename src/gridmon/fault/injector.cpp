@@ -1,0 +1,111 @@
+#include "gridmon/fault/injector.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace gridmon::fault {
+
+void Injector::add_target(std::string name, Hooks hooks) {
+  targets_[std::move(name)] = std::move(hooks);
+}
+
+void Injector::add_host(const std::string& name, host::Host& host) {
+  hosts_[name] = SlowedHost{&host, host.cpu().ps().total_rate()};
+}
+
+void Injector::validate(const FaultEvent& ev) const {
+  auto need_target = [&](bool want_collectors) {
+    auto it = targets_.find(ev.target);
+    if (it == targets_.end()) {
+      throw std::invalid_argument("fault target not registered: " +
+                                  ev.target);
+    }
+    if (want_collectors && !it->second.collectors) {
+      throw std::invalid_argument("target has no collector hook: " +
+                                  ev.target);
+    }
+  };
+  switch (ev.kind) {
+    case FaultKind::Crash:
+    case FaultKind::Restart:
+      need_target(false);
+      break;
+    case FaultKind::CollectorsDown:
+    case FaultKind::CollectorsUp:
+      need_target(true);
+      break;
+    case FaultKind::WanDown:
+    case FaultKind::WanHeal:
+    case FaultKind::WanDegrade:
+    case FaultKind::WanRestore:
+      if (net_ == nullptr) {
+        throw std::invalid_argument("WAN fault armed without a network");
+      }
+      break;
+    case FaultKind::HostSlow:
+    case FaultKind::HostRestore:
+      if (hosts_.find(ev.target) == hosts_.end()) {
+        throw std::invalid_argument("fault host not registered: " +
+                                    ev.target);
+      }
+      break;
+  }
+}
+
+void Injector::arm(const FaultPlan& plan) {
+  for (const auto& ev : plan.sorted()) {
+    validate(ev);
+    double delay = ev.at - sim_.now();
+    if (delay < 0) delay = 0;
+    sim_.schedule(delay, [this, ev] { apply(ev); });
+  }
+}
+
+void Injector::apply(const FaultEvent& ev) {
+  switch (ev.kind) {
+    case FaultKind::Crash:
+      targets_.at(ev.target).crash(ev.blackhole);
+      break;
+    case FaultKind::Restart:
+      targets_.at(ev.target).restart();
+      break;
+    case FaultKind::CollectorsDown:
+      targets_.at(ev.target).collectors(true);
+      break;
+    case FaultKind::CollectorsUp:
+      targets_.at(ev.target).collectors(false);
+      break;
+    case FaultKind::WanDown:
+      net_->set_wan_down(ev.target, ev.target2, true);
+      break;
+    case FaultKind::WanHeal:
+      net_->set_wan_down(ev.target, ev.target2, false);
+      break;
+    case FaultKind::WanDegrade:
+      net_->set_wan_degraded(ev.target, ev.target2, ev.value);
+      break;
+    case FaultKind::WanRestore:
+      net_->set_wan_degraded(ev.target, ev.target2, 1.0);
+      break;
+    case FaultKind::HostSlow: {
+      auto& h = hosts_.at(ev.target);
+      h.host->cpu().ps().set_total_rate(h.base_rate * ev.value);
+      break;
+    }
+    case FaultKind::HostRestore: {
+      auto& h = hosts_.at(ev.target);
+      h.host->cpu().ps().set_total_rate(h.base_rate);
+      break;
+    }
+  }
+  ++injected_;
+  if (trace_ != nullptr) {
+    auto ctx = trace_->new_trace();
+    if (ctx) {
+      trace_->instant(ctx, trace::SpanKind::Fault,
+                      std::string(fault_kind_name(ev.kind)) + ":" + ev.target);
+    }
+  }
+}
+
+}  // namespace gridmon::fault

@@ -1,0 +1,89 @@
+#pragma once
+
+/// \file injector.hpp
+/// The Injector binds a FaultPlan to a live deployment: services register
+/// crash/restart/collector hooks under a name, hosts register for CPU
+/// slowdowns, and arm() schedules every event on the sim clock. All
+/// mutation happens through the registered hooks, so the injector needs
+/// no knowledge of any concrete service type — add_service() derives the
+/// hooks from whatever fault surface the service exposes.
+
+#include <cstddef>
+#include <functional>
+#include <map>
+#include <string>
+
+#include "gridmon/fault/plan.hpp"
+#include "gridmon/host/host.hpp"
+#include "gridmon/net/network.hpp"
+#include "gridmon/sim/simulation.hpp"
+#include "gridmon/trace/collector.hpp"
+
+namespace gridmon::fault {
+
+class Injector {
+ public:
+  /// What the injector can do to one named target. Unset hooks make the
+  /// corresponding event kinds an arm()-time error for that target.
+  struct Hooks {
+    std::function<void(bool blackhole)> crash;
+    std::function<void()> restart;
+    std::function<void(bool down)> collectors;
+  };
+
+  /// `net` may be null when the plan holds no WAN events.
+  explicit Injector(sim::Simulation& sim, net::Network* net = nullptr)
+      : sim_(sim), net_(net) {}
+
+  void add_target(std::string name, Hooks hooks);
+
+  /// Register any service exposing crash(bool)/restart(); a collector
+  /// hook is derived from set_collectors_down() or set_publishers_down()
+  /// when the service has one.
+  template <class Service>
+  void add_service(std::string name, Service& svc) {
+    Hooks h;
+    h.crash = [&svc](bool blackhole) { svc.crash(blackhole); };
+    h.restart = [&svc] { svc.restart(); };
+    if constexpr (requires(Service& s) { s.set_collectors_down(true); }) {
+      h.collectors = [&svc](bool down) { svc.set_collectors_down(down); };
+    } else if constexpr (requires(Service& s) {
+                           s.set_publishers_down(true);
+                         }) {
+      h.collectors = [&svc](bool down) { svc.set_publishers_down(down); };
+    }
+    add_target(std::move(name), std::move(h));
+  }
+
+  /// Register a host for HostSlow/HostRestore (remembers its base rate).
+  void add_host(const std::string& name, host::Host& host);
+
+  /// Emit a Fault instant span per injected event into `col` (may be
+  /// null to turn back off).
+  void set_trace(trace::Collector* col) noexcept { trace_ = col; }
+
+  /// Validate the plan against the registered targets and schedule every
+  /// event. Events whose time is already past fire immediately.
+  void arm(const FaultPlan& plan);
+
+  /// Events applied so far.
+  std::size_t injected() const noexcept { return injected_; }
+
+ private:
+  struct SlowedHost {
+    host::Host* host;
+    double base_rate;
+  };
+
+  void validate(const FaultEvent& ev) const;
+  void apply(const FaultEvent& ev);
+
+  sim::Simulation& sim_;
+  net::Network* net_;
+  trace::Collector* trace_ = nullptr;
+  std::map<std::string, Hooks> targets_;
+  std::map<std::string, SlowedHost> hosts_;
+  std::size_t injected_ = 0;
+};
+
+}  // namespace gridmon::fault

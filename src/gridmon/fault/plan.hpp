@@ -1,0 +1,121 @@
+#pragma once
+
+/// \file plan.hpp
+/// A FaultPlan is a deterministic schedule of timed fault events — crash
+/// and restart of a named service, WAN partition and heal windows, link
+/// degradation, slowed hosts, hung collectors. Plans are plain data:
+/// building one has no side effects, and the same plan armed on the same
+/// seeded simulation reproduces the same run byte for byte.
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+namespace gridmon::fault {
+
+enum class FaultKind {
+  Crash,           ///< the target service's process dies
+  Restart,         ///< the target service comes back (soft state empty)
+  WanDown,         ///< partition the WAN between sites target/target2
+  WanHeal,         ///< heal that partition
+  WanDegrade,      ///< multiply the WAN capacity by `value`
+  WanRestore,      ///< restore the WAN to full capacity
+  HostSlow,        ///< multiply the target host's CPU rate by `value`
+  HostRestore,     ///< restore the host's CPU rate
+  CollectorsDown,  ///< the target's sensors / provider scripts hang
+  CollectorsUp,    ///< the sensors answer again
+};
+
+inline const char* fault_kind_name(FaultKind k) {
+  switch (k) {
+    case FaultKind::Crash: return "crash";
+    case FaultKind::Restart: return "restart";
+    case FaultKind::WanDown: return "wan_down";
+    case FaultKind::WanHeal: return "wan_heal";
+    case FaultKind::WanDegrade: return "wan_degrade";
+    case FaultKind::WanRestore: return "wan_restore";
+    case FaultKind::HostSlow: return "host_slow";
+    case FaultKind::HostRestore: return "host_restore";
+    case FaultKind::CollectorsDown: return "collectors_down";
+    case FaultKind::CollectorsUp: return "collectors_up";
+  }
+  return "?";
+}
+
+struct FaultEvent {
+  double at = 0;           ///< absolute sim time
+  FaultKind kind = FaultKind::Crash;
+  std::string target;      ///< service / host name, or site A for WAN events
+  std::string target2;     ///< site B for WAN events
+  double value = 1.0;      ///< degrade / slowdown factor
+  bool blackhole = false;  ///< Crash only: host vanished (SYNs swallowed)
+                           ///< rather than process died (connection refused)
+};
+
+class FaultPlan {
+ public:
+  FaultPlan& add(FaultEvent ev) {
+    events_.push_back(std::move(ev));
+    return *this;
+  }
+
+  /// Crash `target` at `at`, restart it at `until`.
+  FaultPlan& crash(const std::string& target, double at, double until,
+                   bool blackhole = false) {
+    add({at, FaultKind::Crash, target, "", 1.0, blackhole});
+    add({until, FaultKind::Restart, target, "", 1.0, false});
+    return *this;
+  }
+
+  /// Partition the WAN between sites `a` and `b` over [at, until).
+  FaultPlan& partition(const std::string& a, const std::string& b, double at,
+                       double until) {
+    add({at, FaultKind::WanDown, a, b, 1.0, false});
+    add({until, FaultKind::WanHeal, a, b, 1.0, false});
+    return *this;
+  }
+
+  /// Degrade the a<->b WAN to `factor` of its capacity over [at, until).
+  FaultPlan& degrade_wan(const std::string& a, const std::string& b,
+                         double at, double until, double factor) {
+    add({at, FaultKind::WanDegrade, a, b, factor, false});
+    add({until, FaultKind::WanRestore, a, b, 1.0, false});
+    return *this;
+  }
+
+  /// Slow host `name` to `factor` of its CPU rate over [at, until).
+  FaultPlan& slow_host(const std::string& name, double at, double until,
+                       double factor) {
+    add({at, FaultKind::HostSlow, name, "", factor, false});
+    add({until, FaultKind::HostRestore, name, "", 1.0, false});
+    return *this;
+  }
+
+  /// Hang `target`'s collectors (information providers, Hawkeye modules,
+  /// R-GMA publishers) over [at, until) while its server stays up.
+  FaultPlan& collector_outage(const std::string& target, double at,
+                              double until) {
+    add({at, FaultKind::CollectorsDown, target, "", 1.0, false});
+    add({until, FaultKind::CollectorsUp, target, "", 1.0, false});
+    return *this;
+  }
+
+  const std::vector<FaultEvent>& events() const noexcept { return events_; }
+  bool empty() const noexcept { return events_.empty(); }
+  std::size_t size() const noexcept { return events_.size(); }
+
+  /// Events in time order (stable: ties keep insertion order).
+  std::vector<FaultEvent> sorted() const {
+    std::vector<FaultEvent> out = events_;
+    std::stable_sort(out.begin(), out.end(),
+                     [](const FaultEvent& x, const FaultEvent& y) {
+                       return x.at < y.at;
+                     });
+    return out;
+  }
+
+ private:
+  std::vector<FaultEvent> events_;
+};
+
+}  // namespace gridmon::fault

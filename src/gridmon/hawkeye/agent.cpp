@@ -16,7 +16,7 @@ Agent::Agent(net::Network& net, host::Host& host, net::Interface& nic,
       modules_(std::move(modules)),
       config_(config),
       thread_(host.simulation(), config.threads),
-      port_(config.backlog) {
+      port_(host.simulation(), config.backlog) {
   if (static_cast<int>(modules_.size()) > config_.max_modules) {
     // The paper: "adding another Module caused the Startd to crash."
     throw AgentError("startd crash: " + std::to_string(modules_.size()) +
@@ -51,14 +51,32 @@ sim::Task<HawkeyeReply> Agent::query(net::Interface& client, trace::Ctx ctx) {
     trace::Span tool(ctx, trace::SpanKind::ClientTool);
     co_await sim.delay(config_.client_tool_latency);
   }
-  co_await net_.connect(client, nic_, ctx);
-  if (!port_.try_admit()) {
-    if (ctx) ctx.col->instant(ctx, trace::SpanKind::Refused, machine_);
-    co_return HawkeyeReply{};
+  if (!co_await net_.connect(client, nic_, ctx, config_.connect_timeout)) {
+    if (ctx) ctx.col->instant(ctx, trace::SpanKind::Timeout, machine_);
+    HawkeyeReply reply;
+    reply.timed_out = true;
+    co_return reply;
+  }
+  auto admission = co_await port_.admit(config_.connect_timeout);
+  if (admission != net::Admission::Ok) {
+    HawkeyeReply reply;
+    reply.timed_out = admission == net::Admission::TimedOut;
+    if (ctx) {
+      ctx.col->instant(ctx,
+                       reply.timed_out ? trace::SpanKind::Timeout
+                                       : trace::SpanKind::Refused,
+                       machine_);
+    }
+    co_return reply;
   }
   net::AdmissionSlot slot(&port_);
-  co_await net_.transfer(client, nic_, config_.request_bytes, ctx,
-                         trace::SpanKind::RequestSend);
+  if (!co_await net_.transfer(client, nic_, config_.request_bytes, ctx,
+                              trace::SpanKind::RequestSend,
+                              config_.connect_timeout)) {
+    HawkeyeReply reply;
+    reply.timed_out = true;
+    co_return reply;
+  }
 
   HawkeyeReply reply;
   {
@@ -70,16 +88,29 @@ sim::Task<HawkeyeReply> Agent::query(net::Interface& client, trace::Ctx ctx) {
                       config_.query_base_cpu);
       co_await host_.cpu().consume(config_.query_base_cpu);
     }
-    classad::ClassAd ad =
-        co_await collect(ctx);  // no resident DB: always fresh
-    reply.machines = 1;
-    reply.response_bytes = std::max(ad.wire_bytes(), config_.min_ad_bytes);
-    reply.admitted = true;
+    if (collectors_down_) {
+      // A hung module wedges the whole collection sweep: the daemon waits
+      // out the module timeout holding its one thread, then fails — there
+      // is no resident database to fall back on.
+      co_await sim.delay(config_.module_timeout);
+      reply.failed = true;
+      reply.response_bytes = 128;  // error envelope
+      reply.admitted = true;
+    } else {
+      classad::ClassAd ad =
+          co_await collect(ctx);  // no resident DB: always fresh
+      reply.machines = 1;
+      reply.response_bytes = std::max(ad.wire_bytes(), config_.min_ad_bytes);
+      reply.admitted = true;
+    }
   }
   // The startd hands the reply buffer to the kernel and moves on; unlike
   // the Manager's large result sets, a single ad fits the socket buffer.
-  co_await net_.transfer(nic_, client, reply.response_bytes, ctx,
-                         trace::SpanKind::ResponseSend);
+  if (!co_await net_.transfer(nic_, client, reply.response_bytes, ctx,
+                              trace::SpanKind::ResponseSend,
+                              config_.connect_timeout)) {
+    reply.timed_out = true;
+  }
   co_return reply;
 }
 
@@ -91,14 +122,32 @@ sim::Task<HawkeyeReply> Agent::query_module(net::Interface& client,
     trace::Span tool(ctx, trace::SpanKind::ClientTool);
     co_await sim.delay(config_.client_tool_latency);
   }
-  co_await net_.connect(client, nic_, ctx);
-  if (!port_.try_admit()) {
-    if (ctx) ctx.col->instant(ctx, trace::SpanKind::Refused, machine_);
-    co_return HawkeyeReply{};
+  if (!co_await net_.connect(client, nic_, ctx, config_.connect_timeout)) {
+    if (ctx) ctx.col->instant(ctx, trace::SpanKind::Timeout, machine_);
+    HawkeyeReply reply;
+    reply.timed_out = true;
+    co_return reply;
+  }
+  auto admission = co_await port_.admit(config_.connect_timeout);
+  if (admission != net::Admission::Ok) {
+    HawkeyeReply reply;
+    reply.timed_out = admission == net::Admission::TimedOut;
+    if (ctx) {
+      ctx.col->instant(ctx,
+                       reply.timed_out ? trace::SpanKind::Timeout
+                                       : trace::SpanKind::Refused,
+                       machine_);
+    }
+    co_return reply;
   }
   net::AdmissionSlot slot(&port_);
-  co_await net_.transfer(client, nic_, config_.request_bytes, ctx,
-                         trace::SpanKind::RequestSend);
+  if (!co_await net_.transfer(client, nic_, config_.request_bytes, ctx,
+                              trace::SpanKind::RequestSend,
+                              config_.connect_timeout)) {
+    HawkeyeReply reply;
+    reply.timed_out = true;
+    co_return reply;
+  }
 
   HawkeyeReply reply;
   {
@@ -110,22 +159,33 @@ sim::Task<HawkeyeReply> Agent::query_module(net::Interface& client,
                       config_.query_base_cpu);
       co_await host_.cpu().consume(config_.query_base_cpu);
     }
-    trace::Span span(ctx, trace::SpanKind::Collect, module_name, 1);
-    for (const auto& mod : modules_) {
-      if (mod.name != module_name) continue;
-      co_await host_.cpu().consume(mod.collect_cpu_ref);
-      ++sequence_;
-      ++collections_;
-      classad::ClassAd fragment = run_module(mod, sequence_, current_load());
-      reply.machines = 1;
-      reply.response_bytes = std::max(fragment.wire_bytes(), 512.0);
-      break;
+    if (collectors_down_) {
+      co_await sim.delay(config_.module_timeout);
+      reply.failed = true;
+      reply.response_bytes = 128;
+      reply.admitted = true;
+    } else {
+      trace::Span span(ctx, trace::SpanKind::Collect, module_name, 1);
+      for (const auto& mod : modules_) {
+        if (mod.name != module_name) continue;
+        co_await host_.cpu().consume(mod.collect_cpu_ref);
+        ++sequence_;
+        ++collections_;
+        classad::ClassAd fragment =
+            run_module(mod, sequence_, current_load());
+        reply.machines = 1;
+        reply.response_bytes = std::max(fragment.wire_bytes(), 512.0);
+        break;
+      }
+      if (reply.machines == 0) reply.response_bytes = 128;  // unknown module
+      reply.admitted = true;
     }
-    if (reply.machines == 0) reply.response_bytes = 128;  // unknown module
-    reply.admitted = true;
   }
-  co_await net_.transfer(nic_, client, reply.response_bytes, ctx,
-                         trace::SpanKind::ResponseSend);
+  if (!co_await net_.transfer(nic_, client, reply.response_bytes, ctx,
+                              trace::SpanKind::ResponseSend,
+                              config_.connect_timeout)) {
+    reply.timed_out = true;
+  }
   co_return reply;
 }
 
@@ -138,6 +198,12 @@ void Agent::start_advertising(Manager& manager) {
 sim::Task<void> Agent::advertise_loop(Manager& manager) {
   auto& sim = host_.simulation();
   while (advertising_) {
+    // A crashed startd (or one whose modules hang) skips its advertise
+    // beats; the Manager's resident ad for this machine goes stale.
+    if (!port_.up() || collectors_down_) {
+      co_await sim.delay(config_.advertise_interval);
+      continue;
+    }
     classad::ClassAd ad;
     {
       auto lease = co_await thread_.acquire();

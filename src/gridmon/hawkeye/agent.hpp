@@ -38,6 +38,12 @@ struct AgentConfig {
   /// The maximum modules an Agent accepts before its Startd crashes — the
   /// paper hit this at 98.
   int max_modules = 98;
+  /// Client/transfer patience on a dead path (blackholed SYN, partitioned
+  /// WAN). Only consulted under faults.
+  double connect_timeout = 75.0;
+  /// How long a hung module is allowed to run before the collection sweep
+  /// gives up (no resident DB, so the query fails outright).
+  double module_timeout = 10.0;
 };
 
 class AgentError : public std::runtime_error {
@@ -82,6 +88,17 @@ class Agent {
 
   std::uint64_t collections() const noexcept { return collections_; }
 
+  // ---- fault injection ----
+  /// Crash the startd (blackhole: the whole machine is gone). Advertising
+  /// pauses while down, so the Manager's resident ad goes stale.
+  void crash(bool blackhole = false) { port_.crash(blackhole); }
+  void restart() { port_.restart(); }
+  bool process_up() const noexcept { return port_.up(); }
+  /// Hang (or un-hang) the monitoring modules: queries wait out
+  /// `module_timeout` under the thread lease, then fail — the Agent has
+  /// no resident database to fall back on.
+  void set_collectors_down(bool down) noexcept { collectors_down_ = down; }
+
  private:
   sim::Task<classad::ClassAd> collect(trace::Ctx ctx = {});
   sim::Task<void> advertise_loop(Manager& manager);
@@ -100,6 +117,7 @@ class Agent {
   std::uint64_t collections_ = 0;
   double forced_load_ = -1;
   bool advertising_ = false;
+  bool collectors_down_ = false;
 };
 
 /// Standalone `hawkeye_advertise`: pushes synthetic Startd ads for a

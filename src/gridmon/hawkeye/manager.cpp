@@ -11,17 +11,36 @@ Manager::Manager(net::Network& net, host::Host& host, net::Interface& nic,
       nic_(nic),
       config_(config),
       thread_(host.simulation(), config.threads),
-      port_(config.backlog) {}
+      port_(host.simulation(), config.backlog) {}
 
 const classad::ClassAd* Manager::find_machine(const std::string& name) const {
   auto it = ads_.find(name);
-  return it == ads_.end() ? nullptr : &it->second;
+  return it == ads_.end() ? nullptr : &it->second.ad;
 }
 
 double Manager::total_attrs() const {
   double n = 0;
-  for (const auto& [name, ad] : ads_) n += static_cast<double>(ad.size());
+  for (const auto& [name, e] : ads_) n += static_cast<double>(e.ad.size());
   return n;
+}
+
+bool Manager::expire_and_check_stale() {
+  double now = host_.simulation().now();
+  if (config_.ad_lifetime > 0) {
+    for (auto it = ads_.begin(); it != ads_.end();) {
+      if (now - it->second.received_at > config_.ad_lifetime) {
+        it = ads_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  if (config_.stale_after <= 0 || ads_.empty()) return false;
+  double newest = -1;
+  for (const auto& [name, e] : ads_) {
+    if (e.received_at > newest) newest = e.received_at;
+  }
+  return now - newest > config_.stale_after;
 }
 
 sim::Task<bool> Manager::advertise(net::Interface& from, classad::ClassAd ad,
@@ -29,7 +48,7 @@ sim::Task<bool> Manager::advertise(net::Interface& from, classad::ClassAd ad,
   if (wire_bytes < 0) wire_bytes = ad.wire_bytes();
   co_await net_.transfer(from, nic_, wire_bytes);
   if (!port_.try_admit()) {
-    ++ads_dropped_;  // UDP-style: overloaded manager loses ads
+    ++ads_dropped_;  // UDP-style: overloaded (or dead) manager loses ads
     co_return false;
   }
   net::AdmissionSlot slot(&port_);
@@ -49,7 +68,7 @@ sim::Task<bool> Manager::advertise(net::Interface& from, classad::ClassAd ad,
       if (trig.action) trig.action(trig.name, machine);
     }
   }
-  ads_[machine] = std::move(ad);
+  ads_[machine] = AdEntry{std::move(ad), now};
   co_return true;
 }
 
@@ -60,20 +79,39 @@ sim::Task<HawkeyeReply> Manager::query_status(net::Interface& client,
     trace::Span tool(ctx, trace::SpanKind::ClientTool);
     co_await sim.delay(config_.client_tool_latency);
   }
-  co_await net_.connect(client, nic_, ctx);
-  if (!port_.try_admit()) {
-    if (ctx) ctx.col->instant(ctx, trace::SpanKind::Refused, "manager");
-    co_return HawkeyeReply{};
+  if (!co_await net_.connect(client, nic_, ctx, config_.connect_timeout)) {
+    if (ctx) ctx.col->instant(ctx, trace::SpanKind::Timeout, "manager");
+    HawkeyeReply reply;
+    reply.timed_out = true;
+    co_return reply;
+  }
+  auto admission = co_await port_.admit(config_.connect_timeout);
+  if (admission != net::Admission::Ok) {
+    HawkeyeReply reply;
+    reply.timed_out = admission == net::Admission::TimedOut;
+    if (ctx) {
+      ctx.col->instant(ctx,
+                       reply.timed_out ? trace::SpanKind::Timeout
+                                       : trace::SpanKind::Refused,
+                       "manager");
+    }
+    co_return reply;
   }
   net::AdmissionSlot slot(&port_);
-  co_await net_.transfer(client, nic_, config_.request_bytes, ctx,
-                         trace::SpanKind::RequestSend);
+  if (!co_await net_.transfer(client, nic_, config_.request_bytes, ctx,
+                              trace::SpanKind::RequestSend,
+                              config_.connect_timeout)) {
+    HawkeyeReply reply;
+    reply.timed_out = true;
+    co_return reply;
+  }
 
   HawkeyeReply reply;
   {
     trace::Span wait(ctx, trace::SpanKind::PoolWait, "manager");
     auto lease = co_await thread_.acquire();
     wait.end();
+    reply.stale = expire_and_check_stale();
     trace::Span cpu(ctx, trace::SpanKind::Cpu, "status");
     co_await host_.cpu().consume(config_.query_base_cpu);
     // Summary line per machine straight out of the indexed store: a fixed
@@ -87,8 +125,11 @@ sim::Task<HawkeyeReply> Manager::query_status(net::Interface& client,
     reply.admitted = true;
     // Single-threaded daemon: the blocking response send happens inside
     // the service thread.
-    co_await net_.transfer(nic_, client, reply.response_bytes, ctx,
-                           trace::SpanKind::ResponseSend);
+    if (!co_await net_.transfer(nic_, client, reply.response_bytes, ctx,
+                                trace::SpanKind::ResponseSend,
+                                config_.connect_timeout)) {
+      reply.timed_out = true;
+    }
   }
   co_return reply;
 }
@@ -100,31 +141,53 @@ sim::Task<HawkeyeReply> Manager::query_dump(net::Interface& client,
     trace::Span tool(ctx, trace::SpanKind::ClientTool);
     co_await sim.delay(config_.client_tool_latency);
   }
-  co_await net_.connect(client, nic_, ctx);
-  if (!port_.try_admit()) {
-    if (ctx) ctx.col->instant(ctx, trace::SpanKind::Refused, "manager");
-    co_return HawkeyeReply{};
+  if (!co_await net_.connect(client, nic_, ctx, config_.connect_timeout)) {
+    if (ctx) ctx.col->instant(ctx, trace::SpanKind::Timeout, "manager");
+    HawkeyeReply reply;
+    reply.timed_out = true;
+    co_return reply;
+  }
+  auto admission = co_await port_.admit(config_.connect_timeout);
+  if (admission != net::Admission::Ok) {
+    HawkeyeReply reply;
+    reply.timed_out = admission == net::Admission::TimedOut;
+    if (ctx) {
+      ctx.col->instant(ctx,
+                       reply.timed_out ? trace::SpanKind::Timeout
+                                       : trace::SpanKind::Refused,
+                       "manager");
+    }
+    co_return reply;
   }
   net::AdmissionSlot slot(&port_);
-  co_await net_.transfer(client, nic_, config_.request_bytes, ctx,
-                         trace::SpanKind::RequestSend);
+  if (!co_await net_.transfer(client, nic_, config_.request_bytes, ctx,
+                              trace::SpanKind::RequestSend,
+                              config_.connect_timeout)) {
+    HawkeyeReply reply;
+    reply.timed_out = true;
+    co_return reply;
+  }
 
   HawkeyeReply reply;
   {
     trace::Span wait(ctx, trace::SpanKind::PoolWait, "manager");
     auto lease = co_await thread_.acquire();
     wait.end();
+    reply.stale = expire_and_check_stale();
     trace::Span cpu(ctx, trace::SpanKind::Cpu, "dump");
     co_await host_.cpu().consume(config_.query_base_cpu);
     co_await host_.cpu().consume(config_.dump_cpu_per_attr * total_attrs());
     cpu.end();
     double bytes = 0;
-    for (const auto& [name, ad] : ads_) bytes += ad.wire_bytes();
+    for (const auto& [name, e] : ads_) bytes += e.ad.wire_bytes();
     reply.machines = ads_.size();
     reply.response_bytes = bytes;
     reply.admitted = true;
-    co_await net_.transfer(nic_, client, reply.response_bytes, ctx,
-                           trace::SpanKind::ResponseSend);
+    if (!co_await net_.transfer(nic_, client, reply.response_bytes, ctx,
+                                trace::SpanKind::ResponseSend,
+                                config_.connect_timeout)) {
+      reply.timed_out = true;
+    }
   }
   co_return reply;
 }
@@ -136,21 +199,40 @@ sim::Task<HawkeyeReply> Manager::query_constraint(
     trace::Span tool(ctx, trace::SpanKind::ClientTool);
     co_await sim.delay(config_.client_tool_latency);
   }
-  co_await net_.connect(client, nic_, ctx);
-  if (!port_.try_admit()) {
-    if (ctx) ctx.col->instant(ctx, trace::SpanKind::Refused, "manager");
-    co_return HawkeyeReply{};
+  if (!co_await net_.connect(client, nic_, ctx, config_.connect_timeout)) {
+    if (ctx) ctx.col->instant(ctx, trace::SpanKind::Timeout, "manager");
+    HawkeyeReply reply;
+    reply.timed_out = true;
+    co_return reply;
+  }
+  auto admission = co_await port_.admit(config_.connect_timeout);
+  if (admission != net::Admission::Ok) {
+    HawkeyeReply reply;
+    reply.timed_out = admission == net::Admission::TimedOut;
+    if (ctx) {
+      ctx.col->instant(ctx,
+                       reply.timed_out ? trace::SpanKind::Timeout
+                                       : trace::SpanKind::Refused,
+                       "manager");
+    }
+    co_return reply;
   }
   net::AdmissionSlot slot(&port_);
-  co_await net_.transfer(client, nic_,
-                         config_.request_bytes + constraint.size(), ctx,
-                         trace::SpanKind::RequestSend);
+  if (!co_await net_.transfer(client, nic_,
+                              config_.request_bytes + constraint.size(), ctx,
+                              trace::SpanKind::RequestSend,
+                              config_.connect_timeout)) {
+    HawkeyeReply reply;
+    reply.timed_out = true;
+    co_return reply;
+  }
 
   HawkeyeReply reply;
   {
     trace::Span wait(ctx, trace::SpanKind::PoolWait, "manager");
     auto lease = co_await thread_.acquire();
     wait.end();
+    reply.stale = expire_and_check_stale();
     {
       trace::Span cpu(ctx, trace::SpanKind::Cpu, "query_base",
                       config_.query_base_cpu);
@@ -163,18 +245,21 @@ sim::Task<HawkeyeReply> Manager::query_constraint(
                                  static_cast<double>(ads_.size()));
     double bytes = 128;  // envelope
     std::size_t matches = 0;
-    for (const auto& [name, ad] : ads_) {
-      if (classad::satisfies(ad, *expr, sim.now())) {
+    for (const auto& [name, e] : ads_) {
+      if (classad::satisfies(e.ad, *expr, sim.now())) {
         ++matches;
-        bytes += ad.wire_bytes();
+        bytes += e.ad.wire_bytes();
       }
     }
     scan.end();
     reply.machines = matches;
     reply.response_bytes = bytes;
     reply.admitted = true;
-    co_await net_.transfer(nic_, client, reply.response_bytes, ctx,
-                           trace::SpanKind::ResponseSend);
+    if (!co_await net_.transfer(nic_, client, reply.response_bytes, ctx,
+                                trace::SpanKind::ResponseSend,
+                                config_.connect_timeout)) {
+      reply.timed_out = true;
+    }
   }
   co_return reply;
 }
@@ -188,20 +273,39 @@ sim::Task<HawkeyeReply> Manager::lookup_agent(net::Interface& client,
     trace::Span tool(ctx, trace::SpanKind::ClientTool);
     co_await sim.delay(config_.client_tool_latency);
   }
-  co_await net_.connect(client, nic_, ctx);
-  if (!port_.try_admit()) {
-    if (ctx) ctx.col->instant(ctx, trace::SpanKind::Refused, "manager");
-    co_return HawkeyeReply{};
+  if (!co_await net_.connect(client, nic_, ctx, config_.connect_timeout)) {
+    if (ctx) ctx.col->instant(ctx, trace::SpanKind::Timeout, "manager");
+    HawkeyeReply reply;
+    reply.timed_out = true;
+    co_return reply;
+  }
+  auto admission = co_await port_.admit(config_.connect_timeout);
+  if (admission != net::Admission::Ok) {
+    HawkeyeReply reply;
+    reply.timed_out = admission == net::Admission::TimedOut;
+    if (ctx) {
+      ctx.col->instant(ctx,
+                       reply.timed_out ? trace::SpanKind::Timeout
+                                       : trace::SpanKind::Refused,
+                       "manager");
+    }
+    co_return reply;
   }
   net::AdmissionSlot slot(&port_);
-  co_await net_.transfer(client, nic_, config_.request_bytes, ctx,
-                         trace::SpanKind::RequestSend);
+  if (!co_await net_.transfer(client, nic_, config_.request_bytes, ctx,
+                              trace::SpanKind::RequestSend,
+                              config_.connect_timeout)) {
+    HawkeyeReply reply;
+    reply.timed_out = true;
+    co_return reply;
+  }
 
   HawkeyeReply reply;
   {
     trace::Span wait(ctx, trace::SpanKind::PoolWait, "manager");
     auto lease = co_await thread_.acquire();
     wait.end();
+    reply.stale = expire_and_check_stale();
     trace::Span cpu(ctx, trace::SpanKind::Cpu, "lookup");
     co_await host_.cpu().consume(config_.query_base_cpu);
     cpu.end();
@@ -212,8 +316,11 @@ sim::Task<HawkeyeReply> Manager::lookup_agent(net::Interface& client,
     }
     reply.response_bytes = 256;
     reply.admitted = true;
-    co_await net_.transfer(nic_, client, reply.response_bytes, ctx,
-                           trace::SpanKind::ResponseSend);
+    if (!co_await net_.transfer(nic_, client, reply.response_bytes, ctx,
+                                trace::SpanKind::ResponseSend,
+                                config_.connect_timeout)) {
+      reply.timed_out = true;
+    }
   }
   co_return reply;
 }

@@ -30,6 +30,9 @@ struct HawkeyeReply {
   bool admitted = false;
   std::size_t machines = 0;  // machines covered by the reply
   double response_bytes = 0;
+  bool timed_out = false;  // connect or transfer gave up on a dead path
+  bool failed = false;     // admitted but collection failed (hung module)
+  bool stale = false;      // every resident ad is older than stale_after
 };
 
 struct ManagerConfig {
@@ -51,6 +54,17 @@ struct ManagerConfig {
   /// Summary bytes per machine in a status reply.
   double status_bytes_per_machine = 2000;
   double request_bytes = 320;
+  /// Client/transfer patience on a dead path (blackholed SYN, partitioned
+  /// WAN). Only consulted under faults.
+  double connect_timeout = 75.0;
+  /// Resident ads older than this are dropped at query time — the
+  /// classad-lifetime expiry of the real Collector. 0 keeps ads forever
+  /// (exactly the pre-fault behaviour).
+  double ad_lifetime = 0;
+  /// Replies whose newest resident ad is older than this are flagged
+  /// stale (the pool stopped advertising — e.g. every agent crashed).
+  /// 0 disables the check.
+  double stale_after = 0;
 };
 
 class Manager {
@@ -124,6 +138,17 @@ class Manager {
   std::uint64_t ads_dropped() const noexcept { return ads_dropped_; }
   std::uint64_t trigger_firings() const noexcept { return trigger_firings_; }
 
+  // ---- fault injection ----
+  /// Crash the Manager daemon (blackhole: the head node is gone). The
+  /// resident ad database is volatile: restart comes back empty and
+  /// re-learns the pool from the agents' next advertise beats.
+  void crash(bool blackhole = false) {
+    port_.crash(blackhole);
+    ads_.clear();
+  }
+  void restart() { port_.restart(); }
+  bool process_up() const noexcept { return port_.up(); }
+
  private:
   struct Trigger {
     std::string name;
@@ -131,7 +156,15 @@ class Manager {
     TriggerAction action;
   };
 
+  struct AdEntry {
+    classad::ClassAd ad;
+    double received_at = 0;
+  };
+
   double total_attrs() const;
+  /// Drop resident ads past ad_lifetime (no-op when disabled) and return
+  /// whether what remains is uniformly older than stale_after.
+  bool expire_and_check_stale();
 
   net::Network& net_;
   host::Host& host_;
@@ -140,7 +173,7 @@ class Manager {
   sim::Resource thread_;
   net::ServerPort port_;
   // The indexed resident database: machine name -> latest Startd ad.
-  std::map<std::string, classad::ClassAd> ads_;
+  std::map<std::string, AdEntry> ads_;
   std::vector<Trigger> triggers_;
   sim::Task<void> send_email(net::Interface* admin, std::string trigger_name,
                              std::string machine, TriggerAction after);

@@ -27,7 +27,7 @@ Giis::Giis(net::Network& net, host::Host& host, net::Interface& nic,
       config_(config),
       refresh_done_(host.simulation()),
       pool_(host.simulation(), config.pool_size),
-      port_(config.backlog) {
+      port_(host.simulation(), config.backlog) {
   ldap::Entry root(grid_root());
   root.add("objectclass", "organization");
   dit_.add(std::move(root));
@@ -50,6 +50,22 @@ void Giis::add_registrant(MdsNode& node) {
   if (inserted || !was_alive) {
     host_.simulation().spawn(registration_loop(node));
   }
+}
+
+void Giis::crash(bool blackhole) {
+  port_.crash(blackhole);
+  // Volatile state: the aggregate tree and the registration table both
+  // live in the slapd process. Registrant-side loops keep beating (their
+  // cron does not know the GIIS died) and re-populate after restart.
+  dit_ = ldap::Dit{};
+  ldap::Entry root(grid_root());
+  root.add("objectclass", "organization");
+  dit_.add(std::move(root));
+  for (auto& [name, r] : registrants_) {
+    r.fetched = false;
+    r.expires_at = -1;
+  }
+  cache_fresh_until_ = -1;
 }
 
 void Giis::kill_registrant(const std::string& node_name) {
@@ -77,7 +93,9 @@ sim::Task<void> Giis::registration_loop(MdsNode& node) {
       100000.0 * interval;
   co_await sim.delay(phase);
   for (;;) {
-    co_await serve_registration(node);
+    // A crashed registrant skips its beats (nothing left to send them);
+    // the registration then ages out and revives after its restart.
+    if (node.node_up()) co_await serve_registration(node);
     co_await sim.delay(node.registration_interval());
     auto it = registrants_.find(node.node_name());
     if (it == registrants_.end() || !it->second.alive) co_return;
@@ -87,6 +105,9 @@ sim::Task<void> Giis::registration_loop(MdsNode& node) {
 sim::Task<void> Giis::serve_registration(MdsNode& node) {
   co_await net_.transfer(node.registration_nic(), nic_,
                          config_.registration_bytes);
+  // A registration arriving while this GIIS is down is simply lost; the
+  // registrant's next beat after restart re-establishes it.
+  if (!port_.up()) co_return;
   co_await host_.cpu().consume(config_.registration_cpu);
   ++registrations_;
   auto it = registrants_.find(node.node_name());
@@ -213,15 +234,33 @@ sim::Task<MdsReply> Giis::search(net::Interface& client,
     trace::Span tool(ctx, trace::SpanKind::ClientTool);
     co_await sim.delay(config_.client_tool_latency);
   }
-  co_await net_.connect(client, nic_, ctx);
-  if (!port_.try_admit()) {
-    if (ctx) ctx.col->instant(ctx, trace::SpanKind::Refused, name_);
-    co_return MdsReply{};
+  if (!co_await net_.connect(client, nic_, ctx, config_.connect_timeout)) {
+    if (ctx) ctx.col->instant(ctx, trace::SpanKind::Timeout, name_);
+    MdsReply reply;
+    reply.timed_out = true;
+    co_return reply;
+  }
+  auto admission = co_await port_.admit(config_.connect_timeout);
+  if (admission != net::Admission::Ok) {
+    MdsReply reply;
+    reply.timed_out = admission == net::Admission::TimedOut;
+    if (ctx) {
+      ctx.col->instant(ctx,
+                       reply.timed_out ? trace::SpanKind::Timeout
+                                       : trace::SpanKind::Refused,
+                       name_);
+    }
+    co_return reply;
   }
   net::AdmissionSlot slot(&port_);
-  co_await net_.transfer(client, nic_,
-                         config_.request_bytes + request.filter.size(), ctx,
-                         trace::SpanKind::RequestSend);
+  if (!co_await net_.transfer(client, nic_,
+                              config_.request_bytes + request.filter.size(),
+                              ctx, trace::SpanKind::RequestSend,
+                              config_.connect_timeout)) {
+    MdsReply reply;
+    reply.timed_out = true;
+    co_return reply;
+  }
 
   MdsReply reply;
   {
@@ -250,18 +289,36 @@ sim::Task<MdsReply> Giis::search(net::Interface& client,
     reply.admitted = true;
     reply.payload = std::move(result.entries);
   }
-  co_await net_.transfer(nic_, client, reply.response_bytes, ctx,
-                         trace::SpanKind::ResponseSend);
+  if (!co_await net_.transfer(nic_, client, reply.response_bytes, ctx,
+                              trace::SpanKind::ResponseSend,
+                              config_.connect_timeout)) {
+    reply.timed_out = true;
+  }
   co_return reply;
 }
 
 sim::Task<MdsReply> Giis::fetch(net::Interface& requester, trace::Ctx ctx) {
   trace::Span span(ctx, trace::SpanKind::Fetch, name_);
-  co_await net_.connect(requester, nic_, span.ctx());
-  if (!port_.try_admit()) co_return MdsReply{};
+  if (!co_await net_.connect(requester, nic_, span.ctx(),
+                             config_.connect_timeout)) {
+    MdsReply reply;
+    reply.timed_out = true;
+    co_return reply;
+  }
+  auto admission = co_await port_.admit(config_.connect_timeout);
+  if (admission != net::Admission::Ok) {
+    MdsReply reply;
+    reply.timed_out = admission == net::Admission::TimedOut;
+    co_return reply;
+  }
   net::AdmissionSlot slot(&port_);
-  co_await net_.transfer(requester, nic_, config_.request_bytes, span.ctx(),
-                         trace::SpanKind::RequestSend);
+  if (!co_await net_.transfer(requester, nic_, config_.request_bytes,
+                              span.ctx(), trace::SpanKind::RequestSend,
+                              config_.connect_timeout)) {
+    MdsReply reply;
+    reply.timed_out = true;
+    co_return reply;
+  }
 
   MdsReply reply;
   {
@@ -290,8 +347,11 @@ sim::Task<MdsReply> Giis::fetch(net::Interface& requester, trace::Ctx ctx) {
     reply.payload = std::move(result.entries);
     reply.admitted = true;
   }
-  co_await net_.transfer(nic_, requester, reply.response_bytes, span.ctx(),
-                         trace::SpanKind::ResponseSend);
+  if (!co_await net_.transfer(nic_, requester, reply.response_bytes,
+                              span.ctx(), trace::SpanKind::ResponseSend,
+                              config_.connect_timeout)) {
+    reply.timed_out = true;
+  }
   co_return reply;
 }
 

@@ -51,6 +51,9 @@ struct GiisConfig {
   double request_bytes = 512;
   /// Re-registration period when this GIIS registers upward to a parent.
   double upward_registration_interval = 30.0;
+  /// Client/transfer patience on a dead path (blackholed SYN, partitioned
+  /// WAN). Only consulted under faults.
+  double connect_timeout = 75.0;
 };
 
 class Giis final : public MdsNode {
@@ -105,6 +108,15 @@ class Giis final : public MdsNode {
   /// cascade down a multi-level hierarchy.
   sim::Task<MdsReply> fetch(net::Interface& requester,
                             trace::Ctx ctx = {}) override;
+  bool node_up() const override { return port_.up(); }
+
+  // ---- fault injection ----
+  /// Crash the slapd: the aggregate DIT and registration table are
+  /// volatile, so restart comes back with an empty tree and re-learns
+  /// registrants from their next soft-state beats.
+  void crash(bool blackhole = false);
+  void restart() { port_.restart(); }
+  bool process_up() const noexcept { return port_.up(); }
 
  private:
   struct Registrant {

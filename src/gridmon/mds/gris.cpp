@@ -12,7 +12,7 @@ Gris::Gris(net::Network& net, host::Host& host, net::Interface& nic,
       host_dn_(ldap::Dn::parse("Mds-Host-hn=" + name_ + ", o=grid")),
       config_(config),
       pool_(host.simulation(), config.pool_size),
-      port_(config.backlog) {
+      port_(host.simulation(), config.backlog) {
   // Root + host entry so provider entries always have a parent.
   ldap::Entry root(ldap::Dn::parse("o=grid"));
   root.add("objectclass", "organization");
@@ -24,7 +24,7 @@ Gris::Gris(net::Network& net, host::Host& host, net::Interface& nic,
 
   providers_.reserve(providers.size());
   for (auto& spec : providers) {
-    providers_.push_back(ProviderState{std::move(spec), -1, 0});
+    providers_.push_back(ProviderState{std::move(spec), -1, 0, false});
   }
 }
 
@@ -51,17 +51,40 @@ ldap::FilterPtr Gris::scope_filter(QueryScope scope) const {
   return ldap::Filter::parse("(objectclass=MdsDevice)");
 }
 
-sim::Task<bool> Gris::refresh(QueryScope scope, trace::Ctx ctx) {
+sim::Task<Gris::RefreshOutcome> Gris::refresh(QueryScope scope,
+                                              trace::Ctx ctx) {
   auto& sim = host_.simulation();
-  bool all_fresh = true;
+  RefreshOutcome out;
   std::size_t limit =
       (scope == QueryScope::Part && !providers_.empty()) ? 1
                                                          : providers_.size();
   for (std::size_t i = 0; i < limit; ++i) {
     ProviderState& p = providers_[i];
     bool fresh = config_.cache_enabled && sim.now() < p.fresh_until;
-    if (fresh) continue;
-    all_fresh = false;
+    if (fresh) {
+      // Negative-cached entries from a failed refresh are still expired
+      // data even though the TTL bookkeeping calls them fresh.
+      if (p.stale) out.stale = true;
+      continue;
+    }
+    out.hit = false;
+    if (collectors_down_) {
+      // The provider script hangs (wedged daemon, dead NFS mount): the
+      // worker waits out the exec timeout, holding its pool lease, then
+      // either serves the expired cache or gives up.
+      co_await sim.delay(config_.provider_timeout);
+      if (config_.cache_enabled && p.sequence > 0) {
+        out.stale = true;
+        // slapd keeps serving the old entry and re-tries the script only
+        // after another TTL: the outage surfaces as stale data, not as a
+        // server that hangs on every query.
+        p.stale = true;
+        p.fresh_until = sim.now() + p.spec.cache_ttl;
+      } else {
+        out.failed = true;
+      }
+      continue;
+    }
     // Fork and run the provider script on this host's CPU.
     co_await host_.fork_exec(p.spec.exec_cpu_ref, ctx, p.spec.name);
     ++provider_runs_;
@@ -70,8 +93,9 @@ sim::Task<bool> Gris::refresh(QueryScope scope, trace::Ctx ctx) {
       dit_.add(std::move(entry));
     }
     p.fresh_until = sim.now() + p.spec.cache_ttl;
+    p.stale = false;
   }
-  co_return all_fresh;
+  co_return out;
 }
 
 sim::Task<MdsReply> Gris::serve(QueryScope scope, trace::Ctx ctx) {
@@ -95,8 +119,11 @@ sim::Task<MdsReply> Gris::serve_filter(QueryScope refresh_scope,
     co_await host_.cpu().consume(config_.query_base_cpu);
   }
 
-  bool hit = co_await refresh(refresh_scope, ctx);
+  RefreshOutcome outcome = co_await refresh(refresh_scope, ctx);
+  bool hit = outcome.hit;
   reply.cache_hit = hit;
+  reply.stale = outcome.stale;
+  reply.failed = outcome.failed;
   if (hit && config_.cache_enabled && config_.cache_serve_latency > 0) {
     // Backend freshness re-validation (polling waits, not CPU).
     trace::Span validate(ctx, trace::SpanKind::CacheValidate);
@@ -130,23 +157,44 @@ sim::Task<MdsReply> Gris::search(net::Interface& client,
     trace::Span tool(ctx, trace::SpanKind::ClientTool);
     co_await sim.delay(config_.client_tool_latency);
   }
-  co_await net_.connect(client, nic_, ctx);
-  if (!port_.try_admit()) {
-    if (ctx) ctx.col->instant(ctx, trace::SpanKind::Refused, name_);
-    co_return MdsReply{};
+  if (!co_await net_.connect(client, nic_, ctx, config_.connect_timeout)) {
+    if (ctx) ctx.col->instant(ctx, trace::SpanKind::Timeout, name_);
+    MdsReply reply;
+    reply.timed_out = true;
+    co_return reply;
+  }
+  auto admission = co_await port_.admit(config_.connect_timeout);
+  if (admission != net::Admission::Ok) {
+    MdsReply reply;
+    reply.timed_out = admission == net::Admission::TimedOut;
+    if (ctx) {
+      ctx.col->instant(ctx,
+                       reply.timed_out ? trace::SpanKind::Timeout
+                                       : trace::SpanKind::Refused,
+                       name_);
+    }
+    co_return reply;
   }
   net::AdmissionSlot slot(&port_);
-  co_await net_.transfer(client, nic_,
-                         config_.request_bytes + request.filter.size(), ctx,
-                         trace::SpanKind::RequestSend);
+  if (!co_await net_.transfer(client, nic_,
+                              config_.request_bytes + request.filter.size(),
+                              ctx, trace::SpanKind::RequestSend,
+                              config_.connect_timeout)) {
+    MdsReply reply;
+    reply.timed_out = true;
+    co_return reply;
+  }
 
   auto filter = ldap::Filter::parse(request.filter);
   MdsReply reply = co_await serve_filter(QueryScope::All, *filter,
                                          std::move(request.attributes),
                                          request.size_limit, ctx);
   reply.admitted = true;
-  co_await net_.transfer(nic_, client, reply.response_bytes, ctx,
-                         trace::SpanKind::ResponseSend);
+  if (!co_await net_.transfer(nic_, client, reply.response_bytes, ctx,
+                              trace::SpanKind::ResponseSend,
+                              config_.connect_timeout)) {
+    reply.timed_out = true;
+  }
   co_return reply;
 }
 
@@ -158,36 +206,73 @@ sim::Task<MdsReply> Gris::query(net::Interface& client, QueryScope scope,
     trace::Span tool(ctx, trace::SpanKind::ClientTool);
     co_await sim.delay(config_.client_tool_latency);
   }
-  co_await net_.connect(client, nic_, ctx);
-  if (!port_.try_admit()) {
-    if (ctx) ctx.col->instant(ctx, trace::SpanKind::Refused, name_);
-    co_return MdsReply{};  // connection refused
+  if (!co_await net_.connect(client, nic_, ctx, config_.connect_timeout)) {
+    if (ctx) ctx.col->instant(ctx, trace::SpanKind::Timeout, name_);
+    MdsReply reply;
+    reply.timed_out = true;
+    co_return reply;
+  }
+  auto admission = co_await port_.admit(config_.connect_timeout);
+  if (admission != net::Admission::Ok) {
+    MdsReply reply;
+    reply.timed_out = admission == net::Admission::TimedOut;
+    if (ctx) {
+      ctx.col->instant(ctx,
+                       reply.timed_out ? trace::SpanKind::Timeout
+                                       : trace::SpanKind::Refused,
+                       name_);
+    }
+    co_return reply;  // connection refused or SYNs swallowed
   }
   net::AdmissionSlot slot(&port_);
-  co_await net_.transfer(client, nic_, config_.request_bytes, ctx,
-                         trace::SpanKind::RequestSend);
+  if (!co_await net_.transfer(client, nic_, config_.request_bytes, ctx,
+                              trace::SpanKind::RequestSend,
+                              config_.connect_timeout)) {
+    MdsReply reply;
+    reply.timed_out = true;
+    co_return reply;
+  }
 
   MdsReply reply = co_await serve(scope, ctx);
   reply.admitted = true;
 
-  co_await net_.transfer(nic_, client, reply.response_bytes, ctx,
-                         trace::SpanKind::ResponseSend);
+  if (!co_await net_.transfer(nic_, client, reply.response_bytes, ctx,
+                              trace::SpanKind::ResponseSend,
+                              config_.connect_timeout)) {
+    reply.timed_out = true;
+  }
   co_return reply;
 }
 
 sim::Task<MdsReply> Gris::fetch(net::Interface& requester, trace::Ctx ctx) {
   trace::Span span(ctx, trace::SpanKind::Fetch, name_);
-  co_await net_.connect(requester, nic_, span.ctx());
-  if (!port_.try_admit()) {
-    co_return MdsReply{};
+  if (!co_await net_.connect(requester, nic_, span.ctx(),
+                             config_.connect_timeout)) {
+    MdsReply reply;
+    reply.timed_out = true;
+    co_return reply;
+  }
+  auto admission = co_await port_.admit(config_.connect_timeout);
+  if (admission != net::Admission::Ok) {
+    MdsReply reply;
+    reply.timed_out = admission == net::Admission::TimedOut;
+    co_return reply;
   }
   net::AdmissionSlot slot(&port_);
-  co_await net_.transfer(requester, nic_, config_.request_bytes, span.ctx(),
-                         trace::SpanKind::RequestSend);
+  if (!co_await net_.transfer(requester, nic_, config_.request_bytes,
+                              span.ctx(), trace::SpanKind::RequestSend,
+                              config_.connect_timeout)) {
+    MdsReply reply;
+    reply.timed_out = true;
+    co_return reply;
+  }
   MdsReply reply = co_await serve(QueryScope::All, span.ctx());
   reply.admitted = true;
-  co_await net_.transfer(nic_, requester, reply.response_bytes, span.ctx(),
-                         trace::SpanKind::ResponseSend);
+  if (!co_await net_.transfer(nic_, requester, reply.response_bytes,
+                              span.ctx(), trace::SpanKind::ResponseSend,
+                              config_.connect_timeout)) {
+    reply.timed_out = true;
+  }
   co_return reply;
 }
 

@@ -42,6 +42,9 @@ struct MdsReply {
   std::size_t entries = 0;      // entries returned
   double response_bytes = 0;
   bool cache_hit = true;
+  bool timed_out = false;  // connect or transfer gave up on a dead path
+  bool failed = false;     // admitted but the backend could not collect
+  bool stale = false;      // served from an expired cache (collector down)
   /// The entries themselves (consumed by a GIIS merging a fetch; plain
   /// clients can ignore it).
   std::vector<ldap::Entry> payload;
@@ -72,6 +75,13 @@ struct GrisConfig {
   bool cache_enabled = true;
   /// Soft-state re-registration period toward a GIIS.
   double registration_interval = 30.0;
+  /// How long a client (or this server's transfers) waits on a dead path —
+  /// blackholed SYN or partitioned WAN — before giving up. Only consulted
+  /// under faults; fault-free runs never hit it.
+  double connect_timeout = 75.0;
+  /// How long a worker waits on a hung provider script before declaring
+  /// the collection failed (exec timeout). The lease is held throughout.
+  double provider_timeout = 10.0;
 };
 
 class Gris final : public MdsNode {
@@ -126,17 +136,42 @@ class Gris final : public MdsNode {
 
   net::ServerPort& port() noexcept { return port_; }
 
+  // ---- fault injection ----
+  /// Crash the slapd (blackhole: the whole host vanished). The provider
+  /// cache is volatile: restart comes back cold.
+  void crash(bool blackhole = false) {
+    port_.crash(blackhole);
+    for (auto& p : providers_) {
+      p.fresh_until = -1;  // the slapd cache is volatile
+      p.stale = false;
+    }
+  }
+  void restart() { port_.restart(); }
+  bool process_up() const noexcept { return port_.up(); }
+  /// Hang (or un-hang) the information provider scripts: queries needing
+  /// fresh data wait out `provider_timeout`, then either serve the expired
+  /// cache (stale) or fail.
+  void set_collectors_down(bool down) noexcept { collectors_down_ = down; }
+  bool node_up() const override { return port_.up(); }
+
  private:
   struct ProviderState {
     ProviderSpec spec;
     double fresh_until = -1;  // simulated time the cached data expires
     std::uint64_t sequence = 0;
+    bool stale = false;  // the cached entries outlived a failed refresh
+  };
+
+  /// What a backend refresh pass actually delivered.
+  struct RefreshOutcome {
+    bool hit = true;     // everything already fresh (a cache hit)
+    bool stale = false;  // expired cache served because a provider hung
+    bool failed = false;  // no data obtainable for some needed provider
   };
 
   /// Ensure provider data needed by `scope` is in the DIT, forking the
-  /// provider scripts for anything stale. Returns true if everything was
-  /// already fresh (a cache hit).
-  sim::Task<bool> refresh(QueryScope scope, trace::Ctx ctx);
+  /// provider scripts for anything stale.
+  sim::Task<RefreshOutcome> refresh(QueryScope scope, trace::Ctx ctx);
 
   /// The search itself plus CPU charges; returns the reply (admitted set
   /// by caller).
@@ -162,6 +197,7 @@ class Gris final : public MdsNode {
   sim::Resource pool_;
   net::ServerPort port_;
   std::uint64_t provider_runs_ = 0;
+  bool collectors_down_ = false;
 };
 
 }  // namespace gridmon::mds

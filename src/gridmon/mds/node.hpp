@@ -39,6 +39,9 @@ class MdsNode {
   /// either already live under suffix() or are rebased there on merge.
   virtual sim::Task<MdsReply> fetch(net::Interface& requester,
                                     trace::Ctx ctx = {}) = 0;
+  /// Whether the registrant's own daemon is alive. A crashed node skips
+  /// its soft-state registration beats, so aggregators age it out.
+  virtual bool node_up() const { return true; }
 };
 
 }  // namespace gridmon::mds

@@ -119,24 +119,39 @@ class Network {
   /// overhead, shares the sender NIC, (for cross-site flows) the WAN pipe,
   /// and the receiver NIC, then waits propagation latency. Loopback
   /// traffic bypasses the NIC entirely. A transfer across a partitioned
-  /// WAN stalls (TCP retransmission) until the link heals.
+  /// WAN stalls (TCP retransmission) until the link heals — or, when the
+  /// caller passes a non-negative `stall_timeout`, gives up after waiting
+  /// that many seconds for the heal and returns false (connection reset /
+  /// retransmission limit). The timeout bounds only the partition stall,
+  /// not bandwidth-sharing time, so fault-free behaviour is unchanged.
+  /// Returns true when the payload was delivered.
   /// The optional trace context opens a span of `kind` covering the whole
   /// store-and-forward path (tx share, WAN share, rx share, propagation);
   /// its arg records the payload bytes.
-  sim::Task<void> transfer(Interface& from, Interface& to,
+  sim::Task<bool> transfer(Interface& from, Interface& to,
                            double payload_bytes, trace::Ctx ctx = {},
-                           trace::SpanKind kind = trace::SpanKind::NetTransfer) {
-    if (&from == &to) co_return;  // local IPC: negligible at this scale
+                           trace::SpanKind kind = trace::SpanKind::NetTransfer,
+                           double stall_timeout = -1) {
+    if (&from == &to) co_return true;  // local IPC: negligible at this scale
     trace::Span span(ctx, kind, {}, payload_bytes);
     double bytes = payload_bytes + kMessageOverheadBytes;
     co_await from.tx().consume(bytes);
     if (from.site() != to.site()) {
       Wan& wan = wan_between(from.site(), to.site());
-      while (wan.down) co_await *wan.healed;
+      if (stall_timeout < 0) {
+        while (wan.down) co_await *wan.healed;
+      } else {
+        double deadline = sim_.now() + stall_timeout;
+        while (wan.down) {
+          bool healed = co_await wan.healed->wait_for(deadline - sim_.now());
+          if (!healed && wan.down) co_return false;
+        }
+      }
       co_await wan.pipe.consume(bytes);
     }
     co_await to.rx().consume(bytes);
     co_await sim_.delay(latency(from, to));
+    co_return true;
   }
 
   /// Fault injection: partition (or heal) the WAN between two sites.
@@ -153,13 +168,28 @@ class Network {
     return wan_between(a, b).down;
   }
 
+  /// Fault injection: scale the WAN pipe rate to `factor` of the spec'd
+  /// bandwidth (factor 1 restores it). Models link degradation — loss or
+  /// competing bulk traffic — without partitioning the path.
+  void set_wan_degraded(const std::string& a, const std::string& b,
+                        double factor) {
+    Wan& wan = wan_between(a, b);
+    wan.pipe.set_total_rate(wan.spec.bandwidth_bytes_per_s * factor);
+  }
+
   /// TCP-style connection establishment: one round trip of small packets.
   /// Traced as a single Connect span (the SYN legs are not split out).
-  sim::Task<void> connect(Interface& from, Interface& to,
-                          trace::Ctx ctx = {}) {
+  /// Returns false when a SYN times out across a downed WAN (see
+  /// `transfer`); with the default stall_timeout it never fails.
+  sim::Task<bool> connect(Interface& from, Interface& to,
+                          trace::Ctx ctx = {}, double stall_timeout = -1) {
     trace::Span span(ctx, trace::SpanKind::Connect);
-    co_await transfer(from, to, kSynBytes);
-    co_await transfer(to, from, kSynBytes);
+    if (!co_await transfer(from, to, kSynBytes, {},
+                           trace::SpanKind::NetTransfer, stall_timeout)) {
+      co_return false;
+    }
+    co_return co_await transfer(to, from, kSynBytes, {},
+                                trace::SpanKind::NetTransfer, stall_timeout);
   }
 
   sim::Simulation& simulation() noexcept { return sim_; }

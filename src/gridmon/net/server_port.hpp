@@ -12,22 +12,41 @@
 /// concurrent queries presented to the information server" — throughput
 /// flattens and *host load drops*, because most clients sit in
 /// exponential backoff instead of being served.
+///
+/// For fault injection the port also models the two classic failure
+/// signatures of a dead service:
+///  - Refusing: the process is down but the host is up, so connections
+///    get an immediate RST (cheap, client retries fast).
+///  - Blackhole: the host is gone, SYNs vanish, and the client hangs
+///    until its own connect timeout expires (expensive).
 
 #include <cstdint>
 #include <utility>
 
+#include "gridmon/sim/event.hpp"
+#include "gridmon/sim/simulation.hpp"
+#include "gridmon/sim/task.hpp"
+
 namespace gridmon::net {
+
+enum class PortState { Up, Refusing, Blackhole };
+
+/// Outcome of an `admit()` attempt.
+enum class Admission { Ok, Refused, TimedOut };
 
 class ServerPort {
  public:
-  explicit ServerPort(int backlog) : backlog_(backlog) {}
+  ServerPort(sim::Simulation& sim, int backlog)
+      : backlog_(backlog), up_(sim) {
+    up_.trigger();
+  }
   ServerPort(const ServerPort&) = delete;
   ServerPort& operator=(const ServerPort&) = delete;
 
   /// Try to admit a new request. Returns false (a refused connection)
-  /// when the backlog is full.
+  /// when the backlog is full or the service is down.
   bool try_admit() {
-    if (in_flight_ >= backlog_) {
+    if (state_ != PortState::Up || in_flight_ >= backlog_) {
       ++refused_;
       return false;
     }
@@ -36,8 +55,49 @@ class ServerPort {
     return true;
   }
 
+  /// Admission with failure semantics. When the port is Up this behaves
+  /// exactly like try_admit() and completes synchronously (the coroutine
+  /// never suspends, so fault-free runs cost no sim events). A Refusing
+  /// port answers immediately; a Blackhole port swallows the attempt until
+  /// the service restarts or `timeout` seconds pass (timeout < 0 waits
+  /// forever, like a client with no connect timeout).
+  sim::Task<Admission> admit(double timeout = -1) {
+    if (state_ == PortState::Blackhole) {
+      if (timeout < 0) {
+        while (state_ == PortState::Blackhole) co_await up_;
+      } else {
+        double deadline = up_.sim().now() + timeout;
+        while (state_ == PortState::Blackhole) {
+          bool restarted = co_await up_.wait_for(deadline - up_.sim().now());
+          if (!restarted && state_ == PortState::Blackhole) {
+            ++refused_;
+            co_return Admission::TimedOut;
+          }
+        }
+      }
+    }
+    co_return try_admit() ? Admission::Ok : Admission::Refused;
+  }
+
   /// Release the admission slot (request fully processed or failed).
   void release() { --in_flight_; }
+
+  /// Crash the service: refuse (RST) or, when the whole host is gone,
+  /// blackhole new connections. In-flight requests are the caller's
+  /// problem — services drop them at their own crash points.
+  void crash(bool blackhole = false) {
+    state_ = blackhole ? PortState::Blackhole : PortState::Refusing;
+    up_.reset();
+  }
+
+  /// Bring the service back; wakes clients hanging on a blackholed SYN.
+  void restart() {
+    state_ = PortState::Up;
+    up_.trigger();
+  }
+
+  bool up() const noexcept { return state_ == PortState::Up; }
+  PortState state() const noexcept { return state_; }
 
   int in_flight() const noexcept { return in_flight_; }
   int backlog() const noexcept { return backlog_; }
@@ -46,9 +106,11 @@ class ServerPort {
 
  private:
   int backlog_;
+  PortState state_ = PortState::Up;
   int in_flight_ = 0;
   std::uint64_t admitted_ = 0;
   std::uint64_t refused_ = 0;
+  sim::Event up_;
 };
 
 /// RAII admission slot.

@@ -15,7 +15,7 @@ ConsumerServlet::ConsumerServlet(net::Network& net, host::Host& host,
       registry_(registry),
       config_(config),
       pool_(host.simulation(), config.pool_size),
-      port_(config.backlog) {}
+      port_(host.simulation(), config.backlog) {}
 
 void ConsumerServlet::add_producer_servlet(ProducerServlet& servlet) {
   servlets_[servlet.name()] = &servlet;
@@ -30,14 +30,32 @@ sim::Task<RgmaReply> ConsumerServlet::query(net::Interface& client,
     trace::Span tool(ctx, trace::SpanKind::ClientTool);
     co_await sim.delay(config_.client_latency);
   }
-  co_await net_.connect(client, nic_, ctx);
-  if (!port_.try_admit()) {
-    if (ctx) ctx.col->instant(ctx, trace::SpanKind::Refused, name_);
-    co_return RgmaReply{};
+  if (!co_await net_.connect(client, nic_, ctx, config_.connect_timeout)) {
+    if (ctx) ctx.col->instant(ctx, trace::SpanKind::Timeout, name_);
+    RgmaReply reply;
+    reply.timed_out = true;
+    co_return reply;
+  }
+  auto admission = co_await port_.admit(config_.connect_timeout);
+  if (admission != net::Admission::Ok) {
+    RgmaReply reply;
+    reply.timed_out = admission == net::Admission::TimedOut;
+    if (ctx) {
+      ctx.col->instant(ctx,
+                       reply.timed_out ? trace::SpanKind::Timeout
+                                       : trace::SpanKind::Refused,
+                       name_);
+    }
+    co_return reply;
   }
   net::AdmissionSlot slot(&port_);
-  co_await net_.transfer(client, nic_, config_.request_bytes, ctx,
-                         trace::SpanKind::RequestSend);
+  if (!co_await net_.transfer(client, nic_, config_.request_bytes, ctx,
+                              trace::SpanKind::RequestSend,
+                              config_.connect_timeout)) {
+    RgmaReply reply;
+    reply.timed_out = true;
+    co_return reply;
+  }
 
   RgmaReply reply;
   {
@@ -64,7 +82,13 @@ sim::Task<RgmaReply> ConsumerServlet::query(net::Interface& client,
       auto it = servlets_.find(info.servlet);
       if (it == servlets_.end()) continue;
       RgmaReply part = co_await it->second->select(nic_, table, where, ctx);
-      if (!part.admitted) continue;
+      if (!part.admitted) {
+        // A dead ProducerServlet shrinks the merged result silently —
+        // mediation degrades rather than fails outright.
+        if (part.timed_out || part.failed) reply.failed = true;
+        continue;
+      }
+      if (part.stale) reply.stale = true;
       reply.rows += part.rows;
       reply.response_bytes += part.response_bytes;
     }
@@ -76,9 +100,13 @@ sim::Task<RgmaReply> ConsumerServlet::query(net::Interface& client,
     }
     reply.response_bytes += 128;
     reply.admitted = true;
+    if (reply.rows > 0) reply.failed = false;  // partial results still count
   }
-  co_await net_.transfer(nic_, client, reply.response_bytes, ctx,
-                         trace::SpanKind::ResponseSend);
+  if (!co_await net_.transfer(nic_, client, reply.response_bytes, ctx,
+                              trace::SpanKind::ResponseSend,
+                              config_.connect_timeout)) {
+    reply.timed_out = true;
+  }
   co_return reply;
 }
 

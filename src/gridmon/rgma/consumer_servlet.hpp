@@ -33,6 +33,9 @@ struct ConsumerServletConfig {
   double merge_row_cpu = 0.0002;
   double request_bytes = 600;
   double row_bytes = 120;
+  /// Client/transfer patience on a dead path (blackholed SYN, partitioned
+  /// WAN). Only consulted under faults.
+  double connect_timeout = 75.0;
 };
 
 class ConsumerServlet {
@@ -66,6 +69,13 @@ class ConsumerServlet {
                             std::string table,
                             std::string predicate,
                             ProducerServlet::RowCallback on_row);
+
+  // ---- fault injection ----
+  /// Crash the ConsumerServlet container (blackhole: host gone). It holds
+  /// no monitoring state of its own, so restart is immediate.
+  void crash(bool blackhole = false) { port_.crash(blackhole); }
+  void restart() { port_.restart(); }
+  bool process_up() const noexcept { return port_.up(); }
 
  private:
   net::Network& net_;

@@ -13,7 +13,7 @@ ProducerServlet::ProducerServlet(net::Network& net, host::Host& host,
       name_(std::move(name)),
       config_(config),
       pool_(host.simulation(), config.pool_size),
-      port_(config.backlog) {}
+      port_(host.simulation(), config.backlog) {}
 
 Producer& ProducerServlet::add_producer(const std::string& producer_name,
                                         std::string table,
@@ -38,6 +38,7 @@ Producer* ProducerServlet::find_producer(const std::string& name) {
 sim::Task<void> ProducerServlet::publish(Producer& producer, rdbms::Row row) {
   // Storing a tuple costs a sliver of servlet CPU.
   co_await host_.cpu().consume(0.001);
+  last_publish_at_ = host_.simulation().now();
   for (auto& sub : subscriptions_) {
     if (sub.table != producer.table()) continue;
     if (sub.predicate) {
@@ -78,11 +79,25 @@ sim::Task<RgmaReply> ProducerServlet::select(net::Interface& from,
                                              std::string where,
                                              trace::Ctx ctx) {
   trace::Span op(ctx, trace::SpanKind::ProducerSelect, name_);
-  co_await net_.transfer(from, nic_, config_.request_bytes, op.ctx(),
-                         trace::SpanKind::RequestSend);
-  if (!port_.try_admit()) {
-    if (ctx) ctx.col->instant(ctx, trace::SpanKind::Refused, name_);
-    co_return RgmaReply{};
+  if (!co_await net_.transfer(from, nic_, config_.request_bytes, op.ctx(),
+                              trace::SpanKind::RequestSend,
+                              config_.connect_timeout)) {
+    if (ctx) ctx.col->instant(ctx, trace::SpanKind::Timeout, name_);
+    RgmaReply reply;
+    reply.timed_out = true;
+    co_return reply;
+  }
+  auto admission = co_await port_.admit(config_.connect_timeout);
+  if (admission != net::Admission::Ok) {
+    RgmaReply reply;
+    reply.timed_out = admission == net::Admission::TimedOut;
+    if (ctx) {
+      ctx.col->instant(ctx,
+                       reply.timed_out ? trace::SpanKind::Timeout
+                                       : trace::SpanKind::Refused,
+                       name_);
+    }
+    co_return reply;
   }
   net::AdmissionSlot slot(&port_);
 
@@ -130,9 +145,18 @@ sim::Task<RgmaReply> ProducerServlet::select(net::Interface& from,
     reply.response_bytes =
         128 + config_.row_bytes * static_cast<double>(reply.rows);
     reply.admitted = true;
+    if (config_.stale_after > 0 && producers_hit > 0 &&
+        host_.simulation().now() - last_publish_at_ > config_.stale_after) {
+      // The buffers still answer, but nothing has been published for a
+      // while: latest-N semantics silently serve old measurements.
+      reply.stale = true;
+    }
   }
-  co_await net_.transfer(nic_, from, reply.response_bytes, op.ctx(),
-                         trace::SpanKind::ResponseSend);
+  if (!co_await net_.transfer(nic_, from, reply.response_bytes, op.ctx(),
+                              trace::SpanKind::ResponseSend,
+                              config_.connect_timeout)) {
+    reply.timed_out = true;
+  }
   co_return reply;
 }
 
@@ -144,7 +168,12 @@ sim::Task<RgmaReply> ProducerServlet::client_query(net::Interface& client,
     trace::Span tool(ctx, trace::SpanKind::ClientTool);
     co_await host_.simulation().delay(config_.client_latency);
   }
-  co_await net_.connect(client, nic_, ctx);
+  if (!co_await net_.connect(client, nic_, ctx, config_.connect_timeout)) {
+    if (ctx) ctx.col->instant(ctx, trace::SpanKind::Timeout, name_);
+    RgmaReply reply;
+    reply.timed_out = true;
+    co_return reply;
+  }
   co_return co_await select(client, table, where, ctx);
 }
 
@@ -157,13 +186,43 @@ void ProducerServlet::start_registration(Registry& registry) {
 sim::Task<void> ProducerServlet::registration_loop(Registry& registry) {
   auto& sim = host_.simulation();
   for (;;) {
-    for (auto& producer : producers_) {
-      ProducerInfo info{producer->name(), producer->table(), name_,
-                        producer->predicate()};
-      co_await registry.register_producer(nic_, info);
+    // A crashed servlet stops renewing leases; the Registry ages its
+    // producers out and re-learns them after restart.
+    if (port_.up()) {
+      for (auto& producer : producers_) {
+        ProducerInfo info{producer->name(), producer->table(), name_,
+                          producer->predicate()};
+        co_await registry.register_producer(nic_, info);
+      }
     }
     co_await sim.delay(config_.reregister_interval);
     if (!registering_) co_return;
+  }
+}
+
+void ProducerServlet::start_publishing(double interval) {
+  if (publishing_) return;
+  publishing_ = true;
+  host_.simulation().spawn(publisher_loop(interval));
+}
+
+sim::Task<void> ProducerServlet::publisher_loop(double interval) {
+  auto& sim = host_.simulation();
+  for (;;) {
+    if (!publishers_down_ && port_.up()) {
+      ++publish_sequence_;
+      for (auto& producer : producers_) {
+        rdbms::Row row;
+        row.push_back(rdbms::Value::text(name_));
+        row.push_back(rdbms::Value::text("seq"));
+        row.push_back(
+            rdbms::Value::real(static_cast<double>(publish_sequence_)));
+        row.push_back(rdbms::Value::real(sim.now()));
+        co_await publish(*producer, std::move(row));
+      }
+    }
+    co_await sim.delay(interval);
+    if (!publishing_) co_return;
   }
 }
 

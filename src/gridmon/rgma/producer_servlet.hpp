@@ -55,6 +55,17 @@ class Producer {
     if (data_.row_count() == max_rows_) data_.vacuum();
   }
 
+  /// Drop every buffered row (a crashed servlet loses its tuple store).
+  void clear() {
+    std::vector<std::size_t> ids;
+    data_.scan([&](std::size_t id, const rdbms::Row&) {
+      ids.push_back(id);
+      return true;
+    });
+    for (std::size_t id : ids) data_.erase_row(id);
+    data_.vacuum();
+  }
+
  private:
   std::string name_;
   std::string table_;
@@ -83,6 +94,13 @@ struct ProducerServletConfig {
   double reregister_interval = 45;
   /// CPU to push one tuple to one streaming subscriber.
   double stream_send_cpu = 0.0003;
+  /// Client/transfer patience on a dead path (blackholed SYN, partitioned
+  /// WAN). Only consulted under faults.
+  double connect_timeout = 75.0;
+  /// Replies built when nothing has been published for this long are
+  /// flagged stale (the publishers stopped — e.g. the monitored site is
+  /// partitioned away). 0 disables the check.
+  double stale_after = 0;
 };
 
 class ProducerServlet {
@@ -137,6 +155,27 @@ class ProducerServlet {
 
   std::uint64_t tuples_pushed() const noexcept { return tuples_pushed_; }
 
+  // ---- fault injection ----
+  /// Crash the servlet container (blackhole: host gone). Producer tuple
+  /// stores are volatile: restart comes back with empty history buffers
+  /// until publishers insert again, and Registry leases lapse meanwhile.
+  void crash(bool blackhole = false) {
+    port_.crash(blackhole);
+    for (auto& p : producers_) p->clear();
+  }
+  void restart() { port_.restart(); }
+  bool process_up() const noexcept { return port_.up(); }
+
+  /// Start a synthetic measurement feed: every producer inserts one row
+  /// per `interval`. Gives fault scenarios live data whose freshness the
+  /// stale_after check can judge.
+  void start_publishing(double interval);
+  /// Pause (or resume) the publisher feed — the monitored sensors died
+  /// while the servlet is still answering queries from its buffers.
+  void set_publishers_down(bool down) noexcept { publishers_down_ = down; }
+  /// Time of the most recent publish() through this servlet.
+  double last_publish_at() const noexcept { return last_publish_at_; }
+
  private:
   struct Subscription {
     net::Interface* consumer;
@@ -146,6 +185,7 @@ class ProducerServlet {
   };
 
   sim::Task<void> registration_loop(Registry& registry);
+  sim::Task<void> publisher_loop(double interval);
   sim::Task<void> push_row(net::Interface* consumer, RowCallback on_row,
                            rdbms::Row row);
 
@@ -159,7 +199,11 @@ class ProducerServlet {
   sim::Resource pool_;
   net::ServerPort port_;
   bool registering_ = false;
+  bool publishing_ = false;
+  bool publishers_down_ = false;
+  double last_publish_at_ = -1;
   std::uint64_t tuples_pushed_ = 0;
+  std::uint64_t publish_sequence_ = 0;
 };
 
 }  // namespace gridmon::rgma

@@ -16,11 +16,19 @@ Registry::Registry(net::Network& net, host::Host& host, net::Interface& nic,
       nic_(nic),
       config_(config),
       pool_(host.simulation(), config.pool_size),
-      port_(config.backlog) {
+      port_(host.simulation(), config.backlog) {
   db_.execute(
       "CREATE TABLE producers (producer TEXT, tablename TEXT, servlet TEXT, "
       "predicate TEXT, expires REAL)");
   db_.execute("CREATE INDEX ON producers (tablename)");
+}
+
+void Registry::crash(bool blackhole) {
+  port_.crash(blackhole);
+  // The producer directory lives in the servlet's in-memory database;
+  // producers re-appear as their servlets renew leases after restart.
+  db_.execute("DELETE FROM producers WHERE expires < 1e300");
+  db_.table("producers").vacuum();
 }
 
 sim::Task<bool> Registry::register_producer(net::Interface& from,
@@ -106,14 +114,32 @@ sim::Task<RgmaReply> Registry::client_query(net::Interface& client,
     trace::Span tool(ctx, trace::SpanKind::ClientTool);
     co_await sim.delay(config_.client_latency);
   }
-  co_await net_.connect(client, nic_, ctx);
-  if (!port_.try_admit()) {
-    if (ctx) ctx.col->instant(ctx, trace::SpanKind::Refused, "registry");
-    co_return RgmaReply{};
+  if (!co_await net_.connect(client, nic_, ctx, config_.connect_timeout)) {
+    if (ctx) ctx.col->instant(ctx, trace::SpanKind::Timeout, "registry");
+    RgmaReply reply;
+    reply.timed_out = true;
+    co_return reply;
+  }
+  auto admission = co_await port_.admit(config_.connect_timeout);
+  if (admission != net::Admission::Ok) {
+    RgmaReply reply;
+    reply.timed_out = admission == net::Admission::TimedOut;
+    if (ctx) {
+      ctx.col->instant(ctx,
+                       reply.timed_out ? trace::SpanKind::Timeout
+                                       : trace::SpanKind::Refused,
+                       "registry");
+    }
+    co_return reply;
   }
   net::AdmissionSlot slot(&port_);
-  co_await net_.transfer(client, nic_, config_.request_bytes, ctx,
-                         trace::SpanKind::RequestSend);
+  if (!co_await net_.transfer(client, nic_, config_.request_bytes, ctx,
+                              trace::SpanKind::RequestSend,
+                              config_.connect_timeout)) {
+    RgmaReply reply;
+    reply.timed_out = true;
+    co_return reply;
+  }
 
   RgmaReply reply;
   {
@@ -135,8 +161,11 @@ sim::Task<RgmaReply> Registry::client_query(net::Interface& client,
         128 + config_.row_bytes * static_cast<double>(result.rows.size());
     reply.admitted = true;
   }
-  co_await net_.transfer(nic_, client, reply.response_bytes, ctx,
-                         trace::SpanKind::ResponseSend);
+  if (!co_await net_.transfer(nic_, client, reply.response_bytes, ctx,
+                              trace::SpanKind::ResponseSend,
+                              config_.connect_timeout)) {
+    reply.timed_out = true;
+  }
   co_return reply;
 }
 

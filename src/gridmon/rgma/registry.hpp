@@ -25,6 +25,9 @@ struct RgmaReply {
   bool admitted = false;
   std::size_t rows = 0;
   double response_bytes = 0;
+  bool timed_out = false;  // connect or transfer gave up on a dead path
+  bool failed = false;     // admitted but the backend could not answer
+  bool stale = false;      // rows predate the last publisher activity gap
 };
 
 struct ProducerInfo {
@@ -53,6 +56,9 @@ struct RegistryConfig {
   double row_bytes = 160;
   double lease_seconds = 120;
   double sweep_interval = 30;
+  /// Client/transfer patience on a dead path (blackholed SYN, partitioned
+  /// WAN). Only consulted under faults.
+  double connect_timeout = 75.0;
 };
 
 class Registry {
@@ -90,6 +96,14 @@ class Registry {
 
   std::size_t registered_count();
   std::uint64_t registrations() const noexcept { return registrations_; }
+
+  // ---- fault injection ----
+  /// Crash the Registry servlet container (blackhole: host gone). The
+  /// producer table is volatile (in-memory DB): restart comes back empty
+  /// and re-learns producers from their next lease renewals.
+  void crash(bool blackhole = false);
+  void restart() { port_.restart(); }
+  bool process_up() const noexcept { return port_.up(); }
 
  private:
   sim::Task<void> sweeper_loop();

@@ -4,6 +4,7 @@
 /// One-shot / resettable notification primitive for coroutine processes.
 
 #include <coroutine>
+#include <memory>
 #include <utility>
 #include <vector>
 
@@ -13,21 +14,35 @@ namespace gridmon::sim {
 
 /// A level-triggered event. Awaiting a triggered event completes
 /// immediately; otherwise the awaiter parks until `trigger()` is called.
-/// `reset()` re-arms the event.
+/// `reset()` re-arms the event. `wait_for(timeout)` additionally races the
+/// wait against a deadline, which is what lets a network stall or a
+/// blackholed connection fail instead of hanging forever.
 class Event {
+  struct Waiter {
+    std::coroutine_handle<> handle;
+    bool done = false;      // resumed (by trigger or deadline)
+    bool by_event = false;  // resumed because the event fired
+  };
+
  public:
   explicit Event(Simulation& sim) : sim_(sim) {}
   Event(const Event&) = delete;
   Event& operator=(const Event&) = delete;
 
   bool triggered() const noexcept { return triggered_; }
+  Simulation& sim() const noexcept { return sim_; }
 
   /// Fire the event: release all current waiters (scheduled at the current
   /// time, preserving FIFO order) and latch the triggered state.
   void trigger() {
     triggered_ = true;
     auto waiters = std::exchange(waiters_, {});
-    for (auto h : waiters) sim_.schedule_resume(0, h);
+    for (auto& w : waiters) {
+      if (w->done) continue;  // already woken by its deadline
+      w->done = true;
+      w->by_event = true;
+      sim_.schedule_resume(0, w->handle);
+    }
   }
 
   void reset() noexcept { triggered_ = false; }
@@ -36,16 +51,49 @@ class Event {
     Event& ev;
     bool await_ready() const noexcept { return ev.triggered_; }
     void await_suspend(std::coroutine_handle<> h) {
-      ev.waiters_.push_back(h);
+      auto w = std::make_shared<Waiter>();
+      w->handle = h;
+      ev.waiters_.push_back(std::move(w));
     }
     void await_resume() const noexcept {}
   };
   Awaiter operator co_await() noexcept { return Awaiter{*this}; }
 
+  /// Awaitable: wait until the event triggers OR `timeout` seconds pass,
+  /// whichever comes first. Resumes with true if the event fired (or was
+  /// already triggered), false on deadline. A waiter abandoned at its
+  /// deadline is skipped by a later trigger(), so the two wake-ups can
+  /// never double-resume the coroutine.
+  struct TimedAwaiter {
+    Event& ev;
+    double timeout;
+    std::shared_ptr<Waiter> waiter;
+    bool await_ready() const noexcept {
+      return ev.triggered_ || timeout <= 0;
+    }
+    void await_suspend(std::coroutine_handle<> h) {
+      waiter = std::make_shared<Waiter>();
+      waiter->handle = h;
+      ev.waiters_.push_back(waiter);
+      auto w = waiter;
+      ev.sim_.schedule(timeout, [w] {
+        if (w->done) return;  // event won the race
+        w->done = true;
+        w->handle.resume();
+      });
+    }
+    bool await_resume() const noexcept {
+      return waiter ? waiter->by_event : ev.triggered_;
+    }
+  };
+  TimedAwaiter wait_for(double timeout) noexcept {
+    return TimedAwaiter{*this, timeout, nullptr};
+  }
+
  private:
   Simulation& sim_;
   bool triggered_ = false;
-  std::vector<std::coroutine_handle<>> waiters_;
+  std::vector<std::shared_ptr<Waiter>> waiters_;
 };
 
 /// Counts outstanding sub-tasks; `wait()` completes when the count reaches

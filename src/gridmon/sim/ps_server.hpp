@@ -52,6 +52,16 @@ class PsServer {
 
   double total_rate() const noexcept { return total_rate_; }
 
+  /// Change the total service rate mid-run (link degradation, slow host).
+  /// Work already delivered is settled at the old rate; in-flight jobs
+  /// continue at the new rate.
+  void set_total_rate(double rate) {
+    assert(rate > 0);
+    settle();
+    total_rate_ = rate;
+    reschedule();
+  }
+
   /// Attach (or detach with nullptr) a population probe: fired on every
   /// arrival and departure with the job count and remaining backlog.
   void set_probe(UsageProbe* probe) noexcept { probe_ = probe; }

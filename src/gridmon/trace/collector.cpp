@@ -29,6 +29,8 @@ const char* kind_name(SpanKind kind) noexcept {
     case SpanKind::ProducerSelect: return "producer_select";
     case SpanKind::ResponseSend: return "response_send";
     case SpanKind::NetTransfer: return "net_transfer";
+    case SpanKind::Timeout: return "timeout";
+    case SpanKind::Fault: return "fault";
   }
   return "unknown";
 }
@@ -43,7 +45,7 @@ bool kind_from_name(const std::string& name, SpanKind& out) noexcept {
       SpanKind::ForkExec,      SpanKind::CacheRefresh, SpanKind::Fetch,
       SpanKind::Merge,         SpanKind::RegistryLookup,
       SpanKind::ProducerSelect, SpanKind::ResponseSend,
-      SpanKind::NetTransfer,
+      SpanKind::NetTransfer,   SpanKind::Timeout,      SpanKind::Fault,
   };
   for (SpanKind k : kAll) {
     if (name == kind_name(k)) {

@@ -46,6 +46,8 @@ enum class SpanKind : std::uint8_t {
   ProducerSelect,// R-GMA mediation step 2: select at one ProducerServlet
   ResponseSend,  // server -> client response transfer
   NetTransfer,   // any other network transfer (registration, advertise)
+  Timeout,       // instant: a deadline expired (connect, transfer, query)
+  Fault,         // instant: an injected fault was applied or reverted
 };
 
 /// Stable wire name of a span kind (used in exporters and reports).

@@ -1,0 +1,138 @@
+/// FaultPlan construction and Injector dispatch: plans are plain data,
+/// arm() validates every event against the registered targets up front,
+/// and hooks fire at the scheduled sim times in order.
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "gridmon/core/testbed.hpp"
+#include "gridmon/fault/injector.hpp"
+#include "gridmon/fault/plan.hpp"
+
+namespace gridmon {
+namespace {
+
+TEST(FaultPlanTest, BuildersEmitPairedEvents) {
+  fault::FaultPlan plan;
+  plan.crash("server", 100, 160, /*blackhole=*/true)
+      .partition("anl", "uc", 50, 80)
+      .collector_outage("server", 200, 230)
+      .slow_host("lucky3", 10, 20, 0.25)
+      .degrade_wan("anl", "uc", 300, 330, 0.1);
+  ASSERT_EQ(plan.size(), 10u);
+  EXPECT_FALSE(plan.empty());
+
+  const auto& ev = plan.events();
+  EXPECT_EQ(ev[0].kind, fault::FaultKind::Crash);
+  EXPECT_TRUE(ev[0].blackhole);
+  EXPECT_EQ(ev[1].kind, fault::FaultKind::Restart);
+  EXPECT_FALSE(ev[1].blackhole);
+  EXPECT_EQ(ev[2].target2, "uc");
+  EXPECT_DOUBLE_EQ(ev[6].value, 0.25);
+  EXPECT_DOUBLE_EQ(ev[8].value, 0.1);
+}
+
+TEST(FaultPlanTest, SortedIsStableTimeOrder) {
+  fault::FaultPlan plan;
+  plan.add({30, fault::FaultKind::Crash, "b", "", 1.0, false});
+  plan.add({10, fault::FaultKind::Crash, "a", "", 1.0, false});
+  plan.add({30, fault::FaultKind::Restart, "b", "", 1.0, false});
+  auto sorted = plan.sorted();
+  ASSERT_EQ(sorted.size(), 3u);
+  EXPECT_EQ(sorted[0].target, "a");
+  // Ties keep insertion order: Crash before Restart at t=30.
+  EXPECT_EQ(sorted[1].kind, fault::FaultKind::Crash);
+  EXPECT_EQ(sorted[2].kind, fault::FaultKind::Restart);
+}
+
+TEST(FaultPlanTest, KindNamesAreDistinct) {
+  EXPECT_STREQ(fault_kind_name(fault::FaultKind::Crash), "crash");
+  EXPECT_STREQ(fault_kind_name(fault::FaultKind::WanDown), "wan_down");
+  EXPECT_STREQ(fault_kind_name(fault::FaultKind::CollectorsUp),
+               "collectors_up");
+}
+
+TEST(FaultInjectorTest, HooksFireAtScheduledTimes) {
+  core::Testbed tb;
+  std::vector<std::pair<double, std::string>> log;
+  fault::Injector::Hooks hooks;
+  hooks.crash = [&](bool blackhole) {
+    log.emplace_back(tb.sim().now(), blackhole ? "crash-bh" : "crash");
+  };
+  hooks.restart = [&] { log.emplace_back(tb.sim().now(), "restart"); };
+  hooks.collectors = [&](bool down) {
+    log.emplace_back(tb.sim().now(), down ? "coll-down" : "coll-up");
+  };
+  fault::Injector inj(tb.sim(), &tb.network());
+  inj.add_target("server", std::move(hooks));
+
+  fault::FaultPlan plan;
+  plan.crash("server", 10, 20, true).collector_outage("server", 15, 25);
+  inj.arm(plan);
+  tb.sim().run(30);
+
+  ASSERT_EQ(log.size(), 4u);
+  EXPECT_EQ(inj.injected(), 4u);
+  EXPECT_EQ(log[0], (std::pair<double, std::string>{10, "crash-bh"}));
+  EXPECT_EQ(log[1], (std::pair<double, std::string>{15, "coll-down"}));
+  EXPECT_EQ(log[2], (std::pair<double, std::string>{20, "restart"}));
+  EXPECT_EQ(log[3], (std::pair<double, std::string>{25, "coll-up"}));
+}
+
+TEST(FaultInjectorTest, SlowsAndRestoresHostCpu) {
+  core::Testbed tb;
+  fault::Injector inj(tb.sim(), &tb.network());
+  inj.add_host("lucky3", tb.host("lucky3"));
+  double base = tb.host("lucky3").cpu().ps().total_rate();
+
+  fault::FaultPlan plan;
+  plan.slow_host("lucky3", 5, 15, 0.5);
+  inj.arm(plan);
+  tb.sim().run(10);
+  EXPECT_DOUBLE_EQ(tb.host("lucky3").cpu().ps().total_rate(), base * 0.5);
+  tb.sim().run(20);
+  EXPECT_DOUBLE_EQ(tb.host("lucky3").cpu().ps().total_rate(), base);
+}
+
+TEST(FaultInjectorTest, ArmRejectsUnknownTarget) {
+  core::Testbed tb;
+  fault::Injector inj(tb.sim(), &tb.network());
+  fault::FaultPlan plan;
+  plan.crash("nobody", 10, 20);
+  EXPECT_THROW(inj.arm(plan), std::invalid_argument);
+}
+
+TEST(FaultInjectorTest, ArmRejectsCollectorEventWithoutHook) {
+  core::Testbed tb;
+  fault::Injector inj(tb.sim(), &tb.network());
+  fault::Injector::Hooks hooks;
+  hooks.crash = [](bool) {};
+  hooks.restart = [] {};
+  inj.add_target("server", std::move(hooks));
+  fault::FaultPlan plan;
+  plan.collector_outage("server", 10, 20);
+  EXPECT_THROW(inj.arm(plan), std::invalid_argument);
+}
+
+TEST(FaultInjectorTest, ArmRejectsWanEventWithoutNetwork) {
+  core::Testbed tb;
+  fault::Injector inj(tb.sim(), /*net=*/nullptr);
+  fault::FaultPlan plan;
+  plan.partition("anl", "uc", 10, 20);
+  EXPECT_THROW(inj.arm(plan), std::invalid_argument);
+}
+
+TEST(FaultInjectorTest, ArmRejectsUnknownHost) {
+  core::Testbed tb;
+  fault::Injector inj(tb.sim(), &tb.network());
+  fault::FaultPlan plan;
+  plan.slow_host("lucky3", 10, 20, 0.5);
+  EXPECT_THROW(inj.arm(plan), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace gridmon

@@ -2,11 +2,15 @@
 
 #include <gtest/gtest.h>
 
+#include "gridmon/sim/simulation.hpp"
+#include "gridmon/sim/task.hpp"
+
 namespace gridmon::net {
 namespace {
 
 TEST(ServerPortTest, AdmitsUpToBacklog) {
-  ServerPort port(3);
+  sim::Simulation s;
+  ServerPort port(s, 3);
   EXPECT_TRUE(port.try_admit());
   EXPECT_TRUE(port.try_admit());
   EXPECT_TRUE(port.try_admit());
@@ -17,7 +21,8 @@ TEST(ServerPortTest, AdmitsUpToBacklog) {
 }
 
 TEST(ServerPortTest, ReleaseReopensSlot) {
-  ServerPort port(1);
+  sim::Simulation s;
+  ServerPort port(s, 1);
   EXPECT_TRUE(port.try_admit());
   EXPECT_FALSE(port.try_admit());
   port.release();
@@ -26,7 +31,8 @@ TEST(ServerPortTest, ReleaseReopensSlot) {
 }
 
 TEST(ServerPortTest, SlotReleasesOnScopeExit) {
-  ServerPort port(1);
+  sim::Simulation s;
+  ServerPort port(s, 1);
   {
     ASSERT_TRUE(port.try_admit());
     AdmissionSlot slot(&port);
@@ -36,7 +42,8 @@ TEST(ServerPortTest, SlotReleasesOnScopeExit) {
 }
 
 TEST(ServerPortTest, MovedSlotReleasesOnce) {
-  ServerPort port(2);
+  sim::Simulation s;
+  ServerPort port(s, 2);
   ASSERT_TRUE(port.try_admit());
   AdmissionSlot a(&port);
   AdmissionSlot b = std::move(a);
@@ -51,6 +58,61 @@ TEST(ServerPortTest, MovedSlotReleasesOnce) {
 TEST(ServerPortTest, DefaultSlotHoldsNothing) {
   AdmissionSlot slot;
   slot.release();  // harmless
+}
+
+TEST(ServerPortTest, CrashRefusesUntilRestart) {
+  sim::Simulation s;
+  ServerPort port(s, 4);
+  port.crash();
+  EXPECT_FALSE(port.up());
+  EXPECT_EQ(port.state(), PortState::Refusing);
+  EXPECT_FALSE(port.try_admit());
+  EXPECT_EQ(port.total_refused(), 1u);
+  port.restart();
+  EXPECT_TRUE(port.up());
+  EXPECT_TRUE(port.try_admit());
+}
+
+TEST(ServerPortTest, AdmitSynchronousWhenUp) {
+  sim::Simulation s;
+  ServerPort port(s, 1);
+  Admission first = Admission::TimedOut;
+  Admission second = Admission::TimedOut;
+  s.spawn([](ServerPort& p, Admission& a, Admission& b) -> sim::Task<void> {
+    a = co_await p.admit(10.0);
+    b = co_await p.admit(10.0);
+  }(port, first, second));
+  s.run(0.0);  // no time must pass: admit() completes synchronously
+  EXPECT_EQ(first, Admission::Ok);
+  EXPECT_EQ(second, Admission::Refused);
+}
+
+TEST(ServerPortTest, BlackholeTimesOutThenRecovers) {
+  sim::Simulation s;
+  ServerPort port(s, 4);
+  port.crash(/*blackhole=*/true);
+  EXPECT_EQ(port.state(), PortState::Blackhole);
+
+  Admission hung = Admission::Ok;
+  double hung_at = -1;
+  s.spawn([](sim::Simulation& sim, ServerPort& p, Admission& out,
+             double& when) -> sim::Task<void> {
+    out = co_await p.admit(5.0);
+    when = sim.now();
+  }(s, port, hung, hung_at));
+
+  Admission waited = Admission::Refused;
+  s.spawn([](sim::Simulation& sim, ServerPort& p,
+             Admission& out) -> sim::Task<void> {
+    co_await sim.delay(1.0);
+    out = co_await p.admit(30.0);  // restart at t=10 beats this deadline
+  }(s, port, waited));
+
+  s.schedule(10.0, [&] { port.restart(); });
+  s.run(60.0);
+  EXPECT_EQ(hung, Admission::TimedOut);
+  EXPECT_DOUBLE_EQ(hung_at, 5.0);
+  EXPECT_EQ(waited, Admission::Ok);
 }
 
 }  // namespace

@@ -14,6 +14,7 @@
 #include "gridmon/core/adapters.hpp"
 #include "gridmon/core/experiment.hpp"
 #include "gridmon/core/scenarios.hpp"
+#include "gridmon/fault/injector.hpp"
 #include "gridmon/trace/chrome_export.hpp"
 #include "scenario_config.hpp"
 
@@ -121,13 +122,20 @@ int main(int argc, char** argv) {
             << ", window: " << config.warmup << "+" << config.duration
             << "s\n\n";
 
+  bool with_faults = !config.faults.empty();
   metrics::Table table(config.service_name());
-  table.set_columns({"users", "throughput (q/s)", "response (s)", "load1",
-                     "cpu %", "refused/s"});
+  std::vector<std::string> cols{"users",  "throughput (q/s)", "response (s)",
+                                "load1",  "cpu %",            "refused/s"};
+  if (with_faults) {
+    cols.insert(cols.end(), {"avail", "err/s", "stale", "recovery (s)"});
+  }
+  table.set_columns(cols);
   std::ofstream csv;
   if (!csv_path.empty()) {
     csv.open(csv_path);
-    csv << "service,users,throughput,response,load1,cpu,refused_per_s\n";
+    csv << "service,users,throughput,response,load1,cpu,refused_per_s";
+    if (with_faults) csv << ",availability,error_rate,stale_frac,recovery";
+    csv << "\n";
   }
 
   // Tracing records the first sweep point only: the causal structure is
@@ -142,13 +150,27 @@ int main(int argc, char** argv) {
     trace::Collector collector(tb.sim(), tb.config().seed);
     WorkloadConfig wc;
     if (config.lucky_clients) wc.max_users_per_host = 100;
+    wc.query_deadline = config.query_deadline;
+    wc.max_attempts = config.max_attempts;
     UserWorkload workload(tb, deployment.query, wc);
+    fault::Injector injector(tb.sim(), &tb.network());
+    if (with_faults) {
+      deployment.scenario->register_faults(injector);
+      for (const auto& name : tb.lucky_names()) {
+        injector.add_host(name, tb.host(name));
+      }
+      for (const auto& name : tb.uc_names()) {
+        injector.add_host(name, tb.host(name));
+      }
+      injector.arm(config.faults);
+    }
     bool tracing = !trace_path.empty() && first_point;
     first_point = false;
     if (tracing) {
       deployment.scenario->instrument(collector);
       instrument_host(tb, collector, config.server_host());
       workload.enable_tracing(collector);
+      injector.set_trace(&collector);
     }
     workload.spawn_users(n, config.lucky_clients ? tb.lucky_names()
                                                  : tb.uc_names());
@@ -157,21 +179,39 @@ int main(int argc, char** argv) {
     mc.warmup = config.warmup;
     mc.duration = config.duration;
     if (tracing) mc.collector = &collector;
+    if (with_faults) {
+      // Recovery is measured from the last scheduled fault event.
+      double last = 0;
+      for (const auto& ev : config.faults.events()) {
+        if (ev.at > last) last = ev.at;
+      }
+      mc.recovery_mark = last;
+    }
     SweepPoint p = measure(tb, workload, config.server_host(), n, mc);
     if (tracing) {
       traces.push_back(trace::SeriesTrace{
           config.service_name() + " n=" + std::to_string(n),
           collector.take()});
     }
-    table.add_row({std::to_string(n), metrics::Table::num(p.throughput),
-                   metrics::Table::num(p.response),
-                   metrics::Table::num(p.load1, 3),
-                   metrics::Table::num(p.cpu, 1),
-                   metrics::Table::num(p.refused)});
+    std::vector<std::string> row{
+        std::to_string(n),          metrics::Table::num(p.throughput),
+        metrics::Table::num(p.response), metrics::Table::num(p.load1, 3),
+        metrics::Table::num(p.cpu, 1),   metrics::Table::num(p.refused)};
+    if (with_faults) {
+      row.push_back(metrics::Table::num(p.availability, 3));
+      row.push_back(metrics::Table::num(p.error_rate, 3));
+      row.push_back(metrics::Table::num(p.stale_frac, 3));
+      row.push_back(metrics::Table::num(p.recovery, 1));
+    }
+    table.add_row(row);
     if (csv.is_open()) {
       csv << config.service_name() << ',' << n << ',' << p.throughput << ','
-          << p.response << ',' << p.load1 << ',' << p.cpu << ',' << p.refused
-          << '\n';
+          << p.response << ',' << p.load1 << ',' << p.cpu << ',' << p.refused;
+      if (with_faults) {
+        csv << ',' << p.availability << ',' << p.error_rate << ','
+            << p.stale_frac << ',' << p.recovery;
+      }
+      csv << '\n';
     }
     std::cout << "  done: " << n << " users\n";
   }

@@ -56,6 +56,62 @@ double parse_double(const std::string& value, int line_no) {
   }
 }
 
+std::vector<std::string> split_list(const std::string& value) {
+  std::vector<std::string> out;
+  std::stringstream ss(value);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    item = trim(item);
+    if (!item.empty()) out.push_back(item);
+  }
+  return out;
+}
+
+/// Expect exactly `n` comma-separated fields for fault key `key`.
+std::vector<std::string> fault_fields(const std::string& key,
+                                      const std::string& value,
+                                      std::size_t n) {
+  auto fields = split_list(value);
+  if (fields.size() != n) {
+    throw ConfigError("[faults] " + key + " needs " + std::to_string(n) +
+                      " comma-separated fields, got " +
+                      std::to_string(fields.size()));
+  }
+  return fields;
+}
+
+void parse_fault_key(ScenarioConfig& config, const std::string& key,
+                     const std::string& value) {
+  const int n = 0;
+  if (key == "crash" || key == "blackhole") {
+    auto f = fault_fields(key, value, 3);
+    config.faults.crash(f[0], parse_double(f[1], n), parse_double(f[2], n),
+                        key == "blackhole");
+  } else if (key == "partition") {
+    auto f = fault_fields(key, value, 4);
+    config.faults.partition(f[0], f[1], parse_double(f[2], n),
+                            parse_double(f[3], n));
+  } else if (key == "degrade") {
+    auto f = fault_fields(key, value, 5);
+    config.faults.degrade_wan(f[0], f[1], parse_double(f[2], n),
+                              parse_double(f[3], n), parse_double(f[4], n));
+  } else if (key == "slow_host") {
+    auto f = fault_fields(key, value, 4);
+    config.faults.slow_host(f[0], parse_double(f[1], n),
+                            parse_double(f[2], n), parse_double(f[3], n));
+  } else if (key == "collector_outage") {
+    auto f = fault_fields(key, value, 3);
+    config.faults.collector_outage(f[0], parse_double(f[1], n),
+                                   parse_double(f[2], n));
+  } else if (key == "query_deadline") {
+    config.query_deadline = parse_double(value, n);
+  } else if (key == "max_attempts") {
+    config.max_attempts = static_cast<int>(parse_double(value, n));
+  } else {
+    throw ConfigError("unknown key '" + key + "' in [faults]");
+  }
+}
+
 ServiceKind parse_service(const std::string& value, int line_no) {
   static const std::map<std::string, ServiceKind> kNames = {
       {"gris", ServiceKind::Gris},
@@ -168,7 +224,7 @@ ScenarioConfig parse_scenario_config(const std::string& text) {
     throw ConfigError("missing [experiment] section");
   }
   for (const auto& [section, unused] : ini) {
-    if (section != "experiment") {
+    if (section != "experiment" && section != "faults") {
       throw ConfigError("unknown section [" + section + "]");
     }
   }
@@ -201,6 +257,12 @@ ScenarioConfig parse_scenario_config(const std::string& text) {
       config.seed = static_cast<std::uint64_t>(parse_double(value, n));
     } else {
       throw ConfigError("unknown key '" + key + "' in [experiment]");
+    }
+  }
+  auto faults_it = ini.find("faults");
+  if (faults_it != ini.end()) {
+    for (const auto& [key, value] : faults_it->second) {
+      parse_fault_key(config, key, value);
     }
   }
   return config;

@@ -16,6 +16,19 @@
 ///   duration  = 600             ; seconds (the paper's 10 minutes)
 ///   seed      = 42
 ///
+/// An optional [faults] section schedules deterministic fault injection
+/// (times are absolute sim seconds, so warmup is included):
+///
+///   [faults]
+///   crash            = server, 300, 360   ; target, at, restart-at
+///   blackhole        = server, 300, 360   ; crash, host vanishes (no RST)
+///   partition        = anl, uc, 300, 360  ; site-a, site-b, at, heal-at
+///   degrade          = anl, uc, 300, 360, 0.1   ; ... capacity factor
+///   slow_host        = lucky7, 300, 360, 0.25   ; host, at, until, factor
+///   collector_outage = server, 300, 360   ; sensors hang, server stays up
+///   query_deadline   = 25    ; client gives up a query after this long
+///   max_attempts     = 5     ; retries before abandoning (0 = forever)
+///
 /// Lines starting with '#' or ';' are comments; inline ';' comments are
 /// stripped. Unknown keys are an error (catches typos).
 
@@ -23,6 +36,8 @@
 #include <stdexcept>
 #include <string>
 #include <vector>
+
+#include "gridmon/fault/plan.hpp"
 
 namespace gridmon::tools {
 
@@ -50,6 +65,13 @@ struct ScenarioConfig {
   double warmup = 120;
   double duration = 600;
   std::uint64_t seed = 42;
+
+  /// The [faults] schedule (empty = fault-free run, zero overhead).
+  fault::FaultPlan faults;
+  /// Client-side end-to-end query deadline (0 = wait forever).
+  double query_deadline = 0;
+  /// Retries before a query is abandoned (0 = retry forever).
+  int max_attempts = 0;
 
   /// Host whose Ganglia metrics are reported (derived from the service).
   std::string server_host() const;
