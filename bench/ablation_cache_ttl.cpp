@@ -8,8 +8,6 @@
 #include <iostream>
 
 #include "bench_common.hpp"
-#include "gridmon/core/adapters.hpp"
-#include "gridmon/core/scenarios.hpp"
 
 using namespace gridmon;
 using namespace gridmon::bench;
@@ -17,7 +15,7 @@ using namespace gridmon::core;
 
 int main(int argc, char** argv) {
   BenchOptions opt = parse_options(argc, argv);
-  const int kUsers = opt.quick ? 50 : 200;
+  const int kUsers = opt.users > 0 ? opt.users : (opt.quick ? 50 : 200);
   const double ttls[] = {0.0, 1.0, 5.0, 30.0, 300.0, 1e18};
 
   std::vector<Series> figures;
@@ -29,30 +27,22 @@ int main(int argc, char** argv) {
                      "cpu_pct", "provider_runs"});
 
   for (double ttl : ttls) {
-    Testbed tb;
-    bool cache = ttl > 0;
-    GrisScenario scenario(tb, 10, cache);
-    // Override the per-provider TTL by rebuilding the GRIS with specs.
-    if (cache) {
-      auto providers = default_providers(10);
-      for (auto& p : providers) p.cache_ttl = ttl;
-      mds::GrisConfig config;
-      scenario.gris = std::make_unique<mds::Gris>(
-          tb.network(), tb.host("lucky7"), tb.nic("lucky7"),
-          "lucky7.mcs.anl.gov", providers, config);
-    }
-    UserWorkload w(tb, query_gris(*scenario.gris));
-    w.spawn_users(kUsers, tb.uc_names());
-    tb.sampler().start();
-    SweepPoint p = measure(tb, w, "lucky7", ttl, opt.measure());
-    progress("ttl", static_cast<int>(ttl > 1e9 ? -1 : ttl), p);
+    ScenarioSpec spec;
+    spec.service = ttl > 0 ? ServiceKind::Gris : ServiceKind::GrisNocache;
+    spec.provider_ttl = ttl;
+    PointHooks hooks;
+    hooks.x = ttl > 1e9 ? 1e6 : ttl;
+    std::uint64_t provider_runs = 0;
+    hooks.after_measure = [&provider_runs](Scenario& sc, UserWorkload&) {
+      provider_runs = static_cast<GrisScenario&>(sc).gris->provider_runs();
+    };
+    SweepPoint p = run_point(opt, "ttl", spec, kUsers, nullptr, hooks);
     table.add_row({ttl > 1e9 ? "inf" : metrics::Table::num(ttl, 0),
                    metrics::Table::num(p.throughput),
                    metrics::Table::num(p.response),
                    metrics::Table::num(p.load1, 3),
                    metrics::Table::num(p.cpu, 1),
-                   std::to_string(scenario.gris->provider_runs())});
-    p.x = ttl > 1e9 ? 1e6 : ttl;
+                   std::to_string(provider_runs)});
     s.points.push_back(p);
   }
   figures.push_back(std::move(s));

@@ -8,8 +8,6 @@
 #include <iostream>
 
 #include "bench_common.hpp"
-#include "gridmon/core/adapters.hpp"
-#include "gridmon/core/scenarios.hpp"
 
 using namespace gridmon;
 using namespace gridmon::bench;
@@ -18,7 +16,7 @@ using namespace gridmon::core;
 int main(int argc, char** argv) {
   BenchOptions opt = parse_options(argc, argv);
   auto volumes = opt.sweep({40, 200, 500, 1000, 2000}, 2);
-  const int kUsers = opt.quick ? 20 : 50;
+  const int kUsers = opt.users > 0 ? opt.users : (opt.quick ? 20 : 50);
 
   metrics::Table table("Ablation: entries per machine (GRIS cache, " +
                        std::to_string(kUsers) + " users)");
@@ -28,25 +26,19 @@ int main(int argc, char** argv) {
   Series s{"GRIS (cache)", {}};
 
   for (int total : volumes) {
-    Testbed tb;
-    auto providers = default_providers(10);
-    for (auto& p : providers) {
-      p.entries = total / 10;
-      p.bytes_per_entry = 600;  // WatchTower items are small counters
-    }
-    GrisScenario scenario(tb, 10, true);
-    scenario.gris = std::make_unique<mds::Gris>(
-        tb.network(), tb.host("lucky7"), tb.nic("lucky7"),
-        "lucky7.mcs.anl.gov", providers);
-    UserWorkload w(tb, query_gris(*scenario.gris));
-    w.spawn_users(kUsers, tb.uc_names());
-    tb.sampler().start();
-    SweepPoint p = measure(tb, w, "lucky7", total, opt.measure());
-    progress(s.name, total, p);
+    ScenarioSpec spec;
+    spec.service = ServiceKind::Gris;
+    spec.provider_entries = total / 10;
+    spec.provider_bytes = 600;  // WatchTower items are small counters
+    PointHooks hooks;
+    hooks.x = total;
     double resp_kb = 0;
-    if (!w.completions().empty()) {
-      resp_kb = w.completions().back().bytes / 1024.0;
-    }
+    hooks.after_measure = [&resp_kb](Scenario&, UserWorkload& w) {
+      if (!w.completions().empty()) {
+        resp_kb = w.completions().back().bytes / 1024.0;
+      }
+    };
+    SweepPoint p = run_point(opt, s.name, spec, kUsers, nullptr, hooks);
     table.add_row({std::to_string(total), metrics::Table::num(resp_kb, 0),
                    metrics::Table::num(p.throughput),
                    metrics::Table::num(p.response),

@@ -5,66 +5,16 @@
 /// a fixed 300-user R-GMA load, with consumers spread round-robin.
 
 #include <iostream>
-#include <memory>
 
 #include "bench_common.hpp"
-#include "gridmon/core/scenarios.hpp"
 
 using namespace gridmon;
 using namespace gridmon::bench;
 using namespace gridmon::core;
 
-namespace {
-
-struct ReplicatedRgma : Scenario {
-  ReplicatedRgma(Testbed& tb, int replicas, int pool_size) : Scenario(tb) {
-    registry = std::make_unique<rgma::Registry>(
-        tb.network(), tb.host("lucky1"), tb.nic("lucky1"));
-    registry->start_sweeper();
-    const std::vector<std::string> hosts{"lucky3", "lucky4", "lucky5",
-                                         "lucky6", "lucky7"};
-    rgma::ProducerServletConfig ps_config;
-    ps_config.pool_size = pool_size;
-    for (int r = 0; r < replicas; ++r) {
-      const std::string& host =
-          hosts[static_cast<std::size_t>(r) % hosts.size()];
-      auto servlet = std::make_unique<rgma::ProducerServlet>(
-          tb.network(), tb.host(host), tb.nic(host),
-          "ps-replica-" + std::to_string(r), ps_config);
-      for (int i = 0; i < 10; ++i) {
-        auto& p = servlet->add_producer(
-            "producer-" + std::to_string(r) + "-" + std::to_string(i),
-            "cpuload");
-        for (int row = 0; row < 30; ++row) {
-          p.publish({rdbms::Value::text(host), rdbms::Value::text("cpu"),
-                     rdbms::Value::real(row * 0.1),
-                     rdbms::Value::real(static_cast<double>(row))});
-        }
-      }
-      servlet->start_registration(*registry);
-      servlets.push_back(std::move(servlet));
-    }
-  }
-
-  /// Round-robin consumers over the replicas.
-  QueryFn balanced_query() {
-    return [this](net::Interface& client) -> sim::Task<QueryAttempt> {
-      auto& servlet = *servlets[next_++ % servlets.size()];
-      auto r = co_await servlet.client_query(client, "cpuload");
-      co_return QueryAttempt{r.admitted, r.response_bytes};
-    };
-  }
-
-  std::unique_ptr<rgma::Registry> registry;
-  std::vector<std::unique_ptr<rgma::ProducerServlet>> servlets;
-  std::size_t next_ = 0;
-};
-
-}  // namespace
-
 int main(int argc, char** argv) {
   BenchOptions opt = parse_options(argc, argv);
-  const int kUsers = opt.quick ? 100 : 300;
+  const int kUsers = opt.users > 0 ? opt.users : (opt.quick ? 100 : 300);
 
   metrics::Table table("Ablation: R-GMA ProducerServlet replication (" +
                        std::to_string(kUsers) + " users)");
@@ -75,16 +25,13 @@ int main(int argc, char** argv) {
   for (int replicas : {1, 2, 4}) {
     Series s{"replicas=" + std::to_string(replicas), {}};
     for (int pool : {2, 4, 8, 16}) {
-      Testbed tb;
-      ReplicatedRgma scenario(tb, replicas, pool);
-      tb.sim().run(10.0);
-      UserWorkload w(tb, scenario.balanced_query());
-      w.spawn_users(kUsers, tb.uc_names());
-      tb.sampler().start();
-      SweepPoint p = measure(tb, w, "lucky3", pool, opt.measure());
-      std::cout << "  replicas=" << replicas << " pool=" << pool
-                << " tput=" << metrics::Table::num(p.throughput)
-                << " resp=" << metrics::Table::num(p.response) << "\n";
+      ScenarioSpec spec;
+      spec.service = ServiceKind::RgmaReplicated;
+      spec.replicas = replicas;
+      spec.pool_size = pool;
+      PointHooks hooks;
+      hooks.x = pool;
+      SweepPoint p = run_point(opt, s.name, spec, kUsers, nullptr, hooks);
       table.add_row({std::to_string(replicas), std::to_string(pool),
                      metrics::Table::num(p.throughput),
                      metrics::Table::num(p.response),

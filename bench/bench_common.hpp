@@ -1,15 +1,23 @@
 #pragma once
 
 /// \file bench_common.hpp
-/// Shared scaffolding for the figure-reproduction binaries: sweep-point
-/// lists, --quick mode (shorter spans for CI), and CSV emission.
+/// Shared scaffolding for the figure-reproduction binaries and
+/// gridmon_run: one CLI (--quick, --csv, --trace, --seed, --users),
+/// sweep thinning, CSV/trace emission, and the common sweep-point loop
+/// (Testbed + make_scenario + UserWorkload + measure) every closed-loop
+/// bench runs.
 
+#include <cstdint>
 #include <fstream>
+#include <functional>
 #include <iostream>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "gridmon/core/experiment.hpp"
+#include "gridmon/core/scenario_spec.hpp"
+#include "gridmon/core/scenarios.hpp"
 #include "gridmon/metrics/report.hpp"
 #include "gridmon/trace/chrome_export.hpp"
 
@@ -19,6 +27,9 @@ struct BenchOptions {
   bool quick = false;
   std::string csv_path;    // empty: no CSV
   std::string trace_path;  // empty: tracing off
+  std::uint64_t seed = 0;  // 0: keep each spec's seed (default 42)
+  int users = 0;           // >0: replace the sweep with this single point
+  std::vector<std::string> positional;  // only when the caller allows them
 
   core::MeasureConfig measure() const {
     core::MeasureConfig mc;
@@ -30,7 +41,9 @@ struct BenchOptions {
   }
 
   /// Thin the sweep in quick mode: keep first, last and every `stride`th.
+  /// A --users override collapses the sweep to that single point.
   std::vector<int> sweep(std::vector<int> full, std::size_t stride = 2) const {
+    if (users > 0) return {users};
     if (!quick) return full;
     std::vector<int> out;
     for (std::size_t i = 0; i < full.size(); ++i) {
@@ -40,26 +53,85 @@ struct BenchOptions {
     }
     return out;
   }
+
+  /// Seed for one sweep point: CLI --seed wins over the spec.
+  std::uint64_t seed_for(const core::ScenarioSpec& spec) const {
+    return seed != 0 ? seed : spec.seed;
+  }
 };
 
-inline BenchOptions parse_options(int argc, char** argv) {
+inline void print_usage(const char* argv0, const std::string& extra) {
+  std::cout
+      << "usage: " << argv0 << " [options]" << (extra.empty() ? "" : " ")
+      << extra << "\n"
+      << "  --quick       short spans (30s warmup, 120s measure), thin sweep\n"
+      << "  --csv FILE    write sweep points as CSV\n"
+      << "  --trace FILE  record the first sweep point of each series as\n"
+      << "                Chrome trace_event JSON\n"
+      << "  --seed N      override the simulation seed (default 42)\n"
+      << "  --users N     run a single sweep point with N users\n"
+      << "  --help        this text\n"
+      << "Every flag also accepts --flag=VALUE. GRIDMON_BENCH_QUICK=1 in\n"
+      << "the environment implies --quick.\n";
+}
+
+/// Parse the shared CLI. Unknown flags are an error (exit 2); positional
+/// arguments are an error unless `allow_positional` (gridmon_run's config
+/// path) is set.
+inline BenchOptions parse_options(int argc, char** argv,
+                                  bool allow_positional = false,
+                                  const std::string& extra_help = "") {
   BenchOptions opt;
+  // --flag VALUE and --flag=VALUE both work for every value flag.
+  auto value = [&](const std::string& arg, const std::string& flag, int& i,
+                   std::string& out) {
+    if (arg.rfind(flag + "=", 0) == 0) {
+      out = arg.substr(flag.size() + 1);
+      return true;
+    }
+    if (arg == flag) {
+      if (i + 1 >= argc) {
+        std::cerr << argv[0] << ": " << flag << " needs a value\n";
+        std::exit(2);
+      }
+      out = argv[++i];
+      return true;
+    }
+    return false;
+  };
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
+    std::string v;
     if (arg == "--quick") {
       opt.quick = true;
-    } else if (arg == "--csv" && i + 1 < argc) {
-      opt.csv_path = argv[++i];
-    } else if (arg.rfind("--trace=", 0) == 0) {
-      opt.trace_path = arg.substr(8);
-    } else if (arg == "--trace" && i + 1 < argc) {
-      opt.trace_path = argv[++i];
-    } else if (arg == "--help") {
-      std::cout << "usage: " << argv[0]
-                << " [--quick] [--csv FILE] [--trace FILE]\n"
-                << "  --trace FILE  record the first sweep point of each\n"
-                << "                series as Chrome trace_event JSON\n";
+    } else if (value(arg, "--csv", i, v)) {
+      opt.csv_path = v;
+    } else if (value(arg, "--trace", i, v)) {
+      opt.trace_path = v;
+    } else if (value(arg, "--seed", i, v)) {
+      opt.seed = std::strtoull(v.c_str(), nullptr, 10);
+      if (opt.seed == 0) {
+        std::cerr << argv[0] << ": --seed needs a positive integer\n";
+        std::exit(2);
+      }
+    } else if (value(arg, "--users", i, v)) {
+      opt.users = std::atoi(v.c_str());
+      if (opt.users <= 0) {
+        std::cerr << argv[0] << ": --users needs a positive integer\n";
+        std::exit(2);
+      }
+    } else if (arg == "--help" || arg == "-h") {
+      print_usage(argv[0], extra_help);
       std::exit(0);
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << argv[0] << ": unknown option '" << arg
+                << "' (try --help)\n";
+      std::exit(2);
+    } else if (allow_positional) {
+      opt.positional.push_back(arg);
+    } else {
+      std::cerr << argv[0] << ": unexpected argument '" << arg << "'\n";
+      std::exit(2);
     }
   }
   // Environment hook so `ctest`/scripts can shorten every bench at once.
@@ -100,6 +172,64 @@ inline void progress(const std::string& series, int x,
             << " load1=" << metrics::Table::num(p.load1, 3)
             << " cpu=" << metrics::Table::num(p.cpu, 1)
             << " refused/s=" << metrics::Table::num(p.refused) << "\n";
+}
+
+/// Per-point tweaks for benches whose loop differs slightly from the
+/// default (x axis that isn't the user count, member reads after the
+/// measurement window, a client-host cap).
+struct PointHooks {
+  std::optional<double> x;     // CSV x value (default: the user count)
+  int max_users_per_host = 0;  // 0 = 100 on lucky clients, else default
+  /// Runs after measure(), before the scenario is torn down — read
+  /// scenario members (cache stats, completion logs) here.
+  std::function<void(core::Scenario&, core::UserWorkload&)> after_measure;
+};
+
+/// The standard closed-loop sweep point: fresh Testbed, deployment via
+/// make_scenario + prefill, UserWorkload bound to the scenario's query,
+/// one measurement window. This is the loop exp1-exp4 and most extended
+/// benches share; only push-based and open-loop benches hand-roll it.
+inline core::SweepPoint run_point(const BenchOptions& opt,
+                                  const std::string& series,
+                                  const core::ScenarioSpec& spec, int users,
+                                  trace::SeriesTrace* trace_out = nullptr,
+                                  const PointHooks& hooks = {}) {
+  core::TestbedConfig tc;
+  tc.seed = opt.seed_for(spec);
+  core::Testbed tb(tc);
+  auto scenario = core::make_scenario(tb, spec);
+  scenario->prefill();
+  // The collector must outlive the workload's user coroutines (destroyed
+  // by ~UserWorkload's shutdown), hence this declaration order.
+  trace::Collector collector(tb.sim(), tb.config().seed);
+  core::WorkloadConfig wc;
+  if (spec.lucky_clients) wc.max_users_per_host = 100;
+  if (hooks.max_users_per_host > 0) {
+    wc.max_users_per_host = hooks.max_users_per_host;
+  }
+  if (spec.query_deadline > 0) wc.query_deadline = spec.query_deadline;
+  if (spec.max_attempts > 0) wc.max_attempts = spec.max_attempts;
+  core::UserWorkload workload(tb, scenario->query_fn(), wc);
+  const std::string server = spec.server_host();
+  if (trace_out != nullptr) {
+    scenario->instrument(collector);
+    core::instrument_host(tb, collector, server);
+    workload.enable_tracing(collector);
+  }
+  workload.spawn_users(users,
+                       spec.lucky_clients ? tb.lucky_names() : tb.uc_names());
+  tb.sampler().start();
+  core::MeasureConfig mc = opt.measure();
+  if (trace_out != nullptr) mc.collector = &collector;
+  double x = hooks.x.value_or(users);
+  core::SweepPoint p = core::measure(tb, workload, server, x, mc);
+  if (trace_out != nullptr) {
+    trace_out->series = series;
+    trace_out->data = collector.take();
+  }
+  if (hooks.after_measure) hooks.after_measure(*scenario, workload);
+  progress(series, static_cast<int>(x), p);
+  return p;
 }
 
 }  // namespace gridmon::bench

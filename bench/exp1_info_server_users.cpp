@@ -9,50 +9,10 @@
 #include <iostream>
 
 #include "bench_common.hpp"
-#include "gridmon/core/adapters.hpp"
-#include "gridmon/core/scenarios.hpp"
 
 using namespace gridmon;
 using namespace gridmon::bench;
 using namespace gridmon::core;
-
-namespace {
-
-SweepPoint run_point(const BenchOptions& opt, const std::string& series,
-                     int users, const std::string& server_host,
-                     bool lucky_clients,
-                     const std::function<std::unique_ptr<Scenario>(Testbed&)>&
-                         make_scenario,
-                     const std::function<TracedQueryFn(Scenario&)>& make_query,
-                     trace::SeriesTrace* trace_out = nullptr) {
-  Testbed tb;
-  auto scenario = make_scenario(tb);
-  // The collector must outlive the workload's user coroutines (destroyed
-  // by ~UserWorkload's shutdown), hence this declaration order.
-  trace::Collector collector(tb.sim(), tb.config().seed);
-  WorkloadConfig wc;
-  if (lucky_clients) wc.max_users_per_host = 100;
-  UserWorkload workload(tb, make_query(*scenario), wc);
-  if (trace_out != nullptr) {
-    scenario->instrument(collector);
-    instrument_host(tb, collector, server_host);
-    workload.enable_tracing(collector);
-  }
-  workload.spawn_users(users,
-                       lucky_clients ? tb.lucky_names() : tb.uc_names());
-  tb.sampler().start();
-  MeasureConfig mc = opt.measure();
-  if (trace_out != nullptr) mc.collector = &collector;
-  SweepPoint p = measure(tb, workload, server_host, users, mc);
-  if (trace_out != nullptr) {
-    trace_out->series = series;
-    trace_out->data = collector.take();
-  }
-  progress(series, users, p);
-  return p;
-}
-
-}  // namespace
 
 int main(int argc, char** argv) {
   BenchOptions opt = parse_options(argc, argv);
@@ -68,90 +28,37 @@ int main(int argc, char** argv) {
     return &traces.back();
   };
 
+  struct Config {
+    std::string name;
+    ScenarioSpec spec;
+    int user_cap = 0;  // 0 = no cap
+  };
+  std::vector<Config> configs;
   {
-    Series s{"MDS GRIS (cache)", {}};
-    std::cout << s.name << "\n";
-    for (int n : users) {
-      s.points.push_back(run_point(
-          opt, s.name, n, "lucky7", false,
-          [](Testbed& tb) -> std::unique_ptr<Scenario> {
-            return std::make_unique<GrisScenario>(tb, 10, true);
-          },
-          [](Scenario& sc) {
-            return query_gris(*static_cast<GrisScenario&>(sc).gris);
-          },
-          trace_slot(s)));
-    }
-    figures.push_back(std::move(s));
+    ScenarioSpec spec;
+    spec.service = ServiceKind::Gris;
+    configs.push_back({"MDS GRIS (cache)", spec});
+    spec.service = ServiceKind::GrisNocache;
+    configs.push_back({"MDS GRIS (nocache)", spec});
+    spec.service = ServiceKind::Agent;
+    spec.collectors = 11;  // the Agent's default module set
+    configs.push_back({"Hawkeye Agent", spec});
+    spec.collectors = 10;
+    spec.service = ServiceKind::RgmaMediated;
+    spec.lucky_clients = true;
+    configs.push_back({"R-GMA ProducerServlet (lucky)", spec});
+    spec.lucky_clients = false;
+    // paper: at most ~100 consumers per servlet at UC
+    configs.push_back({"R-GMA ProducerServlet (UC)", spec, 100});
   }
 
-  {
-    Series s{"MDS GRIS (nocache)", {}};
+  for (const auto& config : configs) {
+    Series s{config.name, {}};
     std::cout << s.name << "\n";
     for (int n : users) {
-      s.points.push_back(run_point(
-          opt, s.name, n, "lucky7", false,
-          [](Testbed& tb) -> std::unique_ptr<Scenario> {
-            return std::make_unique<GrisScenario>(tb, 10, false);
-          },
-          [](Scenario& sc) {
-            return query_gris(*static_cast<GrisScenario&>(sc).gris);
-          },
-          trace_slot(s)));
-    }
-    figures.push_back(std::move(s));
-  }
-
-  {
-    Series s{"Hawkeye Agent", {}};
-    std::cout << s.name << "\n";
-    for (int n : users) {
-      s.points.push_back(run_point(
-          opt, s.name, n, "lucky4", false,
-          [](Testbed& tb) -> std::unique_ptr<Scenario> {
-            return std::make_unique<AgentScenario>(tb);
-          },
-          [](Scenario& sc) {
-            return query_agent(*static_cast<AgentScenario&>(sc).agent);
-          },
-          trace_slot(s)));
-    }
-    figures.push_back(std::move(s));
-  }
-
-  {
-    Series s{"R-GMA ProducerServlet (lucky)", {}};
-    std::cout << s.name << "\n";
-    for (int n : users) {
-      s.points.push_back(run_point(
-          opt, s.name, n, "lucky3", true,
-          [](Testbed& tb) -> std::unique_ptr<Scenario> {
-            return std::make_unique<RgmaScenario>(
-                tb, 10, RgmaScenario::Consumers::PerLuckyNode);
-          },
-          [](Scenario& sc) {
-            return static_cast<RgmaScenario&>(sc).mediated_query();
-          },
-          trace_slot(s)));
-    }
-    figures.push_back(std::move(s));
-  }
-
-  {
-    Series s{"R-GMA ProducerServlet (UC)", {}};
-    std::cout << s.name << "\n";
-    for (int n : users) {
-      if (n > 100) break;  // paper: at most ~100 consumers per servlet at UC
-      s.points.push_back(run_point(
-          opt, s.name, n, "lucky3", false,
-          [](Testbed& tb) -> std::unique_ptr<Scenario> {
-            return std::make_unique<RgmaScenario>(
-                tb, 10, RgmaScenario::Consumers::SingleAtUc);
-          },
-          [](Scenario& sc) {
-            return static_cast<RgmaScenario&>(sc).mediated_query();
-          },
-          trace_slot(s)));
+      if (config.user_cap > 0 && n > config.user_cap) break;
+      s.points.push_back(
+          run_point(opt, s.name, config.spec, n, trace_slot(s)));
     }
     figures.push_back(std::move(s));
   }

@@ -8,8 +8,6 @@
 #include <iostream>
 
 #include "bench_common.hpp"
-#include "gridmon/core/adapters.hpp"
-#include "gridmon/core/scenarios.hpp"
 
 using namespace gridmon;
 using namespace gridmon::bench;
@@ -21,73 +19,38 @@ int main(int argc, char** argv) {
 
   std::vector<Series> figures;
 
+  struct Config {
+    std::string name;
+    ScenarioSpec spec;
+    int user_cap = 0;
+  };
+  std::vector<Config> configs;
   {
-    Series s{"MDS GIIS", {}};
-    std::cout << s.name << "\n";
-    for (int n : users) {
-      Testbed tb;
-      GiisScenario scenario(tb, 5, 10);
-      scenario.prefill();
-      UserWorkload w(tb, query_giis(*scenario.giis, mds::QueryScope::Part));
-      w.spawn_users(n, tb.uc_names());
-      tb.sampler().start();
-      SweepPoint p = measure(tb, w, "lucky0", n, opt.measure());
-      progress(s.name, n, p);
-      s.points.push_back(p);
-    }
-    figures.push_back(std::move(s));
+    ScenarioSpec spec;
+    spec.service = ServiceKind::Giis;
+    configs.push_back({"MDS GIIS", spec});
+  }
+  {
+    ScenarioSpec spec;
+    spec.service = ServiceKind::Manager;
+    spec.collectors = 11;  // the Agents' default module set
+    configs.push_back({"Hawkeye Manager", spec});
+  }
+  {
+    ScenarioSpec spec;
+    spec.service = ServiceKind::Registry;
+    spec.lucky_clients = true;
+    configs.push_back({"R-GMA Registry (lucky)", spec});
+    spec.lucky_clients = false;
+    configs.push_back({"R-GMA Registry (UC)", spec, 100});
   }
 
-  {
-    Series s{"Hawkeye Manager", {}};
+  for (const auto& config : configs) {
+    Series s{config.name, {}};
     std::cout << s.name << "\n";
     for (int n : users) {
-      Testbed tb;
-      ManagerScenario scenario(tb);
-      tb.sim().run(40.0);  // let the agents' first ads land
-      UserWorkload w(tb, query_manager_status(*scenario.manager));
-      w.spawn_users(n, tb.uc_names());
-      tb.sampler().start();
-      SweepPoint p = measure(tb, w, "lucky3", n, opt.measure());
-      progress(s.name, n, p);
-      s.points.push_back(p);
-    }
-    figures.push_back(std::move(s));
-  }
-
-  {
-    Series s{"R-GMA Registry (lucky)", {}};
-    std::cout << s.name << "\n";
-    for (int n : users) {
-      Testbed tb;
-      RegistryScenario scenario(tb);
-      tb.sim().run(10.0);  // registrations land
-      WorkloadConfig wc;
-      wc.max_users_per_host = 100;
-      UserWorkload w(tb, query_registry(*scenario.registry, "cpuload"), wc);
-      w.spawn_users(n, tb.lucky_names());
-      tb.sampler().start();
-      SweepPoint p = measure(tb, w, "lucky1", n, opt.measure());
-      progress(s.name, n, p);
-      s.points.push_back(p);
-    }
-    figures.push_back(std::move(s));
-  }
-
-  {
-    Series s{"R-GMA Registry (UC)", {}};
-    std::cout << s.name << "\n";
-    for (int n : users) {
-      if (n > 100) break;
-      Testbed tb;
-      RegistryScenario scenario(tb);
-      tb.sim().run(10.0);
-      UserWorkload w(tb, query_registry(*scenario.registry, "cpuload"));
-      w.spawn_users(n, tb.uc_names());
-      tb.sampler().start();
-      SweepPoint p = measure(tb, w, "lucky1", n, opt.measure());
-      progress(s.name, n, p);
-      s.points.push_back(p);
+      if (config.user_cap > 0 && n > config.user_cap) break;
+      s.points.push_back(run_point(opt, s.name, config.spec, n));
     }
     figures.push_back(std::move(s));
   }

@@ -10,8 +10,6 @@
 #include <iostream>
 
 #include "bench_common.hpp"
-#include "gridmon/core/adapters.hpp"
-#include "gridmon/core/scenarios.hpp"
 
 using namespace gridmon;
 using namespace gridmon::bench;
@@ -24,51 +22,36 @@ int main(int argc, char** argv) {
 
   std::vector<Series> figures;
 
-  for (bool cache : {true, false}) {
-    Series s{cache ? "MDS GRIS (cache)" : "MDS GRIS (nocache)", {}};
-    std::cout << s.name << "\n";
-    for (int n : collectors) {
-      Testbed tb;
-      GrisScenario scenario(tb, n, cache);
-      UserWorkload w(tb, query_gris(*scenario.gris));
-      w.spawn_users(kUsers, tb.uc_names());
-      tb.sampler().start();
-      SweepPoint p = measure(tb, w, "lucky7", n, opt.measure());
-      progress(s.name, n, p);
-      s.points.push_back(p);
-    }
-    figures.push_back(std::move(s));
+  struct Config {
+    std::string name;
+    ScenarioSpec spec;
+    std::string banner;  // extra note after the series name
+  };
+  std::vector<Config> configs;
+  {
+    ScenarioSpec spec;
+    spec.service = ServiceKind::Gris;
+    configs.push_back({"MDS GRIS (cache)", spec, ""});
+    spec.service = ServiceKind::GrisNocache;
+    configs.push_back({"MDS GRIS (nocache)", spec, ""});
+    spec.service = ServiceKind::Manager;
+    spec.query = QueryVariant::ManagerDump;
+    configs.push_back({"Hawkeye Agent", spec,
+                       " (pool dump via Manager, per the paper's setup)"});
+    spec.query = QueryVariant::Default;
+    spec.service = ServiceKind::RgmaDirect;
+    configs.push_back({"R-GMA ProducerServlet", spec, ""});
   }
 
-  {
-    Series s{"Hawkeye Agent", {}};
-    std::cout << s.name << " (pool dump via Manager, per the paper's setup)\n";
+  for (auto& config : configs) {
+    Series s{config.name, {}};
+    std::cout << s.name << config.banner << "\n";
     for (int n : collectors) {
-      Testbed tb;
-      ManagerScenario scenario(tb, n);
-      tb.sim().run(40.0);
-      UserWorkload w(tb, query_manager_dump(*scenario.manager));
-      w.spawn_users(kUsers, tb.uc_names());
-      tb.sampler().start();
-      SweepPoint p = measure(tb, w, "lucky3", n, opt.measure());
-      progress(s.name, n, p);
-      s.points.push_back(p);
-    }
-    figures.push_back(std::move(s));
-  }
-
-  {
-    Series s{"R-GMA ProducerServlet", {}};
-    std::cout << s.name << "\n";
-    for (int n : collectors) {
-      Testbed tb;
-      RgmaScenario scenario(tb, n, RgmaScenario::Consumers::None);
-      UserWorkload w(tb, scenario.direct_query());
-      w.spawn_users(kUsers, tb.uc_names());
-      tb.sampler().start();
-      SweepPoint p = measure(tb, w, "lucky3", n, opt.measure());
-      progress(s.name, n, p);
-      s.points.push_back(p);
+      config.spec.collectors = n;  // the swept axis
+      PointHooks hooks;
+      hooks.x = n;
+      s.points.push_back(
+          run_point(opt, s.name, config.spec, kUsers, nullptr, hooks));
     }
     figures.push_back(std::move(s));
   }

@@ -10,8 +10,6 @@
 #include <iostream>
 
 #include "bench_common.hpp"
-#include "gridmon/core/adapters.hpp"
-#include "gridmon/core/scenarios.hpp"
 
 using namespace gridmon;
 using namespace gridmon::bench;
@@ -26,58 +24,35 @@ int main(int argc, char** argv) {
 
   std::vector<Series> figures;
 
-  {
-    Series s{"MDS GIIS (query all)", {}};
+  auto sweep_series = [&](const std::string& name, ScenarioSpec spec,
+                          const std::vector<int>& sizes, auto set_size) {
+    Series s{name, {}};
     std::cout << s.name << "\n";
-    for (int g : all_sweep) {
-      Testbed tb;
-      GiisAggregationScenario scenario(tb, g);
-      scenario.prefill();
-      UserWorkload w(tb, query_giis(*scenario.giis, mds::QueryScope::All));
-      w.spawn_users(kUsers, tb.uc_names());
-      tb.sampler().start();
-      SweepPoint p = measure(tb, w, "lucky0", g, opt.measure());
-      progress(s.name, g, p);
-      s.points.push_back(p);
+    for (int n : sizes) {
+      set_size(spec, n);
+      PointHooks hooks;
+      hooks.x = n;
+      s.points.push_back(
+          run_point(opt, s.name, spec, kUsers, nullptr, hooks));
     }
     figures.push_back(std::move(s));
-  }
+  };
 
   {
-    Series s{"MDS GIIS (query part)", {}};
-    std::cout << s.name << "\n";
-    for (int g : part_sweep) {
-      Testbed tb;
-      GiisAggregationScenario scenario(tb, g);
-      scenario.prefill();
-      UserWorkload w(tb, query_giis(*scenario.giis, mds::QueryScope::Part));
-      w.spawn_users(kUsers, tb.uc_names());
-      tb.sampler().start();
-      SweepPoint p = measure(tb, w, "lucky0", g, opt.measure());
-      progress(s.name, g, p);
-      s.points.push_back(p);
-    }
-    figures.push_back(std::move(s));
+    ScenarioSpec spec;
+    spec.service = ServiceKind::GiisAggregate;
+    auto by_gris = [](ScenarioSpec& sp, int n) { sp.gris_count = n; };
+    spec.query = QueryVariant::ScopeAll;
+    sweep_series("MDS GIIS (query all)", spec, all_sweep, by_gris);
+    spec.query = QueryVariant::ScopePart;
+    sweep_series("MDS GIIS (query part)", spec, part_sweep, by_gris);
   }
-
   {
-    Series s{"Hawkeye Manager", {}};
-    std::cout << s.name << "\n";
-    for (int m : machine_sweep) {
-      Testbed tb;
-      ManagerAggregationScenario scenario(tb, m);
-      scenario.prefill();
-      // Worst case: a constraint no Startd ad satisfies forces a scan of
-      // every resident ClassAd.
-      UserWorkload w(tb, query_manager_constraint(*scenario.manager,
-                                                  "CpuLoad > 100000"));
-      w.spawn_users(kUsers, tb.uc_names());
-      tb.sampler().start();
-      SweepPoint p = measure(tb, w, "lucky3", m, opt.measure());
-      progress(s.name, m, p);
-      s.points.push_back(p);
-    }
-    figures.push_back(std::move(s));
+    ScenarioSpec spec;
+    spec.service = ServiceKind::ManagerAggregate;
+    spec.collectors = 11;  // modules per advertised machine
+    sweep_series("Hawkeye Manager", spec, machine_sweep,
+                 [](ScenarioSpec& sp, int n) { sp.machines = n; });
   }
 
   std::cout << "\n";

@@ -8,12 +8,11 @@
 /// open-loop series offers the arrival rate those users would generate
 /// at light load (N / (response + think)).
 
+#include <algorithm>
 #include <iostream>
 
 #include "bench_common.hpp"
-#include "gridmon/core/adapters.hpp"
 #include "gridmon/core/open_workload.hpp"
-#include "gridmon/core/scenarios.hpp"
 
 using namespace gridmon;
 using namespace gridmon::bench;
@@ -25,22 +24,18 @@ int main(int argc, char** argv) {
   // Light-load cycle ~ 3.3 s response + 1 s think.
   const double kCycle = 4.3;
 
+  ScenarioSpec spec;  // GRIS with cache, 10 providers
   std::vector<Series> figures;
 
   {
     Series s{"closed loop (paper's users)", {}};
     std::cout << s.name << "\n";
     for (int n : users) {
-      Testbed tb;
-      GrisScenario scenario(tb, 10, true);
-      WorkloadConfig wc;
-      wc.max_users_per_host = 50;
-      UserWorkload w(tb, query_gris(*scenario.gris), wc);
-      w.spawn_users(std::min(n, 1000), tb.uc_names());
-      tb.sampler().start();
-      SweepPoint p = measure(tb, w, "lucky7", n, opt.measure());
-      progress(s.name, n, p);
-      s.points.push_back(p);
+      PointHooks hooks;
+      hooks.x = n;
+      hooks.max_users_per_host = 50;
+      s.points.push_back(run_point(opt, s.name, spec, std::min(n, 1000),
+                                   nullptr, hooks));
     }
     figures.push_back(std::move(s));
   }
@@ -49,11 +44,13 @@ int main(int argc, char** argv) {
     Series s{"open loop (Poisson arrivals)", {}};
     std::cout << s.name << "\n";
     for (int n : users) {
-      Testbed tb;
-      GrisScenario scenario(tb, 10, true);
+      TestbedConfig tc;
+      tc.seed = opt.seed_for(spec);
+      Testbed tb(tc);
+      auto scenario = make_scenario(tb, spec);
       OpenWorkloadConfig oc;
       oc.arrival_rate = static_cast<double>(n) / kCycle;
-      OpenWorkload w(tb, query_gris(*scenario.gris), oc);
+      OpenWorkload w(tb, scenario->query_fn(), oc);
       w.start(tb.uc_names());
       tb.sampler().start();
 

@@ -10,14 +10,10 @@
 /// while re-collecting services (GRIS nocache, the Hawkeye Agent) fail
 /// fast and surface errors instead.
 
-#include <functional>
 #include <iostream>
-#include <memory>
 #include <vector>
 
 #include "bench_common.hpp"
-#include "gridmon/core/adapters.hpp"
-#include "gridmon/core/scenarios.hpp"
 #include "gridmon/fault/injector.hpp"
 
 using namespace gridmon;
@@ -26,102 +22,30 @@ using namespace gridmon::core;
 
 namespace {
 
-/// One service deployment plus how the injector should reach it.
-struct Deployment {
-  std::unique_ptr<mds::Gris> gris;
-  std::unique_ptr<rgma::ProducerServlet> ps;
-  std::unique_ptr<hawkeye::Manager> manager;
-  std::unique_ptr<hawkeye::Agent> agent;
-  std::vector<std::unique_ptr<hawkeye::Agent>> agents;
-  TracedQueryFn query;
-  std::string host;
-  std::function<void(fault::Injector&)> register_faults;
-};
-
-void prefill_producer(rgma::Producer& producer, int rows = 30) {
-  for (int i = 0; i < rows; ++i) {
-    producer.publish({rdbms::Value::text("lucky3"),
-                      rdbms::Value::text("cpu_load"),
-                      rdbms::Value::real(0.1 * i),
-                      rdbms::Value::real(static_cast<double>(i))});
-  }
-}
-
-Deployment build(Testbed& tb, const std::string& service) {
-  Deployment d;
+ScenarioSpec build_spec(const std::string& service) {
+  ScenarioSpec spec;
   if (service == "gris-cache" || service == "gris-nocache") {
+    spec.service = service == "gris-cache" ? ServiceKind::Gris
+                                           : ServiceKind::GrisNocache;
     // A realistic 30-second provider TTL (not the pinned-cache 1e18 of
     // the throughput experiments) so freshness actually decays.
-    auto providers = default_providers(10);
-    for (auto& spec : providers) spec.cache_ttl = 30;
-    mds::GrisConfig config;
-    config.cache_enabled = service == "gris-cache";
-    d.gris = std::make_unique<mds::Gris>(
-        tb.network(), tb.host("lucky7"), tb.nic("lucky7"),
-        "lucky7.mcs.anl.gov", providers, config);
-    d.query = query_gris(*d.gris);
-    d.host = "lucky7";
-    d.register_faults = [g = d.gris.get()](fault::Injector& inj) {
-      inj.add_service("server", *g);
-    };
+    spec.provider_ttl = 30;
   } else if (service == "rgma-ps-direct") {
-    rgma::ProducerServletConfig config;
-    config.stale_after = 30;  // flag replies once publishers go silent
-    d.ps = std::make_unique<rgma::ProducerServlet>(
-        tb.network(), tb.host("lucky3"), tb.nic("lucky3"), "ps-lucky3",
-        config);
-    for (int i = 0; i < 10; ++i) {
-      auto& p = d.ps->add_producer("producer" + std::to_string(i), "cpuload");
-      prefill_producer(p);
-    }
-    d.ps->start_publishing(10);
-    d.query = query_producer_servlet(*d.ps, "cpuload");
-    d.host = "lucky3";
-    d.register_faults = [p = d.ps.get()](fault::Injector& inj) {
-      inj.add_service("server", *p);  // collectors hook = publisher feed
-    };
+    spec.service = ServiceKind::RgmaStandalone;
+    spec.ps_stale_after = 30;  // flag replies once publishers go silent
+    spec.self_publish_interval = 10;
   } else if (service == "agent") {
-    d.manager = std::make_unique<hawkeye::Manager>(
-        tb.network(), tb.host("lucky3"), tb.nic("lucky3"));
-    d.agent = std::make_unique<hawkeye::Agent>(
-        tb.network(), tb.host("lucky4"), tb.nic("lucky4"),
-        "lucky4.mcs.anl.gov", hawkeye::scaled_modules(11));
-    d.agent->start_advertising(*d.manager);
-    d.query = query_agent(*d.agent);
-    d.host = "lucky4";
-    d.register_faults = [a = d.agent.get()](fault::Injector& inj) {
-      inj.add_service("server", *a);
-    };
+    spec.service = ServiceKind::Agent;
+    spec.collectors = 11;
   } else {  // manager
-    hawkeye::ManagerConfig config;
-    config.ad_lifetime = 240;  // resident ads expire eventually...
-    config.stale_after = 45;   // ...and are flagged stale well before that
-    d.manager = std::make_unique<hawkeye::Manager>(
-        tb.network(), tb.host("lucky3"), tb.nic("lucky3"), config);
-    for (const auto& name : tb.lucky_names()) {
-      if (name == "lucky3") continue;
-      d.agents.push_back(std::make_unique<hawkeye::Agent>(
-          tb.network(), tb.host(name), tb.nic(name), name + ".mcs.anl.gov",
-          hawkeye::scaled_modules(11)));
-      d.agents.back()->start_advertising(*d.manager);
-    }
-    tb.sim().run(40.0);  // let every agent place its first ad
-    d.query = query_manager_status(*d.manager);
-    d.host = "lucky3";
-    d.register_faults = [m = d.manager.get(),
-                         agents = &d.agents](fault::Injector& inj) {
-      // The Manager has no collectors of its own: a "collector outage"
-      // means every advertising startd's modules hang at once.
-      fault::Injector::Hooks hooks;
-      hooks.crash = [m](bool blackhole) { m->crash(blackhole); };
-      hooks.restart = [m] { m->restart(); };
-      hooks.collectors = [agents](bool down) {
-        for (auto& a : *agents) a->set_collectors_down(down);
-      };
-      inj.add_target("server", std::move(hooks));
-    };
+    spec.service = ServiceKind::Manager;
+    spec.collectors = 11;
+    spec.manager_ad_lifetime = 240;  // resident ads expire eventually...
+    spec.manager_stale_after = 45;   // ...and are flagged well before that
   }
-  return d;
+  spec.query_deadline = 25;
+  spec.max_attempts = 5;
+  return spec;
 }
 
 }  // namespace
@@ -137,7 +61,7 @@ int main(int argc, char** argv) {
                 : std::vector<double>{30, 60, 120};
   const double warmup = opt.quick ? 30 : 60;
   const double duration = opt.quick ? 240 : 600;
-  const int users = 10;
+  const int users = opt.users > 0 ? opt.users : 10;
 
   metrics::Table table("Fault tolerance under crash / partition / outage");
   table.set_columns({"service", "plan", "window (s)", "avail", "err/s",
@@ -150,10 +74,14 @@ int main(int argc, char** argv) {
   }
 
   for (const auto& service : services) {
+    ScenarioSpec spec = build_spec(service);
     for (const auto& plan_name : plans) {
       for (double window : windows) {
-        Testbed tb;
-        Deployment d = build(tb, service);
+        TestbedConfig tc;
+        tc.seed = opt.seed_for(spec);
+        Testbed tb(tc);
+        auto scenario = make_scenario(tb, spec);
+        scenario->prefill();
         // The fault opens two minutes into the measured span (one in
         // quick mode) and recovery is measured from its end.
         double t_fault = tb.sim().now() + warmup + (opt.quick ? 60 : 120);
@@ -167,11 +95,11 @@ int main(int argc, char** argv) {
           plan.collector_outage("server", t_fault, t_heal);
         }
         WorkloadConfig wc;
-        wc.query_deadline = 25;
-        wc.max_attempts = 5;
-        UserWorkload w(tb, d.query, wc);
+        wc.query_deadline = spec.query_deadline;
+        wc.max_attempts = spec.max_attempts;
+        UserWorkload w(tb, scenario->query_fn(), wc);
         fault::Injector injector(tb.sim(), &tb.network());
-        d.register_faults(injector);
+        scenario->register_faults(injector);
         injector.arm(plan);
         w.spawn_users(users, tb.uc_names());
         tb.sampler().start();
@@ -179,7 +107,8 @@ int main(int argc, char** argv) {
         mc.warmup = warmup;
         mc.duration = duration;
         mc.recovery_mark = t_heal;
-        SweepPoint p = measure(tb, w, d.host, window, mc);
+        const std::string host = spec.server_host();
+        SweepPoint p = measure(tb, w, host, window, mc);
         std::cout << "  [" << service << "/" << plan_name << "] window="
                   << window << " avail=" << metrics::Table::num(p.availability, 3)
                   << " err/s=" << metrics::Table::num(p.error_rate, 3)

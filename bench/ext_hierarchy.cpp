@@ -9,11 +9,8 @@
 /// users issuing "query part" lookups throughout.
 
 #include <iostream>
-#include <memory>
 
 #include "bench_common.hpp"
-#include "gridmon/core/adapters.hpp"
-#include "gridmon/core/scenarios.hpp"
 
 using namespace gridmon;
 using namespace gridmon::bench;
@@ -23,115 +20,36 @@ namespace {
 
 constexpr double kCacheTtl = 45.0;  // finite: aggregation keeps working
 
-struct HierarchyScenario : Scenario {
-  ~HierarchyScenario() override { testbed_.sim().shutdown(); }
-
-  HierarchyScenario(Testbed& tb, int gris_count, bool two_level)
-      : Scenario(tb) {
-    mds::GiisConfig root_config;
-    root_config.cachettl = kCacheTtl;
-    root = std::make_unique<mds::Giis>(tb.network(), tb.host("lucky0"),
-                                       tb.nic("lucky0"), "root",
-                                       root_config);
-    const std::vector<std::string> hosts{"lucky1", "lucky3", "lucky4",
-                                         "lucky5", "lucky6", "lucky7"};
-    if (two_level) {
-      mds::GiisConfig mid_config;
-      mid_config.cachettl = kCacheTtl;
-      for (std::size_t m = 0; m < hosts.size(); ++m) {
-        mids.push_back(std::make_unique<mds::Giis>(
-            tb.network(), tb.host(hosts[m]), tb.nic(hosts[m]),
-            "site-" + std::to_string(m), mid_config));
-        root->add_registrant(*mids.back());
-      }
-    }
-    for (int i = 0; i < gris_count; ++i) {
-      const std::string& host =
-          hosts[static_cast<std::size_t>(i) % hosts.size()];
-      gris.push_back(std::make_unique<mds::Gris>(
-          tb.network(), tb.host(host), tb.nic(host),
-          host + "-gris" + std::to_string(i), default_providers(10)));
-      if (two_level) {
-        mids[static_cast<std::size_t>(i) % mids.size()]->add_registrant(
-            *gris.back());
-      } else {
-        root->add_registrant(*gris.back());
-      }
-    }
-  }
-
-  void prefill() {
-    auto warm = [](HierarchyScenario& self) -> sim::Task<void> {
-      (void)co_await self.root->query(self.testbed_.nic("uc01"),
-                                      mds::QueryScope::Part);
-    };
-    testbed_.sim().spawn(warm(*this));
-    testbed_.sim().run(testbed_.sim().now() + 120);
-  }
-
-  std::unique_ptr<mds::Giis> root;
-  std::vector<std::unique_ptr<mds::Giis>> mids;
-  std::vector<std::unique_ptr<mds::Gris>> gris;
-};
-
-}  // namespace
-
-namespace {
-
-/// Two-level routing: users round-robin over the six site GIISes instead
-/// of hammering the root — the deployment §3.6 proposes, where "each
-/// middle-level aggregate information server manages a subset".
-QueryFn site_routed_query(HierarchyScenario& scenario) {
-  auto next = std::make_shared<std::size_t>(0);
-  return [&scenario, next](net::Interface& client)
-             -> sim::Task<QueryAttempt> {
-    auto& mid = *scenario.mids[(*next)++ % scenario.mids.size()];
-    auto r = co_await mid.query(client, mds::QueryScope::Part);
-    co_return QueryAttempt{r.admitted, r.response_bytes};
-  };
-}
-
 }  // namespace
 
 int main(int argc, char** argv) {
   BenchOptions opt = parse_options(argc, argv);
   auto sweep = opt.sweep({60, 120, 240, 480}, 2);
-  const int kUsers = 60;
+  const int kUsers = opt.users > 0 ? opt.users : 60;
 
   std::vector<Series> figures;
 
-  {
-    Series s{"flat: all queries at the root GIIS", {}};
+  struct Config {
+    std::string name;
+    bool two_level;
+  };
+  for (const Config& config :
+       {Config{"flat: all queries at the root GIIS", false},
+        Config{"two-level: queries routed to 6 site GIIS", true}}) {
+    Series s{config.name, {}};
     std::cout << s.name << " (cachettl=" << kCacheTtl << "s)\n";
     for (int g : sweep) {
-      Testbed tb;
-      HierarchyScenario scenario(tb, g, /*two_level=*/false);
-      scenario.prefill();
-      UserWorkload w(tb, query_giis(*scenario.root, mds::QueryScope::Part));
-      w.spawn_users(kUsers, tb.uc_names());
-      tb.sampler().start();
-      SweepPoint p = measure(tb, w, "lucky0", g, opt.measure());
-      progress(s.name, g, p);
-      s.points.push_back(p);
-    }
-    figures.push_back(std::move(s));
-  }
-
-  {
-    Series s{"two-level: queries routed to 6 site GIIS", {}};
-    std::cout << s.name << " (cachettl=" << kCacheTtl << "s)\n";
-    for (int g : sweep) {
-      Testbed tb;
-      HierarchyScenario scenario(tb, g, /*two_level=*/true);
-      scenario.prefill();
-      // The root keeps aggregating in the background; user queries go to
-      // the site level. Metrics are reported for one site server.
-      UserWorkload w(tb, site_routed_query(scenario));
-      w.spawn_users(kUsers, tb.uc_names());
-      tb.sampler().start();
-      SweepPoint p = measure(tb, w, "lucky1", g, opt.measure());
-      progress(s.name, g, p);
-      s.points.push_back(p);
+      ScenarioSpec spec;
+      spec.service = ServiceKind::Hierarchy;
+      spec.gris_count = g;
+      spec.two_level = config.two_level;
+      spec.cachettl = kCacheTtl;
+      // Flat: everyone hammers the root. Two-level: the root keeps
+      // aggregating in the background while user queries round-robin
+      // over the site servers; metrics are reported for one site server.
+      PointHooks hooks;
+      hooks.x = g;
+      s.points.push_back(run_point(opt, s.name, spec, kUsers, nullptr, hooks));
     }
     figures.push_back(std::move(s));
   }

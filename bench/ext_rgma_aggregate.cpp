@@ -12,77 +12,17 @@
 /// bounded store.
 
 #include <iostream>
-#include <memory>
 
 #include "bench_common.hpp"
-#include "gridmon/core/scenarios.hpp"
-#include "gridmon/rgma/composite_producer.hpp"
 
 using namespace gridmon;
 using namespace gridmon::bench;
 using namespace gridmon::core;
 
-namespace {
-
-struct CompositeScenario : Scenario {
-  ~CompositeScenario() override { testbed_.sim().shutdown(); }
-
-  CompositeScenario(Testbed& tb, int source_servlets) : Scenario(tb) {
-    rgma::CompositeProducerConfig config;
-    config.merge_history = static_cast<std::size_t>(source_servlets) * 10 * 5;
-    composite = std::make_unique<rgma::CompositeProducer>(
-        tb.network(), tb.host("lucky3"), tb.nic("lucky3"), "agg", "cpuload",
-        config);
-    const std::vector<std::string> hosts{"lucky0", "lucky1", "lucky4",
-                                         "lucky5", "lucky6", "lucky7"};
-    for (int i = 0; i < source_servlets; ++i) {
-      const std::string& host =
-          hosts[static_cast<std::size_t>(i) % hosts.size()];
-      auto servlet = std::make_unique<rgma::ProducerServlet>(
-          tb.network(), tb.host(host), tb.nic(host),
-          "src-" + std::to_string(i));
-      for (int p = 0; p < 10; ++p) {
-        auto& producer = servlet->add_producer(
-            "p-" + std::to_string(i) + "-" + std::to_string(p), "cpuload");
-        tb.sim().spawn(publish_loop(tb, *servlet, producer, host,
-                                    (i * 37 + p * 7) % 30));
-      }
-      composite->attach_source(*servlet);
-      sources.push_back(std::move(servlet));
-    }
-  }
-
-  static sim::Task<void> publish_loop(Testbed& tb,
-                                      rgma::ProducerServlet& servlet,
-                                      rgma::Producer& producer,
-                                      std::string host, int phase) {
-    auto& sim = tb.sim();
-    co_await sim.delay(static_cast<double>(phase));
-    for (;;) {
-      rdbms::Row row{rdbms::Value::text(host), rdbms::Value::text("load1"),
-                     rdbms::Value::real(0.5), rdbms::Value::real(sim.now())};
-      co_await servlet.publish(producer, std::move(row));
-      co_await sim.delay(30.0);
-    }
-  }
-
-  QueryFn query() {
-    return [this](net::Interface& client) -> sim::Task<QueryAttempt> {
-      auto r = co_await composite->client_query(client);
-      co_return QueryAttempt{r.admitted, r.response_bytes};
-    };
-  }
-
-  std::unique_ptr<rgma::CompositeProducer> composite;
-  std::vector<std::unique_ptr<rgma::ProducerServlet>> sources;
-};
-
-}  // namespace
-
 int main(int argc, char** argv) {
   BenchOptions opt = parse_options(argc, argv);
   auto sweep = opt.sweep({10, 50, 100, 200, 400}, 2);
-  const int kUsers = 10;
+  const int kUsers = opt.users > 0 ? opt.users : 10;
 
   std::vector<Series> figures;
   Series s{"R-GMA CompositeProducer", {}};
@@ -90,15 +30,12 @@ int main(int argc, char** argv) {
             << " (the aggregate server the paper's Table 1 lists as "
                "'None')\n";
   for (int n : sweep) {
-    Testbed tb;
-    CompositeScenario scenario(tb, n);
-    tb.sim().run(60.0);  // first publish round reaches the aggregate
-    UserWorkload w(tb, scenario.query());
-    w.spawn_users(kUsers, tb.uc_names());
-    tb.sampler().start();
-    SweepPoint p = measure(tb, w, "lucky3", n, opt.measure());
-    progress(s.name, n, p);
-    s.points.push_back(p);
+    ScenarioSpec spec;
+    spec.service = ServiceKind::RgmaComposite;
+    spec.sources = n;
+    PointHooks hooks;
+    hooks.x = n;
+    s.points.push_back(run_point(opt, s.name, spec, kUsers, nullptr, hooks));
   }
   figures.push_back(std::move(s));
 

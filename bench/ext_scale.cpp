@@ -1,0 +1,200 @@
+/// Extension: engine-scalability sweep. The paper stops at 600 users
+/// because the 2003 testbed did; this bench pushes the exp1-style
+/// information-server configurations (MDS GRIS, Hawkeye Agent, R-GMA
+/// ProducerServlet) to 100k concurrent clients and records how fast the
+/// *simulator* chews through the work: wall-clock per measurement
+/// window, processed events per second, and peak RSS.
+///
+/// Emits `BENCH_scale.json` — the repo's recorded perf trajectory. The
+/// JSON carries the pre-overhaul 10k-user baseline (seed engine,
+/// O(n)-rebuild event loop) so the speedup of the indexed-heap +
+/// incremental-PS engine is regression-checked, not folklore.
+///
+///   $ ./bench/ext_scale                 # sweep to 100k users
+///   $ ./bench/ext_scale --quick         # CI smoke: 1k + 10k points
+///   $ ./bench/ext_scale --users 10000   # one point
+
+#include <chrono>
+#include <fstream>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "gridmon/metrics/report.hpp"
+
+using namespace gridmon;
+using bench::BenchOptions;
+using core::ScenarioSpec;
+using core::ServiceKind;
+
+namespace {
+
+// Fixed measurement window, chosen to match the probe that recorded the
+// pre-overhaul baseline: 30 s warmup + 60 s measured, 90 sim-seconds
+// total per point. An engine benchmark wants identical windows in quick
+// and full mode; only the user sweep is thinned.
+constexpr double kWarmup = 30.0;
+constexpr double kDuration = 60.0;
+
+// Pre-overhaul wall-clock for the reference point (MDS GRIS cache,
+// 10000 users, the window above), measured on the seed engine before
+// the indexed-heap scheduler and incremental PS-rate rewrite. The
+// acceptance bar for the overhaul is >= 3x against this number.
+constexpr double kPreOverhaulWall10k = 3.90;
+
+struct ScalePoint {
+  std::string series;
+  int users = 0;
+  double wall = 0;        // seconds of real time for the 90 sim-seconds
+  std::size_t events = 0;  // events processed inside the window
+  double events_per_sec = 0;
+  double throughput = 0;  // completed queries / sec (sim time)
+  std::size_t peak_rss_kb = 0;
+};
+
+/// VmHWM from /proc/self/status — peak resident set, in KiB. Process-wide
+/// and monotone, so per-point values record the high-water mark so far.
+std::size_t peak_rss_kb() {
+  std::ifstream in("/proc/self/status");
+  std::string key;
+  while (in >> key) {
+    if (key == "VmHWM:") {
+      std::size_t kb = 0;
+      in >> kb;
+      return kb;
+    }
+    in.ignore(std::numeric_limits<std::streamsize>::max(), '\n');
+  }
+  return 0;
+}
+
+/// One engine-scale point: scenario via the unified factory, closed-loop
+/// users at 50/host (the paper's cap) over a UC pool sized to fit them,
+/// wall-clock and event count taken around the fixed window.
+ScalePoint run_scale_point(const BenchOptions& opt, const std::string& series,
+                           const ScenarioSpec& spec, int users) {
+  core::TestbedConfig tc;
+  tc.seed = opt.seed_for(spec);
+  tc.uc_clients = (users + 49) / 50;  // 50 users/host, the workload cap
+  if (tc.uc_clients < 20) tc.uc_clients = 20;
+  core::Testbed tb(tc);
+  auto scenario = core::make_scenario(tb, spec);
+  scenario->prefill();
+  core::UserWorkload workload(tb, scenario->query_fn());
+  workload.spawn_users(users, tb.uc_names());
+  tb.sampler().start();
+
+  double start = tb.sim().now();
+  auto t0 = std::chrono::steady_clock::now();
+  std::size_t events = tb.sim().run(start + kWarmup);
+  double base = static_cast<double>(workload.completions().size());
+  events += tb.sim().run(start + kWarmup + kDuration);
+  auto t1 = std::chrono::steady_clock::now();
+
+  ScalePoint p;
+  p.series = series;
+  p.users = users;
+  p.wall = std::chrono::duration<double>(t1 - t0).count();
+  p.events = events;
+  p.events_per_sec = p.wall > 0 ? static_cast<double>(events) / p.wall : 0;
+  p.throughput =
+      (static_cast<double>(workload.completions().size()) - base) / kDuration;
+  p.peak_rss_kb = peak_rss_kb();
+  std::cout << "  [" << series << "] users=" << users
+            << " wall=" << metrics::Table::num(p.wall, 3)
+            << "s events=" << p.events
+            << " ev/s=" << metrics::Table::num(p.events_per_sec, 0)
+            << " tput=" << metrics::Table::num(p.throughput)
+            << " rss=" << p.peak_rss_kb << "K\n";
+  return p;
+}
+
+void write_json(const std::string& path, bool quick,
+                const std::vector<ScalePoint>& points, double speedup) {
+  std::ofstream out(path);
+  out.precision(6);
+  out << "{\n"
+      << "  \"bench\": \"ext_scale\",\n"
+      << "  \"engine\": \"indexed-heap scheduler, incremental PS rates\",\n"
+      << "  \"quick\": " << (quick ? "true" : "false") << ",\n"
+      << "  \"warmup_s\": " << kWarmup << ",\n"
+      << "  \"duration_s\": " << kDuration << ",\n"
+      << "  \"baseline_pre_overhaul\": {\"series\": \"MDS GRIS (cache)\", "
+      << "\"users\": 10000, \"wall_clock_s\": " << kPreOverhaulWall10k
+      << "},\n";
+  if (speedup > 0) {
+    out << "  \"speedup_at_10k\": " << speedup << ",\n";
+  }
+  out << "  \"points\": [\n";
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const ScalePoint& p = points[i];
+    out << "    {\"series\": \"" << p.series << "\", \"users\": " << p.users
+        << ", \"wall_clock_s\": " << p.wall << ", \"events\": " << p.events
+        << ", \"events_per_sec\": " << p.events_per_sec
+        << ", \"throughput_qps\": " << p.throughput
+        << ", \"peak_rss_kb\": " << p.peak_rss_kb << "}"
+        << (i + 1 < points.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  std::cout << "wrote " << path << "\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  BenchOptions opt = bench::parse_options(argc, argv);
+
+  std::vector<int> sweep;
+  if (opt.users > 0) {
+    sweep = {opt.users};
+  } else if (opt.quick) {
+    sweep = {1000, 10000};
+  } else {
+    sweep = {1000, 10000, 100000};
+  }
+
+  struct Config {
+    std::string name;
+    ScenarioSpec spec;
+  };
+  std::vector<Config> configs;
+  {
+    Config gris{"MDS GRIS (cache)", {}};
+    gris.spec.service = ServiceKind::Gris;
+    configs.push_back(gris);
+    Config agent{"Hawkeye Agent", {}};
+    agent.spec.service = ServiceKind::Agent;
+    agent.spec.collectors = 11;
+    configs.push_back(agent);
+    Config rgma{"R-GMA ProducerServlet", {}};
+    rgma.spec.service = ServiceKind::RgmaMediated;
+    configs.push_back(rgma);
+  }
+
+  std::cout << "Engine scalability: exp1-style services, " << sweep.front()
+            << "-" << sweep.back() << " users, " << kWarmup << "+" << kDuration
+            << " s windows\n";
+  std::vector<ScalePoint> points;
+  for (const Config& config : configs) {
+    for (int n : sweep) {
+      points.push_back(run_scale_point(opt, config.name, config.spec, n));
+    }
+  }
+
+  double speedup = 0;
+  for (const ScalePoint& p : points) {
+    if (p.series == "MDS GRIS (cache)" && p.users == 10000 && p.wall > 0) {
+      speedup = kPreOverhaulWall10k / p.wall;
+    }
+  }
+  if (speedup > 0) {
+    std::cout << "GRIS 10k-user window: "
+              << metrics::Table::num(speedup, 1)
+              << "x faster than the pre-overhaul engine ("
+              << kPreOverhaulWall10k << " s)\n";
+  }
+
+  write_json("BENCH_scale.json", opt.quick, points, speedup);
+  return 0;
+}

@@ -7,56 +7,12 @@
 /// latency (publish -> consumer callback).
 
 #include <iostream>
-#include <memory>
 
 #include "bench_common.hpp"
-#include "gridmon/core/scenarios.hpp"
-#include "gridmon/sim/stats.hpp"
 
 using namespace gridmon;
 using namespace gridmon::bench;
 using namespace gridmon::core;
-
-namespace {
-
-struct FanoutScenario : Scenario {
-  ~FanoutScenario() override { testbed_.sim().shutdown(); }
-
-  FanoutScenario(Testbed& tb, int subscribers) : Scenario(tb) {
-    servlet = std::make_unique<rgma::ProducerServlet>(
-        tb.network(), tb.host("lucky3"), tb.nic("lucky3"), "ps");
-    producer = &servlet->add_producer("stream", "loadstream");
-    for (int i = 0; i < subscribers; ++i) {
-      const std::string& host =
-          tb.uc_names()[static_cast<std::size_t>(i) % tb.uc_names().size()];
-      servlet->subscribe(tb.nic(host), "loadstream", "",
-                         [this](const rdbms::Row& row) {
-                           double sent_at = row[3].as_number();
-                           latency.add(testbed_.sim().now() - sent_at);
-                         });
-    }
-    tb.sim().spawn(publish_loop(*this));
-  }
-
-  static sim::Task<void> publish_loop(FanoutScenario& self) {
-    auto& sim = self.testbed_.sim();
-    for (;;) {
-      rdbms::Row row{rdbms::Value::text("lucky3"),
-                     rdbms::Value::text("load1"), rdbms::Value::real(0.5),
-                     rdbms::Value::real(sim.now())};
-      co_await self.servlet->publish(*self.producer, std::move(row));
-      ++self.published;
-      co_await sim.delay(1.0);
-    }
-  }
-
-  std::unique_ptr<rgma::ProducerServlet> servlet;
-  rgma::Producer* producer = nullptr;
-  sim::Samples latency;
-  std::uint64_t published = 0;
-};
-
-}  // namespace
 
 int main(int argc, char** argv) {
   BenchOptions opt = parse_options(argc, argv);
@@ -70,8 +26,14 @@ int main(int argc, char** argv) {
   Series s{"R-GMA push delivery", {}};
 
   for (int n : sweep) {
-    Testbed tb;
-    FanoutScenario scenario(tb, n);
+    ScenarioSpec spec;
+    spec.service = ServiceKind::StreamFanout;
+    spec.subscribers = n;
+    TestbedConfig tc;
+    tc.seed = opt.seed_for(spec);
+    Testbed tb(tc);
+    auto base = make_scenario(tb, spec);
+    auto& scenario = static_cast<FanoutScenario&>(*base);
     tb.sampler().start();
     MeasureConfig mc = opt.measure();
     tb.sim().run(mc.warmup);

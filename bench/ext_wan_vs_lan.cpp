@@ -8,8 +8,6 @@
 #include <iostream>
 
 #include "bench_common.hpp"
-#include "gridmon/core/adapters.hpp"
-#include "gridmon/core/scenarios.hpp"
 
 using namespace gridmon;
 using namespace gridmon::bench;
@@ -21,46 +19,33 @@ int main(int argc, char** argv) {
 
   std::vector<Series> figures;
 
-  for (bool wan : {false, true}) {
-    Series s{std::string("MDS GIIS (") + (wan ? "WAN" : "LAN") + " clients)",
-             {}};
-    std::cout << s.name << "\n";
-    for (int n : users) {
-      Testbed tb;
-      GiisScenario scenario(tb, 5, 10);
-      scenario.prefill();
-      WorkloadConfig wc;
-      wc.max_users_per_host = 100;
-      UserWorkload w(tb, query_giis(*scenario.giis, mds::QueryScope::Part),
-                     wc);
-      w.spawn_users(n, wan ? tb.uc_names() : tb.lucky_names());
-      tb.sampler().start();
-      SweepPoint p = measure(tb, w, "lucky0", n, opt.measure());
-      progress(s.name, n, p);
-      s.points.push_back(p);
-    }
-    figures.push_back(std::move(s));
+  struct Config {
+    std::string base;
+    ScenarioSpec spec;
+  };
+  std::vector<Config> configs;
+  {
+    ScenarioSpec spec;
+    spec.service = ServiceKind::Giis;
+    configs.push_back({"MDS GIIS", spec});
+    spec.service = ServiceKind::Manager;
+    spec.collectors = 11;
+    configs.push_back({"Hawkeye Manager", spec});
   }
 
-  for (bool wan : {false, true}) {
-    Series s{std::string("Hawkeye Manager (") + (wan ? "WAN" : "LAN") +
-                 " clients)",
-             {}};
-    std::cout << s.name << "\n";
-    for (int n : users) {
-      Testbed tb;
-      ManagerScenario scenario(tb);
-      tb.sim().run(40.0);
-      WorkloadConfig wc;
-      wc.max_users_per_host = 100;
-      UserWorkload w(tb, query_manager_status(*scenario.manager), wc);
-      w.spawn_users(n, wan ? tb.uc_names() : tb.lucky_names());
-      tb.sampler().start();
-      SweepPoint p = measure(tb, w, "lucky3", n, opt.measure());
-      progress(s.name, n, p);
-      s.points.push_back(p);
+  for (auto& config : configs) {
+    for (bool wan : {false, true}) {
+      Series s{config.base + " (" + (wan ? "WAN" : "LAN") + " clients)", {}};
+      std::cout << s.name << "\n";
+      config.spec.lucky_clients = !wan;
+      PointHooks hooks;
+      hooks.max_users_per_host = 100;
+      for (int n : users) {
+        s.points.push_back(
+            run_point(opt, s.name, config.spec, n, nullptr, hooks));
+      }
+      figures.push_back(std::move(s));
     }
-    figures.push_back(std::move(s));
   }
 
   std::cout << "\n";

@@ -7,14 +7,16 @@
 
 #include <iostream>
 
-#include "gridmon/core/adapters.hpp"
 #include "gridmon/core/experiment.hpp"
 #include "gridmon/core/mapping.hpp"
+#include "gridmon/core/scenario_spec.hpp"
 #include "gridmon/core/scenarios.hpp"
 #include "gridmon/metrics/report.hpp"
 
 using namespace gridmon;
 using core::MeasureConfig;
+using core::ScenarioSpec;
+using core::ServiceKind;
 using core::SweepPoint;
 using core::Testbed;
 using core::UserWorkload;
@@ -40,33 +42,27 @@ int main() {
   const int kUsers = 100;
   std::vector<Result> results;
 
-  {
+  struct Config {
+    std::string system;
+    std::string component;
+    ServiceKind service;
+    int collectors;
+  };
+  for (const Config& config :
+       {Config{"MDS", "GRIS (cache)", ServiceKind::Gris, 10},
+        Config{"Hawkeye", "Agent", ServiceKind::Agent, 11},
+        Config{"R-GMA", "ProducerServlet", ServiceKind::RgmaMediated, 10}}) {
     Testbed tb;
-    core::GrisScenario scenario(tb, 10, true);
-    UserWorkload w(tb, core::query_gris(*scenario.gris));
+    ScenarioSpec spec;
+    spec.service = config.service;
+    spec.collectors = config.collectors;
+    auto scenario = core::make_scenario(tb, spec);
+    scenario->prefill();
+    UserWorkload w(tb, scenario->query_fn());
     w.spawn_users(kUsers, tb.uc_names());
     tb.sampler().start();
-    results.push_back(
-        {"MDS", "GRIS (cache)", measure(tb, w, "lucky7", kUsers, quick())});
-  }
-  {
-    Testbed tb;
-    core::AgentScenario scenario(tb);
-    UserWorkload w(tb, core::query_agent(*scenario.agent));
-    w.spawn_users(kUsers, tb.uc_names());
-    tb.sampler().start();
-    results.push_back(
-        {"Hawkeye", "Agent", measure(tb, w, "lucky4", kUsers, quick())});
-  }
-  {
-    Testbed tb;
-    core::RgmaScenario scenario(tb, 10,
-                                core::RgmaScenario::Consumers::SingleAtUc);
-    UserWorkload w(tb, scenario.mediated_query());
-    w.spawn_users(kUsers, tb.uc_names());
-    tb.sampler().start();
-    results.push_back({"R-GMA", "ProducerServlet",
-                       measure(tb, w, "lucky3", kUsers, quick())});
+    results.push_back({config.system, config.component,
+                       measure(tb, w, spec.server_host(), kUsers, quick())});
   }
 
   std::cout << "The role under test, per the paper's Table 1:\n";

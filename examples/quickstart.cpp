@@ -6,8 +6,8 @@
 
 #include <iostream>
 
-#include "gridmon/core/adapters.hpp"
 #include "gridmon/core/experiment.hpp"
+#include "gridmon/core/scenario_spec.hpp"
 #include "gridmon/core/scenarios.hpp"
 
 using namespace gridmon;
@@ -18,17 +18,22 @@ int main() {
   core::Testbed testbed;
 
   // A GRIS on lucky7 with the default 10 information providers, caching
-  // enabled (the paper's fast configuration).
-  core::GrisScenario scenario(testbed, /*providers=*/10, /*cache=*/true);
+  // enabled (the paper's fast configuration). Every deployment the study
+  // measures is described by a ScenarioSpec and built by make_scenario.
+  core::ScenarioSpec spec;
+  spec.service = core::ServiceKind::Gris;
+  auto scenario = core::make_scenario(testbed, spec);
+  scenario->prefill();
 
-  // Fifty users at UChicago, each looping: query, wait 1 s, repeat.
-  core::UserWorkload users(testbed, core::query_gris(*scenario.gris));
+  // Fifty users at UChicago, each looping: query, wait 1 s, repeat. The
+  // factory already bound the canonical query for the service.
+  core::UserWorkload users(testbed, scenario->query_fn());
   users.spawn_users(50, testbed.uc_names());
 
   // Ganglia-style sampling at 5 s, then a 10-minute measured window
   // after a 2-minute warm-up.
   testbed.sampler().start();
-  core::SweepPoint p = core::measure(testbed, users, "lucky7", 50);
+  core::SweepPoint p = core::measure(testbed, users, spec.server_host(), 50);
 
   std::cout << "MDS GRIS (cache), 50 concurrent users, 10-minute average:\n"
             << "  throughput     " << p.throughput << " queries/sec\n"

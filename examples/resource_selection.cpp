@@ -9,6 +9,7 @@
 
 #include <iostream>
 
+#include "gridmon/core/scenario_spec.hpp"
 #include "gridmon/core/scenarios.hpp"
 #include "gridmon/ldap/ldif.hpp"
 
@@ -52,9 +53,13 @@ sim::Task<void> broker(core::GiisScenario& scenario, net::Interface& client) {
 
 int main() {
   core::Testbed testbed;
-  core::GiisScenario scenario(testbed, /*gris_count=*/5,
-                              /*providers_per_gris=*/10);
-  scenario.prefill();  // initial soft-state registrations + cache pull
+  core::ScenarioSpec spec;
+  spec.service = core::ServiceKind::Giis;  // gris_count=5, 10 providers each
+  auto base = core::make_scenario(testbed, spec);
+  base->prefill();  // initial soft-state registrations + cache pull
+  // The broker drives the GIIS's raw LDAP search interface, so it needs
+  // the concrete scenario type behind the factory handle.
+  auto& scenario = static_cast<core::GiisScenario&>(*base);
 
   std::cout << "GIIS on lucky0 aggregates " << scenario.gris.size()
             << " GRIS (" << scenario.giis->entry_count()

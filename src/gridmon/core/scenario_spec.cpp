@@ -1,0 +1,536 @@
+#include "gridmon/core/scenario_spec.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <sstream>
+
+#include "gridmon/core/adapters.hpp"
+#include "gridmon/core/scenarios.hpp"
+
+namespace gridmon::core {
+namespace {
+
+std::string trim(const std::string& s) {
+  std::size_t b = s.find_first_not_of(" \t\r");
+  if (b == std::string::npos) return "";
+  std::size_t e = s.find_last_not_of(" \t\r");
+  return s.substr(b, e - b + 1);
+}
+
+std::string lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return s;
+}
+
+std::vector<int> parse_int_list(const std::string& value, int line_no) {
+  std::vector<int> out;
+  std::stringstream ss(value);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    item = trim(item);
+    if (item.empty()) continue;
+    try {
+      std::size_t used = 0;
+      int v = std::stoi(item, &used);
+      if (used != item.size() || v <= 0) throw std::invalid_argument(item);
+      out.push_back(v);
+    } catch (const std::exception&) {
+      throw ConfigError("line " + std::to_string(line_no) +
+                        ": bad integer '" + item + "'");
+    }
+  }
+  if (out.empty()) {
+    throw ConfigError("line " + std::to_string(line_no) + ": empty list");
+  }
+  return out;
+}
+
+double parse_double(const std::string& value, int line_no) {
+  try {
+    std::size_t used = 0;
+    double v = std::stod(value, &used);
+    if (used != value.size() || v < 0) throw std::invalid_argument(value);
+    return v;
+  } catch (const std::exception&) {
+    throw ConfigError("line " + std::to_string(line_no) + ": bad number '" +
+                      value + "'");
+  }
+}
+
+bool parse_bool(const std::string& value) {
+  std::string v = lower(value);
+  if (v == "true" || v == "yes" || v == "1" || v == "on") return true;
+  if (v == "false" || v == "no" || v == "0" || v == "off") return false;
+  throw ConfigError("expected a boolean, got '" + value + "'");
+}
+
+std::vector<std::string> split_list(const std::string& value) {
+  std::vector<std::string> out;
+  std::stringstream ss(value);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    item = trim(item);
+    if (!item.empty()) out.push_back(item);
+  }
+  return out;
+}
+
+/// Expect exactly `n` comma-separated fields for fault key `key`.
+std::vector<std::string> fault_fields(const std::string& key,
+                                      const std::string& value,
+                                      std::size_t n) {
+  auto fields = split_list(value);
+  if (fields.size() != n) {
+    throw ConfigError("[faults] " + key + " needs " + std::to_string(n) +
+                      " comma-separated fields, got " +
+                      std::to_string(fields.size()));
+  }
+  return fields;
+}
+
+void parse_fault_key(ScenarioSpec& spec, const std::string& key,
+                     const std::string& value) {
+  const int n = 0;
+  if (key == "crash" || key == "blackhole") {
+    auto f = fault_fields(key, value, 3);
+    spec.faults.crash(f[0], parse_double(f[1], n), parse_double(f[2], n),
+                      key == "blackhole");
+  } else if (key == "partition") {
+    auto f = fault_fields(key, value, 4);
+    spec.faults.partition(f[0], f[1], parse_double(f[2], n),
+                          parse_double(f[3], n));
+  } else if (key == "degrade") {
+    auto f = fault_fields(key, value, 5);
+    spec.faults.degrade_wan(f[0], f[1], parse_double(f[2], n),
+                            parse_double(f[3], n), parse_double(f[4], n));
+  } else if (key == "slow_host") {
+    auto f = fault_fields(key, value, 4);
+    spec.faults.slow_host(f[0], parse_double(f[1], n), parse_double(f[2], n),
+                          parse_double(f[3], n));
+  } else if (key == "collector_outage") {
+    auto f = fault_fields(key, value, 3);
+    spec.faults.collector_outage(f[0], parse_double(f[1], n),
+                                 parse_double(f[2], n));
+  } else if (key == "query_deadline") {
+    spec.query_deadline = parse_double(value, n);
+  } else if (key == "max_attempts") {
+    spec.max_attempts = static_cast<int>(parse_double(value, n));
+  } else {
+    throw ConfigError("unknown key '" + key + "' in [faults]");
+  }
+}
+
+ServiceKind parse_service(const std::string& value, int line_no) {
+  static const std::map<std::string, ServiceKind> kNames = {
+      {"gris", ServiceKind::Gris},
+      {"gris-nocache", ServiceKind::GrisNocache},
+      {"giis", ServiceKind::Giis},
+      {"agent", ServiceKind::Agent},
+      {"manager", ServiceKind::Manager},
+      {"registry", ServiceKind::Registry},
+      {"rgma-mediated", ServiceKind::RgmaMediated},
+      {"rgma-direct", ServiceKind::RgmaDirect},
+      {"rgma-standalone", ServiceKind::RgmaStandalone},
+      {"giis-aggregate", ServiceKind::GiisAggregate},
+      {"manager-aggregate", ServiceKind::ManagerAggregate},
+      {"hierarchy", ServiceKind::Hierarchy},
+      {"rgma-composite", ServiceKind::RgmaComposite},
+      {"stream-fanout", ServiceKind::StreamFanout},
+      {"rgma-replicated", ServiceKind::RgmaReplicated},
+  };
+  auto it = kNames.find(lower(value));
+  if (it == kNames.end()) {
+    throw ConfigError("line " + std::to_string(line_no) +
+                      ": unknown service '" + value + "'");
+  }
+  return it->second;
+}
+
+QueryVariant parse_query(const std::string& value) {
+  static const std::map<std::string, QueryVariant> kNames = {
+      {"default", QueryVariant::Default},
+      {"all", QueryVariant::ScopeAll},
+      {"part", QueryVariant::ScopePart},
+      {"dump", QueryVariant::ManagerDump},
+      {"constraint", QueryVariant::ManagerConstraint},
+      {"site-routed", QueryVariant::SiteRouted},
+  };
+  auto it = kNames.find(lower(value));
+  if (it == kNames.end()) {
+    throw ConfigError("unknown query variant '" + value + "'");
+  }
+  return it->second;
+}
+
+[[noreturn]] void bad_variant(const ScenarioSpec& spec) {
+  throw ConfigError("service '" + spec.service_name() +
+                    "' cannot answer the requested query variant");
+}
+
+/// Providers for a GRIS with the spec's overrides applied.
+std::vector<mds::ProviderSpec> spec_providers(const ScenarioSpec& spec) {
+  auto providers = default_providers(spec.collectors);
+  for (auto& p : providers) {
+    if (spec.provider_ttl > 0) p.cache_ttl = spec.provider_ttl;
+    if (spec.provider_entries > 0) p.entries = spec.provider_entries;
+    if (spec.provider_bytes > 0) p.bytes_per_entry = spec.provider_bytes;
+  }
+  return providers;
+}
+
+mds::QueryScope giis_scope(const ScenarioSpec& spec,
+                           mds::QueryScope def) {
+  switch (spec.query) {
+    case QueryVariant::Default:
+      return def;
+    case QueryVariant::ScopeAll:
+      return mds::QueryScope::All;
+    case QueryVariant::ScopePart:
+      return mds::QueryScope::Part;
+    default:
+      bad_variant(spec);
+  }
+}
+
+}  // namespace
+
+std::string ScenarioSpec::server_host() const {
+  switch (service) {
+    case ServiceKind::Gris:
+    case ServiceKind::GrisNocache:
+      return gris_host;
+    case ServiceKind::Giis:
+    case ServiceKind::GiisAggregate:
+      return "lucky0";
+    case ServiceKind::Hierarchy:
+      // The flat series measures the root; the two-level series reports
+      // one site server (the first mid lives on lucky1).
+      return two_level ? "lucky1" : "lucky0";
+    case ServiceKind::Agent:
+      return "lucky4";
+    case ServiceKind::Manager:
+    case ServiceKind::ManagerAggregate:
+    case ServiceKind::RgmaMediated:
+    case ServiceKind::RgmaDirect:
+    case ServiceKind::RgmaStandalone:
+    case ServiceKind::RgmaComposite:
+    case ServiceKind::StreamFanout:
+    case ServiceKind::RgmaReplicated:
+      return "lucky3";
+    case ServiceKind::Registry:
+      return "lucky1";
+  }
+  return "lucky0";
+}
+
+std::string ScenarioSpec::service_name() const {
+  switch (service) {
+    case ServiceKind::Gris:
+      return "MDS GRIS (cache)";
+    case ServiceKind::GrisNocache:
+      return "MDS GRIS (nocache)";
+    case ServiceKind::Giis:
+      return "MDS GIIS";
+    case ServiceKind::Agent:
+      return "Hawkeye Agent";
+    case ServiceKind::Manager:
+      return "Hawkeye Manager";
+    case ServiceKind::Registry:
+      return "R-GMA Registry";
+    case ServiceKind::RgmaMediated:
+      return "R-GMA ProducerServlet (mediated)";
+    case ServiceKind::RgmaDirect:
+      return "R-GMA ProducerServlet (direct)";
+    case ServiceKind::RgmaStandalone:
+      return "R-GMA ProducerServlet (standalone)";
+    case ServiceKind::GiisAggregate:
+      return "MDS GIIS (aggregate)";
+    case ServiceKind::ManagerAggregate:
+      return "Hawkeye Manager (aggregate)";
+    case ServiceKind::Hierarchy:
+      return two_level ? "MDS GIIS (two-level)" : "MDS GIIS (flat)";
+    case ServiceKind::RgmaComposite:
+      return "R-GMA CompositeProducer";
+    case ServiceKind::StreamFanout:
+      return "R-GMA streaming fan-out";
+    case ServiceKind::RgmaReplicated:
+      return "R-GMA ProducerServlet (replicated)";
+  }
+  return "?";
+}
+
+std::unique_ptr<Scenario> make_scenario(Testbed& tb,
+                                        const ScenarioSpec& spec) {
+  switch (spec.service) {
+    case ServiceKind::Gris:
+    case ServiceKind::GrisNocache: {
+      if (spec.query != QueryVariant::Default) bad_variant(spec);
+      bool cache = spec.service == ServiceKind::Gris;
+      auto s = std::make_unique<GrisScenario>(tb, spec_providers(spec), cache,
+                                              spec.gris_host);
+      s->set_query(query_gris(*s->gris));
+      return s;
+    }
+    case ServiceKind::Giis: {
+      auto s = std::make_unique<GiisScenario>(
+          tb, spec.gris_count, spec.collectors,
+          spec.cachettl > 0 ? spec.cachettl : 1e18);
+      s->set_query(
+          query_giis(*s->giis, giis_scope(spec, mds::QueryScope::Part)));
+      return s;
+    }
+    case ServiceKind::Agent: {
+      if (spec.query != QueryVariant::Default) bad_variant(spec);
+      auto s = std::make_unique<AgentScenario>(tb, spec.collectors);
+      s->set_query(query_agent(*s->agent));
+      return s;
+    }
+    case ServiceKind::Manager: {
+      hawkeye::ManagerConfig config;
+      if (spec.manager_ad_lifetime > 0) {
+        config.ad_lifetime = spec.manager_ad_lifetime;
+      }
+      if (spec.manager_stale_after > 0) {
+        config.stale_after = spec.manager_stale_after;
+      }
+      auto s = std::make_unique<ManagerScenario>(tb, spec.collectors, config);
+      switch (spec.query) {
+        case QueryVariant::Default:
+          s->set_query(query_manager_status(*s->manager));
+          break;
+        case QueryVariant::ManagerDump:
+          s->set_query(query_manager_dump(*s->manager));
+          break;
+        case QueryVariant::ManagerConstraint:
+          s->set_query(query_manager_constraint(*s->manager, spec.constraint));
+          break;
+        default:
+          bad_variant(spec);
+      }
+      return s;
+    }
+    case ServiceKind::Registry: {
+      if (spec.query != QueryVariant::Default) bad_variant(spec);
+      auto s = std::make_unique<RegistryScenario>(tb, spec.servlets,
+                                                  spec.producers_each);
+      s->set_query(query_registry(*s->registry, spec.table));
+      return s;
+    }
+    case ServiceKind::RgmaMediated: {
+      if (spec.query != QueryVariant::Default) bad_variant(spec);
+      auto s = std::make_unique<RgmaScenario>(
+          tb, spec.collectors,
+          spec.lucky_clients ? RgmaScenario::Consumers::PerLuckyNode
+                             : RgmaScenario::Consumers::SingleAtUc);
+      s->set_query(s->mediated_query(spec.table));
+      return s;
+    }
+    case ServiceKind::RgmaDirect: {
+      if (spec.query != QueryVariant::Default) bad_variant(spec);
+      auto s = std::make_unique<RgmaScenario>(tb, spec.collectors,
+                                              RgmaScenario::Consumers::None);
+      s->set_query(s->direct_query(spec.table));
+      return s;
+    }
+    case ServiceKind::RgmaStandalone: {
+      if (spec.query != QueryVariant::Default) bad_variant(spec);
+      rgma::ProducerServletConfig config;
+      if (spec.ps_stale_after > 0) config.stale_after = spec.ps_stale_after;
+      auto s = std::make_unique<StandaloneRgmaScenario>(
+          tb, spec.collectors, config, spec.self_publish_interval);
+      s->set_query(query_producer_servlet(*s->servlet, spec.table));
+      return s;
+    }
+    case ServiceKind::GiisAggregate: {
+      auto s = std::make_unique<GiisAggregationScenario>(tb, spec.gris_count,
+                                                         spec.collectors);
+      s->set_query(
+          query_giis(*s->giis, giis_scope(spec, mds::QueryScope::All)));
+      return s;
+    }
+    case ServiceKind::ManagerAggregate: {
+      auto s = std::make_unique<ManagerAggregationScenario>(tb, spec.machines,
+                                                            spec.collectors);
+      switch (spec.query) {
+        case QueryVariant::Default:
+        case QueryVariant::ManagerConstraint:
+          // Worst case: a constraint no Startd ad satisfies forces a scan
+          // of every resident ClassAd.
+          s->set_query(query_manager_constraint(*s->manager, spec.constraint));
+          break;
+        case QueryVariant::ManagerDump:
+          s->set_query(query_manager_dump(*s->manager));
+          break;
+        default:
+          bad_variant(spec);
+      }
+      return s;
+    }
+    case ServiceKind::Hierarchy: {
+      auto s = std::make_unique<HierarchyScenario>(
+          tb, spec.gris_count, spec.two_level,
+          spec.cachettl > 0 ? spec.cachettl : 45.0);
+      bool routed = spec.query == QueryVariant::SiteRouted ||
+                    (spec.query == QueryVariant::Default && spec.two_level);
+      if (routed) {
+        if (!spec.two_level) bad_variant(spec);
+        s->set_query(s->site_routed_query());
+      } else {
+        s->set_query(
+            query_giis(*s->root, giis_scope(spec, mds::QueryScope::Part)));
+      }
+      return s;
+    }
+    case ServiceKind::RgmaComposite: {
+      if (spec.query != QueryVariant::Default) bad_variant(spec);
+      auto s = std::make_unique<CompositeScenario>(tb, spec.sources);
+      auto* composite = s->composite.get();
+      s->set_query([composite](net::Interface& client,
+                               trace::Ctx) -> sim::Task<QueryAttempt> {
+        auto r = co_await composite->client_query(client);
+        co_return QueryAttempt{r.admitted, r.response_bytes, r.timed_out,
+                               r.failed, r.stale};
+      });
+      return s;
+    }
+    case ServiceKind::StreamFanout: {
+      if (spec.query != QueryVariant::Default) bad_variant(spec);
+      // Push-only: no pull query to bind; query_fn() stays empty.
+      return std::make_unique<FanoutScenario>(tb, spec.subscribers);
+    }
+    case ServiceKind::RgmaReplicated: {
+      if (spec.query != QueryVariant::Default) bad_variant(spec);
+      auto s = std::make_unique<ReplicatedRgmaScenario>(tb, spec.replicas,
+                                                        spec.pool_size);
+      s->set_query(s->balanced_query(spec.table));
+      return s;
+    }
+  }
+  throw ConfigError("unhandled service kind");
+}
+
+std::map<std::string, std::map<std::string, std::string>> parse_ini(
+    const std::string& text) {
+  std::map<std::string, std::map<std::string, std::string>> out;
+  std::string section;
+  std::stringstream ss(text);
+  std::string raw;
+  int line_no = 0;
+  while (std::getline(ss, raw)) {
+    ++line_no;
+    // Strip inline comments (';' or '#').
+    std::size_t cut = raw.find_first_of(";#");
+    std::string line = trim(cut == std::string::npos ? raw
+                                                     : raw.substr(0, cut));
+    if (line.empty()) continue;
+    if (line.front() == '[') {
+      if (line.back() != ']' || line.size() < 3) {
+        throw ConfigError("line " + std::to_string(line_no) +
+                          ": malformed section header");
+      }
+      section = lower(trim(line.substr(1, line.size() - 2)));
+      out[section];
+      continue;
+    }
+    std::size_t eq = line.find('=');
+    if (eq == std::string::npos) {
+      throw ConfigError("line " + std::to_string(line_no) +
+                        ": expected key = value");
+    }
+    std::string key = lower(trim(line.substr(0, eq)));
+    std::string value = trim(line.substr(eq + 1));
+    if (key.empty() || value.empty()) {
+      throw ConfigError("line " + std::to_string(line_no) +
+                        ": empty key or value");
+    }
+    if (section.empty()) {
+      throw ConfigError("line " + std::to_string(line_no) +
+                        ": key before any [section]");
+    }
+    out[section][key] = value;
+  }
+  return out;
+}
+
+ScenarioSpec parse_scenario_spec(const std::string& text) {
+  auto ini = parse_ini(text);
+  auto exp_it = ini.find("experiment");
+  if (exp_it == ini.end()) {
+    throw ConfigError("missing [experiment] section");
+  }
+  for (const auto& [section, unused] : ini) {
+    if (section != "experiment" && section != "faults") {
+      throw ConfigError("unknown section [" + section + "]");
+    }
+  }
+
+  ScenarioSpec spec;
+  for (const auto& [key, value] : exp_it->second) {
+    // Line numbers are lost after the scan; report key names instead.
+    const int n = 0;
+    if (key == "service") {
+      spec.service = parse_service(value, n);
+    } else if (key == "query") {
+      spec.query = parse_query(value);
+    } else if (key == "users") {
+      spec.users = parse_int_list(value, n);
+    } else if (key == "collectors") {
+      spec.collectors = parse_int_list(value, n).front();
+    } else if (key == "clients") {
+      std::string v = lower(value);
+      if (v == "uc") {
+        spec.lucky_clients = false;
+      } else if (v == "lucky") {
+        spec.lucky_clients = true;
+      } else {
+        throw ConfigError("clients must be 'uc' or 'lucky', got '" + value +
+                          "'");
+      }
+    } else if (key == "warmup") {
+      spec.warmup = parse_double(value, n);
+    } else if (key == "duration") {
+      spec.duration = parse_double(value, n);
+    } else if (key == "seed") {
+      spec.seed = static_cast<std::uint64_t>(parse_double(value, n));
+    } else if (key == "gris_count") {
+      spec.gris_count = parse_int_list(value, n).front();
+    } else if (key == "machines") {
+      spec.machines = parse_int_list(value, n).front();
+    } else if (key == "two_level") {
+      spec.two_level = parse_bool(value);
+    } else if (key == "replicas") {
+      spec.replicas = parse_int_list(value, n).front();
+    } else if (key == "pool_size") {
+      spec.pool_size = parse_int_list(value, n).front();
+    } else if (key == "servlets") {
+      spec.servlets = parse_int_list(value, n).front();
+    } else if (key == "producers_each") {
+      spec.producers_each = parse_int_list(value, n).front();
+    } else if (key == "subscribers") {
+      spec.subscribers = parse_int_list(value, n).front();
+    } else if (key == "sources") {
+      spec.sources = parse_int_list(value, n).front();
+    } else if (key == "table") {
+      spec.table = value;
+    } else if (key == "constraint") {
+      spec.constraint = value;
+    } else if (key == "cachettl") {
+      spec.cachettl = parse_double(value, n);
+    } else if (key == "provider_ttl") {
+      spec.provider_ttl = parse_double(value, n);
+    } else {
+      throw ConfigError("unknown key '" + key + "' in [experiment]");
+    }
+  }
+  auto faults_it = ini.find("faults");
+  if (faults_it != ini.end()) {
+    for (const auto& [key, value] : faults_it->second) {
+      parse_fault_key(spec, key, value);
+    }
+  }
+  return spec;
+}
+
+}  // namespace gridmon::core

@@ -42,12 +42,16 @@ std::vector<mds::ProviderSpec> default_providers(int count) {
 
 GrisScenario::GrisScenario(Testbed& tb, int providers, bool cache,
                            const std::string& host)
+    : GrisScenario(tb, default_providers(providers), cache, host) {}
+
+GrisScenario::GrisScenario(Testbed& tb, std::vector<mds::ProviderSpec> providers,
+                           bool cache, const std::string& host)
     : Scenario(tb) {
   mds::GrisConfig config;
   config.cache_enabled = cache;
   gris = std::make_unique<mds::Gris>(tb.network(), tb.host(host), tb.nic(host),
                                      host + ".mcs.anl.gov",
-                                     default_providers(providers), config);
+                                     std::move(providers), config);
 }
 
 AgentScenario::AgentScenario(Testbed& tb, int modules,
@@ -172,10 +176,11 @@ void GiisScenario::prefill() {
   testbed_.sim().run(testbed_.sim().now() + 60);
 }
 
-ManagerScenario::ManagerScenario(Testbed& tb, int modules_per_agent)
+ManagerScenario::ManagerScenario(Testbed& tb, int modules_per_agent,
+                                 hawkeye::ManagerConfig config)
     : Scenario(tb) {
   manager = std::make_unique<hawkeye::Manager>(tb.network(), tb.host("lucky3"),
-                                               tb.nic("lucky3"));
+                                               tb.nic("lucky3"), config);
   for (const auto& name : tb.lucky_names()) {
     if (name == "lucky3") continue;
     agents.push_back(std::make_unique<hawkeye::Agent>(
@@ -191,7 +196,15 @@ void ManagerScenario::instrument(trace::Collector& col) {
 }
 
 void ManagerScenario::register_faults(fault::Injector& inj) {
-  inj.add_service("server", *manager);
+  // The Manager itself has no collectors; a collector outage on "server"
+  // means every advertising startd's modules hang at once.
+  fault::Injector::Hooks hooks;
+  hooks.crash = [m = manager.get()](bool blackhole) { m->crash(blackhole); };
+  hooks.restart = [m = manager.get()] { m->restart(); };
+  hooks.collectors = [as = &agents](bool down) {
+    for (auto& a : *as) a->set_collectors_down(down);
+  };
+  inj.add_target("server", std::move(hooks));
   inj.add_service("manager", *manager);
   for (std::size_t i = 0; i < agents.size(); ++i) {
     inj.add_service("agent" + std::to_string(i), *agents[i]);
@@ -294,6 +307,208 @@ ManagerAggregationScenario::ManagerAggregationScenario(Testbed& tb,
 
 void ManagerAggregationScenario::prefill() {
   testbed_.sim().run(testbed_.sim().now() + 60);
+}
+
+StandaloneRgmaScenario::StandaloneRgmaScenario(
+    Testbed& tb, int producers, rgma::ProducerServletConfig config,
+    double self_publish_interval, const std::string& host)
+    : Scenario(tb) {
+  servlet = std::make_unique<rgma::ProducerServlet>(
+      tb.network(), tb.host(host), tb.nic(host), "ps-" + host, config);
+  for (int i = 0; i < producers; ++i) {
+    auto& p = servlet->add_producer("producer" + std::to_string(i),
+                                    "cpuload");
+    prefill_producer(p, host);
+  }
+  if (self_publish_interval > 0) {
+    servlet->start_publishing(self_publish_interval);
+  }
+}
+
+HierarchyScenario::HierarchyScenario(Testbed& tb, int gris_count,
+                                     bool two_level, double cachettl)
+    : Scenario(tb) {
+  mds::GiisConfig root_config;
+  root_config.cachettl = cachettl;
+  root = std::make_unique<mds::Giis>(tb.network(), tb.host("lucky0"),
+                                     tb.nic("lucky0"), "root", root_config);
+  const std::vector<std::string> hosts{"lucky1", "lucky3", "lucky4",
+                                       "lucky5", "lucky6", "lucky7"};
+  if (two_level) {
+    mds::GiisConfig mid_config;
+    mid_config.cachettl = cachettl;
+    for (std::size_t m = 0; m < hosts.size(); ++m) {
+      mids.push_back(std::make_unique<mds::Giis>(
+          tb.network(), tb.host(hosts[m]), tb.nic(hosts[m]),
+          "site-" + std::to_string(m), mid_config));
+      root->add_registrant(*mids.back());
+    }
+  }
+  for (int i = 0; i < gris_count; ++i) {
+    const std::string& host = hosts[static_cast<std::size_t>(i) % hosts.size()];
+    gris.push_back(std::make_unique<mds::Gris>(
+        tb.network(), tb.host(host), tb.nic(host),
+        host + "-gris" + std::to_string(i), default_providers(10)));
+    if (two_level) {
+      mids[static_cast<std::size_t>(i) % mids.size()]->add_registrant(
+          *gris.back());
+    } else {
+      root->add_registrant(*gris.back());
+    }
+  }
+}
+
+void HierarchyScenario::instrument(trace::Collector& col) {
+  root->instrument(col);
+  for (auto& m : mids) m->instrument(col);
+  for (auto& g : gris) g->instrument(col);
+}
+
+void HierarchyScenario::register_faults(fault::Injector& inj) {
+  inj.add_service("server", *root);
+  for (std::size_t i = 0; i < mids.size(); ++i) {
+    inj.add_service("site" + std::to_string(i), *mids[i]);
+  }
+  for (std::size_t i = 0; i < gris.size(); ++i) {
+    inj.add_service("gris" + std::to_string(i), *gris[i]);
+  }
+}
+
+void HierarchyScenario::prefill() {
+  auto warm = [](HierarchyScenario& self) -> sim::Task<void> {
+    (void)co_await self.root->query(self.testbed_.nic("uc01"),
+                                    mds::QueryScope::Part);
+  };
+  testbed_.sim().spawn(warm(*this));
+  testbed_.sim().run(testbed_.sim().now() + 120);
+}
+
+TracedQueryFn HierarchyScenario::site_routed_query() {
+  return [this](net::Interface& client,
+                trace::Ctx ctx) -> sim::Task<QueryAttempt> {
+    auto& mid = *mids[next_++ % mids.size()];
+    auto r = co_await mid.query(client, mds::QueryScope::Part, ctx);
+    co_return QueryAttempt{r.admitted, r.response_bytes, r.timed_out,
+                           r.failed, r.stale};
+  };
+}
+
+CompositeScenario::CompositeScenario(Testbed& tb, int source_servlets)
+    : Scenario(tb) {
+  rgma::CompositeProducerConfig config;
+  config.merge_history = static_cast<std::size_t>(source_servlets) * 10 * 5;
+  composite = std::make_unique<rgma::CompositeProducer>(
+      tb.network(), tb.host("lucky3"), tb.nic("lucky3"), "agg", "cpuload",
+      config);
+  const std::vector<std::string> hosts{"lucky0", "lucky1", "lucky4",
+                                       "lucky5", "lucky6", "lucky7"};
+  for (int i = 0; i < source_servlets; ++i) {
+    const std::string& host = hosts[static_cast<std::size_t>(i) % hosts.size()];
+    auto servlet = std::make_unique<rgma::ProducerServlet>(
+        tb.network(), tb.host(host), tb.nic(host), "src-" + std::to_string(i));
+    for (int p = 0; p < 10; ++p) {
+      auto& producer = servlet->add_producer(
+          "p-" + std::to_string(i) + "-" + std::to_string(p), "cpuload");
+      tb.sim().spawn(publish_loop(tb, *servlet, producer, host,
+                                  (i * 37 + p * 7) % 30));
+    }
+    composite->attach_source(*servlet);
+    sources.push_back(std::move(servlet));
+  }
+}
+
+sim::Task<void> CompositeScenario::publish_loop(Testbed& tb,
+                                                rgma::ProducerServlet& servlet,
+                                                rgma::Producer& producer,
+                                                std::string host, int phase) {
+  auto& sim = tb.sim();
+  co_await sim.delay(static_cast<double>(phase));
+  for (;;) {
+    rdbms::Row row{rdbms::Value::text(host), rdbms::Value::text("load1"),
+                   rdbms::Value::real(0.5), rdbms::Value::real(sim.now())};
+    co_await servlet.publish(producer, std::move(row));
+    co_await sim.delay(30.0);
+  }
+}
+
+FanoutScenario::FanoutScenario(Testbed& tb, int subscribers) : Scenario(tb) {
+  servlet = std::make_unique<rgma::ProducerServlet>(
+      tb.network(), tb.host("lucky3"), tb.nic("lucky3"), "ps");
+  producer = &servlet->add_producer("stream", "loadstream");
+  for (int i = 0; i < subscribers; ++i) {
+    const std::string& host =
+        tb.uc_names()[static_cast<std::size_t>(i) % tb.uc_names().size()];
+    servlet->subscribe(tb.nic(host), "loadstream", "",
+                       [this](const rdbms::Row& row) {
+                         double sent_at = row[3].as_number();
+                         latency.add(testbed_.sim().now() - sent_at);
+                       });
+  }
+  tb.sim().spawn(publish_loop(*this));
+}
+
+sim::Task<void> FanoutScenario::publish_loop(FanoutScenario& self) {
+  auto& sim = self.testbed_.sim();
+  for (;;) {
+    rdbms::Row row{rdbms::Value::text("lucky3"), rdbms::Value::text("load1"),
+                   rdbms::Value::real(0.5), rdbms::Value::real(sim.now())};
+    co_await self.servlet->publish(*self.producer, std::move(row));
+    ++self.published;
+    co_await sim.delay(1.0);
+  }
+}
+
+ReplicatedRgmaScenario::ReplicatedRgmaScenario(Testbed& tb, int replicas,
+                                               int pool_size)
+    : Scenario(tb) {
+  registry = std::make_unique<rgma::Registry>(tb.network(), tb.host("lucky1"),
+                                              tb.nic("lucky1"));
+  registry->start_sweeper();
+  const std::vector<std::string> hosts{"lucky3", "lucky4", "lucky5", "lucky6",
+                                       "lucky7"};
+  rgma::ProducerServletConfig ps_config;
+  ps_config.pool_size = pool_size;
+  for (int r = 0; r < replicas; ++r) {
+    const std::string& host = hosts[static_cast<std::size_t>(r) % hosts.size()];
+    auto servlet = std::make_unique<rgma::ProducerServlet>(
+        tb.network(), tb.host(host), tb.nic(host),
+        "ps-replica-" + std::to_string(r), ps_config);
+    for (int i = 0; i < 10; ++i) {
+      auto& p = servlet->add_producer(
+          "producer-" + std::to_string(r) + "-" + std::to_string(i),
+          "cpuload");
+      for (int row = 0; row < 30; ++row) {
+        p.publish({rdbms::Value::text(host), rdbms::Value::text("cpu"),
+                   rdbms::Value::real(row * 0.1),
+                   rdbms::Value::real(static_cast<double>(row))});
+      }
+    }
+    servlet->start_registration(*registry);
+    servlets.push_back(std::move(servlet));
+  }
+}
+
+void ReplicatedRgmaScenario::instrument(trace::Collector& col) {
+  registry->instrument(col);
+  for (auto& s : servlets) s->instrument(col);
+}
+
+void ReplicatedRgmaScenario::register_faults(fault::Injector& inj) {
+  inj.add_service("server", *servlets.front());
+  inj.add_service("registry", *registry);
+  for (std::size_t i = 0; i < servlets.size(); ++i) {
+    inj.add_service("ps" + std::to_string(i), *servlets[i]);
+  }
+}
+
+TracedQueryFn ReplicatedRgmaScenario::balanced_query(const std::string& table) {
+  return [this, table](net::Interface& client,
+                       trace::Ctx ctx) -> sim::Task<QueryAttempt> {
+    auto& servlet = *servlets[next_++ % servlets.size()];
+    auto r = co_await servlet.client_query(client, table, "", ctx);
+    co_return QueryAttempt{r.admitted, r.response_bytes, r.timed_out,
+                           r.failed, r.stale};
+  };
 }
 
 }  // namespace gridmon::core

@@ -18,9 +18,11 @@
 #include "gridmon/hawkeye/manager.hpp"
 #include "gridmon/mds/giis.hpp"
 #include "gridmon/mds/gris.hpp"
+#include "gridmon/rgma/composite_producer.hpp"
 #include "gridmon/rgma/consumer_servlet.hpp"
 #include "gridmon/rgma/producer_servlet.hpp"
 #include "gridmon/rgma/registry.hpp"
+#include "gridmon/sim/stats.hpp"
 
 namespace gridmon::core {
 
@@ -47,8 +49,20 @@ class Scenario {
   /// Default: nothing registered.
   virtual void register_faults(fault::Injector& inj) { (void)inj; }
 
+  /// Advance the simulation through the deployment's settling phase
+  /// (cache warm-up, first advertisements, registration rounds) so
+  /// measurement starts from the steady state the paper measured.
+  /// Call once, before attaching workloads. Default: nothing.
+  virtual void prefill() {}
+
+  /// The canonical client query bound by make_scenario (empty for
+  /// push-only deployments such as the streaming fan-out).
+  const TracedQueryFn& query_fn() const noexcept { return query_; }
+  void set_query(TracedQueryFn q) { query_ = std::move(q); }
+
  protected:
   Testbed& testbed_;
+  TracedQueryFn query_;
 };
 
 /// Attach host-level probes for `host` to `col`: the CPU run queue as
@@ -70,6 +84,9 @@ struct GrisScenario : Scenario {
 
   GrisScenario(Testbed& tb, int providers, bool cache,
                const std::string& host = "lucky7");
+  /// Explicit provider specs (the TTL / entry-volume ablations).
+  GrisScenario(Testbed& tb, std::vector<mds::ProviderSpec> providers,
+               bool cache, const std::string& host = "lucky7");
   void instrument(trace::Collector& col) override { gris->instrument(col); }
   void register_faults(fault::Injector& inj) override {
     inj.add_service("server", *gris);
@@ -136,7 +153,7 @@ struct GiisScenario : Scenario {
   std::vector<std::unique_ptr<mds::Gris>> gris;
 
   /// Run the initial cache fill so measurements start warm.
-  void prefill();
+  void prefill() override;
 };
 
 /// Hawkeye: Manager on lucky3 with Agents (11 modules each) advertising
@@ -144,9 +161,15 @@ struct GiisScenario : Scenario {
 struct ManagerScenario : Scenario {
   ~ManagerScenario() override { testbed_.sim().shutdown(); }
 
-  explicit ManagerScenario(Testbed& tb, int modules_per_agent = 11);
+  explicit ManagerScenario(Testbed& tb, int modules_per_agent = 11,
+                           hawkeye::ManagerConfig config = {});
   void instrument(trace::Collector& col) override;
+  /// "server" crashes the Manager; its collector hook hangs every
+  /// advertising agent's modules at once (the Manager has no collectors
+  /// of its own, so an outage means the startd feeds go silent).
   void register_faults(fault::Injector& inj) override;
+  /// Let the agents' first ads land (the benches' `run(40.0)`).
+  void prefill() override { testbed_.sim().run(40.0); }
   std::unique_ptr<hawkeye::Manager> manager;
   std::vector<std::unique_ptr<hawkeye::Agent>> agents;
 };
@@ -160,8 +183,29 @@ struct RegistryScenario : Scenario {
                             int producers_each = 10);
   void instrument(trace::Collector& col) override;
   void register_faults(fault::Injector& inj) override;
+  /// Let the servlet registrations land (the benches' `run(10.0)`).
+  void prefill() override { testbed_.sim().run(10.0); }
   std::unique_ptr<rgma::Registry> registry;
   std::vector<std::unique_ptr<rgma::ProducerServlet>> servlets;
+};
+
+/// A lone ProducerServlet with no registry: the fault-tolerance bench's
+/// direct-query target, optionally self-publishing so its latest-N
+/// buffers keep refreshing (and go stale when the feed is cut).
+struct StandaloneRgmaScenario : Scenario {
+  ~StandaloneRgmaScenario() override { testbed_.sim().shutdown(); }
+
+  StandaloneRgmaScenario(Testbed& tb, int producers,
+                         rgma::ProducerServletConfig config = {},
+                         double self_publish_interval = 0,
+                         const std::string& host = "lucky3");
+  void instrument(trace::Collector& col) override {
+    servlet->instrument(col);
+  }
+  void register_faults(fault::Injector& inj) override {
+    inj.add_service("server", *servlet);
+  }
+  std::unique_ptr<rgma::ProducerServlet> servlet;
 };
 
 // ---- Experiment 4: aggregate information servers ----
@@ -177,7 +221,7 @@ struct GiisAggregationScenario : Scenario {
   void register_faults(fault::Injector& inj) override;
   std::unique_ptr<mds::Giis> giis;
   std::vector<std::unique_ptr<mds::Gris>> gris;
-  void prefill();
+  void prefill() override;
 };
 
 /// Hawkeye: Manager on lucky3 with `machines` hawkeye_advertise senders
@@ -198,7 +242,106 @@ struct ManagerAggregationScenario : Scenario {
   std::vector<std::unique_ptr<hawkeye::Advertiser>> advertisers;
 
   /// Let every advertiser send at least one ad.
-  void prefill();
+  void prefill() override;
+};
+
+// ---- Extensions: deployments past the paper's experiment grid ----
+
+/// The multi-layer fix the paper's §3.6 conclusion proposes: a root GIIS
+/// either aggregating `gris_count` GRIS directly (flat) or over six site
+/// GIISes each owning a subset (two_level), with a finite cache TTL so
+/// aggregation keeps re-pulling.
+struct HierarchyScenario : Scenario {
+  ~HierarchyScenario() override { testbed_.sim().shutdown(); }
+
+  HierarchyScenario(Testbed& tb, int gris_count, bool two_level,
+                    double cachettl = 45.0);
+  void instrument(trace::Collector& col) override;
+  void register_faults(fault::Injector& inj) override;
+  void prefill() override;
+
+  /// Round-robin user routing over the six site GIISes (the deployment
+  /// §3.6 proposes, where "each middle-level aggregate information
+  /// server manages a subset").
+  TracedQueryFn site_routed_query();
+
+  std::unique_ptr<mds::Giis> root;
+  std::vector<std::unique_ptr<mds::Giis>> mids;
+  std::vector<std::unique_ptr<mds::Gris>> gris;
+
+ private:
+  std::size_t next_ = 0;
+};
+
+/// The R-GMA aggregate information server the paper's Table 1 lists as
+/// "None": a CompositeProducer on lucky3 subscribed to `source_servlets`
+/// ProducerServlets whose producers publish on a 30 s cadence.
+struct CompositeScenario : Scenario {
+  ~CompositeScenario() override { testbed_.sim().shutdown(); }
+
+  CompositeScenario(Testbed& tb, int source_servlets);
+  void instrument(trace::Collector& col) override {
+    composite->servlet().instrument(col);
+  }
+  void register_faults(fault::Injector& inj) override {
+    inj.add_service("server", composite->servlet());
+  }
+  /// Let the first publish round reach the aggregate (`run(60.0)`).
+  void prefill() override { testbed_.sim().run(60.0); }
+
+  std::unique_ptr<rgma::CompositeProducer> composite;
+  std::vector<std::unique_ptr<rgma::ProducerServlet>> sources;
+
+ private:
+  static sim::Task<void> publish_loop(Testbed& tb,
+                                      rgma::ProducerServlet& servlet,
+                                      rgma::Producer& producer,
+                                      std::string host, int phase);
+};
+
+/// R-GMA push delivery: one ProducerServlet publishing a 1 Hz tuple
+/// stream to `subscribers` consumers spread over the UC client hosts.
+/// There is no pull query; the bench reads `latency` / `published`.
+struct FanoutScenario : Scenario {
+  ~FanoutScenario() override { testbed_.sim().shutdown(); }
+
+  FanoutScenario(Testbed& tb, int subscribers);
+  void instrument(trace::Collector& col) override {
+    servlet->instrument(col);
+  }
+  void register_faults(fault::Injector& inj) override {
+    inj.add_service("server", *servlet);
+  }
+
+  std::unique_ptr<rgma::ProducerServlet> servlet;
+  rgma::Producer* producer = nullptr;
+  sim::Samples latency;  // publish -> consumer callback, seconds
+  std::uint64_t published = 0;
+
+ private:
+  static sim::Task<void> publish_loop(FanoutScenario& self);
+};
+
+/// The paper's §3.3 recommendation "multiple ProducerServlets for the
+/// same information": `replicas` servlets (10 producers each, 30 rows
+/// prefilled) behind a Registry, consumers balanced round-robin.
+struct ReplicatedRgmaScenario : Scenario {
+  ~ReplicatedRgmaScenario() override { testbed_.sim().shutdown(); }
+
+  ReplicatedRgmaScenario(Testbed& tb, int replicas, int pool_size);
+  void instrument(trace::Collector& col) override;
+  void register_faults(fault::Injector& inj) override;
+  /// Let the replica registrations land (`run(10.0)`).
+  void prefill() override { testbed_.sim().run(10.0); }
+
+  /// Round-robin consumers over the replicas.
+  TracedQueryFn balanced_query(const std::string& table = "cpuload");
+
+  std::unique_ptr<rgma::Registry> registry;
+  std::vector<std::unique_ptr<rgma::ProducerServlet>> servlets;
+
+ private:
+  std::size_t next_ = 0;
 };
 
 }  // namespace gridmon::core

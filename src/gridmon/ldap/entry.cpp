@@ -17,6 +17,11 @@ bool iequal(const std::string& a, const std::string& b) {
   return true;
 }
 
+const Dn& empty_dn() {
+  static const Dn kEmpty;
+  return kEmpty;
+}
+
 }  // namespace
 
 std::string Entry::norm(const std::string& s) {
@@ -27,24 +32,57 @@ std::string Entry::norm(const std::string& s) {
   return out;
 }
 
+bool Entry::is_norm(const std::string& s) noexcept {
+  for (unsigned char c : s) {
+    if (std::tolower(c) != c) return false;
+  }
+  return true;
+}
+
+Entry::Entry(Dn dn) : rep_(std::make_shared<Rep>()) {
+  rep_->dn = std::move(dn);
+}
+
+Entry::Rep& Entry::mut() {
+  if (!rep_) {
+    rep_ = std::make_shared<Rep>();
+  } else if (rep_.use_count() > 1) {
+    auto clone = std::make_shared<Rep>();
+    clone->dn = rep_->dn;
+    clone->attrs = rep_->attrs;
+    rep_ = std::move(clone);
+  }
+  rep_->wire_cache = -1;
+  return *rep_;
+}
+
+const Dn& Entry::dn() const noexcept { return rep_ ? rep_->dn : empty_dn(); }
+
+void Entry::set_dn(Dn dn) { mut().dn = std::move(dn); }
+
 void Entry::add(const std::string& attr, std::string value) {
-  attrs_[norm(attr)].push_back(std::move(value));
+  mut().attrs[norm(attr)].push_back(std::move(value));
 }
 
 void Entry::set(const std::string& attr, std::string value) {
-  auto& vals = attrs_[norm(attr)];
+  auto& vals = mut().attrs[norm(attr)];
   vals.clear();
   vals.push_back(std::move(value));
 }
 
 bool Entry::has_attribute(const std::string& attr) const {
-  return attrs_.find(norm(attr)) != attrs_.end();
+  if (!rep_) return false;
+  const AttrMap& attrs = rep_->attrs;
+  auto it = is_norm(attr) ? attrs.find(attr) : attrs.find(norm(attr));
+  return it != attrs.end();
 }
 
 const std::vector<std::string>& Entry::values(const std::string& attr) const {
   static const std::vector<std::string> kEmpty;
-  auto it = attrs_.find(norm(attr));
-  return it == attrs_.end() ? kEmpty : it->second;
+  if (!rep_) return kEmpty;
+  const AttrMap& attrs = rep_->attrs;
+  auto it = is_norm(attr) ? attrs.find(attr) : attrs.find(norm(attr));
+  return it == attrs.end() ? kEmpty : it->second;
 }
 
 const std::string& Entry::value(const std::string& attr) const {
@@ -63,28 +101,37 @@ bool Entry::matches_value(const std::string& attr,
 
 std::vector<std::string> Entry::attribute_names() const {
   std::vector<std::string> names;
-  names.reserve(attrs_.size());
-  for (const auto& [name, values] : attrs_) names.push_back(name);
+  if (!rep_) return names;
+  names.reserve(rep_->attrs.size());
+  for (const auto& [name, values] : rep_->attrs) names.push_back(name);
   return names;
 }
 
+std::size_t Entry::attribute_count() const noexcept {
+  return rep_ ? rep_->attrs.size() : 0;
+}
+
 Entry Entry::project(const std::vector<std::string>& attrs) const {
-  if (attrs.empty()) return *this;
-  Entry out(dn_);
+  if (attrs.empty()) return *this;  // shares the representation
+  Entry out(dn());
+  if (!rep_) return out;
   for (const auto& want : attrs) {
-    auto it = attrs_.find(norm(want));
-    if (it != attrs_.end()) out.attrs_[it->first] = it->second;
+    auto it = rep_->attrs.find(norm(want));
+    if (it != rep_->attrs.end()) out.rep_->attrs[it->first] = it->second;
   }
   return out;
 }
 
 double Entry::wire_bytes() const {
-  double bytes = static_cast<double>(dn_.to_string().size()) + 8;
-  for (const auto& [name, values] : attrs_) {
+  if (!rep_) return 8;  // bare envelope: empty DN + no attributes
+  if (rep_->wire_cache >= 0) return rep_->wire_cache;
+  double bytes = static_cast<double>(rep_->dn.to_string().size()) + 8;
+  for (const auto& [name, values] : rep_->attrs) {
     for (const auto& v : values) {
       bytes += static_cast<double>(name.size() + v.size() + 3);
     }
   }
+  rep_->wire_cache = bytes;
   return bytes;
 }
 

@@ -4,8 +4,15 @@
 /// An LDAP entry: a DN plus multi-valued attributes with case-insensitive
 /// attribute names and case-insensitive value matching (the directory
 /// string syntax MDS uses everywhere).
+///
+/// Entries are copy-on-write: copying (including the identity projection a
+/// search result returns) shares the underlying representation, and only
+/// the mutators clone it. Search-heavy services hand out thousands of
+/// entry copies per simulated query, so the share-on-copy behaviour is
+/// what keeps the hot query path allocation-free.
 
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -16,10 +23,10 @@ namespace gridmon::ldap {
 class Entry {
  public:
   Entry() = default;
-  explicit Entry(Dn dn) : dn_(std::move(dn)) {}
+  explicit Entry(Dn dn);
 
-  const Dn& dn() const noexcept { return dn_; }
-  void set_dn(Dn dn) { dn_ = std::move(dn); }
+  const Dn& dn() const noexcept;
+  void set_dn(Dn dn);
 
   /// Append a value to an attribute (attributes are multi-valued).
   void add(const std::string& attr, std::string value);
@@ -38,20 +45,34 @@ class Entry {
   /// Attribute names (normalized lowercase), insertion-independent order.
   std::vector<std::string> attribute_names() const;
 
-  std::size_t attribute_count() const noexcept { return attrs_.size(); }
+  std::size_t attribute_count() const noexcept;
 
   /// Copy of this entry keeping only the named attributes (empty selection
   /// keeps everything) — LDAP attribute selection on search.
   Entry project(const std::vector<std::string>& attrs) const;
 
-  /// Approximate serialized size (drives the network model).
+  /// Approximate serialized size (drives the network model). Cached per
+  /// representation; mutation through this class invalidates the cache.
   double wire_bytes() const;
 
  private:
-  static std::string norm(const std::string& s);
+  using AttrMap = std::map<std::string, std::vector<std::string>>;
+  struct Rep {
+    Dn dn;
+    AttrMap attrs;  // key lowercased
+    double wire_cache = -1;  // < 0: not yet computed
+  };
 
-  Dn dn_;
-  std::map<std::string, std::vector<std::string>> attrs_;  // key lowercased
+  static std::string norm(const std::string& s);
+  /// True if `s` contains no character that normalization would change —
+  /// lets lookups with already-lowercase names skip the allocation.
+  static bool is_norm(const std::string& s) noexcept;
+
+  /// Writable rep, cloned first if shared (copy-on-write).
+  Rep& mut();
+  const Rep* rep() const noexcept { return rep_.get(); }
+
+  std::shared_ptr<Rep> rep_;
 };
 
 }  // namespace gridmon::ldap

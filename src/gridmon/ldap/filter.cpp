@@ -25,6 +25,8 @@ std::optional<double> as_number(const std::string& s) {
 }
 
 /// Case-insensitive three-way comparison; numeric when both parse.
+/// The character loop has the same sign as comparing lowercased copies
+/// (std::string compares bytes as unsigned char) without allocating them.
 int compare_values(const std::string& a, const std::string& b) {
   auto na = as_number(a), nb = as_number(b);
   if (na && nb) {
@@ -32,10 +34,45 @@ int compare_values(const std::string& a, const std::string& b) {
     if (*na > *nb) return 1;
     return 0;
   }
-  std::string la = to_lower(a), lb = to_lower(b);
-  if (la < lb) return -1;
-  if (la > lb) return 1;
-  return 0;
+  const std::size_t n = std::min(a.size(), b.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    int ca = std::tolower(static_cast<unsigned char>(a[i]));
+    int cb = std::tolower(static_cast<unsigned char>(b[i]));
+    if (ca != cb) return ca < cb ? -1 : 1;
+  }
+  if (a.size() == b.size()) return 0;
+  return a.size() < b.size() ? -1 : 1;
+}
+
+/// v.find(needle, pos) on the lowercased strings, without building them.
+/// `needle` must already be lowercase.
+std::size_t ci_find(const std::string& v, const std::string& needle,
+                    std::size_t pos) {
+  if (needle.empty()) return pos <= v.size() ? pos : std::string::npos;
+  if (needle.size() > v.size()) return std::string::npos;
+  for (; pos + needle.size() <= v.size(); ++pos) {
+    std::size_t i = 0;
+    while (i < needle.size() &&
+           std::tolower(static_cast<unsigned char>(v[pos + i])) ==
+               static_cast<unsigned char>(needle[i])) {
+      ++i;
+    }
+    if (i == needle.size()) return pos;
+  }
+  return std::string::npos;
+}
+
+/// v.compare(pos, needle.size(), needle) == 0 on the lowercased strings.
+/// `needle` must already be lowercase and pos + needle.size() <= v.size().
+bool ci_equal_at(const std::string& v, std::size_t pos,
+                 const std::string& needle) {
+  for (std::size_t i = 0; i < needle.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(v[pos + i])) !=
+        static_cast<unsigned char>(needle[i])) {
+      return false;
+    }
+  }
+  return true;
 }
 
 class FilterParser {
@@ -248,19 +285,31 @@ std::string CompareFilter::to_string() const {
   return "(" + attr_ + op + value_ + ")";
 }
 
+SubstringFilter::SubstringFilter(std::string attr, std::string initial,
+                                 std::vector<std::string> any,
+                                 std::string final_part)
+    : attr_(std::move(attr)),
+      initial_(std::move(initial)),
+      any_(std::move(any)),
+      final_(std::move(final_part)),
+      initial_lc_(to_lower(initial_)),
+      final_lc_(to_lower(final_)) {
+  any_lc_.reserve(any_.size());
+  for (const auto& part : any_) any_lc_.push_back(to_lower(part));
+}
+
 bool SubstringFilter::matches(const Entry& e) const {
-  for (const auto& raw : e.values(attr_)) {
-    std::string v = to_lower(raw);
+  for (const auto& v : e.values(attr_)) {
     std::size_t pos = 0;
-    if (!initial_.empty()) {
-      std::string want = to_lower(initial_);
-      if (v.compare(0, want.size(), want) != 0) continue;
-      pos = want.size();
+    if (!initial_lc_.empty()) {
+      if (v.size() < initial_lc_.size() || !ci_equal_at(v, 0, initial_lc_)) {
+        continue;
+      }
+      pos = initial_lc_.size();
     }
     bool ok = true;
-    for (const auto& part : any_) {
-      std::string want = to_lower(part);
-      std::size_t found = v.find(want, pos);
+    for (const auto& want : any_lc_) {
+      std::size_t found = ci_find(v, want, pos);
       if (found == std::string::npos) {
         ok = false;
         break;
@@ -268,12 +317,11 @@ bool SubstringFilter::matches(const Entry& e) const {
       pos = found + want.size();
     }
     if (!ok) continue;
-    if (!final_.empty()) {
-      std::string want = to_lower(final_);
-      if (v.size() < pos + want.size()) continue;
-      if (v.compare(v.size() - want.size(), want.size(), want) != 0) continue;
+    if (!final_lc_.empty()) {
+      if (v.size() < pos + final_lc_.size()) continue;
+      if (!ci_equal_at(v, v.size() - final_lc_.size(), final_lc_)) continue;
       // The final segment must not overlap the part already consumed.
-      if (v.size() - want.size() < pos) continue;
+      if (v.size() - final_lc_.size() < pos) continue;
     }
     return true;
   }

@@ -104,11 +104,7 @@ class CompareFilter final : public Filter {
 class SubstringFilter final : public Filter {
  public:
   SubstringFilter(std::string attr, std::string initial,
-                  std::vector<std::string> any, std::string final_part)
-      : attr_(std::move(attr)),
-        initial_(std::move(initial)),
-        any_(std::move(any)),
-        final_(std::move(final_part)) {}
+                  std::vector<std::string> any, std::string final_part);
   bool matches(const Entry& e) const override;
   std::string to_string() const override;
 
@@ -117,6 +113,11 @@ class SubstringFilter final : public Filter {
   std::string initial_;
   std::vector<std::string> any_;
   std::string final_;
+  // Lowercased copies of the components, so matches() compares in place
+  // instead of building lowered strings per candidate value.
+  std::string initial_lc_;
+  std::vector<std::string> any_lc_;
+  std::string final_lc_;
 };
 
 }  // namespace gridmon::ldap

@@ -26,6 +26,13 @@ Gris::Gris(net::Network& net, host::Host& host, net::Interface& nic,
   for (auto& spec : providers) {
     providers_.push_back(ProviderState{std::move(spec), -1, 0, false});
   }
+
+  root_dn_ = ldap::Dn::parse("o=grid");
+  all_filter_ = ldap::Filter::parse("(objectclass=MdsDevice)");
+  if (!providers_.empty()) {
+    part_filter_ = ldap::Filter::parse("(Mds-provider-name=" +
+                                       providers_.front().spec.name + ")");
+  }
 }
 
 ldap::Entry Gris::suffix_entry() const {
@@ -43,12 +50,9 @@ std::size_t Gris::entry_count() const {
   return n;
 }
 
-ldap::FilterPtr Gris::scope_filter(QueryScope scope) const {
-  if (scope == QueryScope::Part && !providers_.empty()) {
-    return ldap::Filter::parse("(Mds-provider-name=" +
-                               providers_.front().spec.name + ")");
-  }
-  return ldap::Filter::parse("(objectclass=MdsDevice)");
+const ldap::Filter& Gris::scope_filter(QueryScope scope) const {
+  if (scope == QueryScope::Part && part_filter_) return *part_filter_;
+  return *all_filter_;
 }
 
 sim::Task<Gris::RefreshOutcome> Gris::refresh(QueryScope scope,
@@ -99,8 +103,7 @@ sim::Task<Gris::RefreshOutcome> Gris::refresh(QueryScope scope,
 }
 
 sim::Task<MdsReply> Gris::serve(QueryScope scope, trace::Ctx ctx) {
-  auto filter = scope_filter(scope);
-  co_return co_await serve_filter(scope, *filter, {}, 0, ctx);
+  co_return co_await serve_filter(scope, scope_filter(scope), {}, 0, ctx);
 }
 
 sim::Task<MdsReply> Gris::serve_filter(QueryScope refresh_scope,
@@ -135,8 +138,8 @@ sim::Task<MdsReply> Gris::serve_filter(QueryScope refresh_scope,
   }
 
   trace::Span search(ctx, trace::SpanKind::LdapSearch);
-  auto result = dit_.search(ldap::Dn::parse("o=grid"), ldap::Scope::Subtree,
-                            filter, attrs, size_limit);
+  auto result = dit_.search(root_dn_, ldap::Scope::Subtree, filter, attrs,
+                            size_limit);
   search.set_arg(static_cast<double>(result.entries_examined));
   co_await host_.cpu().consume(
       config_.examine_cpu_per_entry *

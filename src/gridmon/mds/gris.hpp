@@ -184,13 +184,17 @@ class Gris final : public MdsNode {
                                    std::vector<std::string> attrs,
                                    std::size_t size_limit, trace::Ctx ctx);
 
-  ldap::FilterPtr scope_filter(QueryScope scope) const;
+  const ldap::Filter& scope_filter(QueryScope scope) const;
 
   net::Network& net_;
   host::Host& host_;
   net::Interface& nic_;
   std::string name_;
   ldap::Dn host_dn_;
+  ldap::Dn root_dn_;
+  // Canned per-scope filters, parsed once (queries reuse them).
+  ldap::FilterPtr all_filter_;
+  ldap::FilterPtr part_filter_;  // null when there are no providers
   GrisConfig config_;
   std::vector<ProviderState> providers_;
   ldap::Dit dit_;

@@ -5,6 +5,7 @@
 /// classic DES libraries). Producers push without blocking; consumers
 /// `co_await ch.pop()`.
 
+#include <cassert>
 #include <coroutine>
 #include <deque>
 #include <utility>
@@ -39,6 +40,9 @@ class Channel {
       // An item may have been stolen by another consumer resumed earlier at
       // the same timestamp; in the simulator's FIFO wake-up discipline this
       // cannot happen (one wake-up per push), so the queue is non-empty.
+      assert(!ch.items_.empty() &&
+             "Channel wake-up with no item: one-wake-per-push invariant "
+             "violated");
       T item = std::move(ch.items_.front());
       ch.items_.pop_front();
       return item;

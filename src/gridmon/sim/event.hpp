@@ -23,6 +23,13 @@ class Event {
     bool done = false;      // resumed (by trigger or deadline)
     bool by_event = false;  // resumed because the event fired
   };
+  /// A parked coroutine. Plain (untimed) waits store just the handle —
+  /// no allocation; only deadline-racing waits carry shared race state.
+  /// One vector keeps FIFO wake-up order across both kinds.
+  struct Entry {
+    std::coroutine_handle<> handle;
+    std::shared_ptr<Waiter> timed;  // null for plain waits
+  };
 
  public:
   explicit Event(Simulation& sim) : sim_(sim) {}
@@ -34,15 +41,22 @@ class Event {
 
   /// Fire the event: release all current waiters (scheduled at the current
   /// time, preserving FIFO order) and latch the triggered state.
+  /// Wake-ups are queued, not run inline, so no waiter can observe the
+  /// list mid-iteration; clearing after the loop keeps its capacity for
+  /// the next round of waits.
   void trigger() {
     triggered_ = true;
-    auto waiters = std::exchange(waiters_, {});
-    for (auto& w : waiters) {
-      if (w->done) continue;  // already woken by its deadline
-      w->done = true;
-      w->by_event = true;
-      sim_.schedule_resume(0, w->handle);
+    for (auto& w : waiters_) {
+      if (w.timed) {
+        if (w.timed->done) continue;  // already woken by its deadline
+        w.timed->done = true;
+        w.timed->by_event = true;
+        sim_.schedule_resume(0, w.timed->handle);
+      } else {
+        sim_.schedule_resume(0, w.handle);
+      }
     }
+    waiters_.clear();
   }
 
   void reset() noexcept { triggered_ = false; }
@@ -51,9 +65,7 @@ class Event {
     Event& ev;
     bool await_ready() const noexcept { return ev.triggered_; }
     void await_suspend(std::coroutine_handle<> h) {
-      auto w = std::make_shared<Waiter>();
-      w->handle = h;
-      ev.waiters_.push_back(std::move(w));
+      ev.waiters_.push_back(Entry{h, nullptr});
     }
     void await_resume() const noexcept {}
   };
@@ -74,7 +86,7 @@ class Event {
     void await_suspend(std::coroutine_handle<> h) {
       waiter = std::make_shared<Waiter>();
       waiter->handle = h;
-      ev.waiters_.push_back(waiter);
+      ev.waiters_.push_back(Entry{h, waiter});
       auto w = waiter;
       ev.sim_.schedule(timeout, [w] {
         if (w->done) return;  // event won the race
@@ -93,7 +105,7 @@ class Event {
  private:
   Simulation& sim_;
   bool triggered_ = false;
-  std::vector<std::shared_ptr<Waiter>> waiters_;
+  std::vector<Entry> waiters_;
 };
 
 /// Counts outstanding sub-tasks; `wait()` completes when the count reaches

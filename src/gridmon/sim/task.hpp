@@ -19,6 +19,8 @@
 #include <optional>
 #include <utility>
 
+#include "gridmon/sim/frame_pool.hpp"
+
 namespace gridmon::sim {
 
 template <typename T>
@@ -32,6 +34,16 @@ struct PromiseBase {
 
   std::suspend_always initial_suspend() noexcept { return {}; }
   void unhandled_exception() { exception = std::current_exception(); }
+
+  // Route every Task<T> coroutine frame through the recycling pool; frame
+  // churn (one frame per query attempt / transfer / timer) dominates the
+  // allocator profile of large sweeps otherwise.
+  static void* operator new(std::size_t size) {
+    return frame_pool().allocate(size);
+  }
+  static void operator delete(void* p) noexcept {
+    frame_pool().deallocate(p);
+  }
 };
 
 /// On final suspend, transfer control to whichever coroutine was awaiting

@@ -8,8 +8,8 @@
 #include <sstream>
 #include <string>
 
-#include "gridmon/core/adapters.hpp"
 #include "gridmon/core/experiment.hpp"
+#include "gridmon/core/scenario_spec.hpp"
 #include "gridmon/core/scenarios.hpp"
 #include "gridmon/fault/injector.hpp"
 #include "gridmon/trace/chrome_export.hpp"
@@ -30,17 +30,20 @@ FaultRun run_faulted_gris(std::uint64_t seed) {
   core::TestbedConfig tc;
   tc.seed = seed;
   core::Testbed tb(tc);
-  core::GrisScenario scenario(tb, 5, true);
+  core::ScenarioSpec spec;
+  spec.service = core::ServiceKind::Gris;
+  spec.collectors = 5;
+  auto scenario = core::make_scenario(tb, spec);
   trace::Collector collector(tb.sim(), tb.config().seed);
   core::WorkloadConfig wc;
   wc.query_deadline = 20;
   wc.max_attempts = 3;
-  core::UserWorkload workload(tb, core::query_gris(*scenario.gris), wc);
-  scenario.instrument(collector);
+  core::UserWorkload workload(tb, scenario->query_fn(), wc);
+  scenario->instrument(collector);
   workload.enable_tracing(collector);
 
   fault::Injector injector(tb.sim(), &tb.network());
-  scenario.register_faults(injector);
+  scenario->register_faults(injector);
   injector.add_host("lucky7", tb.host("lucky7"));
   injector.set_trace(&collector);
   fault::FaultPlan plan;

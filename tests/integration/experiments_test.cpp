@@ -4,8 +4,8 @@
 
 #include <gtest/gtest.h>
 
-#include "gridmon/core/adapters.hpp"
 #include "gridmon/core/experiment.hpp"
+#include "gridmon/core/scenario_spec.hpp"
 #include "gridmon/core/scenarios.hpp"
 
 namespace gridmon::core {
@@ -20,8 +20,10 @@ MeasureConfig short_measure() {
 
 SweepPoint run_gris(int users, bool cache) {
   Testbed tb;
-  GrisScenario scenario(tb, 10, cache);
-  UserWorkload w(tb, query_gris(*scenario.gris));
+  ScenarioSpec spec;
+  spec.service = cache ? ServiceKind::Gris : ServiceKind::GrisNocache;
+  auto scenario = make_scenario(tb, spec);
+  UserWorkload w(tb, scenario->query_fn());
   w.spawn_users(users, tb.uc_names());
   tb.sampler().start();
   return measure(tb, w, "lucky7", users, short_measure());
@@ -51,8 +53,11 @@ TEST(Exp1Integration, GrisCacheThroughputScalesNearLinearly) {
 TEST(Exp1Integration, AgentThroughputHitsSingleThreadCeiling) {
   auto run_agent = [](int users) {
     Testbed tb;
-    AgentScenario scenario(tb);
-    UserWorkload w(tb, query_agent(*scenario.agent));
+    ScenarioSpec spec;
+    spec.service = ServiceKind::Agent;
+    spec.collectors = 11;
+    auto scenario = make_scenario(tb, spec);
+    UserWorkload w(tb, scenario->query_fn());
     w.spawn_users(users, tb.uc_names());
     tb.sampler().start();
     return measure(tb, w, "lucky4", users, short_measure());
@@ -70,27 +75,34 @@ TEST(Exp2Integration, DirectoryServersRankAsInThePaper) {
   SweepPoint giis, manager, registry;
   {
     Testbed tb;
-    GiisScenario scenario(tb);
-    scenario.prefill();
-    UserWorkload w(tb, query_giis(*scenario.giis, mds::QueryScope::Part));
+    ScenarioSpec spec;
+    spec.service = ServiceKind::Giis;
+    auto scenario = make_scenario(tb, spec);
+    scenario->prefill();
+    UserWorkload w(tb, scenario->query_fn());
     w.spawn_users(kUsers, tb.uc_names());
     tb.sampler().start();
     giis = measure(tb, w, "lucky0", kUsers, short_measure());
   }
   {
     Testbed tb;
-    ManagerScenario scenario(tb);
-    tb.sim().run(40.0);
-    UserWorkload w(tb, query_manager_status(*scenario.manager));
+    ScenarioSpec spec;
+    spec.service = ServiceKind::Manager;
+    spec.collectors = 11;
+    auto scenario = make_scenario(tb, spec);
+    scenario->prefill();
+    UserWorkload w(tb, scenario->query_fn());
     w.spawn_users(kUsers, tb.uc_names());
     tb.sampler().start();
     manager = measure(tb, w, "lucky3", kUsers, short_measure());
   }
   {
     Testbed tb;
-    RegistryScenario scenario(tb);
-    tb.sim().run(10.0);
-    UserWorkload w(tb, query_registry(*scenario.registry, "cpuload"));
+    ScenarioSpec spec;
+    spec.service = ServiceKind::Registry;
+    auto scenario = make_scenario(tb, spec);
+    scenario->prefill();
+    UserWorkload w(tb, scenario->query_fn());
     w.spawn_users(kUsers, tb.uc_names());
     tb.sampler().start();
     registry = measure(tb, w, "lucky1", kUsers, short_measure());
@@ -111,8 +123,11 @@ TEST(Exp2Integration, DirectoryServersRankAsInThePaper) {
 TEST(Exp3Integration, CollectorsDegradeEveryServerButCacheHelps) {
   auto run_p = [](int providers, bool cache) {
     Testbed tb;
-    GrisScenario scenario(tb, providers, cache);
-    UserWorkload w(tb, query_gris(*scenario.gris));
+    ScenarioSpec spec;
+    spec.service = cache ? ServiceKind::Gris : ServiceKind::GrisNocache;
+    spec.collectors = providers;
+    auto scenario = make_scenario(tb, spec);
+    UserWorkload w(tb, scenario->query_fn());
     w.spawn_users(10, tb.uc_names());
     tb.sampler().start();
     return measure(tb, w, "lucky7", providers, short_measure());
@@ -128,18 +143,22 @@ TEST(Exp3Integration, CollectorsDegradeEveryServerButCacheHelps) {
 }
 
 TEST(Exp4Integration, AggregationDegradesAndPartBeatsAll) {
-  auto run_giis = [](int gris, mds::QueryScope scope) {
+  auto run_giis = [](int gris, QueryVariant variant) {
     Testbed tb;
-    GiisAggregationScenario scenario(tb, gris);
-    scenario.prefill();
-    UserWorkload w(tb, query_giis(*scenario.giis, scope));
+    ScenarioSpec spec;
+    spec.service = ServiceKind::GiisAggregate;
+    spec.gris_count = gris;
+    spec.query = variant;
+    auto scenario = make_scenario(tb, spec);
+    scenario->prefill();
+    UserWorkload w(tb, scenario->query_fn());
     w.spawn_users(10, tb.uc_names());
     tb.sampler().start();
     return measure(tb, w, "lucky0", gris, short_measure());
   };
-  auto all10 = run_giis(10, mds::QueryScope::All);
-  auto all100 = run_giis(100, mds::QueryScope::All);
-  auto part100 = run_giis(100, mds::QueryScope::Part);
+  auto all10 = run_giis(10, QueryVariant::ScopeAll);
+  auto all100 = run_giis(100, QueryVariant::ScopeAll);
+  auto part100 = run_giis(100, QueryVariant::ScopePart);
   EXPECT_LT(all100.throughput, all10.throughput * 0.6);
   EXPECT_GT(all100.response, 2 * all10.response);
   // Asking for a portion scales further than asking for everything.
@@ -150,10 +169,13 @@ TEST(Exp4Integration, AggregationDegradesAndPartBeatsAll) {
 TEST(Exp4Integration, ManagerConstraintScanDegradesWithMachines) {
   auto run_mgr = [](int machines) {
     Testbed tb;
-    ManagerAggregationScenario scenario(tb, machines);
-    scenario.prefill();
-    UserWorkload w(tb, query_manager_constraint(*scenario.manager,
-                                                "CpuLoad > 100000"));
+    ScenarioSpec spec;
+    spec.service = ServiceKind::ManagerAggregate;
+    spec.machines = machines;
+    spec.collectors = 11;
+    auto scenario = make_scenario(tb, spec);
+    scenario->prefill();
+    UserWorkload w(tb, scenario->query_fn());
     w.spawn_users(10, tb.uc_names());
     tb.sampler().start();
     return measure(tb, w, "lucky3", machines, short_measure());

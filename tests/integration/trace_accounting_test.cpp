@@ -6,8 +6,8 @@
 
 #include <gtest/gtest.h>
 
-#include "gridmon/core/adapters.hpp"
 #include "gridmon/core/experiment.hpp"
+#include "gridmon/core/scenario_spec.hpp"
 #include "gridmon/core/scenarios.hpp"
 #include "gridmon/trace/timeline.hpp"
 
@@ -18,10 +18,12 @@ TEST(TraceAccountingTest, CpuTimelineMatchesSamplerUtilization) {
   core::Testbed tb;
   // GRIS without caching: every query fork/execs ten providers, which
   // keeps the server CPU visibly busy.
-  core::GrisScenario scenario(tb, 10, false);
+  core::ScenarioSpec spec;
+  spec.service = core::ServiceKind::GrisNocache;
+  auto scenario = core::make_scenario(tb, spec);
   trace::Collector collector(tb.sim(), tb.config().seed);
-  core::UserWorkload workload(tb, core::query_gris(*scenario.gris));
-  scenario.instrument(collector);
+  core::UserWorkload workload(tb, scenario->query_fn());
+  scenario->instrument(collector);
   core::instrument_host(tb, collector, "lucky7");
   workload.enable_tracing(collector);
   workload.spawn_users(40, tb.uc_names());

@@ -4,6 +4,9 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
+
+#include "gridmon/core/scenario_spec.hpp"
 #include "gridmon/core/scenarios.hpp"
 #include "gridmon/core/testbed.hpp"
 #include "gridmon/mds/giis.hpp"
@@ -13,6 +16,15 @@ namespace gridmon::mds {
 namespace {
 
 using core::Testbed;
+
+/// The tests below drive the raw search() member API, so they reach the
+/// concrete scenario types through the unified factory handle.
+std::unique_ptr<core::Scenario> make_gris(Testbed& tb, int providers) {
+  core::ScenarioSpec spec;
+  spec.service = core::ServiceKind::Gris;
+  spec.collectors = providers;
+  return core::make_scenario(tb, spec);
+}
 
 sim::Task<void> run_search(Gris& g, net::Interface& c, SearchRequest req,
                            MdsReply* out) {
@@ -26,7 +38,8 @@ sim::Task<void> run_search(Giis& g, net::Interface& c, SearchRequest req,
 
 TEST(SearchApiTest, FilterSelectsProviderSubset) {
   Testbed tb;
-  core::GrisScenario scenario(tb, 10, true);
+  auto base = make_gris(tb, 10);
+  auto& scenario = static_cast<core::GrisScenario&>(*base);
   MdsReply reply;
   SearchRequest req;
   req.filter = "(|(Mds-provider-name=ip1)(Mds-provider-name=ip2))";
@@ -38,7 +51,8 @@ TEST(SearchApiTest, FilterSelectsProviderSubset) {
 
 TEST(SearchApiTest, AttributeSelectionShrinksResponse) {
   Testbed tb;
-  core::GrisScenario scenario(tb, 10, true);
+  auto base = make_gris(tb, 10);
+  auto& scenario = static_cast<core::GrisScenario&>(*base);
   MdsReply all, slim;
   SearchRequest full;
   SearchRequest narrow;
@@ -62,7 +76,8 @@ TEST(SearchApiTest, AttributeSelectionShrinksResponse) {
 
 TEST(SearchApiTest, SizeLimitTruncates) {
   Testbed tb;
-  core::GrisScenario scenario(tb, 10, true);
+  auto base = make_gris(tb, 10);
+  auto& scenario = static_cast<core::GrisScenario&>(*base);
   MdsReply reply;
   SearchRequest req;
   req.size_limit = 7;
@@ -73,8 +88,12 @@ TEST(SearchApiTest, SizeLimitTruncates) {
 
 TEST(SearchApiTest, GiisSearchSpansRegistrants) {
   Testbed tb;
-  core::GiisScenario scenario(tb, 3, 10);
-  scenario.prefill();
+  core::ScenarioSpec spec;
+  spec.service = core::ServiceKind::Giis;
+  spec.gris_count = 3;
+  auto base = core::make_scenario(tb, spec);
+  base->prefill();
+  auto& scenario = static_cast<core::GiisScenario&>(*base);
   MdsReply reply;
   SearchRequest req;
   req.filter = "(objectclass=MdsHost)";
@@ -86,7 +105,8 @@ TEST(SearchApiTest, GiisSearchSpansRegistrants) {
 
 TEST(SearchApiTest, BadFilterRejectedBeforeService) {
   Testbed tb;
-  core::GrisScenario scenario(tb, 2, true);
+  auto base = make_gris(tb, 2);
+  auto& scenario = static_cast<core::GrisScenario&>(*base);
   SearchRequest req;
   req.filter = "((broken";
   auto attempt = [](Gris& g, net::Interface& c, SearchRequest r,

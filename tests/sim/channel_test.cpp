@@ -71,5 +71,31 @@ TEST(ChannelTest, MultipleConsumersEachGetOneItem) {
   EXPECT_EQ(out, (std::vector<int>{1, 2, 3}));
 }
 
+// Regression for the one-wake-per-push invariant asserted in
+// PopAwaiter::await_resume: several blocked consumers woken by pushes at
+// the *same timestamp* must each find exactly one item — no consumer may
+// resume onto an empty queue, and FIFO pairing must hold.
+TEST(ChannelTest, SameTimestampWakeupsGiveEachConsumerOneItem) {
+  Simulation sim;
+  Channel<int> ch(sim);
+  std::vector<int> out;
+  std::vector<double> at;
+  auto consumer = [](Simulation& s, Channel<int>& c, std::vector<int>* o,
+                     std::vector<double>* when) -> Task<void> {
+    o->push_back(co_await c.pop());
+    when->push_back(s.now());
+  };
+  for (int i = 0; i < 4; ++i) sim.spawn(consumer(sim, ch, &out, &at));
+  // All four pushes land at t=1.0; the four wake-ups also resume at
+  // t=1.0, interleaved with the pushes in seq order.
+  for (int i = 0; i < 4; ++i) {
+    sim.schedule(1.0, [&ch, i] { ch.push(i); });
+  }
+  sim.run();
+  EXPECT_EQ(out, (std::vector<int>{0, 1, 2, 3}));
+  for (double t : at) EXPECT_DOUBLE_EQ(t, 1.0);
+  EXPECT_TRUE(ch.empty());
+}
+
 }  // namespace
 }  // namespace gridmon::sim

@@ -10,8 +10,8 @@
 #include <sstream>
 #include <string>
 
-#include "gridmon/core/adapters.hpp"
 #include "gridmon/core/experiment.hpp"
+#include "gridmon/core/scenario_spec.hpp"
 #include "gridmon/core/scenarios.hpp"
 #include "gridmon/trace/chrome_export.hpp"
 
@@ -24,10 +24,12 @@ trace::TraceData run_gris_trace(std::uint64_t seed) {
   core::TestbedConfig tc;
   tc.seed = seed;
   core::Testbed tb(tc);
-  core::GrisScenario scenario(tb, 10, false);
+  core::ScenarioSpec spec;
+  spec.service = core::ServiceKind::GrisNocache;
+  auto scenario = core::make_scenario(tb, spec);
   trace::Collector collector(tb.sim(), tb.config().seed);
-  core::UserWorkload workload(tb, core::query_gris(*scenario.gris));
-  scenario.instrument(collector);
+  core::UserWorkload workload(tb, scenario->query_fn());
+  scenario->instrument(collector);
   core::instrument_host(tb, collector, "lucky7");
   workload.enable_tracing(collector);
   workload.spawn_users(5, tb.uc_names());

@@ -1,129 +1,64 @@
 /// gridmon_run — declarative experiment runner.
 ///
-///   $ gridmon_run my_experiment.ini [--csv out.csv] [--trace out.json]
+///   $ gridmon_run my_experiment.ini [--csv FILE] [--trace FILE]
+///                 [--quick] [--seed N] [--users N]
 ///
-/// Reads an INI scenario description (see scenario_config.hpp), builds
-/// the corresponding deployment on the paper's testbed, sweeps the user
-/// counts, and prints the four study metrics per sweep point.
+/// Reads an INI scenario description (see core/scenario_spec.hpp), builds
+/// the corresponding deployment on the paper's testbed through
+/// core::make_scenario, sweeps the user counts, and prints the four study
+/// metrics per sweep point (plus the robustness metrics when a [faults]
+/// section is present).
 
 #include <fstream>
 #include <iostream>
-#include <memory>
 #include <sstream>
 
-#include "gridmon/core/adapters.hpp"
-#include "gridmon/core/experiment.hpp"
-#include "gridmon/core/scenarios.hpp"
+#include "bench_common.hpp"
 #include "gridmon/fault/injector.hpp"
-#include "gridmon/trace/chrome_export.hpp"
-#include "scenario_config.hpp"
 
 using namespace gridmon;
-using namespace gridmon::tools;
+using namespace gridmon::bench;
 using namespace gridmon::core;
 
-namespace {
-
-/// Build the requested deployment and return its query function.
-struct Deployment {
-  std::unique_ptr<Scenario> scenario;
-  TracedQueryFn query;
-};
-
-Deployment build(Testbed& tb, const ScenarioConfig& config) {
-  switch (config.service) {
-    case ServiceKind::Gris:
-    case ServiceKind::GrisNocache: {
-      bool cache = config.service == ServiceKind::Gris;
-      auto s = std::make_unique<GrisScenario>(tb, config.collectors, cache);
-      TracedQueryFn q = query_gris(*s->gris);
-      return {std::move(s), std::move(q)};
-    }
-    case ServiceKind::Giis: {
-      auto s = std::make_unique<GiisScenario>(tb, 5, config.collectors);
-      s->prefill();
-      TracedQueryFn q = query_giis(*s->giis, mds::QueryScope::Part);
-      return {std::move(s), std::move(q)};
-    }
-    case ServiceKind::Agent: {
-      auto s = std::make_unique<AgentScenario>(tb, config.collectors);
-      TracedQueryFn q = query_agent(*s->agent);
-      return {std::move(s), std::move(q)};
-    }
-    case ServiceKind::Manager: {
-      auto s = std::make_unique<ManagerScenario>(tb, config.collectors);
-      tb.sim().run(40.0);
-      TracedQueryFn q = query_manager_status(*s->manager);
-      return {std::move(s), std::move(q)};
-    }
-    case ServiceKind::Registry: {
-      auto s = std::make_unique<RegistryScenario>(tb);
-      tb.sim().run(10.0);
-      TracedQueryFn q = query_registry(*s->registry, "cpuload");
-      return {std::move(s), std::move(q)};
-    }
-    case ServiceKind::RgmaMediated: {
-      auto s = std::make_unique<RgmaScenario>(
-          tb, config.collectors,
-          config.lucky_clients ? RgmaScenario::Consumers::PerLuckyNode
-                               : RgmaScenario::Consumers::SingleAtUc);
-      TracedQueryFn q = s->mediated_query();
-      return {std::move(s), std::move(q)};
-    }
-    case ServiceKind::RgmaDirect: {
-      auto s = std::make_unique<RgmaScenario>(tb, config.collectors,
-                                              RgmaScenario::Consumers::None);
-      TracedQueryFn q = s->direct_query();
-      return {std::move(s), std::move(q)};
-    }
-  }
-  throw ConfigError("unhandled service kind");
-}
-
-}  // namespace
-
 int main(int argc, char** argv) {
-  if (argc < 2) {
+  BenchOptions opt =
+      parse_options(argc, argv, /*allow_positional=*/true, "SCENARIO.ini");
+  if (opt.positional.size() != 1) {
     std::cerr << "usage: " << argv[0]
-              << " SCENARIO.ini [--csv FILE] [--trace FILE]\n";
+              << " SCENARIO.ini [--csv FILE] [--trace FILE] [--quick]"
+                 " [--seed N] [--users N]\n";
     return 2;
   }
-  std::ifstream in(argv[1]);
+  std::ifstream in(opt.positional.front());
   if (!in) {
-    std::cerr << "cannot open " << argv[1] << "\n";
+    std::cerr << "cannot open " << opt.positional.front() << "\n";
     return 2;
-  }
-  std::string csv_path;
-  std::string trace_path;
-  for (int i = 2; i < argc; ++i) {
-    std::string arg = argv[i];
-    if (arg == "--csv" && i + 1 < argc) {
-      csv_path = argv[++i];
-    } else if (arg.rfind("--trace=", 0) == 0) {
-      trace_path = arg.substr(8);
-    } else if (arg == "--trace" && i + 1 < argc) {
-      trace_path = argv[++i];
-    }
   }
 
-  ScenarioConfig config;
+  ScenarioSpec spec;
   try {
     std::stringstream buffer;
     buffer << in.rdbuf();
-    config = parse_scenario_config(buffer.str());
+    spec = parse_scenario_spec(buffer.str());
   } catch (const ConfigError& e) {
     std::cerr << "config error: " << e.what() << "\n";
     return 2;
   }
+  if (opt.seed != 0) spec.seed = opt.seed;
+  if (opt.users > 0) spec.users = {opt.users};
+  if (opt.quick) {
+    spec.warmup = 30;
+    spec.duration = 120;
+  }
 
-  std::cout << "service: " << config.service_name()
-            << ", collectors: " << config.collectors
-            << ", clients: " << (config.lucky_clients ? "lucky" : "uc")
-            << ", window: " << config.warmup << "+" << config.duration
+  std::cout << "service: " << spec.service_name()
+            << ", collectors: " << spec.collectors
+            << ", clients: " << (spec.lucky_clients ? "lucky" : "uc")
+            << ", window: " << spec.warmup << "+" << spec.duration
             << "s\n\n";
 
-  bool with_faults = !config.faults.empty();
-  metrics::Table table(config.service_name());
+  bool with_faults = !spec.faults.empty();
+  metrics::Table table(spec.service_name());
   std::vector<std::string> cols{"users",  "throughput (q/s)", "response (s)",
                                 "load1",  "cpu %",            "refused/s"};
   if (with_faults) {
@@ -131,8 +66,8 @@ int main(int argc, char** argv) {
   }
   table.set_columns(cols);
   std::ofstream csv;
-  if (!csv_path.empty()) {
-    csv.open(csv_path);
+  if (!opt.csv_path.empty()) {
+    csv.open(opt.csv_path);
     csv << "service,users,throughput,response,load1,cpu,refused_per_s";
     if (with_faults) csv << ",availability,error_rate,stale_frac,recovery";
     csv << "\n";
@@ -142,55 +77,62 @@ int main(int argc, char** argv) {
   // the same at every load and the file stays small.
   std::vector<trace::SeriesTrace> traces;
   bool first_point = true;
-  for (int n : config.users) {
+  for (int n : spec.users) {
     TestbedConfig tc;
-    tc.seed = config.seed;
+    tc.seed = spec.seed;
     Testbed tb(tc);
-    Deployment deployment = build(tb, config);
+    std::unique_ptr<Scenario> scenario;
+    try {
+      scenario = make_scenario(tb, spec);
+    } catch (const ConfigError& e) {
+      std::cerr << "config error: " << e.what() << "\n";
+      return 2;
+    }
+    scenario->prefill();
     trace::Collector collector(tb.sim(), tb.config().seed);
     WorkloadConfig wc;
-    if (config.lucky_clients) wc.max_users_per_host = 100;
-    wc.query_deadline = config.query_deadline;
-    wc.max_attempts = config.max_attempts;
-    UserWorkload workload(tb, deployment.query, wc);
+    if (spec.lucky_clients) wc.max_users_per_host = 100;
+    wc.query_deadline = spec.query_deadline;
+    wc.max_attempts = spec.max_attempts;
+    UserWorkload workload(tb, scenario->query_fn(), wc);
     fault::Injector injector(tb.sim(), &tb.network());
     if (with_faults) {
-      deployment.scenario->register_faults(injector);
+      scenario->register_faults(injector);
       for (const auto& name : tb.lucky_names()) {
         injector.add_host(name, tb.host(name));
       }
       for (const auto& name : tb.uc_names()) {
         injector.add_host(name, tb.host(name));
       }
-      injector.arm(config.faults);
+      injector.arm(spec.faults);
     }
-    bool tracing = !trace_path.empty() && first_point;
+    bool tracing = !opt.trace_path.empty() && first_point;
     first_point = false;
     if (tracing) {
-      deployment.scenario->instrument(collector);
-      instrument_host(tb, collector, config.server_host());
+      scenario->instrument(collector);
+      instrument_host(tb, collector, spec.server_host());
       workload.enable_tracing(collector);
       injector.set_trace(&collector);
     }
-    workload.spawn_users(n, config.lucky_clients ? tb.lucky_names()
-                                                 : tb.uc_names());
+    workload.spawn_users(n, spec.lucky_clients ? tb.lucky_names()
+                                               : tb.uc_names());
     tb.sampler().start();
     MeasureConfig mc;
-    mc.warmup = config.warmup;
-    mc.duration = config.duration;
+    mc.warmup = spec.warmup;
+    mc.duration = spec.duration;
     if (tracing) mc.collector = &collector;
     if (with_faults) {
       // Recovery is measured from the last scheduled fault event.
       double last = 0;
-      for (const auto& ev : config.faults.events()) {
+      for (const auto& ev : spec.faults.events()) {
         if (ev.at > last) last = ev.at;
       }
       mc.recovery_mark = last;
     }
-    SweepPoint p = measure(tb, workload, config.server_host(), n, mc);
+    SweepPoint p = measure(tb, workload, spec.server_host(), n, mc);
     if (tracing) {
       traces.push_back(trace::SeriesTrace{
-          config.service_name() + " n=" + std::to_string(n),
+          spec.service_name() + " n=" + std::to_string(n),
           collector.take()});
     }
     std::vector<std::string> row{
@@ -205,7 +147,7 @@ int main(int argc, char** argv) {
     }
     table.add_row(row);
     if (csv.is_open()) {
-      csv << config.service_name() << ',' << n << ',' << p.throughput << ','
+      csv << spec.service_name() << ',' << n << ',' << p.throughput << ','
           << p.response << ',' << p.load1 << ',' << p.cpu << ',' << p.refused;
       if (with_faults) {
         csv << ',' << p.availability << ',' << p.error_rate << ','
@@ -218,10 +160,10 @@ int main(int argc, char** argv) {
 
   std::cout << "\n";
   table.print_text(std::cout);
-  if (!trace_path.empty()) {
-    std::ofstream out(trace_path, std::ios::binary);
+  if (!opt.trace_path.empty()) {
+    std::ofstream out(opt.trace_path, std::ios::binary);
     trace::write_chrome_trace(out, traces);
-    std::cout << "wrote " << trace_path << "\n";
+    std::cout << "wrote " << opt.trace_path << "\n";
   }
   return 0;
 }
