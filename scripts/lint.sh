@@ -1,0 +1,71 @@
+#!/usr/bin/env bash
+# Static-analysis driver: runs gridmon_lint (always) and clang-tidy (when a
+# binary exists) over the compile database. This is exactly what the CI
+# `lint` job executes; run it locally before pushing.
+#
+#   scripts/lint.sh               lint src/gridmon with the empty baseline
+#   scripts/lint.sh --verify-gate additionally prove the gate FAILS on a
+#                                 seeded determinism violation (CI runs this
+#                                 so a silently-broken analyzer cannot pass)
+#
+# Exit codes: 0 clean, 1 findings (or a broken gate), 2 infrastructure error.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${BUILD_DIR:-build}"
+VERIFY_GATE=0
+if [[ "${1:-}" == "--verify-gate" ]]; then
+  VERIFY_GATE=1
+fi
+
+if [[ ! -f "${BUILD_DIR}/CMakeCache.txt" ]]; then
+  echo "== configure (${BUILD_DIR}) =="
+  cmake -B "${BUILD_DIR}" -S .
+fi
+echo "== build gridmon_lint =="
+cmake --build "${BUILD_DIR}" --target gridmon_lint -j"$(nproc)"
+
+LINT_BIN="${BUILD_DIR}/tools/gridmon_lint"
+COMPILE_DB="${BUILD_DIR}/compile_commands.json"
+BASELINE="tools/gridmon_lint/baseline.txt"
+
+echo "== gridmon_lint (zero baseline) =="
+"${LINT_BIN}" \
+  --compile-db "${COMPILE_DB}" --filter src/gridmon \
+  src/gridmon \
+  --baseline "${BASELINE}"
+
+# clang-tidy is optional tooling: the reference build container has no
+# clang at all, so its absence is a warning, not a failure. CI installs it.
+if command -v clang-tidy >/dev/null 2>&1; then
+  echo "== clang-tidy ($(clang-tidy --version | head -n1)) =="
+  mapfile -t TIDY_FILES < <(find src/gridmon -name '*.cpp' | sort)
+  if command -v run-clang-tidy >/dev/null 2>&1; then
+    run-clang-tidy -p "${BUILD_DIR}" -quiet "src/gridmon/.*\.cpp$"
+  else
+    clang-tidy -p "${BUILD_DIR}" --quiet "${TIDY_FILES[@]}"
+  fi
+else
+  echo "== clang-tidy: not installed; skipping (gridmon_lint still gates) =="
+fi
+
+if [[ "${VERIFY_GATE}" == "1" ]]; then
+  echo "== verify-gate: seeded violation must fail =="
+  SEED_DIR="$(mktemp -d)"
+  trap 'rm -rf "${SEED_DIR}"' EXIT
+  cat > "${SEED_DIR}/seeded_violation.cpp" <<'EOF'
+#include <chrono>
+// Deliberately nondeterministic: the gate must reject this file.
+double wall_now() {
+  return std::chrono::duration<double>(
+      std::chrono::steady_clock::now().time_since_epoch()).count();
+}
+EOF
+  if "${LINT_BIN}" "${SEED_DIR}" --baseline "${BASELINE}" > /dev/null; then
+    echo "GATE BROKEN: seeded determinism violation passed the linter" >&2
+    exit 1
+  fi
+  echo "gate ok: seeded violation rejected"
+fi
+
+echo "lint: all gates passed"

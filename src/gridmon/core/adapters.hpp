@@ -20,9 +20,9 @@ namespace gridmon::core {
 /// MDS information server (GRIS) query.
 inline TracedQueryFn query_gris(mds::Gris& gris,
                                 mds::QueryScope scope = mds::QueryScope::All) {
-  return [&gris, scope](net::Interface& client,
+  return [gris = &gris, scope](net::Interface& client,
                         trace::Ctx ctx) -> sim::Task<QueryAttempt> {
-    auto r = co_await gris.query(client, scope, ctx);
+    auto r = co_await gris->query(client, scope, ctx);
     co_return QueryAttempt{r.admitted, r.response_bytes, r.timed_out,
                            r.failed, r.stale};
   };
@@ -31,9 +31,9 @@ inline TracedQueryFn query_gris(mds::Gris& gris,
 /// MDS directory / aggregate server (GIIS) query.
 inline TracedQueryFn query_giis(
     mds::Giis& giis, mds::QueryScope scope = mds::QueryScope::Part) {
-  return [&giis, scope](net::Interface& client,
+  return [giis = &giis, scope](net::Interface& client,
                         trace::Ctx ctx) -> sim::Task<QueryAttempt> {
-    auto r = co_await giis.query(client, scope, ctx);
+    auto r = co_await giis->query(client, scope, ctx);
     co_return QueryAttempt{r.admitted, r.response_bytes, r.timed_out,
                            r.failed, r.stale};
   };
@@ -41,9 +41,9 @@ inline TracedQueryFn query_giis(
 
 /// Hawkeye information server (Agent) query: fresh module collection.
 inline TracedQueryFn query_agent(hawkeye::Agent& agent) {
-  return [&agent](net::Interface& client,
+  return [agent = &agent](net::Interface& client,
                   trace::Ctx ctx) -> sim::Task<QueryAttempt> {
-    auto r = co_await agent.query(client, ctx);
+    auto r = co_await agent->query(client, ctx);
     co_return QueryAttempt{r.admitted, r.response_bytes, r.timed_out,
                            r.failed, r.stale};
   };
@@ -51,9 +51,9 @@ inline TracedQueryFn query_agent(hawkeye::Agent& agent) {
 
 /// Hawkeye directory server (Manager) status query.
 inline TracedQueryFn query_manager_status(hawkeye::Manager& manager) {
-  return [&manager](net::Interface& client,
+  return [manager = &manager](net::Interface& client,
                     trace::Ctx ctx) -> sim::Task<QueryAttempt> {
-    auto r = co_await manager.query_status(client, ctx);
+    auto r = co_await manager->query_status(client, ctx);
     co_return QueryAttempt{r.admitted, r.response_bytes, r.timed_out,
                            r.failed, r.stale};
   };
@@ -61,9 +61,9 @@ inline TracedQueryFn query_manager_status(hawkeye::Manager& manager) {
 
 /// Hawkeye full-data dump (Experiment 3's workload against the pool).
 inline TracedQueryFn query_manager_dump(hawkeye::Manager& manager) {
-  return [&manager](net::Interface& client,
+  return [manager = &manager](net::Interface& client,
                     trace::Ctx ctx) -> sim::Task<QueryAttempt> {
-    auto r = co_await manager.query_dump(client, ctx);
+    auto r = co_await manager->query_dump(client, ctx);
     co_return QueryAttempt{r.admitted, r.response_bytes, r.timed_out,
                            r.failed, r.stale};
   };
@@ -72,9 +72,9 @@ inline TracedQueryFn query_manager_dump(hawkeye::Manager& manager) {
 /// Hawkeye constraint scan (Experiment 4's worst-case query).
 inline TracedQueryFn query_manager_constraint(hawkeye::Manager& manager,
                                               std::string constraint) {
-  return [&manager, constraint](net::Interface& client,
+  return [manager = &manager, constraint](net::Interface& client,
                                 trace::Ctx ctx) -> sim::Task<QueryAttempt> {
-    auto r = co_await manager.query_constraint(client, constraint, ctx);
+    auto r = co_await manager->query_constraint(client, constraint, ctx);
     co_return QueryAttempt{r.admitted, r.response_bytes, r.timed_out,
                            r.failed, r.stale};
   };
@@ -83,9 +83,9 @@ inline TracedQueryFn query_manager_constraint(hawkeye::Manager& manager,
 /// R-GMA mediated pull query through a ConsumerServlet.
 inline TracedQueryFn query_consumer_servlet(rgma::ConsumerServlet& cs,
                                             std::string table) {
-  return [&cs, table](net::Interface& client,
+  return [cs = &cs, table](net::Interface& client,
                       trace::Ctx ctx) -> sim::Task<QueryAttempt> {
-    auto r = co_await cs.query(client, table, "", ctx);
+    auto r = co_await cs->query(client, table, "", ctx);
     co_return QueryAttempt{r.admitted, r.response_bytes, r.timed_out,
                            r.failed, r.stale};
   };
@@ -95,9 +95,9 @@ inline TracedQueryFn query_consumer_servlet(rgma::ConsumerServlet& cs,
 /// Experiment 3 "queried the ProducerServlet directly").
 inline TracedQueryFn query_producer_servlet(rgma::ProducerServlet& ps,
                                             std::string table) {
-  return [&ps, table](net::Interface& client,
+  return [ps = &ps, table](net::Interface& client,
                       trace::Ctx ctx) -> sim::Task<QueryAttempt> {
-    auto r = co_await ps.client_query(client, table, "", ctx);
+    auto r = co_await ps->client_query(client, table, "", ctx);
     co_return QueryAttempt{r.admitted, r.response_bytes, r.timed_out,
                            r.failed, r.stale};
   };
@@ -106,9 +106,9 @@ inline TracedQueryFn query_producer_servlet(rgma::ProducerServlet& ps,
 /// R-GMA Registry (directory server) lookup.
 inline TracedQueryFn query_registry(rgma::Registry& registry,
                                     std::string table) {
-  return [&registry, table](net::Interface& client,
+  return [registry = &registry, table](net::Interface& client,
                             trace::Ctx ctx) -> sim::Task<QueryAttempt> {
-    auto r = co_await registry.client_query(client, table, ctx);
+    auto r = co_await registry->client_query(client, table, ctx);
     co_return QueryAttempt{r.admitted, r.response_bytes, r.timed_out,
                            r.failed, r.stale};
   };

@@ -115,6 +115,10 @@ void RgmaScenario::register_faults(fault::Injector& inj) {
 TracedQueryFn RgmaScenario::mediated_query(const std::string& table) {
   // Route a user to the ConsumerServlet on its own host, or to the single
   // shared servlet when only one exists (the UC setup).
+  // gridmon-lint: suppress(coroutine.this-capture) -- the scenario owns
+  // every servlet the query reaches and is held alive by the Experiment
+  // for the whole run; no query coroutine outlives it (sim.shutdown()
+  // drains frames before the scenario is destroyed).
   return [this, table](net::Interface& client,
                        trace::Ctx ctx) -> sim::Task<QueryAttempt> {
     auto it = consumer_servlets.find(client.host());
@@ -126,6 +130,9 @@ TracedQueryFn RgmaScenario::mediated_query(const std::string& table) {
 }
 
 TracedQueryFn RgmaScenario::direct_query(const std::string& table) {
+  // gridmon-lint: suppress(coroutine.this-capture) -- same lifetime
+  // argument as mediated_query above: the Experiment keeps the scenario
+  // alive past the last query coroutine.
   return [this, table](net::Interface& client,
                        trace::Ctx ctx) -> sim::Task<QueryAttempt> {
     auto r = co_await producer_servlet->client_query(client, table, "", ctx);
@@ -384,6 +391,9 @@ void HierarchyScenario::prefill() {
 }
 
 TracedQueryFn HierarchyScenario::site_routed_query() {
+  // gridmon-lint: suppress(coroutine.this-capture) -- `this` is needed
+  // mutably for the next_ round-robin cursor; the scenario outlives every
+  // query coroutine (owned by the Experiment for the full run).
   return [this](net::Interface& client,
                 trace::Ctx ctx) -> sim::Task<QueryAttempt> {
     auto& mid = *mids[next_++ % mids.size()];
@@ -502,6 +512,9 @@ void ReplicatedRgmaScenario::register_faults(fault::Injector& inj) {
 }
 
 TracedQueryFn ReplicatedRgmaScenario::balanced_query(const std::string& table) {
+  // gridmon-lint: suppress(coroutine.this-capture) -- `this` carries the
+  // next_ balance cursor; the scenario outlives every query coroutine
+  // (owned by the Experiment for the full run).
   return [this, table](net::Interface& client,
                        trace::Ctx ctx) -> sim::Task<QueryAttempt> {
     auto& servlet = *servlets[next_++ % servlets.size()];

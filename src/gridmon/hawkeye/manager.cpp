@@ -218,10 +218,10 @@ sim::Task<HawkeyeReply> Manager::query_constraint(
     co_return reply;
   }
   net::AdmissionSlot slot(&port_);
-  if (!co_await net_.transfer(client, nic_,
-                              config_.request_bytes + constraint.size(), ctx,
-                              trace::SpanKind::RequestSend,
-                              config_.connect_timeout)) {
+  if (!co_await net_.transfer(
+          client, nic_,
+          config_.request_bytes + static_cast<double>(constraint.size()), ctx,
+          trace::SpanKind::RequestSend, config_.connect_timeout)) {
     HawkeyeReply reply;
     reply.timed_out = true;
     co_return reply;

@@ -253,10 +253,10 @@ sim::Task<MdsReply> Giis::search(net::Interface& client,
     co_return reply;
   }
   net::AdmissionSlot slot(&port_);
-  if (!co_await net_.transfer(client, nic_,
-                              config_.request_bytes + request.filter.size(),
-                              ctx, trace::SpanKind::RequestSend,
-                              config_.connect_timeout)) {
+  if (!co_await net_.transfer(
+          client, nic_,
+          config_.request_bytes + static_cast<double>(request.filter.size()),
+          ctx, trace::SpanKind::RequestSend, config_.connect_timeout)) {
     MdsReply reply;
     reply.timed_out = true;
     co_return reply;

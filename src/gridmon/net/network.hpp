@@ -1,5 +1,7 @@
 #pragma once
 
+// gridmon-lint: hot-path — per-event cost dominates sweep wall-clock.
+
 /// \file network.hpp
 /// Flow-level network model.
 ///

@@ -26,7 +26,9 @@ struct QueryResult {
   double wire_bytes() const {
     double b = 64;
     for (const auto& row : rows) {
-      for (const auto& v : row) b += v.to_string().size() + 2;
+      for (const auto& v : row) {
+        b += static_cast<double>(v.to_string().size() + 2);
+      }
     }
     return b;
   }

@@ -1,5 +1,7 @@
 #include "gridmon/rdbms/table.hpp"
 
+#include <algorithm>
+
 namespace gridmon::rdbms {
 
 void Table::check_row(const Row& row) const {
@@ -74,6 +76,10 @@ std::vector<std::size_t> Table::find_equal(const std::string& column,
     for (auto it = lo; it != hi; ++it) {
       if (!tombstone_[it->second]) out.push_back(it->second);
     }
+    // equal_range walks hash buckets in implementation-defined order;
+    // sorting restores the ascending-id order the scan path produces, so
+    // both paths are interchangeable and deterministic.
+    std::sort(out.begin(), out.end());
     // Hash key is the rendered literal; values rendering identically are
     // genuinely equal for our value domain.
     return out;
@@ -122,6 +128,9 @@ void Table::index_insert(std::size_t id) {
 
 void Table::index_erase(std::size_t id) {
   if (!indexed_column_) return;
+  // gridmon-lint: iteration-order-independent -- erases the unique entry
+  // whose mapped id matches; which order the equal-key group is walked in
+  // cannot change which entry is removed or anything observable.
   auto [lo, hi] = index_.equal_range(index_key(rows_[id][*indexed_column_]));
   for (auto it = lo; it != hi; ++it) {
     if (it->second == id) {

@@ -129,8 +129,8 @@ sim::Task<RgmaReply> ProducerServlet::select(net::Interface& from,
         ++examined;
         bool keep = true;
         if (predicate) {
-          rdbms::RowContext ctx{&producer->data().schema(), &row};
-          auto t = rdbms::SqlExpr::truth(predicate->eval(ctx));
+          rdbms::RowContext row_ctx{&producer->data().schema(), &row};
+          auto t = rdbms::SqlExpr::truth(predicate->eval(row_ctx));
           keep = t.has_value() && *t;
         }
         if (keep) ++reply.rows;

@@ -1,0 +1,51 @@
+// Negative fixture: sanctioned coroutine patterns. Expected diagnostics: none.
+#include <memory>
+#include <string>
+
+namespace sim {
+template <typename T>
+struct Task {};
+struct Simulation {
+  void spawn(Task<void> t);
+};
+}  // namespace sim
+
+struct Widget {
+  sim::Task<int> tick();
+};
+
+sim::Task<void> user_loop(Widget& w) {
+  co_await w.tick();
+}
+
+sim::Task<void> owning_loop(std::shared_ptr<Widget> w) {
+  co_await w->tick();
+}
+
+struct Driver {
+  Widget widget_;
+  sim::Simulation* sim_;
+
+  void go() {
+    // Member state outlives coroutines the owner spawns.
+    sim_->spawn(user_loop(widget_));
+    // By-value ownership transfer is the sanctioned alternative.
+    sim_->spawn(owning_loop(std::make_shared<Widget>()));
+    // Init-captures copy into the closure: safe even for coroutines.
+    int count = 0;
+    auto lam = [count, w = &widget_]() -> sim::Task<int> {
+      co_await w->tick();
+      co_return count;
+    };
+    (void)lam;
+    // By-ref captures in a plain (non-coroutine) lambda are fine.
+    auto plain = [&count]() { return count + 1; };
+    (void)plain;
+  }
+};
+
+void reference_local(sim::Simulation& sim, Driver& d) {
+  // A reference-typed local is just a name for something that outlives us.
+  Widget& w = d.widget_;
+  sim.spawn(user_loop(w));
+}

@@ -1,0 +1,44 @@
+// Positive fixture: coroutine lifetime hazards. A lambda's captures live in
+// the closure object, not the coroutine frame; references into spawned
+// coroutines must outlive the coroutine. Lines pinned by the .expected file.
+#include <string>
+
+namespace sim {
+template <typename T>
+struct Task {};
+struct Simulation {
+  void spawn(Task<void> t);
+};
+}  // namespace sim
+
+struct Widget {
+  sim::Task<int> tick();
+};
+
+Widget make_widget() { return Widget{}; }
+
+sim::Task<void> user_loop(Widget& w) {
+  co_await w.tick();
+}
+
+void hazards(sim::Simulation& sim) {
+  Widget local;
+  int count = 0;
+  sim.spawn(user_loop(local));          // line 27: local dies before coroutine
+  sim.spawn(user_loop(make_widget()));  // line 28: temporary dies at the `;`
+  auto lam = [&count]() -> sim::Task<int> {  // line 29: by-ref capture
+    co_return count;
+  };
+  (void)lam;
+}
+
+struct Driver {
+  sim::Simulation* sim_;
+  int calls_ = 0;
+  void go() {
+    auto lam = [this]() -> sim::Task<int> {  // line 39: `this` may dangle
+      co_return calls_;
+    };
+    (void)lam;
+  }
+};

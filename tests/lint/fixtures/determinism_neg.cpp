@@ -1,0 +1,34 @@
+// Negative fixture: deterministic idioms and near-miss spellings that the
+// determinism family must NOT flag. Expected diagnostics: none.
+#include <cstdint>
+
+namespace sim {
+struct Rng {
+  std::uint64_t next_u64();
+  double uniform();
+  Rng fork();
+};
+struct Simulation {
+  double now() const;
+};
+}  // namespace sim
+
+struct Sampler {
+  // A member named like a banned function is fine when called through an
+  // object or scope: only unqualified call position is banned.
+  double time(int idx) const;
+  double rand() const;
+};
+
+double fine(sim::Simulation& s, sim::Rng& rng, Sampler& smp) {
+  double t = s.now();                    // sim time: the sanctioned source
+  double u = rng.uniform();              // seeded stream: sanctioned
+  double v = smp.time(3) + smp.rand();   // qualified member calls
+  double w = Sampler{}.rand();
+  // Words containing banned names are not banned names.
+  int randomized_total = 0;
+  double time_series = t + u;
+  const char* label = "rand() and time() inside a string literal";
+  (void)label;
+  return v + w + time_series + randomized_total;
+}

@@ -1,0 +1,34 @@
+// Positive fixture: every banned wall-clock / ambient-PRNG spelling the
+// determinism family must catch. Lines are pinned by the .expected file.
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+double wall_seconds() {
+  auto t = std::chrono::system_clock::now();            // line 9
+  auto u = std::chrono::steady_clock::now();            // line 10
+  auto v = std::chrono::high_resolution_clock::now();   // line 11
+  (void)t;
+  (void)u;
+  (void)v;
+  return 0.0;
+}
+
+int ambient_randomness() {
+  std::random_device rd;         // line 19
+  std::srand(42);                // line 20
+  int a = std::rand();           // line 21
+  int b = rand();                // line 22
+  srand(7);                      // line 23
+  double c = drand48();          // line 24
+  return a + b + static_cast<int>(c) + static_cast<int>(rd());
+}
+
+long wall_clock_calls() {
+  long t = time(nullptr);        // line 29
+  t += std::time(nullptr);       // line 30
+  struct timeval tv;
+  gettimeofday(&tv, nullptr);    // line 32
+  return t;
+}

@@ -1,0 +1,30 @@
+// Negative fixture: identical patterns to hotpath_pos.cpp but WITHOUT the
+// hot-path tag — the hotpath family is opt-in per file, so none of these
+// may be flagged. Expected diagnostics: none.
+#include <functional>
+#include <string>
+#include <vector>
+
+struct Entry {
+  double time;
+  std::string payload;
+};
+
+struct Queue {
+  std::function<void()> callback_;
+  std::vector<Entry> entries_;
+  std::vector<std::string> names_;
+
+  void push(Entry e) { entries_.push_back(e); }
+
+  double drain() {
+    double total = 0.0;
+    for (auto e : entries_) {
+      total += e.time;
+    }
+    for (auto name : names_) {
+      total += static_cast<double>(name.size());
+    }
+    return total;
+  }
+};

@@ -1,0 +1,30 @@
+// gridmon-lint: hot-path — fixture file opted into per-event cost checks.
+// Positive fixture: allocation/copy patterns that are fine in cold code but
+// not in per-event code. Lines pinned by the .expected file.
+#include <functional>
+#include <string>
+#include <vector>
+
+struct Entry {
+  double time;
+  std::string payload;
+};
+
+struct Queue {
+  std::function<void()> callback_;         // line 14: type-erased, allocates
+  std::vector<Entry> entries_;
+  std::vector<std::string> names_;
+
+  void push(Entry e) { entries_.push_back(e); }  // line 18: copy per call
+
+  double drain() {
+    double total = 0.0;
+    for (auto e : entries_) {              // line 22: copies Entry per step
+      total += e.time;
+    }
+    for (auto name : names_) {             // line 25: copies string per step
+      total += static_cast<double>(name.size());
+    }
+    return total;
+  }
+};

@@ -1,0 +1,46 @@
+// Negative fixture: ordered containers, sorted equal_range results, and a
+// justified escape hatch. Expected diagnostics: none.
+#include <algorithm>
+#include <map>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+struct Registry {
+  std::map<std::string, int> ordered_;
+  std::set<int> ids_;
+  std::unordered_map<std::string, int> cache_;
+  std::unordered_multimap<int, int> index_;
+
+  int sum() const {
+    int total = 0;
+    for (const auto& kv : ordered_) {  // std::map iterates in key order
+      total += kv.second;
+    }
+    for (int id : ids_) {
+      total += id;
+    }
+    return total;
+  }
+
+  int commutative() const {
+    int total = 0;
+    // gridmon-lint: iteration-order-independent -- integer addition is
+    // commutative; only the total is observable.
+    for (const auto& kv : cache_) {
+      total += kv.second;
+    }
+    return total;
+  }
+
+  std::vector<int> lookup(int key) const {
+    std::vector<int> out;
+    auto [lo, hi] = index_.equal_range(key);
+    for (auto it = lo; it != hi; ++it) {
+      out.push_back(it->second);
+    }
+    std::sort(out.begin(), out.end());  // order restored before it escapes
+    return out;
+  }
+};

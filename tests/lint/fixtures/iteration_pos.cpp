@@ -1,0 +1,40 @@
+// Positive fixture: hash-order iteration that can leak bucket order into
+// simulator output. Lines are pinned by the .expected file.
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+struct Registry {
+  std::unordered_map<std::string, int> load_;
+  std::unordered_set<int> hosts_;
+  std::unordered_multimap<int, int> index_;
+
+  int sum() const {
+    int total = 0;
+    for (const auto& kv : load_) {   // line 15
+      total += kv.second;
+    }
+    for (int h : hosts_) {           // line 18
+      total += h;
+    }
+    return total;
+  }
+
+  int walk() const {
+    int total = 0;
+    for (auto it = load_.begin(); it != load_.end(); ++it) {  // line 26
+      total += it->second;
+    }
+    return total;
+  }
+
+  std::vector<int> lookup(int key) const {
+    std::vector<int> out;
+    auto [lo, hi] = index_.equal_range(key);  // line 34: result order unsorted
+    for (auto it = lo; it != hi; ++it) {
+      out.push_back(it->second);
+    }
+    return out;
+  }
+};

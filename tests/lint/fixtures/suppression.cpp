@@ -1,0 +1,24 @@
+// Suppression-machinery fixture: a justified suppression silences its
+// diagnostic; a bare one silences nothing AND is itself flagged; one that
+// matches nothing is flagged as unused. Lines pinned by the .expected file.
+#include <cstdlib>
+
+int justified() {
+  // gridmon-lint: suppress(determinism.ambient-rng) -- fixture: proves the
+  // escape hatch silences exactly the diagnostic it names.
+  return rand();  // silenced by the justified suppression above
+}
+
+int bare() {
+  return rand();  // gridmon-lint: suppress(determinism.ambient-rng)
+}
+
+// gridmon-lint: suppress(determinism.wall-clock) -- the next line reads no
+// clock, so this suppression silences nothing and must be flagged.
+int unused_target = 3;
+
+int wrong_prefix() {
+  // gridmon-lint: suppress(iteration) -- names the wrong family, so the
+  // rand() below must still be reported (and this hatch counts as unused).
+  return rand();  // line 23
+}

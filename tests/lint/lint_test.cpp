@@ -1,0 +1,218 @@
+/// Fixture self-tests for gridmon_lint. Each fixture under
+/// tests/lint/fixtures/ is paired with a `<fixture>.expected` file listing
+/// `line:check-id` per expected diagnostic (empty file = must be clean);
+/// the tests fail with a readable diff when the analyzer drifts. A final
+/// test runs the analyzer over the real src/gridmon tree and asserts the
+/// zero-findings baseline the CI gate enforces.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lint.hpp"
+
+namespace fs = std::filesystem;
+using gridmon::lint::Diagnostic;
+using gridmon::lint::Options;
+
+namespace {
+
+std::string read_file(const fs::path& p) {
+  std::ifstream in(p, std::ios::binary);
+  EXPECT_TRUE(in) << "cannot read " << p;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+/// "line:check-id" pairs, sorted — column numbers are deliberately not part
+/// of the contract so fixtures stay editable.
+using Expectation = std::pair<int, std::string>;
+
+std::vector<Expectation> parse_expected(const fs::path& p) {
+  std::vector<Expectation> out;
+  std::istringstream in(read_file(p));
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    auto colon = line.find(':');
+    if (colon == std::string::npos) {
+      ADD_FAILURE() << p << ": bad line '" << line << "'";
+      continue;
+    }
+    out.emplace_back(std::stoi(line.substr(0, colon)), line.substr(colon + 1));
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<Expectation> actual_pairs(const std::vector<Diagnostic>& diags) {
+  std::vector<Expectation> out;
+  for (const Diagnostic& d : diags) out.emplace_back(d.line, d.check);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::string render(const std::vector<Expectation>& v) {
+  std::ostringstream ss;
+  for (const auto& [line, check] : v) ss << "  " << line << ":" << check << "\n";
+  return ss.str().empty() ? "  (none)\n" : ss.str();
+}
+
+fs::path fixture_dir() { return fs::path(GRIDMON_LINT_FIXTURE_DIR); }
+
+void run_fixture(const std::string& name) {
+  fs::path src = fixture_dir() / name;
+  fs::path exp = fixture_dir() / (name + ".expected");
+  ASSERT_TRUE(fs::exists(src)) << src;
+  ASSERT_TRUE(fs::exists(exp)) << exp;
+  SCOPED_TRACE(exp.string());
+  std::vector<Expectation> expected = parse_expected(exp);
+  auto actual =
+      actual_pairs(gridmon::lint::analyze_file(src.string(), Options{}));
+  EXPECT_EQ(actual, expected) << "fixture " << name << "\nexpected:\n"
+                              << render(expected) << "actual:\n"
+                              << render(actual);
+}
+
+}  // namespace
+
+TEST(LintFixtures, DeterminismPositive) { run_fixture("determinism_pos.cpp"); }
+TEST(LintFixtures, DeterminismNegative) { run_fixture("determinism_neg.cpp"); }
+TEST(LintFixtures, IterationPositive) { run_fixture("iteration_pos.cpp"); }
+TEST(LintFixtures, IterationNegative) { run_fixture("iteration_neg.cpp"); }
+TEST(LintFixtures, CoroutinePositive) { run_fixture("coroutine_pos.cpp"); }
+TEST(LintFixtures, CoroutineNegative) { run_fixture("coroutine_neg.cpp"); }
+TEST(LintFixtures, HotpathPositive) { run_fixture("hotpath_pos.cpp"); }
+TEST(LintFixtures, HotpathNegative) { run_fixture("hotpath_neg.cpp"); }
+TEST(LintFixtures, Suppression) { run_fixture("suppression.cpp"); }
+
+// Every fixture on disk must be exercised: adding a fixture without a test
+// (or an .expected without a fixture) is itself a failure.
+TEST(LintFixtures, AllFixturesCovered) {
+  const std::vector<std::string> covered = {
+      "determinism_pos.cpp", "determinism_neg.cpp", "iteration_pos.cpp",
+      "iteration_neg.cpp",   "coroutine_pos.cpp",   "coroutine_neg.cpp",
+      "hotpath_pos.cpp",     "hotpath_neg.cpp",     "suppression.cpp"};
+  for (const auto& entry : fs::directory_iterator(fixture_dir())) {
+    fs::path p = entry.path();
+    if (p.extension() != ".cpp") continue;
+    EXPECT_NE(std::find(covered.begin(), covered.end(),
+                        p.filename().string()),
+              covered.end())
+        << "fixture " << p.filename() << " has no test";
+  }
+  for (const std::string& name : covered) {
+    EXPECT_TRUE(fs::exists(fixture_dir() / name)) << name;
+    EXPECT_TRUE(fs::exists(fixture_dir() / (name + ".expected"))) << name;
+  }
+}
+
+// The acceptance gate: seeding a determinism violation into otherwise-clean
+// source must produce a finding (this is what makes the CI lint job fail on
+// a regression).
+TEST(LintGate, SeededViolationIsCaught) {
+  const std::string clean = R"cpp(
+    double now_seconds(const sim::Simulation& s) { return s.now(); }
+  )cpp";
+  EXPECT_TRUE(
+      gridmon::lint::analyze_source("seed.cpp", clean, Options{}).empty());
+
+  const std::string seeded = R"cpp(
+    #include <chrono>
+    double now_seconds() {
+      return std::chrono::duration<double>(
+          std::chrono::steady_clock::now().time_since_epoch()).count();
+    }
+  )cpp";
+  auto diags = gridmon::lint::analyze_source("seed.cpp", seeded, Options{});
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].check, "determinism.wall-clock");
+  EXPECT_FALSE(diags[0].suggestion.empty());
+}
+
+TEST(LintGate, BannedNamesInsideStringsAndCommentsIgnored) {
+  const std::string src = R"cpp(
+    // rand() and std::chrono::system_clock in a comment are fine.
+    const char* kDoc = "call rand() then time(nullptr)";
+    const char* kRaw = R"(std::random_device inside a raw string)";
+  )cpp";
+  EXPECT_TRUE(
+      gridmon::lint::analyze_source("strings.cpp", src, Options{}).empty());
+}
+
+TEST(LintGate, CheckFilterRestrictsFamilies) {
+  const std::string src = R"cpp(
+    #include <cstdlib>
+    #include <chrono>
+    int f() {
+      auto t = std::chrono::system_clock::now();
+      (void)t;
+      return rand();
+    }
+  )cpp";
+  Options only_rng;
+  only_rng.enabled_checks = {"determinism.ambient-rng"};
+  auto diags = gridmon::lint::analyze_source("filter.cpp", src, only_rng);
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].check, "determinism.ambient-rng");
+}
+
+TEST(LintGate, SiblingHeaderDeclarationsParticipate) {
+  const std::string header = R"cpp(
+    #include <unordered_map>
+    struct Registry {
+      std::unordered_map<int, int> load_;
+      int sum() const;
+    };
+  )cpp";
+  const std::string source = R"cpp(
+    int Registry::sum() const {
+      int total = 0;
+      for (const auto& kv : load_) total += kv.second;
+      return total;
+    }
+  )cpp";
+  auto diags =
+      gridmon::lint::analyze_source("registry.cpp", source, Options{}, header);
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].check, "iteration.unordered-range-for");
+}
+
+TEST(LintGate, CompileDbExtractsAbsoluteSortedUniqueFiles) {
+  const std::string db = R"json([
+    {"directory": "/b", "command": "c++ -c z.cpp", "file": "z.cpp"},
+    {"directory": "/a", "command": "c++ -c x.cpp", "file": "x.cpp"},
+    {"directory": "/a", "command": "c++ -c x.cpp", "file": "x.cpp"},
+    {"directory": "/a", "command": "c++ -c /abs/y.cpp", "file": "/abs/y.cpp"}
+  ])json";
+  auto files = gridmon::lint::compile_db_files(db);
+  std::vector<std::string> want = {"/a/x.cpp", "/abs/y.cpp", "/b/z.cpp"};
+  EXPECT_EQ(files, want);
+}
+
+// The zero-baseline contract, enforced in-process so plain `ctest` catches a
+// regression even when nobody runs the `lint` target: every source file in
+// src/gridmon analyzes clean, and every suppression in the tree carries a
+// justification (bare ones would surface as lint.bare-suppression above).
+TEST(LintGate, SrcGridmonIsCleanWithEmptyBaseline) {
+  fs::path root(GRIDMON_LINT_SRC_DIR);
+  ASSERT_TRUE(fs::exists(root)) << root;
+  auto files = gridmon::lint::collect_sources(root.string());
+  ASSERT_GT(files.size(), 50u) << "src/gridmon walk looks wrong";
+  EXPECT_TRUE(std::is_sorted(files.begin(), files.end()));
+  std::size_t findings = 0;
+  for (const std::string& f : files) {
+    for (const Diagnostic& d : gridmon::lint::analyze_file(f, Options{})) {
+      ADD_FAILURE() << d.file << ":" << d.line << ": " << d.message << " ["
+                    << d.check << "]";
+      ++findings;
+    }
+  }
+  EXPECT_EQ(findings, 0u);
+}

@@ -1,0 +1,228 @@
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "checks.hpp"
+#include "lint.hpp"
+#include "model.hpp"
+
+namespace gridmon::lint {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot read " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+bool check_enabled(const std::string& id, const Options& opts) {
+  if (opts.enabled_checks.empty()) return true;
+  return std::any_of(opts.enabled_checks.begin(), opts.enabled_checks.end(),
+                     [&](const std::string& p) { return id.rfind(p, 0) == 0; });
+}
+
+bool prefix_matches(const std::string& prefix, const std::string& id) {
+  return !prefix.empty() && id.rfind(prefix, 0) == 0;
+}
+
+}  // namespace
+
+std::vector<CheckInfo> all_checks() {
+  return {
+      {"determinism.wall-clock",
+       "machine clocks (std::chrono::*_clock, time(), gettimeofday, ...) "
+       "banned; use sim::Simulation::now()"},
+      {"determinism.ambient-rng",
+       "ambient PRNGs (rand, srand, std::random_device, ...) banned; use "
+       "the seeded sim::Rng"},
+      {"iteration.unordered-range-for",
+       "range-for / iterator traversal of unordered containers exposes "
+       "hash-bucket order"},
+      {"iteration.unordered-equal-range",
+       "equal_range on unordered containers needs a deterministic "
+       "post-order (sort) before results can reach output"},
+      {"coroutine.ref-capture",
+       "coroutine lambdas must not capture by reference"},
+      {"coroutine.this-capture",
+       "coroutine lambdas must not capture 'this' (owner may die across a "
+       "suspension)"},
+      {"coroutine.ref-param-detached",
+       "locals/temporaries must not bind to reference parameters of "
+       "detach-spawned coroutines"},
+      {"hotpath.std-function",
+       "std::function construction in hot-path files"},
+      {"hotpath.by-value-param",
+       "by-value heavy parameters (ldap::Entry, rdbms::Row, vectors, ...) "
+       "in hot-path files"},
+      {"hotpath.copy-loop",
+       "copying range-for over heavy element types in hot-path files"},
+      {"lint.bare-suppression",
+       "suppression comments must carry a justification after '--'"},
+      {"lint.unused-suppression",
+       "suppression comments that silence nothing must be removed"},
+  };
+}
+
+std::vector<Diagnostic> analyze_source(const std::string& path,
+                                       const std::string& source,
+                                       const Options& opts,
+                                       const std::string& sibling_header) {
+  LexResult lexed = lex(source);
+  LexResult sibling;
+  if (!sibling_header.empty()) sibling = lex(sibling_header);
+  Model m = build_model(lexed, sibling_header.empty() ? nullptr : &sibling);
+
+  std::vector<Diagnostic> raw;
+  check_determinism(path, m, raw);
+  check_iteration(path, m, raw);
+  check_coroutine(path, m, raw);
+  check_hotpath(path, m, raw);
+
+  std::vector<Diagnostic> out;
+  for (Diagnostic& d : raw) {
+    if (!check_enabled(d.check, opts)) continue;
+    bool suppressed = false;
+    for (const Suppression& s : m.suppressions) {
+      if (s.applies_line != d.line) continue;
+      bool matches = prefix_matches(s.check_prefix, d.check);
+      if (!matches) continue;
+      s.used = true;
+      if (s.justification.empty()) {
+        // An unjustified suppression is itself a violation AND does not
+        // silence anything: the zero-baseline gate requires every escape
+        // hatch to explain itself.
+        continue;
+      }
+      suppressed = true;
+    }
+    if (!suppressed) out.push_back(std::move(d));
+  }
+
+  for (const Suppression& s : m.suppressions) {
+    if (s.justification.empty()) {
+      if (check_enabled("lint.bare-suppression", opts)) {
+        out.push_back({path, s.comment_line, 1, "lint.bare-suppression",
+                       "suppression without a justification; write "
+                       "'// gridmon-lint: suppress(<check>) -- <why>'",
+                       ""});
+      }
+    } else if (!s.used) {
+      if (check_enabled("lint.unused-suppression", opts)) {
+        out.push_back({path, s.comment_line, 1, "lint.unused-suppression",
+                       "suppression matches no diagnostic on its line; "
+                       "remove it so the escape hatch stays meaningful",
+                       ""});
+      }
+    }
+  }
+
+  std::sort(out.begin(), out.end(), [](const Diagnostic& a,
+                                       const Diagnostic& b) {
+    if (a.line != b.line) return a.line < b.line;
+    if (a.col != b.col) return a.col < b.col;
+    return a.check < b.check;
+  });
+  return out;
+}
+
+std::vector<Diagnostic> analyze_file(const std::string& path,
+                                     const Options& opts) {
+  std::string source = read_file(path);
+  std::string sibling;
+  fs::path p(path);
+  if (p.extension() == ".cpp") {
+    fs::path header = p;
+    header.replace_extension(".hpp");
+    std::error_code ec;
+    if (fs::exists(header, ec)) sibling = read_file(header.string());
+  }
+  return analyze_source(path, source, opts, sibling);
+}
+
+std::vector<std::string> collect_sources(const std::string& root) {
+  std::vector<std::string> out;
+  std::error_code ec;
+  for (fs::recursive_directory_iterator it(root, ec), end; it != end;
+       it.increment(ec)) {
+    if (ec) break;
+    if (!it->is_regular_file()) continue;
+    auto ext = it->path().extension();
+    if (ext == ".cpp" || ext == ".hpp" || ext == ".cc" || ext == ".h") {
+      out.push_back(it->path().string());
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<std::string> compile_db_files(const std::string& json) {
+  // compile_commands.json is an array of flat objects; we need only the
+  // "file" (and "directory", to absolutize) string members, so a focused
+  // scanner beats dragging in a JSON library the container may not have.
+  std::vector<std::string> out;
+  std::string cur_dir, cur_file;
+  std::size_t i = 0;
+  auto parse_string = [&]() -> std::string {
+    std::string s;
+    ++i;  // opening quote
+    while (i < json.size() && json[i] != '"') {
+      if (json[i] == '\\' && i + 1 < json.size()) {
+        char c = json[i + 1];
+        s += (c == 'n' ? '\n' : c == 't' ? '\t' : c);
+        i += 2;
+      } else {
+        s += json[i++];
+      }
+    }
+    ++i;  // closing quote
+    return s;
+  };
+  auto flush_entry = [&]() {
+    if (cur_file.empty()) return;
+    std::filesystem::path p(cur_file);
+    if (p.is_relative() && !cur_dir.empty()) p = fs::path(cur_dir) / p;
+    out.push_back(p.lexically_normal().string());
+    cur_dir.clear();
+    cur_file.clear();
+  };
+  while (i < json.size()) {
+    char c = json[i];
+    if (c == '"') {
+      std::string key = parse_string();
+      // Skip whitespace; a ':' means `key` really was a key.
+      while (i < json.size() && std::isspace(static_cast<unsigned char>(
+                                    json[i]))) {
+        ++i;
+      }
+      if (i < json.size() && json[i] == ':') {
+        ++i;
+        while (i < json.size() && std::isspace(static_cast<unsigned char>(
+                                      json[i]))) {
+          ++i;
+        }
+        if (i < json.size() && json[i] == '"') {
+          std::string value = parse_string();
+          if (key == "file") cur_file = value;
+          if (key == "directory") cur_dir = value;
+        }
+      }
+    } else if (c == '}') {
+      flush_entry();
+      ++i;
+    } else {
+      ++i;
+    }
+  }
+  flush_entry();
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+}  // namespace gridmon::lint

@@ -1,0 +1,169 @@
+#include "checks.hpp"
+
+#include <algorithm>
+
+namespace gridmon::lint {
+namespace {
+
+bool is(const Token& t, const char* s) { return t.text == s; }
+
+/// Split a lambda capture list [begin+1, end) into per-capture token
+/// ranges (top-level commas).
+std::vector<std::pair<int, int>> split_captures(const Model& m, int begin,
+                                                int end) {
+  std::vector<std::pair<int, int>> out;
+  int start = begin + 1;
+  for (int i = begin + 1; i <= end; ++i) {
+    if (i < end && (is(m.toks[i], "(") || is(m.toks[i], "[") ||
+                    is(m.toks[i], "{"))) {
+      if (m.match[i] > 0) i = m.match[i];
+      continue;
+    }
+    if (i == end || is(m.toks[i], ",")) {
+      if (i > start) out.emplace_back(start, i);
+      start = i + 1;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+void check_coroutine(const std::string& path, const Model& m,
+                     std::vector<Diagnostic>& out) {
+  const auto& t = m.toks;
+  int n = static_cast<int>(t.size());
+
+  // (a)+(b) Coroutine lambdas: reference captures and `this` captures.
+  // The lambda's captures live in the closure object, but the coroutine
+  // frame outlives the statement that created the closure whenever the
+  // task is stored or spawned — a `&x` capture then dangles as soon as
+  // `x` goes out of scope, and a captured `this` dangles if the owner is
+  // destroyed (e.g. torn down by the fault injector) across a suspension
+  // point. Init-captures ("p = &obj") are the sanctioned fix: they copy,
+  // and the `&` in the initializer documents the lifetime hand-off.
+  for (const Lambda& lam : m.lambdas) {
+    if (!lam.is_coroutine) continue;
+    for (auto [b, e] : split_captures(m, lam.intro_begin, lam.intro_end)) {
+      bool has_init = false;
+      for (int i = b; i < e; ++i) {
+        if (is(t[i], "=")) has_init = true;
+      }
+      if (has_init) continue;  // init-capture: captures by value
+      if (is(t[b], "&")) {
+        std::string what =
+            e - b > 1 ? "'&" + t[b + 1].text + "'" : "default '[&]'";
+        out.push_back(
+            {path, t[b].line, t[b].col, "coroutine.ref-capture",
+             "coroutine lambda captures by reference (" + what +
+                 "); the capture lives in the closure, not the coroutine "
+                 "frame, and dangles once the referent or closure dies "
+                 "across a suspension point",
+             "capture a pointer by value ('x = &x') or pass the object as "
+             "a coroutine parameter"});
+      } else if (e - b == 1 && is(t[b], "this")) {
+        out.push_back(
+            {path, t[b].line, t[b].col, "coroutine.this-capture",
+             "coroutine lambda captures 'this'; if the owner is destroyed "
+             "while the coroutine is suspended (fault injector teardown), "
+             "every later member access is use-after-free",
+             "capture the specific members by value, or guarantee the "
+             "owner outlives the simulation and justify with a "
+             "suppression"});
+      }
+    }
+  }
+
+  // (c) Detached-spawn argument lifetimes: spawn(f(args...)) where f is a
+  // Task-returning coroutine declared in this file and a reference
+  // parameter receives a local or a temporary. The spawned frame outlives
+  // the spawning statement; the referent must too.
+  for (int i = 0; i + 1 < n; ++i) {
+    if (!(t[i].kind == TokKind::Ident && is(t[i], "spawn") &&
+          is(t[i + 1], "(") && m.match[i + 1] > 0)) {
+      continue;
+    }
+    int close = m.match[i + 1];
+    // Argument must be an immediate invocation: ident-chain ( ... )
+    int j = i + 2;
+    std::string callee;
+    while (j < close && (t[j].kind == TokKind::Ident || is(t[j], ".") ||
+                         is(t[j], "->") || is(t[j], "::"))) {
+      if (t[j].kind == TokKind::Ident) callee = t[j].text;
+      ++j;
+    }
+    if (callee.empty() || j >= close || !is(t[j], "(") || m.match[j] < 0 ||
+        m.match[j] + 1 != close) {
+      continue;
+    }
+    auto fit = std::find_if(m.funcs.begin(), m.funcs.end(),
+                            [&](const Func& f) { return f.name == callee; });
+    if (fit == m.funcs.end() || !fit->returns_task) continue;
+    // Walk top-level arguments.
+    int open = j, argc = 0, start = open + 1;
+    for (int k = open + 1; k <= m.match[open]; ++k) {
+      if (k < m.match[open] && (is(t[k], "(") || is(t[k], "[") ||
+                                is(t[k], "{"))) {
+        if (m.match[k] > 0) k = m.match[k];
+        continue;
+      }
+      if (k == m.match[open] || is(t[k], ",")) {
+        if (k > start && argc < static_cast<int>(fit->params.size())) {
+          const Param& p = fit->params[argc];
+          if (p.is_reference) {
+            bool temp = false, local = false;
+            std::string name;
+            if (k - start == 1 && t[start].kind == TokKind::Ident) {
+              name = t[start].text;
+              local = m.is_local_at(name, i);
+            } else if (t[start].kind == TokKind::String ||
+                       t[start].kind == TokKind::Number) {
+              temp = true;  // literal materializes a temporary
+            } else {
+              // A call expression produces a temporary only when the
+              // callee returns by value; accessors returning references
+              // (testbed_.host(name)) are the dominant safe pattern. Flag
+              // only callees declared in this translation unit whose
+              // return type carries no '&' — unknown callees stay silent.
+              std::string last_ident;
+              bool has_call = false;
+              for (int q = start; q < k; ++q) {
+                if (t[q].kind == TokKind::Ident) last_ident = t[q].text;
+                if (is(t[q], "(")) {
+                  has_call = true;
+                  break;
+                }
+              }
+              if (has_call) {
+                for (const Func& g : m.funcs) {
+                  if (g.name == last_ident &&
+                      g.return_text.find('&') == std::string::npos &&
+                      !g.return_text.empty()) {
+                    temp = true;
+                    break;
+                  }
+                }
+              }
+            }
+            if (temp || local) {
+              out.push_back(
+                  {path, t[start].line, t[start].col,
+                   "coroutine.ref-param-detached",
+                   std::string(temp ? "temporary" : "local '" + name + "'") +
+                       " bound to reference parameter '" + p.name +
+                       "' of detach-spawned coroutine '" + callee +
+                       "'; the frame outlives the spawning statement and "
+                       "the reference dangles",
+                   "pass by value, or pass a pointer to an object that "
+                   "provably outlives the simulation"});
+            }
+          }
+        }
+        ++argc;
+        start = k + 1;
+      }
+    }
+  }
+}
+
+}  // namespace gridmon::lint

@@ -1,0 +1,127 @@
+#include "checks.hpp"
+
+#include <cctype>
+
+namespace gridmon::lint {
+namespace {
+
+bool is(const Token& t, const char* s) { return t.text == s; }
+
+/// Types whose copy is a hidden allocation storm on a hot path.
+const char* kHeavy[] = {"Entry", "Row", "ClassAd",  "vector",
+                        "map",   "deque", "TimeSeries"};
+
+bool mentions_heavy(const std::string& type_text) {
+  for (const char* h : kHeavy) {
+    auto at = type_text.find(h);
+    while (at != std::string::npos) {
+      // Whole-token match: "Row" must not fire on "RowCount".
+      bool lb = at == 0 || !(std::isalnum(static_cast<unsigned char>(
+                                 type_text[at - 1])) ||
+                             type_text[at - 1] == '_');
+      auto end = at + std::string(h).size();
+      bool rb = end >= type_text.size() ||
+                !(std::isalnum(static_cast<unsigned char>(type_text[end])) ||
+                  type_text[end] == '_');
+      if (lb && rb) return true;
+      at = type_text.find(h, at + 1);
+    }
+  }
+  return false;
+}
+
+bool heavy_elem(const std::string& elem) {
+  return mentions_heavy(elem) || elem.find("string") != std::string::npos;
+}
+
+void flag_params(const std::string& path, const std::vector<Param>& params,
+                 std::vector<Diagnostic>& out) {
+  for (const Param& p : params) {
+    if (p.is_reference) continue;
+    if (p.type_text.find('*') != std::string::npos) continue;
+    if (!mentions_heavy(p.type_text)) continue;
+    out.push_back(
+        {path, p.line, p.col, "hotpath.by-value-param",
+         "by-value parameter of heavy type '" + p.type_text +
+             "' in a hot-path file: every call copies (allocates)",
+         "take 'const " + p.type_text + "&' (or a view) instead"});
+  }
+}
+
+}  // namespace
+
+void check_hotpath(const std::string& path, const Model& m,
+                   std::vector<Diagnostic>& out) {
+  if (!m.hot_path) return;
+  const auto& t = m.toks;
+  int n = static_cast<int>(t.size());
+
+  // std::function anywhere in a hot file: type-erased callables allocate
+  // on construction and indirect on call; the hot path uses bare
+  // coroutine handles (EventQueue::push_resume) or templated callables.
+  for (int i = 0; i + 2 < n; ++i) {
+    if (t[i].kind == TokKind::Ident && is(t[i], "std") &&
+        is(t[i + 1], "::") && is(t[i + 2], "function")) {
+      out.push_back(
+          {path, t[i].line, t[i].col, "hotpath.std-function",
+           "std::function in a hot-path file: type erasure allocates at "
+           "construction and adds an indirect call per invocation",
+           "store a bare std::coroutine_handle<> (see "
+           "EventQueue::push_resume) or template over the callable"});
+    }
+  }
+
+  // Heavy by-value parameters, in functions and lambdas alike.
+  for (const Func& f : m.funcs) flag_params(path, f.params, out);
+  for (const Lambda& l : m.lambdas) flag_params(path, l.params, out);
+
+  // Copying range-for over a container of heavy elements:
+  // for (auto e : heavy_container) — missing '&'.
+  for (int i = 0; i + 1 < n; ++i) {
+    if (!(t[i].kind == TokKind::Ident && is(t[i], "for") &&
+          is(t[i + 1], "(") && m.match[i + 1] > 0)) {
+      continue;
+    }
+    int close = m.match[i + 1];
+    int colon = -1;
+    for (int j = i + 2; j < close; ++j) {
+      if (is(t[j], "(") || is(t[j], "[") || is(t[j], "{")) {
+        if (m.match[j] > 0) j = m.match[j];
+        continue;
+      }
+      if (is(t[j], ":")) {
+        colon = j;
+        break;
+      }
+      if (is(t[j], ";")) break;
+    }
+    if (colon < 0) continue;
+    bool by_value = true;
+    for (int j = i + 2; j < colon; ++j) {
+      if (is(t[j], "&") || is(t[j], "&&") || is(t[j], "*")) by_value = false;
+    }
+    if (!by_value) continue;
+    // Resolve the range base and its element type.
+    std::string base;
+    for (int j = colon + 1; j < close; ++j) {
+      if (t[j].kind == TokKind::Ident) {
+        base = t[j].text;
+      } else if (!is(t[j], ".") && !is(t[j], "->") && !is(t[j], "this")) {
+        base.clear();
+        break;
+      }
+    }
+    auto it = base.empty() ? m.container_elem.end()
+                           : m.container_elem.find(base);
+    if (it != m.container_elem.end() && heavy_elem(it->second)) {
+      out.push_back(
+          {path, t[i].line, t[i].col, "hotpath.copy-loop",
+           "range-for copies each element of '" + base + "' (element type " +
+               it->second + "); on a hot path that is an allocation per "
+               "iteration",
+           "bind by 'const auto&' (or 'auto&' when mutating)"});
+    }
+  }
+}
+
+}  // namespace gridmon::lint

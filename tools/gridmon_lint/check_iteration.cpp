@@ -1,0 +1,107 @@
+#include "checks.hpp"
+
+namespace gridmon::lint {
+namespace {
+
+bool is(const Token& t, const char* s) { return t.text == s; }
+
+/// Resolve the base variable of a member-chain expression covering tokens
+/// [begin, end): "m", "obj.map_", "this->index_". Returns empty when the
+/// expression is anything more complex (a call, arithmetic, ...) — the
+/// model then treats it as unresolvable and stays silent.
+std::string chain_base(const std::vector<Token>& t, int begin, int end) {
+  std::string last;
+  for (int i = begin; i < end; ++i) {
+    if (t[i].kind == TokKind::Ident || is(t[i], "this")) {
+      last = t[i].text;
+    } else if (is(t[i], ".") || is(t[i], "->")) {
+      continue;
+    } else {
+      return {};
+    }
+  }
+  return last;
+}
+
+}  // namespace
+
+void check_iteration(const std::string& path, const Model& m,
+                     std::vector<Diagnostic>& out) {
+  const auto& t = m.toks;
+  int n = static_cast<int>(t.size());
+  if (m.unordered_vars.empty()) return;
+
+  for (int i = 0; i < n; ++i) {
+    // Range-for: for ( decl : expr )
+    if (t[i].kind == TokKind::Ident && is(t[i], "for") && i + 1 < n &&
+        is(t[i + 1], "(") && m.match[i + 1] > 0) {
+      int close = m.match[i + 1];
+      int colon = -1;
+      for (int j = i + 2; j < close; ++j) {
+        if (is(t[j], "(") || is(t[j], "[") || is(t[j], "{")) {
+          if (m.match[j] > 0) j = m.match[j];
+          continue;
+        }
+        if (is(t[j], ":")) {
+          colon = j;
+          break;
+        }
+        if (is(t[j], ";")) break;  // classic for loop
+      }
+      if (colon < 0) continue;
+      std::string base = chain_base(t, colon + 1, close);
+      if (!base.empty() && m.unordered_vars.count(base)) {
+        out.push_back(
+            {path, t[i].line, t[i].col, "iteration.unordered-range-for",
+             "range-for over unordered container '" + base +
+                 "' iterates in hash-bucket order, which is "
+                 "implementation-defined and must not reach scheduling or "
+                 "output",
+             "iterate a sorted copy of the keys, keep a parallel ordered "
+             "index, or justify with // gridmon-lint: "
+             "iteration-order-independent -- <why>"});
+      }
+      continue;
+    }
+    // Iterator loop / explicit traversal: unordered.begin() etc.
+    if (t[i].kind == TokKind::Ident && m.unordered_vars.count(t[i].text) &&
+        i + 3 < n && (is(t[i + 1], ".") || is(t[i + 1], "->"))) {
+      const std::string& member = t[i + 2].text;
+      if ((member == "begin" || member == "cbegin") && is(t[i + 3], "(")) {
+        out.push_back(
+            {path, t[i].line, t[i].col, "iteration.unordered-range-for",
+             "iterator traversal of unordered container '" + t[i].text +
+                 "' walks hash buckets in implementation-defined order",
+             "iterate a sorted copy, or justify with // gridmon-lint: "
+             "iteration-order-independent -- <why>"});
+      }
+      if (member == "equal_range" && is(t[i + 3], "(")) {
+        // equal_range on an unordered container yields matches in bucket
+        // order. Deterministic only if the caller re-establishes an order;
+        // accept a sort in the same function body.
+        const Func* f = m.enclosing_func(i);
+        bool sorted_later = false;
+        if (f) {
+          for (int j = i; j < f->body_end; ++j) {
+            if (t[j].kind == TokKind::Ident &&
+                (t[j].text == "sort" || t[j].text == "stable_sort")) {
+              sorted_later = true;
+              break;
+            }
+          }
+        }
+        if (!sorted_later) {
+          out.push_back(
+              {path, t[i].line, t[i].col, "iteration.unordered-equal-range",
+               "equal_range on unordered container '" + t[i].text +
+                   "' yields matches in hash-bucket order; sort the result "
+                   "before it can reach output",
+               "std::sort the collected ids/rows after the equal_range "
+               "walk"});
+        }
+      }
+    }
+  }
+}
+
+}  // namespace gridmon::lint

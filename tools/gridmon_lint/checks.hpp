@@ -1,0 +1,39 @@
+#pragma once
+
+/// \file checks.hpp
+/// The four gridmon check families. Each takes the structural model and
+/// appends raw diagnostics; suppression filtering happens afterwards in
+/// analyze_source so a suppression can silence any family uniformly.
+
+#include <vector>
+
+#include "lint.hpp"
+#include "model.hpp"
+
+namespace gridmon::lint {
+
+/// determinism.*: wall clocks and ambient PRNGs are banned in simulation
+/// code — time must come from sim::Simulation::now(), randomness from the
+/// seeded sim::Rng.
+void check_determinism(const std::string& path, const Model& m,
+                       std::vector<Diagnostic>& out);
+
+/// iteration.*: iterating an unordered container (range-for, .begin()
+/// loops, equal_range scans) exposes hash-bucket order, which is
+/// implementation-defined and must never feed scheduling or output.
+void check_iteration(const std::string& path, const Model& m,
+                     std::vector<Diagnostic>& out);
+
+/// coroutine.*: lifetime traps specific to coroutines — by-reference
+/// lambda captures, `this` captured into a coroutine frame, and locals or
+/// temporaries passed by reference into detach-spawned coroutines.
+void check_coroutine(const std::string& path, const Model& m,
+                     std::vector<Diagnostic>& out);
+
+/// hotpath.*: in files tagged `// gridmon-lint: hot-path`, flag
+/// std::function construction, by-value heavy parameters, and copying
+/// range-for loops over heavy element types.
+void check_hotpath(const std::string& path, const Model& m,
+                   std::vector<Diagnostic>& out);
+
+}  // namespace gridmon::lint

@@ -1,0 +1,77 @@
+#pragma once
+
+/// \file lint.hpp
+/// Public interface of gridmon_lint, the gridmon-specific determinism and
+/// coroutine-safety analyzer. The analyzer is a self-contained C++ frontend
+/// (lexer + lightweight structural analysis) so it runs in any environment
+/// with nothing but the C++ toolchain; when a libclang development setup is
+/// available the same checks could be rehosted on AST matchers, but the
+/// container this repo builds in ships no clang headers, so the token
+/// frontend is the supported implementation (see docs/STATIC_ANALYSIS.md).
+///
+/// Every check exists to defend one contract: **a gridmon run is a pure
+/// function of its seed**. Simulated time comes from sim::Simulation::now(),
+/// randomness from the explicitly seeded sim::Rng, and nothing
+/// implementation-defined (hash-bucket order, wall clocks, ambient PRNGs)
+/// may leak into event scheduling or output.
+
+#include <string>
+#include <vector>
+
+namespace gridmon::lint {
+
+/// One finding. `check` is a dotted id (family.rule), e.g.
+/// "determinism.wall-clock"; `message` is human-readable; `suggestion`
+/// (optional) is a safe replacement hint printed in --fix mode.
+struct Diagnostic {
+  std::string file;
+  int line = 0;
+  int col = 0;
+  std::string check;
+  std::string message;
+  std::string suggestion;
+};
+
+/// Analyzer options (a subset of the CLI surface; see main.cpp).
+struct Options {
+  /// Check-id prefixes to run; empty means all. "determinism" enables the
+  /// whole family, "coroutine.ref-capture" exactly one rule.
+  std::vector<std::string> enabled_checks;
+  /// Emit fix suggestions alongside diagnostics.
+  bool fix_suggestions = false;
+};
+
+/// All check families, for --list-checks and docs.
+struct CheckInfo {
+  const char* id;
+  const char* summary;
+};
+std::vector<CheckInfo> all_checks();
+
+/// Analyze one file (path is used for reporting and hot-path tagging;
+/// `source` is the file contents). Diagnostics already filtered through
+/// inline suppressions; unused or unjustified suppressions are themselves
+/// reported (lint.bare-suppression / lint.unused-suppression).
+///
+/// `sibling_header` may carry the contents of the matching .hpp when
+/// analyzing a .cpp, so declarations (e.g. an unordered_map member) visible
+/// to the implementation file participate in type resolution.
+std::vector<Diagnostic> analyze_source(const std::string& path,
+                                       const std::string& source,
+                                       const Options& opts,
+                                       const std::string& sibling_header = {});
+
+/// Analyze a file on disk (loads the sibling header automatically).
+std::vector<Diagnostic> analyze_file(const std::string& path,
+                                     const Options& opts);
+
+/// Extract the unique source-file list from a compile_commands.json.
+/// Returns file paths (made absolute against each entry's "directory").
+/// Throws std::runtime_error on malformed input.
+std::vector<std::string> compile_db_files(const std::string& json);
+
+/// Recursively collect .hpp/.cpp files under `root`, sorted (deterministic
+/// walk order — the linter practices what it preaches).
+std::vector<std::string> collect_sources(const std::string& root);
+
+}  // namespace gridmon::lint

@@ -1,0 +1,193 @@
+/// \file main.cpp
+/// CLI driver for gridmon_lint. Exit codes: 0 clean, 1 findings, 2 usage
+/// or I/O error. See docs/STATIC_ANALYSIS.md for the rule catalogue.
+
+#include <algorithm>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lint.hpp"
+
+namespace {
+
+using gridmon::lint::Diagnostic;
+using gridmon::lint::Options;
+
+int usage(std::ostream& os, int code) {
+  os << "usage: gridmon_lint [options] [file-or-dir...]\n"
+        "\n"
+        "gridmon-specific determinism & coroutine-safety analyzer.\n"
+        "\n"
+        "  -p, --compile-db <json>   analyze every file listed in a\n"
+        "                            compile_commands.json\n"
+        "  --filter <substr>         keep only paths containing <substr>\n"
+        "                            (repeatable; applies to -p and dirs)\n"
+        "  --checks <a,b,...>        run only checks with these id prefixes\n"
+        "  --fix                     print fix suggestions with findings\n"
+        "  --baseline <file>         allowed findings, one 'path:check' per\n"
+        "                            line; '#' comments ignored. The shipped\n"
+        "                            baseline is empty and must stay empty.\n"
+        "  --write-baseline <file>   write current findings in baseline\n"
+        "                            format and exit 0\n"
+        "  --list-checks             print the rule catalogue\n"
+        "  -q, --quiet               summary only\n"
+        "  -h, --help                this text\n";
+  return code;
+}
+
+std::string base_key(const Diagnostic& d) { return d.file + ":" + d.check; }
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opts;
+  std::vector<std::string> inputs;
+  std::vector<std::string> filters;
+  std::string compile_db, baseline_path, write_baseline;
+  bool quiet = false;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string a = argv[i];
+    auto need_value = [&](const char* flag) -> std::string {
+      if (i + 1 >= argc) {
+        std::cerr << "gridmon_lint: " << flag << " needs a value\n";
+        std::exit(usage(std::cerr, 2));
+      }
+      return argv[++i];
+    };
+    if (a == "-h" || a == "--help") return usage(std::cout, 0);
+    if (a == "--list-checks") {
+      for (const auto& c : gridmon::lint::all_checks()) {
+        std::cout << c.id << "\n    " << c.summary << "\n";
+      }
+      return 0;
+    }
+    if (a == "-p" || a == "--compile-db") {
+      compile_db = need_value("--compile-db");
+    } else if (a == "--filter") {
+      filters.push_back(need_value("--filter"));
+    } else if (a == "--checks") {
+      std::stringstream ss(need_value("--checks"));
+      std::string item;
+      while (std::getline(ss, item, ',')) {
+        if (!item.empty()) opts.enabled_checks.push_back(item);
+      }
+    } else if (a == "--fix") {
+      opts.fix_suggestions = true;
+    } else if (a == "--baseline") {
+      baseline_path = need_value("--baseline");
+    } else if (a == "--write-baseline") {
+      write_baseline = need_value("--write-baseline");
+    } else if (a == "-q" || a == "--quiet") {
+      quiet = true;
+    } else if (!a.empty() && a[0] == '-') {
+      std::cerr << "gridmon_lint: unknown option " << a << "\n";
+      return usage(std::cerr, 2);
+    } else {
+      inputs.push_back(a);
+    }
+  }
+
+  // Resolve the file set: compile db entries + explicit files + dir walks.
+  std::vector<std::string> files;
+  try {
+    if (!compile_db.empty()) {
+      std::ifstream in(compile_db);
+      if (!in) {
+        std::cerr << "gridmon_lint: cannot read " << compile_db << "\n";
+        return 2;
+      }
+      std::ostringstream ss;
+      ss << in.rdbuf();
+      for (auto& f : gridmon::lint::compile_db_files(ss.str())) {
+        files.push_back(std::move(f));
+      }
+    }
+    for (const std::string& in : inputs) {
+      std::error_code ec;
+      if (std::filesystem::is_directory(in, ec)) {
+        for (auto& f : gridmon::lint::collect_sources(in)) {
+          files.push_back(std::move(f));
+        }
+      } else {
+        files.push_back(in);
+      }
+    }
+    std::sort(files.begin(), files.end());
+    files.erase(std::unique(files.begin(), files.end()), files.end());
+  } catch (const std::exception& e) {
+    std::cerr << "gridmon_lint: " << e.what() << "\n";
+    return 2;
+  }
+  if (!filters.empty()) {
+    std::erase_if(files, [&](const std::string& f) {
+      for (const std::string& s : filters) {
+        if (f.find(s) != std::string::npos) return false;
+      }
+      return true;
+    });
+  }
+  if (files.empty()) {
+    std::cerr << "gridmon_lint: no input files\n";
+    return usage(std::cerr, 2);
+  }
+
+  std::set<std::string> allowed;
+  if (!baseline_path.empty()) {
+    std::ifstream in(baseline_path);
+    if (!in) {
+      std::cerr << "gridmon_lint: cannot read baseline " << baseline_path
+                << "\n";
+      return 2;
+    }
+    std::string line;
+    while (std::getline(in, line)) {
+      if (line.empty() || line[0] == '#') continue;
+      allowed.insert(line);
+    }
+  }
+
+  std::vector<Diagnostic> findings;
+  int analyzed = 0;
+  for (const std::string& f : files) {
+    try {
+      auto diags = gridmon::lint::analyze_file(f, opts);
+      ++analyzed;
+      for (Diagnostic& d : diags) {
+        if (allowed.count(base_key(d))) continue;
+        findings.push_back(std::move(d));
+      }
+    } catch (const std::exception& e) {
+      std::cerr << "gridmon_lint: " << e.what() << "\n";
+      return 2;
+    }
+  }
+
+  if (!write_baseline.empty()) {
+    std::ofstream out(write_baseline);
+    out << "# gridmon_lint baseline — keep empty; every entry is a debt.\n";
+    for (const Diagnostic& d : findings) out << base_key(d) << "\n";
+    std::cout << "wrote " << findings.size() << " entries to "
+              << write_baseline << "\n";
+    return 0;
+  }
+
+  if (!quiet) {
+    for (const Diagnostic& d : findings) {
+      std::cout << d.file << ":" << d.line << ":" << d.col << ": error: "
+                << d.message << " [" << d.check << "]\n";
+      if (opts.fix_suggestions && !d.suggestion.empty()) {
+        std::cout << "    fix: " << d.suggestion << "\n";
+      }
+    }
+  }
+  std::cout << "gridmon_lint: " << analyzed << " files, " << findings.size()
+            << " finding" << (findings.size() == 1 ? "" : "s") << "\n";
+  return findings.empty() ? 0 : 1;
+}
