@@ -1,8 +1,18 @@
 /// Extension: fault tolerance of the three monitoring stacks. Sweeps
 /// crash/restart, WAN-partition, and collector-outage windows over each
 /// service under a deadline-bound client workload, and reports the
-/// robustness metrics (availability, error rate, stale-read fraction,
-/// time-to-recovery) next to the paper's throughput/response numbers.
+/// robustness metrics (availability, error rate, stale-read fraction, and
+/// the two recovery clocks) next to the paper's throughput/response
+/// numbers. `recovery` dates the first answered query after the fault
+/// heals; `recovered` dates the service's *state* re-converging — and
+/// what happens between those marks depends on the configured durability
+/// mode. Volatile services (the paper's soft state, the default here)
+/// reopen quickly but answer from an empty directory until producers
+/// re-register on their own beats; with `--durability=wal` or
+/// `--durability=wal+snapshot` the Manager replays its ad store on
+/// restart instead (docs/DURABILITY.md). The mode-by-mode comparison
+/// with fsync sweeps lives in ext_durability; this bench keeps the
+/// cross-service fault grid.
 ///
 /// The headline contrast: TTL-cached services (GRIS with cache, the
 /// R-GMA ProducerServlet's latest-N buffers, the Manager's resident ads)
@@ -11,6 +21,7 @@
 /// fast and surface errors instead.
 
 #include <iostream>
+#include <string>
 #include <vector>
 
 #include "bench_common.hpp"
@@ -22,7 +33,8 @@ using namespace gridmon::core;
 
 namespace {
 
-ScenarioSpec build_spec(const std::string& service) {
+ScenarioSpec build_spec(const std::string& service,
+                        store::DurabilityMode durability) {
   ScenarioSpec spec;
   if (service == "gris-cache" || service == "gris-nocache") {
     spec.service = service == "gris-cache" ? ServiceKind::Gris
@@ -42,6 +54,9 @@ ScenarioSpec build_spec(const std::string& service) {
     spec.collectors = 11;
     spec.manager_ad_lifetime = 240;  // resident ads expire eventually...
     spec.manager_stale_after = 45;   // ...and are flagged well before that
+    // Only the Manager in this grid has durable-state support; the other
+    // services ignore the axis and run the paper's soft state.
+    spec.store.mode = durability;
   }
   spec.query_deadline = 25;
   spec.max_attempts = 5;
@@ -51,7 +66,27 @@ ScenarioSpec build_spec(const std::string& service) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  BenchOptions opt = parse_options(argc, argv);
+  // The durability axis is this bench's own flag: peel it off before the
+  // shared parser (which exits on anything it does not know).
+  store::DurabilityMode durability = store::DurabilityMode::Volatile;
+  std::vector<char*> args;
+  for (int i = 0; i < argc; ++i) {
+    std::string arg = argv[i];
+    const std::string flag = "--durability=";
+    if (arg.rfind(flag, 0) == 0) {
+      auto mode = store::parse_mode(arg.substr(flag.size()));
+      if (!mode) {
+        std::cerr << argv[0] << ": --durability needs volatile | wal | "
+                  << "wal+snapshot\n";
+        return 2;
+      }
+      durability = *mode;
+      continue;
+    }
+    args.push_back(argv[i]);
+  }
+  BenchOptions opt =
+      parse_options(static_cast<int>(args.size()), args.data());
   const std::vector<std::string> services{"gris-cache", "gris-nocache",
                                           "rgma-ps-direct", "agent",
                                           "manager"};
@@ -64,17 +99,20 @@ int main(int argc, char** argv) {
   const int users = opt.users > 0 ? opt.users : 10;
 
   metrics::Table table("Fault tolerance under crash / partition / outage");
-  table.set_columns({"service", "plan", "window (s)", "avail", "err/s",
-                     "stale", "recovery (s)", "tput (q/s)", "resp (s)"});
+  table.set_columns({"service", "durability", "plan", "window (s)", "avail",
+                     "err/s", "stale", "recovery (s)", "recovered (s)",
+                     "tput (q/s)", "resp (s)"});
   std::ofstream csv;
   if (!opt.csv_path.empty()) {
     csv.open(opt.csv_path);
-    csv << "bench,service,plan,window,availability,error_rate,stale_frac,"
-           "recovery,throughput,response\n";
+    csv << "bench,service,durability,plan,window,availability,error_rate,"
+           "stale_frac,recovery,recovery_complete,throughput,response\n";
   }
 
   for (const auto& service : services) {
-    ScenarioSpec spec = build_spec(service);
+    ScenarioSpec spec = build_spec(service, durability);
+    const char* mode_label =
+        service == "manager" ? store::mode_name(durability) : "volatile";
     for (const auto& plan_name : plans) {
       for (double window : windows) {
         TestbedConfig tc;
@@ -107,6 +145,7 @@ int main(int argc, char** argv) {
         mc.warmup = warmup;
         mc.duration = duration;
         mc.recovery_mark = t_heal;
+        mc.recovered_at = [&scenario] { return scenario->recovered_at(); };
         const std::string host = spec.server_host();
         SweepPoint p = measure(tb, w, host, window, mc);
         std::cout << "  [" << service << "/" << plan_name << "] window="
@@ -114,19 +153,23 @@ int main(int argc, char** argv) {
                   << " err/s=" << metrics::Table::num(p.error_rate, 3)
                   << " stale=" << metrics::Table::num(p.stale_frac, 3)
                   << " recovery=" << metrics::Table::num(p.recovery, 1)
+                  << " recovered=" << metrics::Table::num(p.recovery_complete, 1)
                   << "\n";
-        table.add_row({service, plan_name, metrics::Table::num(window, 0),
+        table.add_row({service, mode_label, plan_name,
+                       metrics::Table::num(window, 0),
                        metrics::Table::num(p.availability, 3),
                        metrics::Table::num(p.error_rate, 3),
                        metrics::Table::num(p.stale_frac, 3),
                        metrics::Table::num(p.recovery, 1),
+                       metrics::Table::num(p.recovery_complete, 1),
                        metrics::Table::num(p.throughput),
                        metrics::Table::num(p.response)});
         if (csv.is_open()) {
-          csv << "ext_fault_tolerance," << service << ',' << plan_name << ','
-              << window << ',' << p.availability << ',' << p.error_rate << ','
-              << p.stale_frac << ',' << p.recovery << ',' << p.throughput
-              << ',' << p.response << '\n';
+          csv << "ext_fault_tolerance," << service << ',' << mode_label << ','
+              << plan_name << ',' << window << ',' << p.availability << ','
+              << p.error_rate << ',' << p.stale_frac << ',' << p.recovery
+              << ',' << p.recovery_complete << ',' << p.throughput << ','
+              << p.response << '\n';
         }
       }
     }

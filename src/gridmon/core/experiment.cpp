@@ -1,5 +1,6 @@
 #include "gridmon/core/experiment.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <map>
 #include <ostream>
@@ -39,6 +40,15 @@ SweepPoint measure(Testbed& testbed, UserWorkload& workload,
   if (config.recovery_mark >= 0) {
     double first = workload.first_success_after(config.recovery_mark);
     p.recovery = first >= 0 ? first - config.recovery_mark : -1;
+    if (config.recovered_at) {
+      double rc = config.recovered_at();
+      // Replay can finish inside the fault window (restart happens at the
+      // mark); clamp so "already recovered" reads as 0, not negative.
+      p.recovery_complete =
+          rc >= 0 ? std::max(0.0, rc - config.recovery_mark) : -1;
+    } else {
+      p.recovery_complete = -1;
+    }
   }
   return p;
 }
@@ -61,6 +71,7 @@ SweepPoint replicate(const std::vector<std::uint64_t>& seeds,
     mean.error_rate += p.error_rate;
     mean.stale_frac += p.stale_frac;
     mean.recovery += p.recovery;
+    mean.recovery_complete += p.recovery_complete;
     throughputs.push_back(p.throughput);
   }
   double n = static_cast<double>(seeds.size());
@@ -74,6 +85,7 @@ SweepPoint replicate(const std::vector<std::uint64_t>& seeds,
     mean.error_rate /= n;
     mean.stale_frac /= n;
     mean.recovery /= n;
+    mean.recovery_complete /= n;
   }
   if (throughput_stddev_out != nullptr) {
     double ss = 0;

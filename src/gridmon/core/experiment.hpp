@@ -28,6 +28,14 @@ struct MeasureConfig {
   /// SweepPoint's `recovery` reports the delay from this mark to the
   /// first successful query completion at or after it.
   double recovery_mark = -1;
+  /// Optional probe polled once at the end of the window: the absolute
+  /// sim time the crashed service's *state* re-converged to its pre-crash
+  /// size (Scenario::recovered_at), or -1 if it never did. Feeds the
+  /// SweepPoint's `recovery_complete`. The first-successful-query mark
+  /// above dates service *reachability*; a soft-state service answers
+  /// long before its contents are back, which is exactly the gap the two
+  /// columns expose.
+  std::function<double()> recovered_at;
 };
 
 /// One sweep point of a figure.
@@ -41,7 +49,10 @@ struct SweepPoint {
   double availability = 1;  // completed / (completed + abandoned) queries
   double error_rate = 0;    // timeouts + failures + abandonments per second
   double stale_frac = 0;    // fraction of completions flagged stale
-  double recovery = 0;      // time-to-recovery past recovery_mark (-1: never)
+  double recovery = 0;      // first answered query past recovery_mark (-1:
+                            // never) — service reachability
+  double recovery_complete = 0;  // state re-converged past recovery_mark
+                                 // (-1: never/unknown) — data recovery
 };
 
 /// Run the clock through warmup+duration and collect a SweepPoint for

@@ -122,6 +122,31 @@ void parse_fault_key(ScenarioSpec& spec, const std::string& key,
   }
 }
 
+void parse_store_key(ScenarioSpec& spec, const std::string& key,
+                     const std::string& value) {
+  const int n = 0;
+  if (key == "mode") {
+    auto mode = store::parse_mode(lower(value));
+    if (!mode) {
+      throw ConfigError("unknown durability mode '" + value +
+                        "' (volatile | wal | wal+snapshot)");
+    }
+    spec.store.mode = *mode;
+  } else if (key == "fsync_latency") {
+    spec.store.fsync_latency = parse_double(value, n);
+  } else if (key == "write_bandwidth") {
+    spec.store.write_bandwidth = parse_double(value, n);
+  } else if (key == "group_commit_window") {
+    spec.store.group_commit_window = parse_double(value, n);
+  } else if (key == "snapshot_interval") {
+    spec.store.snapshot_interval = parse_double(value, n);
+  } else if (key == "replay_cpu_per_record") {
+    spec.store.replay_cpu_per_record = parse_double(value, n);
+  } else {
+    throw ConfigError("unknown key '" + key + "' in [store]");
+  }
+}
+
 ServiceKind parse_service(const std::string& value, int line_no) {
   static const std::map<std::string, ServiceKind> kNames = {
       {"gris", ServiceKind::Gris},
@@ -295,6 +320,7 @@ std::unique_ptr<Scenario> make_scenario(Testbed& tb,
       if (spec.manager_stale_after > 0) {
         config.stale_after = spec.manager_stale_after;
       }
+      config.store = spec.store;
       auto s = std::make_unique<ManagerScenario>(tb, spec.collectors, config);
       switch (spec.query) {
         case QueryVariant::Default:
@@ -313,8 +339,10 @@ std::unique_ptr<Scenario> make_scenario(Testbed& tb,
     }
     case ServiceKind::Registry: {
       if (spec.query != QueryVariant::Default) bad_variant(spec);
-      auto s = std::make_unique<RegistryScenario>(tb, spec.servlets,
-                                                  spec.producers_each);
+      rgma::RegistryConfig config;
+      config.store = spec.store;
+      auto s = std::make_unique<RegistryScenario>(
+          tb, spec.servlets, spec.producers_each, std::move(config));
       s->set_query(query_registry(*s->registry, spec.table));
       return s;
     }
@@ -351,8 +379,10 @@ std::unique_ptr<Scenario> make_scenario(Testbed& tb,
       return s;
     }
     case ServiceKind::ManagerAggregate: {
-      auto s = std::make_unique<ManagerAggregationScenario>(tb, spec.machines,
-                                                            spec.collectors);
+      hawkeye::ManagerConfig config;
+      config.store = spec.store;
+      auto s = std::make_unique<ManagerAggregationScenario>(
+          tb, spec.machines, spec.collectors, std::move(config));
       switch (spec.query) {
         case QueryVariant::Default:
         case QueryVariant::ManagerConstraint:
@@ -461,7 +491,8 @@ ScenarioSpec parse_scenario_spec(const std::string& text) {
     throw ConfigError("missing [experiment] section");
   }
   for (const auto& [section, unused] : ini) {
-    if (section != "experiment" && section != "faults") {
+    if (section != "experiment" && section != "faults" &&
+        section != "store") {
       throw ConfigError("unknown section [" + section + "]");
     }
   }
@@ -529,6 +560,19 @@ ScenarioSpec parse_scenario_spec(const std::string& text) {
     for (const auto& [key, value] : faults_it->second) {
       parse_fault_key(spec, key, value);
     }
+  }
+  auto store_it = ini.find("store");
+  if (store_it != ini.end()) {
+    for (const auto& [key, value] : store_it->second) {
+      parse_store_key(spec, key, value);
+    }
+  }
+  if (spec.store.enabled() && spec.service != ServiceKind::Registry &&
+      spec.service != ServiceKind::Manager &&
+      spec.service != ServiceKind::ManagerAggregate) {
+    throw ConfigError("service '" + spec.service_name() +
+                      "' has no durable-state support; [store] mode must "
+                      "be volatile");
   }
   return spec;
 }

@@ -56,6 +56,18 @@
 ///   query_deadline   = 25    ; client gives up a query after this long
 ///   max_attempts     = 5     ; retries before abandoning (0 = forever)
 ///
+/// An optional [store] section turns on durable state for services that
+/// support it (registry, manager, manager-aggregate). Omitting it (or
+/// mode = volatile) reproduces the paper's soft-state behaviour exactly:
+///
+///   [store]
+///   mode = wal+snapshot       ; volatile | wal | wal+snapshot
+///   fsync_latency = 0.008     ; seconds per write barrier
+///   write_bandwidth = 25e6    ; sequential bytes/second
+///   group_commit_window = 0.005   ; batch appends for this long
+///   snapshot_interval = 60    ; seconds between snapshots
+///   replay_cpu_per_record = 5e-5  ; recovery CPU per replayed record
+///
 /// Lines starting with '#' or ';' are comments; inline ';' comments are
 /// stripped. Unknown keys are an error (catches typos).
 
@@ -67,6 +79,7 @@
 #include <vector>
 
 #include "gridmon/fault/plan.hpp"
+#include "gridmon/store/durable.hpp"
 
 namespace gridmon::core {
 
@@ -150,6 +163,10 @@ struct ScenarioSpec {
   /// Manager ad bookkeeping overrides (0 = service default).
   double manager_ad_lifetime = 0;
   double manager_stale_after = 0;
+
+  /// The [store] durability knobs (volatile = the paper's soft state;
+  /// only registry / manager / manager-aggregate honour other modes).
+  store::StoreConfig store;
 
   /// The [faults] schedule (empty = fault-free run, zero overhead).
   fault::FaultPlan faults;

@@ -219,10 +219,12 @@ void ManagerScenario::register_faults(fault::Injector& inj) {
 }
 
 RegistryScenario::RegistryScenario(Testbed& tb, int servlet_count,
-                                   int producers_each)
+                                   int producers_each,
+                                   rgma::RegistryConfig config)
     : Scenario(tb) {
   registry = std::make_unique<rgma::Registry>(tb.network(), tb.host("lucky1"),
-                                              tb.nic("lucky1"));
+                                              tb.nic("lucky1"),
+                                              std::move(config));
   registry->start_sweeper();
   const std::vector<std::string> hosts{"lucky3", "lucky4", "lucky5", "lucky6",
                                        "lucky7"};
@@ -295,12 +297,13 @@ void GiisAggregationScenario::prefill() {
   testbed_.sim().run(testbed_.sim().now() + 120);
 }
 
-ManagerAggregationScenario::ManagerAggregationScenario(Testbed& tb,
-                                                       int machines,
-                                                       int modules_per_machine)
+ManagerAggregationScenario::ManagerAggregationScenario(
+    Testbed& tb, int machines, int modules_per_machine,
+    hawkeye::ManagerConfig config)
     : Scenario(tb) {
   manager = std::make_unique<hawkeye::Manager>(tb.network(), tb.host("lucky3"),
-                                               tb.nic("lucky3"));
+                                               tb.nic("lucky3"),
+                                               std::move(config));
   const std::vector<std::string> hosts{"lucky0", "lucky1", "lucky4",
                                        "lucky5", "lucky6", "lucky7"};
   for (int i = 0; i < machines; ++i) {

@@ -23,6 +23,7 @@
 #include "gridmon/rgma/producer_servlet.hpp"
 #include "gridmon/rgma/registry.hpp"
 #include "gridmon/sim/stats.hpp"
+#include "gridmon/store/log.hpp"
 
 namespace gridmon::core {
 
@@ -59,6 +60,16 @@ class Scenario {
   /// push-only deployments such as the streaming fan-out).
   const TracedQueryFn& query_fn() const noexcept { return query_; }
   void set_query(TracedQueryFn q) { query_ = std::move(q); }
+
+  /// Durability engine of the service under test (null when the service
+  /// runs volatile or has no durable-state support). gridmon_run's
+  /// [store] columns and the durability bench read through this.
+  virtual const store::Log* store_log() const { return nullptr; }
+
+  /// Absolute sim time the crashed service's state re-converged to its
+  /// pre-crash size (-1 until it happens, or when the service does not
+  /// track the notion). Feeds SweepPoint::recovery_complete.
+  virtual double recovered_at() const { return -1; }
 
  protected:
   Testbed& testbed_;
@@ -170,6 +181,10 @@ struct ManagerScenario : Scenario {
   void register_faults(fault::Injector& inj) override;
   /// Let the agents' first ads land (the benches' `run(40.0)`).
   void prefill() override { testbed_.sim().run(40.0); }
+  const store::Log* store_log() const override {
+    return manager->store_log();
+  }
+  double recovered_at() const override { return manager->recovered_at(); }
   std::unique_ptr<hawkeye::Manager> manager;
   std::vector<std::unique_ptr<hawkeye::Agent>> agents;
 };
@@ -180,11 +195,16 @@ struct RegistryScenario : Scenario {
   ~RegistryScenario() override { testbed_.sim().shutdown(); }
 
   explicit RegistryScenario(Testbed& tb, int servlets = 5,
-                            int producers_each = 10);
+                            int producers_each = 10,
+                            rgma::RegistryConfig config = {});
   void instrument(trace::Collector& col) override;
   void register_faults(fault::Injector& inj) override;
   /// Let the servlet registrations land (the benches' `run(10.0)`).
   void prefill() override { testbed_.sim().run(10.0); }
+  const store::Log* store_log() const override {
+    return registry->store_log();
+  }
+  double recovered_at() const override { return registry->recovered_at(); }
   std::unique_ptr<rgma::Registry> registry;
   std::vector<std::unique_ptr<rgma::ProducerServlet>> servlets;
 };
@@ -230,7 +250,8 @@ struct ManagerAggregationScenario : Scenario {
   ~ManagerAggregationScenario() override { testbed_.sim().shutdown(); }
 
   ManagerAggregationScenario(Testbed& tb, int machines,
-                             int modules_per_machine = 11);
+                             int modules_per_machine = 11,
+                             hawkeye::ManagerConfig config = {});
   void instrument(trace::Collector& col) override {
     manager->instrument(col);
   }
@@ -238,6 +259,10 @@ struct ManagerAggregationScenario : Scenario {
     inj.add_service("server", *manager);
     inj.add_service("manager", *manager);
   }
+  const store::Log* store_log() const override {
+    return manager->store_log();
+  }
+  double recovered_at() const override { return manager->recovered_at(); }
   std::unique_ptr<hawkeye::Manager> manager;
   std::vector<std::unique_ptr<hawkeye::Advertiser>> advertisers;
 

@@ -3,6 +3,13 @@
 #include "gridmon/classad/parser.hpp"
 
 namespace gridmon::hawkeye {
+namespace {
+
+// WAL record op tags for the resident ad database.
+constexpr std::uint8_t kOpPut = 1;    // machine, received_at, ad text
+constexpr std::uint8_t kOpErase = 2;  // machine
+
+}  // namespace
 
 Manager::Manager(net::Network& net, host::Host& host, net::Interface& nic,
                  ManagerConfig config)
@@ -11,7 +18,83 @@ Manager::Manager(net::Network& net, host::Host& host, net::Interface& nic,
       nic_(nic),
       config_(config),
       thread_(host.simulation(), config.threads),
-      port_(host.simulation(), config.backlog) {}
+      port_(host.simulation(), config.backlog) {
+  if (config_.store.enabled()) {
+    // The private-base conversion must happen here, inside the class.
+    store::Durable& self = *this;
+    log_ = std::make_unique<store::Log>(host, self, config_.store);
+    log_->start();
+  }
+}
+
+void Manager::crash(bool blackhole) {
+  port_.crash(blackhole);
+  if (log_) log_->crash();
+  ads_at_crash_ = ads_.size();
+  awaiting_recovery_ = true;
+  recovered_at_ = -1;
+  // The resident database dies with the daemon; the store's crash() above
+  // already closed the log, so clearing journals nothing.
+  ads_.clear();
+}
+
+void Manager::restart() {
+  if (log_) {
+    host_.simulation().spawn(recover_then_restart());
+    return;
+  }
+  port_.restart();
+  note_recovery_progress();
+}
+
+sim::Task<void> Manager::recover_then_restart() {
+  co_await log_->recover();
+  port_.restart();
+  note_recovery_progress();
+}
+
+void Manager::note_recovery_progress() {
+  if (awaiting_recovery_ && ads_.size() >= ads_at_crash_) {
+    recovered_at_ = host_.simulation().now();
+    awaiting_recovery_ = false;
+  }
+}
+
+void Manager::write_snapshot(store::Encoder& out) const {
+  out.u64(static_cast<std::uint64_t>(ads_.size()));
+  for (const auto& [name, e] : ads_) {  // std::map: deterministic order
+    out.str(name);
+    out.f64(e.received_at);
+    out.str(e.ad.to_string());
+  }
+}
+
+void Manager::load_snapshot(store::Decoder& in) {
+  std::uint64_t n = 0;
+  if (!in.u64(n)) return;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    std::string name;
+    double at = 0;
+    std::string text;
+    if (!in.str(name) || !in.f64(at) || !in.str(text)) return;
+    ads_[name] = AdEntry{classad::ClassAd::parse(text), at};
+  }
+}
+
+void Manager::apply_record(store::Decoder& in) {
+  std::uint8_t op = 0;
+  if (!in.u8(op)) return;
+  if (op == kOpPut) {
+    std::string name;
+    double at = 0;
+    std::string text;
+    if (!in.str(name) || !in.f64(at) || !in.str(text)) return;
+    ads_[name] = AdEntry{classad::ClassAd::parse(text), at};
+  } else if (op == kOpErase) {
+    std::string name;
+    if (in.str(name)) ads_.erase(name);
+  }
+}
 
 const classad::ClassAd* Manager::find_machine(const std::string& name) const {
   auto it = ads_.find(name);
@@ -29,6 +112,12 @@ bool Manager::expire_and_check_stale() {
   if (config_.ad_lifetime > 0) {
     for (auto it = ads_.begin(); it != ads_.end();) {
       if (now - it->second.received_at > config_.ad_lifetime) {
+        if (log_) {
+          store::Encoder rec;
+          rec.u8(kOpErase);
+          rec.str(it->first);
+          log_->append(rec.take());  // flushed by the group-commit window
+        }
         it = ads_.erase(it);
       } else {
         ++it;
@@ -68,7 +157,20 @@ sim::Task<bool> Manager::advertise(net::Interface& from, classad::ClassAd ad,
       if (trig.action) trig.action(trig.name, machine);
     }
   }
+  if (log_) {
+    store::Encoder rec;
+    rec.u8(kOpPut);
+    rec.str(machine);
+    rec.f64(now);
+    rec.str(ad.to_string());
+    log_->append(rec.take());
+  }
   ads_[machine] = AdEntry{std::move(ad), now};
+  // Durable modes hold the (UDP-ish) ingest until the ad is on the
+  // platter — the single daemon thread is pinned for the fsync, which is
+  // exactly the overhead the durability benchmark measures.
+  if (log_) co_await log_->commit();
+  note_recovery_progress();
   co_return true;
 }
 

@@ -23,6 +23,8 @@
 #include "gridmon/net/server_port.hpp"
 #include "gridmon/sim/resource.hpp"
 #include "gridmon/sim/task.hpp"
+#include "gridmon/store/durable.hpp"
+#include "gridmon/store/log.hpp"
 
 namespace gridmon::hawkeye {
 
@@ -65,9 +67,13 @@ struct ManagerConfig {
   /// stale (the pool stopped advertising — e.g. every agent crashed).
   /// 0 disables the check.
   double stale_after = 0;
+  /// Durability of the resident ad database. Volatile reproduces the
+  /// paper (Condor's in-memory Collector store); wal / wal+snapshot
+  /// persist every ad mutation and replay them on restart.
+  store::StoreConfig store;
 };
 
-class Manager {
+class Manager : private store::Durable {
  public:
   using TriggerAction =
       std::function<void(const std::string& trigger_name,
@@ -138,15 +144,21 @@ class Manager {
   std::uint64_t ads_dropped() const noexcept { return ads_dropped_; }
   std::uint64_t trigger_firings() const noexcept { return trigger_firings_; }
 
+  /// Durability engine behind the ad database (null when volatile).
+  const store::Log* store_log() const noexcept { return log_.get(); }
+  /// Absolute sim time when the ad database re-converged to its pre-crash
+  /// machine count after the most recent crash (-1 until it happens).
+  /// Durable modes get there via replay; volatile waits for the agents'
+  /// advertise beats to refill the pool.
+  double recovered_at() const noexcept { return recovered_at_; }
+
   // ---- fault injection ----
   /// Crash the Manager daemon (blackhole: the head node is gone). The
-  /// resident ad database is volatile: restart comes back empty and
-  /// re-learns the pool from the agents' next advertise beats.
-  void crash(bool blackhole = false) {
-    port_.crash(blackhole);
-    ads_.clear();
-  }
-  void restart() { port_.restart(); }
+  /// in-memory resident ad database dies with the process; the
+  /// StableImage in the store (if durability is on) survives for
+  /// restart() to replay.
+  void crash(bool blackhole = false);
+  void restart();
   bool process_up() const noexcept { return port_.up(); }
 
  private:
@@ -166,6 +178,15 @@ class Manager {
   /// whether what remains is uniformly older than stale_after.
   bool expire_and_check_stale();
 
+  // store::Durable — the Manager is its own snapshot/replay client (the
+  // ad map serializes directly, no table indirection needed).
+  void write_snapshot(store::Encoder& out) const override;
+  void load_snapshot(store::Decoder& in) override;
+  void apply_record(store::Decoder& in) override;
+
+  sim::Task<void> recover_then_restart();
+  void note_recovery_progress();
+
   net::Network& net_;
   host::Host& host_;
   net::Interface& nic_;
@@ -182,6 +203,11 @@ class Manager {
   std::uint64_t ads_dropped_ = 0;
   std::uint64_t trigger_firings_ = 0;
   std::uint64_t emails_sent_ = 0;
+
+  std::unique_ptr<store::Log> log_;
+  std::size_t ads_at_crash_ = 0;
+  bool awaiting_recovery_ = false;
+  double recovered_at_ = -1;
 };
 
 }  // namespace gridmon::hawkeye

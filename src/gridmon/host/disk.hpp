@@ -1,0 +1,80 @@
+#pragma once
+
+/// \file disk.hpp
+/// A simulated local disk: one request at a time (a single IDE spindle on
+/// the year-2002 Lucky nodes), sequential-transfer bandwidth for reads and
+/// writes, and a fixed barrier latency per fsync (seek + rotational wait +
+/// on-platter cache flush). The durability subsystem (src/gridmon/store)
+/// drives every WAL and snapshot byte through here so persistence costs
+/// flow through the same cost model as CPU and network time.
+
+#include <cstdint>
+
+#include "gridmon/sim/resource.hpp"
+#include "gridmon/sim/simulation.hpp"
+#include "gridmon/sim/task.hpp"
+
+namespace gridmon::host {
+
+struct DiskSpec {
+  /// Sequential write bandwidth, bytes/second (~25 MB/s IDE of the era).
+  double write_bandwidth = 25e6;
+  /// Sequential read bandwidth, bytes/second (reads stream a bit faster).
+  double read_bandwidth = 30e6;
+  /// One write barrier: seek + rotational latency + cache flush.
+  double fsync_latency = 0.008;
+};
+
+/// FIFO-serialized disk. All three operations queue on a single slot, so
+/// a long snapshot write delays the WAL flush behind it, exactly like a
+/// shared spindle would.
+class Disk {
+ public:
+  Disk(sim::Simulation& sim, DiskSpec spec = {})
+      : sim_(sim), spec_(spec), spindle_(sim, 1) {}
+  Disk(const Disk&) = delete;
+  Disk& operator=(const Disk&) = delete;
+
+  const DiskSpec& spec() const noexcept { return spec_; }
+  /// Retune the disk (the [store] fsync/bandwidth knobs land here).
+  void set_spec(const DiskSpec& spec) noexcept { spec_ = spec; }
+
+  /// Append `bytes` sequentially. Time = bytes / write_bandwidth.
+  sim::Task<void> write(double bytes) {
+    auto lease = co_await spindle_.acquire();
+    if (bytes > 0 && spec_.write_bandwidth > 0) {
+      co_await sim_.delay(bytes / spec_.write_bandwidth);
+    }
+    bytes_written_ += bytes > 0 ? bytes : 0;
+  }
+
+  /// Stream `bytes` back in. Time = bytes / read_bandwidth.
+  sim::Task<void> read(double bytes) {
+    auto lease = co_await spindle_.acquire();
+    if (bytes > 0 && spec_.read_bandwidth > 0) {
+      co_await sim_.delay(bytes / spec_.read_bandwidth);
+    }
+    bytes_read_ += bytes > 0 ? bytes : 0;
+  }
+
+  /// Write barrier: everything written before this is durable after it.
+  sim::Task<void> fsync() {
+    auto lease = co_await spindle_.acquire();
+    if (spec_.fsync_latency > 0) co_await sim_.delay(spec_.fsync_latency);
+    ++fsyncs_;
+  }
+
+  double bytes_written() const noexcept { return bytes_written_; }
+  double bytes_read() const noexcept { return bytes_read_; }
+  std::uint64_t fsyncs() const noexcept { return fsyncs_; }
+
+ private:
+  sim::Simulation& sim_;
+  DiskSpec spec_;
+  sim::Resource spindle_;
+  double bytes_written_ = 0;
+  double bytes_read_ = 0;
+  std::uint64_t fsyncs_ = 0;
+};
+
+}  // namespace gridmon::host

@@ -9,6 +9,7 @@
 #include <string>
 
 #include "gridmon/host/cpu.hpp"
+#include "gridmon/host/disk.hpp"
 #include "gridmon/metrics/load_average.hpp"
 #include "gridmon/metrics/sampler.hpp"
 #include "gridmon/sim/simulation.hpp"
@@ -28,7 +29,7 @@ class Host {
  public:
   Host(sim::Simulation& sim, HostSpec spec)
       : sim_(sim), spec_(std::move(spec)),
-        cpu_(sim, spec_.cores, spec_.mhz) {}
+        cpu_(sim, spec_.cores, spec_.mhz), disk_(sim) {}
   Host(const Host&) = delete;
   Host& operator=(const Host&) = delete;
 
@@ -36,6 +37,8 @@ class Host {
   const std::string& site() const noexcept { return spec_.site; }
   Cpu& cpu() noexcept { return cpu_; }
   const Cpu& cpu() const noexcept { return cpu_; }
+  Disk& disk() noexcept { return disk_; }
+  const Disk& disk() const noexcept { return disk_; }
   sim::Simulation& simulation() noexcept { return sim_; }
 
   /// Spawn-a-process cost model: fork/exec overhead plus the program's own
@@ -91,6 +94,7 @@ class Host {
   sim::Simulation& sim_;
   HostSpec spec_;
   Cpu cpu_;
+  Disk disk_;
   metrics::LoadAverage load1_;
 };
 

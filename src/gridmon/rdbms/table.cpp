@@ -49,6 +49,7 @@ void Table::insert(Row row) {
   tombstone_.push_back(false);
   ++live_rows_;
   index_insert(rows_.size() - 1);
+  if (journal_ != nullptr) journal_->on_insert(rows_.back());
 }
 
 void Table::create_index(const std::string& column) {
@@ -98,6 +99,7 @@ void Table::update_row(std::size_t id, Row row) {
   index_erase(id);
   rows_[id] = std::move(row);
   index_insert(id);
+  if (journal_ != nullptr) journal_->on_update(id, rows_[id]);
 }
 
 void Table::erase_row(std::size_t id) {
@@ -105,6 +107,7 @@ void Table::erase_row(std::size_t id) {
   index_erase(id);
   tombstone_[id] = true;
   --live_rows_;
+  if (journal_ != nullptr) journal_->on_erase(id);
 }
 
 void Table::vacuum() {
@@ -119,6 +122,7 @@ void Table::vacuum() {
     index_.clear();
     for (std::size_t i = 0; i < rows_.size(); ++i) index_insert(i);
   }
+  if (journal_ != nullptr) journal_->on_vacuum();
 }
 
 void Table::index_insert(std::size_t id) {

@@ -25,6 +25,18 @@ class TableError : public std::runtime_error {
   explicit TableError(const std::string& msg) : std::runtime_error(msg) {}
 };
 
+/// Observer of committed mutations, in apply order, after validation and
+/// widening — exactly what a write-ahead log must re-apply to reproduce
+/// the table (store::TableStore is the one implementation).
+class TableJournal {
+ public:
+  virtual ~TableJournal() = default;
+  virtual void on_insert(const Row& row) = 0;
+  virtual void on_update(std::size_t id, const Row& row) = 0;
+  virtual void on_erase(std::size_t id) = 0;
+  virtual void on_vacuum() = 0;
+};
+
 class Table {
  public:
   Table() = default;
@@ -34,6 +46,12 @@ class Table {
   const std::string& name() const noexcept { return name_; }
   const Schema& schema() const noexcept { return schema_; }
   std::size_t row_count() const noexcept { return live_rows_; }
+  /// Physical slots, live + tombstoned (snapshots must preserve slot ids
+  /// because WAL records address rows by slot).
+  std::size_t slot_count() const noexcept { return rows_.size(); }
+
+  /// Attach (or detach with nullptr) the mutation observer.
+  void set_journal(TableJournal* journal) noexcept { journal_ = journal; }
 
   /// Append a row (arity and basic type compatibility are checked; an
   /// integer value silently widens into a REAL column).
@@ -84,6 +102,7 @@ class Table {
 
   std::optional<std::size_t> indexed_column_;
   std::unordered_multimap<std::string, std::size_t> index_;
+  TableJournal* journal_ = nullptr;
 };
 
 }  // namespace gridmon::rdbms

@@ -21,14 +21,48 @@ Registry::Registry(net::Network& net, host::Host& host, net::Interface& nic,
       "CREATE TABLE producers (producer TEXT, tablename TEXT, servlet TEXT, "
       "predicate TEXT, expires REAL)");
   db_.execute("CREATE INDEX ON producers (tablename)");
+  if (config_.store.enabled()) {
+    store_ = std::make_unique<store::TableStore>(host, db_.table("producers"),
+                                                 config_.store);
+    db_.table("producers").set_journal(store_.get());
+    store_->log().start();
+  }
 }
 
 void Registry::crash(bool blackhole) {
   port_.crash(blackhole);
-  // The producer directory lives in the servlet's in-memory database;
-  // producers re-appear as their servlets renew leases after restart.
+  if (store_) store_->log().crash();
+  rows_at_crash_ = db_.table("producers").row_count();
+  awaiting_recovery_ = true;
+  recovered_at_ = -1;
+  // The in-process producer table dies with the servlet container. With
+  // durability off producers re-appear only as their servlets renew
+  // leases; the store's crash() above already closed the log, so this
+  // clearing sweep journals nothing.
   db_.execute("DELETE FROM producers WHERE expires < 1e300");
   db_.table("producers").vacuum();
+}
+
+void Registry::restart() {
+  if (store_) {
+    host_.simulation().spawn(recover_then_restart());
+    return;
+  }
+  port_.restart();
+  note_recovery_progress();
+}
+
+sim::Task<void> Registry::recover_then_restart() {
+  co_await store_->log().recover();
+  port_.restart();
+  note_recovery_progress();
+}
+
+void Registry::note_recovery_progress() {
+  if (awaiting_recovery_ && registered_count() >= rows_at_crash_) {
+    recovered_at_ = host_.simulation().now();
+    awaiting_recovery_ = false;
+  }
 }
 
 sim::Task<bool> Registry::register_producer(net::Interface& from,
@@ -52,6 +86,10 @@ sim::Task<bool> Registry::register_producer(net::Interface& from,
               quote(info.table) + ", " + quote(info.servlet) + ", " +
               quote(info.predicate) + ", " + std::to_string(expires) + ")");
   ++registrations_;
+  // Durable modes: the registration is acknowledged only once its WAL
+  // records reached the platter (group commit batches concurrent ones).
+  if (store_) co_await store_->log().commit();
+  note_recovery_progress();
   co_await net_.transfer(nic_, from, 128);  // ack
   co_return true;
 }
@@ -184,6 +222,9 @@ sim::Task<void> Registry::sweeper_loop() {
     co_await host_.cpu().consume(config_.row_cpu *
                                  static_cast<double>(result.rows_examined));
     db_.table("producers").vacuum();
+    // Lease sweeps mutate durable state too; bound how long they can sit
+    // un-flushed (nobody waits on the sweep, so this only costs the loop).
+    if (store_) co_await store_->log().commit();
   }
 }
 

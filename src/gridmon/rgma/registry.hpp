@@ -9,6 +9,7 @@
 /// cost is the highest of the three systems studied.
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -18,6 +19,7 @@
 #include "gridmon/rdbms/database.hpp"
 #include "gridmon/sim/resource.hpp"
 #include "gridmon/sim/task.hpp"
+#include "gridmon/store/table_store.hpp"
 
 namespace gridmon::rgma {
 
@@ -59,6 +61,10 @@ struct RegistryConfig {
   /// Client/transfer patience on a dead path (blackholed SYN, partitioned
   /// WAN). Only consulted under faults.
   double connect_timeout = 75.0;
+  /// Durability of the producer directory. Volatile reproduces the paper
+  /// (R-GMA 1.18's in-memory registry DB); wal / wal+snapshot persist the
+  /// producers table through the host disk and replay it on restart.
+  store::StoreConfig store;
 };
 
 class Registry {
@@ -97,16 +103,27 @@ class Registry {
   std::size_t registered_count();
   std::uint64_t registrations() const noexcept { return registrations_; }
 
+  /// Durability engine behind the producers table (null when volatile).
+  const store::Log* store_log() const noexcept {
+    return store_ ? &store_->log() : nullptr;
+  }
+  /// Absolute sim time when the directory re-converged to its pre-crash
+  /// row count after the most recent crash (-1 until it happens). Durable
+  /// modes get there via replay; volatile waits for lease renewals.
+  double recovered_at() const noexcept { return recovered_at_; }
+
   // ---- fault injection ----
   /// Crash the Registry servlet container (blackhole: host gone). The
-  /// producer table is volatile (in-memory DB): restart comes back empty
-  /// and re-learns producers from their next lease renewals.
+  /// in-memory producer table dies with the process; the StableImage in
+  /// the store (if durability is on) survives for restart() to replay.
   void crash(bool blackhole = false);
-  void restart() { port_.restart(); }
+  void restart();
   bool process_up() const noexcept { return port_.up(); }
 
  private:
   sim::Task<void> sweeper_loop();
+  sim::Task<void> recover_then_restart();
+  void note_recovery_progress();
   sim::Task<rdbms::QueryResult> run_lookup(std::string table,
                                            trace::Ctx ctx = {});
 
@@ -118,6 +135,10 @@ class Registry {
   sim::Resource pool_;
   net::ServerPort port_;
   std::uint64_t registrations_ = 0;
+  std::unique_ptr<store::TableStore> store_;
+  std::size_t rows_at_crash_ = 0;
+  bool awaiting_recovery_ = false;
+  double recovered_at_ = -1;
 };
 
 }  // namespace gridmon::rgma

@@ -1,0 +1,120 @@
+#pragma once
+
+/// \file codec.hpp
+/// Byte-exact little-endian encoding for WAL payloads and snapshots. The
+/// determinism contract requires identical seed + plan => byte-identical
+/// WAL images, so every multi-byte value is written with a fixed width and
+/// a fixed byte order, and doubles are written as their IEEE-754 bit
+/// pattern (never through text formatting, which could round differently).
+
+#include <bit>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace gridmon::store {
+
+/// Append-only encoder over a byte string.
+class Encoder {
+ public:
+  void u8(std::uint8_t v) { bytes_.push_back(static_cast<char>(v)); }
+
+  void u32(std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) {
+      bytes_.push_back(static_cast<char>((v >> (8 * i)) & 0xffu));
+    }
+  }
+
+  void u64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      bytes_.push_back(static_cast<char>((v >> (8 * i)) & 0xffu));
+    }
+  }
+
+  void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+
+  /// IEEE-754 bit pattern; byte-identical across platforms and seeds.
+  void f64(double v) { u64(std::bit_cast<std::uint64_t>(v)); }
+
+  /// Length-prefixed string.
+  void str(std::string_view s) {
+    u32(static_cast<std::uint32_t>(s.size()));
+    bytes_.append(s);
+  }
+
+  const std::string& bytes() const noexcept { return bytes_; }
+  std::string take() { return std::move(bytes_); }
+
+ private:
+  std::string bytes_;
+};
+
+/// Bounds-checked decoder: every getter returns false instead of reading
+/// past the end, so torn or truncated input degrades into a clean parse
+/// failure rather than undefined behaviour.
+class Decoder {
+ public:
+  explicit Decoder(std::string_view bytes) : bytes_(bytes) {}
+
+  bool u8(std::uint8_t& out) {
+    if (pos_ + 1 > bytes_.size()) return false;
+    out = static_cast<std::uint8_t>(bytes_[pos_++]);
+    return true;
+  }
+
+  bool u32(std::uint32_t& out) {
+    if (pos_ + 4 > bytes_.size()) return false;
+    out = 0;
+    for (int i = 0; i < 4; ++i) {
+      out |= static_cast<std::uint32_t>(
+                 static_cast<unsigned char>(bytes_[pos_ + static_cast<std::size_t>(i)]))
+             << (8 * i);
+    }
+    pos_ += 4;
+    return true;
+  }
+
+  bool u64(std::uint64_t& out) {
+    if (pos_ + 8 > bytes_.size()) return false;
+    out = 0;
+    for (int i = 0; i < 8; ++i) {
+      out |= static_cast<std::uint64_t>(
+                 static_cast<unsigned char>(bytes_[pos_ + static_cast<std::size_t>(i)]))
+             << (8 * i);
+    }
+    pos_ += 8;
+    return true;
+  }
+
+  bool i64(std::int64_t& out) {
+    std::uint64_t raw = 0;
+    if (!u64(raw)) return false;
+    out = static_cast<std::int64_t>(raw);
+    return true;
+  }
+
+  bool f64(double& out) {
+    std::uint64_t raw = 0;
+    if (!u64(raw)) return false;
+    out = std::bit_cast<double>(raw);
+    return true;
+  }
+
+  bool str(std::string& out) {
+    std::uint32_t len = 0;
+    if (!u32(len)) return false;
+    if (pos_ + len > bytes_.size()) return false;
+    out.assign(bytes_.substr(pos_, len));
+    pos_ += len;
+    return true;
+  }
+
+  std::size_t remaining() const noexcept { return bytes_.size() - pos_; }
+  bool done() const noexcept { return pos_ == bytes_.size(); }
+
+ private:
+  std::string_view bytes_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace gridmon::store

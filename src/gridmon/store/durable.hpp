@@ -1,0 +1,87 @@
+#pragma once
+
+/// \file durable.hpp
+/// The client side of the durability subsystem: the mode/cost knobs every
+/// durable service shares ([store] in gridmon_run INI) and the Durable
+/// interface a service implements so the Log engine can snapshot it and
+/// replay its records without knowing the concrete state type.
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "gridmon/store/codec.hpp"
+
+namespace gridmon::store {
+
+/// How much a service's registry state survives a crash.
+enum class DurabilityMode {
+  Volatile,     // the paper's soft state: a crash loses everything
+  Wal,          // append-only log, replayed in full on restart
+  WalSnapshot,  // periodic snapshots + compacted log tail
+};
+
+constexpr const char* mode_name(DurabilityMode m) {
+  switch (m) {
+    case DurabilityMode::Volatile:
+      return "volatile";
+    case DurabilityMode::Wal:
+      return "wal";
+    case DurabilityMode::WalSnapshot:
+      return "wal+snapshot";
+  }
+  return "?";
+}
+
+/// Parse "volatile" | "wal" | "wal+snapshot" (nullopt on anything else).
+std::optional<DurabilityMode> parse_mode(std::string_view name);
+
+/// The [store] knob set. Disk-shaped knobs (fsync latency, bandwidth) are
+/// applied to the hosting machine's simulated disk; the rest steer the
+/// Log engine itself.
+struct StoreConfig {
+  DurabilityMode mode = DurabilityMode::Volatile;
+  /// Seconds per write barrier on the service host's disk.
+  double fsync_latency = 0.008;
+  /// Sequential WAL/snapshot write bandwidth, bytes/second.
+  double write_bandwidth = 25e6;
+  /// Appends arriving within this window share one write+fsync (group
+  /// commit). Also the worst-case volume of acknowledged-but-lost work.
+  double group_commit_window = 0.005;
+  /// Seconds between snapshots (WalSnapshot mode only).
+  double snapshot_interval = 60;
+  /// CPU charged per record re-applied during recovery replay.
+  double replay_cpu_per_record = 5e-5;
+
+  bool enabled() const noexcept { return mode != DurabilityMode::Volatile; }
+};
+
+/// What the Log engine needs from a durable service. All three calls are
+/// synchronous state transforms: the engine accounts for their disk and
+/// CPU cost around them, so implementations must not touch the sim clock.
+class Durable {
+ public:
+  virtual ~Durable() = default;
+
+  /// Serialize the full current state (WalSnapshot compaction).
+  virtual void write_snapshot(Encoder& out) const = 0;
+
+  /// Rebuild state from a snapshot produced by write_snapshot. The caller
+  /// guarantees the service's volatile state is empty beforehand.
+  virtual void load_snapshot(Decoder& in) = 0;
+
+  /// Re-apply one WAL record produced by the service's own appends.
+  virtual void apply_record(Decoder& in) = 0;
+};
+
+/// The bytes that survive a crash: the durable WAL image plus the last
+/// committed snapshot. Services keep this alive across crash()/restart()
+/// (their crash hook clears volatile state only), which is how the
+/// simulation models data that was on the platter when the process died.
+struct StableImage {
+  std::string wal;
+  std::string snapshot;
+  std::uint64_t snapshot_seq = 0;  // records <= this live in the snapshot
+};
+
+}  // namespace gridmon::store

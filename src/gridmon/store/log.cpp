@@ -1,0 +1,206 @@
+#include "gridmon/store/log.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+namespace gridmon::store {
+namespace {
+
+/// CPU charged per byte serialized into a snapshot (the service walks its
+/// state and formats it; ~20ns/byte on the reference machine).
+constexpr double kSnapshotCpuPerByte = 2e-8;
+
+}  // namespace
+
+std::optional<DurabilityMode> parse_mode(std::string_view name) {
+  if (name == "volatile") return DurabilityMode::Volatile;
+  if (name == "wal") return DurabilityMode::Wal;
+  if (name == "wal+snapshot") return DurabilityMode::WalSnapshot;
+  return std::nullopt;
+}
+
+Log::Log(host::Host& host, Durable& client, StoreConfig config)
+    : host_(host), client_(client), config_(config) {
+  if (config_.enabled()) {
+    host::DiskSpec spec = host_.disk().spec();
+    spec.fsync_latency = config_.fsync_latency;
+    spec.write_bandwidth = config_.write_bandwidth;
+    host_.disk().set_spec(spec);
+  }
+}
+
+void Log::start() {
+  if (config_.mode == DurabilityMode::WalSnapshot &&
+      config_.snapshot_interval > 0) {
+    host_.simulation().spawn(snapshot_loop(this));
+  }
+}
+
+void Log::append(std::string payload) {
+  if (!enabled() || down_) return;
+  std::uint64_t seq = next_seq_++;
+  append_frame(pending_, seq, payload);
+  pending_last_seq_ = seq;
+  ++stats_.appends;
+  arm_timer();
+}
+
+void Log::arm_timer() {
+  if (timer_armed_) return;
+  timer_armed_ = true;
+  std::uint64_t epoch = epoch_;
+  host_.simulation().schedule(config_.group_commit_window, [this, epoch] {
+    if (epoch != epoch_) return;
+    timer_armed_ = false;
+    if (!flush_in_flight_ && !pending_.empty()) begin_flush();
+  });
+}
+
+void Log::begin_flush() {
+  flush_in_flight_ = true;
+  flight_ = std::move(pending_);
+  pending_.clear();
+  flight_last_seq_ = pending_last_seq_;
+  flight_started_ = host_.simulation().now();
+  host_.simulation().spawn(run_flush(this));
+}
+
+sim::Task<void> Log::run_flush(Log* self) {
+  std::uint64_t epoch = self->epoch_;
+  co_await self->host_.disk().write(static_cast<double>(self->flight_.size()));
+  if (self->epoch_ != epoch) co_return;  // crashed mid-write: torn tail kept
+  co_await self->host_.disk().fsync();
+  if (self->epoch_ != epoch) co_return;  // crashed mid-barrier
+  self->image_.wal += self->flight_;
+  self->durable_seq_ = self->flight_last_seq_;
+  self->flight_.clear();
+  self->flush_in_flight_ = false;
+  ++self->stats_.flushes;
+  self->stats_.wal_bytes = static_cast<double>(self->image_.wal.size());
+  self->resume_ready_waiters();
+  // Records that arrived during the flush form the next batch right away —
+  // under load the effective window is the flush latency itself.
+  if (!self->pending_.empty()) self->begin_flush();
+}
+
+void Log::resume_ready_waiters() {
+  while (!waiters_.empty() && waiters_.front().seq <= durable_seq_) {
+    host_.simulation().schedule_resume(0, waiters_.front().h);
+    waiters_.pop_front();
+  }
+}
+
+void Log::crash() {
+  if (!enabled()) return;
+  ++epoch_;
+  timer_armed_ = false;
+  if (flush_in_flight_) {
+    // The write had been streaming for (now - start): that many bytes made
+    // it to the platter. No fsync happened, but the model keeps partially
+    // written sectors — replay truncates the torn frame at the end.
+    double elapsed = host_.simulation().now() - flight_started_;
+    double on_disk_f = std::floor(elapsed * config_.write_bandwidth);
+    auto on_disk = on_disk_f > 0
+                       ? static_cast<std::size_t>(
+                             std::min(on_disk_f,
+                                      static_cast<double>(flight_.size())))
+                       : 0;
+    image_.wal.append(flight_, 0, on_disk);
+    flight_.clear();
+    flush_in_flight_ = false;
+  }
+  pending_.clear();
+  down_ = true;
+  stats_.wal_bytes = static_cast<double>(image_.wal.size());
+  std::deque<Waiter> waiters = std::move(waiters_);
+  waiters_.clear();
+  for (const Waiter& w : waiters) {
+    host_.simulation().schedule_resume(0, w.h);
+  }
+}
+
+sim::Task<void> Log::recover() {
+  if (!enabled()) co_return;
+  double t0 = host_.simulation().now();
+  ++epoch_;  // invalidate any straggler timers/flushes
+  down_ = true;
+  co_await host_.disk().read(
+      static_cast<double>(image_.snapshot.size() + image_.wal.size()));
+  if (config_.mode == DurabilityMode::WalSnapshot &&
+      !image_.snapshot.empty()) {
+    Decoder snap(image_.snapshot);
+    client_.load_snapshot(snap);
+  }
+  std::uint64_t applied = 0;
+  std::uint64_t snapshot_seq = image_.snapshot_seq;
+  Durable& client = client_;
+  ReplayResult r = replay(
+      image_.wal,
+      [&client, &applied, snapshot_seq](std::uint64_t seq,
+                                        std::string_view payload) {
+        if (seq <= snapshot_seq) return;  // already inside the snapshot
+        Decoder rec(payload);
+        client.apply_record(rec);
+        ++applied;
+      });
+  if (r.valid_bytes < image_.wal.size()) {
+    image_.wal.resize(r.valid_bytes);  // drop the torn/corrupt tail forever
+    ++stats_.torn_truncations;
+  }
+  co_await host_.cpu().consume(config_.replay_cpu_per_record *
+                               static_cast<double>(applied));
+  durable_seq_ = std::max(r.last_seq, image_.snapshot_seq);
+  next_seq_ = durable_seq_ + 1;
+  pending_.clear();
+  pending_last_seq_ = 0;
+  flight_.clear();
+  flush_in_flight_ = false;
+  timer_armed_ = false;
+  stats_.replayed_records += applied;
+  ++stats_.recoveries;
+  stats_.last_replay_seconds = host_.simulation().now() - t0;
+  stats_.wal_bytes = static_cast<double>(image_.wal.size());
+  down_ = false;
+}
+
+sim::Task<void> Log::snapshot_loop(Log* self) {
+  sim::Simulation& sim = self->host_.simulation();
+  for (;;) {
+    co_await sim.delay(self->config_.snapshot_interval);
+    if (self->down_) continue;  // dead services don't snapshot
+    co_await take_snapshot(self);
+  }
+}
+
+sim::Task<void> Log::take_snapshot(Log* self) {
+  std::uint64_t epoch = self->epoch_;
+  // The image captures state as of the latest append, committed or not —
+  // the snapshot covers every record numbered up to snap_seq.
+  std::uint64_t snap_seq = self->next_seq_ - 1;
+  Encoder enc;
+  self->client_.write_snapshot(enc);
+  std::string bytes = enc.take();
+  co_await self->host_.cpu().consume(kSnapshotCpuPerByte *
+                                     static_cast<double>(bytes.size()));
+  if (self->epoch_ != epoch) co_return;
+  co_await self->host_.disk().write(static_cast<double>(bytes.size()));
+  if (self->epoch_ != epoch) co_return;
+  co_await self->host_.disk().fsync();
+  if (self->epoch_ != epoch) co_return;  // crash mid-snapshot: old one stays
+  self->image_.snapshot = std::move(bytes);
+  self->image_.snapshot_seq = snap_seq;
+  ++self->stats_.snapshots;
+  self->stats_.snapshot_bytes =
+      static_cast<double>(self->image_.snapshot.size());
+  // Compact: durable WAL records the snapshot now covers are dropped.
+  std::string compacted;
+  replay(self->image_.wal,
+         [&compacted, snap_seq](std::uint64_t seq, std::string_view payload) {
+           if (seq > snap_seq) append_frame(compacted, seq, payload);
+         });
+  self->image_.wal = std::move(compacted);
+  self->stats_.wal_bytes = static_cast<double>(self->image_.wal.size());
+}
+
+}  // namespace gridmon::store

@@ -1,0 +1,139 @@
+#pragma once
+
+/// \file log.hpp
+/// The durability engine: group-committed write-ahead log plus periodic
+/// snapshots with log compaction, driven through the hosting machine's
+/// simulated disk so every persistence byte and barrier shows up in the
+/// cost model.
+///
+/// Write path: a service mutates its in-memory state, append()s one
+/// framed record per mutation, and co_awaits commit() before
+/// acknowledging the client. Appends arriving within group_commit_window
+/// share a single sequential disk write + fsync; commit() is the barrier
+/// that resumes once the caller's records are on the platter.
+///
+/// Crash path: crash() discards the un-flushed batch and keeps whatever
+/// the in-flight write had physically reached the disk (a torn tail of
+/// floor(elapsed * bandwidth) bytes, truncated again at replay). The
+/// StableImage — durable WAL bytes plus the last committed snapshot —
+/// survives in the Log object exactly like platter contents survive a
+/// process death. recover() charges the disk read and per-record replay
+/// CPU, reloads the snapshot, re-applies the WAL tail, and re-opens the
+/// log for appends.
+
+#include <coroutine>
+#include <cstdint>
+#include <deque>
+#include <string>
+
+#include "gridmon/host/host.hpp"
+#include "gridmon/sim/task.hpp"
+#include "gridmon/store/durable.hpp"
+#include "gridmon/store/wal.hpp"
+
+namespace gridmon::store {
+
+/// Counters a bench or gridmon_run's [store] columns can read.
+struct StoreStats {
+  std::uint64_t appends = 0;           // records handed to the log
+  std::uint64_t commits = 0;           // commit() barriers requested
+  std::uint64_t flushes = 0;           // group-commit write+fsync cycles
+  std::uint64_t snapshots = 0;         // snapshots committed
+  std::uint64_t recoveries = 0;        // successful recover() runs
+  std::uint64_t replayed_records = 0;  // records re-applied across recoveries
+  std::uint64_t torn_truncations = 0;  // replays that cut a torn tail
+  double last_replay_seconds = 0;      // disk+CPU time of the last recover()
+  double wal_bytes = 0;                // durable WAL image size
+  double snapshot_bytes = 0;           // last committed snapshot size
+};
+
+class Log {
+ public:
+  /// Binds the engine to its host (disk + CPU) and the client whose
+  /// state it snapshots and replays. Retunes the host disk with the
+  /// config's fsync/bandwidth knobs when durability is enabled.
+  Log(host::Host& host, Durable& client, StoreConfig config);
+  Log(const Log&) = delete;
+  Log& operator=(const Log&) = delete;
+
+  const StoreConfig& config() const noexcept { return config_; }
+  bool enabled() const noexcept { return config_.enabled(); }
+  /// True between crash() and the end of recover(): appends are dropped.
+  bool down() const noexcept { return down_; }
+
+  /// Spawn the periodic snapshotter (WalSnapshot mode; no-op otherwise).
+  void start();
+
+  /// Frame and enqueue one record. Returns immediately; the record
+  /// becomes durable at the next group-commit flush. Dropped while the
+  /// log is down (crash clearing, recovery replay).
+  void append(std::string payload);
+
+  /// Awaitable barrier: resumes once every record appended before this
+  /// call is durable (or immediately when durability is off / the log is
+  /// down — callers re-check state after a crash anyway).
+  struct CommitAwaiter {
+    Log& log;
+    std::uint64_t target;
+    bool await_ready() const noexcept {
+      return !log.enabled() || log.down_ || log.durable_seq_ >= target;
+    }
+    void await_suspend(std::coroutine_handle<> h) {
+      log.waiters_.push_back(Waiter{target, h});
+    }
+    void await_resume() const noexcept {}
+  };
+  CommitAwaiter commit() noexcept {
+    if (enabled()) ++stats_.commits;
+    return CommitAwaiter{*this, next_seq_ - 1};
+  }
+
+  /// Process death: drop the pending batch, keep the torn prefix of the
+  /// in-flight write, wake every commit waiter, and close for appends.
+  void crash();
+
+  /// Replay snapshot + WAL into the (cleared) client. Costs one
+  /// sequential disk read plus replay_cpu_per_record per record.
+  sim::Task<void> recover();
+
+  const StoreStats& stats() const noexcept { return stats_; }
+  /// The bytes that survive crashes — golden determinism tests compare
+  /// this image across runs of the same seed.
+  const StableImage& image() const noexcept { return image_; }
+
+ private:
+  struct Waiter {
+    std::uint64_t seq;
+    std::coroutine_handle<> h;
+  };
+
+  static sim::Task<void> run_flush(Log* self);
+  static sim::Task<void> snapshot_loop(Log* self);
+  static sim::Task<void> take_snapshot(Log* self);
+  void begin_flush();
+  void arm_timer();
+  void resume_ready_waiters();
+
+  host::Host& host_;
+  Durable& client_;
+  StoreConfig config_;
+  StableImage image_;
+
+  std::string pending_;  // framed records awaiting the next flush
+  std::uint64_t pending_last_seq_ = 0;
+  std::string flight_;  // batch currently on its way to the disk
+  std::uint64_t flight_last_seq_ = 0;
+  double flight_started_ = 0;
+  bool flush_in_flight_ = false;
+  bool timer_armed_ = false;
+  bool down_ = false;
+  /// Bumped by crash()/recover(); scheduled callbacks and in-flight
+  /// flushes from an older epoch are no-ops when they fire.
+  std::uint64_t epoch_ = 0;
+  std::uint64_t next_seq_ = 1;
+  std::uint64_t durable_seq_ = 0;
+  std::deque<Waiter> waiters_;
+  StoreStats stats_;
+};
+
+}  // namespace gridmon::store

@@ -1,0 +1,45 @@
+#pragma once
+
+/// \file table_store.hpp
+/// Bridges an rdbms::Table to the Log engine: every committed mutation the
+/// table reports through its TableJournal becomes one WAL record, and the
+/// Durable side re-applies those records (or a whole-table snapshot) into
+/// the same table on recovery. Attach with Table::set_journal and call
+/// log().commit() from the service's request path before acknowledging.
+
+#include "gridmon/host/host.hpp"
+#include "gridmon/rdbms/table.hpp"
+#include "gridmon/store/durable.hpp"
+#include "gridmon/store/log.hpp"
+
+namespace gridmon::store {
+
+class TableStore final : public Durable, public rdbms::TableJournal {
+ public:
+  TableStore(host::Host& host, rdbms::Table& table, const StoreConfig& config)
+      : table_(table), log_(host, *this, config) {}
+
+  Log& log() noexcept { return log_; }
+  const Log& log() const noexcept { return log_; }
+
+  // TableJournal: frame one record per mutation.
+  void on_insert(const rdbms::Row& row) override;
+  void on_update(std::size_t id, const rdbms::Row& row) override;
+  void on_erase(std::size_t id) override;
+  void on_vacuum() override;
+
+  // Durable: snapshot the whole table (tombstones included, so WAL records
+  // addressing rows by slot id stay valid) and replay records.
+  void write_snapshot(Encoder& out) const override;
+  void load_snapshot(Decoder& in) override;
+  void apply_record(Decoder& in) override;
+
+ private:
+  static void encode_row(Encoder& out, const rdbms::Row& row);
+  static bool decode_row(Decoder& in, rdbms::Row& row);
+
+  rdbms::Table& table_;
+  Log log_;
+};
+
+}  // namespace gridmon::store

@@ -1,0 +1,60 @@
+#pragma once
+
+/// \file wal.hpp
+/// Write-ahead-log record framing and replay. The on-"disk" WAL image is
+/// a flat byte string of frames:
+///
+///   [u32 payload_len][u64 seq][u32 crc][payload bytes]
+///
+/// where crc = CRC-32 (IEEE polynomial, reflected) over the 8 seq bytes
+/// followed by the payload. Replay walks frames front to back and stops
+/// at the first incomplete frame (a torn tail from a crash mid-write) or
+/// the first CRC mismatch (corruption); in both cases the clean prefix is
+/// reported so the caller can truncate and carry on — a torn record is
+/// never resurrected and never crashes the replayer.
+///
+/// Framing is deliberately free of simulated time or randomness: the WAL
+/// byte image is a pure function of the append sequence, which is what
+/// makes the byte-identical-per-seed golden tests possible.
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+
+namespace gridmon::store {
+
+/// CRC-32 (IEEE 802.3 polynomial, reflected, init/final 0xFFFFFFFF) —
+/// hand-rolled table implementation so the container needs no zlib.
+std::uint32_t crc32(std::string_view data);
+/// Incremental form: feed `data` into a running crc (start with 0).
+std::uint32_t crc32_update(std::uint32_t crc, std::string_view data);
+
+/// Frame one record onto the end of `image`.
+void append_frame(std::string& image, std::uint64_t seq,
+                  std::string_view payload);
+
+/// Bytes one framed record of `payload_size` occupies.
+constexpr std::size_t frame_overhead() { return 4 + 8 + 4; }
+
+enum class ReplayStatus {
+  Ok,        // every byte parsed as a whole, CRC-clean record
+  TornTail,  // trailing partial frame (crash mid-write); prefix is clean
+  Corrupt,   // a complete frame failed its CRC; prefix before it is clean
+};
+
+struct ReplayResult {
+  ReplayStatus status = ReplayStatus::Ok;
+  std::uint64_t records = 0;     // records delivered to `apply`
+  std::uint64_t last_seq = 0;    // sequence number of the last clean record
+  std::size_t valid_bytes = 0;   // length of the clean prefix
+};
+
+/// Walk `image` front to back, invoking `apply(seq, payload)` for every
+/// CRC-clean record. Never throws on malformed input; see ReplayStatus.
+ReplayResult replay(
+    std::string_view image,
+    const std::function<void(std::uint64_t seq, std::string_view payload)>&
+        apply);
+
+}  // namespace gridmon::store

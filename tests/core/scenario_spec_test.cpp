@@ -119,6 +119,67 @@ TEST(ScenarioSpecTest, FaultSection) {
   EXPECT_EQ(spec.max_attempts, 5);
 }
 
+TEST(ScenarioSpecTest, StoreSection) {
+  auto spec = parse_scenario_spec(
+      "[experiment]\n"
+      "service = registry\n"
+      "[store]\n"
+      "mode = wal+snapshot\n"
+      "fsync_latency = 0.02\n"
+      "write_bandwidth = 10e6\n"
+      "group_commit_window = 0.01\n"
+      "snapshot_interval = 30\n"
+      "replay_cpu_per_record = 1e-4\n");
+  EXPECT_EQ(spec.store.mode, store::DurabilityMode::WalSnapshot);
+  EXPECT_TRUE(spec.store.enabled());
+  EXPECT_DOUBLE_EQ(spec.store.fsync_latency, 0.02);
+  EXPECT_DOUBLE_EQ(spec.store.write_bandwidth, 10e6);
+  EXPECT_DOUBLE_EQ(spec.store.group_commit_window, 0.01);
+  EXPECT_DOUBLE_EQ(spec.store.snapshot_interval, 30);
+  EXPECT_DOUBLE_EQ(spec.store.replay_cpu_per_record, 1e-4);
+
+  // Omitted section = the paper's soft state.
+  auto off = parse_scenario_spec("[experiment]\nservice = registry\n");
+  EXPECT_EQ(off.store.mode, store::DurabilityMode::Volatile);
+  EXPECT_FALSE(off.store.enabled());
+
+  // mode = volatile is accepted anywhere (it is the no-op).
+  auto vol = parse_scenario_spec(
+      "[experiment]\nservice = gris\n[store]\nmode = volatile\n");
+  EXPECT_FALSE(vol.store.enabled());
+}
+
+TEST(ScenarioSpecTest, StoreSectionRejections) {
+  // Unknown key, bad mode, and durability on a service with no durable
+  // state are all config errors.
+  EXPECT_THROW(parse_scenario_spec(
+                   "[experiment]\nservice = registry\n[store]\nfrob = 1\n"),
+               ConfigError);
+  EXPECT_THROW(
+      parse_scenario_spec(
+          "[experiment]\nservice = registry\n[store]\nmode = paranoid\n"),
+      ConfigError);
+  EXPECT_THROW(parse_scenario_spec(
+                   "[experiment]\nservice = gris\n[store]\nmode = wal\n"),
+               ConfigError);
+}
+
+TEST(MakeScenarioTest, StoreModeReachesServices) {
+  ScenarioSpec spec;
+  spec.service = ServiceKind::Registry;
+  spec.store.mode = store::DurabilityMode::Wal;
+  Testbed tb;
+  auto scenario = make_scenario(tb, spec);
+  EXPECT_NE(scenario->store_log(), nullptr);
+  EXPECT_EQ(scenario->store_log()->config().mode, store::DurabilityMode::Wal);
+
+  ScenarioSpec vol;
+  vol.service = ServiceKind::Registry;
+  Testbed tb2;
+  auto volatile_scenario = make_scenario(tb2, vol);
+  EXPECT_EQ(volatile_scenario->store_log(), nullptr);
+}
+
 TEST(ScenarioSpecTest, Rejections) {
   EXPECT_THROW(parse_scenario_spec("[other]\nk = v\n"), ConfigError);
   EXPECT_THROW(

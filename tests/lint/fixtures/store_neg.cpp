@@ -1,0 +1,41 @@
+// Negative fixture: declarations, definitions and commit-path usage that
+// the store.* checks must leave alone. Must analyze clean.
+#include <string>
+
+namespace sim {
+template <typename T>
+struct Task {};
+}  // namespace sim
+
+struct Disk {
+  // Declarations and in-class definitions of the banned names are not
+  // calls (the Disk API itself lives outside store/).
+  sim::Task<void> fsync();
+  sim::Task<void> flush_now() { return {}; }
+  unsigned long fsyncs() const { return fsyncs_; }
+  unsigned long fsyncs_ = 0;
+};
+
+// Out-of-class definition: qualified, but preceded by the return type.
+sim::Task<void> Disk::fsync() {
+  ++fsyncs_;
+  return {};
+}
+
+struct Log {
+  struct Awaiter {};
+  void append(const std::string& payload);
+  Awaiter commit();
+};
+
+struct Registry {
+  Log log_;
+  void register_producer(const std::string& rec) {
+    // The blessed path: append through the log, await the group commit.
+    log_.append(rec);
+    (void)log_.commit();
+  }
+  // A different name containing the banned one is not a match.
+  void refsync() {}
+  void use() { refsync(); }
+};

@@ -1,0 +1,29 @@
+// Positive fixture: durability-discipline violations a service file must
+// not contain. Lines pinned by the .expected file.
+#include <string>
+
+namespace store {
+void append_frame(std::string& wal, unsigned long seq,
+                  const std::string& payload);
+}
+
+struct Disk {
+  void fsync();
+  void flush_now();
+};
+
+struct Registry {
+  Disk disk_;
+  std::string wal_;
+  unsigned long seq_ = 0;
+
+  void register_producer(const std::string& rec) {
+    store::append_frame(wal_, seq_++, rec);  // line 21: bypasses Log::append
+    append_frame(wal_, seq_++, rec);         // line 22: unqualified, same
+    disk_.fsync();                           // line 23: inline barrier
+    fsync();                                 // line 24: bare call
+    disk_.flush_now();                       // line 25: forced flush
+  }
+
+  void fsync();  // declaring a member of this name is fine
+};

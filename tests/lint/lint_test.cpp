@@ -91,6 +91,8 @@ TEST(LintFixtures, CoroutineNegative) { run_fixture("coroutine_neg.cpp"); }
 TEST(LintFixtures, HotpathPositive) { run_fixture("hotpath_pos.cpp"); }
 TEST(LintFixtures, HotpathNegative) { run_fixture("hotpath_neg.cpp"); }
 TEST(LintFixtures, Suppression) { run_fixture("suppression.cpp"); }
+TEST(LintFixtures, StorePositive) { run_fixture("store_pos.cpp"); }
+TEST(LintFixtures, StoreNegative) { run_fixture("store_neg.cpp"); }
 
 // Every fixture on disk must be exercised: adding a fixture without a test
 // (or an .expected without a fixture) is itself a failure.
@@ -98,7 +100,8 @@ TEST(LintFixtures, AllFixturesCovered) {
   const std::vector<std::string> covered = {
       "determinism_pos.cpp", "determinism_neg.cpp", "iteration_pos.cpp",
       "iteration_neg.cpp",   "coroutine_pos.cpp",   "coroutine_neg.cpp",
-      "hotpath_pos.cpp",     "hotpath_neg.cpp",     "suppression.cpp"};
+      "hotpath_pos.cpp",     "hotpath_neg.cpp",     "suppression.cpp",
+      "store_pos.cpp",       "store_neg.cpp"};
   for (const auto& entry : fs::directory_iterator(fixture_dir())) {
     fs::path p = entry.path();
     if (p.extension() != ".cpp") continue;
@@ -194,6 +197,26 @@ TEST(LintGate, CompileDbExtractsAbsoluteSortedUniqueFiles) {
   auto files = gridmon::lint::compile_db_files(db);
   std::vector<std::string> want = {"/a/x.cpp", "/abs/y.cpp", "/b/z.cpp"};
   EXPECT_EQ(files, want);
+}
+
+// Inside src/gridmon/store the flush path IS the implementation: the same
+// tokens that are violations elsewhere must pass there.
+TEST(LintGate, StorePathIsExemptFromStoreChecks) {
+  const std::string src = R"cpp(
+    struct Disk { void fsync(); };
+    void flush_batch(Disk& disk, std::string& wal, const std::string& batch) {
+      append_frame(wal, 1, batch);
+      disk.fsync();
+    }
+  )cpp";
+  auto inside = gridmon::lint::analyze_source("src/gridmon/store/log.cpp",
+                                              src, Options{});
+  EXPECT_TRUE(inside.empty());
+  auto outside = gridmon::lint::analyze_source("src/gridmon/rgma/registry.cpp",
+                                               src, Options{});
+  ASSERT_EQ(outside.size(), 2u);
+  EXPECT_EQ(outside[0].check, "store.wal-append-outside-txn");
+  EXPECT_EQ(outside[1].check, "store.sync-in-hot-path");
 }
 
 // The zero-baseline contract, enforced in-process so plain `ctest` catches a

@@ -1,0 +1,261 @@
+/// Crash/recovery semantics of the durability engine, from the raw Log up
+/// through the three durable services: group-commit loss windows, torn
+/// in-flight writes, table replay, and the Registry / Manager replaying
+/// their directories orders of magnitude before the soft-state
+/// re-registration baseline refills them.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "gridmon/core/scenarios.hpp"
+#include "gridmon/core/testbed.hpp"
+#include "gridmon/hawkeye/manager.hpp"
+#include "gridmon/rdbms/database.hpp"
+#include "gridmon/rgma/registry.hpp"
+#include "gridmon/store/log.hpp"
+#include "gridmon/store/table_store.hpp"
+
+namespace gridmon {
+namespace {
+
+using store::DurabilityMode;
+
+/// Minimal Durable client: recovered state is just the payload list.
+struct VecClient final : store::Durable {
+  std::vector<std::string> applied;
+
+  void write_snapshot(store::Encoder& out) const override {
+    out.u64(applied.size());
+    for (const auto& s : applied) out.str(s);
+  }
+  void load_snapshot(store::Decoder& in) override {
+    applied.clear();
+    std::uint64_t n = 0;
+    if (!in.u64(n)) return;
+    for (std::uint64_t i = 0; i < n; ++i) {
+      std::string s;
+      if (!in.str(s)) return;
+      applied.push_back(s);
+    }
+  }
+  void apply_record(store::Decoder& in) override {
+    std::string s;
+    if (in.str(s)) applied.push_back(s);
+  }
+};
+
+std::string record(const std::string& s) {
+  store::Encoder e;
+  e.str(s);
+  return e.take();
+}
+
+std::string dump_rows(const rdbms::Table& t) {
+  std::ostringstream ss;
+  t.scan([&](std::size_t id, const rdbms::Row& row) {
+    ss << id << '|';
+    for (const auto& v : row) ss << v.to_string() << ',';
+    ss << '\n';
+    return true;
+  });
+  return ss.str();
+}
+
+/// An append that never reaches its group-commit flush is lost — the
+/// window is exactly the acknowledged-durability boundary.
+TEST(StoreRecoveryTest, UnflushedAppendIsLostOnCrash) {
+  core::Testbed tb;
+  store::StoreConfig sc;
+  sc.mode = DurabilityMode::Wal;
+  VecClient client;
+  store::Log log(tb.host("lucky1"), client, sc);
+  log.start();
+
+  log.append(record("lost"));
+  log.crash();  // before the 5 ms window elapses
+  EXPECT_TRUE(log.image().wal.empty());
+
+  tb.sim().spawn(log.recover());
+  tb.sim().run(1);
+  EXPECT_FALSE(log.down());
+  EXPECT_TRUE(client.applied.empty());
+
+  // The re-opened log flushes normally.
+  log.append(record("kept"));
+  tb.sim().run(2);
+  EXPECT_FALSE(log.image().wal.empty());
+  EXPECT_GE(log.stats().flushes, 1u);
+  tb.sim().shutdown();
+}
+
+/// Crash mid-write keeps exactly the bytes the platter reached; replay
+/// truncates the torn frame and recovers the empty prefix.
+TEST(StoreRecoveryTest, TornInFlightWriteIsTruncatedOnReplay) {
+  core::Testbed tb;
+  store::StoreConfig sc;
+  sc.mode = DurabilityMode::Wal;
+  sc.group_commit_window = 0.001;
+  sc.write_bandwidth = 100;  // 1 s per 100-byte frame: crash lands mid-write
+  VecClient client;
+  store::Log log(tb.host("lucky1"), client, sc);
+  log.start();
+
+  log.append(record(std::string(80, 'r')));  // 84-byte payload, 100B frame
+  tb.sim().run(0.5);  // flush began at t=0.001; the write is in flight
+  log.crash();
+  EXPECT_GT(log.image().wal.size(), 0u);
+  EXPECT_LT(log.image().wal.size(), 100u);
+
+  tb.sim().spawn(log.recover());
+  tb.sim().run(5);  // waits behind the zombie write holding the spindle
+  EXPECT_FALSE(log.down());
+  EXPECT_TRUE(client.applied.empty());
+  EXPECT_TRUE(log.image().wal.empty());  // torn tail truncated for good
+  EXPECT_EQ(log.stats().torn_truncations, 1u);
+  EXPECT_EQ(log.stats().recoveries, 1u);
+  tb.sim().shutdown();
+}
+
+/// The TableStore bridge: journaled mutations (insert, update, erase,
+/// vacuum — NULLs, ints, reals and text all crossing the codec) replay
+/// into a byte-identical table.
+TEST(StoreRecoveryTest, TableReplayRestoresExactRows) {
+  core::Testbed tb;
+  rdbms::Database db;
+  db.execute(
+      "CREATE TABLE producers (producer TEXT, tablename TEXT, load REAL, "
+      "hits INTEGER)");
+  rdbms::Table& t = db.table("producers");
+  store::StoreConfig sc;
+  sc.mode = DurabilityMode::Wal;
+  store::TableStore ts(tb.host("lucky1"), t, sc);
+  t.set_journal(&ts);
+  ts.log().start();
+
+  using rdbms::Value;
+  t.insert({Value::text("ps0"), Value::text("cpuload"), Value::real(0.25),
+            Value::integer(3)});
+  t.insert({Value::text("ps1"), Value::text("memory"), Value::null(),
+            Value::integer(0)});
+  t.insert({Value::text("ps2"), Value::text("cpuload"), Value::real(1.5),
+            Value::integer(9)});
+  t.update_row(0, {Value::text("ps0"), Value::text("cpuload"),
+                   Value::real(0.75), Value::integer(4)});
+  t.erase_row(1);
+  t.vacuum();
+  tb.sim().run(1);  // let the group commit flush
+  std::string before = dump_rows(t);
+  ASSERT_EQ(t.row_count(), 2u);
+
+  // Process death: the volatile table clears; the journal hooks fired by
+  // the clearing are dropped because the log is down.
+  ts.log().crash();
+  std::vector<std::size_t> ids;
+  t.scan([&](std::size_t id, const rdbms::Row&) {
+    ids.push_back(id);
+    return true;
+  });
+  for (std::size_t id : ids) t.erase_row(id);
+  t.vacuum();
+  ASSERT_EQ(t.row_count(), 0u);
+
+  tb.sim().spawn(ts.log().recover());
+  tb.sim().run(3);
+  EXPECT_EQ(dump_rows(t), before);
+  EXPECT_EQ(ts.log().stats().replayed_records, 6u);
+  tb.sim().shutdown();
+}
+
+/// Durable Registry: 50 acknowledged registrations replay within seconds
+/// of restart — well before the 45 s re-registration beat that is the
+/// volatile baseline's only way back.
+TEST(StoreRecoveryTest, RegistryReplayBeatsReRegistration) {
+  core::TestbedConfig tc;
+  tc.seed = 42;
+  core::Testbed tb(tc);
+  rgma::RegistryConfig rc;
+  rc.store.mode = DurabilityMode::Wal;
+  core::RegistryScenario scen(tb, 5, 10, rc);
+  scen.prefill();
+  tb.sim().run(30);
+  std::size_t before = scen.registry->registered_count();
+  ASSERT_EQ(before, 50u);
+  ASSERT_NE(scen.registry->store_log(), nullptr);
+
+  scen.registry->crash();
+  EXPECT_EQ(scen.registry->registered_count(), 0u);
+  tb.sim().run(32);
+  scen.registry->restart();
+  tb.sim().run(35);  // replay only: the next re-registration beat is ~45 s
+  EXPECT_EQ(scen.registry->registered_count(), before);
+  double rec = scen.registry->recovered_at();
+  EXPECT_GE(rec, 32.0);
+  EXPECT_LE(rec, 35.0);
+  EXPECT_EQ(scen.registry->store_log()->stats().recoveries, 1u);
+  EXPECT_EQ(scen.registry->store_log()->stats().replayed_records, 50u);
+}
+
+/// Volatile contrast: the same crash leaves the directory empty until the
+/// producers' own soft-state beats refill it.
+TEST(StoreRecoveryTest, VolatileRegistryWaitsForSoftState) {
+  core::TestbedConfig tc;
+  tc.seed = 42;
+  core::Testbed tb(tc);
+  core::RegistryScenario scen(tb, 5, 10, rgma::RegistryConfig{});
+  scen.prefill();
+  tb.sim().run(30);
+  ASSERT_EQ(scen.registry->registered_count(), 50u);
+  EXPECT_EQ(scen.registry->store_log(), nullptr);
+
+  scen.registry->crash();
+  tb.sim().run(32);
+  scen.registry->restart();
+  tb.sim().run(35);  // where the durable run was already whole again...
+  EXPECT_EQ(scen.registry->registered_count(), 0u);
+  EXPECT_LT(scen.registry->recovered_at(), 0.0);
+
+  tb.sim().run(180);  // ...the volatile one waits out re-registration
+  EXPECT_EQ(scen.registry->registered_count(), 50u);
+  EXPECT_GE(scen.registry->recovered_at(), 40.0);
+}
+
+/// Durable Manager: the resident ClassAd store (snapshot + WAL tail)
+/// replays on restart; ads survive with their contents intact.
+TEST(StoreRecoveryTest, ManagerReplayRestoresAds) {
+  core::TestbedConfig tc;
+  tc.seed = 42;
+  core::Testbed tb(tc);
+  hawkeye::ManagerConfig mc;
+  mc.store.mode = DurabilityMode::WalSnapshot;
+  core::ManagerScenario scen(tb, 11, mc);
+  scen.prefill();
+  tb.sim().run(100);  // past the first 60 s snapshot
+  std::size_t before = scen.manager->machine_count();
+  ASSERT_GT(before, 0u);
+  ASSERT_NE(scen.manager->store_log(), nullptr);
+  EXPECT_GE(scen.manager->store_log()->stats().snapshots, 1u);
+  const classad::ClassAd* ad = scen.manager->find_machine("lucky0.mcs.anl.gov");
+  ASSERT_NE(ad, nullptr);
+  std::string ad_before = ad->to_string();
+
+  scen.manager->crash();
+  EXPECT_EQ(scen.manager->machine_count(), 0u);
+  tb.sim().run(102);
+  scen.manager->restart();
+  tb.sim().run(104);
+  EXPECT_EQ(scen.manager->machine_count(), before);
+  const classad::ClassAd* back =
+      scen.manager->find_machine("lucky0.mcs.anl.gov");
+  ASSERT_NE(back, nullptr);
+  EXPECT_EQ(back->to_string(), ad_before);
+  double rec = scen.manager->recovered_at();
+  EXPECT_GE(rec, 102.0);
+  EXPECT_LE(rec, 104.0);
+}
+
+}  // namespace
+}  // namespace gridmon

@@ -62,6 +62,12 @@ std::vector<CheckInfo> all_checks() {
        "in hot-path files"},
       {"hotpath.copy-loop",
        "copying range-for over heavy element types in hot-path files"},
+      {"store.wal-append-outside-txn",
+       "raw WAL frame appends outside store/ bypass Log::append's "
+       "sequencing and group commit"},
+      {"store.sync-in-hot-path",
+       "synchronous fsync/flush outside store/; append and 'co_await "
+       "Log::commit()' instead"},
       {"lint.bare-suppression",
        "suppression comments must carry a justification after '--'"},
       {"lint.unused-suppression",
@@ -83,6 +89,7 @@ std::vector<Diagnostic> analyze_source(const std::string& path,
   check_iteration(path, m, raw);
   check_coroutine(path, m, raw);
   check_hotpath(path, m, raw);
+  check_store(path, m, raw);
 
   std::vector<Diagnostic> out;
   for (Diagnostic& d : raw) {

@@ -1,0 +1,91 @@
+#include "checks.hpp"
+
+namespace gridmon::lint {
+namespace {
+
+/// The store subsystem itself owns the group-commit path; inside it, raw
+/// frame appends and synchronous barriers are the implementation.
+bool store_path(const std::string& path) {
+  if (path.rfind("store/", 0) == 0) return true;
+  return path.find("/store/") != std::string::npos;
+}
+
+/// Producing a WAL frame anywhere else bypasses Log::append's sequence
+/// numbering and group commit.
+const char* kAppendNames[] = {"append_frame"};
+
+/// Synchronous barriers outside store/: a service that fsyncs inline
+/// serializes its request path on the spindle; it must append and
+/// `co_await Log::commit()` instead.
+const char* kSyncNames[] = {"fsync", "flush_now"};
+
+/// Keywords that may legitimately precede a call expression; any other
+/// identifier before "name(" marks a declaration ("sim::Task<void> fsync(").
+const char* kCallContextKeywords[] = {"return", "co_return", "co_await",
+                                      "co_yield", "case",    "else",
+                                      "do",       "throw"};
+
+bool call_context_keyword(const std::string& s) {
+  for (const char* k : kCallContextKeywords) {
+    if (s == k) return true;
+  }
+  return false;
+}
+
+bool name_in(const std::string& s, const char* const* names, int count) {
+  for (int i = 0; i < count; ++i) {
+    if (s == names[i]) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+void check_store(const std::string& path, const Model& m,
+                 std::vector<Diagnostic>& out) {
+  if (store_path(path)) return;
+  const auto& t = m.toks;
+  int n = static_cast<int>(t.size());
+  for (int i = 0; i < n; ++i) {
+    if (t[i].kind != TokKind::Ident || i + 1 >= n || t[i + 1].text != "(") {
+      continue;
+    }
+    bool is_append = name_in(t[i].text, kAppendNames, 1);
+    bool is_sync = name_in(t[i].text, kSyncNames, 2);
+    if (!is_append && !is_sync) continue;
+
+    // Walk back over a qualifier chain (store::append_frame, Disk::fsync)
+    // so the declaration test looks at what precedes the whole postfix
+    // expression. Member calls (`disk().fsync(`) keep their '.'/'->' and
+    // stay flagged.
+    int j = i;
+    while (j >= 2 && t[j - 1].text == "::" && t[j - 2].kind == TokKind::Ident) {
+      j -= 2;
+    }
+    if (j >= 1) {
+      const Token& prev = t[j - 1];
+      bool declaration =
+          (prev.kind == TokKind::Ident && !call_context_keyword(prev.text)) ||
+          prev.text == ">" || prev.text == "&" || prev.text == "*" ||
+          prev.text == "~";
+      if (declaration) continue;
+    }
+
+    if (is_append) {
+      out.push_back(
+          {path, t[i].line, t[i].col, "store.wal-append-outside-txn",
+           "raw WAL frame append outside store/: bypasses Log::append's "
+           "sequence numbering and group-commit batching",
+           "call store::Log::append(payload) and await Log::commit()"});
+    } else {
+      out.push_back(
+          {path, t[i].line, t[i].col, "store.sync-in-hot-path",
+           "synchronous '" + t[i].text + "' outside store/: an inline "
+           "barrier serializes the request path on the disk spindle",
+           "append through store::Log and 'co_await log.commit()' — group "
+           "commit amortizes the barrier"});
+    }
+  }
+}
+
+}  // namespace gridmon::lint

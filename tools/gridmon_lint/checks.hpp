@@ -36,4 +36,11 @@ void check_coroutine(const std::string& path, const Model& m,
 void check_hotpath(const std::string& path, const Model& m,
                    std::vector<Diagnostic>& out);
 
+/// store.*: durability discipline outside src/gridmon/store — WAL frames
+/// may only be produced by Log::append (group commit owns sequencing), and
+/// no service may issue a synchronous fsync/flush on its request path;
+/// durability waits go through `co_await Log::commit()`.
+void check_store(const std::string& path, const Model& m,
+                 std::vector<Diagnostic>& out);
+
 }  // namespace gridmon::lint

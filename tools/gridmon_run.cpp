@@ -58,18 +58,29 @@ int main(int argc, char** argv) {
             << "s\n\n";
 
   bool with_faults = !spec.faults.empty();
+  bool with_store = spec.store.enabled();
   metrics::Table table(spec.service_name());
   std::vector<std::string> cols{"users",  "throughput (q/s)", "response (s)",
                                 "load1",  "cpu %",            "refused/s"};
   if (with_faults) {
-    cols.insert(cols.end(), {"avail", "err/s", "stale", "recovery (s)"});
+    cols.insert(cols.end(), {"avail", "err/s", "stale", "recovery (s)",
+                             "recovered (s)"});
+  }
+  if (with_store) {
+    cols.insert(cols.end(), {"store", "wal (B)", "flushes", "snapshots",
+                             "replayed", "replay (s)"});
   }
   table.set_columns(cols);
   std::ofstream csv;
   if (!opt.csv_path.empty()) {
     csv.open(opt.csv_path);
     csv << "service,users,throughput,response,load1,cpu,refused_per_s";
-    if (with_faults) csv << ",availability,error_rate,stale_frac,recovery";
+    if (with_faults) {
+      csv << ",availability,error_rate,stale_frac,recovery,recovery_complete";
+    }
+    if (with_store) {
+      csv << ",store_mode,wal_bytes,flushes,snapshots,replayed,replay_s";
+    }
     csv << "\n";
   }
 
@@ -128,6 +139,7 @@ int main(int argc, char** argv) {
         if (ev.at > last) last = ev.at;
       }
       mc.recovery_mark = last;
+      mc.recovered_at = [&scenario] { return scenario->recovered_at(); };
     }
     SweepPoint p = measure(tb, workload, spec.server_host(), n, mc);
     if (tracing) {
@@ -144,6 +156,21 @@ int main(int argc, char** argv) {
       row.push_back(metrics::Table::num(p.error_rate, 3));
       row.push_back(metrics::Table::num(p.stale_frac, 3));
       row.push_back(metrics::Table::num(p.recovery, 1));
+      row.push_back(metrics::Table::num(p.recovery_complete, 1));
+    }
+    const store::Log* log = with_store ? scenario->store_log() : nullptr;
+    if (with_store) {
+      if (log != nullptr) {
+        row.insert(row.end(),
+                   {store::mode_name(log->config().mode),
+                    metrics::Table::num(log->stats().wal_bytes, 0),
+                    std::to_string(log->stats().flushes),
+                    std::to_string(log->stats().snapshots),
+                    std::to_string(log->stats().replayed_records),
+                    metrics::Table::num(log->stats().last_replay_seconds, 3)});
+      } else {
+        row.insert(row.end(), {"-", "-", "-", "-", "-", "-"});
+      }
     }
     table.add_row(row);
     if (csv.is_open()) {
@@ -151,7 +178,19 @@ int main(int argc, char** argv) {
           << p.response << ',' << p.load1 << ',' << p.cpu << ',' << p.refused;
       if (with_faults) {
         csv << ',' << p.availability << ',' << p.error_rate << ','
-            << p.stale_frac << ',' << p.recovery;
+            << p.stale_frac << ',' << p.recovery << ','
+            << p.recovery_complete;
+      }
+      if (with_store) {
+        if (log != nullptr) {
+          csv << ',' << store::mode_name(log->config().mode) << ','
+              << log->stats().wal_bytes << ',' << log->stats().flushes << ','
+              << log->stats().snapshots << ','
+              << log->stats().replayed_records << ','
+              << log->stats().last_replay_seconds;
+        } else {
+          csv << ",-,-,-,-,-,-";
+        }
       }
       csv << '\n';
     }
