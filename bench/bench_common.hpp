@@ -209,6 +209,7 @@ inline core::SweepPoint run_point(const BenchOptions& opt,
   }
   if (spec.query_deadline > 0) wc.query_deadline = spec.query_deadline;
   if (spec.max_attempts > 0) wc.max_attempts = spec.max_attempts;
+  if (spec.resilience.enabled) wc.resilience = spec.resilience.client;
   core::UserWorkload workload(tb, scenario->query_fn(), wc);
   const std::string server = spec.server_host();
   if (trace_out != nullptr) {
@@ -221,6 +222,10 @@ inline core::SweepPoint run_point(const BenchOptions& opt,
   tb.sampler().start();
   core::MeasureConfig mc = opt.measure();
   if (trace_out != nullptr) mc.collector = &collector;
+  if (spec.resilience.enabled) {
+    mc.port = scenario->server_port();
+    mc.goodput_deadline = spec.goodput_deadline;
+  }
   double x = hooks.x.value_or(users);
   core::SweepPoint p = core::measure(tb, workload, server, x, mc);
   if (trace_out != nullptr) {

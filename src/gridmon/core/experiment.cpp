@@ -5,6 +5,8 @@
 #include <map>
 #include <ostream>
 
+#include "gridmon/net/server_port.hpp"
+
 namespace gridmon::core {
 
 SweepPoint measure(Testbed& testbed, UserWorkload& workload,
@@ -15,6 +17,11 @@ SweepPoint measure(Testbed& testbed, UserWorkload& workload,
   double refused_before = static_cast<double>(workload.refused_attempts());
   double errors_before = static_cast<double>(workload.error_count());
   double abandoned_before = static_cast<double>(workload.abandoned_queries());
+  double attempts_before = static_cast<double>(workload.total_attempts());
+  double queries_before = static_cast<double>(workload.total_queries());
+  double shed_before = config.port != nullptr
+                           ? static_cast<double>(config.port->total_shed())
+                           : 0;
   if (config.collector != nullptr) config.collector->set_enabled(true);
   testbed.sim().run(t0 + config.duration);
   if (config.collector != nullptr) config.collector->set_enabled(false);
@@ -37,6 +44,19 @@ SweepPoint measure(Testbed& testbed, UserWorkload& workload,
       (static_cast<double>(workload.error_count()) - errors_before) /
       config.duration;
   p.stale_frac = workload.stale_fraction(t0, t1);
+  p.goodput = workload.goodput(t0, t1, config.goodput_deadline);
+  if (config.port != nullptr) {
+    p.shed_rate = (static_cast<double>(config.port->total_shed()) -
+                   shed_before) /
+                  config.duration;
+  }
+  double d_queries =
+      static_cast<double>(workload.total_queries()) - queries_before;
+  p.retry_amp =
+      d_queries > 0
+          ? (static_cast<double>(workload.total_attempts()) - attempts_before) /
+                d_queries
+          : 0;
   if (config.recovery_mark >= 0) {
     double first = workload.first_success_after(config.recovery_mark);
     p.recovery = first >= 0 ? first - config.recovery_mark : -1;
@@ -72,6 +92,9 @@ SweepPoint replicate(const std::vector<std::uint64_t>& seeds,
     mean.stale_frac += p.stale_frac;
     mean.recovery += p.recovery;
     mean.recovery_complete += p.recovery_complete;
+    mean.goodput += p.goodput;
+    mean.shed_rate += p.shed_rate;
+    mean.retry_amp += p.retry_amp;
     throughputs.push_back(p.throughput);
   }
   double n = static_cast<double>(seeds.size());
@@ -86,6 +109,9 @@ SweepPoint replicate(const std::vector<std::uint64_t>& seeds,
     mean.stale_frac /= n;
     mean.recovery /= n;
     mean.recovery_complete /= n;
+    mean.goodput /= n;
+    mean.shed_rate /= n;
+    mean.retry_amp /= n;
   }
   if (throughput_stddev_out != nullptr) {
     double ss = 0;

@@ -15,6 +15,10 @@
 #include "gridmon/core/workload.hpp"
 #include "gridmon/metrics/report.hpp"
 
+namespace gridmon::net {
+class ServerPort;
+}
+
 namespace gridmon::core {
 
 struct MeasureConfig {
@@ -36,6 +40,13 @@ struct MeasureConfig {
   /// long before its contents are back, which is exactly the gap the two
   /// columns expose.
   std::function<double()> recovered_at;
+  /// The service's listen port when a resilience policy is active: its
+  /// shed counter is deltaed over the window into `shed_rate`. Null (the
+  /// default) reports zero.
+  const net::ServerPort* port = nullptr;
+  /// Response-time bound for a completion to count toward goodput. 0 (the
+  /// default) counts every completion, making goodput == throughput.
+  double goodput_deadline = 0;
 };
 
 /// One sweep point of a figure.
@@ -53,6 +64,12 @@ struct SweepPoint {
                             // never) — service reachability
   double recovery_complete = 0;  // state re-converged past recovery_mark
                                  // (-1: never/unknown) — data recovery
+  double goodput = 0;    // timely completions/s (== throughput without a
+                         // goodput deadline); stale answers still count —
+                         // answer quality is tracked by stale_frac
+  double shed_rate = 0;  // deadline-shed admissions per second
+  double retry_amp = 0;  // attempts per started query over the window
+                         // (1.0 = no retries)
 };
 
 /// Run the clock through warmup+duration and collect a SweepPoint for

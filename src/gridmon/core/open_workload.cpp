@@ -1,12 +1,33 @@
 #include "gridmon/core/open_workload.hpp"
 
 #include <algorithm>
+#include <stdexcept>
+#include <string>
 
 namespace gridmon::core {
 
 OpenWorkload::OpenWorkload(Testbed& testbed, QueryFn query,
                            OpenWorkloadConfig config)
-    : testbed_(testbed), query_(std::move(query)), config_(config) {}
+    : testbed_(testbed),
+      query_(std::move(query)),
+      config_(config),
+      policy_(config_.resilience) {
+  // A schedule shorter than max_retries silently reused its last entry
+  // for the extra retries; require the two knobs to agree.
+  if (!config_.retry_schedule.empty() &&
+      config_.retry_schedule.size() <
+          static_cast<std::size_t>(std::max(config_.max_retries, 0))) {
+    throw std::invalid_argument(
+        "OpenWorkloadConfig: retry_schedule has " +
+        std::to_string(config_.retry_schedule.size()) +
+        " entries but max_retries allows " +
+        std::to_string(config_.max_retries) +
+        " retries; size the schedule to cover every retry (or leave it "
+        "empty for the exponential default)");
+  }
+  backoff_.schedule = config_.retry_schedule;
+  backoff_.jitter = config_.retry_jitter;
+}
 
 OpenWorkload::OpenWorkload(Testbed& testbed, TracedQueryFn query,
                            OpenWorkloadConfig config)
@@ -38,23 +59,35 @@ sim::Task<void> OpenWorkload::one_query(OpenWorkload& self,
   auto& sim = self.testbed_.sim();
   ++self.outstanding_;
   double started = sim.now();
+  self.policy_.on_query();
   QueryAttempt attempt;
   int retry = 0;
   for (;;) {
-    attempt = co_await self.query_(nic);
+    // Circuit breaker: while Open the attempt fails locally, costing the
+    // network and server nothing.
+    bool fast_failed = !self.policy_.allow(sim.now());
+    if (fast_failed) {
+      attempt = QueryAttempt{};
+    } else {
+      ++self.attempts_;
+      attempt = co_await self.query_(nic);
+      self.policy_.record(sim.now(), attempt.admitted);
+    }
     if (attempt.admitted) break;
     if (retry >= self.config_.max_retries) {
       ++self.failures_;
       --self.outstanding_;
       co_return;
     }
-    const auto& schedule = self.config_.retry_schedule;
-    double delay =
-        schedule.empty()
-            ? 1.0
-            : schedule[std::min<std::size_t>(static_cast<std::size_t>(retry),
-                                             schedule.size() - 1)];
-    co_await sim.delay(delay * rng.uniform(0.98, 1.02));
+    // Retry budget: exhausted means this one-shot script gives up now
+    // instead of feeding the retry storm.
+    if (!self.policy_.allow_retry()) {
+      ++self.failures_;
+      --self.outstanding_;
+      co_return;
+    }
+    co_await sim.delay(
+        self.backoff_.delay(static_cast<std::size_t>(retry), rng));
     ++retry;
   }
   self.completions_.push_back(

@@ -23,9 +23,17 @@ struct OpenWorkloadConfig {
   /// Mean arrivals per second across the whole client population.
   double arrival_rate = 1.0;
   /// Give up counting a query after this many refused-connection retries
-  /// (open-loop clients are typically one-shot scripts).
+  /// (open-loop clients are typically one-shot scripts). The workload
+  /// constructor rejects a non-empty retry_schedule shorter than this —
+  /// the two knobs silently drifting apart meant later retries reused
+  /// whatever the last entry happened to be.
   int max_retries = 3;
   std::vector<double> retry_schedule{3, 6, 12};
+  /// Multiplicative backoff jitter (the legacy inline constant).
+  double retry_jitter = 0.02;
+  /// Client-side overload control; disabled by default (byte-identical
+  /// legacy behavior).
+  resilience::ClientPolicyConfig resilience{};
 };
 
 class OpenWorkload {
@@ -50,6 +58,19 @@ class OpenWorkload {
   std::uint64_t failures() const noexcept { return failures_; }
   /// Queries in flight right now (grows without bound past saturation).
   int outstanding() const noexcept { return outstanding_; }
+  /// Network attempts actually issued (excludes breaker fast-fails).
+  std::uint64_t total_attempts() const noexcept { return attempts_; }
+  /// attempts/arrivals — the open-loop retry-storm signature is this
+  /// ratio diverging during an outage.
+  double retry_amplification() const noexcept {
+    return arrivals_ > 0 ? static_cast<double>(attempts_) /
+                               static_cast<double>(arrivals_)
+                         : 0;
+  }
+  /// Shared client policy toward the service under test.
+  const resilience::ClientPolicy& resilience_policy() const noexcept {
+    return policy_;
+  }
 
   double throughput(double t0, double t1) const;
   double mean_response(double t0, double t1) const;
@@ -63,9 +84,12 @@ class OpenWorkload {
   Testbed& testbed_;
   QueryFn query_;
   OpenWorkloadConfig config_;
+  resilience::BackoffPolicy backoff_;
+  resilience::ClientPolicy policy_;
   std::vector<Completion> completions_;
   std::uint64_t arrivals_ = 0;
   std::uint64_t failures_ = 0;
+  std::uint64_t attempts_ = 0;
   int outstanding_ = 0;
 };
 

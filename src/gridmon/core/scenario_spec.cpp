@@ -122,6 +122,60 @@ void parse_fault_key(ScenarioSpec& spec, const std::string& key,
   }
 }
 
+void parse_resilience_key(ScenarioSpec& spec, const std::string& key,
+                          const std::string& value) {
+  const int n = 0;
+  auto& r = spec.resilience;
+  if (key == "enabled") {
+    bool on = parse_bool(value);
+    r.enabled = on;
+    r.client.enabled = on;
+    r.server.enabled = on;
+  } else if (key == "client") {
+    r.client.enabled = parse_bool(value);
+    r.enabled = r.client.enabled || r.server.enabled;
+  } else if (key == "server") {
+    r.server.enabled = parse_bool(value);
+    r.enabled = r.client.enabled || r.server.enabled;
+  } else if (key == "retry_budget") {
+    r.client.budget.capacity = parse_double(value, n);
+  } else if (key == "retry_ratio") {
+    r.client.budget.fill_ratio = parse_double(value, n);
+  } else if (key == "breaker_window") {
+    r.client.breaker.window =
+        static_cast<std::size_t>(parse_int_list(value, n).front());
+  } else if (key == "breaker_min_samples") {
+    r.client.breaker.min_samples =
+        static_cast<std::size_t>(parse_int_list(value, n).front());
+  } else if (key == "breaker_threshold") {
+    r.client.breaker.failure_threshold = parse_double(value, n);
+  } else if (key == "breaker_open_secs") {
+    r.client.breaker.open_duration = parse_double(value, n);
+  } else if (key == "breaker_probes") {
+    r.client.breaker.half_open_probes =
+        static_cast<std::size_t>(parse_int_list(value, n).front());
+  } else if (key == "discipline") {
+    try {
+      r.server.discipline = resilience::parse_discipline(lower(value));
+    } catch (const std::invalid_argument& e) {
+      throw ConfigError(e.what());
+    }
+  } else if (key == "queue_limit") {
+    r.server.queue_limit =
+        static_cast<std::size_t>(parse_int_list(value, n).front());
+  } else if (key == "deadline_budget") {
+    r.server.deadline_budget = parse_double(value, n);
+  } else if (key == "serve_stale") {
+    r.server.serve_stale = parse_bool(value);
+  } else if (key == "pressure") {
+    r.server.pressure_threshold = parse_double(value, n);
+  } else if (key == "goodput_deadline") {
+    spec.goodput_deadline = parse_double(value, n);
+  } else {
+    throw ConfigError("unknown key '" + key + "' in [resilience]");
+  }
+}
+
 void parse_store_key(ScenarioSpec& spec, const std::string& key,
                      const std::string& value) {
   const int n = 0;
@@ -286,14 +340,18 @@ std::string ScenarioSpec::service_name() const {
   return "?";
 }
 
-std::unique_ptr<Scenario> make_scenario(Testbed& tb,
-                                        const ScenarioSpec& spec) {
+namespace {
+
+std::unique_ptr<Scenario> build_scenario(Testbed& tb,
+                                         const ScenarioSpec& spec) {
   switch (spec.service) {
     case ServiceKind::Gris:
     case ServiceKind::GrisNocache: {
       if (spec.query != QueryVariant::Default) bad_variant(spec);
-      bool cache = spec.service == ServiceKind::Gris;
-      auto s = std::make_unique<GrisScenario>(tb, spec_providers(spec), cache,
+      mds::GrisConfig gc;
+      gc.cache_enabled = spec.service == ServiceKind::Gris;
+      if (spec.gris_backlog > 0) gc.backlog = spec.gris_backlog;
+      auto s = std::make_unique<GrisScenario>(tb, spec_providers(spec), gc,
                                               spec.gris_host);
       s->set_query(query_gris(*s->gris));
       return s;
@@ -441,6 +499,15 @@ std::unique_ptr<Scenario> make_scenario(Testbed& tb,
   throw ConfigError("unhandled service kind");
 }
 
+}  // namespace
+
+std::unique_ptr<Scenario> make_scenario(Testbed& tb,
+                                        const ScenarioSpec& spec) {
+  auto s = build_scenario(tb, spec);
+  if (spec.resilience.enabled) s->apply_resilience(spec.resilience);
+  return s;
+}
+
 std::map<std::string, std::map<std::string, std::string>> parse_ini(
     const std::string& text) {
   std::map<std::string, std::map<std::string, std::string>> out;
@@ -492,7 +559,7 @@ ScenarioSpec parse_scenario_spec(const std::string& text) {
   }
   for (const auto& [section, unused] : ini) {
     if (section != "experiment" && section != "faults" &&
-        section != "store") {
+        section != "store" && section != "resilience") {
       throw ConfigError("unknown section [" + section + "]");
     }
   }
@@ -551,6 +618,8 @@ ScenarioSpec parse_scenario_spec(const std::string& text) {
       spec.cachettl = parse_double(value, n);
     } else if (key == "provider_ttl") {
       spec.provider_ttl = parse_double(value, n);
+    } else if (key == "gris_backlog") {
+      spec.gris_backlog = parse_int_list(value, n).front();
     } else {
       throw ConfigError("unknown key '" + key + "' in [experiment]");
     }
@@ -565,6 +634,19 @@ ScenarioSpec parse_scenario_spec(const std::string& text) {
   if (store_it != ini.end()) {
     for (const auto& [key, value] : store_it->second) {
       parse_store_key(spec, key, value);
+    }
+  }
+  auto res_it = ini.find("resilience");
+  if (res_it != ini.end()) {
+    // Apply the master switch first so `enabled = true` composes with
+    // per-side overrides regardless of key order in the file.
+    auto en = res_it->second.find("enabled");
+    if (en != res_it->second.end()) {
+      parse_resilience_key(spec, "enabled", en->second);
+    }
+    for (const auto& [key, value] : res_it->second) {
+      if (key == "enabled") continue;
+      parse_resilience_key(spec, key, value);
     }
   }
   if (spec.store.enabled() && spec.service != ServiceKind::Registry &&

@@ -42,6 +42,7 @@
 ///   constraint = CpuLoad > 100000   ; manager-aggregate scan predicate
 ///   cachettl  = 45        ; giis/hierarchy cache TTL (seconds)
 ///   provider_ttl = 30     ; GRIS provider cache TTL override
+///   gris_backlog = 512    ; GRIS listen backlog override (0 = default)
 ///
 /// An optional [faults] section schedules deterministic fault injection
 /// (times are absolute sim seconds, so warmup is included):
@@ -68,6 +69,28 @@
 ///   snapshot_interval = 60    ; seconds between snapshots
 ///   replay_cpu_per_record = 5e-5  ; recovery CPU per replayed record
 ///
+/// An optional [resilience] section turns on the overload-control layer
+/// (docs/RESILIENCE.md). Omitting it (or enabled = false) keeps every
+/// run byte-identical to a tree without the layer:
+///
+///   [resilience]
+///   enabled  = true           ; master switch (client + server sides)
+///   client   = true           ; client side only (budget + breaker)
+///   server   = true           ; server side only (queue + shed + stale)
+///   retry_budget = 10         ; banked retry tokens (bucket capacity)
+///   retry_ratio  = 0.1        ; tokens deposited per fresh request
+///   breaker_window = 20       ; outcomes in the failure-rate window
+///   breaker_min_samples = 10  ; don't trip before this many outcomes
+///   breaker_threshold = 0.5   ; failure fraction that trips Open
+///   breaker_open_secs = 10    ; seconds Open before half-open probing
+///   breaker_probes = 1        ; concurrent half-open probes
+///   discipline = fifo         ; fifo | lifo | edf (freed-slot hand-off)
+///   queue_limit = 256         ; parked waiters beyond the listen queue
+///   deadline_budget = 0       ; shed after this queue wait (0 = off)
+///   serve_stale = false       ; caches answer stale under shed pressure
+///   pressure = 0.9            ; in-flight/backlog ratio = "overloaded"
+///   goodput_deadline = 0      ; response bound for goodput (0 = all)
+///
 /// Lines starting with '#' or ';' are comments; inline ';' comments are
 /// stripped. Unknown keys are an error (catches typos).
 
@@ -79,6 +102,7 @@
 #include <vector>
 
 #include "gridmon/fault/plan.hpp"
+#include "gridmon/resilience/policy.hpp"
 #include "gridmon/store/durable.hpp"
 
 namespace gridmon::core {
@@ -154,6 +178,10 @@ struct ScenarioSpec {
   double cachettl = 0;      // Giis/Hierarchy TTL (0 = service default)
   /// GRIS provider overrides (0 = keep default_providers() values).
   double provider_ttl = 0;
+  /// GRIS listen-backlog override (0 = GrisConfig default). The overload
+  /// benches shrink it so admission control, not slapd's worker queue,
+  /// bounds in-server latency.
+  int gris_backlog = 0;
   int provider_entries = 0;
   int provider_bytes = 0;
   /// RgmaStandalone: flag replies stale once publishers go silent (0 =
@@ -174,6 +202,13 @@ struct ScenarioSpec {
   double query_deadline = 0;
   /// Retries before a query is abandoned (0 = retry forever).
   int max_attempts = 0;
+
+  /// The [resilience] overload-control knobs (disabled = byte-identical
+  /// legacy behavior).
+  resilience::Config resilience;
+  /// Response-time bound for a completion to count toward goodput in
+  /// measure() (0 = every completion is good).
+  double goodput_deadline = 0;
 
   /// Host whose Ganglia metrics are reported (derived from the service).
   std::string server_host() const;

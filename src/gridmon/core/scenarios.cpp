@@ -46,9 +46,17 @@ GrisScenario::GrisScenario(Testbed& tb, int providers, bool cache,
 
 GrisScenario::GrisScenario(Testbed& tb, std::vector<mds::ProviderSpec> providers,
                            bool cache, const std::string& host)
+    : GrisScenario(tb, std::move(providers),
+                   [cache] {
+                     mds::GrisConfig config;
+                     config.cache_enabled = cache;
+                     return config;
+                   }(),
+                   host) {}
+
+GrisScenario::GrisScenario(Testbed& tb, std::vector<mds::ProviderSpec> providers,
+                           mds::GrisConfig config, const std::string& host)
     : Scenario(tb) {
-  mds::GrisConfig config;
-  config.cache_enabled = cache;
   gris = std::make_unique<mds::Gris>(tb.network(), tb.host(host), tb.nic(host),
                                      host + ".mcs.anl.gov",
                                      std::move(providers), config);

@@ -61,6 +61,17 @@ class Scenario {
   const TracedQueryFn& query_fn() const noexcept { return query_; }
   void set_query(TracedQueryFn q) { query_ = std::move(q); }
 
+  /// Thread the overload-control layer through the deployment: server
+  /// policy on every listen port, serve-stale in the caches, client
+  /// breakers on the inter-service call paths. Default: nothing.
+  virtual void apply_resilience(const resilience::Config& config) {
+    (void)config;
+  }
+
+  /// The listen port of the service under test — measure() reads its
+  /// shed counters through this. Null for push-only deployments.
+  virtual const net::ServerPort* server_port() const { return nullptr; }
+
   /// Durability engine of the service under test (null when the service
   /// runs volatile or has no durable-state support). gridmon_run's
   /// [store] columns and the durability bench read through this.
@@ -98,9 +109,19 @@ struct GrisScenario : Scenario {
   /// Explicit provider specs (the TTL / entry-volume ablations).
   GrisScenario(Testbed& tb, std::vector<mds::ProviderSpec> providers,
                bool cache, const std::string& host = "lucky7");
+  /// Full config control (the overload ablations shrink the listen
+  /// backlog so the admission queue, not slapd's internals, is the bound).
+  GrisScenario(Testbed& tb, std::vector<mds::ProviderSpec> providers,
+               mds::GrisConfig config, const std::string& host = "lucky7");
   void instrument(trace::Collector& col) override { gris->instrument(col); }
   void register_faults(fault::Injector& inj) override {
     inj.add_service("server", *gris);
+  }
+  void apply_resilience(const resilience::Config& config) override {
+    gris->set_resilience(config);
+  }
+  const net::ServerPort* server_port() const override {
+    return &gris->port();
   }
   std::unique_ptr<mds::Gris> gris;
 };
@@ -122,6 +143,13 @@ struct AgentScenario : Scenario {
     inj.add_service("agent", *agent);
     inj.add_service("manager", *manager);
   }
+  void apply_resilience(const resilience::Config& config) override {
+    agent->set_resilience(config);
+    manager->set_resilience(config);
+  }
+  const net::ServerPort* server_port() const override {
+    return &agent->port();
+  }
   std::unique_ptr<hawkeye::Manager> manager;
   std::unique_ptr<hawkeye::Agent> agent;
 };
@@ -136,6 +164,18 @@ struct RgmaScenario : Scenario {
   RgmaScenario(Testbed& tb, int producers, Consumers consumers);
   void instrument(trace::Collector& col) override;
   void register_faults(fault::Injector& inj) override;
+  void apply_resilience(const resilience::Config& config) override {
+    producer_servlet->port().set_policy(config.server);
+    registry->port().set_policy(config.server);
+    for (auto& [machine, servlet] : consumer_servlets) {
+      servlet->set_resilience(config);
+    }
+  }
+  const net::ServerPort* server_port() const override {
+    return consumer_servlets.empty()
+               ? &producer_servlet->port()
+               : &consumer_servlets.begin()->second->port();
+  }
 
   std::unique_ptr<rgma::Registry> registry;
   std::unique_ptr<rgma::ProducerServlet> producer_servlet;
@@ -160,6 +200,13 @@ struct GiisScenario : Scenario {
                double cachettl = 1e18);
   void instrument(trace::Collector& col) override;
   void register_faults(fault::Injector& inj) override;
+  void apply_resilience(const resilience::Config& config) override {
+    giis->set_resilience(config);
+    for (auto& g : gris) g->set_resilience(config);
+  }
+  const net::ServerPort* server_port() const override {
+    return &giis->port();
+  }
   std::unique_ptr<mds::Giis> giis;
   std::vector<std::unique_ptr<mds::Gris>> gris;
 
@@ -181,6 +228,13 @@ struct ManagerScenario : Scenario {
   void register_faults(fault::Injector& inj) override;
   /// Let the agents' first ads land (the benches' `run(40.0)`).
   void prefill() override { testbed_.sim().run(40.0); }
+  void apply_resilience(const resilience::Config& config) override {
+    manager->set_resilience(config);
+    for (auto& a : agents) a->set_resilience(config);
+  }
+  const net::ServerPort* server_port() const override {
+    return &manager->port();
+  }
   const store::Log* store_log() const override {
     return manager->store_log();
   }
@@ -201,6 +255,13 @@ struct RegistryScenario : Scenario {
   void register_faults(fault::Injector& inj) override;
   /// Let the servlet registrations land (the benches' `run(10.0)`).
   void prefill() override { testbed_.sim().run(10.0); }
+  void apply_resilience(const resilience::Config& config) override {
+    registry->port().set_policy(config.server);
+    for (auto& s : servlets) s->port().set_policy(config.server);
+  }
+  const net::ServerPort* server_port() const override {
+    return &registry->port();
+  }
   const store::Log* store_log() const override {
     return registry->store_log();
   }
@@ -225,6 +286,12 @@ struct StandaloneRgmaScenario : Scenario {
   void register_faults(fault::Injector& inj) override {
     inj.add_service("server", *servlet);
   }
+  void apply_resilience(const resilience::Config& config) override {
+    servlet->port().set_policy(config.server);
+  }
+  const net::ServerPort* server_port() const override {
+    return &servlet->port();
+  }
   std::unique_ptr<rgma::ProducerServlet> servlet;
 };
 
@@ -239,6 +306,13 @@ struct GiisAggregationScenario : Scenario {
                           int providers_per_gris = 10);
   void instrument(trace::Collector& col) override;
   void register_faults(fault::Injector& inj) override;
+  void apply_resilience(const resilience::Config& config) override {
+    giis->set_resilience(config);
+    for (auto& g : gris) g->set_resilience(config);
+  }
+  const net::ServerPort* server_port() const override {
+    return &giis->port();
+  }
   std::unique_ptr<mds::Giis> giis;
   std::vector<std::unique_ptr<mds::Gris>> gris;
   void prefill() override;
@@ -258,6 +332,12 @@ struct ManagerAggregationScenario : Scenario {
   void register_faults(fault::Injector& inj) override {
     inj.add_service("server", *manager);
     inj.add_service("manager", *manager);
+  }
+  void apply_resilience(const resilience::Config& config) override {
+    manager->set_resilience(config);
+  }
+  const net::ServerPort* server_port() const override {
+    return &manager->port();
   }
   const store::Log* store_log() const override {
     return manager->store_log();
@@ -283,6 +363,14 @@ struct HierarchyScenario : Scenario {
                     double cachettl = 45.0);
   void instrument(trace::Collector& col) override;
   void register_faults(fault::Injector& inj) override;
+  void apply_resilience(const resilience::Config& config) override {
+    root->set_resilience(config);
+    for (auto& m : mids) m->set_resilience(config);
+    for (auto& g : gris) g->set_resilience(config);
+  }
+  const net::ServerPort* server_port() const override {
+    return &root->port();
+  }
   void prefill() override;
 
   /// Round-robin user routing over the six site GIISes (the deployment
@@ -311,6 +399,13 @@ struct CompositeScenario : Scenario {
   void register_faults(fault::Injector& inj) override {
     inj.add_service("server", composite->servlet());
   }
+  void apply_resilience(const resilience::Config& config) override {
+    composite->servlet().port().set_policy(config.server);
+    for (auto& s : sources) s->port().set_policy(config.server);
+  }
+  const net::ServerPort* server_port() const override {
+    return &composite->servlet().port();
+  }
   /// Let the first publish round reach the aggregate (`run(60.0)`).
   void prefill() override { testbed_.sim().run(60.0); }
 
@@ -337,6 +432,12 @@ struct FanoutScenario : Scenario {
   void register_faults(fault::Injector& inj) override {
     inj.add_service("server", *servlet);
   }
+  void apply_resilience(const resilience::Config& config) override {
+    servlet->port().set_policy(config.server);
+  }
+  const net::ServerPort* server_port() const override {
+    return &servlet->port();
+  }
 
   std::unique_ptr<rgma::ProducerServlet> servlet;
   rgma::Producer* producer = nullptr;
@@ -356,6 +457,13 @@ struct ReplicatedRgmaScenario : Scenario {
   ReplicatedRgmaScenario(Testbed& tb, int replicas, int pool_size);
   void instrument(trace::Collector& col) override;
   void register_faults(fault::Injector& inj) override;
+  void apply_resilience(const resilience::Config& config) override {
+    registry->port().set_policy(config.server);
+    for (auto& s : servlets) s->port().set_policy(config.server);
+  }
+  const net::ServerPort* server_port() const override {
+    return servlets.empty() ? nullptr : &servlets.front()->port();
+  }
   /// Let the replica registrations land (`run(10.0)`).
   void prefill() override { testbed_.sim().run(10.0); }
 

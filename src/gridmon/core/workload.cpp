@@ -38,7 +38,13 @@ UserWorkload::UserWorkload(Testbed& testbed, QueryFn query,
 
 UserWorkload::UserWorkload(Testbed& testbed, TracedQueryFn query,
                            WorkloadConfig config)
-    : testbed_(testbed), query_(std::move(query)), config_(config) {}
+    : testbed_(testbed),
+      query_(std::move(query)),
+      config_(config),
+      policy_(config_.resilience) {
+  backoff_.schedule = config_.retry_schedule;
+  backoff_.jitter = config_.retry_jitter;
+}
 
 void UserWorkload::spawn_users(int n,
                                const std::vector<std::string>& client_hosts) {
@@ -72,6 +78,8 @@ sim::Task<void> UserWorkload::user_loop(UserWorkload& self, host::Host& host,
   co_await sim.delay(rng.uniform(0, self.config_.think_time));
   for (;;) {
     double started = sim.now();
+    ++self.queries_;
+    self.policy_.on_query();
     double deadline = self.config_.query_deadline > 0
                           ? started + self.config_.query_deadline
                           : -1;
@@ -88,7 +96,14 @@ sim::Task<void> UserWorkload::user_loop(UserWorkload& self, host::Host& host,
       trace::Span query_span(root, trace::SpanKind::Query);
       for (;;) {
         ++attempts;
-        if (deadline < 0) {
+        // Circuit breaker toward the service: while Open, fail the
+        // attempt locally without touching the network. Fast-fails are
+        // client-side decisions, so they do not count as refusals.
+        bool fast_failed = !self.policy_.allow(sim.now());
+        if (fast_failed) {
+          attempt = QueryAttempt{};
+        } else if (deadline < 0) {
+          ++self.attempts_;
           attempt = co_await self.query_(nic, query_span.ctx());
         } else {
           double remaining = deadline - sim.now();
@@ -97,34 +112,41 @@ sim::Task<void> UserWorkload::user_loop(UserWorkload& self, host::Host& host,
             break;
           }
           // Race the attempt against the script's remaining patience.
+          ++self.attempts_;
           auto box = std::make_shared<AttemptBox>(sim);
           sim.spawn(run_attempt(self.query_, nic, query_span.ctx(), box));
           bool finished = co_await box->done.wait_for(remaining);
           if (!finished || !box->result) {
             // Deadline hit with the attempt still in flight: the client
             // kills its query tool and walks away; the orphaned attempt
-            // runs on server-side until it fizzles out.
+            // runs on server-side until it fizzles out. The breaker
+            // learns nothing (the outcome is unknown to the client).
             abandoned = true;
             break;
           }
           attempt = *box->result;
         }
-        if (attempt.timed_out) ++self.timeouts_;
-        if (attempt.failed) ++self.failures_;
-        if (attempt.admitted && !attempt.failed && !attempt.timed_out) break;
-        if (!attempt.admitted && !attempt.timed_out) ++self.refused_;
+        if (!fast_failed) {
+          self.policy_.record(sim.now(), attempt.admitted && !attempt.failed &&
+                                             !attempt.timed_out);
+          if (attempt.timed_out) ++self.timeouts_;
+          if (attempt.failed) ++self.failures_;
+          if (attempt.admitted && !attempt.failed && !attempt.timed_out) break;
+          if (!attempt.admitted && !attempt.timed_out) ++self.refused_;
+        }
         if (self.config_.max_attempts > 0 &&
             attempts >= self.config_.max_attempts) {
           abandoned = true;
           break;
         }
+        // Retry budget: an exhausted budget abandons the query rather
+        // than amplifying an outage into a retry storm.
+        if (!self.policy_.allow_retry()) {
+          abandoned = true;
+          break;
+        }
         // Dropped SYN / failed attempt: wait out the retransmission timer.
-        const auto& schedule = self.config_.retry_schedule;
-        double delay = schedule.empty()
-                           ? 1.0
-                           : schedule[std::min(retry, schedule.size() - 1)];
-        double j = self.config_.retry_jitter;
-        delay *= rng.uniform(1.0 - j, 1.0 + j);
+        double delay = self.backoff_.delay(retry, rng);
         if (deadline >= 0 && sim.now() + delay >= deadline) {
           // The deadline lands inside this backoff: die right there.
           trace::Span backoff(query_span.ctx(), trace::SpanKind::Backoff);
@@ -197,6 +219,18 @@ double UserWorkload::stale_fraction(double t0, double t1) const {
     }
   }
   return n ? static_cast<double>(stale) / static_cast<double>(n) : 0;
+}
+
+double UserWorkload::goodput(double t0, double t1, double deadline) const {
+  if (t1 <= t0) return 0;
+  std::size_t n = 0;
+  for (const auto& c : completions_) {
+    if (c.t >= t0 && c.t <= t1 &&
+        (deadline <= 0 || c.response_time <= deadline)) {
+      ++n;
+    }
+  }
+  return static_cast<double>(n) / (t1 - t0);
 }
 
 double UserWorkload::first_success_after(double t) const {

@@ -15,6 +15,8 @@
 
 #include "gridmon/core/testbed.hpp"
 #include "gridmon/net/network.hpp"
+#include "gridmon/resilience/backoff.hpp"
+#include "gridmon/resilience/policy.hpp"
 #include "gridmon/sim/rng.hpp"
 #include "gridmon/sim/task.hpp"
 #include "gridmon/trace/collector.hpp"
@@ -62,6 +64,11 @@ struct WorkloadConfig {
   /// Give up after this many attempts (first try + retries). 0 = retry
   /// forever (the original behavior).
   int max_attempts = 0;
+  /// Client-side overload control (retry budget + circuit breaker toward
+  /// the service under test). Disabled by default; when disabled the
+  /// workload's behavior and RNG stream are byte-identical to the
+  /// pre-resilience tree.
+  resilience::ClientPolicyConfig resilience{};
 };
 
 struct Completion {
@@ -101,6 +108,24 @@ class UserWorkload {
   }
   int users() const noexcept { return users_; }
 
+  /// Queries started (first attempts issued, whether or not they ever
+  /// completed).
+  std::uint64_t total_queries() const noexcept { return queries_; }
+  /// Network attempts actually issued (excludes breaker fast-fails).
+  std::uint64_t total_attempts() const noexcept { return attempts_; }
+  /// attempts/queries — 1.0 means no retries; the retry-storm signature
+  /// is this ratio diverging during an outage.
+  double retry_amplification() const noexcept {
+    return queries_ > 0 ? static_cast<double>(attempts_) /
+                              static_cast<double>(queries_)
+                        : 0;
+  }
+  /// The shared client policy toward the service under test (fast-fail /
+  /// budget-suppression counters live on its breaker and budget).
+  const resilience::ClientPolicy& resilience_policy() const noexcept {
+    return policy_;
+  }
+
   /// Completed queries per second over [t0, t1].
   double throughput(double t0, double t1) const;
   /// Mean response time of queries completing in [t0, t1].
@@ -109,6 +134,9 @@ class UserWorkload {
   std::size_t completed(double t0, double t1) const;
   /// Fraction of completions in [t0, t1] whose answer was stale.
   double stale_fraction(double t0, double t1) const;
+  /// Timely completions per second over [t0, t1]: response_time <=
+  /// `deadline`. deadline <= 0 counts every completion (== throughput).
+  double goodput(double t0, double t1, double deadline) const;
   /// Completion time of the first successful query at or after `t`, or -1
   /// if none — the raw material for time-to-recovery.
   double first_success_after(double t) const;
@@ -128,12 +156,16 @@ class UserWorkload {
   Testbed& testbed_;
   TracedQueryFn query_;
   WorkloadConfig config_;
+  resilience::BackoffPolicy backoff_;
+  resilience::ClientPolicy policy_;
   trace::Collector* collector_ = nullptr;
   std::vector<Completion> completions_;
   std::uint64_t refused_ = 0;
   std::uint64_t timeouts_ = 0;
   std::uint64_t failures_ = 0;
   std::uint64_t abandoned_ = 0;
+  std::uint64_t queries_ = 0;
+  std::uint64_t attempts_ = 0;
   int users_ = 0;
 };
 

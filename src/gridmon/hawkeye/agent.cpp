@@ -204,13 +204,23 @@ sim::Task<void> Agent::advertise_loop(Manager& manager) {
       co_await sim.delay(config_.advertise_interval);
       continue;
     }
+    if (resilience_.client.enabled && !advertise_breaker_.allow(sim.now())) {
+      // Breaker open toward the Manager: skip the whole beat — including
+      // the collection CPU — instead of building ads a dead or drowning
+      // head node will drop anyway.
+      co_await sim.delay(config_.advertise_interval);
+      continue;
+    }
     classad::ClassAd ad;
     {
       auto lease = co_await thread_.acquire();
       ad = co_await collect();
     }
     double bytes = std::max(ad.wire_bytes(), config_.min_ad_bytes);
-    co_await manager.advertise(nic_, std::move(ad), bytes);
+    bool delivered = co_await manager.advertise(nic_, std::move(ad), bytes);
+    if (resilience_.client.enabled) {
+      advertise_breaker_.record(sim.now(), delivered);
+    }
     co_await sim.delay(config_.advertise_interval);
   }
 }

@@ -63,6 +63,17 @@ class Agent {
   net::ServerPort& port() noexcept { return port_; }
   std::size_t module_count() const noexcept { return modules_.size(); }
 
+  /// Install the overload-control layer: server policy on the query port,
+  /// a circuit breaker on the advertise path toward the Manager.
+  void set_resilience(const resilience::Config& config) {
+    resilience_ = config;
+    port_.set_policy(config.server);
+    advertise_breaker_ = resilience::CircuitBreaker(config.client.breaker);
+  }
+  const resilience::CircuitBreaker& advertise_breaker() const noexcept {
+    return advertise_breaker_;
+  }
+
   /// Sensor input for modules that publish CpuLoad (drives trigger
   /// examples; defaults to this host's live one-minute load x 100).
   void set_load_value(double v) { forced_load_ = v; }
@@ -118,6 +129,8 @@ class Agent {
   double forced_load_ = -1;
   bool advertising_ = false;
   bool collectors_down_ = false;
+  resilience::Config resilience_{};
+  resilience::CircuitBreaker advertise_breaker_{};
 };
 
 /// Standalone `hawkeye_advertise`: pushes synthetic Startd ads for a

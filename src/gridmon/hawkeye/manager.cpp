@@ -109,6 +109,11 @@ double Manager::total_attrs() const {
 
 bool Manager::expire_and_check_stale() {
   double now = host_.simulation().now();
+  if (resilience_.server.serve_stale && port_.overloaded() && !ads_.empty()) {
+    // Degraded mode under shed pressure: keep answering from expired ads
+    // instead of dropping them — the staleness is visible to the client.
+    return true;
+  }
   if (config_.ad_lifetime > 0) {
     for (auto it = ads_.begin(); it != ads_.end();) {
       if (now - it->second.received_at > config_.ad_lifetime) {

@@ -86,6 +86,13 @@ class Manager : private store::Durable {
   net::Interface& nic() noexcept { return nic_; }
   net::ServerPort& port() noexcept { return port_; }
 
+  /// Install the overload-control layer: server policy on the query port,
+  /// serve-stale so expired ads keep answering under shed pressure.
+  void set_resilience(const resilience::Config& config) {
+    resilience_ = config;
+    port_.set_policy(config.server);
+  }
+
   /// Ingest a Startd ad sent from `from`. UDP-like: if the daemon's
   /// backlog is full the ad is silently dropped. `wire_bytes` defaults to
   /// the ad's own rendering size.
@@ -204,6 +211,7 @@ class Manager : private store::Durable {
   std::uint64_t trigger_firings_ = 0;
   std::uint64_t emails_sent_ = 0;
 
+  resilience::Config resilience_{};
   std::unique_ptr<store::Log> log_;
   std::size_t ads_at_crash_ = 0;
   bool awaiting_recovery_ = false;

@@ -163,21 +163,44 @@ sim::Task<void> Giis::merge_payload(MdsNode& node, MdsReply reply,
   it->second.fetched = true;
 }
 
-sim::Task<void> Giis::refresh_cache(trace::Ctx ctx) {
+bool Giis::fetch_allowed(const std::string& node) {
+  if (!resilience_.client.enabled) return true;
+  auto [it, inserted] =
+      fetch_breakers_.try_emplace(node, resilience_.client.breaker);
+  return it->second.allow(host_.simulation().now());
+}
+
+void Giis::record_fetch(const std::string& node, bool success) {
+  if (!resilience_.client.enabled) return;
+  auto it = fetch_breakers_.find(node);
+  if (it != fetch_breakers_.end()) {
+    it->second.record(host_.simulation().now(), success);
+  }
+}
+
+sim::Task<bool> Giis::refresh_cache(trace::Ctx ctx) {
   auto& sim = host_.simulation();
-  if (sim.now() < cache_fresh_until_) co_return;
+  if (sim.now() < cache_fresh_until_) co_return false;
+  if (resilience_.server.serve_stale && port_.overloaded() &&
+      cache_fresh_until_ >= 0) {
+    // Degraded mode under shed pressure: answer from the expired
+    // aggregate instead of re-pulling every registrant; the staleness is
+    // visible to the client, and the next unpressured query refreshes.
+    co_return true;
+  }
   if (refreshing_) {
     // Another worker is already pulling; wait for it.
     trace::Span span(ctx, trace::SpanKind::CacheValidate, name_);
     co_await refresh_done_;
-    co_return;
+    co_return false;
   }
   refreshing_ = true;
   refresh_done_.reset();
   trace::Span span(ctx, trace::SpanKind::CacheRefresh, name_);
 
   sweep();
-  // Pull every live registrant in parallel.
+  // Pull every live registrant in parallel (skipping any whose breaker
+  // is open from earlier failed fetches).
   sim::WaitGroup wg(sim);
   struct FetchResult {
     MdsNode* node;
@@ -186,11 +209,14 @@ sim::Task<void> Giis::refresh_cache(trace::Ctx ctx) {
   auto results = std::make_shared<std::vector<FetchResult>>();
   for (auto& [name, r] : registrants_) {
     if (r.expires_at < sim.now()) continue;
+    if (!fetch_allowed(name)) continue;
     MdsNode* node = r.node;
     auto fetch_one = [](Giis& self, MdsNode& n, trace::Ctx c,
                         std::shared_ptr<std::vector<FetchResult>> out)
         -> sim::Task<void> {
       MdsReply reply = co_await n.fetch(self.nic_, c);
+      self.record_fetch(n.node_name(),
+                        reply.admitted && !reply.timed_out && !reply.failed);
       out->push_back(FetchResult{&n, std::move(reply)});
     };
     sim.spawn(wg.track(fetch_one(*this, *node, span.ctx(), results)));
@@ -211,6 +237,7 @@ sim::Task<void> Giis::refresh_cache(trace::Ctx ctx) {
   cache_fresh_until_ = sim.now() + config_.cachettl;
   refreshing_ = false;
   refresh_done_.trigger();
+  co_return false;
 }
 
 ldap::FilterPtr Giis::scope_filter(QueryScope scope) const {
@@ -272,7 +299,7 @@ sim::Task<MdsReply> Giis::search(net::Interface& client,
                       config_.query_base_cpu);
       co_await host_.cpu().consume(config_.query_base_cpu);
     }
-    co_await refresh_cache(ctx);
+    reply.stale = co_await refresh_cache(ctx);
     trace::Span search_span(ctx, trace::SpanKind::LdapSearch);
     auto filter = ldap::Filter::parse(request.filter);
     auto result = dit_.search(grid_root(), ldap::Scope::Subtree, *filter,
@@ -330,7 +357,7 @@ sim::Task<MdsReply> Giis::fetch(net::Interface& requester, trace::Ctx ctx) {
                       config_.query_base_cpu);
       co_await host_.cpu().consume(config_.query_base_cpu);
     }
-    co_await refresh_cache(span.ctx());
+    reply.stale = co_await refresh_cache(span.ctx());
     // Everything except the o=grid root travels upward.
     trace::Span search_span(span.ctx(), trace::SpanKind::LdapSearch);
     auto filter = ldap::Filter::parse(

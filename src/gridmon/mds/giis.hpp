@@ -66,6 +66,14 @@ class Giis final : public MdsNode {
   net::Interface& nic() noexcept { return nic_; }
   net::ServerPort& port() noexcept { return port_; }
 
+  /// Install the overload-control layer: server policy on the listen
+  /// port, serve-stale for the aggregate cache, and a per-registrant
+  /// circuit breaker on the GIIS->GRIS fetch fan-out.
+  void set_resilience(const resilience::Config& config) {
+    resilience_ = config;
+    port_.set_policy(config.server);
+  }
+
   /// Register a node (GRIS or child GIIS) and start its periodic
   /// soft-state re-registration. The node must outlive this Giis.
   void add_registrant(MdsNode& node);
@@ -130,7 +138,14 @@ class Giis final : public MdsNode {
   sim::Task<void> serve_registration(MdsNode& node);
 
   /// Pull data from every live registrant whose cache slice is stale.
-  sim::Task<void> refresh_cache(trace::Ctx ctx);
+  /// Returns true when the refresh was skipped under shed pressure and
+  /// the (expired) aggregate was served stale instead.
+  sim::Task<bool> refresh_cache(trace::Ctx ctx);
+
+  /// Per-registrant circuit breaker on the fetch fan-out (pass-throughs
+  /// while the client policy is disabled).
+  bool fetch_allowed(const std::string& node);
+  void record_fetch(const std::string& node, bool success);
 
   /// Merge one fetch result under the node's suffix.
   sim::Task<void> merge_payload(MdsNode& node, MdsReply reply,
@@ -155,6 +170,8 @@ class Giis final : public MdsNode {
   sim::Resource pool_;
   net::ServerPort port_;
   std::uint64_t registrations_ = 0;
+  resilience::Config resilience_{};
+  std::map<std::string, resilience::CircuitBreaker> fetch_breakers_;
 };
 
 }  // namespace gridmon::mds

@@ -72,6 +72,14 @@ sim::Task<Gris::RefreshOutcome> Gris::refresh(QueryScope scope,
       continue;
     }
     out.hit = false;
+    if (resilience_.server.serve_stale && port_.overloaded() &&
+        config_.cache_enabled && p.sequence > 0) {
+      // Degraded mode under shed pressure: answer from the expired cache
+      // instead of forking the provider — the query costs what a cache
+      // hit costs, and the staleness is visible to the client.
+      out.stale = true;
+      continue;
+    }
     if (collectors_down_) {
       // The provider script hangs (wedged daemon, dead NFS mount): the
       // worker waits out the exec timeout, holding its pool lease, then

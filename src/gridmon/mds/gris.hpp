@@ -136,6 +136,13 @@ class Gris final : public MdsNode {
 
   net::ServerPort& port() noexcept { return port_; }
 
+  /// Install the overload-control layer: server policy on the listen
+  /// port, serve-stale degraded mode for the provider cache.
+  void set_resilience(const resilience::Config& config) {
+    resilience_ = config;
+    port_.set_policy(config.server);
+  }
+
   // ---- fault injection ----
   /// Crash the slapd (blackhole: the whole host vanished). The provider
   /// cache is volatile: restart comes back cold.
@@ -202,6 +209,7 @@ class Gris final : public MdsNode {
   net::ServerPort port_;
   std::uint64_t provider_runs_ = 0;
   bool collectors_down_ = false;
+  resilience::Config resilience_{};
 };
 
 }  // namespace gridmon::mds

@@ -1,0 +1,137 @@
+#pragma once
+
+/// \file circuit_breaker.hpp
+/// Failure-rate-windowed circuit breaker with the classic three states:
+///
+///   Closed    — requests flow; outcomes are recorded in a fixed-size
+///               ring.  When the ring holds >= min_samples outcomes and
+///               the failure fraction reaches failure_threshold, the
+///               breaker trips Open.
+///   Open      — requests fast-fail locally (no network, no server work)
+///               until open_duration sim-seconds have elapsed.
+///   Half-open — after open_duration, up to half_open_probes requests are
+///               let through.  Any probe failure re-opens (and restarts
+///               the open timer); a successful probe closes the breaker
+///               and clears the window.
+///
+/// Time is whatever clock the caller passes in (sim::Simulation::now());
+/// the breaker itself holds no time source and no randomness, so it is
+/// deterministic by construction.
+
+#include <cstdint>
+#include <vector>
+
+namespace gridmon::resilience {
+
+struct CircuitBreakerConfig {
+  std::size_t window = 20;         // outcomes tracked in the ring
+  std::size_t min_samples = 10;    // don't trip before this many outcomes
+  double failure_threshold = 0.5;  // trip at >= this failure fraction
+  double open_duration = 10.0;     // seconds Open before probing
+  std::size_t half_open_probes = 1;  // concurrent probes while half-open
+};
+
+class CircuitBreaker {
+ public:
+  enum class State { Closed, Open, HalfOpen };
+
+  CircuitBreaker() : CircuitBreaker(CircuitBreakerConfig{}) {}
+  explicit CircuitBreaker(const CircuitBreakerConfig& config)
+      : config_(config) {
+    ring_.reserve(config_.window);
+  }
+
+  /// Current state, deriving HalfOpen from elapsed open time.
+  State state(double now) const {
+    if (state_ == State::Open && now - opened_at_ >= config_.open_duration) {
+      return State::HalfOpen;
+    }
+    return state_;
+  }
+
+  /// May a request be sent now?  Counts a fast-fail when the answer is
+  /// no; reserves a probe slot when half-open.
+  bool allow(double now) {
+    switch (state(now)) {
+      case State::Closed:
+        return true;
+      case State::Open:
+        ++fast_fails_;
+        return false;
+      case State::HalfOpen:
+        if (probes_in_flight_ < config_.half_open_probes) {
+          state_ = State::HalfOpen;
+          ++probes_in_flight_;
+          return true;
+        }
+        ++fast_fails_;
+        return false;
+    }
+    return true;  // unreachable
+  }
+
+  /// Record the outcome of a request previously admitted by allow().
+  void record(double now, bool success) {
+    if (state_ == State::HalfOpen) {
+      if (probes_in_flight_ > 0) --probes_in_flight_;
+      if (success) {
+        reset();
+      } else {
+        trip(now);
+      }
+      return;
+    }
+    if (state_ == State::Open) return;  // stale outcome from before the trip
+    push(success);
+    if (ring_.size() >= config_.min_samples && config_.window > 0) {
+      double frac =
+          static_cast<double>(failures_) / static_cast<double>(ring_.size());
+      if (frac >= config_.failure_threshold) trip(now);
+    }
+  }
+
+  std::uint64_t fast_fails() const { return fast_fails_; }
+  std::uint64_t trips() const { return trips_; }
+
+ private:
+  void push(bool success) {
+    if (ring_.size() < config_.window) {
+      ring_.push_back(success);
+    } else {
+      if (!ring_[head_]) --failures_;
+      ring_[head_] = success;
+      head_ = (head_ + 1) % config_.window;
+    }
+    if (!success) ++failures_;
+  }
+
+  void trip(double now) {
+    state_ = State::Open;
+    opened_at_ = now;
+    probes_in_flight_ = 0;
+    ring_.clear();
+    head_ = 0;
+    failures_ = 0;
+    ++trips_;
+  }
+
+  void reset() {
+    state_ = State::Closed;
+    probes_in_flight_ = 0;
+    ring_.clear();
+    head_ = 0;
+    failures_ = 0;
+  }
+
+  CircuitBreakerConfig config_;
+  State state_ = State::Closed;
+  double opened_at_ = 0;
+  std::size_t probes_in_flight_ = 0;
+  std::vector<bool> ring_;
+  std::size_t head_ = 0;
+  std::size_t failures_ = 0;
+  std::uint64_t fast_fails_ = 0;
+  std::uint64_t trips_ = 0;
+};
+
+}  // namespace gridmon::resilience

@@ -1,0 +1,116 @@
+#pragma once
+
+/// \file policy.hpp
+/// Aggregate resilience configuration and the per-client policy object.
+///
+/// `Config` is what flows through core::ScenarioSpec's `[resilience]`
+/// section: a client half (retry budget + circuit breaker, consumed by
+/// the workloads and by inter-service callers) and a server half (queue
+/// discipline + deadline shedding + serve-stale, consumed by
+/// net::ServerPort and the service caches).  Everything defaults to
+/// *disabled*, in which state every code path below is a pass-through
+/// and simulation output is byte-identical to a tree without this
+/// module.
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+#include "gridmon/resilience/backoff.hpp"
+#include "gridmon/resilience/circuit_breaker.hpp"
+#include "gridmon/resilience/retry_budget.hpp"
+
+namespace gridmon::resilience {
+
+/// Order in which a full listen queue hands freed slots to waiters.
+enum class QueueDiscipline { Fifo, Lifo, DeadlineEdf };
+
+inline const char* discipline_name(QueueDiscipline d) {
+  switch (d) {
+    case QueueDiscipline::Fifo: return "fifo";
+    case QueueDiscipline::Lifo: return "lifo";
+    case QueueDiscipline::DeadlineEdf: return "edf";
+  }
+  return "?";
+}
+
+inline QueueDiscipline parse_discipline(const std::string& s) {
+  if (s == "fifo") return QueueDiscipline::Fifo;
+  if (s == "lifo") return QueueDiscipline::Lifo;
+  if (s == "edf" || s == "deadline-edf") return QueueDiscipline::DeadlineEdf;
+  throw std::invalid_argument("unknown queue discipline: " + s);
+}
+
+/// Server-side knobs, installed on a net::ServerPort.
+struct ServerPolicy {
+  bool enabled = false;
+  QueueDiscipline discipline = QueueDiscipline::Fifo;
+  std::size_t queue_limit = 256;  // parked waiters beyond the listen queue
+  double deadline_budget = 0;     // max queue wait before shedding; 0 = off
+  bool serve_stale = false;       // caches may answer from expired entries
+  double pressure_threshold = 0.9;  // in_flight/backlog ratio = "overloaded"
+};
+
+/// Client-side knobs, shared by workloads and inter-service callers.
+struct ClientPolicyConfig {
+  bool enabled = false;
+  RetryBudgetConfig budget{};
+  CircuitBreakerConfig breaker{};
+};
+
+/// Everything the `[resilience]` INI section configures.
+struct Config {
+  bool enabled = false;
+  ClientPolicyConfig client{};
+  ServerPolicy server{};
+};
+
+/// Per-caller resilience state: one retry budget and one circuit breaker
+/// toward a single destination.  All methods are pass-throughs (always
+/// allow, record nothing) when the policy is disabled, so wiring one into
+/// a legacy retry loop cannot perturb existing goldens.
+class ClientPolicy {
+ public:
+  ClientPolicy() = default;
+  explicit ClientPolicy(const ClientPolicyConfig& config)
+      : config_(config),
+        budget_(config.budget),
+        breaker_(config.breaker) {}
+
+  bool enabled() const { return config_.enabled; }
+
+  /// A fresh request is being issued: fund the retry budget.
+  void on_query() {
+    if (config_.enabled) budget_.deposit();
+  }
+
+  /// May an attempt (fresh or retry) be sent now?
+  bool allow(double now) {
+    if (!config_.enabled) return true;
+    return breaker_.allow(now);
+  }
+
+  /// May a retry be scheduled?  Withdraws from the budget.
+  bool allow_retry() {
+    if (!config_.enabled) return true;
+    return budget_.try_withdraw();
+  }
+
+  /// Record the outcome of an attempt admitted by allow().
+  void record(double now, bool success) {
+    if (config_.enabled) breaker_.record(now, success);
+  }
+
+  const RetryBudget& budget() const { return budget_; }
+  const CircuitBreaker& breaker() const { return breaker_; }
+  CircuitBreaker::State breaker_state(double now) const {
+    return breaker_.state(now);
+  }
+
+ private:
+  ClientPolicyConfig config_{};
+  RetryBudget budget_{};
+  CircuitBreaker breaker_{};
+};
+
+}  // namespace gridmon::resilience

@@ -1,0 +1,59 @@
+#pragma once
+
+/// \file retry_budget.hpp
+/// Token-bucket retry budget (the Finagle "retry budget" shape): every
+/// fresh request deposits `fill_ratio` tokens, every retry withdraws one
+/// whole token.  In steady state retries are bounded to ~fill_ratio of
+/// offered load, which is what prevents an outage from turning into a
+/// self-sustaining retry storm (metastable failure): once the budget is
+/// drained, clients stop amplifying and the server's recovery work is
+/// bounded by fresh arrivals only.
+///
+/// Deterministic by construction — plain arithmetic on doubles, no time
+/// source, no randomness.
+
+#include <algorithm>
+#include <cstdint>
+
+namespace gridmon::resilience {
+
+struct RetryBudgetConfig {
+  double capacity = 10.0;   // max banked tokens
+  double fill_ratio = 0.1;  // tokens deposited per fresh request
+};
+
+class RetryBudget {
+ public:
+  RetryBudget() = default;
+  explicit RetryBudget(const RetryBudgetConfig& config)
+      : config_(config), tokens_(config.capacity) {}
+
+  /// A fresh (first-attempt) request was issued.
+  void deposit() {
+    tokens_ = std::min(config_.capacity, tokens_ + config_.fill_ratio);
+  }
+
+  /// Try to pay for one retry.  Returns false (and counts a suppression)
+  /// when the budget is exhausted.
+  bool try_withdraw() {
+    if (tokens_ >= 1.0) {
+      tokens_ -= 1.0;
+      ++withdrawals_;
+      return true;
+    }
+    ++suppressed_;
+    return false;
+  }
+
+  double tokens() const { return tokens_; }
+  std::uint64_t withdrawals() const { return withdrawals_; }
+  std::uint64_t suppressed() const { return suppressed_; }
+
+ private:
+  RetryBudgetConfig config_{};
+  double tokens_ = 10.0;
+  std::uint64_t withdrawals_ = 0;
+  std::uint64_t suppressed_ = 0;
+};
+
+}  // namespace gridmon::resilience

@@ -21,6 +21,22 @@ void ConsumerServlet::add_producer_servlet(ProducerServlet& servlet) {
   servlets_[servlet.name()] = &servlet;
 }
 
+bool ConsumerServlet::producer_allowed(const std::string& servlet) {
+  if (!resilience_.client.enabled) return true;
+  auto [it, inserted] = producer_breakers_.try_emplace(
+      servlet, resilience::CircuitBreaker(resilience_.client.breaker));
+  return it->second.allow(host_.simulation().now());
+}
+
+void ConsumerServlet::record_producer(const std::string& servlet,
+                                      bool success) {
+  if (!resilience_.client.enabled) return;
+  auto it = producer_breakers_.find(servlet);
+  if (it != producer_breakers_.end()) {
+    it->second.record(host_.simulation().now(), success);
+  }
+}
+
 sim::Task<RgmaReply> ConsumerServlet::query(net::Interface& client,
                                             std::string table,
                                             std::string where,
@@ -81,7 +97,15 @@ sim::Task<RgmaReply> ConsumerServlet::query(net::Interface& client,
       if (!seen.insert(info.servlet).second) continue;
       auto it = servlets_.find(info.servlet);
       if (it == servlets_.end()) continue;
+      if (!producer_allowed(info.servlet)) {
+        // Breaker open toward this producer: skip it this round instead
+        // of stalling the mediation on a dead servlet's timeout.
+        reply.failed = true;
+        continue;
+      }
       RgmaReply part = co_await it->second->select(nic_, table, where, ctx);
+      record_producer(info.servlet,
+                      part.admitted && !part.timed_out && !part.failed);
       if (!part.admitted) {
         // A dead ProducerServlet shrinks the merged result silently —
         // mediation degrades rather than fails outright.

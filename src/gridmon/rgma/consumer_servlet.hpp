@@ -49,6 +49,13 @@ class ConsumerServlet {
   net::Interface& nic() noexcept { return nic_; }
   net::ServerPort& port() noexcept { return port_; }
 
+  /// Install the overload-control layer: server policy on the listen
+  /// port, a per-ProducerServlet circuit breaker on the mediation fan-out.
+  void set_resilience(const resilience::Config& config) {
+    resilience_ = config;
+    port_.set_policy(config.server);
+  }
+
   /// Make a ProducerServlet resolvable by the name the Registry returns.
   void add_producer_servlet(ProducerServlet& servlet);
 
@@ -78,6 +85,10 @@ class ConsumerServlet {
   bool process_up() const noexcept { return port_.up(); }
 
  private:
+  /// Per-producer circuit breaker (pass-throughs while client disabled).
+  bool producer_allowed(const std::string& servlet);
+  void record_producer(const std::string& servlet, bool success);
+
   net::Network& net_;
   host::Host& host_;
   net::Interface& nic_;
@@ -87,6 +98,8 @@ class ConsumerServlet {
   std::map<std::string, ProducerServlet*> servlets_;
   sim::Resource pool_;
   net::ServerPort port_;
+  resilience::Config resilience_{};
+  std::map<std::string, resilience::CircuitBreaker> producer_breakers_;
 };
 
 }  // namespace gridmon::rgma

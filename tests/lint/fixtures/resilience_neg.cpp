@@ -1,0 +1,65 @@
+// Negative fixture: retry loops on the blessed path — every retry is
+// gated on the shared budget / breaker machinery — plus loops that merely
+// look retry-adjacent. Must analyze clean.
+#include <cstddef>
+
+namespace sim {
+struct Simulation {
+  struct Awaiter {};
+  Awaiter delay(double seconds);
+};
+}  // namespace sim
+
+namespace resilience {
+struct ClientPolicy {
+  bool allow_retry();
+  bool allow(double now);
+  void record(double now, bool success);
+};
+struct RetryBudget {
+  bool try_withdraw();
+};
+}  // namespace resilience
+
+struct Reply {
+  bool admitted = false;
+};
+
+Reply send_once();
+
+// The blessed path: each retry withdraws from the budget before backing
+// off, so amplification is bounded during an outage.
+void query_with_budget(sim::Simulation& sim, resilience::ClientPolicy& p) {
+  for (int retry = 0; retry < 5; ++retry) {
+    Reply r = send_once();
+    if (r.admitted) return;
+    if (!p.allow_retry()) return;  // budget exhausted: give up
+    (void)sim.delay(2.0);
+  }
+}
+
+// Raw budget variant is equally fine.
+void query_with_raw_budget(sim::Simulation& sim,
+                           resilience::RetryBudget& budget) {
+  while (true) {
+    Reply r = send_once();
+    if (r.admitted) break;
+    if (!budget.try_withdraw()) break;
+    (void)sim.delay(1.0);
+  }
+}
+
+// A retry loop that never sleeps is a tight poll, not a backoff retry —
+// out of scope for this check.
+int count_retries_no_delay(int max_retries) {
+  int retries = 0;
+  for (int retry = 0; retry < max_retries; ++retry) ++retries;
+  return retries;
+}
+
+// A delay loop with no retry semantics (periodic beat) is fine.
+void heartbeat(sim::Simulation& sim) {
+  while (true) {
+    (void)sim.delay(30.0);
+  }
+}

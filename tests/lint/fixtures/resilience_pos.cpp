@@ -1,0 +1,36 @@
+// Positive fixture: retry loops that back off and re-send without ever
+// consulting a retry budget or circuit breaker. Lines pinned by the
+// .expected file.
+#include <cstddef>
+
+namespace sim {
+struct Simulation {
+  struct Awaiter {};
+  Awaiter delay(double seconds);
+};
+}  // namespace sim
+
+struct Reply {
+  bool admitted = false;
+};
+
+Reply send_once();
+
+// line 21: unbounded while-loop retry with backoff
+void query_until_admitted(sim::Simulation& sim) {
+  while (true) {
+    Reply r = send_once();
+    if (r.admitted) break;
+    double backoff = 2.0;
+    (void)sim.delay(backoff);  // co_await in real code
+  }
+}
+
+// line 31: counted for-loop retry, still no budget
+void query_n_times(sim::Simulation& sim, int max_retries) {
+  for (int retry = 0; retry < max_retries; ++retry) {
+    Reply r = send_once();
+    if (r.admitted) return;
+    (void)sim.delay(1.0);
+  }
+}

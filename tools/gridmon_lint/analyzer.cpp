@@ -68,6 +68,9 @@ std::vector<CheckInfo> all_checks() {
       {"store.sync-in-hot-path",
        "synchronous fsync/flush outside store/; append and 'co_await "
        "Log::commit()' instead"},
+      {"resilience.retry-without-budget",
+       "retry loops that back off and re-send without consulting a retry "
+       "budget or breaker amplify load unboundedly during outages"},
       {"lint.bare-suppression",
        "suppression comments must carry a justification after '--'"},
       {"lint.unused-suppression",
@@ -90,6 +93,7 @@ std::vector<Diagnostic> analyze_source(const std::string& path,
   check_coroutine(path, m, raw);
   check_hotpath(path, m, raw);
   check_store(path, m, raw);
+  check_resilience(path, m, raw);
 
   std::vector<Diagnostic> out;
   for (Diagnostic& d : raw) {

@@ -1,0 +1,92 @@
+#include <cctype>
+
+#include "checks.hpp"
+
+namespace gridmon::lint {
+namespace {
+
+/// The resilience module implements the budget machinery; inside it, bare
+/// retry loops are the mechanism, not a violation.
+bool resilience_path(const std::string& path) {
+  if (path.rfind("resilience/", 0) == 0) return true;
+  return path.find("/resilience/") != std::string::npos;
+}
+
+std::string lower(const std::string& s) {
+  std::string out(s.size(), '\0');
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    out[i] = static_cast<char>(
+        std::tolower(static_cast<unsigned char>(s[i])));
+  }
+  return out;
+}
+
+bool has(const std::string& haystack, const char* needle) {
+  return haystack.find(needle) != std::string::npos;
+}
+
+/// Identifier spellings that show the loop consults the shared budget /
+/// breaker machinery (resilience::RetryBudget, ClientPolicy::allow_retry,
+/// CircuitBreaker, ...).
+bool budget_marker(const std::string& low) {
+  return has(low, "budget") || has(low, "try_withdraw") ||
+         has(low, "allow_retry") || has(low, "breaker") ||
+         has(low, "clientpolicy");
+}
+
+/// Identifier spellings that mark the loop as a retry loop.
+bool retry_marker(const std::string& low) {
+  return has(low, "retry") || has(low, "retries") || has(low, "backoff");
+}
+
+}  // namespace
+
+void check_resilience(const std::string& path, const Model& m,
+                      std::vector<Diagnostic>& out) {
+  if (resilience_path(path)) return;
+  const auto& t = m.toks;
+  int n = static_cast<int>(t.size());
+  for (int i = 0; i < n; ++i) {
+    if (t[i].kind != TokKind::Ident ||
+        (t[i].text != "for" && t[i].text != "while")) {
+      continue;
+    }
+    if (i + 1 >= n || t[i + 1].text != "(") continue;
+    int cond_end = m.match[i + 1];
+    if (cond_end < 0 || cond_end + 1 >= n || t[cond_end + 1].text != "{") {
+      continue;
+    }
+    int body_end = m.match[cond_end + 1];
+    if (body_end < 0) continue;
+
+    // One scan over condition + body: is this a retry loop, does it sleep
+    // between attempts, and does it ever consult a budget or breaker?
+    bool is_retry = false;
+    bool sleeps = false;
+    bool budgeted = false;
+    for (int j = i + 2; j < body_end; ++j) {
+      if (t[j].kind != TokKind::Ident) continue;
+      std::string low = lower(t[j].text);
+      if (budget_marker(low)) {
+        budgeted = true;
+      } else if (retry_marker(low)) {
+        is_retry = true;
+      }
+      if (t[j].text == "delay" && j + 1 < body_end &&
+          t[j + 1].text == "(") {
+        sleeps = true;
+      }
+    }
+    if (is_retry && sleeps && !budgeted) {
+      out.push_back(
+          {path, t[i].line, t[i].col, "resilience.retry-without-budget",
+           "retry loop backs off and re-sends without consulting a retry "
+           "budget: under a long outage every client amplifies load "
+           "unboundedly (retry storm)",
+           "gate each retry on resilience::ClientPolicy::allow_retry() (or "
+           "RetryBudget::try_withdraw()) so amplification is bounded"});
+    }
+  }
+}
+
+}  // namespace gridmon::lint

@@ -43,4 +43,10 @@ void check_hotpath(const std::string& path, const Model& m,
 void check_store(const std::string& path, const Model& m,
                  std::vector<Diagnostic>& out);
 
+/// resilience.*: retry loops outside src/gridmon/resilience that back off
+/// and re-send without consulting a retry budget or circuit breaker
+/// amplify load unboundedly during an outage (retry storms).
+void check_resilience(const std::string& path, const Model& m,
+                      std::vector<Diagnostic>& out);
+
 }  // namespace gridmon::lint

@@ -59,6 +59,7 @@ int main(int argc, char** argv) {
 
   bool with_faults = !spec.faults.empty();
   bool with_store = spec.store.enabled();
+  bool with_resilience = spec.resilience.enabled;
   metrics::Table table(spec.service_name());
   std::vector<std::string> cols{"users",  "throughput (q/s)", "response (s)",
                                 "load1",  "cpu %",            "refused/s"};
@@ -70,6 +71,9 @@ int main(int argc, char** argv) {
     cols.insert(cols.end(), {"store", "wal (B)", "flushes", "snapshots",
                              "replayed", "replay (s)"});
   }
+  if (with_resilience) {
+    cols.insert(cols.end(), {"goodput (q/s)", "shed/s", "retry_amp"});
+  }
   table.set_columns(cols);
   std::ofstream csv;
   if (!opt.csv_path.empty()) {
@@ -80,6 +84,9 @@ int main(int argc, char** argv) {
     }
     if (with_store) {
       csv << ",store_mode,wal_bytes,flushes,snapshots,replayed,replay_s";
+    }
+    if (with_resilience) {
+      csv << ",goodput,shed_rate,retry_amp";
     }
     csv << "\n";
   }
@@ -105,6 +112,7 @@ int main(int argc, char** argv) {
     if (spec.lucky_clients) wc.max_users_per_host = 100;
     wc.query_deadline = spec.query_deadline;
     wc.max_attempts = spec.max_attempts;
+    if (with_resilience) wc.resilience = spec.resilience.client;
     UserWorkload workload(tb, scenario->query_fn(), wc);
     fault::Injector injector(tb.sim(), &tb.network());
     if (with_faults) {
@@ -141,6 +149,10 @@ int main(int argc, char** argv) {
       mc.recovery_mark = last;
       mc.recovered_at = [&scenario] { return scenario->recovered_at(); };
     }
+    if (with_resilience) {
+      mc.port = scenario->server_port();
+      mc.goodput_deadline = spec.goodput_deadline;
+    }
     SweepPoint p = measure(tb, workload, spec.server_host(), n, mc);
     if (tracing) {
       traces.push_back(trace::SeriesTrace{
@@ -172,6 +184,11 @@ int main(int argc, char** argv) {
         row.insert(row.end(), {"-", "-", "-", "-", "-", "-"});
       }
     }
+    if (with_resilience) {
+      row.push_back(metrics::Table::num(p.goodput));
+      row.push_back(metrics::Table::num(p.shed_rate));
+      row.push_back(metrics::Table::num(p.retry_amp, 3));
+    }
     table.add_row(row);
     if (csv.is_open()) {
       csv << spec.service_name() << ',' << n << ',' << p.throughput << ','
@@ -191,6 +208,9 @@ int main(int argc, char** argv) {
         } else {
           csv << ",-,-,-,-,-,-";
         }
+      }
+      if (with_resilience) {
+        csv << ',' << p.goodput << ',' << p.shed_rate << ',' << p.retry_amp;
       }
       csv << '\n';
     }
