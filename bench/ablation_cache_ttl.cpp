@@ -27,9 +27,11 @@ int main(int argc, char** argv) {
                      "cpu_pct", "provider_runs"});
 
   for (double ttl : ttls) {
-    ScenarioSpec spec;
-    spec.service = ttl > 0 ? ServiceKind::Gris : ServiceKind::GrisNocache;
-    spec.provider_ttl = ttl;
+    ScenarioSpec spec =
+        ScenarioSpec::build()
+            .service(ttl > 0 ? ServiceKind::Gris : ServiceKind::GrisNocache)
+            .provider_ttl(ttl)
+            .build();
     PointHooks hooks;
     hooks.x = ttl > 1e9 ? 1e6 : ttl;
     std::uint64_t provider_runs = 0;

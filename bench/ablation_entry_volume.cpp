@@ -26,10 +26,12 @@ int main(int argc, char** argv) {
   Series s{"GRIS (cache)", {}};
 
   for (int total : volumes) {
-    ScenarioSpec spec;
-    spec.service = ServiceKind::Gris;
-    spec.provider_entries = total / 10;
-    spec.provider_bytes = 600;  // WatchTower items are small counters
+    ScenarioSpec spec =
+        ScenarioSpec::build()
+            .service(ServiceKind::Gris)
+            .provider_entries(total / 10)
+            .provider_bytes(600)  // WatchTower items are small counters
+            .build();
     PointHooks hooks;
     hooks.x = total;
     double resp_kb = 0;

@@ -25,10 +25,11 @@ int main(int argc, char** argv) {
   for (int replicas : {1, 2, 4}) {
     Series s{"replicas=" + std::to_string(replicas), {}};
     for (int pool : {2, 4, 8, 16}) {
-      ScenarioSpec spec;
-      spec.service = ServiceKind::RgmaReplicated;
-      spec.replicas = replicas;
-      spec.pool_size = pool;
+      ScenarioSpec spec = ScenarioSpec::build()
+                              .service(ServiceKind::RgmaReplicated)
+                              .replicas(replicas)
+                              .pool_size(pool)
+                              .build();
       PointHooks hooks;
       hooks.x = pool;
       SweepPoint p = run_point(opt, s.name, spec, kUsers, nullptr, hooks);

@@ -139,16 +139,21 @@ inline BenchOptions parse_options(int argc, char** argv,
   return opt;
 }
 
+/// Write sweep series through the shared MetricsReport serializer. The
+/// default (core) column group reproduces the historical bench CSV
+/// byte-for-byte; benches with extra semantics opt into more groups.
 inline void emit_csv(const BenchOptions& opt, const std::string& bench_name,
-                     const std::vector<core::Series>& series) {
+                     const std::vector<core::Series>& series,
+                     unsigned groups = core::kMetricCore) {
   if (opt.csv_path.empty()) return;
   std::ofstream out(opt.csv_path);
-  out << "bench,series,x,throughput,response,load1,cpu,refused_per_sec\n";
+  const std::vector<std::string> header_prefix{"bench", "series"};
+  out << core::csv_header(groups, header_prefix) << '\n';
   for (const auto& s : series) {
+    const std::vector<std::string> prefix{bench_name, s.name};
     for (const auto& p : s.points) {
-      out << bench_name << ',' << s.name << ',' << p.x << ','
-          << p.throughput << ',' << p.response << ',' << p.load1 << ','
-          << p.cpu << ',' << p.refused << '\n';
+      core::write_csv_row(out, p, groups, prefix);
+      out << '\n';
     }
   }
   std::cout << "wrote " << opt.csv_path << "\n";

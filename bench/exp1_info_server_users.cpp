@@ -34,23 +34,24 @@ int main(int argc, char** argv) {
     int user_cap = 0;  // 0 = no cap
   };
   std::vector<Config> configs;
-  {
-    ScenarioSpec spec;
-    spec.service = ServiceKind::Gris;
-    configs.push_back({"MDS GRIS (cache)", spec});
-    spec.service = ServiceKind::GrisNocache;
-    configs.push_back({"MDS GRIS (nocache)", spec});
-    spec.service = ServiceKind::Agent;
-    spec.collectors = 11;  // the Agent's default module set
-    configs.push_back({"Hawkeye Agent", spec});
-    spec.collectors = 10;
-    spec.service = ServiceKind::RgmaMediated;
-    spec.lucky_clients = true;
-    configs.push_back({"R-GMA ProducerServlet (lucky)", spec});
-    spec.lucky_clients = false;
-    // paper: at most ~100 consumers per servlet at UC
-    configs.push_back({"R-GMA ProducerServlet (UC)", spec, 100});
-  }
+  configs.push_back({"MDS GRIS (cache)",
+                     ScenarioSpec::build().service(ServiceKind::Gris).build()});
+  configs.push_back(
+      {"MDS GRIS (nocache)",
+       ScenarioSpec::build().service(ServiceKind::GrisNocache).build()});
+  configs.push_back({"Hawkeye Agent", ScenarioSpec::build()
+                                          .service(ServiceKind::Agent)
+                                          .collectors(11)  // default module set
+                                          .build()});
+  configs.push_back({"R-GMA ProducerServlet (lucky)",
+                     ScenarioSpec::build()
+                         .service(ServiceKind::RgmaMediated)
+                         .lucky_clients(true)
+                         .build()});
+  // paper: at most ~100 consumers per servlet at UC
+  configs.push_back(
+      {"R-GMA ProducerServlet (UC)",
+       ScenarioSpec::build().service(ServiceKind::RgmaMediated).build(), 100});
 
   for (const auto& config : configs) {
     Series s{config.name, {}};

@@ -25,25 +25,21 @@ int main(int argc, char** argv) {
     int user_cap = 0;
   };
   std::vector<Config> configs;
-  {
-    ScenarioSpec spec;
-    spec.service = ServiceKind::Giis;
-    configs.push_back({"MDS GIIS", spec});
-  }
-  {
-    ScenarioSpec spec;
-    spec.service = ServiceKind::Manager;
-    spec.collectors = 11;  // the Agents' default module set
-    configs.push_back({"Hawkeye Manager", spec});
-  }
-  {
-    ScenarioSpec spec;
-    spec.service = ServiceKind::Registry;
-    spec.lucky_clients = true;
-    configs.push_back({"R-GMA Registry (lucky)", spec});
-    spec.lucky_clients = false;
-    configs.push_back({"R-GMA Registry (UC)", spec, 100});
-  }
+  configs.push_back({"MDS GIIS",
+                     ScenarioSpec::build().service(ServiceKind::Giis).build()});
+  configs.push_back({"Hawkeye Manager",
+                     ScenarioSpec::build()
+                         .service(ServiceKind::Manager)
+                         .collectors(11)  // the Agents' default module set
+                         .build()});
+  configs.push_back({"R-GMA Registry (lucky)",
+                     ScenarioSpec::build()
+                         .service(ServiceKind::Registry)
+                         .lucky_clients(true)
+                         .build()});
+  configs.push_back(
+      {"R-GMA Registry (UC)",
+       ScenarioSpec::build().service(ServiceKind::Registry).build(), 100});
 
   for (const auto& config : configs) {
     Series s{config.name, {}};

@@ -28,30 +28,31 @@ int main(int argc, char** argv) {
     std::string banner;  // extra note after the series name
   };
   std::vector<Config> configs;
-  {
-    ScenarioSpec spec;
-    spec.service = ServiceKind::Gris;
-    configs.push_back({"MDS GRIS (cache)", spec, ""});
-    spec.service = ServiceKind::GrisNocache;
-    configs.push_back({"MDS GRIS (nocache)", spec, ""});
-    spec.service = ServiceKind::Manager;
-    spec.query = QueryVariant::ManagerDump;
-    configs.push_back({"Hawkeye Agent", spec,
-                       " (pool dump via Manager, per the paper's setup)"});
-    spec.query = QueryVariant::Default;
-    spec.service = ServiceKind::RgmaDirect;
-    configs.push_back({"R-GMA ProducerServlet", spec, ""});
-  }
+  configs.push_back({"MDS GRIS (cache)",
+                     ScenarioSpec::build().service(ServiceKind::Gris).build(),
+                     ""});
+  configs.push_back(
+      {"MDS GRIS (nocache)",
+       ScenarioSpec::build().service(ServiceKind::GrisNocache).build(), ""});
+  configs.push_back({"Hawkeye Agent",
+                     ScenarioSpec::build()
+                         .service(ServiceKind::Manager)
+                         .query(QueryVariant::ManagerDump)
+                         .build(),
+                     " (pool dump via Manager, per the paper's setup)"});
+  configs.push_back(
+      {"R-GMA ProducerServlet",
+       ScenarioSpec::build().service(ServiceKind::RgmaDirect).build(), ""});
 
-  for (auto& config : configs) {
+  for (const auto& config : configs) {
     Series s{config.name, {}};
     std::cout << s.name << config.banner << "\n";
     for (int n : collectors) {
-      config.spec.collectors = n;  // the swept axis
+      // n is the swept axis: rebuild the spec with it per point.
+      ScenarioSpec spec = SpecBuilder(config.spec).collectors(n).build();
       PointHooks hooks;
       hooks.x = n;
-      s.points.push_back(
-          run_point(opt, s.name, config.spec, kUsers, nullptr, hooks));
+      s.points.push_back(run_point(opt, s.name, spec, kUsers, nullptr, hooks));
     }
     figures.push_back(std::move(s));
   }

@@ -24,12 +24,12 @@ int main(int argc, char** argv) {
 
   std::vector<Series> figures;
 
-  auto sweep_series = [&](const std::string& name, ScenarioSpec spec,
+  auto sweep_series = [&](const std::string& name, const ScenarioSpec& base,
                           const std::vector<int>& sizes, auto set_size) {
     Series s{name, {}};
     std::cout << s.name << "\n";
     for (int n : sizes) {
-      set_size(spec, n);
+      ScenarioSpec spec = set_size(SpecBuilder(base), n).build();
       PointHooks hooks;
       hooks.x = n;
       s.points.push_back(
@@ -38,22 +38,26 @@ int main(int argc, char** argv) {
     figures.push_back(std::move(s));
   };
 
-  {
-    ScenarioSpec spec;
-    spec.service = ServiceKind::GiisAggregate;
-    auto by_gris = [](ScenarioSpec& sp, int n) { sp.gris_count = n; };
-    spec.query = QueryVariant::ScopeAll;
-    sweep_series("MDS GIIS (query all)", spec, all_sweep, by_gris);
-    spec.query = QueryVariant::ScopePart;
-    sweep_series("MDS GIIS (query part)", spec, part_sweep, by_gris);
-  }
-  {
-    ScenarioSpec spec;
-    spec.service = ServiceKind::ManagerAggregate;
-    spec.collectors = 11;  // modules per advertised machine
-    sweep_series("Hawkeye Manager", spec, machine_sweep,
-                 [](ScenarioSpec& sp, int n) { sp.machines = n; });
-  }
+  auto by_gris = [](SpecBuilder b, int n) { return b.gris_count(n); };
+  sweep_series("MDS GIIS (query all)",
+               ScenarioSpec::build()
+                   .service(ServiceKind::GiisAggregate)
+                   .query(QueryVariant::ScopeAll)
+                   .build(),
+               all_sweep, by_gris);
+  sweep_series("MDS GIIS (query part)",
+               ScenarioSpec::build()
+                   .service(ServiceKind::GiisAggregate)
+                   .query(QueryVariant::ScopePart)
+                   .build(),
+               part_sweep, by_gris);
+  sweep_series("Hawkeye Manager",
+               ScenarioSpec::build()
+                   .service(ServiceKind::ManagerAggregate)
+                   .collectors(11)  // modules per advertised machine
+                   .build(),
+               machine_sweep,
+               [](SpecBuilder b, int n) { return b.machines(n); });
 
   std::cout << "\n";
   print_figures(std::cout, 17, "Aggregate Information Server",

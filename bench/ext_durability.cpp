@@ -22,6 +22,7 @@
 #include <chrono>
 #include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -37,19 +38,18 @@ using store::DurabilityMode;
 namespace {
 
 ScenarioSpec build_spec(const std::string& service, DurabilityMode mode) {
-  ScenarioSpec spec;
+  SpecBuilder b;
   if (service == "registry") {
-    spec.service = ServiceKind::Registry;  // 5 servlets x 10 producers
+    b.service(ServiceKind::Registry);  // 5 servlets x 10 producers
   } else {  // manager
-    spec.service = ServiceKind::Manager;
-    spec.collectors = 11;
-    spec.manager_ad_lifetime = 240;
-    spec.manager_stale_after = 45;
+    b.service(ServiceKind::Manager)
+        .collectors(11)
+        .manager_ad_lifetime(240)
+        .manager_stale_after(45);
   }
-  spec.store.mode = mode;
-  spec.query_deadline = 25;
-  spec.max_attempts = 5;
-  return spec;
+  store::StoreConfig sc;
+  sc.mode = mode;
+  return b.store(sc).query_deadline(25).max_attempts(5).build();
 }
 
 /// One measured point plus the [store] counters read off the scenario.
@@ -128,8 +128,10 @@ DurPoint run_crash_point(const BenchOptions& opt, const std::string& service,
 /// volatile baseline at the same load.
 DurPoint run_fsync_point(const BenchOptions& opt, DurabilityMode mode,
                          double fsync_latency, int users) {
-  ScenarioSpec spec = build_spec("registry", mode);
-  spec.store.fsync_latency = fsync_latency;
+  ScenarioSpec base = build_spec("registry", mode);
+  store::StoreConfig sc = base.store;
+  sc.fsync_latency = fsync_latency;
+  ScenarioSpec spec = SpecBuilder(std::move(base)).store(sc).build();
   DurPoint out;
   out.phase = "fsync";
   out.service = "registry";
@@ -296,15 +298,20 @@ int main(int argc, char** argv) {
   fsync_table.print_text(std::cout);
 
   if (!opt.csv_path.empty()) {
+    // Metric columns come from the shared MetricsReport serializer; the
+    // store::Log stats (replay_s, wal_bytes) append as bench columns.
     std::ofstream csv(opt.csv_path);
-    csv << "bench,phase,service,mode,fsync,availability,stale_frac,recovery,"
-           "recovery_complete,replay_s,wal_bytes,throughput,response\n";
+    const unsigned groups = kMetricCore | kMetricHealth | kMetricRecovery;
+    const std::vector<std::string> header_prefix{"bench", "phase", "service",
+                                                 "mode", "fsync"};
+    csv << csv_header(groups, header_prefix) << ",replay_s,wal_bytes\n";
     for (const DurPoint& d : points) {
-      csv << "ext_durability," << d.phase << ',' << d.service << ',' << d.mode
-          << ',' << d.fsync << ',' << d.p.availability << ',' << d.p.stale_frac
-          << ',' << d.p.recovery << ',' << d.p.recovery_complete << ','
-          << d.replay_s << ',' << d.wal_bytes << ',' << d.p.throughput << ','
-          << d.p.response << '\n';
+      std::ostringstream fsync;
+      fsync << d.fsync;
+      const std::vector<std::string> prefix{"ext_durability", d.phase,
+                                            d.service, d.mode, fsync.str()};
+      write_csv_row(csv, d.p, groups, prefix);
+      csv << ',' << d.replay_s << ',' << d.wal_bytes << '\n';
     }
     std::cout << "wrote " << opt.csv_path << "\n";
   }

@@ -39,11 +39,12 @@ int main(int argc, char** argv) {
     Series s{config.name, {}};
     std::cout << s.name << " (cachettl=" << kCacheTtl << "s)\n";
     for (int g : sweep) {
-      ScenarioSpec spec;
-      spec.service = ServiceKind::Hierarchy;
-      spec.gris_count = g;
-      spec.two_level = config.two_level;
-      spec.cachettl = kCacheTtl;
+      ScenarioSpec spec = ScenarioSpec::build()
+                              .service(ServiceKind::Hierarchy)
+                              .gris_count(g)
+                              .two_level(config.two_level)
+                              .cachettl(kCacheTtl)
+                              .build();
       // Flat: everyone hammers the root. Two-level: the root keeps
       // aggregating in the background while user queries round-robin
       // over the site servers; metrics are reported for one site server.

@@ -47,26 +47,28 @@ constexpr double kDeadline = 25.0;  // a completion later than this is waste
 /// The GRIS-cache deployment every phase runs against. `resilient`
 /// switches the whole overload-control layer on.
 ScenarioSpec build_spec(bool resilient) {
-  ScenarioSpec spec;  // GRIS with cache, 10 providers, server lucky7
+  SpecBuilder b;  // GRIS with cache, 10 providers, server lucky7
   // Fatten the providers (200 entries each) so the search walk costs real
   // CPU per query: the server's knee lands near 6 q/s and the sweep can
   // cross it with seconds of simulated time instead of hours.
-  spec.provider_entries = 200;
+  b.provider_entries(200);
   // The paper's slapd default (512) lets half a thousand admitted queries
   // rot in the worker queue where no client-visible signal exists; a tight
   // backlog turns overload into refusals (baseline) or a policed wait
   // queue (resilient) at the port, where the mechanisms under test live.
-  spec.gris_backlog = 8;
-  spec.goodput_deadline = kDeadline;
+  b.gris_backlog(8);
+  b.goodput_deadline(kDeadline);
   if (resilient) {
-    spec.resilience.enabled = true;
-    spec.resilience.client.enabled = true;
-    spec.resilience.server.enabled = true;
-    spec.resilience.server.discipline = resilience::QueueDiscipline::DeadlineEdf;
-    spec.resilience.server.deadline_budget = 15.0;
-    spec.resilience.server.serve_stale = true;
+    resilience::Config r;
+    r.enabled = true;
+    r.client.enabled = true;
+    r.server.enabled = true;
+    r.server.discipline = resilience::QueueDiscipline::DeadlineEdf;
+    r.server.deadline_budget = 15.0;
+    r.server.serve_stale = true;
+    b.resilience(std::move(r));
   }
-  return spec;
+  return b.build();
 }
 
 /// Retry behavior of the open-loop clients: deep enough to make an
@@ -349,14 +351,23 @@ int main(int argc, char** argv) {
             << "\n";
 
   if (!opt.csv_path.empty()) {
+    // The open-loop points serialize through the shared MetricsReport
+    // schema (x = offered rate); `outstanding` appends as a bench column.
     std::ofstream csv(opt.csv_path);
-    csv << "bench,series,rate,throughput,goodput,response,retry_amp,"
-           "shed_rate,outstanding\n";
+    const unsigned groups = core::kMetricCore | core::kMetricResilience;
+    const std::vector<std::string> header_prefix{"bench", "series"};
+    csv << core::csv_header(groups, header_prefix) << ",outstanding\n";
     for (const OverPoint& p : points) {
-      csv << "ext_overload," << p.series << ',' << p.rate << ','
-          << p.throughput << ',' << p.goodput << ',' << p.response << ','
-          << p.retry_amp << ',' << p.shed_rate << ',' << p.outstanding
-          << '\n';
+      core::MetricsReport row;
+      row.x = p.rate;
+      row.throughput = p.throughput;
+      row.response = p.response;
+      row.goodput = p.goodput;
+      row.shed_rate = p.shed_rate;
+      row.retry_amp = p.retry_amp;
+      const std::vector<std::string> prefix{"ext_overload", p.series};
+      core::write_csv_row(csv, row, groups, prefix);
+      csv << ',' << p.outstanding << '\n';
     }
     std::cout << "wrote " << opt.csv_path << "\n";
   }

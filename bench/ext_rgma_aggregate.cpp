@@ -30,9 +30,10 @@ int main(int argc, char** argv) {
             << " (the aggregate server the paper's Table 1 lists as "
                "'None')\n";
   for (int n : sweep) {
-    ScenarioSpec spec;
-    spec.service = ServiceKind::RgmaComposite;
-    spec.sources = n;
+    ScenarioSpec spec = ScenarioSpec::build()
+                            .service(ServiceKind::RgmaComposite)
+                            .sources(n)
+                            .build();
     PointHooks hooks;
     hooks.x = n;
     s.points.push_back(run_point(opt, s.name, spec, kUsers, nullptr, hooks));

@@ -26,9 +26,10 @@ int main(int argc, char** argv) {
   Series s{"R-GMA push delivery", {}};
 
   for (int n : sweep) {
-    ScenarioSpec spec;
-    spec.service = ServiceKind::StreamFanout;
-    spec.subscribers = n;
+    ScenarioSpec spec = ScenarioSpec::build()
+                            .service(ServiceKind::StreamFanout)
+                            .subscribers(n)
+                            .build();
     TestbedConfig tc;
     tc.seed = opt.seed_for(spec);
     Testbed tb(tc);

@@ -24,25 +24,22 @@ int main(int argc, char** argv) {
     ScenarioSpec spec;
   };
   std::vector<Config> configs;
-  {
-    ScenarioSpec spec;
-    spec.service = ServiceKind::Giis;
-    configs.push_back({"MDS GIIS", spec});
-    spec.service = ServiceKind::Manager;
-    spec.collectors = 11;
-    configs.push_back({"Hawkeye Manager", spec});
-  }
+  configs.push_back({"MDS GIIS",
+                     ScenarioSpec::build().service(ServiceKind::Giis).build()});
+  configs.push_back({"Hawkeye Manager", ScenarioSpec::build()
+                                            .service(ServiceKind::Manager)
+                                            .collectors(11)
+                                            .build()});
 
-  for (auto& config : configs) {
+  for (const auto& config : configs) {
     for (bool wan : {false, true}) {
       Series s{config.base + " (" + (wan ? "WAN" : "LAN") + " clients)", {}};
       std::cout << s.name << "\n";
-      config.spec.lucky_clients = !wan;
+      ScenarioSpec spec = SpecBuilder(config.spec).lucky_clients(!wan).build();
       PointHooks hooks;
       hooks.max_users_per_host = 100;
       for (int n : users) {
-        s.points.push_back(
-            run_point(opt, s.name, config.spec, n, nullptr, hooks));
+        s.points.push_back(run_point(opt, s.name, spec, n, nullptr, hooks));
       }
       figures.push_back(std::move(s));
     }

@@ -53,9 +53,10 @@ int main() {
         Config{"Hawkeye", "Agent", ServiceKind::Agent, 11},
         Config{"R-GMA", "ProducerServlet", ServiceKind::RgmaMediated, 10}}) {
     Testbed tb;
-    ScenarioSpec spec;
-    spec.service = config.service;
-    spec.collectors = config.collectors;
+    ScenarioSpec spec = ScenarioSpec::build()
+                            .service(config.service)
+                            .collectors(config.collectors)
+                            .build();
     auto scenario = core::make_scenario(tb, spec);
     scenario->prefill();
     UserWorkload w(tb, scenario->query_fn());

@@ -19,9 +19,10 @@ int main() {
 
   // A GRIS on lucky7 with the default 10 information providers, caching
   // enabled (the paper's fast configuration). Every deployment the study
-  // measures is described by a ScenarioSpec and built by make_scenario.
-  core::ScenarioSpec spec;
-  spec.service = core::ServiceKind::Gris;
+  // measures is described by a ScenarioSpec, assembled and validated by
+  // its builder, and built by make_scenario.
+  core::ScenarioSpec spec =
+      core::ScenarioSpec::build().service(core::ServiceKind::Gris).build();
   auto scenario = core::make_scenario(testbed, spec);
   scenario->prefill();
 

@@ -53,8 +53,9 @@ sim::Task<void> broker(core::GiisScenario& scenario, net::Interface& client) {
 
 int main() {
   core::Testbed testbed;
-  core::ScenarioSpec spec;
-  spec.service = core::ServiceKind::Giis;  // gris_count=5, 10 providers each
+  // gris_count=5, 10 providers each
+  core::ScenarioSpec spec =
+      core::ScenarioSpec::build().service(core::ServiceKind::Giis).build();
   auto base = core::make_scenario(testbed, spec);
   base->prefill();  // initial soft-state registrations + cache pull
   // The broker drives the GIIS's raw LDAP search interface, so it needs

@@ -77,41 +77,27 @@ SweepPoint replicate(const std::vector<std::uint64_t>& seeds,
                      const std::function<SweepPoint(std::uint64_t)>& run_one,
                      double* throughput_stddev_out) {
   SweepPoint mean;
-  mean.availability = 0;  // the struct default is 1; accumulate from zero
+  mean.availability = 0;   // the struct default is 1; accumulate from zero
+  mean.peak_rss_kb = 0;    // likewise (-1 = "not measured")
+  mean.shards = 0;         // likewise (the struct default is 1)
   std::vector<double> throughputs;
+  // The schema is the field list: every metric column accumulates and
+  // averages, so new columns join replication without touching this loop.
   for (auto seed : seeds) {
     SweepPoint p = run_one(seed);
     mean.x = p.x;
-    mean.throughput += p.throughput;
-    mean.response += p.response;
-    mean.load1 += p.load1;
-    mean.cpu += p.cpu;
-    mean.refused += p.refused;
-    mean.availability += p.availability;
-    mean.error_rate += p.error_rate;
-    mean.stale_frac += p.stale_frac;
-    mean.recovery += p.recovery;
-    mean.recovery_complete += p.recovery_complete;
-    mean.goodput += p.goodput;
-    mean.shed_rate += p.shed_rate;
-    mean.retry_amp += p.retry_amp;
+    for (const auto& col : metric_columns()) {
+      if (col.field == &SweepPoint::x) continue;
+      mean.*(col.field) += p.*(col.field);
+    }
     throughputs.push_back(p.throughput);
   }
   double n = static_cast<double>(seeds.size());
   if (n > 0) {
-    mean.throughput /= n;
-    mean.response /= n;
-    mean.load1 /= n;
-    mean.cpu /= n;
-    mean.refused /= n;
-    mean.availability /= n;
-    mean.error_rate /= n;
-    mean.stale_frac /= n;
-    mean.recovery /= n;
-    mean.recovery_complete /= n;
-    mean.goodput /= n;
-    mean.shed_rate /= n;
-    mean.retry_amp /= n;
+    for (const auto& col : metric_columns()) {
+      if (col.field == &SweepPoint::x) continue;
+      mean.*(col.field) /= n;
+    }
   }
   if (throughput_stddev_out != nullptr) {
     double ss = 0;

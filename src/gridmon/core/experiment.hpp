@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "gridmon/core/metrics_report.hpp"
 #include "gridmon/core/testbed.hpp"
 #include "gridmon/core/workload.hpp"
 #include "gridmon/metrics/report.hpp"
@@ -49,28 +50,10 @@ struct MeasureConfig {
   double goodput_deadline = 0;
 };
 
-/// One sweep point of a figure.
-struct SweepPoint {
-  double x = 0;           // users / collectors / information servers
-  double throughput = 0;  // queries per second
-  double response = 0;    // seconds
-  double load1 = 0;       // one-minute load average
-  double cpu = 0;         // percent
-  double refused = 0;     // refused connection attempts per second
-  double availability = 1;  // completed / (completed + abandoned) queries
-  double error_rate = 0;    // timeouts + failures + abandonments per second
-  double stale_frac = 0;    // fraction of completions flagged stale
-  double recovery = 0;      // first answered query past recovery_mark (-1:
-                            // never) — service reachability
-  double recovery_complete = 0;  // state re-converged past recovery_mark
-                                 // (-1: never/unknown) — data recovery
-  double goodput = 0;    // timely completions/s (== throughput without a
-                         // goodput deadline); stale answers still count —
-                         // answer quality is tracked by stale_frac
-  double shed_rate = 0;  // deadline-shed admissions per second
-  double retry_amp = 0;  // attempts per started query over the window
-                         // (1.0 = no retries)
-};
+/// One sweep point of a figure. The historical name for the typed
+/// metrics row; see metrics_report.hpp for the fields and the schema
+/// that drives CSV/JSON emission.
+using SweepPoint = MetricsReport;
 
 /// Run the clock through warmup+duration and collect a SweepPoint for
 /// `workload` with host metrics from `server_host`.

@@ -1,0 +1,88 @@
+#include "gridmon/core/metrics_report.hpp"
+
+#include <array>
+#include <cmath>
+#include <limits>
+#include <ostream>
+#include <sstream>
+
+namespace gridmon::core {
+
+std::span<const MetricColumn> metric_columns() {
+  // Emission order is part of the CSV contract: core first (the
+  // historical 6-column layout), then the optional groups in enum order.
+  static constexpr std::array<MetricColumn, 19> kColumns{{
+      {"x", &MetricsReport::x, kMetricCore},
+      {"throughput", &MetricsReport::throughput, kMetricCore},
+      {"response", &MetricsReport::response, kMetricCore},
+      {"load1", &MetricsReport::load1, kMetricCore},
+      {"cpu", &MetricsReport::cpu, kMetricCore},
+      {"refused_per_sec", &MetricsReport::refused, kMetricCore},
+      {"availability", &MetricsReport::availability, kMetricHealth},
+      {"error_rate", &MetricsReport::error_rate, kMetricHealth},
+      {"stale_frac", &MetricsReport::stale_frac, kMetricHealth},
+      {"recovery_s", &MetricsReport::recovery, kMetricRecovery},
+      {"recovery_complete_s", &MetricsReport::recovery_complete,
+       kMetricRecovery},
+      {"goodput", &MetricsReport::goodput, kMetricResilience},
+      {"shed_per_sec", &MetricsReport::shed_rate, kMetricResilience},
+      {"retry_amp", &MetricsReport::retry_amp, kMetricResilience},
+      {"events", &MetricsReport::events, kMetricEngine},
+      {"wall_clock_s", &MetricsReport::wall_clock_s, kMetricEngine},
+      {"events_per_sec", &MetricsReport::events_per_sec, kMetricEngine},
+      {"peak_rss_kb", &MetricsReport::peak_rss_kb, kMetricEngine},
+      {"shards", &MetricsReport::shards, kMetricEngine},
+  }};
+  return kColumns;
+}
+
+std::string csv_header(unsigned groups, std::span<const std::string> prefix) {
+  std::string out;
+  for (const auto& cell : prefix) {
+    if (!out.empty()) out += ',';
+    out += cell;
+  }
+  for (const auto& col : metric_columns()) {
+    if ((col.group & groups) == 0) continue;
+    if (!out.empty()) out += ',';
+    out += col.name;
+  }
+  return out;
+}
+
+void write_csv_row(std::ostream& os, const MetricsReport& p, unsigned groups,
+                   std::span<const std::string> prefix) {
+  bool first = true;
+  for (const auto& cell : prefix) {
+    if (!first) os << ',';
+    os << cell;
+    first = false;
+  }
+  for (const auto& col : metric_columns()) {
+    if ((col.group & groups) == 0) continue;
+    if (!first) os << ',';
+    os << p.*(col.field);
+    first = false;
+  }
+}
+
+void write_json_fields(std::ostream& os, const MetricsReport& p,
+                       unsigned groups) {
+  bool first = true;
+  for (const auto& col : metric_columns()) {
+    if ((col.group & groups) == 0) continue;
+    if (!first) os << ", ";
+    double v = p.*(col.field);
+    std::ostringstream num;
+    num.precision(std::numeric_limits<double>::max_digits10);
+    if (std::isfinite(v)) {
+      num << v;
+    } else {
+      num << "null";  // JSON has no NaN/Inf literal
+    }
+    os << '"' << col.name << "\": " << num.str();
+    first = false;
+  }
+}
+
+}  // namespace gridmon::core

@@ -24,225 +24,6 @@ std::string lower(std::string s) {
   return s;
 }
 
-std::vector<int> parse_int_list(const std::string& value, int line_no) {
-  std::vector<int> out;
-  std::stringstream ss(value);
-  std::string item;
-  while (std::getline(ss, item, ',')) {
-    item = trim(item);
-    if (item.empty()) continue;
-    try {
-      std::size_t used = 0;
-      int v = std::stoi(item, &used);
-      if (used != item.size() || v <= 0) throw std::invalid_argument(item);
-      out.push_back(v);
-    } catch (const std::exception&) {
-      throw ConfigError("line " + std::to_string(line_no) +
-                        ": bad integer '" + item + "'");
-    }
-  }
-  if (out.empty()) {
-    throw ConfigError("line " + std::to_string(line_no) + ": empty list");
-  }
-  return out;
-}
-
-double parse_double(const std::string& value, int line_no) {
-  try {
-    std::size_t used = 0;
-    double v = std::stod(value, &used);
-    if (used != value.size() || v < 0) throw std::invalid_argument(value);
-    return v;
-  } catch (const std::exception&) {
-    throw ConfigError("line " + std::to_string(line_no) + ": bad number '" +
-                      value + "'");
-  }
-}
-
-bool parse_bool(const std::string& value) {
-  std::string v = lower(value);
-  if (v == "true" || v == "yes" || v == "1" || v == "on") return true;
-  if (v == "false" || v == "no" || v == "0" || v == "off") return false;
-  throw ConfigError("expected a boolean, got '" + value + "'");
-}
-
-std::vector<std::string> split_list(const std::string& value) {
-  std::vector<std::string> out;
-  std::stringstream ss(value);
-  std::string item;
-  while (std::getline(ss, item, ',')) {
-    item = trim(item);
-    if (!item.empty()) out.push_back(item);
-  }
-  return out;
-}
-
-/// Expect exactly `n` comma-separated fields for fault key `key`.
-std::vector<std::string> fault_fields(const std::string& key,
-                                      const std::string& value,
-                                      std::size_t n) {
-  auto fields = split_list(value);
-  if (fields.size() != n) {
-    throw ConfigError("[faults] " + key + " needs " + std::to_string(n) +
-                      " comma-separated fields, got " +
-                      std::to_string(fields.size()));
-  }
-  return fields;
-}
-
-void parse_fault_key(ScenarioSpec& spec, const std::string& key,
-                     const std::string& value) {
-  const int n = 0;
-  if (key == "crash" || key == "blackhole") {
-    auto f = fault_fields(key, value, 3);
-    spec.faults.crash(f[0], parse_double(f[1], n), parse_double(f[2], n),
-                      key == "blackhole");
-  } else if (key == "partition") {
-    auto f = fault_fields(key, value, 4);
-    spec.faults.partition(f[0], f[1], parse_double(f[2], n),
-                          parse_double(f[3], n));
-  } else if (key == "degrade") {
-    auto f = fault_fields(key, value, 5);
-    spec.faults.degrade_wan(f[0], f[1], parse_double(f[2], n),
-                            parse_double(f[3], n), parse_double(f[4], n));
-  } else if (key == "slow_host") {
-    auto f = fault_fields(key, value, 4);
-    spec.faults.slow_host(f[0], parse_double(f[1], n), parse_double(f[2], n),
-                          parse_double(f[3], n));
-  } else if (key == "collector_outage") {
-    auto f = fault_fields(key, value, 3);
-    spec.faults.collector_outage(f[0], parse_double(f[1], n),
-                                 parse_double(f[2], n));
-  } else if (key == "query_deadline") {
-    spec.query_deadline = parse_double(value, n);
-  } else if (key == "max_attempts") {
-    spec.max_attempts = static_cast<int>(parse_double(value, n));
-  } else {
-    throw ConfigError("unknown key '" + key + "' in [faults]");
-  }
-}
-
-void parse_resilience_key(ScenarioSpec& spec, const std::string& key,
-                          const std::string& value) {
-  const int n = 0;
-  auto& r = spec.resilience;
-  if (key == "enabled") {
-    bool on = parse_bool(value);
-    r.enabled = on;
-    r.client.enabled = on;
-    r.server.enabled = on;
-  } else if (key == "client") {
-    r.client.enabled = parse_bool(value);
-    r.enabled = r.client.enabled || r.server.enabled;
-  } else if (key == "server") {
-    r.server.enabled = parse_bool(value);
-    r.enabled = r.client.enabled || r.server.enabled;
-  } else if (key == "retry_budget") {
-    r.client.budget.capacity = parse_double(value, n);
-  } else if (key == "retry_ratio") {
-    r.client.budget.fill_ratio = parse_double(value, n);
-  } else if (key == "breaker_window") {
-    r.client.breaker.window =
-        static_cast<std::size_t>(parse_int_list(value, n).front());
-  } else if (key == "breaker_min_samples") {
-    r.client.breaker.min_samples =
-        static_cast<std::size_t>(parse_int_list(value, n).front());
-  } else if (key == "breaker_threshold") {
-    r.client.breaker.failure_threshold = parse_double(value, n);
-  } else if (key == "breaker_open_secs") {
-    r.client.breaker.open_duration = parse_double(value, n);
-  } else if (key == "breaker_probes") {
-    r.client.breaker.half_open_probes =
-        static_cast<std::size_t>(parse_int_list(value, n).front());
-  } else if (key == "discipline") {
-    try {
-      r.server.discipline = resilience::parse_discipline(lower(value));
-    } catch (const std::invalid_argument& e) {
-      throw ConfigError(e.what());
-    }
-  } else if (key == "queue_limit") {
-    r.server.queue_limit =
-        static_cast<std::size_t>(parse_int_list(value, n).front());
-  } else if (key == "deadline_budget") {
-    r.server.deadline_budget = parse_double(value, n);
-  } else if (key == "serve_stale") {
-    r.server.serve_stale = parse_bool(value);
-  } else if (key == "pressure") {
-    r.server.pressure_threshold = parse_double(value, n);
-  } else if (key == "goodput_deadline") {
-    spec.goodput_deadline = parse_double(value, n);
-  } else {
-    throw ConfigError("unknown key '" + key + "' in [resilience]");
-  }
-}
-
-void parse_store_key(ScenarioSpec& spec, const std::string& key,
-                     const std::string& value) {
-  const int n = 0;
-  if (key == "mode") {
-    auto mode = store::parse_mode(lower(value));
-    if (!mode) {
-      throw ConfigError("unknown durability mode '" + value +
-                        "' (volatile | wal | wal+snapshot)");
-    }
-    spec.store.mode = *mode;
-  } else if (key == "fsync_latency") {
-    spec.store.fsync_latency = parse_double(value, n);
-  } else if (key == "write_bandwidth") {
-    spec.store.write_bandwidth = parse_double(value, n);
-  } else if (key == "group_commit_window") {
-    spec.store.group_commit_window = parse_double(value, n);
-  } else if (key == "snapshot_interval") {
-    spec.store.snapshot_interval = parse_double(value, n);
-  } else if (key == "replay_cpu_per_record") {
-    spec.store.replay_cpu_per_record = parse_double(value, n);
-  } else {
-    throw ConfigError("unknown key '" + key + "' in [store]");
-  }
-}
-
-ServiceKind parse_service(const std::string& value, int line_no) {
-  static const std::map<std::string, ServiceKind> kNames = {
-      {"gris", ServiceKind::Gris},
-      {"gris-nocache", ServiceKind::GrisNocache},
-      {"giis", ServiceKind::Giis},
-      {"agent", ServiceKind::Agent},
-      {"manager", ServiceKind::Manager},
-      {"registry", ServiceKind::Registry},
-      {"rgma-mediated", ServiceKind::RgmaMediated},
-      {"rgma-direct", ServiceKind::RgmaDirect},
-      {"rgma-standalone", ServiceKind::RgmaStandalone},
-      {"giis-aggregate", ServiceKind::GiisAggregate},
-      {"manager-aggregate", ServiceKind::ManagerAggregate},
-      {"hierarchy", ServiceKind::Hierarchy},
-      {"rgma-composite", ServiceKind::RgmaComposite},
-      {"stream-fanout", ServiceKind::StreamFanout},
-      {"rgma-replicated", ServiceKind::RgmaReplicated},
-  };
-  auto it = kNames.find(lower(value));
-  if (it == kNames.end()) {
-    throw ConfigError("line " + std::to_string(line_no) +
-                      ": unknown service '" + value + "'");
-  }
-  return it->second;
-}
-
-QueryVariant parse_query(const std::string& value) {
-  static const std::map<std::string, QueryVariant> kNames = {
-      {"default", QueryVariant::Default},
-      {"all", QueryVariant::ScopeAll},
-      {"part", QueryVariant::ScopePart},
-      {"dump", QueryVariant::ManagerDump},
-      {"constraint", QueryVariant::ManagerConstraint},
-      {"site-routed", QueryVariant::SiteRouted},
-  };
-  auto it = kNames.find(lower(value));
-  if (it == kNames.end()) {
-    throw ConfigError("unknown query variant '" + value + "'");
-  }
-  return it->second;
-}
-
 [[noreturn]] void bad_variant(const ScenarioSpec& spec) {
   throw ConfigError("service '" + spec.service_name() +
                     "' cannot answer the requested query variant");
@@ -549,114 +330,6 @@ std::map<std::string, std::map<std::string, std::string>> parse_ini(
     out[section][key] = value;
   }
   return out;
-}
-
-ScenarioSpec parse_scenario_spec(const std::string& text) {
-  auto ini = parse_ini(text);
-  auto exp_it = ini.find("experiment");
-  if (exp_it == ini.end()) {
-    throw ConfigError("missing [experiment] section");
-  }
-  for (const auto& [section, unused] : ini) {
-    if (section != "experiment" && section != "faults" &&
-        section != "store" && section != "resilience") {
-      throw ConfigError("unknown section [" + section + "]");
-    }
-  }
-
-  ScenarioSpec spec;
-  for (const auto& [key, value] : exp_it->second) {
-    // Line numbers are lost after the scan; report key names instead.
-    const int n = 0;
-    if (key == "service") {
-      spec.service = parse_service(value, n);
-    } else if (key == "query") {
-      spec.query = parse_query(value);
-    } else if (key == "users") {
-      spec.users = parse_int_list(value, n);
-    } else if (key == "collectors") {
-      spec.collectors = parse_int_list(value, n).front();
-    } else if (key == "clients") {
-      std::string v = lower(value);
-      if (v == "uc") {
-        spec.lucky_clients = false;
-      } else if (v == "lucky") {
-        spec.lucky_clients = true;
-      } else {
-        throw ConfigError("clients must be 'uc' or 'lucky', got '" + value +
-                          "'");
-      }
-    } else if (key == "warmup") {
-      spec.warmup = parse_double(value, n);
-    } else if (key == "duration") {
-      spec.duration = parse_double(value, n);
-    } else if (key == "seed") {
-      spec.seed = static_cast<std::uint64_t>(parse_double(value, n));
-    } else if (key == "gris_count") {
-      spec.gris_count = parse_int_list(value, n).front();
-    } else if (key == "machines") {
-      spec.machines = parse_int_list(value, n).front();
-    } else if (key == "two_level") {
-      spec.two_level = parse_bool(value);
-    } else if (key == "replicas") {
-      spec.replicas = parse_int_list(value, n).front();
-    } else if (key == "pool_size") {
-      spec.pool_size = parse_int_list(value, n).front();
-    } else if (key == "servlets") {
-      spec.servlets = parse_int_list(value, n).front();
-    } else if (key == "producers_each") {
-      spec.producers_each = parse_int_list(value, n).front();
-    } else if (key == "subscribers") {
-      spec.subscribers = parse_int_list(value, n).front();
-    } else if (key == "sources") {
-      spec.sources = parse_int_list(value, n).front();
-    } else if (key == "table") {
-      spec.table = value;
-    } else if (key == "constraint") {
-      spec.constraint = value;
-    } else if (key == "cachettl") {
-      spec.cachettl = parse_double(value, n);
-    } else if (key == "provider_ttl") {
-      spec.provider_ttl = parse_double(value, n);
-    } else if (key == "gris_backlog") {
-      spec.gris_backlog = parse_int_list(value, n).front();
-    } else {
-      throw ConfigError("unknown key '" + key + "' in [experiment]");
-    }
-  }
-  auto faults_it = ini.find("faults");
-  if (faults_it != ini.end()) {
-    for (const auto& [key, value] : faults_it->second) {
-      parse_fault_key(spec, key, value);
-    }
-  }
-  auto store_it = ini.find("store");
-  if (store_it != ini.end()) {
-    for (const auto& [key, value] : store_it->second) {
-      parse_store_key(spec, key, value);
-    }
-  }
-  auto res_it = ini.find("resilience");
-  if (res_it != ini.end()) {
-    // Apply the master switch first so `enabled = true` composes with
-    // per-side overrides regardless of key order in the file.
-    auto en = res_it->second.find("enabled");
-    if (en != res_it->second.end()) {
-      parse_resilience_key(spec, "enabled", en->second);
-    }
-    for (const auto& [key, value] : res_it->second) {
-      if (key == "enabled") continue;
-      parse_resilience_key(spec, key, value);
-    }
-  }
-  if (spec.store.enabled() && spec.service != ServiceKind::Registry &&
-      spec.service != ServiceKind::Manager &&
-      spec.service != ServiceKind::ManagerAggregate) {
-    throw ConfigError("service '" + spec.service_name() +
-                      "' has no durable-state support; [store] mode must "
-                      "be volatile");
-  }
-  return spec;
 }
 
 }  // namespace gridmon::core

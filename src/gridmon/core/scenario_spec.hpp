@@ -69,6 +69,17 @@
 ///   snapshot_interval = 60    ; seconds between snapshots
 ///   replay_cpu_per_record = 5e-5  ; recovery CPU per replayed record
 ///
+/// An optional [engine] section selects the execution engine
+/// (docs/SCALE.md). Omitting it (or shards = 0) keeps the legacy
+/// single-queue sequential engine, byte-identical to every previous
+/// release:
+///
+///   [engine]
+///   shards    = 8      ; user partitions for the sharded engine (0 = legacy)
+///   threads   = 0      ; worker threads for the shards (0 = run inline)
+///   lookahead = 0      ; conservative window seconds (0 = derive from the
+///                      ; network's minimum cross-site one-way latency)
+///
 /// An optional [resilience] section turns on the overload-control layer
 /// (docs/RESILIENCE.md). Omitting it (or enabled = false) keeps every
 /// run byte-identical to a tree without the layer:
@@ -108,11 +119,24 @@
 namespace gridmon::core {
 
 class Scenario;
+class SpecBuilder;
 class Testbed;
 
 class ConfigError : public std::runtime_error {
  public:
   explicit ConfigError(const std::string& msg) : std::runtime_error(msg) {}
+};
+
+/// The [engine] execution knobs. `shards = 0` keeps the legacy
+/// single-queue sequential engine (byte-identical to every previous
+/// release); `shards >= 1` opts a scale run into the sharded
+/// conservative-lookahead engine with that many user partitions.
+struct EngineSpec {
+  int shards = 0;     // user partitions (0 = legacy sequential engine)
+  int threads = 0;    // worker threads for the shards (0 = run inline)
+  double lookahead = 0;  // window seconds (0 = derive from the network)
+
+  bool sharded() const { return shards > 0; }
 };
 
 /// Every deployment shape the study measures. The first eight are the
@@ -210,9 +234,95 @@ struct ScenarioSpec {
   /// measure() (0 = every completion is good).
   double goodput_deadline = 0;
 
+  /// The [engine] execution knobs (shards = 0 keeps the legacy engine).
+  EngineSpec engine;
+
   /// Host whose Ganglia metrics are reported (derived from the service).
   std::string server_host() const;
   std::string service_name() const;
+
+  /// Start a validating builder. Prefer this over mutating fields
+  /// directly in new code (gridmon_lint's spec-mutation check enforces
+  /// it inside src/gridmon): the builder collects *every* error and
+  /// reports them all at once from SpecBuilder::build().
+  static SpecBuilder build();
+};
+
+/// Validating ScenarioSpec construction. Setters never throw; they (and
+/// the INI `set()` path) record malformed input, and `build()` runs the
+/// full cross-field validation, throwing one ConfigError that lists
+/// every problem found rather than stopping at the first.
+class SpecBuilder {
+ public:
+  SpecBuilder() = default;
+  /// Seed the builder from an existing spec (e.g. a bench preset).
+  explicit SpecBuilder(ScenarioSpec base) : spec_(std::move(base)) {}
+
+  // ---- typed setters (validated in build()) ----
+  SpecBuilder& service(ServiceKind v) { spec_.service = v; return *this; }
+  SpecBuilder& query(QueryVariant v) { spec_.query = v; return *this; }
+  SpecBuilder& users(std::vector<int> v) { spec_.users = std::move(v); return *this; }
+  SpecBuilder& collectors(int v) { spec_.collectors = v; return *this; }
+  SpecBuilder& lucky_clients(bool v) { spec_.lucky_clients = v; return *this; }
+  SpecBuilder& window(double warmup, double duration) {
+    spec_.warmup = warmup;
+    spec_.duration = duration;
+    return *this;
+  }
+  SpecBuilder& seed(std::uint64_t v) { spec_.seed = v; return *this; }
+  SpecBuilder& gris_host(std::string v) { spec_.gris_host = std::move(v); return *this; }
+  SpecBuilder& gris_count(int v) { spec_.gris_count = v; return *this; }
+  SpecBuilder& machines(int v) { spec_.machines = v; return *this; }
+  SpecBuilder& two_level(bool v) { spec_.two_level = v; return *this; }
+  SpecBuilder& replicas(int v) { spec_.replicas = v; return *this; }
+  SpecBuilder& pool_size(int v) { spec_.pool_size = v; return *this; }
+  SpecBuilder& servlets(int v) { spec_.servlets = v; return *this; }
+  SpecBuilder& producers_each(int v) { spec_.producers_each = v; return *this; }
+  SpecBuilder& subscribers(int v) { spec_.subscribers = v; return *this; }
+  SpecBuilder& sources(int v) { spec_.sources = v; return *this; }
+  SpecBuilder& table(std::string v) { spec_.table = std::move(v); return *this; }
+  SpecBuilder& constraint(std::string v) { spec_.constraint = std::move(v); return *this; }
+  SpecBuilder& cachettl(double v) { spec_.cachettl = v; return *this; }
+  SpecBuilder& provider_ttl(double v) { spec_.provider_ttl = v; return *this; }
+  SpecBuilder& gris_backlog(int v) { spec_.gris_backlog = v; return *this; }
+  SpecBuilder& provider_entries(int v) { spec_.provider_entries = v; return *this; }
+  SpecBuilder& provider_bytes(int v) { spec_.provider_bytes = v; return *this; }
+  SpecBuilder& ps_stale_after(double v) { spec_.ps_stale_after = v; return *this; }
+  SpecBuilder& self_publish_interval(double v) { spec_.self_publish_interval = v; return *this; }
+  SpecBuilder& manager_ad_lifetime(double v) { spec_.manager_ad_lifetime = v; return *this; }
+  SpecBuilder& manager_stale_after(double v) { spec_.manager_stale_after = v; return *this; }
+  SpecBuilder& store(store::StoreConfig v) { spec_.store = std::move(v); return *this; }
+  SpecBuilder& faults(fault::FaultPlan v) { spec_.faults = std::move(v); return *this; }
+  SpecBuilder& query_deadline(double v) { spec_.query_deadline = v; return *this; }
+  SpecBuilder& max_attempts(int v) { spec_.max_attempts = v; return *this; }
+  SpecBuilder& resilience(resilience::Config v) { spec_.resilience = std::move(v); return *this; }
+  SpecBuilder& goodput_deadline(double v) { spec_.goodput_deadline = v; return *this; }
+  SpecBuilder& engine(EngineSpec v) { spec_.engine = v; return *this; }
+  SpecBuilder& shards(int v) { spec_.engine.shards = v; return *this; }
+  SpecBuilder& threads(int v) { spec_.engine.threads = v; return *this; }
+  SpecBuilder& lookahead(double v) { spec_.engine.lookahead = v; return *this; }
+
+  /// The INI path: apply one `[section] key = value` triple. Malformed
+  /// input is recorded (with `where`, e.g. a line number) instead of
+  /// thrown, so a config file reports every bad key at once.
+  SpecBuilder& set(const std::string& section, const std::string& key,
+                   const std::string& value, const std::string& where = "");
+
+  /// Record an error found outside the builder (e.g. a structural INI
+  /// problem) so it joins the final report.
+  SpecBuilder& note_error(std::string message);
+
+  /// Errors collected so far (before build()'s validation pass).
+  const std::vector<std::string>& errors() const { return errors_; }
+
+  /// Validate everything and return the spec. Throws one ConfigError
+  /// listing every collected and validation error; never throws on a
+  /// clean spec.
+  ScenarioSpec build();
+
+ private:
+  ScenarioSpec spec_;
+  std::vector<std::string> errors_;
 };
 
 /// Build the deployment `spec` describes on `tb`: construct the services,
@@ -224,8 +334,10 @@ struct ScenarioSpec {
 /// query variant the service cannot answer.
 std::unique_ptr<Scenario> make_scenario(Testbed& tb, const ScenarioSpec& spec);
 
-/// Parse the INI text. Throws ConfigError with a line number on any
-/// malformed or unknown input.
+/// Parse the INI text through a SpecBuilder. Structural problems (a
+/// malformed line, a missing [experiment] section) throw immediately
+/// with a line number; key-level problems are collected and reported
+/// together in one ConfigError from the builder's validation pass.
 ScenarioSpec parse_scenario_spec(const std::string& text);
 
 /// Low-level INI scan: section -> key -> value (all trimmed, keys

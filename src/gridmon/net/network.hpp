@@ -117,6 +117,21 @@ class Network {
     return 2 * latency(from, to);
   }
 
+  /// The smallest one-way propagation latency of any WAN pipe — the
+  /// natural conservative-lookahead bound for host/site-sharded
+  /// execution (sim::ShardGroup): no cross-site effect can propagate
+  /// faster than this. Returns 0 when no WANs exist (single-site
+  /// topologies have no cross-site traffic to bound).
+  double min_cross_site_latency() const {
+    double min_latency = 0;
+    for (const auto& [key, wan] : wans_) {
+      if (min_latency == 0 || wan->spec.one_way_latency < min_latency) {
+        min_latency = wan->spec.one_way_latency;
+      }
+    }
+    return min_latency;
+  }
+
   /// Move `payload_bytes` from `from` to `to`. Adds per-message protocol
   /// overhead, shares the sender NIC, (for cross-site flows) the WAN pipe,
   /// and the receiver NIC, then waits propagation latency. Loopback

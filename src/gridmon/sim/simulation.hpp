@@ -92,7 +92,12 @@ class Simulation {
       if (++events_since_prune_ >= prune_threshold_) prune_done_tasks();
     }
     if (now_ < until && until != kForever) now_ = until;
-    prune_done_tasks();
+    // Reclaim frames eagerly only when the run drained the queue; a
+    // windowed caller (sim::ShardGroup drives the simulation in
+    // lookahead-sized slices, tens of thousands of calls per run) would
+    // otherwise pay an O(live tasks) sweep per window — quadratic over
+    // the run. Sliced calls rely on the amortized in-loop prune above.
+    if (executed > 0 && queue_.empty()) prune_done_tasks();
     return executed;
   }
 

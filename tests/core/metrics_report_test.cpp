@@ -1,0 +1,112 @@
+/// The typed metrics row and its schema-driven serializer: the core
+/// column group must reproduce the historical bench CSV layout
+/// byte-for-byte, groups must append in a fixed order, and the JSON
+/// emission must round-trip doubles.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "gridmon/core/metrics_report.hpp"
+
+namespace gridmon::core {
+namespace {
+
+MetricsReport sample() {
+  MetricsReport p;
+  p.x = 100;
+  p.throughput = 23.5;
+  p.response = 3.25;
+  p.load1 = 0.304;
+  p.cpu = 11.2;
+  p.refused = 2;
+  p.availability = 0.75;
+  p.error_rate = 0.5;
+  p.stale_frac = 0.125;
+  p.recovery = 12;
+  p.recovery_complete = 30;
+  p.goodput = 20;
+  p.shed_rate = 1.5;
+  p.retry_amp = 1.25;
+  p.events = 1e6;
+  p.wall_clock_s = 2.5;
+  p.events_per_sec = 4e5;
+  p.peak_rss_kb = 1024;
+  p.shards = 8;
+  return p;
+}
+
+TEST(MetricsReportTest, CoreHeaderMatchesHistoricalBenchLayout) {
+  const std::vector<std::string> prefix{"bench", "series"};
+  EXPECT_EQ(csv_header(kMetricCore, prefix),
+            "bench,series,x,throughput,response,load1,cpu,refused_per_sec");
+}
+
+TEST(MetricsReportTest, CoreRowMatchesHistoricalBenchLayout) {
+  // The pre-redesign emitters wrote `os << p.x << ',' << ...` with the
+  // stream's default formatting; the serializer must keep those bytes.
+  MetricsReport p = sample();
+  std::ostringstream expected;
+  expected << "b,s," << p.x << ',' << p.throughput << ',' << p.response << ','
+           << p.load1 << ',' << p.cpu << ',' << p.refused;
+  std::ostringstream got;
+  const std::vector<std::string> prefix{"b", "s"};
+  write_csv_row(got, p, kMetricCore, prefix);
+  EXPECT_EQ(got.str(), expected.str());
+}
+
+TEST(MetricsReportTest, GroupsAppendInFixedOrder) {
+  EXPECT_EQ(csv_header(kMetricCore | kMetricHealth | kMetricRecovery),
+            "x,throughput,response,load1,cpu,refused_per_sec,"
+            "availability,error_rate,stale_frac,"
+            "recovery_s,recovery_complete_s");
+  EXPECT_EQ(csv_header(kMetricEngine),
+            "events,wall_clock_s,events_per_sec,peak_rss_kb,shards");
+}
+
+TEST(MetricsReportTest, SchemaCoversEveryFieldExactlyOnce) {
+  // Pointers-to-member have no operator<, so dedup with a linear scan.
+  std::vector<double MetricsReport::*> seen;
+  std::set<std::string> names;
+  unsigned groups = 0;
+  for (const auto& col : metric_columns()) {
+    EXPECT_EQ(std::find(seen.begin(), seen.end(), col.field), seen.end())
+        << col.name << " duplicated";
+    seen.push_back(col.field);
+    EXPECT_TRUE(names.insert(col.name).second) << col.name << " duplicated";
+    groups |= col.group;
+  }
+  EXPECT_EQ(groups, kMetricAll & ~0u);
+  // 19 doubles in MetricsReport; a new field must come with a schema row.
+  EXPECT_EQ(metric_columns().size(), 19u);
+  EXPECT_EQ(metric_columns().size() * sizeof(double), sizeof(MetricsReport));
+}
+
+TEST(MetricsReportTest, RowRespectsStreamPrecision) {
+  MetricsReport p;
+  p.throughput = 23.333333333333332;
+  std::ostringstream os;
+  os.precision(17);
+  write_csv_row(os, p, kMetricCore);
+  EXPECT_NE(os.str().find("23.333333333333332"), std::string::npos);
+}
+
+TEST(MetricsReportTest, JsonFieldsRoundTrip) {
+  MetricsReport p = sample();
+  p.response = 1.0 / 3.0;
+  std::ostringstream os;
+  write_json_fields(os, p, kMetricCore | kMetricEngine);
+  const std::string json = os.str();
+  EXPECT_NE(json.find("\"throughput\": 23.5"), std::string::npos);
+  EXPECT_NE(json.find("\"response\": 0.33333333333333331"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"shards\": 8"), std::string::npos);
+  EXPECT_EQ(json.find("availability"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace gridmon::core

@@ -16,6 +16,7 @@
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "gridmon/core/experiment.hpp"
 #include "gridmon/core/scenario_spec.hpp"
@@ -42,9 +43,13 @@ SweepPoint run_mini(const ScenarioSpec& spec, int users) {
 std::string mini_experiments_csv() {
   std::ostringstream csv;
   csv.precision(17);
+  // Serialized through the shared MetricsReport schema: the core group
+  // is exactly the historical six-column row the goldens were recorded
+  // with, and the stream's precision(17) makes the bytes round-trip.
   auto add = [&](const std::string& name, const SweepPoint& p) {
-    csv << name << ',' << p.x << ',' << p.throughput << ',' << p.response
-        << ',' << p.load1 << ',' << p.cpu << ',' << p.refused << '\n';
+    const std::vector<std::string> prefix{name};
+    write_csv_row(csv, p, kMetricCore, prefix);
+    csv << '\n';
   };
 
   {  // exp1: information server under concurrent users.

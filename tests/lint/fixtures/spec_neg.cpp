@@ -1,0 +1,44 @@
+// Negative fixture: spec construction through the builder, reads and
+// comparisons of spec fields, and mutations of unrelated types that
+// happen to have a member named like a spec field. Must be clean.
+#include <string>
+#include <vector>
+
+namespace core {
+struct ScenarioSpec {
+  int collectors = 10;
+  std::vector<int> users{10};
+};
+class SpecBuilder {
+ public:
+  SpecBuilder& collectors(int v);
+  SpecBuilder& users(std::vector<int> v);
+  ScenarioSpec build();
+};
+}  // namespace core
+
+using core::ScenarioSpec;
+using core::SpecBuilder;
+
+// The supported path: fluent setters, one validating build().
+ScenarioSpec via_builder() {
+  return SpecBuilder{}.collectors(40).users({10, 100}).build();
+}
+
+// Reads and comparisons are not mutations.
+int read_only(const ScenarioSpec& spec) {
+  if (spec.collectors == 10) return spec.users.front();
+  return spec.collectors;
+}
+
+// A different type with spec-looking members is not a ScenarioSpec.
+struct ProviderSpec {
+  std::string name;
+  int entries = 0;
+};
+ProviderSpec provider(int i) {
+  ProviderSpec spec;
+  spec.name = "ip" + std::to_string(i);
+  spec.entries = 4;
+  return spec;
+}

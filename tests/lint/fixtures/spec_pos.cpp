@@ -1,0 +1,36 @@
+// Positive fixture: direct assignment to ScenarioSpec fields, the
+// pattern the SpecBuilder redesign deprecates. Lines pinned by the
+// .expected file.
+#include <string>
+#include <vector>
+
+namespace core {
+struct StoreConfig {
+  double fsync_latency = 0;
+};
+struct ScenarioSpec {
+  int collectors = 10;
+  std::vector<int> users{10};
+  StoreConfig store;
+};
+}  // namespace core
+
+using core::ScenarioSpec;
+
+// lines 23-24: plain field writes on a fresh spec
+ScenarioSpec legacy_construction() {
+  ScenarioSpec spec;
+  spec.collectors = 40;
+  spec.users = {10, 100};
+  return spec;
+}
+
+// line 30: a nested member chain is still a spec mutation
+void tweak_store(ScenarioSpec& spec) {
+  spec.store.fsync_latency = 0.005;
+}
+
+// Comparisons and reads are not mutations.
+bool is_default(const ScenarioSpec& spec) {
+  return spec.collectors == 10 && spec.store.fsync_latency == 0;
+}

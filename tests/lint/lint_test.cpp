@@ -95,6 +95,8 @@ TEST(LintFixtures, StorePositive) { run_fixture("store_pos.cpp"); }
 TEST(LintFixtures, StoreNegative) { run_fixture("store_neg.cpp"); }
 TEST(LintFixtures, ResiliencePositive) { run_fixture("resilience_pos.cpp"); }
 TEST(LintFixtures, ResilienceNegative) { run_fixture("resilience_neg.cpp"); }
+TEST(LintFixtures, SpecPositive) { run_fixture("spec_pos.cpp"); }
+TEST(LintFixtures, SpecNegative) { run_fixture("spec_neg.cpp"); }
 
 // Every fixture on disk must be exercised: adding a fixture without a test
 // (or an .expected without a fixture) is itself a failure.
@@ -104,7 +106,7 @@ TEST(LintFixtures, AllFixturesCovered) {
       "iteration_neg.cpp",   "coroutine_pos.cpp",   "coroutine_neg.cpp",
       "hotpath_pos.cpp",     "hotpath_neg.cpp",     "suppression.cpp",
       "store_pos.cpp",       "store_neg.cpp",       "resilience_pos.cpp",
-      "resilience_neg.cpp"};
+      "resilience_neg.cpp",  "spec_pos.cpp",        "spec_neg.cpp"};
   for (const auto& entry : fs::directory_iterator(fixture_dir())) {
     fs::path p = entry.path();
     if (p.extension() != ".cpp") continue;

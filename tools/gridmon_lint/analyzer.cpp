@@ -71,6 +71,9 @@ std::vector<CheckInfo> all_checks() {
       {"resilience.retry-without-budget",
        "retry loops that back off and re-send without consulting a retry "
        "budget or breaker amplify load unboundedly during outages"},
+      {"spec.direct-mutation",
+       "direct ScenarioSpec field assignment bypasses SpecBuilder's "
+       "collect-all-errors validation; build specs through the builder"},
       {"lint.bare-suppression",
        "suppression comments must carry a justification after '--'"},
       {"lint.unused-suppression",
@@ -94,6 +97,7 @@ std::vector<Diagnostic> analyze_source(const std::string& path,
   check_hotpath(path, m, raw);
   check_store(path, m, raw);
   check_resilience(path, m, raw);
+  check_spec(path, m, raw);
 
   std::vector<Diagnostic> out;
   for (Diagnostic& d : raw) {

@@ -1,0 +1,82 @@
+#include <set>
+
+#include "checks.hpp"
+
+namespace gridmon::lint {
+namespace {
+
+/// The builder implementation is where field writes belong: SpecBuilder's
+/// setters and the INI appliers mutate the spec it owns.
+bool spec_impl_path(const std::string& path) {
+  return path.find("core/spec_builder") != std::string::npos ||
+         path.find("core/scenario_spec") != std::string::npos;
+}
+
+/// Statement keywords that precede a variable *use* (`return spec;`),
+/// which must not be mistaken for a `Type name` declaration.
+bool use_keyword(const std::string& s) {
+  return s == "return" || s == "co_return" || s == "co_await" ||
+         s == "co_yield" || s == "throw" || s == "case" || s == "goto" ||
+         s == "else" || s == "delete" || s == "new";
+}
+
+}  // namespace
+
+void check_spec(const std::string& path, const Model& m,
+                std::vector<Diagnostic>& out) {
+  if (spec_impl_path(path)) return;
+  const auto& t = m.toks;
+  int n = static_cast<int>(t.size());
+
+  // One left-to-right pass. `ScenarioSpec [&*] name` makes `name` live; a
+  // later `OtherType [&*] name` declaration retires it (shadowing by an
+  // unrelated type, e.g. a ProviderSpec also called `spec`). A live
+  // name's member-chain assignment — `spec.users = ...`, including nested
+  // `spec.store.mode = ...` and member access `config.spec.service = ...`
+  // — is the deprecated pattern. The lexer munches `==`/`+=` as single
+  // tokens, so a bare `=` after the chain really is an assignment.
+  std::set<std::string> live;
+  for (int i = 0; i < n; ++i) {
+    if (t[i].kind != TokKind::Ident) continue;
+    bool after_member_op =
+        i > 0 && t[i - 1].kind == TokKind::Punct &&
+        (t[i - 1].text == "." || t[i - 1].text == "->" ||
+         t[i - 1].text == "::");
+
+    if (!after_member_op && !use_keyword(t[i].text)) {
+      int j = i + 1;
+      if (j < n && t[j].kind == TokKind::Punct &&
+          (t[j].text == "&" || t[j].text == "*")) {
+        ++j;
+      }
+      if (j < n && t[j].kind == TokKind::Ident) {
+        if (t[i].text == "ScenarioSpec") {
+          live.insert(t[j].text);
+        } else {
+          live.erase(t[j].text);
+        }
+      }
+    }
+
+    if (!live.count(t[i].text)) continue;
+    int k = i + 1;
+    bool saw_member = false;
+    while (k + 1 < n && t[k].kind == TokKind::Punct && t[k].text == "." &&
+           t[k + 1].kind == TokKind::Ident) {
+      saw_member = true;
+      k += 2;
+    }
+    if (saw_member && k < n && t[k].kind == TokKind::Punct &&
+        t[k].text == "=") {
+      out.push_back(
+          {path, t[i].line, t[i].col, "spec.direct-mutation",
+           "direct assignment to a ScenarioSpec field bypasses the "
+           "builder's validation (collected errors, range and cross-field "
+           "checks)",
+           "construct the spec with ScenarioSpec::build()....build(), or "
+           "rebuild a preset via SpecBuilder(base).field(value).build()"});
+    }
+  }
+}
+
+}  // namespace gridmon::lint

@@ -49,4 +49,10 @@ void check_store(const std::string& path, const Model& m,
 void check_resilience(const std::string& path, const Model& m,
                       std::vector<Diagnostic>& out);
 
+/// spec.*: outside the builder implementation, ScenarioSpec fields must
+/// not be assigned directly — construction goes through SpecBuilder so
+/// every config error is validated and reported at once.
+void check_spec(const std::string& path, const Model& m,
+                std::vector<Diagnostic>& out);
+
 }  // namespace gridmon::lint

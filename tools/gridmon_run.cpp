@@ -9,11 +9,14 @@
 /// metrics per sweep point (plus the robustness metrics when a [faults]
 /// section is present).
 
+#include <algorithm>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <sstream>
 
 #include "bench_common.hpp"
+#include "gridmon/core/frontier.hpp"
 #include "gridmon/fault/injector.hpp"
 
 using namespace gridmon;
@@ -39,23 +42,31 @@ int main(int argc, char** argv) {
   try {
     std::stringstream buffer;
     buffer << in.rdbuf();
-    spec = parse_scenario_spec(buffer.str());
+    // CLI overrides re-enter the builder so they get the same validation
+    // as the file's own keys.
+    SpecBuilder overrides(parse_scenario_spec(buffer.str()));
+    if (opt.seed != 0) overrides.seed(opt.seed);
+    if (opt.users > 0) overrides.users({opt.users});
+    if (opt.quick) overrides.window(30, 120);
+    spec = overrides.build();
   } catch (const ConfigError& e) {
     std::cerr << "config error: " << e.what() << "\n";
     return 2;
   }
-  if (opt.seed != 0) spec.seed = opt.seed;
-  if (opt.users > 0) spec.users = {opt.users};
-  if (opt.quick) {
-    spec.warmup = 30;
-    spec.duration = 120;
-  }
 
+  bool sharded = spec.engine.sharded();
   std::cout << "service: " << spec.service_name()
             << ", collectors: " << spec.collectors
             << ", clients: " << (spec.lucky_clients ? "lucky" : "uc")
-            << ", window: " << spec.warmup << "+" << spec.duration
-            << "s\n\n";
+            << ", window: " << spec.warmup << "+" << spec.duration << "s";
+  if (sharded) {
+    std::cout << ", engine: sharded (" << spec.engine.shards << " shards)";
+  }
+  std::cout << "\n\n";
+  if (sharded && !opt.trace_path.empty()) {
+    std::cerr << "note: tracing is not supported by the sharded engine; "
+                 "ignoring --trace\n";
+  }
 
   bool with_faults = !spec.faults.empty();
   bool with_store = spec.store.enabled();
@@ -75,18 +86,20 @@ int main(int argc, char** argv) {
     cols.insert(cols.end(), {"goodput (q/s)", "shed/s", "retry_amp"});
   }
   table.set_columns(cols);
+  // Metric columns flow through the shared MetricsReport serializer;
+  // only the store::Log stats (not part of the metrics row) append as
+  // tool-specific columns.
+  unsigned csv_groups = kMetricCore;
+  if (with_faults) csv_groups |= kMetricHealth | kMetricRecovery;
+  if (with_resilience) csv_groups |= kMetricResilience;
+  if (sharded) csv_groups |= kMetricEngine;
   std::ofstream csv;
   if (!opt.csv_path.empty()) {
     csv.open(opt.csv_path);
-    csv << "service,users,throughput,response,load1,cpu,refused_per_s";
-    if (with_faults) {
-      csv << ",availability,error_rate,stale_frac,recovery,recovery_complete";
-    }
+    const std::vector<std::string> header_prefix{"service"};
+    csv << csv_header(csv_groups, header_prefix);
     if (with_store) {
       csv << ",store_mode,wal_bytes,flushes,snapshots,replayed,replay_s";
-    }
-    if (with_resilience) {
-      csv << ",goodput,shed_rate,retry_amp";
     }
     csv << "\n";
   }
@@ -98,6 +111,11 @@ int main(int argc, char** argv) {
   for (int n : spec.users) {
     TestbedConfig tc;
     tc.seed = spec.seed;
+    if (sharded) {
+      // The frontier drives the UC pool at the paper's 50-users/host
+      // cap; size the pool to fit the requested population.
+      tc.uc_clients = std::max(20, (n + 49) / 50);
+    }
     Testbed tb(tc);
     std::unique_ptr<Scenario> scenario;
     try {
@@ -108,56 +126,77 @@ int main(int argc, char** argv) {
     }
     scenario->prefill();
     trace::Collector collector(tb.sim(), tb.config().seed);
-    WorkloadConfig wc;
-    if (spec.lucky_clients) wc.max_users_per_host = 100;
-    wc.query_deadline = spec.query_deadline;
-    wc.max_attempts = spec.max_attempts;
-    if (with_resilience) wc.resilience = spec.resilience.client;
-    UserWorkload workload(tb, scenario->query_fn(), wc);
+    std::unique_ptr<UserWorkload> workload;
+    std::unique_ptr<FrontierWorkload> frontier;
     fault::Injector injector(tb.sim(), &tb.network());
-    if (with_faults) {
-      scenario->register_faults(injector);
-      for (const auto& name : tb.lucky_names()) {
-        injector.add_host(name, tb.host(name));
+    SweepPoint p;
+    if (sharded) {
+      // Spec validation already rejected faults/resilience/tracing-era
+      // knobs; the sharded path is scenario + frontier + one window.
+      FrontierConfig fc;
+      fc.shards = spec.engine.shards;
+      fc.threads = spec.engine.threads;
+      fc.lookahead = spec.engine.lookahead;
+      fc.admission_port = scenario->server_port();
+      fc.server_host = spec.server_host();
+      frontier =
+          std::make_unique<FrontierWorkload>(tb, scenario->query_fn(), fc);
+      frontier->spawn_users(n);
+      tb.sampler().start();
+      p = frontier->measure_window(n, spec.warmup, spec.duration,
+                                   spec.server_host());
+    } else {
+      WorkloadConfig wc;
+      if (spec.lucky_clients) wc.max_users_per_host = 100;
+      wc.query_deadline = spec.query_deadline;
+      wc.max_attempts = spec.max_attempts;
+      if (with_resilience) wc.resilience = spec.resilience.client;
+      workload =
+          std::make_unique<UserWorkload>(tb, scenario->query_fn(), wc);
+      if (with_faults) {
+        scenario->register_faults(injector);
+        for (const auto& name : tb.lucky_names()) {
+          injector.add_host(name, tb.host(name));
+        }
+        for (const auto& name : tb.uc_names()) {
+          injector.add_host(name, tb.host(name));
+        }
+        injector.arm(spec.faults);
       }
-      for (const auto& name : tb.uc_names()) {
-        injector.add_host(name, tb.host(name));
+      bool tracing = !opt.trace_path.empty() && first_point;
+      first_point = false;
+      if (tracing) {
+        scenario->instrument(collector);
+        instrument_host(tb, collector, spec.server_host());
+        workload->enable_tracing(collector);
+        injector.set_trace(&collector);
       }
-      injector.arm(spec.faults);
-    }
-    bool tracing = !opt.trace_path.empty() && first_point;
-    first_point = false;
-    if (tracing) {
-      scenario->instrument(collector);
-      instrument_host(tb, collector, spec.server_host());
-      workload.enable_tracing(collector);
-      injector.set_trace(&collector);
-    }
-    workload.spawn_users(n, spec.lucky_clients ? tb.lucky_names()
-                                               : tb.uc_names());
-    tb.sampler().start();
-    MeasureConfig mc;
-    mc.warmup = spec.warmup;
-    mc.duration = spec.duration;
-    if (tracing) mc.collector = &collector;
-    if (with_faults) {
-      // Recovery is measured from the last scheduled fault event.
-      double last = 0;
-      for (const auto& ev : spec.faults.events()) {
-        if (ev.at > last) last = ev.at;
+      workload->spawn_users(n, spec.lucky_clients ? tb.lucky_names()
+                                                  : tb.uc_names());
+      tb.sampler().start();
+      MeasureConfig mc;
+      mc.warmup = spec.warmup;
+      mc.duration = spec.duration;
+      if (tracing) mc.collector = &collector;
+      if (with_faults) {
+        // Recovery is measured from the last scheduled fault event.
+        double last = 0;
+        for (const auto& ev : spec.faults.events()) {
+          if (ev.at > last) last = ev.at;
+        }
+        mc.recovery_mark = last;
+        mc.recovered_at = [&scenario] { return scenario->recovered_at(); };
       }
-      mc.recovery_mark = last;
-      mc.recovered_at = [&scenario] { return scenario->recovered_at(); };
-    }
-    if (with_resilience) {
-      mc.port = scenario->server_port();
-      mc.goodput_deadline = spec.goodput_deadline;
-    }
-    SweepPoint p = measure(tb, workload, spec.server_host(), n, mc);
-    if (tracing) {
-      traces.push_back(trace::SeriesTrace{
-          spec.service_name() + " n=" + std::to_string(n),
-          collector.take()});
+      if (with_resilience) {
+        mc.port = scenario->server_port();
+        mc.goodput_deadline = spec.goodput_deadline;
+      }
+      p = measure(tb, *workload, spec.server_host(), n, mc);
+      if (tracing) {
+        traces.push_back(trace::SeriesTrace{
+            spec.service_name() + " n=" + std::to_string(n),
+            collector.take()});
+      }
     }
     std::vector<std::string> row{
         std::to_string(n),          metrics::Table::num(p.throughput),
@@ -191,13 +230,8 @@ int main(int argc, char** argv) {
     }
     table.add_row(row);
     if (csv.is_open()) {
-      csv << spec.service_name() << ',' << n << ',' << p.throughput << ','
-          << p.response << ',' << p.load1 << ',' << p.cpu << ',' << p.refused;
-      if (with_faults) {
-        csv << ',' << p.availability << ',' << p.error_rate << ','
-            << p.stale_frac << ',' << p.recovery << ','
-            << p.recovery_complete;
-      }
+      const std::vector<std::string> prefix{spec.service_name()};
+      write_csv_row(csv, p, csv_groups, prefix);
       if (with_store) {
         if (log != nullptr) {
           csv << ',' << store::mode_name(log->config().mode) << ','
@@ -208,9 +242,6 @@ int main(int argc, char** argv) {
         } else {
           csv << ",-,-,-,-,-,-";
         }
-      }
-      if (with_resilience) {
-        csv << ',' << p.goodput << ',' << p.shed_rate << ',' << p.retry_amp;
       }
       csv << '\n';
     }
