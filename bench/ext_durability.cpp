@@ -177,8 +177,12 @@ FloorPoint run_floor_point(const BenchOptions& opt) {
   injector.arm(plan);
   w.spawn_users(users, tb.uc_names());
   tb.sampler().start();
+  // gridmon-lint: suppress(determinism.wall-clock) -- measures the real
+  // cost of running the simulator; never feeds sim state
   auto t0 = std::chrono::steady_clock::now();
   std::size_t events = tb.sim().run(start + 150);  // crash at 60, replay at 90
+  // gridmon-lint: suppress(determinism.wall-clock) -- measures the real
+  // cost of running the simulator; never feeds sim state
   auto t1 = std::chrono::steady_clock::now();
   FloorPoint fp;
   fp.users = users;

@@ -197,6 +197,8 @@ MetricsReport legacy_metrics(const BenchOptions& opt,
 
   reset_peak_rss();
   double start = tb.sim().now();
+  // gridmon-lint: suppress(determinism.wall-clock) -- measures the real
+  // cost of running the simulator; never feeds sim state
   auto w0 = std::chrono::steady_clock::now();
   std::size_t events = tb.sim().run(start + kWarmup);
   double t0 = tb.sim().now();
@@ -205,6 +207,8 @@ MetricsReport legacy_metrics(const BenchOptions& opt,
   double attempts0 = static_cast<double>(workload.total_attempts());
   double queries0 = static_cast<double>(workload.total_queries());
   events += tb.sim().run(t0 + kDuration);
+  // gridmon-lint: suppress(determinism.wall-clock) -- measures the real
+  // cost of running the simulator; never feeds sim state
   auto w1 = std::chrono::steady_clock::now();
   double t1 = tb.sim().now();
 
@@ -266,9 +270,13 @@ MetricsReport sharded_metrics(const BenchOptions& opt,
   tb.sampler().start();
 
   reset_peak_rss();
+  // gridmon-lint: suppress(determinism.wall-clock) -- measures the real
+  // cost of running the simulator; never feeds sim state
   auto w0 = std::chrono::steady_clock::now();
   MetricsReport m =
       workload.measure_window(users, kWarmup, kDuration, spec.server_host());
+  // gridmon-lint: suppress(determinism.wall-clock) -- measures the real
+  // cost of running the simulator; never feeds sim state
   auto w1 = std::chrono::steady_clock::now();
   m.wall_clock_s = std::chrono::duration<double>(w1 - w0).count();
   m.events_per_sec =
@@ -367,18 +375,16 @@ int main(int argc, char** argv) {
     ScenarioSpec spec;
   };
   std::vector<Config> configs;
-  {
-    Config gris{"MDS GRIS (cache)", {}};
-    gris.spec.service = ServiceKind::Gris;
-    configs.push_back(gris);
-    Config agent{"Hawkeye Agent", {}};
-    agent.spec.service = ServiceKind::Agent;
-    agent.spec.collectors = 11;
-    configs.push_back(agent);
-    Config rgma{"R-GMA ProducerServlet", {}};
-    rgma.spec.service = ServiceKind::RgmaMediated;
-    configs.push_back(rgma);
-  }
+  configs.push_back(
+      {"MDS GRIS (cache)",
+       ScenarioSpec::build().service(ServiceKind::Gris).build()});
+  configs.push_back({"Hawkeye Agent", ScenarioSpec::build()
+                                          .service(ServiceKind::Agent)
+                                          .collectors(11)
+                                          .build()});
+  configs.push_back(
+      {"R-GMA ProducerServlet",
+       ScenarioSpec::build().service(ServiceKind::RgmaMediated).build()});
 
   std::vector<ScalePoint> points;
   if (opt.users > 0 && shard_override > 0) {

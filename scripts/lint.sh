@@ -1,18 +1,33 @@
 #!/usr/bin/env bash
-# Static-analysis driver: runs gridmon_lint (always) and clang-tidy (when a
-# binary exists) over the compile database. This is exactly what the CI
-# `lint` job executes; run it locally before pushing.
+# Static-analysis driver: runs gridmon_lint in project (cross-TU) mode over
+# every linted tree, then clang-tidy (when a binary exists) over the compile
+# database. This is exactly what the CI `lint` job executes; run it locally
+# before pushing.
 #
-#   scripts/lint.sh               lint src/gridmon with the empty baseline
-#   scripts/lint.sh --verify-gate additionally prove the gate FAILS on a
-#                                 seeded determinism violation (CI runs this
-#                                 so a silently-broken analyzer cannot pass)
+#   scripts/lint.sh               lint src/gridmon, bench, tools, examples
+#                                 with the empty baseline and the checked-in
+#                                 suppression-debt budget; emit SARIF to
+#                                 ${BUILD_DIR}/gridmon_lint.sarif
+#   scripts/lint.sh --verify-gate additionally prove the gate FAILS on one
+#                                 seeded violation per check family that the
+#                                 project analyzer owns (direct determinism,
+#                                 cross-TU transitive, shard, concurrency)
+#                                 and on an unbudgeted suppression (CI runs
+#                                 this so a silently-broken analyzer cannot
+#                                 pass)
+#
+# The project sweep is also held to a wall-clock ceiling: the cross-TU index
+# is content-hash cached (${BUILD_DIR}/gridmon_lint_index.cache), so even a
+# cold run over the whole tree finishes in well under a second. A run that
+# needs longer than the ceiling means the analyzer grew a pathological pass,
+# and that is a gate failure too — lint latency is part of the contract.
 #
 # Exit codes: 0 clean, 1 findings (or a broken gate), 2 infrastructure error.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BUILD_DIR="${BUILD_DIR:-build}"
+LINT_RUNTIME_BUDGET_S="${LINT_RUNTIME_BUDGET_S:-20}"
 VERIFY_GATE=0
 if [[ "${1:-}" == "--verify-gate" ]]; then
   VERIFY_GATE=1
@@ -26,14 +41,26 @@ echo "== build gridmon_lint =="
 cmake --build "${BUILD_DIR}" --target gridmon_lint -j"$(nproc)"
 
 LINT_BIN="${BUILD_DIR}/tools/gridmon_lint"
-COMPILE_DB="${BUILD_DIR}/compile_commands.json"
 BASELINE="tools/gridmon_lint/baseline.txt"
+BUDGET="tools/gridmon_lint/suppression_budget.txt"
+SARIF_OUT="${BUILD_DIR}/gridmon_lint.sarif"
+INDEX_CACHE="${BUILD_DIR}/gridmon_lint_index.cache"
+LINT_SCOPE=(src/gridmon bench tools examples)
 
-echo "== gridmon_lint (zero baseline) =="
-"${LINT_BIN}" \
-  --compile-db "${COMPILE_DB}" --filter src/gridmon \
-  src/gridmon \
-  --baseline "${BASELINE}"
+echo "== gridmon_lint (project mode, zero baseline, budgeted debt) =="
+START_S=${SECONDS}
+"${LINT_BIN}" --project \
+  "${LINT_SCOPE[@]}" \
+  --baseline "${BASELINE}" \
+  --suppression-budget "${BUDGET}" \
+  --index-cache "${INDEX_CACHE}" \
+  --sarif "${SARIF_OUT}"
+ELAPSED_S=$((SECONDS - START_S))
+echo "lint wall clock: ${ELAPSED_S}s (budget ${LINT_RUNTIME_BUDGET_S}s)"
+if (( ELAPSED_S > LINT_RUNTIME_BUDGET_S )); then
+  echo "LINT TOO SLOW: ${ELAPSED_S}s > ${LINT_RUNTIME_BUDGET_S}s" >&2
+  exit 1
+fi
 
 # clang-tidy is optional tooling: the reference build container has no
 # clang at all, so its absence is a warning, not a failure. CI installs it.
@@ -50,10 +77,17 @@ else
 fi
 
 if [[ "${VERIFY_GATE}" == "1" ]]; then
-  echo "== verify-gate: seeded violation must fail =="
+  echo "== verify-gate: each seeded violation must fail =="
   SEED_DIR="$(mktemp -d)"
   trap 'rm -rf "${SEED_DIR}"' EXIT
-  cat > "${SEED_DIR}/seeded_violation.cpp" <<'EOF'
+
+  # One seed per family the project analyzer owns. Each case is a separate
+  # scratch tree so a finding from one cannot mask a broken check in
+  # another; the transitive case needs two TUs by construction.
+  mkdir -p "${SEED_DIR}/direct" "${SEED_DIR}/xtu" "${SEED_DIR}/shard" \
+    "${SEED_DIR}/conc"
+
+  cat > "${SEED_DIR}/direct/seeded.cpp" <<'EOF'
 #include <chrono>
 // Deliberately nondeterministic: the gate must reject this file.
 double wall_now() {
@@ -61,11 +95,76 @@ double wall_now() {
       std::chrono::steady_clock::now().time_since_epoch()).count();
 }
 EOF
-  if "${LINT_BIN}" "${SEED_DIR}" --baseline "${BASELINE}" > /dev/null; then
-    echo "GATE BROKEN: seeded determinism violation passed the linter" >&2
+
+  cat > "${SEED_DIR}/xtu/sink.cpp" <<'EOF'
+#include <chrono>
+double wall_now() {
+  return std::chrono::duration<double>(
+      std::chrono::steady_clock::now().time_since_epoch()).count();
+}
+EOF
+  cat > "${SEED_DIR}/xtu/caller.cpp" <<'EOF'
+// Clean in isolation: only the cross-TU pass can reject this file.
+double stamp() { return wall_now(); }
+EOF
+
+  cat > "${SEED_DIR}/shard/seeded.cpp" <<'EOF'
+struct ShardGroup { void post(int); };
+// post() with no lookahead/horizon term in scope: lookahead violation.
+void send(ShardGroup& group, int msg) { group.post(msg); }
+EOF
+
+  cat > "${SEED_DIR}/conc/seeded.cpp" <<'EOF'
+#include <mutex>
+struct Gate { bool ready() const; };
+Gate gate;
+// Suspension with the mutex held: the frame may resume elsewhere.
+Task<void> drain(std::mutex& mu) {
+  std::lock_guard<std::mutex> guard(mu);
+  co_await gate;
+}
+EOF
+
+  check_rejected() {
+    local label="$1"; shift
+    if "${LINT_BIN}" "$@" > /dev/null 2>&1; then
+      echo "GATE BROKEN: seeded ${label} violation passed the linter" >&2
+      exit 1
+    fi
+    echo "gate ok: seeded ${label} violation rejected"
+  }
+
+  check_rejected "determinism.wall-clock" \
+    "${SEED_DIR}/direct" --baseline "${BASELINE}"
+  check_rejected "determinism.transitive-wall-clock (cross-TU)" \
+    --project "${SEED_DIR}/xtu" --baseline "${BASELINE}"
+  check_rejected "shard.unguarded-post-horizon" \
+    "${SEED_DIR}/shard" --baseline "${BASELINE}"
+  check_rejected "concurrency.lock-across-await" \
+    "${SEED_DIR}/conc" --baseline "${BASELINE}"
+
+  # The caller alone (no sink TU in scope) must stay clean, or the
+  # transitive case above proved nothing about cross-TU resolution.
+  if ! "${LINT_BIN}" --project "${SEED_DIR}/xtu/caller.cpp" \
+      --baseline "${BASELINE}" > /dev/null 2>&1; then
+    echo "GATE BROKEN: transitive caller flagged without its sink TU" >&2
     exit 1
   fi
-  echo "gate ok: seeded violation rejected"
+  echo "gate ok: transitive caller clean without its sink TU"
+
+  # An added suppression without a budget regeneration must fail even
+  # though the file itself analyzes clean.
+  cat > "${SEED_DIR}/direct/suppressed.cpp" <<'EOF'
+#include <chrono>
+// gridmon-lint: suppress(determinism.wall-clock) -- seeded debt probe
+double wall_now2() {
+  return std::chrono::duration<double>(
+      std::chrono::steady_clock::now().time_since_epoch()).count();
+}
+EOF
+  check_rejected "unbudgeted suppression" \
+    "${SEED_DIR}/direct/suppressed.cpp" --baseline "${BASELINE}" \
+    --suppression-budget "${BUDGET}"
 fi
 
 echo "lint: all gates passed"

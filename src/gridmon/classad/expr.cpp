@@ -287,8 +287,16 @@ Value BinaryExpr::evaluate(EvalContext& ctx) const {
 }
 
 std::string BinaryExpr::to_string() const {
-  return "(" + lhs_->to_string() + " " + binary_op_name(op_) + " " +
-         rhs_->to_string() + ")";
+  // Appends instead of one operator+ chain: GCC 12's -Wrestrict misfires
+  // on nested char*/string concatenations at -O2 (GCC PR 105651).
+  std::string out = "(";
+  out += lhs_->to_string();
+  out += ' ';
+  out += binary_op_name(op_);
+  out += ' ';
+  out += rhs_->to_string();
+  out += ')';
+  return out;
 }
 
 Value TernaryExpr::evaluate(EvalContext& ctx) const {
@@ -299,8 +307,14 @@ Value TernaryExpr::evaluate(EvalContext& ctx) const {
 }
 
 std::string TernaryExpr::to_string() const {
-  return "(" + cond_->to_string() + " ? " + then_->to_string() + " : " +
-         else_->to_string() + ")";
+  std::string out = "(";
+  out += cond_->to_string();
+  out += " ? ";
+  out += then_->to_string();
+  out += " : ";
+  out += else_->to_string();
+  out += ')';
+  return out;
 }
 
 Value CallExpr::evaluate(EvalContext& ctx) const {

@@ -143,7 +143,16 @@ std::string SqlBinary::to_string() const {
       op = "OR";
       break;
   }
-  return "(" + lhs_->to_string() + " " + op + " " + rhs_->to_string() + ")";
+  // Appends instead of one operator+ chain: GCC 12's -Wrestrict misfires
+  // on nested char*/string concatenations at -O2 (GCC PR 105651).
+  std::string out = "(";
+  out += lhs_->to_string();
+  out += ' ';
+  out += op;
+  out += ' ';
+  out += rhs_->to_string();
+  out += ')';
+  return out;
 }
 
 Value SqlNot::eval(const RowContext& ctx) const {

@@ -1,0 +1,53 @@
+// Negative fixture: the sanctioned counterpart of every concurrency.*
+// positive — scoped locks released before suspension, predicated waits,
+// joined threads, and worker writes that are guarded or atomic.
+
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+struct Gate {
+  bool ready() const;
+};
+Gate gate;
+
+struct Pool {
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<std::thread> workers_;
+  std::atomic<int> done_count_{0};
+  int total_ = 0;
+  bool ready_ = false;
+
+  // The guard's scope ends before the suspension point.
+  Task<void> drain() {
+    {
+      std::lock_guard<std::mutex> guard(mu_);
+      total_ = 0;
+    }
+    co_await gate;
+  }
+
+  // Predicated waits re-check the condition: no lost or spurious wakeups.
+  void block() {
+    std::unique_lock<std::mutex> lk(mu_);
+    cv_.wait(lk, [&] { return ready_; });
+    cv_.wait_for(lk, 100, [&] { return ready_; });
+  }
+
+  // Worker writes are either lock-guarded or atomic.
+  void start() {
+    workers_.emplace_back([this] {
+      ++done_count_;  // atomic
+      std::lock_guard<std::mutex> guard(mu_);
+      total_ += 1;  // guarded
+    });
+  }
+
+  // Joined at shutdown: the supported ShardGroup shape.
+  void stop() {
+    for (auto& w : workers_) w.join();
+  }
+};

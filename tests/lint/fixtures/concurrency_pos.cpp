@@ -1,0 +1,50 @@
+// Positive fixture: every concurrency.* rule fires.
+
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+struct Gate {
+  bool ready() const;
+};
+Gate gate;
+
+struct Pool {
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<std::thread> workers_;
+  int done_count_ = 0;
+  int total_ = 0;
+
+  // Suspension point while the guard is alive: the frame can resume on
+  // another thread with mu_ still held.
+  Task<void> drain() {
+    std::lock_guard<std::mutex> guard(mu_);
+    co_await gate;
+    done_count_ = 0;
+  }
+
+  // No predicate: a notify that lands before the wait is lost, and a
+  // spurious wakeup sails through.
+  void block() {
+    std::unique_lock<std::mutex> lk(mu_);
+    cv_.wait(lk);
+  }
+
+  void bump() { total_ += 1; }
+
+  // Worker closure writes members with no lock and no atomic —
+  // ++done_count_ directly, total_ through the same-file callee bump().
+  void start() {
+    workers_.emplace_back([this] {
+      ++done_count_;
+      bump();
+    });
+  }
+};
+
+// A detached thread's last writes race against teardown.
+void fire_and_forget() {
+  std::thread(fire_and_forget).detach();
+}

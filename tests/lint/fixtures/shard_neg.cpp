@@ -1,0 +1,48 @@
+// Negative fixture: near-misses for every shard.* rule. Mentions the
+// shard engine, so the family IS active — each pattern below is the
+// sanctioned shape of the corresponding positive case.
+
+#include <cstdint>
+
+struct ShardMessage {
+  double deliver_at = 0;
+  std::uint64_t uid = 0;
+  std::uint64_t seq = 0;
+  int from = 0;
+};
+
+struct ShardGroup {
+  void post(const ShardMessage& m);
+  double window_end() const;
+};
+
+struct ClientShard : ShardRunner {
+  int credits_ = 0;
+  int delivered = 0;
+};
+
+// post() is fine when deliver_at is derived from the lookahead horizon.
+void send_later(ShardGroup& group, ShardMessage msg, double now,
+                double lookahead) {
+  msg.deliver_at = now + lookahead;
+  group.post(msg);
+}
+
+// Reading another runner is the supported owner-side aggregation pattern;
+// only writes smuggle influence around the mailbox.
+struct Owner {
+  ClientShard* peer_ = nullptr;
+  int total() { return peer_->credits_ + peer_->delivered; }
+};
+
+// "delivered" is not "deliver": member names that merely contain the
+// banned stem stay silent.
+void tally(ClientShard& runner, int* sum) { *sum += runner.delivered; }
+
+// A comparator over the canonical key (deliver_at, uid, seq) is the
+// required shape; it never reads sender identity.
+bool merge_before(const ShardMessage& a, const ShardMessage& b) {
+  if (a.deliver_at != b.deliver_at) return a.deliver_at < b.deliver_at;
+  if (a.uid != b.uid) return a.uid < b.uid;
+  return a.seq < b.seq;
+}

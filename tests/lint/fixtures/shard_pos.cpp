@@ -1,0 +1,46 @@
+// Positive fixture: every shard.* rule fires. The file mentions the shard
+// engine (ShardGroup/ShardRunner tokens), so the family is active.
+
+#include <cstdint>
+
+struct ShardMessage {
+  double deliver_at = 0;
+  std::uint64_t uid = 0;
+  std::uint64_t seq = 0;
+  int from = 0;
+};
+
+struct ShardGroup {
+  void post(const ShardMessage& m);
+};
+
+struct ClientShard : ShardRunner {
+  int credits_ = 0;
+  void deliver(const ShardMessage& m);
+};
+
+// post() with a deliver_at derived from nothing horizon-shaped: the
+// enclosing function never consults lookahead/window_end.
+void send_now(ShardGroup& group, ShardMessage msg, double now) {
+  msg.deliver_at = now + 0.001;
+  group.post(msg);
+}
+
+// Handing a message straight to the runner skips the mailbox merge.
+void shortcut(ClientShard& runner, const ShardMessage& msg) {
+  runner.deliver(msg);
+}
+
+// Writing through a variable that holds another runner: cross-shard
+// influence outside the mailbox.
+struct Owner {
+  ClientShard* peer_ = nullptr;
+  void steal() { peer_->credits_ -= 1; }
+};
+
+// A merge comparator that reads sender identity: order changes with the
+// shard count.
+bool merge_before(const ShardMessage& a, const ShardMessage& b) {
+  if (a.deliver_at != b.deliver_at) return a.deliver_at < b.deliver_at;
+  return a.from < b.from;
+}

@@ -1,0 +1,18 @@
+// Cross-TU fixture, caller side: clean in isolation — every diagnostic
+// here needs the project index built over sinks.cpp to resolve the
+// callees' facts. One transitive hop (stamp -> wall_now) and one
+// two-hop chain (jitter -> seed_from_wall -> ambient_draw) prove the
+// fixpoint propagates, and sum() shows an unordered return value leaking
+// its iteration order through a range-for at the call site.
+
+double stamp() { return wall_now() + 1.0; }
+
+int seed_from_wall() { return ambient_draw() % 7; }
+
+int jitter() { return seed_from_wall() * 3; }
+
+int sum() {
+  int total = 0;
+  for (const auto& kv : snapshot()) total += kv.second;
+  return total;
+}

@@ -1,0 +1,20 @@
+// Cross-TU fixture, sink side: one function that reaches the wall clock,
+// one that reaches ambient RNG, and one that returns an unordered
+// container. caller.cpp calls all three across the TU boundary; the
+// project index carries these facts over.
+
+#include <chrono>
+#include <cstdlib>
+#include <unordered_map>
+
+double wall_now() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+int ambient_draw() { return rand(); }
+
+std::unordered_map<int, int> snapshot() {
+  return std::unordered_map<int, int>{{1, 2}};
+}

@@ -10,10 +10,13 @@
 #include <algorithm>
 #include <filesystem>
 #include <fstream>
+#include <map>
 #include <sstream>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
+#include "index.hpp"
 #include "lint.hpp"
 
 namespace fs = std::filesystem;
@@ -97,6 +100,10 @@ TEST(LintFixtures, ResiliencePositive) { run_fixture("resilience_pos.cpp"); }
 TEST(LintFixtures, ResilienceNegative) { run_fixture("resilience_neg.cpp"); }
 TEST(LintFixtures, SpecPositive) { run_fixture("spec_pos.cpp"); }
 TEST(LintFixtures, SpecNegative) { run_fixture("spec_neg.cpp"); }
+TEST(LintFixtures, ShardPositive) { run_fixture("shard_pos.cpp"); }
+TEST(LintFixtures, ShardNegative) { run_fixture("shard_neg.cpp"); }
+TEST(LintFixtures, ConcurrencyPositive) { run_fixture("concurrency_pos.cpp"); }
+TEST(LintFixtures, ConcurrencyNegative) { run_fixture("concurrency_neg.cpp"); }
 
 // Every fixture on disk must be exercised: adding a fixture without a test
 // (or an .expected without a fixture) is itself a failure.
@@ -106,7 +113,9 @@ TEST(LintFixtures, AllFixturesCovered) {
       "iteration_neg.cpp",   "coroutine_pos.cpp",   "coroutine_neg.cpp",
       "hotpath_pos.cpp",     "hotpath_neg.cpp",     "suppression.cpp",
       "store_pos.cpp",       "store_neg.cpp",       "resilience_pos.cpp",
-      "resilience_neg.cpp",  "spec_pos.cpp",        "spec_neg.cpp"};
+      "resilience_neg.cpp",  "spec_pos.cpp",        "spec_neg.cpp",
+      "shard_pos.cpp",       "shard_neg.cpp",       "concurrency_pos.cpp",
+      "concurrency_neg.cpp"};
   for (const auto& entry : fs::directory_iterator(fixture_dir())) {
     fs::path p = entry.path();
     if (p.extension() != ".cpp") continue;
@@ -224,6 +233,172 @@ TEST(LintGate, StorePathIsExemptFromStoreChecks) {
   EXPECT_EQ(outside[1].check, "store.sync-in-hot-path");
 }
 
+// Pass 1 + pass 2 across a translation-unit boundary: caller.cpp is clean
+// in isolation — every fact it needs lives in sinks.cpp. The fixpoint must
+// carry depth-0 sink facts through one hop (stamp -> wall_now) and two
+// hops (jitter -> seed_from_wall -> ambient_draw), and the unordered
+// return type of snapshot() must flag the range-for at its call site.
+TEST(LintCrossTU, FactsResolveAcrossFiles) {
+  fs::path dir = fixture_dir() / "xtu";
+  std::vector<std::string> files = {(dir / "caller.cpp").string(),
+                                    (dir / "sinks.cpp").string()};
+  auto index = gridmon::lint::build_project_index(files);
+
+  const auto* wall = index.fact("wall_now");
+  ASSERT_NE(wall, nullptr);
+  EXPECT_EQ(wall->wall_depth, 0);
+  const auto* stamp = index.fact("stamp");
+  ASSERT_NE(stamp, nullptr);
+  EXPECT_EQ(stamp->wall_depth, 1);
+  EXPECT_NE(stamp->wall_via.find("wall_now"), std::string::npos);
+  const auto* jitter = index.fact("jitter");
+  ASSERT_NE(jitter, nullptr);
+  EXPECT_EQ(jitter->rng_depth, 2);
+  EXPECT_NE(jitter->rng_via.find("ambient_draw"), std::string::npos);
+  EXPECT_EQ(index.unordered_returning.count("snapshot"), 1u);
+
+  Options solo;
+  EXPECT_TRUE(gridmon::lint::analyze_file(files[0], solo).empty())
+      << "caller.cpp must be clean without the project index";
+  Options project;
+  project.project = &index;
+  auto actual = actual_pairs(gridmon::lint::analyze_file(files[0], project));
+  std::vector<Expectation> expected = {
+      {8, "determinism.transitive-wall-clock"},
+      {10, "determinism.transitive-ambient-rng"},
+      {16, "iteration.unordered-return-leak"}};
+  EXPECT_EQ(actual, expected) << "expected:\n"
+                              << render(expected) << "actual:\n"
+                              << render(actual);
+}
+
+// The index cache must round-trip through its file format and hit on
+// unchanged content — and the facts served from cache must resolve
+// identically to a cold build.
+TEST(LintCrossTU, IndexCacheRoundTrip) {
+  fs::path dir = fixture_dir() / "xtu";
+  std::vector<std::string> files = {(dir / "caller.cpp").string(),
+                                    (dir / "sinks.cpp").string()};
+  fs::path cache_file =
+      fs::temp_directory_path() / "gridmon_lint_test_index.cache";
+  fs::remove(cache_file);
+
+  auto cold = gridmon::lint::IndexCache::load(cache_file.string());
+  auto index1 = gridmon::lint::build_project_index(files, &cold);
+  EXPECT_EQ(cold.hits, 0u);
+  EXPECT_EQ(cold.misses, files.size());
+  cold.save(cache_file.string());
+
+  auto warm = gridmon::lint::IndexCache::load(cache_file.string());
+  auto index2 = gridmon::lint::build_project_index(files, &warm);
+  EXPECT_EQ(warm.hits, files.size());
+  EXPECT_EQ(warm.misses, 0u);
+  const auto* stamp = index2.fact("stamp");
+  ASSERT_NE(stamp, nullptr);
+  EXPECT_EQ(stamp->wall_depth, 1);
+  EXPECT_EQ(index2.unordered_returning.count("snapshot"), 1u);
+  fs::remove(cache_file);
+}
+
+// SARIF output: structurally 2.1.0, one rule entry per fired check id,
+// results carrying the physical location CI annotates with.
+TEST(LintSarif, ReportCarriesRulesAndLocations) {
+  const std::string seeded = R"cpp(
+    #include <chrono>
+    double now_seconds() {
+      return std::chrono::duration<double>(
+          std::chrono::steady_clock::now().time_since_epoch()).count();
+    }
+  )cpp";
+  auto diags = gridmon::lint::analyze_source("seed.cpp", seeded, Options{});
+  ASSERT_EQ(diags.size(), 1u);
+  std::string sarif = gridmon::lint::sarif_report(diags);
+  EXPECT_NE(sarif.find("\"version\": \"2.1.0\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"name\": \"gridmon_lint\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"id\": \"determinism.wall-clock\""),
+            std::string::npos);
+  EXPECT_NE(sarif.find("\"ruleId\": \"determinism.wall-clock\""),
+            std::string::npos);
+  EXPECT_NE(sarif.find("\"uri\": \"seed.cpp\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"startLine\": " + std::to_string(diags[0].line)),
+            std::string::npos);
+  // Escaping: a quote and a backslash in the message must not break the
+  // document (spot-check the escape sequences).
+  Diagnostic hostile{"a\\b.cpp", 1, 1, "x.y", "say \"hi\"\nbye", ""};
+  std::string escaped = gridmon::lint::sarif_report({hostile});
+  EXPECT_NE(escaped.find("say \\\"hi\\\"\\nbye"), std::string::npos);
+  EXPECT_NE(escaped.find("a\\\\b.cpp"), std::string::npos);
+}
+
+// The suppression-debt budget: the format round-trips, malformed input
+// throws, and — the acceptance case — adding one justified suppression
+// moves the measured family count off the checked-in budget, which the
+// strict-equality gate rejects.
+TEST(LintBudget, FormatRoundTrips) {
+  std::map<std::string, int> counts = {
+      {"coroutine", 11}, {"determinism", 9}, {"hotpath", 2}};
+  auto parsed = gridmon::lint::parse_suppression_budget(
+      gridmon::lint::format_suppression_budget(counts));
+  EXPECT_EQ(parsed, counts);
+  EXPECT_TRUE(gridmon::lint::parse_suppression_budget("# only\n").empty());
+}
+
+TEST(LintBudget, MalformedLineThrows) {
+  EXPECT_THROW(gridmon::lint::parse_suppression_budget("determinism many"),
+               std::runtime_error);
+  EXPECT_THROW(gridmon::lint::parse_suppression_budget("justaword"),
+               std::runtime_error);
+}
+
+TEST(LintBudget, AddedSuppressionIsRejectedByStrictEquality) {
+  const std::string with_escape_hatch = R"cpp(
+    #include <chrono>
+    // gridmon-lint: suppress(determinism.wall-clock) -- harness-only timer
+    auto t0 = std::chrono::steady_clock::now();
+  )cpp";
+  auto fa = gridmon::lint::analyze_source_full("seed.cpp", with_escape_hatch,
+                                               Options{});
+  EXPECT_TRUE(fa.diagnostics.empty())
+      << "the justified suppression must silence the finding";
+  std::map<std::string, int> measured = {{"determinism", 1}};
+  EXPECT_EQ(fa.suppressions_by_family, measured);
+  // The committed budget says zero: the new suppression is debt the gate
+  // refuses until the budget file is regenerated.
+  auto budget = gridmon::lint::parse_suppression_budget("determinism 0\n");
+  EXPECT_NE(budget, fa.suppressions_by_family);
+}
+
+// The rule catalogue backs --list-checks, --explain, and the SARIF rule
+// metadata: every id is unique, dotted, and fully documented.
+TEST(LintCatalogue, EveryCheckFullyDocumented) {
+  auto checks = gridmon::lint::all_checks();
+  EXPECT_GE(checks.size(), 27u);
+  std::vector<std::string> ids;
+  for (const auto& c : checks) {
+    ids.emplace_back(c.id);
+    EXPECT_NE(ids.back().find('.'), std::string::npos) << c.id;
+    EXPECT_FALSE(std::string(c.summary).empty()) << c.id;
+    EXPECT_FALSE(std::string(c.contract).empty()) << c.id;
+    EXPECT_FALSE(std::string(c.example).empty()) << c.id;
+    EXPECT_FALSE(std::string(c.fix).empty()) << c.id;
+  }
+  auto sorted = ids;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(std::adjacent_find(sorted.begin(), sorted.end()), sorted.end())
+      << "duplicate check id";
+  for (const char* required :
+       {"determinism.transitive-wall-clock",
+        "determinism.transitive-ambient-rng", "iteration.unordered-return-leak",
+        "shard.unguarded-post-horizon", "shard.direct-deliver",
+        "shard.peer-runner-write", "shard.sender-dependent-order",
+        "concurrency.lock-across-await", "concurrency.detached-thread",
+        "concurrency.cv-wait-no-predicate",
+        "concurrency.unguarded-shared-write"}) {
+    EXPECT_NE(std::find(ids.begin(), ids.end(), required), ids.end())
+        << required;
+  }
+}
+
 // The zero-baseline contract, enforced in-process so plain `ctest` catches a
 // regression even when nobody runs the `lint` target: every source file in
 // src/gridmon analyzes clean, and every suppression in the tree carries a
@@ -243,4 +418,44 @@ TEST(LintGate, SrcGridmonIsCleanWithEmptyBaseline) {
     }
   }
   EXPECT_EQ(findings, 0u);
+}
+
+// The full project-mode gate, in-process: every linted tree (src/gridmon,
+// bench, tools, examples) is clean under the cross-TU index, and the
+// measured suppression debt matches the checked-in budget exactly — in
+// both directions, so paid-down debt is surfaced too.
+TEST(LintGate, LintedTreesCleanAndBudgetExact) {
+  fs::path repo(GRIDMON_LINT_REPO_DIR);
+  ASSERT_TRUE(fs::exists(repo)) << repo;
+  std::vector<std::string> files;
+  for (const char* dir : {"src/gridmon", "bench", "tools", "examples"}) {
+    auto part = gridmon::lint::collect_sources((repo / dir).string());
+    EXPECT_FALSE(part.empty()) << dir;
+    files.insert(files.end(), part.begin(), part.end());
+  }
+  ASSERT_GT(files.size(), 150u) << "project walk looks wrong";
+
+  auto index = gridmon::lint::build_project_index(files);
+  Options opts;
+  opts.project = &index;
+  std::size_t findings = 0;
+  std::map<std::string, int> measured;
+  for (const std::string& f : files) {
+    auto fa = gridmon::lint::analyze_file_full(f, opts);
+    for (const Diagnostic& d : fa.diagnostics) {
+      ADD_FAILURE() << d.file << ":" << d.line << ": " << d.message << " ["
+                    << d.check << "]";
+      ++findings;
+    }
+    for (const auto& [family, count] : fa.suppressions_by_family) {
+      measured[family] += count;
+    }
+  }
+  EXPECT_EQ(findings, 0u);
+
+  auto budget = gridmon::lint::parse_suppression_budget(
+      read_file(repo / "tools" / "gridmon_lint" / "suppression_budget.txt"));
+  EXPECT_EQ(measured, budget)
+      << "suppression debt drifted from tools/gridmon_lint/"
+         "suppression_budget.txt; regenerate with --write-suppression-budget";
 }

@@ -1,0 +1,35 @@
+#pragma once
+
+/// \file callgraph.hpp
+/// Pass 2 of the project-wide analyzer: fixpoint resolution of transitive
+/// facts over the pass-1 index, and the interprocedural checks that consume
+/// them. A call site is flagged only when the callee is defined in a
+/// *different* file — within one TU the direct checks already report the
+/// sink itself, and double-reporting would teach people to ignore the tool.
+
+#include <string>
+#include <vector>
+
+#include "index.hpp"
+#include "lint.hpp"
+#include "model.hpp"
+
+namespace gridmon::lint {
+
+/// Monotone fixpoint over the call graph: fills `pi.facts` (per-name
+/// transitive wall-clock / ambient-RNG reachability with witness chains)
+/// and `pi.unordered_returning`. A name carries a fact only when EVERY
+/// definition of that name carries it (see index.hpp on conflicts).
+void resolve_index(ProjectIndex& pi);
+
+/// Interprocedural checks for one file against the resolved index:
+///   determinism.transitive-wall-clock / determinism.transitive-ambient-rng
+///     — a free-call site whose callee (defined in another TU) transitively
+///       reaches a banned sink;
+///   iteration.unordered-return-leak
+///     — range-for over the unordered result of a cross-TU call (directly
+///       or through a local initialized from one).
+void check_transitive(const std::string& path, const Model& m,
+                      const ProjectIndex& pi, std::vector<Diagnostic>& out);
+
+}  // namespace gridmon::lint

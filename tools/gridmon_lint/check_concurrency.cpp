@@ -1,0 +1,227 @@
+/// \file check_concurrency.cpp
+/// concurrency.*: rules for the few places real threads are allowed (the
+/// ShardGroup worker pool, benchmark drivers). gridmon is a discrete-event
+/// simulator — almost everything "concurrent" is a coroutine on one thread
+/// — so when an actual std::thread appears the failure modes change
+/// completely (data races, lost wakeups, deadlock across suspension) and a
+/// dedicated family is warranted.
+
+#include <algorithm>
+#include <set>
+#include <string>
+
+#include "checks.hpp"
+
+namespace gridmon::lint {
+namespace {
+
+bool is_lock_type(const std::string& s) {
+  return s == "lock_guard" || s == "unique_lock" || s == "scoped_lock" ||
+         s == "shared_lock";
+}
+
+bool is_member_access(const std::string& s) {
+  return s == "." || s == "->";
+}
+
+bool is_write_op(const std::string& s) {
+  return s == "=" || s == "+=" || s == "-=" || s == "*=" || s == "/=" ||
+         s == "%=" || s == "|=" || s == "&=" || s == "^=" || s == "<<=" ||
+         s == ">>=";
+}
+
+bool is_incdec(const std::string& s) { return s == "++" || s == "--"; }
+
+/// A guarded range: from a lock declaration to the end of its enclosing
+/// scope (RAII: the mutex is held for exactly that extent).
+struct LockRange {
+  int begin = 0;
+  int end = 0;
+};
+
+/// Find every lock-object declaration and its guarded extent, walking the
+/// brace structure once.
+std::vector<LockRange> lock_ranges(const Model& m) {
+  std::vector<LockRange> out;
+  std::vector<int> braces;  // open-brace token indices, innermost last
+  const auto& t = m.toks;
+  int n = static_cast<int>(t.size());
+  for (int i = 0; i < n; ++i) {
+    if (t[i].text == "{") {
+      braces.push_back(i);
+    } else if (t[i].text == "}") {
+      if (!braces.empty()) braces.pop_back();
+    } else if (t[i].kind == TokKind::Ident && is_lock_type(t[i].text) &&
+               !(i > 0 && is_member_access(t[i - 1].text))) {
+      int end = braces.empty() ? n - 1 : m.match[braces.back()];
+      out.push_back({i, end});
+    }
+  }
+  return out;
+}
+
+bool in_lock_range(const std::vector<LockRange>& ranges, int i) {
+  return std::any_of(ranges.begin(), ranges.end(), [&](const LockRange& r) {
+    return r.begin <= i && i < r.end;
+  });
+}
+
+/// Count commas at paren depth 1 between call parens [open, close].
+int top_level_commas(const Model& m, int open, int close) {
+  int depth = 0, commas = 0;
+  for (int i = open; i <= close; ++i) {
+    const std::string& s = m.toks[i].text;
+    if (s == "(" || s == "[" || s == "{") ++depth;
+    if (s == ")" || s == "]" || s == "}") --depth;
+    if (depth == 1 && s == ",") ++commas;
+  }
+  return commas;
+}
+
+}  // namespace
+
+void check_concurrency(const std::string& path, const Model& m,
+                       std::vector<Diagnostic>& out) {
+  const auto& t = m.toks;
+  int n = static_cast<int>(t.size());
+  std::vector<LockRange> locks = lock_ranges(m);
+
+  // concurrency.lock-across-await: a suspension point inside a lock's
+  // extent. The coroutine may resume on another thread (or much later in
+  // sim time) with the mutex still held — every thread touching that lock
+  // stalls until resume, and a resume that needs the lock deadlocks.
+  for (const LockRange& r : locks) {
+    for (int i = r.begin; i < r.end; ++i) {
+      if (t[i].kind == TokKind::Ident &&
+          (t[i].text == "co_await" || t[i].text == "co_yield")) {
+        out.push_back(
+            {path, t[r.begin].line, t[r.begin].col,
+             "concurrency.lock-across-await",
+             t[r.begin].text + " held across " + t[i].text + " (line " +
+                 std::to_string(t[i].line) + "); the frame may resume on "
+                 "another thread with the mutex still held",
+             "release the lock before suspending (scope it tighter), or "
+             "use a sim-level gate instead of a mutex"});
+        break;  // one diagnostic per lock object
+      }
+    }
+  }
+
+  for (int i = 1; i + 1 < n; ++i) {
+    if (t[i].kind != TokKind::Ident) continue;
+
+    // concurrency.detached-thread: a detached thread outlives every handle
+    // that could join it, so shutdown races against its last writes; the
+    // ShardGroup pattern (join in stop_workers) is the supported shape.
+    if (t[i].text == "detach" && is_member_access(t[i - 1].text) &&
+        t[i + 1].text == "(") {
+      out.push_back({path, t[i].line, t[i].col,
+                     "concurrency.detached-thread",
+                     "detached thread cannot be joined; its last writes "
+                     "race against teardown",
+                     "keep the handle and join it at shutdown (see "
+                     "ShardGroup::stop_workers)"});
+    }
+
+    // concurrency.cv-wait-no-predicate: waits without a predicate miss
+    // wakeups that happen before the wait and wake spuriously after it.
+    if (m.condvar_vars.count(t[i].text) != 0 && i + 2 < n &&
+        is_member_access(t[i + 1].text)) {
+      const std::string& method = t[i + 2].text;
+      if ((method == "wait" || method == "wait_for" ||
+           method == "wait_until") &&
+          i + 3 < n && t[i + 3].text == "(" && m.match[i + 3] > 0) {
+        int commas = top_level_commas(m, i + 3, m.match[i + 3]);
+        int needed = method == "wait" ? 1 : 2;  // lock[, time], predicate
+        if (commas < needed) {
+          out.push_back(
+              {path, t[i].line, t[i].col,
+               "concurrency.cv-wait-no-predicate",
+               method + "() without a predicate misses wakeups that "
+               "precede the wait and returns on spurious wakeups",
+               "pass a predicate lambda re-checking the condition"});
+        }
+      }
+    }
+  }
+
+  // concurrency.unguarded-shared-write: writes to members from code a
+  // worker thread runs, outside any lock extent and not through an atomic.
+  // "Code a worker thread runs" = lambdas handed to std::thread (directly
+  // or via a thread-container emplace/push) plus everything they call in
+  // this file, transitively.
+  std::vector<const Lambda*> entries;
+  for (const Lambda& l : m.lambdas) {
+    // Innermost call paren enclosing the lambda introducer.
+    int open = -1;
+    for (int p = 0; p < l.intro_begin; ++p) {
+      if (t[p].text == "(" && m.match[p] > l.intro_begin) open = p;
+    }
+    if (open < 1) continue;
+    bool thread_ctor =
+        t[open - 1].text == "thread" ||
+        (t[open - 1].kind == TokKind::Ident && open >= 2 &&
+         t[open - 2].text == "thread");
+    bool thread_container = false;
+    if ((t[open - 1].text == "emplace_back" ||
+         t[open - 1].text == "push_back") &&
+        open >= 3 && is_member_access(t[open - 2].text)) {
+      auto it = m.container_elem.find(t[open - 3].text);
+      thread_container = it != m.container_elem.end() &&
+                         it->second.find("thread") != std::string::npos;
+    }
+    if (thread_ctor || thread_container) entries.push_back(&l);
+  }
+  if (entries.empty()) return;
+
+  // Transitive same-file closure of the entry bodies.
+  std::vector<std::pair<int, int>> bodies;
+  std::set<std::string> visited;
+  auto add_callees = [&](int begin, int end, auto&& self) -> void {
+    for (int i = begin; i + 1 <= end; ++i) {
+      if (t[i].kind != TokKind::Ident || t[i + 1].text != "(") continue;
+      if (i > 0 && is_member_access(t[i - 1].text)) continue;
+      if (!visited.insert(t[i].text).second) continue;
+      for (const Func& f : m.funcs) {
+        if (f.name != t[i].text) continue;
+        bodies.emplace_back(f.body_begin, f.body_end);
+        self(f.body_begin, f.body_end, self);
+      }
+    }
+  };
+  for (const Lambda* l : entries) {
+    bodies.emplace_back(l->body_begin, l->body_end);
+    add_callees(l->body_begin, l->body_end, add_callees);
+  }
+
+  std::set<int> flagged;
+  for (const auto& [begin, end] : bodies) {
+    for (int i = begin + 1; i < end; ++i) {
+      // Member-shaped target: trailing-underscore name, or this->name.
+      bool this_arrow = t[i].kind == TokKind::Ident && i >= 2 &&
+                        t[i - 1].text == "->" && t[i - 2].text == "this";
+      bool member_named = t[i].kind == TokKind::Ident &&
+                          t[i].text.size() > 1 && t[i].text.back() == '_';
+      if (!this_arrow && !member_named) continue;
+      if (!this_arrow && i > 0 && is_member_access(t[i - 1].text)) continue;
+      if (m.atomic_vars.count(t[i].text) != 0) continue;
+      int j = i + 1;
+      while (j < n && t[j].text == "[" && m.match[j] > 0) j = m.match[j] + 1;
+      bool pre_incdec = this_arrow ? (i >= 3 && is_incdec(t[i - 3].text))
+                                   : is_incdec(t[i - 1].text);
+      bool written =
+          j < n && (is_write_op(t[j].text) || is_incdec(t[j].text));
+      if (!written && !pre_incdec) continue;
+      if (in_lock_range(locks, i)) continue;
+      if (!flagged.insert(i).second) continue;
+      out.push_back(
+          {path, t[i].line, t[i].col, "concurrency.unguarded-shared-write",
+           "'" + t[i].text + "' is written from a worker-thread closure "
+           "with no lock held and is not atomic",
+           "guard the write with the pool's mutex, or make the member "
+           "std::atomic"});
+    }
+  }
+}
+
+}  // namespace gridmon::lint

@@ -1,0 +1,173 @@
+/// \file check_shard.cpp
+/// shard.*: safety rules for the conservative-lookahead sharded engine
+/// (src/gridmon/sim/shard.hpp). The engine's determinism contract has three
+/// legs — all cross-shard influence flows through mailboxes, every message
+/// respects the lookahead horizon, and merge order is a pure function of
+/// (deliver_at, uid, seq) — and each rule here defends one leg at the point
+/// where user code (a ShardRunner implementation) could break it.
+///
+/// The rules only run in files that actually touch the shard engine (a
+/// ShardGroup/ShardRunner/ShardMessage token appears), so an unrelated
+/// `http.post(...)` in a service client never trips them. The engine's own
+/// implementation is exempt by path: run_window delivering from the mailbox
+/// IS the mechanism the rules protect.
+
+#include "checks.hpp"
+
+namespace gridmon::lint {
+namespace {
+
+bool shard_engine_path(const std::string& path) {
+  return path.find("sim/shard") != std::string::npos;
+}
+
+bool mentions_shard_engine(const Model& m) {
+  if (!m.runner_classes.empty() || !m.runner_vars.empty()) return true;
+  for (const Token& t : m.toks) {
+    if (t.kind != TokKind::Ident) continue;
+    if (t.text == "ShardGroup" || t.text == "ShardRunner" ||
+        t.text == "ShardMessage") {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool is_member_access(const std::string& s) {
+  return s == "." || s == "->";
+}
+
+bool is_write_op(const std::string& s) {
+  return s == "=" || s == "+=" || s == "-=" || s == "*=" || s == "/=" ||
+         s == "%=" || s == "|=" || s == "&=" || s == "^=" || s == "<<=" ||
+         s == ">>=";
+}
+
+bool is_incdec(const std::string& s) { return s == "++" || s == "--"; }
+
+/// Does the function body [begin, end] mention an identifier that ties a
+/// deliver_at to the engine's horizon? post() throws at run time when the
+/// bound is violated; the lint catches the sites that never consulted it.
+bool body_mentions_horizon(const Model& m, int begin, int end) {
+  for (int i = begin; i <= end; ++i) {
+    if (m.toks[i].kind != TokKind::Ident) continue;
+    const std::string& s = m.toks[i].text;
+    if (s.find("lookahead") != std::string::npos ||
+        s.find("window_end") != std::string::npos ||
+        s.find("horizon") != std::string::npos) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+void check_shard(const std::string& path, const Model& m,
+                 std::vector<Diagnostic>& out) {
+  if (shard_engine_path(path)) return;
+  if (!mentions_shard_engine(m)) return;
+
+  const auto& t = m.toks;
+  int n = static_cast<int>(t.size());
+
+  for (int i = 1; i + 1 < n; ++i) {
+    if (t[i].kind != TokKind::Ident) continue;
+
+    // shard.unguarded-post-horizon: a post() whose enclosing function
+    // derives deliver_at from nothing lookahead-shaped. The guard is
+    // searched over the whole function body because the horizon term is
+    // often hoisted ("double at = sim.now() + lookahead_;" lines earlier).
+    if (t[i].text == "post" && is_member_access(t[i - 1].text) &&
+        t[i + 1].text == "(") {
+      const Func* f = m.enclosing_func(i);
+      if (f != nullptr &&
+          !body_mentions_horizon(m, f->body_begin, f->body_end)) {
+        out.push_back(
+            {path, t[i].line, t[i].col, "shard.unguarded-post-horizon",
+             "post() in a function with no lookahead/horizon term; a "
+             "deliver_at below the window end throws at run time "
+             "(lookahead violated)",
+             "derive deliver_at as now() + lookahead (>= the group's "
+             "window end)"});
+      }
+    }
+
+    // shard.direct-deliver: handing a message to a runner without going
+    // through the mailbox skips the canonical (deliver_at, uid, seq) sort
+    // — delivery order becomes call order, which shard count changes.
+    if (t[i].text == "deliver" && is_member_access(t[i - 1].text) &&
+        t[i + 1].text == "(") {
+      out.push_back(
+          {path, t[i].line, t[i].col, "shard.direct-deliver",
+           "direct deliver() bypasses the mailbox's canonical "
+           "(deliver_at, uid, seq) order; delivery becomes call-order "
+           "dependent",
+           "post() through the ShardGroup and let the barrier merge "
+           "deliver"});
+    }
+
+    // shard.peer-runner-write: assignment through a variable that holds
+    // another runner. Reads are fine (owner-side aggregation after run()
+    // is the supported pattern); writes smuggle cross-shard influence
+    // around the mailbox, invisible to the lookahead.
+    if (m.runner_vars.count(t[i].text) != 0 &&
+        !(i > 0 && is_member_access(t[i - 1].text))) {
+      int j = i + 1;
+      if (j < n && t[j].text == "[" && m.match[j] > 0) j = m.match[j] + 1;
+      bool saw_member = false;
+      while (j + 1 < n && is_member_access(t[j].text) &&
+             t[j + 1].kind == TokKind::Ident) {
+        saw_member = true;
+        j += 2;
+        while (j < n && t[j].text == "[" && m.match[j] > 0) {
+          j = m.match[j] + 1;
+        }
+      }
+      if (saw_member && j < n &&
+          (is_write_op(t[j].text) || is_incdec(t[j].text) ||
+           is_incdec(t[i - 1].text))) {
+        out.push_back(
+            {path, t[i].line, t[i].col, "shard.peer-runner-write",
+             "write through runner '" + t[i].text + "' mutates another "
+             "shard's state outside the mailbox; cross-shard influence "
+             "must travel as posted messages",
+             "post() a message and apply the mutation in the target's "
+             "deliver()"});
+      }
+    }
+  }
+
+  // shard.sender-dependent-order: a comparator over ShardMessages that
+  // reads .from. The canonical merge key is (deliver_at, uid, seq) —
+  // sender identity varies with shard count, so ordering on it breaks the
+  // "same result for any shard count" guarantee.
+  auto scan_comparator = [&](const std::vector<Param>& params, int begin,
+                             int end) {
+    int msg_params = 0;
+    for (const Param& p : params) {
+      if (p.type_text.find("ShardMessage") != std::string::npos) ++msg_params;
+    }
+    if (msg_params != 2) return;
+    for (int i = begin; i + 1 <= end; ++i) {
+      if (is_member_access(t[i].text) && t[i + 1].kind == TokKind::Ident &&
+          t[i + 1].text == "from") {
+        out.push_back(
+            {path, t[i + 1].line, t[i + 1].col,
+             "shard.sender-dependent-order",
+             "message comparator reads .from; merge order must be a pure "
+             "function of (deliver_at, uid, seq) or results change with "
+             "the shard count",
+             "order on (deliver_at, uid, seq) only"});
+      }
+    }
+  };
+  for (const Func& f : m.funcs) {
+    scan_comparator(f.params, f.body_begin, f.body_end);
+  }
+  for (const Lambda& l : m.lambdas) {
+    scan_comparator(l.params, l.body_begin, l.body_end);
+  }
+}
+
+}  // namespace gridmon::lint

@@ -55,4 +55,17 @@ void check_resilience(const std::string& path, const Model& m,
 void check_spec(const std::string& path, const Model& m,
                 std::vector<Diagnostic>& out);
 
+/// shard.*: the sharded engine's determinism contract — mailbox-only
+/// cross-shard influence, lookahead-respecting deliver_at, merge order a
+/// pure function of (deliver_at, uid, seq). Runs only in files that touch
+/// the shard engine; the engine's own implementation is exempt by path.
+void check_shard(const std::string& path, const Model& m,
+                 std::vector<Diagnostic>& out);
+
+/// concurrency.*: real-thread rules (worker pools, benchmark drivers) —
+/// locks across suspension points, detached threads, predicate-less CV
+/// waits, unguarded shared writes from worker closures.
+void check_concurrency(const std::string& path, const Model& m,
+                       std::vector<Diagnostic>& out);
+
 }  // namespace gridmon::lint

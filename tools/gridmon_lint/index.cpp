@@ -1,0 +1,316 @@
+/// \file index.cpp
+/// Pass 1: per-file fact extraction and the content-hash keyed fact cache.
+/// See index.hpp for the resolution policy; the fixpoint itself lives in
+/// callgraph.cpp.
+
+#include "index.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "callgraph.hpp"
+#include "checks.hpp"
+#include "lexer.hpp"
+#include "lint.hpp"
+
+namespace gridmon::lint {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Keywords that look like `name (` but are never calls.
+bool never_a_call(const std::string& s) {
+  static const char* kw[] = {
+      "if",     "for",       "while",     "switch",  "catch",     "sizeof",
+      "alignof", "alignas",  "decltype",  "return",  "co_return", "co_await",
+      "co_yield", "new",     "delete",    "throw",   "static_assert",
+      "noexcept", "assert",  "defined",   "case",    "else",      "do"};
+  for (const char* k : kw) {
+    if (s == k) return true;
+  }
+  return false;
+}
+
+/// Mirrors check_determinism's call-context heuristic: an identifier before
+/// `name (` marks a declaration unless it introduces an expression.
+bool call_context_keyword(const std::string& s) {
+  static const char* kw[] = {"return", "co_return", "co_await", "co_yield",
+                             "case",   "else",      "do",       "throw"};
+  for (const char* k : kw) {
+    if (s == k) return true;
+  }
+  return false;
+}
+
+/// True when a justified inline suppression silences `d` (the same rule
+/// analyze_source applies; unjustified markers silence nothing).
+bool suppressed(const Model& m, const Diagnostic& d) {
+  for (const Suppression& s : m.suppressions) {
+    if (s.applies_line != d.line) continue;
+    if (s.check_prefix.empty()) continue;
+    if (d.check.rfind(s.check_prefix, 0) != 0) continue;
+    if (s.justification.empty()) continue;
+    return true;
+  }
+  return false;
+}
+
+/// The sink token is the first word of every determinism.* message
+/// ("std::chrono::steady_clock reads the machine clock; ...").
+std::string sink_label(const Diagnostic& d) {
+  auto sp = d.message.find(' ');
+  return sp == std::string::npos ? d.message : d.message.substr(0, sp);
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return {};
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+}  // namespace
+
+const TransFact* ProjectIndex::fact(const std::string& name) const {
+  auto it = facts.find(name);
+  if (it == facts.end()) return nullptr;
+  if (it->second.wall_depth < 0 && it->second.rng_depth < 0) return nullptr;
+  return &it->second;
+}
+
+bool ProjectIndex::defined_in(const std::string& name,
+                              const std::string& file) const {
+  auto it = funcs.find(name);
+  if (it == funcs.end()) return false;
+  return std::any_of(it->second.begin(), it->second.end(),
+                     [&](const IndexedFunc& f) { return f.file == file; });
+}
+
+bool ProjectIndex::known(const std::string& name) const {
+  return funcs.count(name) != 0;
+}
+
+std::vector<IndexedFunc> index_file(const std::string& path, const Model& m) {
+  const auto& t = m.toks;
+  int n = static_cast<int>(t.size());
+  std::vector<IndexedFunc> out;
+  out.reserve(m.funcs.size());
+
+  for (const Func& f : m.funcs) {
+    IndexedFunc idx;
+    idx.name = f.name;
+    idx.file = path;
+    idx.line = t[f.body_begin].line;
+    idx.returns_unordered =
+        f.return_text.find("unordered_") != std::string::npos;
+    if (!idx.returns_unordered) {
+      for (const std::string& alias : m.unordered_types) {
+        if (!alias.empty() &&
+            f.return_text.find(alias) != std::string::npos) {
+          idx.returns_unordered = true;
+          break;
+        }
+      }
+    }
+    std::set<std::string> callees;
+    for (int i = f.body_begin + 1; i < f.body_end && i + 1 < n; ++i) {
+      if (t[i].kind != TokKind::Ident || t[i + 1].text != "(") continue;
+      if (never_a_call(t[i].text)) continue;
+      const Token& prev = t[i - 1];
+      // Member dispatch (`obj.f()`) cannot be resolved by unqualified
+      // name without type information; skip rather than guess.
+      if (prev.text == "." || prev.text == "->") continue;
+      if (prev.kind == TokKind::Ident && !call_context_keyword(prev.text)) {
+        continue;  // declaration, e.g. "std::time_t time(...)"
+      }
+      callees.insert(t[i].text);
+    }
+    idx.callees.assign(callees.begin(), callees.end());
+    out.push_back(std::move(idx));
+  }
+
+  // Attribute each unsuppressed direct sink to its innermost enclosing
+  // function. A suppressed sink carries a reviewed justification; letting
+  // it taint every transitive caller would make the escape hatch useless.
+  std::vector<Diagnostic> diags;
+  check_determinism(path, m, diags);
+  for (const Diagnostic& d : diags) {
+    if (suppressed(m, d)) continue;
+    int best = -1;
+    std::size_t best_k = 0;
+    for (std::size_t k = 0; k < m.funcs.size(); ++k) {
+      const Func& f = m.funcs[k];
+      if (t[f.body_begin].line <= d.line && d.line <= t[f.body_end].line &&
+          f.body_begin > best) {
+        best = f.body_begin;
+        best_k = k;
+      }
+    }
+    if (best < 0) continue;  // file-scope sink; nothing to attribute
+    IndexedFunc& fn = out[best_k];
+    if (d.check == "determinism.ambient-rng") {
+      fn.rng_sink = true;
+      if (fn.rng_label.empty()) fn.rng_label = sink_label(d);
+    } else {
+      fn.wall_clock_sink = true;
+      if (fn.wall_label.empty()) fn.wall_label = sink_label(d);
+    }
+  }
+  return out;
+}
+
+ProjectIndex build_project_index(const std::vector<std::string>& files,
+                                 IndexCache* cache) {
+  ProjectIndex pi;
+  for (const std::string& f : files) {
+    std::string src = read_file(f);
+    if (src.empty()) continue;
+    std::uint64_t h = content_hash(src);
+    std::vector<IndexedFunc> funcs;
+    const std::vector<IndexedFunc>* hit =
+        cache ? cache->lookup(f, h) : nullptr;
+    if (hit) {
+      funcs = *hit;
+      if (cache) ++cache->hits;
+    } else {
+      LexResult lexed = lex(src);
+      LexResult sibling;
+      bool have_sibling = false;
+      fs::path p(f);
+      if (p.extension() == ".cpp") {
+        fs::path header = p;
+        header.replace_extension(".hpp");
+        std::error_code ec;
+        if (fs::exists(header, ec)) {
+          std::string sib = read_file(header.string());
+          if (!sib.empty()) {
+            sibling = lex(sib);
+            have_sibling = true;
+          }
+        }
+      }
+      Model m = build_model(lexed, have_sibling ? &sibling : nullptr);
+      funcs = index_file(f, m);
+      if (cache) {
+        ++cache->misses;
+        cache->store(f, h, funcs);
+      }
+    }
+    for (IndexedFunc& fn : funcs) {
+      pi.funcs[fn.name].push_back(std::move(fn));
+    }
+  }
+  resolve_index(pi);
+  return pi;
+}
+
+std::uint64_t content_hash(const std::string& bytes) {
+  std::uint64_t h = 1469598103934665603ull;  // FNV offset basis
+  for (unsigned char c : bytes) {
+    h ^= c;
+    h *= 1099511628211ull;  // FNV prime
+  }
+  return h;
+}
+
+// ---- IndexCache -----------------------------------------------------------
+//
+// Line-oriented, versioned:
+//   gridmon-lint-index-cache v2
+//   F <hash> <path>
+//   D <name> <line> <wall> <rng> <unordered> <wall_label> <rng_label>
+//   C <callee> <callee> ...
+// Labels use "-" for empty (they are single tokens by construction). Any
+// parse surprise drops the rest of the cache: a stale cache must cost a
+// re-index, never a wrong answer.
+
+static const char* kCacheMagic = "gridmon-lint-index-cache v2";
+
+IndexCache IndexCache::load(const std::string& path) {
+  IndexCache cache;
+  std::ifstream in(path);
+  if (!in) return cache;
+  std::string line;
+  if (!std::getline(in, line) || line != kCacheMagic) return cache;
+  std::string cur_file;
+  std::uint64_t cur_hash = 0;
+  std::vector<IndexedFunc> cur_funcs;
+  auto flush = [&] {
+    if (!cur_file.empty()) {
+      cache.entries_[cur_file] = Entry{cur_hash, std::move(cur_funcs)};
+    }
+    cur_funcs.clear();
+  };
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::istringstream ss(line);
+    std::string tag;
+    ss >> tag;
+    if (tag == "F") {
+      flush();
+      ss >> cur_hash;
+      ss.get();  // single separating space
+      std::getline(ss, cur_file);  // path may contain spaces
+      if (!ss && cur_file.empty()) return IndexCache{};
+    } else if (tag == "D") {
+      IndexedFunc fn;
+      fn.file = cur_file;
+      int wall = 0, rng = 0, unordered = 0;
+      ss >> fn.name >> fn.line >> wall >> rng >> unordered >>
+          fn.wall_label >> fn.rng_label;
+      if (!ss) return IndexCache{};
+      fn.wall_clock_sink = wall != 0;
+      fn.rng_sink = rng != 0;
+      fn.returns_unordered = unordered != 0;
+      if (fn.wall_label == "-") fn.wall_label.clear();
+      if (fn.rng_label == "-") fn.rng_label.clear();
+      cur_funcs.push_back(std::move(fn));
+    } else if (tag == "C") {
+      if (cur_funcs.empty()) return IndexCache{};
+      std::string callee;
+      while (ss >> callee) cur_funcs.back().callees.push_back(callee);
+    } else {
+      return IndexCache{};
+    }
+  }
+  flush();
+  return cache;
+}
+
+void IndexCache::save(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return;
+  out << kCacheMagic << "\n";
+  for (const auto& [file, entry] : entries_) {
+    out << "F " << entry.hash << " " << file << "\n";
+    for (const IndexedFunc& fn : entry.funcs) {
+      out << "D " << fn.name << " " << fn.line << " "
+          << (fn.wall_clock_sink ? 1 : 0) << " " << (fn.rng_sink ? 1 : 0)
+          << " " << (fn.returns_unordered ? 1 : 0) << " "
+          << (fn.wall_label.empty() ? "-" : fn.wall_label) << " "
+          << (fn.rng_label.empty() ? "-" : fn.rng_label) << "\n";
+      if (!fn.callees.empty()) {
+        out << "C";
+        for (const std::string& c : fn.callees) out << " " << c;
+        out << "\n";
+      }
+    }
+  }
+}
+
+const std::vector<IndexedFunc>* IndexCache::lookup(
+    const std::string& file, std::uint64_t hash) const {
+  auto it = entries_.find(file);
+  if (it == entries_.end() || it->second.hash != hash) return nullptr;
+  return &it->second.funcs;
+}
+
+void IndexCache::store(const std::string& file, std::uint64_t hash,
+                       std::vector<IndexedFunc> funcs) {
+  entries_[file] = Entry{hash, std::move(funcs)};
+}
+
+}  // namespace gridmon::lint

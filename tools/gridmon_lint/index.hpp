@@ -1,0 +1,108 @@
+#pragma once
+
+/// \file index.hpp
+/// Pass 1 of the project-wide analyzer: a cross-TU symbol index. Every
+/// translation unit contributes one IndexedFunc per function definition —
+/// which nondeterministic sinks its body touches *directly* (honoring
+/// justified inline suppressions, so a documented escape hatch does not
+/// taint every caller), which functions it calls, and whether it returns an
+/// unordered container. callgraph.cpp then resolves the call graph over
+/// these facts so pass 2 can flag a caller whose nondeterminism lives in a
+/// different file (see docs/STATIC_ANALYSIS.md, "Two passes").
+///
+/// Resolution is by unqualified name, the only identity a token-level
+/// frontend has. The conflict policy errs toward silence: a name defined in
+/// several TUs carries a fact only when EVERY definition carries it, so an
+/// overload set with one innocuous member never flags a call site.
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "model.hpp"
+
+namespace gridmon::lint {
+
+/// One function definition's pass-1 facts.
+struct IndexedFunc {
+  std::string name;  // unqualified
+  std::string file;
+  int line = 0;
+  bool wall_clock_sink = false;  // body reads a machine clock (unsuppressed)
+  bool rng_sink = false;         // body uses an ambient PRNG (unsuppressed)
+  bool returns_unordered = false;  // return type is an unordered container
+  std::string wall_label;  // the sink token, e.g. "std::chrono::steady_clock"
+  std::string rng_label;   // e.g. "std::random_device"
+  std::vector<std::string> callees;  // sorted unique unqualified names
+};
+
+/// A name's resolved transitive facts. depth 0 = the definition itself is
+/// a sink; k = reaches one through k calls. `via` is a witness chain for
+/// the diagnostic message ("helper -> wall_now -> std::chrono::...").
+struct TransFact {
+  int wall_depth = -1;  // -1 = does not reach
+  int rng_depth = -1;
+  std::string wall_via;
+  std::string rng_via;
+};
+
+struct ProjectIndex {
+  /// All definitions, grouped by unqualified name.
+  std::map<std::string, std::vector<IndexedFunc>> funcs;
+  /// Resolved facts per name (populated by resolve_index).
+  std::map<std::string, TransFact> facts;
+  /// Names whose every definition returns an unordered container.
+  std::set<std::string> unordered_returning;
+
+  /// The resolved fact for a callee name, or nullptr when unknown/clean.
+  const TransFact* fact(const std::string& name) const;
+  /// True when `name` has at least one definition recorded in `file`.
+  bool defined_in(const std::string& name, const std::string& file) const;
+  /// True when `name` has at least one definition anywhere.
+  bool known(const std::string& name) const;
+};
+
+/// Extract pass-1 facts for every function defined in one file's model.
+std::vector<IndexedFunc> index_file(const std::string& path, const Model& m);
+
+/// Lex + model + index every file, then resolve the call graph. The
+/// convenience entry point for tests and the CLI; `cache` (optional) is a
+/// content-hash keyed facts cache reused across runs (see index cache in
+/// docs/STATIC_ANALYSIS.md).
+class IndexCache;
+ProjectIndex build_project_index(const std::vector<std::string>& files,
+                                 IndexCache* cache = nullptr);
+
+/// Content-hash keyed persistence for pass-1 facts: unchanged files skip
+/// lexing entirely on the next run (ccache for the symbol index). The
+/// format is a line-oriented text file, versioned; a mismatched version or
+/// a corrupt line drops the cache rather than erroring.
+class IndexCache {
+ public:
+  /// Load from `path` (missing file = empty cache, not an error).
+  static IndexCache load(const std::string& path);
+  /// Persist the post-run state back to `path`.
+  void save(const std::string& path) const;
+
+  /// Facts for `file` if cached under the same content hash.
+  const std::vector<IndexedFunc>* lookup(const std::string& file,
+                                         std::uint64_t content_hash) const;
+  void store(const std::string& file, std::uint64_t content_hash,
+             std::vector<IndexedFunc> funcs);
+
+  std::size_t hits = 0;
+  std::size_t misses = 0;
+
+ private:
+  struct Entry {
+    std::uint64_t hash = 0;
+    std::vector<IndexedFunc> funcs;
+  };
+  std::map<std::string, Entry> entries_;
+};
+
+/// FNV-1a 64 over the raw bytes — the cache key.
+std::uint64_t content_hash(const std::string& bytes);
+
+}  // namespace gridmon::lint

@@ -15,10 +15,13 @@
 /// implementation-defined (hash-bucket order, wall clocks, ambient PRNGs)
 /// may leak into event scheduling or output.
 
+#include <map>
 #include <string>
 #include <vector>
 
 namespace gridmon::lint {
+
+struct ProjectIndex;  // cross-TU symbol index (index.hpp)
 
 /// One finding. `check` is a dotted id (family.rule), e.g.
 /// "determinism.wall-clock"; `message` is human-readable; `suggestion`
@@ -39,14 +42,30 @@ struct Options {
   std::vector<std::string> enabled_checks;
   /// Emit fix suggestions alongside diagnostics.
   bool fix_suggestions = false;
+  /// When set, the interprocedural checks run against this resolved
+  /// cross-TU index (--project mode); when null only per-file checks run.
+  const ProjectIndex* project = nullptr;
 };
 
-/// All check families, for --list-checks and docs.
+/// One rule's catalogue entry. `summary` is the one-liner (--list-checks);
+/// `contract`, `example`, and `fix` feed --explain and the docs — the same
+/// table backs all three so they cannot drift apart.
 struct CheckInfo {
   const char* id;
   const char* summary;
+  const char* contract;  // the invariant the rule defends, and why
+  const char* example;   // a minimal violating snippet
+  const char* fix;       // the idiomatic repair
 };
 std::vector<CheckInfo> all_checks();
+
+/// Result of analyzing one file: the findings plus the file's justified
+/// suppression count per check family ("determinism", "hotpath", ...),
+/// which the suppression-debt budget aggregates.
+struct FileAnalysis {
+  std::vector<Diagnostic> diagnostics;
+  std::map<std::string, int> suppressions_by_family;
+};
 
 /// Analyze one file (path is used for reporting and hot-path tagging;
 /// `source` is the file contents). Diagnostics already filtered through
@@ -61,9 +80,30 @@ std::vector<Diagnostic> analyze_source(const std::string& path,
                                        const Options& opts,
                                        const std::string& sibling_header = {});
 
+/// As analyze_source, but also reports the justified-suppression counts
+/// the debt budget consumes.
+FileAnalysis analyze_source_full(const std::string& path,
+                                 const std::string& source,
+                                 const Options& opts,
+                                 const std::string& sibling_header = {});
+
 /// Analyze a file on disk (loads the sibling header automatically).
 std::vector<Diagnostic> analyze_file(const std::string& path,
                                      const Options& opts);
+FileAnalysis analyze_file_full(const std::string& path, const Options& opts);
+
+/// Suppression-debt budget file: '<family> <count>' lines, '#' comments.
+/// Throws std::runtime_error on a malformed line. The gate is strict
+/// equality in both directions — new debt AND paid-down debt must land
+/// with a regenerated budget, so every change to the escape-hatch count
+/// is a reviewable diff (see docs/STATIC_ANALYSIS.md).
+std::map<std::string, int> parse_suppression_budget(const std::string& text);
+std::string format_suppression_budget(
+    const std::map<std::string, int>& counts);
+
+/// Serialize findings as SARIF 2.1.0 (one run, rule metadata from
+/// all_checks()) for CI annotation upload.
+std::string sarif_report(const std::vector<Diagnostic>& findings);
 
 /// Extract the unique source-file list from a compile_commands.json.
 /// Returns file paths (made absolute against each entry's "directory").

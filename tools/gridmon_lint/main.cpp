@@ -1,17 +1,20 @@
 /// \file main.cpp
-/// CLI driver for gridmon_lint. Exit codes: 0 clean, 1 findings, 2 usage
-/// or I/O error. See docs/STATIC_ANALYSIS.md for the rule catalogue.
+/// CLI driver for gridmon_lint. Exit codes: 0 clean, 1 findings (or budget
+/// mismatch), 2 usage or I/O error. See docs/STATIC_ANALYSIS.md for the
+/// rule catalogue and the two-pass project mode.
 
 #include <algorithm>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <map>
 #include <set>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "index.hpp"
 #include "lint.hpp"
 
 namespace {
@@ -22,19 +25,31 @@ using gridmon::lint::Options;
 int usage(std::ostream& os, int code) {
   os << "usage: gridmon_lint [options] [file-or-dir...]\n"
         "\n"
-        "gridmon-specific determinism & coroutine-safety analyzer.\n"
+        "gridmon-specific determinism & concurrency-safety analyzer.\n"
         "\n"
         "  -p, --compile-db <json>   analyze every file listed in a\n"
         "                            compile_commands.json\n"
         "  --filter <substr>         keep only paths containing <substr>\n"
         "                            (repeatable; applies to -p and dirs)\n"
         "  --checks <a,b,...>        run only checks with these id prefixes\n"
+        "  --project                 two-pass mode: index every input file\n"
+        "                            (cross-TU call graph), then run the\n"
+        "                            interprocedural checks too\n"
+        "  --index-cache <file>      reuse pass-1 facts for files whose\n"
+        "                            content hash is unchanged (implies\n"
+        "                            nothing without --project)\n"
         "  --fix                     print fix suggestions with findings\n"
         "  --baseline <file>         allowed findings, one 'path:check' per\n"
         "                            line; '#' comments ignored. The shipped\n"
         "                            baseline is empty and must stay empty.\n"
         "  --write-baseline <file>   write current findings in baseline\n"
         "                            format and exit 0\n"
+        "  --sarif <file>            also write findings as SARIF 2.1.0\n"
+        "  --suppression-budget <f>  enforce the per-family suppression\n"
+        "                            debt budget (strict equality)\n"
+        "  --write-suppression-budget <f>  regenerate the budget file\n"
+        "  --explain <check-id>      print a rule's contract, a violating\n"
+        "                            example, and the idiomatic fix\n"
         "  --list-checks             print the rule catalogue\n"
         "  -q, --quiet               summary only\n"
         "  -h, --help                this text\n";
@@ -43,6 +58,22 @@ int usage(std::ostream& os, int code) {
 
 std::string base_key(const Diagnostic& d) { return d.file + ":" + d.check; }
 
+int explain(const std::string& id) {
+  for (const auto& c : gridmon::lint::all_checks()) {
+    if (id != c.id) continue;
+    std::cout << c.id << "\n  " << c.summary << "\n\ncontract:\n  "
+              << c.contract << "\n\nexample:\n";
+    std::istringstream ex(c.example);
+    std::string line;
+    while (std::getline(ex, line)) std::cout << "    " << line << "\n";
+    std::cout << "\nfix:\n  " << c.fix << "\n";
+    return 0;
+  }
+  std::cerr << "gridmon_lint: unknown check id '" << id
+            << "' (see --list-checks)\n";
+  return 2;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -50,7 +81,8 @@ int main(int argc, char** argv) {
   std::vector<std::string> inputs;
   std::vector<std::string> filters;
   std::string compile_db, baseline_path, write_baseline;
-  bool quiet = false;
+  std::string sarif_path, budget_path, write_budget, index_cache_path;
+  bool quiet = false, project = false;
 
   for (int i = 1; i < argc; ++i) {
     std::string a = argv[i];
@@ -68,6 +100,7 @@ int main(int argc, char** argv) {
       }
       return 0;
     }
+    if (a == "--explain") return explain(need_value("--explain"));
     if (a == "-p" || a == "--compile-db") {
       compile_db = need_value("--compile-db");
     } else if (a == "--filter") {
@@ -78,12 +111,22 @@ int main(int argc, char** argv) {
       while (std::getline(ss, item, ',')) {
         if (!item.empty()) opts.enabled_checks.push_back(item);
       }
+    } else if (a == "--project") {
+      project = true;
+    } else if (a == "--index-cache") {
+      index_cache_path = need_value("--index-cache");
     } else if (a == "--fix") {
       opts.fix_suggestions = true;
     } else if (a == "--baseline") {
       baseline_path = need_value("--baseline");
     } else if (a == "--write-baseline") {
       write_baseline = need_value("--write-baseline");
+    } else if (a == "--sarif") {
+      sarif_path = need_value("--sarif");
+    } else if (a == "--suppression-budget") {
+      budget_path = need_value("--suppression-budget");
+    } else if (a == "--write-suppression-budget") {
+      write_budget = need_value("--write-suppression-budget");
     } else if (a == "-q" || a == "--quiet") {
       quiet = true;
     } else if (!a.empty() && a[0] == '-') {
@@ -138,6 +181,26 @@ int main(int argc, char** argv) {
     return usage(std::cerr, 2);
   }
 
+  // Pass 1 (project mode): index every input, resolve the call graph.
+  gridmon::lint::ProjectIndex index;
+  gridmon::lint::IndexCache cache;
+  if (project) {
+    if (!index_cache_path.empty()) {
+      cache = gridmon::lint::IndexCache::load(index_cache_path);
+    }
+    index = gridmon::lint::build_project_index(
+        files, index_cache_path.empty() ? nullptr : &cache);
+    if (!index_cache_path.empty()) {
+      cache.save(index_cache_path);
+      if (!quiet) {
+        std::cout << "gridmon_lint: index cache " << cache.hits << " hit"
+                  << (cache.hits == 1 ? "" : "s") << ", " << cache.misses
+                  << " miss" << (cache.misses == 1 ? "" : "es") << "\n";
+      }
+    }
+    opts.project = &index;
+  }
+
   std::set<std::string> allowed;
   if (!baseline_path.empty()) {
     std::ifstream in(baseline_path);
@@ -154,14 +217,18 @@ int main(int argc, char** argv) {
   }
 
   std::vector<Diagnostic> findings;
+  std::map<std::string, int> suppression_counts;
   int analyzed = 0;
   for (const std::string& f : files) {
     try {
-      auto diags = gridmon::lint::analyze_file(f, opts);
+      auto analysis = gridmon::lint::analyze_file_full(f, opts);
       ++analyzed;
-      for (Diagnostic& d : diags) {
+      for (Diagnostic& d : analysis.diagnostics) {
         if (allowed.count(base_key(d))) continue;
         findings.push_back(std::move(d));
+      }
+      for (const auto& [family, count] : analysis.suppressions_by_family) {
+        suppression_counts[family] += count;
       }
     } catch (const std::exception& e) {
       std::cerr << "gridmon_lint: " << e.what() << "\n";
@@ -178,6 +245,71 @@ int main(int argc, char** argv) {
     return 0;
   }
 
+  if (!write_budget.empty()) {
+    std::ofstream out(write_budget);
+    if (!out) {
+      std::cerr << "gridmon_lint: cannot write " << write_budget << "\n";
+      return 2;
+    }
+    out << gridmon::lint::format_suppression_budget(suppression_counts);
+    std::cout << "wrote suppression budget ("
+              << suppression_counts.size() << " families) to "
+              << write_budget << "\n";
+    return 0;
+  }
+
+  bool budget_failed = false;
+  if (!budget_path.empty()) {
+    std::ifstream in(budget_path);
+    if (!in) {
+      std::cerr << "gridmon_lint: cannot read budget " << budget_path
+                << "\n";
+      return 2;
+    }
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    std::map<std::string, int> budget;
+    try {
+      budget = gridmon::lint::parse_suppression_budget(ss.str());
+    } catch (const std::exception& e) {
+      std::cerr << "gridmon_lint: " << budget_path << ": " << e.what()
+                << "\n";
+      return 2;
+    }
+    // Strict equality both ways: new debt must be budgeted, paid-down
+    // debt must shrink the budget — either drift is a failure until the
+    // file is regenerated, so the diff review sees it.
+    std::set<std::string> families;
+    for (const auto& [f, c] : budget) families.insert(f);
+    for (const auto& [f, c] : suppression_counts) families.insert(f);
+    for (const std::string& fam : families) {
+      auto bit = budget.find(fam);
+      auto ait = suppression_counts.find(fam);
+      int budgeted = bit == budget.end() ? 0 : bit->second;
+      int actual = ait == suppression_counts.end() ? 0 : ait->second;
+      if (budgeted == actual) continue;
+      budget_failed = true;
+      std::cout << "gridmon_lint: suppression budget mismatch: family '"
+                << fam << "' has " << actual << " justified suppression"
+                << (actual == 1 ? "" : "s") << " but the budget says "
+                << budgeted << "\n";
+    }
+    if (budget_failed) {
+      std::cout << "gridmon_lint: if the change in debt is intentional, "
+                   "regenerate with --write-suppression-budget "
+                << budget_path << "\n";
+    }
+  }
+
+  if (!sarif_path.empty()) {
+    std::ofstream out(sarif_path);
+    if (!out) {
+      std::cerr << "gridmon_lint: cannot write " << sarif_path << "\n";
+      return 2;
+    }
+    out << gridmon::lint::sarif_report(findings);
+  }
+
   if (!quiet) {
     for (const Diagnostic& d : findings) {
       std::cout << d.file << ":" << d.line << ":" << d.col << ": error: "
@@ -189,5 +321,5 @@ int main(int argc, char** argv) {
   }
   std::cout << "gridmon_lint: " << analyzed << " files, " << findings.size()
             << " finding" << (findings.size() == 1 ? "" : "s") << "\n";
-  return findings.empty() ? 0 : 1;
+  return (findings.empty() && !budget_failed) ? 0 : 1;
 }

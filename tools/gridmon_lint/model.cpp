@@ -207,6 +207,101 @@ Model build_model(const LexResult& lexed, const LexResult* extra_decls) {
   if (extra_decls) scan_decls(extra_decls->tokens, m);
   scan_decls(m.toks, m);
 
+  // --- concurrency/shard declaration scan ----------------------------------
+  // Atomics, condition variables, ShardRunner-derived classes and the
+  // variables typed as them. Runs over the sibling header too, so members
+  // declared in the .hpp participate when the .cpp is analyzed.
+  auto scan_conc = [&](const std::vector<Token>& toks, Model& into) {
+    int tn = static_cast<int>(toks.size());
+    // Classes deriving (directly or via a chain in the same stream) from
+    // sim::ShardRunner. Two passes so `struct B : A` after `struct A :
+    // ShardRunner` resolves regardless of textual order.
+    for (int pass = 0; pass < 2; ++pass) {
+      for (int i = 0; i + 2 < tn; ++i) {
+        if (!(is(toks[i], "struct") || is(toks[i], "class"))) continue;
+        // Name: last identifier before the base-list ':' (skipping 'final'
+        // and qualified-name pieces); bail at '{'/';' (no base list).
+        std::string name;
+        int j = i + 1;
+        for (; j < tn; ++j) {
+          const std::string& t = toks[j].text;
+          if (t == ":") break;
+          if (t == "{" || t == ";" || t == "(") {
+            j = tn;
+            break;
+          }
+          if (toks[j].kind == TokKind::Ident && t != "final") name = t;
+        }
+        if (j >= tn || name.empty()) continue;
+        for (int k = j + 1; k < tn && !is(toks[k], "{") && !is(toks[k], ";");
+             ++k) {
+          if (toks[k].kind == TokKind::Ident &&
+              (toks[k].text == "ShardRunner" ||
+               into.runner_classes.count(toks[k].text))) {
+            into.runner_classes.insert(name);
+            break;
+          }
+        }
+      }
+    }
+    for (int i = 0; i < tn; ++i) {
+      if (!is_ident(toks[i])) continue;
+      bool is_atomic = toks[i].text == "atomic";
+      bool is_condvar = toks[i].text == "condition_variable" ||
+                        toks[i].text == "condition_variable_any";
+      bool is_runner = toks[i].text == "ShardRunner" ||
+                       into.runner_classes.count(toks[i].text) > 0;
+      bool is_smart =
+          toks[i].text == "unique_ptr" || toks[i].text == "shared_ptr";
+      if (!is_atomic && !is_condvar && !is_runner && !is_smart) continue;
+      int j = i + 1;
+      if (j < tn && is(toks[j], "<")) {
+        int after = skip_angles(toks, j);
+        if (after == j) continue;
+        if (is_smart) {
+          // unique_ptr<ClientShard> peer_: the pointee decides runner-ness.
+          std::string pointee = join_tokens(toks, j + 1, after - 1);
+          for (const std::string& rc : into.runner_classes) {
+            if (pointee.find(rc) != std::string::npos) {
+              is_runner = true;
+              break;
+            }
+          }
+          if (pointee.find("ShardRunner") != std::string::npos) {
+            is_runner = true;
+          }
+        }
+        j = after;
+      } else if (is_atomic || is_smart) {
+        continue;  // without template args these are not the std types
+      }
+      while (j < tn && (is(toks[j], "&") || is(toks[j], "*") ||
+                        is(toks[j], "&&") || toks[j].text == "const")) {
+        ++j;
+      }
+      if (j < tn && is_ident(toks[j]) && j + 1 < tn &&
+          (is(toks[j + 1], ";") || is(toks[j + 1], "=") ||
+           is(toks[j + 1], "{") || is(toks[j + 1], ",") ||
+           is(toks[j + 1], ")") || is(toks[j + 1], ":"))) {
+        if (is_atomic) into.atomic_vars.insert(toks[j].text);
+        if (is_condvar) into.condvar_vars.insert(toks[j].text);
+        if (is_runner) into.runner_vars.insert(toks[j].text);
+      }
+    }
+    // Vars whose *template* type mentions a runner class
+    // (unique_ptr<ClientShard> peer_;) — reuse the container element map.
+    for (const auto& [var, elem] : into.container_elem) {
+      for (const std::string& rc : into.runner_classes) {
+        if (elem.find(rc) != std::string::npos) {
+          into.runner_vars.insert(var);
+          break;
+        }
+      }
+    }
+  };
+  if (extra_decls) scan_conc(extra_decls->tokens, m);
+  scan_conc(m.toks, m);
+
   // --- parameter-list parsing (shared by lambdas and functions) -----------
   auto parse_params = [&](int open, int close, std::vector<Param>& out) {
     int start = open + 1;
@@ -350,14 +445,22 @@ Model build_model(const LexResult& lexed, const LexResult* extra_decls) {
     f.name = m.toks[i].text;
     f.body_begin = j;
     f.body_end = m.match[j];
-    // Return type: walk back to the previous statement boundary.
+    // Return type: walk back to the previous statement boundary. Commas
+    // and colons inside template arguments ("unordered_map<int, int>")
+    // are part of the type, not boundaries — track angle depth (we walk
+    // right-to-left, so '>' opens and '<' closes).
     int rb = i - 1;
+    int angles = 0;
     while (rb >= 0) {
       const std::string& t = m.toks[rb].text;
-      if (t == ";" || t == "{" || t == "}" || t == ":" || t == "(" ||
-          t == "," || t == "#") {
+      if (t == ">") ++angles;
+      if (t == ">>") angles += 2;
+      if (angles == 0 &&
+          (t == ";" || t == "{" || t == "}" || t == ":" || t == "(" ||
+           t == "," || t == "#")) {
         break;
       }
+      if (t == "<" && angles > 0) --angles;
       --rb;
     }
     f.return_text = join_tokens(m.toks, rb + 1, i);

@@ -59,9 +59,11 @@ struct Local {
   int scope_end = 0;     // its matching '}'
 };
 
-/// An inline suppression comment:
-///   // gridmon-lint: suppress(<check-prefix>) -- <justification>
-///   // gridmon-lint: iteration-order-independent -- <justification>
+/// An inline suppression comment. The marker is the literal tool name, a
+/// colon, then either "suppress(<check-prefix>)" or the alias
+/// "iteration-order-independent", then " -- <justification>". (The syntax
+/// is spelled out obliquely here because the linter lints its own sources:
+/// writing the exact marker in this comment would register a suppression.)
 struct Suppression {
   std::string check_prefix;  // "" means the iteration alias (iteration.*)
   std::string justification;
@@ -77,6 +79,11 @@ struct Model {
   std::set<std::string> unordered_vars;   // names declared as unordered containers
   std::set<std::string> unordered_types;  // using-aliases of unordered containers
   std::map<std::string, std::string> container_elem;  // var -> element type text
+
+  std::set<std::string> atomic_vars;   // names declared std::atomic<...>
+  std::set<std::string> condvar_vars;  // names declared condition_variable[_any]
+  std::set<std::string> runner_classes;  // classes derived from sim::ShardRunner
+  std::set<std::string> runner_vars;     // vars whose type mentions a runner class
 
   std::vector<Lambda> lambdas;
   std::vector<Func> funcs;
