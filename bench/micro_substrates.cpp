@@ -178,8 +178,6 @@ sim::Task<void> ping(sim::Simulation& sim, int hops) {
 void BM_SimCoroutineSwitch(benchmark::State& state) {
   for (auto _ : state) {
     sim::Simulation sim;
-    // gridmon-lint: suppress(coroutine.ref-param-detached) -- sim.run()
-    // on the next line drains every frame before `sim` leaves scope
     for (int i = 0; i < 100; ++i) sim.spawn(ping(sim, 100));
     sim.run();
   }

@@ -49,8 +49,6 @@ int main() {
   giis.add_registrant(remote);
 
   std::cout << "two GRIS registered (one local, one across the WAN)\n";
-  // gridmon-lint: suppress(coroutine.ref-param-detached) -- the sim.run()
-  // calls below drain every probe frame before `testbed` leaves main
   sim.spawn(probe(testbed, giis, "healthy   "));
   sim.run(60);
 
@@ -58,18 +56,12 @@ int main() {
   testbed.network().set_wan_down("anl", "uc", true);
   // Probe after the remote registration TTL (90 s) has lapsed; probing
   // earlier would stall the GIIS refresh on a fetch across the dead WAN.
-  // gridmon-lint: suppress(coroutine.ref-param-detached) -- the sim.run()
-  // calls below drain every probe frame before `testbed` leaves main
   sim.schedule(200, [&] { sim.spawn(probe(testbed, giis, "aged out  ")); });
-  // gridmon-lint: suppress(coroutine.ref-param-detached) -- the sim.run()
-  // calls below drain every probe frame before `testbed` leaves main
   sim.schedule(320, [&] { sim.spawn(probe(testbed, giis, "still down")); });
   sim.run(400);
 
   std::cout << "\n*** WAN heals at t=400 ***\n";
   testbed.network().set_wan_down("anl", "uc", false);
-  // gridmon-lint: suppress(coroutine.ref-param-detached) -- the sim.run()
-  // call below drains the probe frame before `testbed` leaves main
   sim.schedule(80, [&] { sim.spawn(probe(testbed, giis, "recovered ")); });
   sim.run(sim.now() + 200);
 

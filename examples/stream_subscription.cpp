@@ -69,12 +69,8 @@ int main() {
   // Let registration land, subscribe, then start the data stream.
   testbed.sim().run(5.0);
   int alerts = 0;
-  // gridmon-lint: suppress(coroutine.ref-param-detached) -- the run()
-  // calls below drain both frames before `testbed` leaves main
   testbed.sim().spawn(subscriber(testbed, cs, &alerts));
   testbed.sim().run(10.0);
-  // gridmon-lint: suppress(coroutine.ref-param-detached) -- the run()
-  // call below drains the frame before `testbed` leaves main
   testbed.sim().spawn(publisher(testbed, ps, producer));
   testbed.sim().run(700.0);
 

@@ -4,17 +4,27 @@
 # database. This is exactly what the CI `lint` job executes; run it locally
 # before pushing.
 #
-#   scripts/lint.sh               lint src/gridmon, bench, tools, examples
-#                                 with the empty baseline and the checked-in
-#                                 suppression-debt budget; emit SARIF to
-#                                 ${BUILD_DIR}/gridmon_lint.sarif
+#   scripts/lint.sh               lint src/gridmon, bench, tools, examples,
+#                                 tests (minus the intentional-violation
+#                                 fixture tree) with the empty baseline and
+#                                 the checked-in suppression-debt budget;
+#                                 emit SARIF to ${BUILD_DIR}/gridmon_lint.sarif
 #   scripts/lint.sh --verify-gate additionally prove the gate FAILS on one
 #                                 seeded violation per check family that the
 #                                 project analyzer owns (direct determinism,
-#                                 cross-TU transitive, shard, concurrency)
+#                                 cross-TU transitive, shard, concurrency,
+#                                 and the flow-sensitive coroutine-lifetime /
+#                                 use-after-move / tainted-sim-state rules)
 #                                 and on an unbudgeted suppression (CI runs
 #                                 this so a silently-broken analyzer cannot
 #                                 pass)
+#   scripts/lint.sh --fix-verify  copy the linted trees to a scratch
+#                                 checkout, apply every mechanical repair
+#                                 (--fix-apply), then rebuild and run the
+#                                 exp1-exp4 golden-determinism test there to
+#                                 prove the repairs are byte-neutral. When no
+#                                 repair applies the tree is untouched and
+#                                 the rebuild is skipped.
 #
 # The project sweep is also held to a wall-clock ceiling: the cross-TU index
 # is content-hash cached (${BUILD_DIR}/gridmon_lint_index.cache), so even a
@@ -29,8 +39,11 @@ cd "$(dirname "$0")/.."
 BUILD_DIR="${BUILD_DIR:-build}"
 LINT_RUNTIME_BUDGET_S="${LINT_RUNTIME_BUDGET_S:-20}"
 VERIFY_GATE=0
+FIX_VERIFY=0
 if [[ "${1:-}" == "--verify-gate" ]]; then
   VERIFY_GATE=1
+elif [[ "${1:-}" == "--fix-verify" ]]; then
+  FIX_VERIFY=1
 fi
 
 if [[ ! -f "${BUILD_DIR}/CMakeCache.txt" ]]; then
@@ -45,12 +58,16 @@ BASELINE="tools/gridmon_lint/baseline.txt"
 BUDGET="tools/gridmon_lint/suppression_budget.txt"
 SARIF_OUT="${BUILD_DIR}/gridmon_lint.sarif"
 INDEX_CACHE="${BUILD_DIR}/gridmon_lint_index.cache"
-LINT_SCOPE=(src/gridmon bench tools examples)
+LINT_SCOPE=(src/gridmon bench tools examples tests)
+# tests/lint/fixtures holds deliberate violations (the lint suite's own
+# positive cases); everything else under tests/ is gated like src.
+LINT_EXCLUDE=(--exclude tests/lint/fixtures)
 
 echo "== gridmon_lint (project mode, zero baseline, budgeted debt) =="
 START_S=${SECONDS}
 "${LINT_BIN}" --project \
   "${LINT_SCOPE[@]}" \
+  "${LINT_EXCLUDE[@]}" \
   --baseline "${BASELINE}" \
   --suppression-budget "${BUDGET}" \
   --index-cache "${INDEX_CACHE}" \
@@ -83,9 +100,10 @@ if [[ "${VERIFY_GATE}" == "1" ]]; then
 
   # One seed per family the project analyzer owns. Each case is a separate
   # scratch tree so a finding from one cannot mask a broken check in
-  # another; the transitive case needs two TUs by construction.
+  # another; the transitive cases need two TUs by construction.
   mkdir -p "${SEED_DIR}/direct" "${SEED_DIR}/xtu" "${SEED_DIR}/shard" \
-    "${SEED_DIR}/conc"
+    "${SEED_DIR}/conc" "${SEED_DIR}/stale" "${SEED_DIR}/move" \
+    "${SEED_DIR}/taint" "${SEED_DIR}/taintxtu" "${SEED_DIR}/drained"
 
   cat > "${SEED_DIR}/direct/seeded.cpp" <<'EOF'
 #include <chrono>
@@ -125,6 +143,69 @@ Task<void> drain(std::mutex& mu) {
 }
 EOF
 
+  cat > "${SEED_DIR}/stale/seeded.cpp" <<'EOF'
+#include <map>
+struct Backend { Task<int> query(int); };
+struct Servlet {
+  std::map<int, int> sessions_;
+  Backend be_;
+  // Iterator into a shared container used after a suspension point.
+  Task<void> handle(int id) {
+    auto it = sessions_.find(id);
+    co_await be_.query(it->second);
+    it->second += 1;
+  }
+};
+EOF
+
+  cat > "${SEED_DIR}/move/seeded.cpp" <<'EOF'
+#include <string>
+void sink(std::string s);
+// Read of a moved-from object on the path after the move.
+void seeded() {
+  std::string row = "x";
+  sink(std::move(row));
+  int n = static_cast<int>(row.size());
+  (void)n;
+}
+EOF
+
+  cat > "${SEED_DIR}/taint/seeded.cpp" <<'EOF'
+#include <cstdlib>
+struct Sim { void spawn(int); };
+// An environment value flowing into sim state (spawn argument).
+void seeded(Sim& sim) {
+  const char* e = std::getenv("USERS");
+  int users = std::atoi(e);
+  sim.spawn(users);
+}
+EOF
+
+  cat > "${SEED_DIR}/taintxtu/source.cpp" <<'EOF'
+#include <cstdlib>
+// Returns a tainted (environment-derived) value.
+int env_users() { return std::atoi(std::getenv("USERS")); }
+EOF
+  cat > "${SEED_DIR}/taintxtu/sinker.cpp" <<'EOF'
+struct Sim { void spawn(int); };
+// Clean in isolation: only the cross-TU taint summary can reject this.
+void seeded(Sim& sim) { sim.spawn(env_users()); }
+EOF
+
+  # Negative control for the flow-sensitive refinement: a detach-spawn
+  # whose every path drains the simulation before the referent can die
+  # must NOT be flagged (this is exactly the pattern the retired
+  # hand-written suppressions covered).
+  cat > "${SEED_DIR}/drained/clean.cpp" <<'EOF'
+struct Sim { void spawn(Task<void>); void run(); };
+Task<void> probe(Sim& sim, int& hits) { ++hits; co_return; }
+void harness(Sim& sim) {
+  int hits = 0;
+  sim.spawn(probe(sim, hits));
+  sim.run();
+}
+EOF
+
   check_rejected() {
     local label="$1"; shift
     if "${LINT_BIN}" "$@" > /dev/null 2>&1; then
@@ -142,6 +223,24 @@ EOF
     "${SEED_DIR}/shard" --baseline "${BASELINE}"
   check_rejected "concurrency.lock-across-await" \
     "${SEED_DIR}/conc" --baseline "${BASELINE}"
+  check_rejected "coroutine.stale-ref-across-suspend" \
+    "${SEED_DIR}/stale" --baseline "${BASELINE}"
+  check_rejected "coroutine.use-after-move" \
+    "${SEED_DIR}/move" --baseline "${BASELINE}"
+  check_rejected "determinism.tainted-sim-state" \
+    "${SEED_DIR}/taint" --baseline "${BASELINE}"
+  check_rejected "determinism.tainted-sim-state (cross-TU)" \
+    --project "${SEED_DIR}/taintxtu" --baseline "${BASELINE}"
+
+  # The drained detach-spawn must stay clean: the flow-sensitive engine
+  # replaced the hand-written "sim.run() drains" suppressions, so a
+  # regression here would silently re-grow the suppression budget.
+  if ! "${LINT_BIN}" "${SEED_DIR}/drained" --baseline "${BASELINE}" \
+      > /dev/null 2>&1; then
+    echo "GATE BROKEN: drained detach-spawn flagged despite sim.run()" >&2
+    exit 1
+  fi
+  echo "gate ok: drained detach-spawn stays clean"
 
   # The caller alone (no sink TU in scope) must stay clean, or the
   # transitive case above proved nothing about cross-TU resolution.
@@ -165,6 +264,40 @@ EOF
   check_rejected "unbudgeted suppression" \
     "${SEED_DIR}/direct/suppressed.cpp" --baseline "${BASELINE}" \
     --suppression-budget "${BUDGET}"
+fi
+
+if [[ "${FIX_VERIFY}" == "1" ]]; then
+  echo "== fix-verify: mechanical repairs must keep the goldens byte-identical =="
+  SCRATCH="$(mktemp -d)"
+  trap 'rm -rf "${SCRATCH}"' EXIT
+  # A source-only copy is enough: the scratch configure re-generates its
+  # own build tree, and the golden test carries its expected bytes inline.
+  for d in src bench tools examples tests scripts docs third_party cmake; do
+    [[ -d "$d" ]] && cp -a "$d" "${SCRATCH}/"
+  done
+  cp -a CMakeLists.txt "${SCRATCH}/" 2>/dev/null || true
+
+  APPLY_LOG="${SCRATCH}/fix_apply.log"
+  LINT_ABS="$(pwd)/${LINT_BIN}"
+  (cd "${SCRATCH}" && "${LINT_ABS}" --project \
+      src/gridmon bench tools examples tests \
+      --exclude tests/lint/fixtures \
+      --fix-apply || true) | tee "${APPLY_LOG}"
+  APPLIED="$(grep -c '^fixed ' "${APPLY_LOG}" || true)"
+  if [[ "${APPLIED}" == "0" ]]; then
+    echo "fix-verify: no applicable repairs; tree unchanged, goldens trivially identical"
+  else
+    echo "fix-verify: ${APPLIED} repair(s) applied; rebuilding scratch tree"
+    cmake -B "${SCRATCH}/build" -S "${SCRATCH}" > /dev/null
+    cmake --build "${SCRATCH}/build" --target integration_test \
+      -j"$(nproc)" > /dev/null
+    if ! ctest --test-dir "${SCRATCH}/build" -R Golden --no-tests=error \
+        --output-on-failure; then
+      echo "FIX-VERIFY BROKEN: a mechanical repair changed the exp1-exp4 golden bytes" >&2
+      exit 1
+    fi
+    echo "fix-verify: goldens byte-identical after ${APPLIED} repair(s)"
+  fi
 fi
 
 echo "lint: all gates passed"

@@ -37,9 +37,12 @@ sim::Task<classad::ClassAd> Agent::collect(trace::Ctx ctx) {
   ++collections_;
   std::vector<classad::ClassAd> parts;
   parts.reserve(modules_.size());
-  for (const auto& mod : modules_) {
-    co_await host_.cpu().consume(mod.collect_cpu_ref);
-    parts.push_back(run_module(mod, sequence_, current_load()));
+  // Indexed loop, not range-for: the collect CPU charge suspends every
+  // iteration, and modules_ must be re-entered through the index after
+  // each suspension rather than through a live iterator.
+  for (std::size_t i = 0; i < modules_.size(); ++i) {
+    co_await host_.cpu().consume(modules_[i].collect_cpu_ref);
+    parts.push_back(run_module(modules_[i], sequence_, current_load()));
   }
   co_await host_.cpu().consume(config_.integrate_cpu);
   co_return build_startd_ad(machine_, parts);
@@ -166,13 +169,15 @@ sim::Task<HawkeyeReply> Agent::query_module(net::Interface& client,
       reply.admitted = true;
     } else {
       trace::Span span(ctx, trace::SpanKind::Collect, module_name, 1);
-      for (const auto& mod : modules_) {
-        if (mod.name != module_name) continue;
-        co_await host_.cpu().consume(mod.collect_cpu_ref);
+      // Indexed loop: the CPU charge suspends mid-iteration, so the
+      // matched module is re-entered through its index afterwards.
+      for (std::size_t i = 0; i < modules_.size(); ++i) {
+        if (modules_[i].name != module_name) continue;
+        co_await host_.cpu().consume(modules_[i].collect_cpu_ref);
         ++sequence_;
         ++collections_;
         classad::ClassAd fragment =
-            run_module(mod, sequence_, current_load());
+            run_module(modules_[i], sequence_, current_load());
         reply.machines = 1;
         reply.response_bytes = std::max(fragment.wire_bytes(), 512.0);
         break;

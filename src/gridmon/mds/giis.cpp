@@ -160,7 +160,11 @@ sim::Task<void> Giis::merge_payload(MdsNode& node, MdsReply reply,
   }
   co_await host_.cpu().consume(config_.merge_cpu_per_entry *
                                static_cast<double>(merged + 1));
-  it->second.fetched = true;
+  // Re-derived after the suspension: a registration or sweep may have
+  // touched registrants_ while the merge CPU was being charged, and the
+  // iterator from before the co_await must not be trusted.
+  auto done = registrants_.find(node.node_name());
+  if (done != registrants_.end()) done->second.fetched = true;
 }
 
 bool Giis::fetch_allowed(const std::string& node) {

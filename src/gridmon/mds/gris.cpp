@@ -62,18 +62,21 @@ sim::Task<Gris::RefreshOutcome> Gris::refresh(QueryScope scope,
   std::size_t limit =
       (scope == QueryScope::Part && !providers_.empty()) ? 1
                                                          : providers_.size();
+  // Indexed accesses throughout: a reference into providers_ must not
+  // live across a suspension (or the loop back-edge that follows one) —
+  // another frame can grow the vector and reallocate it while we wait.
   for (std::size_t i = 0; i < limit; ++i) {
-    ProviderState& p = providers_[i];
-    bool fresh = config_.cache_enabled && sim.now() < p.fresh_until;
+    bool fresh =
+        config_.cache_enabled && sim.now() < providers_[i].fresh_until;
     if (fresh) {
       // Negative-cached entries from a failed refresh are still expired
       // data even though the TTL bookkeeping calls them fresh.
-      if (p.stale) out.stale = true;
+      if (providers_[i].stale) out.stale = true;
       continue;
     }
     out.hit = false;
     if (resilience_.server.serve_stale && port_.overloaded() &&
-        config_.cache_enabled && p.sequence > 0) {
+        config_.cache_enabled && providers_[i].sequence > 0) {
       // Degraded mode under shed pressure: answer from the expired cache
       // instead of forking the provider — the query costs what a cache
       // hit costs, and the staleness is visible to the client.
@@ -85,27 +88,30 @@ sim::Task<Gris::RefreshOutcome> Gris::refresh(QueryScope scope,
       // worker waits out the exec timeout, holding its pool lease, then
       // either serves the expired cache or gives up.
       co_await sim.delay(config_.provider_timeout);
-      if (config_.cache_enabled && p.sequence > 0) {
+      if (config_.cache_enabled && providers_[i].sequence > 0) {
         out.stale = true;
         // slapd keeps serving the old entry and re-tries the script only
         // after another TTL: the outage surfaces as stale data, not as a
         // server that hangs on every query.
-        p.stale = true;
-        p.fresh_until = sim.now() + p.spec.cache_ttl;
+        providers_[i].stale = true;
+        providers_[i].fresh_until =
+            sim.now() + providers_[i].spec.cache_ttl;
       } else {
         out.failed = true;
       }
       continue;
     }
     // Fork and run the provider script on this host's CPU.
-    co_await host_.fork_exec(p.spec.exec_cpu_ref, ctx, p.spec.name);
+    co_await host_.fork_exec(providers_[i].spec.exec_cpu_ref, ctx,
+                             providers_[i].spec.name);
     ++provider_runs_;
-    ++p.sequence;
-    for (auto& entry : run_provider(p.spec, host_dn_, p.sequence)) {
+    ++providers_[i].sequence;
+    for (auto& entry : run_provider(providers_[i].spec, host_dn_,
+                                    providers_[i].sequence)) {
       dit_.add(std::move(entry));
     }
-    p.fresh_until = sim.now() + p.spec.cache_ttl;
-    p.stale = false;
+    providers_[i].fresh_until = sim.now() + providers_[i].spec.cache_ttl;
+    providers_[i].stale = false;
   }
   co_return out;
 }

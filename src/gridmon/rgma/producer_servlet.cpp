@@ -189,9 +189,12 @@ sim::Task<void> ProducerServlet::registration_loop(Registry& registry) {
     // A crashed servlet stops renewing leases; the Registry ages its
     // producers out and re-learns them after restart.
     if (port_.up()) {
-      for (auto& producer : producers_) {
-        ProducerInfo info{producer->name(), producer->table(), name_,
-                          producer->predicate()};
+      // Indexed loop: register_producer suspends every iteration, and
+      // producers_ must be re-entered through the index afterwards
+      // rather than through a live iterator.
+      for (std::size_t i = 0; i < producers_.size(); ++i) {
+        ProducerInfo info{producers_[i]->name(), producers_[i]->table(),
+                          name_, producers_[i]->predicate()};
         co_await registry.register_producer(nic_, info);
       }
     }
@@ -211,14 +214,15 @@ sim::Task<void> ProducerServlet::publisher_loop(double interval) {
   for (;;) {
     if (!publishers_down_ && port_.up()) {
       ++publish_sequence_;
-      for (auto& producer : producers_) {
+      // Indexed loop: publish suspends every iteration (see above).
+      for (std::size_t i = 0; i < producers_.size(); ++i) {
         rdbms::Row row;
         row.push_back(rdbms::Value::text(name_));
         row.push_back(rdbms::Value::text("seq"));
         row.push_back(
             rdbms::Value::real(static_cast<double>(publish_sequence_)));
         row.push_back(rdbms::Value::real(sim.now()));
-        co_await publish(*producer, std::move(row));
+        co_await publish(*producers_[i], std::move(row));
       }
     }
     co_await sim.delay(interval);

@@ -20,8 +20,10 @@ MeasureConfig short_measure() {
 
 SweepPoint run_gris(int users, bool cache) {
   Testbed tb;
-  ScenarioSpec spec;
-  spec.service = cache ? ServiceKind::Gris : ServiceKind::GrisNocache;
+  ScenarioSpec spec =
+      SpecBuilder()
+          .service(cache ? ServiceKind::Gris : ServiceKind::GrisNocache)
+          .build();
   auto scenario = make_scenario(tb, spec);
   UserWorkload w(tb, scenario->query_fn());
   w.spawn_users(users, tb.uc_names());
@@ -53,9 +55,8 @@ TEST(Exp1Integration, GrisCacheThroughputScalesNearLinearly) {
 TEST(Exp1Integration, AgentThroughputHitsSingleThreadCeiling) {
   auto run_agent = [](int users) {
     Testbed tb;
-    ScenarioSpec spec;
-    spec.service = ServiceKind::Agent;
-    spec.collectors = 11;
+    ScenarioSpec spec =
+        SpecBuilder().service(ServiceKind::Agent).collectors(11).build();
     auto scenario = make_scenario(tb, spec);
     UserWorkload w(tb, scenario->query_fn());
     w.spawn_users(users, tb.uc_names());
@@ -75,8 +76,7 @@ TEST(Exp2Integration, DirectoryServersRankAsInThePaper) {
   SweepPoint giis, manager, registry;
   {
     Testbed tb;
-    ScenarioSpec spec;
-    spec.service = ServiceKind::Giis;
+    ScenarioSpec spec = SpecBuilder().service(ServiceKind::Giis).build();
     auto scenario = make_scenario(tb, spec);
     scenario->prefill();
     UserWorkload w(tb, scenario->query_fn());
@@ -86,9 +86,8 @@ TEST(Exp2Integration, DirectoryServersRankAsInThePaper) {
   }
   {
     Testbed tb;
-    ScenarioSpec spec;
-    spec.service = ServiceKind::Manager;
-    spec.collectors = 11;
+    ScenarioSpec spec =
+        SpecBuilder().service(ServiceKind::Manager).collectors(11).build();
     auto scenario = make_scenario(tb, spec);
     scenario->prefill();
     UserWorkload w(tb, scenario->query_fn());
@@ -98,8 +97,7 @@ TEST(Exp2Integration, DirectoryServersRankAsInThePaper) {
   }
   {
     Testbed tb;
-    ScenarioSpec spec;
-    spec.service = ServiceKind::Registry;
+    ScenarioSpec spec = SpecBuilder().service(ServiceKind::Registry).build();
     auto scenario = make_scenario(tb, spec);
     scenario->prefill();
     UserWorkload w(tb, scenario->query_fn());
@@ -123,9 +121,11 @@ TEST(Exp2Integration, DirectoryServersRankAsInThePaper) {
 TEST(Exp3Integration, CollectorsDegradeEveryServerButCacheHelps) {
   auto run_p = [](int providers, bool cache) {
     Testbed tb;
-    ScenarioSpec spec;
-    spec.service = cache ? ServiceKind::Gris : ServiceKind::GrisNocache;
-    spec.collectors = providers;
+    ScenarioSpec spec =
+        SpecBuilder()
+            .service(cache ? ServiceKind::Gris : ServiceKind::GrisNocache)
+            .collectors(providers)
+            .build();
     auto scenario = make_scenario(tb, spec);
     UserWorkload w(tb, scenario->query_fn());
     w.spawn_users(10, tb.uc_names());
@@ -145,10 +145,11 @@ TEST(Exp3Integration, CollectorsDegradeEveryServerButCacheHelps) {
 TEST(Exp4Integration, AggregationDegradesAndPartBeatsAll) {
   auto run_giis = [](int gris, QueryVariant variant) {
     Testbed tb;
-    ScenarioSpec spec;
-    spec.service = ServiceKind::GiisAggregate;
-    spec.gris_count = gris;
-    spec.query = variant;
+    ScenarioSpec spec = SpecBuilder()
+                            .service(ServiceKind::GiisAggregate)
+                            .gris_count(gris)
+                            .query(variant)
+                            .build();
     auto scenario = make_scenario(tb, spec);
     scenario->prefill();
     UserWorkload w(tb, scenario->query_fn());
@@ -169,10 +170,11 @@ TEST(Exp4Integration, AggregationDegradesAndPartBeatsAll) {
 TEST(Exp4Integration, ManagerConstraintScanDegradesWithMachines) {
   auto run_mgr = [](int machines) {
     Testbed tb;
-    ScenarioSpec spec;
-    spec.service = ServiceKind::ManagerAggregate;
-    spec.machines = machines;
-    spec.collectors = 11;
+    ScenarioSpec spec = SpecBuilder()
+                            .service(ServiceKind::ManagerAggregate)
+                            .machines(machines)
+                            .collectors(11)
+                            .build();
     auto scenario = make_scenario(tb, spec);
     scenario->prefill();
     UserWorkload w(tb, scenario->query_fn());

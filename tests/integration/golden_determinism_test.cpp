@@ -53,26 +53,26 @@ std::string mini_experiments_csv() {
   };
 
   {  // exp1: information server under concurrent users.
-    ScenarioSpec spec;
-    spec.service = ServiceKind::Gris;
+    ScenarioSpec spec = SpecBuilder().service(ServiceKind::Gris).build();
     add("exp1_gris_cache", run_mini(spec, 100));
   }
   {  // exp2: directory server under concurrent users.
-    ScenarioSpec spec;
-    spec.service = ServiceKind::Giis;
+    ScenarioSpec spec = SpecBuilder().service(ServiceKind::Giis).build();
     add("exp2_giis", run_mini(spec, 100));
   }
   {  // exp3: information server vs collector count.
-    ScenarioSpec spec;
-    spec.service = ServiceKind::GrisNocache;
-    spec.collectors = 50;
+    ScenarioSpec spec = SpecBuilder()
+                            .service(ServiceKind::GrisNocache)
+                            .collectors(50)
+                            .build();
     add("exp3_gris_nocache_50c", run_mini(spec, 10));
   }
   {  // exp4: directory aggregation scale.
-    ScenarioSpec spec;
-    spec.service = ServiceKind::ManagerAggregate;
-    spec.machines = 50;
-    spec.collectors = 11;
+    ScenarioSpec spec = SpecBuilder()
+                            .service(ServiceKind::ManagerAggregate)
+                            .machines(50)
+                            .collectors(11)
+                            .build();
     add("exp4_manager_50m", run_mini(spec, 10));
   }
   return csv.str();

@@ -50,4 +50,25 @@ struct Pool {
   void stop() {
     for (auto& w : workers_) w.join();
   }
+
+  // Flow-refined negative: a named unique_lock explicitly released
+  // before the suspension point is not held across it, even though the
+  // lock's scope textually spans the co_await.
+  Task<void> drain_unlocked() {
+    std::unique_lock<std::mutex> lk(mu_);
+    total_ = 0;
+    lk.unlock();
+    co_await gate;
+  }
+
+  // Relock dance: the mutex is held before and after the await, but the
+  // dataflow shows it is never held across the suspension itself.
+  Task<void> relock() {
+    std::unique_lock<std::mutex> lk(mu_);
+    total_ = 1;
+    lk.unlock();
+    co_await gate;
+    lk.lock();
+    total_ = 2;
+  }
 };

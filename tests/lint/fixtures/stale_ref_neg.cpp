@@ -1,0 +1,48 @@
+// Negative fixture for coroutine.stale-ref-across-suspend: the
+// sanctioned shapes. Borrows that die before the suspension, borrows
+// re-derived after it, value copies, and direct indexed accesses all
+// analyze clean — the dataflow kills the borrow at the right point.
+
+#include <map>
+#include <vector>
+
+struct Backend {
+  Task<int> query(int);
+};
+
+struct Servlet {
+  std::map<int, int> sessions_;
+  std::vector<int> rows_;
+  Backend be_;
+
+  // The borrow's last use is the awaited expression itself, which is
+  // evaluated before the frame suspends.
+  Task<void> read_then_await(int id) {
+    auto it = sessions_.find(id);
+    co_await be_.query(it->second);
+  }
+
+  // Re-derivation after the suspension: the post-await iterator is a
+  // fresh borrow, not the stale one.
+  Task<void> rederive(int id) {
+    auto it = sessions_.find(id);
+    co_await be_.query(it->second);
+    auto again = sessions_.find(id);
+    again->second += 1;
+  }
+
+  // A value copy survives reallocation; only borrows go stale.
+  Task<void> by_value(int id) {
+    int snapshot = sessions_[id];
+    co_await be_.query(snapshot);
+    snapshot += 1;
+    (void)snapshot;
+  }
+
+  // Direct indexed access after the suspension: no named borrow exists
+  // to carry across it.
+  Task<void> indexed(int id) {
+    co_await be_.query(0);
+    sessions_[id] += 1;
+  }
+};

@@ -1,0 +1,42 @@
+// Positive fixture for coroutine.stale-ref-across-suspend: borrows into
+// shared containers (iterators, references, pointers) that stay live
+// across a co_await. While the frame is suspended any other frame may
+// mutate the container, invalidating the borrow.
+
+#include <map>
+#include <vector>
+
+struct Backend {
+  Task<int> query(int);
+};
+
+struct Servlet {
+  std::map<int, int> sessions_;
+  std::vector<int> rows_;
+  Backend be_;
+
+  // The awaited expression itself evaluates before suspension (clean),
+  // but the post-await increment re-uses the pre-await iterator.
+  Task<void> handle(int id) {
+    auto it = sessions_.find(id);
+    co_await be_.query(it->second);
+    it->second += 1;
+  }
+
+  // A reference borrow is just as stale as an iterator.
+  Task<void> by_ref(int id) {
+    int& slot = sessions_[id];
+    co_await be_.query(0);
+    slot = 7;
+  }
+
+  // Loop shape: the iterator is advanced after a suspension, so the
+  // back-edge carries the stale borrow into iteration two.
+  Task<void> sweep() {
+    auto it = sessions_.begin();
+    while (it != sessions_.end()) {
+      co_await be_.query(1);
+      ++it;
+    }
+  }
+};

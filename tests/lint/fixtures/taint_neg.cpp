@@ -1,0 +1,33 @@
+// Negative fixture for determinism.tainted-sim-state: environment reads
+// that never reach simulation state. The flow-sensitive rule clears
+// these, where the old coarse getenv sink flagged the spelling no matter
+// where the value went — the exact false positives that forced the
+// bench_common suppression.
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+struct Sim {
+  void spawn(int);
+};
+
+// Harness-only flow: the value configures output, not the simulation.
+void output_path() {
+  const char* dir = std::getenv("OUT_DIR");
+  if (dir != nullptr) std::printf("%s\n", dir);
+}
+
+// The tainted value is overwritten with a constant before the sink.
+void sanitized(Sim& sim) {
+  int users = std::atoi(std::getenv("USERS"));
+  users = 100;
+  sim.spawn(users);
+}
+
+// Env read gates verbosity; the spawned count is a literal.
+void gated(Sim& sim) {
+  bool verbose = std::getenv("VERBOSE") != nullptr;
+  if (verbose) std::printf("spawning\n");
+  sim.spawn(5);
+}

@@ -1,0 +1,26 @@
+// Positive fixture for determinism.tainted-sim-state: environment reads
+// whose values actually flow into simulation state. The taint lattice
+// follows the value through assignments and arithmetic — these are the
+// flows the old coarse getenv sink flagged by spelling alone.
+
+#include <cstdlib>
+#include <string>
+
+struct Sim {
+  void spawn(int);
+  void set_seed(unsigned);
+};
+
+// Direct propagation: getenv -> atoi -> spawn argument.
+void direct(Sim& sim) {
+  const char* e = std::getenv("USERS");
+  int users = std::atoi(e);
+  sim.spawn(users);  // line 18
+}
+
+// Through arithmetic: the derived value is still tainted.
+void derived(Sim& sim) {
+  int base = std::atoi(std::getenv("SCALE"));
+  int doubled = base * 2;
+  sim.spawn(doubled);  // line 25
+}

@@ -1,0 +1,41 @@
+// Negative fixture for coroutine.use-after-move: every sanctioned shape
+// that re-establishes a value after the move. Reassignment kills the
+// moved-from state; so does .clear()/.assign() style re-init, and the
+// accumulator idiom (move out, immediately rebuild) common in batching.
+
+#include <string>
+#include <utility>
+#include <vector>
+
+void sink(std::string s);
+void sink_vec(std::vector<int> v);
+bool flip();
+
+// Reassignment re-defines the variable: later reads are fine.
+void reassigned() {
+  std::string row = "x";
+  sink(std::move(row));
+  row = "fresh";
+  sink(row);
+}
+
+// Disjoint branches: the move and the read never share a path.
+void exclusive() {
+  std::string row = "y";
+  if (flip()) {
+    sink(std::move(row));
+  } else {
+    sink(row);
+  }
+}
+
+// Accumulator idiom: the batch is moved out and immediately rebuilt, so
+// the back-edge carries a re-defined value, not a moved-from one.
+void batched() {
+  std::vector<int> batch;
+  while (flip()) {
+    batch.push_back(1);
+    sink_vec(std::move(batch));
+    batch = {};
+  }
+}

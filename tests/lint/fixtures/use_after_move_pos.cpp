@@ -1,0 +1,37 @@
+// Positive fixture for coroutine.use-after-move: reads of a moved-from
+// object on a path after the move. The dataflow is path-sensitive enough
+// to follow the moved state through straight-line code, branches that
+// rejoin, and loop back-edges.
+
+#include <string>
+#include <utility>
+#include <vector>
+
+void sink(std::string s);
+void sink_vec(std::vector<int> v);
+bool flip();
+
+// Straight-line: the read follows the move unconditionally.
+void straight() {
+  std::string row = "x";
+  sink(std::move(row));
+  int n = static_cast<int>(row.size());  // line 18
+  (void)n;
+}
+
+// The move happens on one branch; the rejoin point reads the variable,
+// so the moved-from state reaches the read on the may-path.
+void branchy() {
+  std::string row = "y";
+  if (flip()) sink(std::move(row));
+  sink(row);  // line 27
+}
+
+// Loop back-edge: iteration two reads what iteration one moved out.
+void looped() {
+  std::vector<int> batch;
+  while (flip()) {
+    batch.push_back(1);
+    sink_vec(std::move(batch));  // line 34 (the next-iteration push_back)
+  }
+}

@@ -1,0 +1,24 @@
+// Cross-TU taint fixture, caller side: clean in isolation — no getenv
+// spelling appears here. Only the project index's return-taint summary
+// for env_users()/scaled_users() (defined in taint_source.cpp) lets the
+// flow-sensitive rule see the tainted value reach sim state.
+
+struct Sim {
+  void spawn(int);
+};
+
+// The callee's return taint flows straight into the sink.
+void seed_direct(Sim& sim) { sim.spawn(env_users()); }  // line 11
+
+// Through a local: the lattice carries the imported taint bit.
+void seed_via_local(Sim& sim) {
+  int n = scaled_users();
+  sim.spawn(n);  // line 16
+}
+
+// Negative control: the imported taint dies before the sink.
+void seed_clean(Sim& sim) {
+  int n = env_users();
+  n = 10;
+  sim.spawn(n);
+}

@@ -1,0 +1,13 @@
+// Cross-TU taint fixture, source side: functions whose return values are
+// environment-derived. In isolation these are clean — the env read never
+// reaches sim state in this TU — but the project index records the
+// return-taint summary that taint_caller.cpp needs.
+
+#include <cstdlib>
+
+// Depth 0: the return value is tainted directly by getenv.
+int env_users() { return std::atoi(std::getenv("USERS")); }
+
+// Depth 1: tainted through a same-index call, proving the summary
+// fixpoint composes before it is exported.
+int scaled_users() { return env_users() * 2; }

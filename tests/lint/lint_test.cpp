@@ -104,6 +104,16 @@ TEST(LintFixtures, ShardPositive) { run_fixture("shard_pos.cpp"); }
 TEST(LintFixtures, ShardNegative) { run_fixture("shard_neg.cpp"); }
 TEST(LintFixtures, ConcurrencyPositive) { run_fixture("concurrency_pos.cpp"); }
 TEST(LintFixtures, ConcurrencyNegative) { run_fixture("concurrency_neg.cpp"); }
+TEST(LintFixtures, StaleRefPositive) { run_fixture("stale_ref_pos.cpp"); }
+TEST(LintFixtures, StaleRefNegative) { run_fixture("stale_ref_neg.cpp"); }
+TEST(LintFixtures, UseAfterMovePositive) {
+  run_fixture("use_after_move_pos.cpp");
+}
+TEST(LintFixtures, UseAfterMoveNegative) {
+  run_fixture("use_after_move_neg.cpp");
+}
+TEST(LintFixtures, TaintPositive) { run_fixture("taint_pos.cpp"); }
+TEST(LintFixtures, TaintNegative) { run_fixture("taint_neg.cpp"); }
 
 // Every fixture on disk must be exercised: adding a fixture without a test
 // (or an .expected without a fixture) is itself a failure.
@@ -115,7 +125,9 @@ TEST(LintFixtures, AllFixturesCovered) {
       "store_pos.cpp",       "store_neg.cpp",       "resilience_pos.cpp",
       "resilience_neg.cpp",  "spec_pos.cpp",        "spec_neg.cpp",
       "shard_pos.cpp",       "shard_neg.cpp",       "concurrency_pos.cpp",
-      "concurrency_neg.cpp"};
+      "concurrency_neg.cpp", "stale_ref_pos.cpp",   "stale_ref_neg.cpp",
+      "use_after_move_pos.cpp", "use_after_move_neg.cpp",
+      "taint_pos.cpp",       "taint_neg.cpp"};
   for (const auto& entry : fs::directory_iterator(fixture_dir())) {
     fs::path p = entry.path();
     if (p.extension() != ".cpp") continue;
@@ -267,6 +279,37 @@ TEST(LintCrossTU, FactsResolveAcrossFiles) {
       {8, "determinism.transitive-wall-clock"},
       {10, "determinism.transitive-ambient-rng"},
       {16, "iteration.unordered-return-leak"}};
+  EXPECT_EQ(actual, expected) << "expected:\n"
+                              << render(expected) << "actual:\n"
+                              << render(actual);
+}
+
+// Return-taint summaries across a TU boundary: taint_caller.cpp has no
+// getenv spelling of its own, so it is clean in isolation; with the
+// project index the env_users()/scaled_users() summaries from
+// taint_source.cpp reach its sim.spawn() sinks. seed_clean() proves the
+// imported taint still dies at a re-definition — the flow sensitivity
+// survives the import.
+TEST(LintCrossTU, TaintFlowsAcrossFiles) {
+  fs::path dir = fixture_dir() / "xtu";
+  std::vector<std::string> files = {(dir / "taint_caller.cpp").string(),
+                                    (dir / "taint_source.cpp").string()};
+  auto index = gridmon::lint::build_project_index(files);
+
+  EXPECT_NE(index.taint_of("env_users"), 0u);
+  EXPECT_NE(index.taint_via("env_users").find("getenv"), std::string::npos);
+  EXPECT_NE(index.taint_of("scaled_users"), 0u)
+      << "summary fixpoint must compose env_users -> scaled_users";
+
+  Options solo;
+  EXPECT_TRUE(gridmon::lint::analyze_file(files[0], solo).empty())
+      << "taint_caller.cpp must be clean without the project index";
+  Options project;
+  project.project = &index;
+  auto actual = actual_pairs(gridmon::lint::analyze_file(files[0], project));
+  std::vector<Expectation> expected = {
+      {11, "determinism.tainted-sim-state"},
+      {16, "determinism.tainted-sim-state"}};
   EXPECT_EQ(actual, expected) << "expected:\n"
                               << render(expected) << "actual:\n"
                               << render(actual);
@@ -428,11 +471,17 @@ TEST(LintGate, LintedTreesCleanAndBudgetExact) {
   fs::path repo(GRIDMON_LINT_REPO_DIR);
   ASSERT_TRUE(fs::exists(repo)) << repo;
   std::vector<std::string> files;
-  for (const char* dir : {"src/gridmon", "bench", "tools", "examples"}) {
+  for (const char* dir :
+       {"src/gridmon", "bench", "tools", "examples", "tests"}) {
     auto part = gridmon::lint::collect_sources((repo / dir).string());
     EXPECT_FALSE(part.empty()) << dir;
     files.insert(files.end(), part.begin(), part.end());
   }
+  // The fixture tree is the lint suite's own positive cases — deliberate
+  // violations, exercised file-by-file by AllFixturesCovered above.
+  std::erase_if(files, [](const std::string& f) {
+    return f.find("tests/lint/fixtures") != std::string::npos;
+  });
   ASSERT_GT(files.size(), 150u) << "project walk looks wrong";
 
   auto index = gridmon::lint::build_project_index(files);

@@ -83,6 +83,21 @@ std::vector<CheckInfo> all_checks() {
        "// a.cpp: int roll() { return rand() % 6; }\n"
        "// b.cpp: int r = roll();",
        "Pass a sim::Rng stream down the call chain."},
+      {"determinism.tainted-sim-state",
+       "a getenv/clock/RNG value flowing into sim state (spawn/schedule/"
+       "delay/post/seed arguments, ScenarioSpec fields)",
+       "The determinism contract is about what reaches the event loop, "
+       "not about which functions appear in a file. The taint lattice "
+       "tracks env/clock/RNG values through assignments and across TU "
+       "boundaries (function taint summaries ride the project index); a "
+       "flow into sim state is reported with a source -> sink witness "
+       "path. The flip side is precision: a harness getenv that only "
+       "configures the harness is clean with no suppression.",
+       "const char* e = std::getenv(\"USERS\");\n"
+       "spec.users = std::atoi(e);",
+       "Derive the value from the spec or the seeded sim::Rng. Host state "
+       "may steer the harness (which scenario, how many repetitions) but "
+       "never what the scenario computes."},
       {"iteration.unordered-range-for",
        "range-for / iterator traversal of unordered containers exposes "
        "hash-bucket order",
@@ -129,6 +144,36 @@ std::vector<CheckInfo> all_checks() {
        "Copy the needed members into the frame, or join the coroutine in "
        "the owner's destructor. Suppress (with a justification) only when "
        "the owner provably outlives the simulation."},
+      {"coroutine.stale-ref-across-suspend",
+       "a reference/iterator/pointer into a shared container used after a "
+       "co_await — other frames may have mutated the container",
+       "A suspension point is a scheduling point: any other coroutine may "
+       "run before this frame resumes, and any of them may insert into or "
+       "erase from the container the borrow points into. The per-function "
+       "CFG marks every co_await/co_yield, so a borrow that is derived "
+       "before a suspension and used after it (including across a loop "
+       "back-edge) is flagged with a def -> suspension -> use witness "
+       "path. Uses inside the awaiting statement itself are pre-suspension "
+       "and stay clean.",
+       "auto it = sessions_.find(id);\n"
+       "co_await backend.query(*it);\n"
+       "it->second.touch();  // it may have been invalidated",
+       "Re-derive the iterator after the co_await, or copy the element "
+       "out before suspending."},
+      {"coroutine.use-after-move",
+       "a local read after std::move without rebinding — moved-from "
+       "objects are valid but unspecified",
+       "Reading a moved-from object gives an unspecified value, so the "
+       "same seed can produce different output across compilers or "
+       "optimization levels — a determinism bug as much as a correctness "
+       "one. The CFG-based reaching analysis also catches the loop shape "
+       "(moving the same binding on every iteration). Validity probes "
+       "(`if (ptr)`, `== nullptr`) and rebinding calls (clear/reset/"
+       "assign/swap) are recognized as safe.",
+       "send(std::move(row));\n"
+       "log(row.name);  // unspecified",
+       "Rebind the variable before reuse, or restructure so each binding "
+       "is moved exactly once (e.g. construct inside the loop)."},
       {"coroutine.ref-param-detached",
        "locals/temporaries must not bind to reference parameters of "
        "detach-spawned coroutines",
@@ -299,6 +344,8 @@ FileAnalysis analyze_model(const std::string& path, const Model& m,
   check_spec(path, m, raw);
   check_shard(path, m, raw);
   check_concurrency(path, m, raw);
+  check_lifetime(path, m, raw);
+  check_taint(path, m, opts.project, raw);
   if (opts.project != nullptr) {
     check_transitive(path, m, *opts.project, raw);
   }

@@ -130,6 +130,82 @@ void resolve_index(ProjectIndex& pi) {
   solve(pi, Goal{&IndexedFunc::rng_sink, &IndexedFunc::rng_label,
                  &TransFact::rng_depth, &TransFact::rng_via,
                  "an ambient PRNG"});
+
+  // Taint-return fixpoint: a name's return value carries a bit only when
+  // EVERY definition's does (directly, or via a callee whose return feeds
+  // its return) — the same errs-toward-silence policy as the sink facts.
+  // Monotone: each definition's bits only grow, and the intersection of
+  // growing sets grows.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const auto& [name, defs] : pi.funcs) {
+      unsigned meet = ~0u;
+      std::string via;
+      for (const IndexedFunc& def : defs) {
+        unsigned bits = def.taint_return;
+        std::string def_via =
+            bits ? name + " -> " + (def.taint_label.empty()
+                                        ? "a nondeterministic source"
+                                        : def.taint_label)
+                 : std::string();
+        for (const std::string& callee : def.return_calls) {
+          auto it = pi.taint_returns.find(callee);
+          if (it == pi.taint_returns.end() || !it->second) continue;
+          bits |= it->second;
+          if (def_via.empty()) {
+            auto v = pi.taint_vias.find(callee);
+            def_via = name + " -> " +
+                      (v == pi.taint_vias.end() ? callee : v->second);
+          }
+        }
+        meet &= bits;
+        if (via.empty()) via = def_via;
+      }
+      if (defs.empty()) meet = 0;
+      unsigned& cur = pi.taint_returns[name];
+      if (meet != 0 && (cur | meet) != cur) {
+        cur |= meet;
+        pi.taint_vias[name] = via;
+        changed = true;
+      }
+    }
+  }
+
+  // Sinking-params fixpoint: parameter p of `name` feeds sim state when
+  // every definition either sinks it directly or forwards it into a
+  // sinking position of a callee.
+  changed = true;
+  while (changed) {
+    changed = false;
+    for (const auto& [name, defs] : pi.funcs) {
+      std::set<int> meet;
+      bool first = true;
+      for (const IndexedFunc& def : defs) {
+        std::set<int> mine(def.sink_params.begin(), def.sink_params.end());
+        for (const ParamCall& pc : def.param_calls) {
+          auto it = pi.sinking_params.find(pc.callee);
+          if (it != pi.sinking_params.end() && it->second.count(pc.arg)) {
+            mine.insert(pc.param);
+          }
+        }
+        if (first) {
+          meet = std::move(mine);
+          first = false;
+        } else {
+          std::set<int> both;
+          for (int p : meet) {
+            if (mine.count(p)) both.insert(p);
+          }
+          meet = std::move(both);
+        }
+      }
+      std::set<int>& cur = pi.sinking_params[name];
+      for (int p : meet) {
+        if (cur.insert(p).second) changed = true;
+      }
+    }
+  }
 }
 
 void check_transitive(const std::string& path, const Model& m,

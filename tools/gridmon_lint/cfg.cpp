@@ -1,0 +1,363 @@
+#include "cfg.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace gridmon::lint {
+namespace {
+
+bool is(const Token& t, const char* s) { return t.text == s; }
+
+/// Recursive-descent CFG construction over the bracket-matched token
+/// stream. `stmt_one` parses exactly one statement starting at token i and
+/// returns {flow-out node or -1 when flow terminates, index after the
+/// statement}; `stmts` folds a statement sequence. Plain consecutive
+/// statements extend the current block; control constructs and suspension
+/// statements close it.
+struct Builder {
+  const Model& m;
+  Cfg& cfg;
+  int lo, hi;  // overall body token range (exclusive of the braces)
+  std::map<int, int> lambda_skip;  // lambda intro_begin -> body_end
+  std::vector<int> break_tgt;
+  std::vector<int> cont_tgt;
+
+  Builder(const Model& model, Cfg& out, int body_begin, int body_end)
+      : m(model), cfg(out), lo(body_begin + 1), hi(body_end) {
+    for (const Lambda& l : m.lambdas) {
+      if (l.intro_begin > body_begin && l.body_end < body_end) {
+        lambda_skip[l.intro_begin] = l.body_end;
+      }
+    }
+  }
+
+  int make(int b, int e) {
+    cfg.nodes.push_back(CfgNode{b, e});
+    return static_cast<int>(cfg.nodes.size()) - 1;
+  }
+
+  void edge(int a, int b) {
+    if (a < 0 || b < 0) return;
+    auto& s = cfg.nodes[a].succ;
+    if (std::find(s.begin(), s.end(), b) != s.end()) return;
+    s.push_back(b);
+    cfg.nodes[b].pred.push_back(a);
+  }
+
+  /// Index of the ';' ending the plain statement starting at i (bracket
+  /// groups — including lambda bodies, which are brace groups — skipped).
+  int stmt_end(int i) const {
+    const auto& t = m.toks;
+    int j = i;
+    while (j < hi) {
+      const std::string& s = t[j].text;
+      if ((s == "(" || s == "[" || s == "{") && m.match[j] > j &&
+          m.match[j] < hi) {
+        j = m.match[j] + 1;
+        continue;
+      }
+      if (s == ";") return j;
+      if (s == "}") return j - 1;  // tolerate a missing ';'
+      ++j;
+    }
+    return hi - 1;
+  }
+
+  /// First co_await/co_yield token in [i, end], skipping nested lambda
+  /// extents (a suspension inside a lambda suspends the lambda, not us).
+  int find_suspend(int i, int end) const {
+    const auto& t = m.toks;
+    for (int j = i; j <= end && j < hi; ++j) {
+      auto skip = lambda_skip.find(j);
+      if (skip != lambda_skip.end()) {
+        j = skip->second;
+        continue;
+      }
+      if (t[j].kind == TokKind::Ident &&
+          (t[j].text == "co_await" || t[j].text == "co_yield")) {
+        return j;
+      }
+    }
+    return -1;
+  }
+
+  /// One statement from token i, flowing out of node `cur`. Returns
+  /// {flow-out node or -1, index after the statement}.
+  std::pair<int, int> stmt_one(int i, int cur) {
+    const auto& t = m.toks;
+    const std::string& kw = t[i].text;
+
+    if (kw == "{" && m.match[i] > i) {
+      int out = stmts(i + 1, m.match[i], cur);
+      return {out, m.match[i] + 1};
+    }
+
+    if (kw == "if" && i + 1 < hi) {
+      int open = i + 1;
+      if (is(t[open], "constexpr")) ++open;  // if constexpr: same shape
+      if (!is(t[open], "(") || m.match[open] < 0) return plain(i, cur);
+      int close = m.match[open];
+      int cond = make(i, close + 1);
+      edge(cur, cond);
+      int b1 = make(close + 1, close + 1);
+      edge(cond, b1);
+      auto [o1, n1] = stmt_one(close + 1, b1);
+      if (n1 < hi && is(t[n1], "else")) {
+        int b2 = make(n1 + 1, n1 + 1);
+        edge(cond, b2);
+        auto [o2, n2] = stmt_one(n1 + 1, b2);
+        int j = make(n2, n2);
+        edge(o1, j);
+        edge(o2, j);
+        return {(o1 < 0 && o2 < 0) ? -1 : j, n2};
+      }
+      int j = make(n1, n1);
+      edge(cond, j);  // false branch falls through
+      edge(o1, j);
+      return {j, n1};
+    }
+
+    if ((kw == "while" || kw == "for") && i + 1 < hi && is(t[i + 1], "(") &&
+        m.match[i + 1] > 0) {
+      int close = m.match[i + 1];
+      int head = make(i, close + 1);
+      edge(cur, head);
+      int join = make(0, 0);  // range fixed below
+      break_tgt.push_back(join);
+      cont_tgt.push_back(head);
+      int body = make(close + 1, close + 1);
+      edge(head, body);
+      auto [o, n] = stmt_one(close + 1, body);
+      break_tgt.pop_back();
+      cont_tgt.pop_back();
+      edge(o, head);  // back-edge
+      edge(head, join);
+      cfg.nodes[join].begin = cfg.nodes[join].end = n;
+      return {join, n};
+    }
+
+    if (kw == "do") {
+      int body = make(i + 1, i + 1);
+      edge(cur, body);
+      int cond = make(0, 0);
+      int join = make(0, 0);
+      break_tgt.push_back(join);
+      cont_tgt.push_back(cond);
+      auto [o, n] = stmt_one(i + 1, body);
+      break_tgt.pop_back();
+      cont_tgt.pop_back();
+      int next = n;
+      if (n < hi && is(t[n], "while") && n + 1 < hi && is(t[n + 1], "(") &&
+          m.match[n + 1] > 0) {
+        int close = m.match[n + 1];
+        cfg.nodes[cond].begin = n;
+        cfg.nodes[cond].end = close + 1;
+        next = close + 1;
+        if (next < hi && is(t[next], ";")) ++next;
+      }
+      edge(o, cond);
+      edge(cond, body);  // back-edge
+      edge(cond, join);
+      cfg.nodes[join].begin = cfg.nodes[join].end = next;
+      return {join, next};
+    }
+
+    if (kw == "switch" && i + 1 < hi && is(t[i + 1], "(") &&
+        m.match[i + 1] > 0) {
+      // Approximation: the body is one sequential arm (cases fall through
+      // in source order) plus a skip edge cond -> join. Paths that enter
+      // at a later case are a subset of the sequential one for the may-
+      // analyses built on this graph, so the approximation only loses
+      // findings, never invents them.
+      int close = m.match[i + 1];
+      int cond = make(i, close + 1);
+      edge(cur, cond);
+      int join = make(0, 0);
+      break_tgt.push_back(join);
+      int next = close + 1;
+      int out = -1;
+      if (next < hi && is(t[next], "{") && m.match[next] > 0) {
+        int body = make(next + 1, next + 1);
+        edge(cond, body);
+        out = stmts(next + 1, m.match[next], body);
+        next = m.match[next] + 1;
+      }
+      break_tgt.pop_back();
+      edge(cond, join);
+      edge(out, join);
+      cfg.nodes[join].begin = cfg.nodes[join].end = next;
+      return {join, next};
+    }
+
+    if (kw == "try" && i + 1 < hi && is(t[i + 1], "{") && m.match[i + 1] > 0) {
+      int body = make(i + 2, i + 2);
+      edge(cur, body);
+      int out = stmts(i + 2, m.match[i + 1], body);
+      int next = m.match[i + 1] + 1;
+      int join = make(0, 0);
+      edge(out, join);
+      while (next < hi && is(t[next], "catch") && next + 1 < hi &&
+             is(t[next + 1], "(") && m.match[next + 1] > 0) {
+        int after_filter = m.match[next + 1] + 1;
+        if (after_filter >= hi || !is(t[after_filter], "{") ||
+            m.match[after_filter] < 0) {
+          break;
+        }
+        // Approximation: the handler is entered from before the try (the
+        // throw may fire before any try-body effect lands).
+        int handler = make(after_filter + 1, after_filter + 1);
+        edge(cur, handler);
+        int ho = stmts(after_filter + 1, m.match[after_filter], handler);
+        edge(ho, join);
+        next = m.match[after_filter] + 1;
+      }
+      cfg.nodes[join].begin = cfg.nodes[join].end = next;
+      return {join, next};
+    }
+
+    if (kw == "break" || kw == "continue") {
+      int se = stmt_end(i);
+      cfg.nodes[cur].end = se + 1;
+      const auto& stack = kw == "break" ? break_tgt : cont_tgt;
+      if (!stack.empty()) edge(cur, stack.back());
+      return {-1, se + 1};
+    }
+
+    if (kw == "case" || kw == "default") {
+      // Labels are transparent: flow continues into the labeled statement.
+      int j = i + 1;
+      while (j < hi && !is(t[j], ":")) {
+        if ((is(t[j], "(") || is(t[j], "[") || is(t[j], "{")) &&
+            m.match[j] > j) {
+          j = m.match[j];
+        }
+        ++j;
+      }
+      return {cur, j + 1};
+    }
+
+    return plain(i, cur);
+  }
+
+  /// A plain statement: extends `cur` unless it suspends (own node, marked)
+  /// and terminates flow when it returns/throws.
+  std::pair<int, int> plain(int i, int cur) {
+    const auto& t = m.toks;
+    int se = stmt_end(i);
+    bool term = is(t[i], "return") || is(t[i], "co_return") ||
+                is(t[i], "throw");
+    int sus = find_suspend(i, se);
+    if (sus >= 0) {
+      cfg.nodes[cur].end = i;
+      int s = make(i, se + 1);
+      cfg.nodes[s].is_suspend = true;
+      cfg.nodes[s].suspend_tok = sus;
+      cfg.has_suspension = true;
+      edge(cur, s);
+      if (term) {
+        edge(s, cfg.exit);
+        return {-1, se + 1};
+      }
+      int nxt = make(se + 1, se + 1);
+      edge(s, nxt);
+      return {nxt, se + 1};
+    }
+    cfg.nodes[cur].end = se + 1;
+    if (term) {
+      edge(cur, cfg.exit);
+      return {-1, se + 1};
+    }
+    return {cur, se + 1};
+  }
+
+  /// A statement sequence in [lo_, hi_), flowing out of `cur`.
+  int stmts(int lo_, int hi_, int cur) {
+    int i = lo_;
+    while (i < hi_) {
+      if (cur < 0) cur = make(i, i);  // unreachable continuation
+      auto [out, next] = stmt_one(i, cur);
+      cur = out;
+      i = next > i ? next : i + 1;  // guarantee progress on surprises
+    }
+    return cur;
+  }
+};
+
+}  // namespace
+
+int Cfg::node_of(int tok) const {
+  for (int i = 0; i < static_cast<int>(nodes.size()); ++i) {
+    if (nodes[i].begin <= tok && tok < nodes[i].end) return i;
+  }
+  return -1;
+}
+
+Cfg build_cfg(const Model& m, int body_begin, int body_end) {
+  Cfg cfg;
+  cfg.nodes.push_back(CfgNode{body_begin + 1, body_begin + 1});  // entry
+  cfg.nodes.push_back(CfgNode{body_end, body_end});              // exit
+  cfg.entry = 0;
+  cfg.exit = 1;
+  if (body_end <= body_begin + 1) return cfg;
+  Builder b(m, cfg, body_begin, body_end);
+  int out = b.stmts(body_begin + 1, body_end, cfg.entry);
+  if (out >= 0) b.edge(out, cfg.exit);
+  return cfg;
+}
+
+bool all_paths_reach_drain(const Model& m, const Cfg& cfg, int from_tok) {
+  int start = cfg.node_of(from_tok);
+  if (start < 0) return false;
+  const auto& t = m.toks;
+
+  // Lambda extents inside this body: a `.run(` in a deferred closure body
+  // does not execute at its textual position, so it is not a drain here.
+  std::vector<std::pair<int, int>> closures;
+  for (const Lambda& l : m.lambdas) {
+    if (cfg.node_of(l.intro_begin) >= 0) {
+      closures.emplace_back(l.body_begin, l.body_end);
+    }
+  }
+  auto in_closure = [&](int tok) {
+    for (auto [b, e] : closures) {
+      if (b < tok && tok < e) return true;
+    }
+    return false;
+  };
+  auto has_drain = [&](int node, int after_tok) {
+    const CfgNode& nd = cfg.nodes[node];
+    for (int j = std::max(nd.begin, after_tok + 1); j + 1 < nd.end; ++j) {
+      if (t[j].kind == TokKind::Ident && t[j].text == "run" && j > 0 &&
+          (t[j - 1].text == "." || t[j - 1].text == "->") &&
+          t[j + 1].text == "(" && !in_closure(j)) {
+        return true;
+      }
+    }
+    return false;
+  };
+
+  // Greatest fixpoint of: safe(n) = drains-here OR (has successors AND all
+  // successors safe). The exit node (no successors, no drain) seeds false;
+  // cycles that cannot reach the exit stay vacuously true.
+  int n = static_cast<int>(cfg.nodes.size());
+  std::vector<char> drains(n, 0), safe(n, 1);
+  for (int i = 0; i < n; ++i) {
+    drains[i] = has_drain(i, i == start ? from_tok : -1) ? 1 : 0;
+  }
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (int i = 0; i < n; ++i) {
+      if (!safe[i] || drains[i]) continue;
+      bool ok = !cfg.nodes[i].succ.empty();
+      for (int s : cfg.nodes[i].succ) ok = ok && safe[s];
+      if (!ok) {
+        safe[i] = 0;
+        changed = true;
+      }
+    }
+  }
+  return safe[start] != 0;
+}
+
+}  // namespace gridmon::lint

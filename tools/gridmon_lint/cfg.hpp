@@ -1,0 +1,73 @@
+#pragma once
+
+/// \file cfg.hpp
+/// Per-function control-flow graphs over the token stream: the foundation of
+/// the flow-sensitive layer (see docs/STATIC_ANALYSIS.md, "Three layers").
+///
+/// A node is one basic block — a contiguous token segment [begin, end) with
+/// single-entry/single-exit straight-line flow. Blocks split at branches,
+/// loop back-edges, and — the gridmon-specific part — at every statement
+/// containing a `co_await`/`co_yield`: suspension points are where another
+/// coroutine may run and mutate shared state, so the lifetime and taint
+/// analyses need them as explicit graph events, not just tokens.
+///
+/// The builder is a recursive descent over the bracket-matched statement
+/// structure. It understands if/else, while/for (with back-edges), do-while,
+/// switch (approximated as one sequential arm plus a skip edge), try/catch
+/// (branch-shaped), return/co_return (edge to the exit node), and
+/// break/continue (edges via an enclosing-loop stack). Nested lambda bodies
+/// are skipped entirely: a lambda's control flow belongs to the lambda, and
+/// a `co_await` inside one does not suspend the outer function.
+///
+/// Evaluation-order convention for suspension nodes: the whole statement
+/// containing the `co_await` is one node, and analyses treat the suspension
+/// as happening at the END of the node. This matches C++ semantics — in
+/// `auto r = co_await it->second->query(...)` the awaited expression
+/// (including the `it` deref) is evaluated *before* the frame suspends — so
+/// uses inside the awaiting statement are pre-suspension and only uses in
+/// later blocks count as "across" the suspension.
+
+#include <vector>
+
+#include "model.hpp"
+
+namespace gridmon::lint {
+
+struct CfgNode {
+  int begin = 0;  // token range [begin, end); begin == end for join nodes
+  int end = 0;
+  bool is_suspend = false;  // statement contains co_await/co_yield
+  int suspend_tok = -1;     // token index of the (first) suspension keyword
+  std::vector<int> succ;
+  std::vector<int> pred;
+};
+
+struct Cfg {
+  std::vector<CfgNode> nodes;
+  int entry = 0;
+  int exit = 1;
+  bool has_suspension = false;
+
+  /// Node whose segment contains token index i, or -1 (token outside
+  /// every segment, e.g. the body braces or a join node's empty range).
+  /// A statement containing a lambda is one segment, so lambda-interior
+  /// tokens map to the enclosing statement's node — callers that must
+  /// ignore closure interiors filter with the model's lambda extents.
+  int node_of(int tok) const;
+};
+
+/// Build the CFG for a brace-delimited body: `body_begin` is the token index
+/// of '{', `body_end` its matching '}'. Suspensions inside nested lambda
+/// bodies are ignored — they suspend the lambda, not this function.
+Cfg build_cfg(const Model& m, int body_begin, int body_end);
+
+/// True when every control-flow path from `from_tok` to the function exit
+/// passes a `.run(`/`->run(` call *after* `from_tok`. This is the
+/// "sim.run() drains every frame" argument the coroutine-lifetime
+/// suppressions used to make by hand: a detach-spawned frame referencing a
+/// local cannot dangle if the simulation is provably drained before the
+/// local's scope can end. Paths that never reach the exit (infinite loops)
+/// are vacuously safe — a frame cannot outlive a scope that never ends.
+bool all_paths_reach_drain(const Model& m, const Cfg& cfg, int from_tok);
+
+}  // namespace gridmon::lint

@@ -10,7 +10,9 @@
 #include <set>
 #include <string>
 
+#include "cfg.hpp"
 #include "checks.hpp"
+#include "dataflow.hpp"
 
 namespace gridmon::lint {
 namespace {
@@ -33,10 +35,15 @@ bool is_write_op(const std::string& s) {
 bool is_incdec(const std::string& s) { return s == "++" || s == "--"; }
 
 /// A guarded range: from a lock declaration to the end of its enclosing
-/// scope (RAII: the mutex is held for exactly that extent).
+/// scope (RAII: the mutex is held for at most that extent). For
+/// unique_lock/shared_lock the object has a name and supports
+/// .unlock()/.lock(), so whether the mutex is held at a given point is a
+/// dataflow question, answered by the may-held analysis below.
 struct LockRange {
   int begin = 0;
   int end = 0;
+  std::string name;         // declared lock object, "" when anonymous
+  bool can_unlock = false;  // unique_lock / shared_lock
 };
 
 /// Find every lock-object declaration and its guarded extent, walking the
@@ -54,10 +61,84 @@ std::vector<LockRange> lock_ranges(const Model& m) {
     } else if (t[i].kind == TokKind::Ident && is_lock_type(t[i].text) &&
                !(i > 0 && is_member_access(t[i - 1].text))) {
       int end = braces.empty() ? n - 1 : m.match[braces.back()];
-      out.push_back({i, end});
+      LockRange r{i, end, "", false};
+      // The declared name: skip template arguments, take the identifier
+      // before the constructor parens ("unique_lock<mutex> lk(m_)").
+      int j = i + 1;
+      if (j < n && t[j].text == "<") {
+        int depth = 0;
+        for (; j < n; ++j) {
+          if (t[j].text == "<") ++depth;
+          if (t[j].text == ">") --depth;
+          if (t[j].text == ">>") depth -= 2;
+          if (depth <= 0) {
+            ++j;
+            break;
+          }
+        }
+      }
+      if (j < n && t[j].kind == TokKind::Ident) {
+        r.name = t[j].text;
+        r.can_unlock = t[i].text == "unique_lock" ||
+                       t[i].text == "shared_lock";
+      }
+      out.push_back(std::move(r));
     }
   }
   return out;
+}
+
+constexpr unsigned kMayHold = 1u;
+
+/// Smallest function or lambda body containing token i, as a token range;
+/// {-1, -1} when none does.
+std::pair<int, int> enclosing_body(const Model& m, int i) {
+  std::pair<int, int> best{-1, -1};
+  auto consider = [&](int bb, int be) {
+    if (!(bb < i && i < be)) return;
+    if (best.first < 0 || bb > best.first) best = {bb, be};
+  };
+  for (const Func& f : m.funcs) consider(f.body_begin, f.body_end);
+  for (const Lambda& l : m.lambdas) consider(l.body_begin, l.body_end);
+  return best;
+}
+
+/// Flow-sensitive lock-across-await for an unlockable lock object: the
+/// may-held bit is set at the declaration, cleared by name.unlock(), set
+/// again by name.lock(), and tested at each suspension token. Returns the
+/// first suspension reached while possibly held, or -1.
+int held_suspension(const Model& m, const Cfg& cfg, const LockRange& r) {
+  const auto& t = m.toks;
+  auto step_tok = [&](int j, VarBits& st) {
+    if (j == r.begin) {
+      st[r.name] = kMayHold;
+    } else if (t[j].kind == TokKind::Ident && t[j].text == r.name &&
+               j + 3 < static_cast<int>(t.size()) &&
+               is_member_access(t[j + 1].text) && t[j + 3].text == "(") {
+      if (t[j + 2].text == "unlock") {
+        st[r.name] = 0;  // strong update: function of the node, monotone
+      } else if (t[j + 2].text == "lock" || t[j + 2].text == "try_lock") {
+        st[r.name] = kMayHold;
+      }
+    }
+  };
+  std::vector<VarBits> in = solve_forward(cfg, [&](int node, VarBits& st) {
+    const CfgNode& nd = cfg.nodes[node];
+    for (int j = nd.begin; j < nd.end; ++j) step_tok(j, st);
+  });
+  for (int node = 0; node < static_cast<int>(cfg.nodes.size()); ++node) {
+    const CfgNode& nd = cfg.nodes[node];
+    VarBits st = in[node];
+    for (int j = nd.begin; j < nd.end; ++j) {
+      if (r.begin <= j && j < r.end && t[j].kind == TokKind::Ident &&
+          (t[j].text == "co_await" || t[j].text == "co_yield")) {
+        auto it = st.find(r.name);
+        if (it != st.end() && (it->second & kMayHold)) return j;
+      }
+      step_tok(j, st);
+    }
+  }
+  return -1;
 }
 
 bool in_lock_range(const std::vector<LockRange>& ranges, int i) {
@@ -86,25 +167,51 @@ void check_concurrency(const std::string& path, const Model& m,
   int n = static_cast<int>(t.size());
   std::vector<LockRange> locks = lock_ranges(m);
 
-  // concurrency.lock-across-await: a suspension point inside a lock's
-  // extent. The coroutine may resume on another thread (or much later in
+  // concurrency.lock-across-await: a suspension point while the lock may
+  // be held. The coroutine may resume on another thread (or much later in
   // sim time) with the mutex still held — every thread touching that lock
   // stalls until resume, and a resume that needs the lock deadlocks.
+  // lock_guard/scoped_lock hold for their whole RAII extent (textual
+  // containment is exact); unique_lock/shared_lock honor .unlock()/.lock()
+  // through the may-held dataflow, so the unlock-before-await pattern is
+  // clean with no suppression.
   for (const LockRange& r : locks) {
-    for (int i = r.begin; i < r.end; ++i) {
-      if (t[i].kind == TokKind::Ident &&
-          (t[i].text == "co_await" || t[i].text == "co_yield")) {
-        out.push_back(
-            {path, t[r.begin].line, t[r.begin].col,
-             "concurrency.lock-across-await",
-             t[r.begin].text + " held across " + t[i].text + " (line " +
-                 std::to_string(t[i].line) + "); the frame may resume on "
-                 "another thread with the mutex still held",
-             "release the lock before suspending (scope it tighter), or "
-             "use a sim-level gate instead of a mutex"});
-        break;  // one diagnostic per lock object
+    int susp = -1;
+    bool flow_ran = false;
+    if (r.can_unlock) {
+      auto [bb, be] = enclosing_body(m, r.begin);
+      if (bb >= 0) {
+        flow_ran = true;
+        Cfg cfg = build_cfg(m, bb, be);
+        if (cfg.has_suspension) susp = held_suspension(m, cfg, r);
       }
     }
+    if (!flow_ran) {
+      for (int i = r.begin; i < r.end; ++i) {
+        if (t[i].kind == TokKind::Ident &&
+            (t[i].text == "co_await" || t[i].text == "co_yield")) {
+          susp = i;
+          break;
+        }
+      }
+    }
+    if (susp < 0) continue;
+    Diagnostic d{path, t[r.begin].line, t[r.begin].col,
+                 "concurrency.lock-across-await",
+                 t[r.begin].text + " held across " + t[susp].text +
+                     " (line " + std::to_string(t[susp].line) +
+                     "); the frame may resume on another thread with the "
+                     "mutex still held",
+                 "release the lock before suspending (scope it tighter or "
+                 "call unlock() first), or use a sim-level gate instead of "
+                 "a mutex"};
+    d.path.push_back({path, t[r.begin].line, t[r.begin].col,
+                      "mutex acquired here" +
+                          (r.name.empty() ? std::string()
+                                          : " ('" + r.name + "')")});
+    d.path.push_back({path, t[susp].line, t[susp].col,
+                      "frame suspends here with the mutex still held"});
+    out.push_back(std::move(d));
   }
 
   for (int i = 1; i + 1 < n; ++i) {

@@ -2,10 +2,49 @@
 
 #include <algorithm>
 
+#include "cfg.hpp"
+
 namespace gridmon::lint {
 namespace {
 
 bool is(const Token& t, const char* s) { return t.text == s; }
+
+/// The "sim.run() drains" refinement: true when, from the statement at
+/// `tok`, every path of the enclosing body passes a `.run(` call before
+/// returning — a detach-spawned frame cannot outlive a local if the
+/// simulation is drained before the local's scope can end. When `tok`
+/// sits inside a deferred plain lambda (`sim.schedule(t, [&] {
+/// sim.spawn(...); })`), the closure body itself never drains; the frame
+/// it spawns drains with its *host's* drain, so the question is re-asked
+/// at the lambda's creation site, climbing until a function body answers
+/// it. A coroutine lambda's resume point is opaque — no climbing there.
+bool drained_before_scope_exit(const Model& m, int tok) {
+  for (int depth = 0; depth < 8; ++depth) {
+    // Smallest enclosing body; a lambda body wins over its host function.
+    int best_b = -1, best_e = -1;
+    const Lambda* lam = nullptr;
+    for (const Func& f : m.funcs) {
+      if (f.body_begin < tok && tok < f.body_end && f.body_begin > best_b) {
+        best_b = f.body_begin;
+        best_e = f.body_end;
+        lam = nullptr;
+      }
+    }
+    for (const Lambda& l : m.lambdas) {
+      if (l.body_begin < tok && tok < l.body_end && l.body_begin > best_b) {
+        best_b = l.body_begin;
+        best_e = l.body_end;
+        lam = &l;
+      }
+    }
+    if (best_b < 0) return false;
+    Cfg cfg = build_cfg(m, best_b, best_e);
+    if (all_paths_reach_drain(m, cfg, tok)) return true;
+    if (lam == nullptr || lam->is_coroutine) return false;
+    tok = lam->intro_begin;
+  }
+  return false;
+}
 
 /// Split a lambda capture list [begin+1, end) into per-capture token
 /// ranges (top-level commas).
@@ -50,6 +89,13 @@ void check_coroutine(const std::string& path, const Model& m,
         if (is(t[i], "=")) has_init = true;
       }
       if (has_init) continue;  // init-capture: captures by value
+      if (is(t[b], "&") && drained_before_scope_exit(m, lam.intro_begin)) {
+        // Flow-sensitive escape: every path from the creation site drains
+        // the simulation, so the frame finishes before the referents die.
+        // `this` captures are NOT refined — the owner can be torn down by
+        // the fault injector *during* the drain.
+        continue;
+      }
       if (is(t[b], "&")) {
         std::string what =
             e - b > 1 ? "'&" + t[b + 1].text + "'" : "default '[&]'";
@@ -99,6 +145,18 @@ void check_coroutine(const std::string& path, const Model& m,
     auto fit = std::find_if(m.funcs.begin(), m.funcs.end(),
                             [&](const Func& f) { return f.name == callee; });
     if (fit == m.funcs.end() || !fit->returns_task) continue;
+    // Flow-sensitive escape valve, computed lazily: a spawn followed by a
+    // guaranteed drain on every path cannot leak the frame past its
+    // argument lifetimes. Replaces the hand-written "the sim.run() below
+    // drains every frame" suppressions.
+    bool drain_known = false, drained = false;
+    auto spawn_is_drained = [&] {
+      if (!drain_known) {
+        drained = drained_before_scope_exit(m, i);
+        drain_known = true;
+      }
+      return drained;
+    };
     // Walk top-level arguments.
     int open = j, argc = 0, start = open + 1;
     for (int k = open + 1; k <= m.match[open]; ++k) {
@@ -145,7 +203,7 @@ void check_coroutine(const std::string& path, const Model& m,
                 }
               }
             }
-            if (temp || local) {
+            if ((temp || local) && !spawn_is_drained()) {
               out.push_back(
                   {path, t[start].line, t[start].col,
                    "coroutine.ref-param-detached",

@@ -12,9 +12,12 @@ bool is_ident(const Token& t, const char* s) {
 const char* kClocks[] = {"system_clock", "steady_clock",
                          "high_resolution_clock"};
 
-/// Banned members of namespace std (std::rand, std::time, ...).
+/// Banned members of namespace std (std::rand, std::time, ...). getenv is
+/// deliberately absent: reading the environment is not a determinism sink
+/// in itself — determinism.tainted-sim-state (check_taint.cpp) flags env
+/// values that *flow into* simulated state, which is the actual contract.
 const char* kStdBanned[] = {"random_device", "rand", "srand", "time",
-                            "clock", "getenv"};
+                            "clock"};
 
 /// Banned unqualified C calls. Flagged only in call position with no
 /// object/scope qualifier, so a method named e.g. `random()` on a gridmon

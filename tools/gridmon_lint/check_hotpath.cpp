@@ -114,12 +114,19 @@ void check_hotpath(const std::string& path, const Model& m,
     auto it = base.empty() ? m.container_elem.end()
                            : m.container_elem.find(base);
     if (it != m.container_elem.end() && heavy_elem(it->second)) {
-      out.push_back(
-          {path, t[i].line, t[i].col, "hotpath.copy-loop",
-           "range-for copies each element of '" + base + "' (element type " +
-               it->second + "); on a hot path that is an allocation per "
-               "iteration",
-           "bind by 'const auto&' (or 'auto&' when mutating)"});
+      Diagnostic d{path, t[i].line, t[i].col, "hotpath.copy-loop",
+                   "range-for copies each element of '" + base +
+                       "' (element type " + it->second + "); on a hot "
+                       "path that is an allocation per iteration",
+                   "bind by 'const auto&' (or 'auto&' when mutating)"};
+      // Mechanical repair only for the plain `auto e :` shape, where
+      // `const auto&` cannot change semantics (a body that mutated the
+      // copy would have tripped -Werror on the rebuild, not silently
+      // changed behavior).
+      if (colon == i + 4 && is(t[i + 2], "auto")) {
+        d.edit = {t[i + 2].line, t[i + 2].col, "auto", "const auto&"};
+      }
+      out.push_back(std::move(d));
     }
   }
 }

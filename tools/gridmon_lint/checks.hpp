@@ -7,6 +7,7 @@
 
 #include <vector>
 
+#include "index.hpp"
 #include "lint.hpp"
 #include "model.hpp"
 
@@ -67,5 +68,30 @@ void check_shard(const std::string& path, const Model& m,
 /// waits, unguarded shared writes from worker closures.
 void check_concurrency(const std::string& path, const Model& m,
                        std::vector<Diagnostic>& out);
+
+/// coroutine.stale-ref-across-suspend / coroutine.use-after-move: the
+/// flow-sensitive lifetime rules. Built on the per-function CFG
+/// (cfg.hpp) with suspension points as explicit nodes: an
+/// iterator/reference/pointer derived from a non-local container and used
+/// after a suspension has crossed a point where any other frame may have
+/// mutated the container; a moved-from variable used before rebinding is
+/// a plain dataflow bug the structural layer could not see.
+void check_lifetime(const std::string& path, const Model& m,
+                    std::vector<Diagnostic>& out);
+
+/// determinism.tainted-sim-state: taint analysis from nondeterminism
+/// sources (getenv, wall clocks, ambient RNGs) to simulation state
+/// (spawn/schedule/delay/seed arguments, ScenarioSpec fields). Replaces
+/// the coarse "getenv anywhere is a sink" rule: a harness reading an env
+/// switch that never flows into sim state is clean without a suppression.
+/// `project` (optional) supplies cross-TU taint summaries.
+void check_taint(const std::string& path, const Model& m,
+                 const ProjectIndex* project, std::vector<Diagnostic>& out);
+
+/// Pass-1 hook: fill `out`'s taint summary (taint_return/taint_label/
+/// return_calls/sink_params/param_calls) from a flow analysis of `f`'s
+/// body. Lives in check_taint.cpp so the summary and the check can never
+/// disagree about what a source or a sink is.
+void extract_taint_facts(const Model& m, const Func& f, IndexedFunc& out);
 
 }  // namespace gridmon::lint

@@ -1,0 +1,177 @@
+#include "dataflow.hpp"
+
+#include <algorithm>
+#include <array>
+
+namespace gridmon::lint {
+namespace {
+
+bool is_keyword(const std::string& s) {
+  static const std::set<std::string> kw = {
+      "alignas",   "alignof",  "auto",      "bool",      "break",
+      "case",      "catch",    "char",      "class",     "co_await",
+      "co_return", "co_yield", "const",     "consteval", "constexpr",
+      "constinit", "continue", "decltype",  "default",   "delete",
+      "do",        "double",   "else",      "enum",      "explicit",
+      "extern",    "false",    "final",     "float",     "for",
+      "friend",    "goto",     "if",        "inline",    "int",
+      "long",      "mutable",  "namespace", "new",       "noexcept",
+      "nullptr",   "operator", "override",  "private",   "protected",
+      "public",    "requires", "return",    "short",     "signed",
+      "sizeof",    "static",   "struct",    "switch",    "template",
+      "this",      "throw",    "true",      "try",       "typedef",
+      "typename",  "union",    "unsigned",  "using",     "virtual",
+      "void",      "volatile", "while",
+  };
+  return kw.count(s) != 0;
+}
+
+bool is_compound_assign(const std::string& s) {
+  static constexpr std::array<const char*, 10> ops = {
+      "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "<<=", ">>=",
+  };
+  return std::find(ops.begin(), ops.end(), s) != ops.end();
+}
+
+std::vector<VarEvent> node_events(const Model& m, const Cfg& cfg, int node) {
+  return var_events(m, cfg.nodes[node].begin, cfg.nodes[node].end);
+}
+
+}  // namespace
+
+std::vector<VarEvent> var_events(const Model& m, int begin, int end) {
+  std::vector<VarEvent> out;
+  const auto& t = m.toks;
+  std::vector<std::pair<int, int>> lambda_bodies;
+  for (const Lambda& l : m.lambdas) {
+    if (l.intro_begin >= begin && l.body_end < end) {
+      lambda_bodies.emplace_back(l.body_begin, l.body_end);
+    }
+  }
+  auto in_lambda = [&](int j) {
+    for (auto [b, e] : lambda_bodies) {
+      if (b < j && j < e) return true;
+    }
+    return false;
+  };
+  std::set<int> decl_sites;
+  for (const Local& l : m.locals) {
+    if (begin <= l.decl_index && l.decl_index < end) {
+      decl_sites.insert(l.decl_index);
+    }
+  }
+  for (int j = begin; j < end && j < static_cast<int>(t.size()); ++j) {
+    if (t[j].kind != TokKind::Ident || is_keyword(t[j].text)) continue;
+    const std::string prev = j > 0 ? t[j - 1].text : std::string();
+    const std::string next =
+        j + 1 < static_cast<int>(t.size()) ? t[j + 1].text : std::string();
+    if (prev == "." || prev == "->" || prev == "::" || next == "::") continue;
+    bool is_decl = decl_sites.count(j) != 0;
+    if (next == "(" && !is_decl) continue;  // call name (or functional cast)
+    VarEventKind kind = VarEventKind::Use;
+    if (!in_lambda(j)) {
+      if (is_decl || next == "=") {
+        // A declaration is a fresh binding even without an initializer
+        // (`SqlToken t;` in a loop body re-creates t every iteration).
+        kind = VarEventKind::Def;
+      } else if (is_compound_assign(next) || next == "++" || next == "--" ||
+                 prev == "++" || prev == "--") {
+        kind = VarEventKind::DefUse;
+      }
+    }
+    out.push_back(VarEvent{j, t[j].text, kind});
+  }
+  return out;
+}
+
+bool join_bits(VarBits& dst, const VarBits& src) {
+  bool changed = false;
+  for (const auto& [name, bits] : src) {
+    unsigned& d = dst[name];
+    if ((d | bits) != d) {
+      d |= bits;
+      changed = true;
+    }
+  }
+  return changed;
+}
+
+ReachingDefs reaching_defs(const Model& m, const Cfg& cfg) {
+  const int n = static_cast<int>(cfg.nodes.size());
+  ReachingDefs in(n);
+  // Seed every node (see solve_forward): entry-only seeding starves the
+  // worklist when all initial states are bottom.
+  std::vector<char> queued(n, 1);
+  std::vector<int> work;
+  for (int node = n - 1; node >= 0; --node) work.push_back(node);
+  while (!work.empty()) {
+    int node = work.back();
+    work.pop_back();
+    queued[node] = 0;
+    auto out = in[node];
+    for (const VarEvent& ev : node_events(m, cfg, node)) {
+      if (ev.kind != VarEventKind::Use) out[ev.name] = {ev.tok};
+    }
+    for (int s : cfg.nodes[node].succ) {
+      bool changed = false;
+      for (const auto& [name, defs] : out) {
+        auto& dst = in[s][name];
+        for (int d : defs) changed |= dst.insert(d).second;
+      }
+      if (changed && !queued[s]) {
+        queued[s] = 1;
+        work.push_back(s);
+      }
+    }
+  }
+  return in;
+}
+
+std::vector<std::set<std::string>> live_vars(const Model& m, const Cfg& cfg) {
+  const int n = static_cast<int>(cfg.nodes.size());
+  std::vector<std::set<std::string>> in(n);
+  std::vector<char> queued(n, 1);
+  std::vector<int> work;
+  for (int node = n - 1; node >= 0; --node) work.push_back(node);
+  while (!work.empty()) {
+    int node = work.back();
+    work.pop_back();
+    queued[node] = 0;
+    std::set<std::string> live;  // live-out = union of successor live-ins
+    for (int s : cfg.nodes[node].succ) {
+      live.insert(in[s].begin(), in[s].end());
+    }
+    auto events = node_events(m, cfg, node);
+    for (auto it = events.rbegin(); it != events.rend(); ++it) {
+      if (it->kind == VarEventKind::Def) {
+        live.erase(it->name);
+      } else {
+        live.insert(it->name);
+      }
+    }
+    if (live != in[node]) {
+      in[node] = std::move(live);
+      for (int p : cfg.nodes[node].pred) {
+        if (!queued[p]) {
+          queued[p] = 1;
+          work.push_back(p);
+        }
+      }
+    }
+  }
+  return in;
+}
+
+std::string taint_label(unsigned bits) {
+  std::string out;
+  auto add = [&](const char* name) {
+    if (!out.empty()) out += "+";
+    out += name;
+  };
+  if (bits & kTaintEnv) add("environment");
+  if (bits & kTaintClock) add("wall-clock");
+  if (bits & kTaintRng) add("ambient-rng");
+  return out.empty() ? "untainted" : out;
+}
+
+}  // namespace gridmon::lint

@@ -93,6 +93,21 @@ bool ProjectIndex::known(const std::string& name) const {
   return funcs.count(name) != 0;
 }
 
+unsigned ProjectIndex::taint_of(const std::string& name) const {
+  auto it = taint_returns.find(name);
+  return it == taint_returns.end() ? 0u : it->second;
+}
+
+std::string ProjectIndex::taint_via(const std::string& name) const {
+  auto it = taint_vias.find(name);
+  return it == taint_vias.end() ? std::string() : it->second;
+}
+
+bool ProjectIndex::param_sinks(const std::string& name, int arg) const {
+  auto it = sinking_params.find(name);
+  return it != sinking_params.end() && it->second.count(arg) != 0;
+}
+
 std::vector<IndexedFunc> index_file(const std::string& path, const Model& m) {
   const auto& t = m.toks;
   int n = static_cast<int>(t.size());
@@ -129,6 +144,7 @@ std::vector<IndexedFunc> index_file(const std::string& path, const Model& m) {
       callees.insert(t[i].text);
     }
     idx.callees.assign(callees.begin(), callees.end());
+    extract_taint_facts(m, f, idx);
     out.push_back(std::move(idx));
   }
 
@@ -219,15 +235,21 @@ std::uint64_t content_hash(const std::string& bytes) {
 // ---- IndexCache -----------------------------------------------------------
 //
 // Line-oriented, versioned:
-//   gridmon-lint-index-cache v2
+//   gridmon-lint-index-cache v3
 //   F <hash> <path>
 //   D <name> <line> <wall> <rng> <unordered> <wall_label> <rng_label>
 //   C <callee> <callee> ...
-// Labels use "-" for empty (they are single tokens by construction). Any
-// parse surprise drops the rest of the cache: a stale cache must cost a
-// re-index, never a wrong answer.
+//   T <taint_return_bits> <taint_label>
+//   R <return_call> <return_call> ...
+//   S <sink_param_idx> ...
+//   P <param_idx> <callee> <arg_idx>
+// T/R/S/P carry the dataflow taint summary and follow their D line; they
+// are omitted when empty. Labels use "-" for empty (they are single tokens
+// by construction). Any parse surprise drops the rest of the cache: a
+// stale cache must cost a re-index, never a wrong answer. v2 caches (no
+// dataflow facts) fail the magic check and re-index, by design.
 
-static const char* kCacheMagic = "gridmon-lint-index-cache v2";
+static const char* kCacheMagic = "gridmon-lint-index-cache v3";
 
 IndexCache IndexCache::load(const std::string& path) {
   IndexCache cache;
@@ -272,6 +294,27 @@ IndexCache IndexCache::load(const std::string& path) {
       if (cur_funcs.empty()) return IndexCache{};
       std::string callee;
       while (ss >> callee) cur_funcs.back().callees.push_back(callee);
+    } else if (tag == "T") {
+      if (cur_funcs.empty()) return IndexCache{};
+      ss >> cur_funcs.back().taint_return >> cur_funcs.back().taint_label;
+      if (!ss) return IndexCache{};
+      if (cur_funcs.back().taint_label == "-") {
+        cur_funcs.back().taint_label.clear();
+      }
+    } else if (tag == "R") {
+      if (cur_funcs.empty()) return IndexCache{};
+      std::string callee;
+      while (ss >> callee) cur_funcs.back().return_calls.push_back(callee);
+    } else if (tag == "S") {
+      if (cur_funcs.empty()) return IndexCache{};
+      int p = 0;
+      while (ss >> p) cur_funcs.back().sink_params.push_back(p);
+    } else if (tag == "P") {
+      if (cur_funcs.empty()) return IndexCache{};
+      ParamCall pc;
+      ss >> pc.param >> pc.callee >> pc.arg;
+      if (!ss) return IndexCache{};
+      cur_funcs.back().param_calls.push_back(std::move(pc));
     } else {
       return IndexCache{};
     }
@@ -296,6 +339,23 @@ void IndexCache::save(const std::string& path) const {
         out << "C";
         for (const std::string& c : fn.callees) out << " " << c;
         out << "\n";
+      }
+      if (fn.taint_return != 0 || !fn.taint_label.empty()) {
+        out << "T " << fn.taint_return << " "
+            << (fn.taint_label.empty() ? "-" : fn.taint_label) << "\n";
+      }
+      if (!fn.return_calls.empty()) {
+        out << "R";
+        for (const std::string& c : fn.return_calls) out << " " << c;
+        out << "\n";
+      }
+      if (!fn.sink_params.empty()) {
+        out << "S";
+        for (int p : fn.sink_params) out << " " << p;
+        out << "\n";
+      }
+      for (const ParamCall& pc : fn.param_calls) {
+        out << "P " << pc.param << " " << pc.callee << " " << pc.arg << "\n";
       }
     }
   }

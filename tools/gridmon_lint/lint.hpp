@@ -17,15 +17,40 @@
 
 #include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace gridmon::lint {
 
 struct ProjectIndex;  // cross-TU symbol index (index.hpp)
 
+/// One step of a flow witness: the def → suspension → use (or source →
+/// flow → sink) chain a flow-sensitive finding rests on. Steps render in
+/// text output as indented "note:" lines and in SARIF as a codeFlow.
+struct WitnessStep {
+  std::string file;
+  int line = 0;
+  int col = 0;
+  std::string note;
+};
+
+/// A mechanical repair: replace `original` at (line, col) with
+/// `replacement`. Only attached when the rewrite is provably behavior-
+/// preserving; --fix-apply performs it after re-verifying `original` is
+/// still at that position.
+struct FixEdit {
+  int line = 0;
+  int col = 0;
+  std::string original;
+  std::string replacement;
+};
+
 /// One finding. `check` is a dotted id (family.rule), e.g.
 /// "determinism.wall-clock"; `message` is human-readable; `suggestion`
-/// (optional) is a safe replacement hint printed in --fix mode.
+/// (optional) is a safe replacement hint printed in --fix mode. `path`
+/// (optional) is the witness chain for flow-sensitive findings; `edit`
+/// (optional, signaled by a non-empty `edit.original`) is a mechanical
+/// repair --fix-apply can perform.
 struct Diagnostic {
   std::string file;
   int line = 0;
@@ -33,6 +58,15 @@ struct Diagnostic {
   std::string check;
   std::string message;
   std::string suggestion;
+  std::vector<WitnessStep> path;
+  FixEdit edit;
+
+  Diagnostic() = default;
+  Diagnostic(std::string file_, int line_, int col_, std::string check_,
+             std::string message_, std::string suggestion_ = {})
+      : file(std::move(file_)), line(line_), col(col_),
+        check(std::move(check_)), message(std::move(message_)),
+        suggestion(std::move(suggestion_)) {}
 };
 
 /// Analyzer options (a subset of the CLI surface; see main.cpp).

@@ -31,6 +31,9 @@ int usage(std::ostream& os, int code) {
         "                            compile_commands.json\n"
         "  --filter <substr>         keep only paths containing <substr>\n"
         "                            (repeatable; applies to -p and dirs)\n"
+        "  --exclude <substr>        drop paths containing <substr>\n"
+        "                            (repeatable; runs after --filter, so\n"
+        "                            a dir walk can skip its fixture trees)\n"
         "  --checks <a,b,...>        run only checks with these id prefixes\n"
         "  --project                 two-pass mode: index every input file\n"
         "                            (cross-TU call graph), then run the\n"
@@ -39,6 +42,11 @@ int usage(std::ostream& os, int code) {
         "                            content hash is unchanged (implies\n"
         "                            nothing without --project)\n"
         "  --fix                     print fix suggestions with findings\n"
+        "  --fix-apply               rewrite files in place with the\n"
+        "                            mechanical repairs some findings\n"
+        "                            carry (prints what it changed; use on\n"
+        "                            a scratch tree, see lint.sh\n"
+        "                            --fix-verify)\n"
         "  --baseline <file>         allowed findings, one 'path:check' per\n"
         "                            line; '#' comments ignored. The shipped\n"
         "                            baseline is empty and must stay empty.\n"
@@ -80,9 +88,10 @@ int main(int argc, char** argv) {
   Options opts;
   std::vector<std::string> inputs;
   std::vector<std::string> filters;
+  std::vector<std::string> excludes;
   std::string compile_db, baseline_path, write_baseline;
   std::string sarif_path, budget_path, write_budget, index_cache_path;
-  bool quiet = false, project = false;
+  bool quiet = false, project = false, fix_apply = false;
 
   for (int i = 1; i < argc; ++i) {
     std::string a = argv[i];
@@ -105,6 +114,8 @@ int main(int argc, char** argv) {
       compile_db = need_value("--compile-db");
     } else if (a == "--filter") {
       filters.push_back(need_value("--filter"));
+    } else if (a == "--exclude") {
+      excludes.push_back(need_value("--exclude"));
     } else if (a == "--checks") {
       std::stringstream ss(need_value("--checks"));
       std::string item;
@@ -117,6 +128,8 @@ int main(int argc, char** argv) {
       index_cache_path = need_value("--index-cache");
     } else if (a == "--fix") {
       opts.fix_suggestions = true;
+    } else if (a == "--fix-apply") {
+      fix_apply = true;
     } else if (a == "--baseline") {
       baseline_path = need_value("--baseline");
     } else if (a == "--write-baseline") {
@@ -174,6 +187,14 @@ int main(int argc, char** argv) {
         if (f.find(s) != std::string::npos) return false;
       }
       return true;
+    });
+  }
+  if (!excludes.empty()) {
+    std::erase_if(files, [&](const std::string& f) {
+      for (const std::string& s : excludes) {
+        if (f.find(s) != std::string::npos) return true;
+      }
+      return false;
     });
   }
   if (files.empty()) {
@@ -234,6 +255,58 @@ int main(int argc, char** argv) {
       std::cerr << "gridmon_lint: " << e.what() << "\n";
       return 2;
     }
+  }
+
+  if (fix_apply) {
+    // Group mechanical repairs by file, apply bottom-up so earlier edits
+    // cannot shift later positions, and only rewrite when the text at
+    // the target location still matches what the analysis saw.
+    std::map<std::string, std::vector<const Diagnostic*>> by_file;
+    for (const Diagnostic& d : findings) {
+      if (!d.edit.original.empty()) by_file[d.file].push_back(&d);
+    }
+    int applied = 0, skipped = 0;
+    for (auto& [file, edits] : by_file) {
+      std::ifstream in(file);
+      std::vector<std::string> lines;
+      std::string line;
+      while (std::getline(in, line)) lines.push_back(line);
+      in.close();
+      std::sort(edits.begin(), edits.end(),
+                [](const Diagnostic* a, const Diagnostic* b) {
+                  if (a->edit.line != b->edit.line) {
+                    return a->edit.line > b->edit.line;
+                  }
+                  return a->edit.col > b->edit.col;
+                });
+      bool changed = false;
+      for (const Diagnostic* d : edits) {
+        const auto& e = d->edit;
+        std::size_t row = static_cast<std::size_t>(e.line - 1);
+        std::size_t at = static_cast<std::size_t>(e.col - 1);
+        if (row >= lines.size() ||
+            lines[row].compare(at, e.original.size(), e.original) != 0) {
+          ++skipped;
+          continue;
+        }
+        lines[row].replace(at, e.original.size(), e.replacement);
+        changed = true;
+        ++applied;
+        if (!quiet) {
+          std::cout << "fixed " << file << ":" << e.line << ":" << e.col
+                    << ": '" << e.original << "' -> '" << e.replacement
+                    << "' [" << d->check << "]\n";
+        }
+      }
+      if (changed) {
+        std::ofstream outf(file);
+        for (const std::string& l : lines) outf << l << "\n";
+      }
+    }
+    std::cout << "gridmon_lint: applied " << applied << " fix"
+              << (applied == 1 ? "" : "es");
+    if (skipped > 0) std::cout << " (" << skipped << " stale, skipped)";
+    std::cout << "\n";
   }
 
   if (!write_baseline.empty()) {
@@ -314,6 +387,12 @@ int main(int argc, char** argv) {
     for (const Diagnostic& d : findings) {
       std::cout << d.file << ":" << d.line << ":" << d.col << ": error: "
                 << d.message << " [" << d.check << "]\n";
+      for (const auto& step : d.path) {
+        std::cout << "    note: "
+                  << (step.file.empty() ? d.file : step.file) << ":"
+                  << step.line << ":" << step.col << ": " << step.note
+                  << "\n";
+      }
       if (opts.fix_suggestions && !d.suggestion.empty()) {
         std::cout << "    fix: " << d.suggestion << "\n";
       }

@@ -97,8 +97,32 @@ std::string sarif_report(const std::vector<Diagnostic>& findings) {
         << ", \"startColumn\": " << d.col << " }\n"
            "              }\n"
            "            }\n"
-           "          ]\n"
-           "        }" << (i + 1 < findings.size() ? "," : "") << "\n";
+           "          ]";
+    // Flow-sensitive findings carry a witness path (def -> suspension ->
+    // use); SARIF renders it as a codeFlow so CI reviewers can step it.
+    if (!d.path.empty()) {
+      out << ",\n"
+             "          \"codeFlows\": [\n"
+             "            { \"threadFlows\": [ { \"locations\": [\n";
+      for (std::size_t s = 0; s < d.path.size(); ++s) {
+        const WitnessStep& step = d.path[s];
+        const std::string& uri = step.file.empty() ? d.file : step.file;
+        out << "              { \"location\": {\n"
+               "                \"physicalLocation\": {\n"
+               "                  \"artifactLocation\": { \"uri\": \""
+            << json_escape(uri) << "\" },\n"
+               "                  \"region\": { \"startLine\": " << step.line
+            << ", \"startColumn\": " << step.col << " }\n"
+               "                },\n"
+               "                \"message\": { \"text\": \""
+            << json_escape(step.note) << "\" }\n"
+               "              } }" << (s + 1 < d.path.size() ? "," : "")
+            << "\n";
+      }
+      out << "            ] } ] }\n"
+             "          ]";
+    }
+    out << "\n        }" << (i + 1 < findings.size() ? "," : "") << "\n";
   }
   out << "      ]\n"
          "    }\n"
